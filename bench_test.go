@@ -1,0 +1,616 @@
+// Benchmark harness for the reproduction. One benchmark (family) per
+// experiment in DESIGN.md §4; EXPERIMENTS.md records the measured
+// numbers. The paper itself reports no quantitative results, so these
+// benchmarks quantify the qualitative claims its text makes: bridged
+// calls cost more than native ones but stay interactive; SOAP is small
+// and cheap enough for appliance control; pairwise bridges scale
+// quadratically while the framework scales linearly; and HTTP long-poll
+// loses to push on event latency.
+package homeconnect
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"homeconnect/internal/bridge/jinipcm"
+	"homeconnect/internal/core"
+	"homeconnect/internal/core/events"
+	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/jini"
+	"homeconnect/internal/service"
+	"homeconnect/internal/sim"
+	"homeconnect/internal/soap"
+	"homeconnect/internal/x10"
+)
+
+// benchHome builds a simulated home once per benchmark.
+func benchHome(b *testing.B, cfg sim.Config, minServices int) *sim.Home {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	h, err := sim.NewHome(ctx, cfg)
+	if err != nil {
+		b.Fatalf("NewHome: %v", err)
+	}
+	b.Cleanup(h.Close)
+	if err := h.WaitForServices(ctx, minServices); err != nil {
+		b.Fatalf("WaitForServices: %v", err)
+	}
+	return h
+}
+
+// --- E1 / Figure 1: any-to-any federation call ------------------------
+
+// BenchmarkFigure1FederationCall measures one cross-middleware control
+// call: a client on the Jini network reads the X10 lamp level through
+// VSR resolution + SOAP + the X10 PCM.
+func BenchmarkFigure1FederationCall(b *testing.B) {
+	h := benchHome(b, sim.Config{Jini: true, X10: true}, 2)
+	gw := h.Fed.Network("jini-net").Gateway()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.Call(ctx, "x10:lamp-1", "Level", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2 / Figure 2: proxy module overhead ------------------------------
+
+// BenchmarkFigure2NativeJiniCall is the baseline: a Jini client calling a
+// Jini service directly, no framework involved.
+func BenchmarkFigure2NativeJiniCall(b *testing.B) {
+	h := benchHome(b, sim.Config{Jini: true}, 1)
+	ctx := context.Background()
+	reg, err := jini.Discover(ctx, h.Lookup.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	items, err := reg.Lookup(ctx, jini.ServiceTemplate{IfaceName: "Laserdisc"})
+	if err != nil || len(items) != 1 {
+		b.Fatalf("lookup: %v %v", items, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jini.Call(ctx, items[0].Proxy, "State", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2ClientProxy measures the CP direction: the federation
+// calling the native Jini Laserdisc through the Jini PCM.
+func BenchmarkFigure2ClientProxy(b *testing.B) {
+	h := benchHome(b, sim.Config{Jini: true, X10: true}, 2)
+	// Call from the X10 network so the full SOAP path is exercised.
+	gw := h.Fed.Network("x10-net").Gateway()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.Call(ctx, "jini:laserdisc-1", "State", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2ServerProxy measures the SP direction: an unmodified
+// Jini client calling the X10 lamp through the planted Jini proxy
+// (Jini RMI-sim → PCM → SOAP → X10 PCM → CM11A → powerline).
+func BenchmarkFigure2ServerProxy(b *testing.B) {
+	h := benchHome(b, sim.Config{Jini: true, X10: true}, 2)
+	ctx := context.Background()
+	reg, err := jini.Discover(ctx, h.Lookup.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var proxy jini.ProxyDescriptor
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		items, err := reg.Lookup(ctx, jini.ServiceTemplate{IfaceName: "X10Lamp"})
+		if err == nil && len(items) == 1 {
+			proxy = items[0].Proxy
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("X10 lamp proxy never appeared in Jini lookup")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jini.Call(ctx, proxy, "Level", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3 / Figure 3: cross-middleware latency matrix ---------------------
+
+// BenchmarkFigure3CrossMatrix measures a read call from each network to
+// each other middleware's service — the latency matrix of the full
+// prototype.
+func BenchmarkFigure3CrossMatrix(b *testing.B) {
+	h := benchHome(b, sim.Prototype(), 7)
+	ctx := context.Background()
+	targets := []struct {
+		id, op string
+	}{
+		{"jini:laserdisc-1", "State"},
+		{"x10:lamp-1", "Level"},
+		{"havi:vcr-vcr1", "State"},
+	}
+	for _, netName := range h.Fed.Networks() {
+		gw := h.Fed.Network(netName).Gateway()
+		for _, target := range targets {
+			b.Run(fmt.Sprintf("%s_to_%s", netName, target.id), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := gw.Call(ctx, target.id, target.op, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E4 / Figure 4: Jini → X10 full conversion, write path --------------
+
+// BenchmarkFigure4JiniToX10 measures the full Figure 4 transaction: a
+// Jini client switching the X10 lamp, including CM11A serial handshakes
+// and powerline frames.
+func BenchmarkFigure4JiniToX10(b *testing.B) {
+	h := benchHome(b, sim.Config{Jini: true, X10: true}, 2)
+	ctx := context.Background()
+	reg, err := jini.Discover(ctx, h.Lookup.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var proxy jini.ProxyDescriptor
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		items, err := reg.Lookup(ctx, jini.ServiceTemplate{IfaceName: "X10Lamp"})
+		if err == nil && len(items) == 1 {
+			proxy = items[0].Proxy
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("lamp proxy missing")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := "On"
+		if i%2 == 1 {
+			op = "Off"
+		}
+		if _, err := jini.Call(ctx, proxy, op, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5 / Figure 5: Universal Remote Controller -------------------------
+
+// BenchmarkFigure5RemotePress measures a remote keypress round trip:
+// powerline frame → CM11A upload → X10 PCM binding → SOAP → Jini PCM →
+// RMI-sim → Laserdisc state change.
+func BenchmarkFigure5RemotePress(b *testing.B) {
+	h := benchHome(b, sim.Prototype(), 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn, want := x10.On, "playing"
+		if i%2 == 1 {
+			fn, want = x10.Off, "stopped"
+		}
+		if err := h.Remote.Press(sim.RemoteLaserdiscUnit, fn); err != nil {
+			b.Fatal(err)
+		}
+		for h.Laserdisc.State() != want {
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+}
+
+// --- E6 / §4.1: SOAP cost vs the RMI-sim baseline ------------------------
+
+func benchCall() soap.Call {
+	return soap.Call{
+		Namespace: "urn:homeconnect:bench:svc",
+		Operation: "SetLevel",
+		Args: []soap.Arg{
+			{Name: "level", Value: service.IntValue(42)},
+			{Name: "fade", Value: service.BoolValue(true)},
+		},
+	}
+}
+
+// BenchmarkSOAPEncode measures envelope serialization and reports the
+// message size the paper calls "light-weight for network".
+func BenchmarkSOAPEncode(b *testing.B) {
+	call := benchCall()
+	data, err := soap.EncodeCall(call)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := soap.EncodeCall(call); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// After the loop: ResetTimer discards user metrics set before it.
+	b.ReportMetric(float64(len(data)), "wire-B/op")
+}
+
+// BenchmarkSOAPDecode measures envelope parsing.
+func BenchmarkSOAPDecode(b *testing.B) {
+	data, err := soap.EncodeCall(benchCall())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := soap.DecodeCall(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSOAPRoundTrip measures a full SOAP/HTTP RPC over loopback —
+// the inter-VSG hop.
+func BenchmarkSOAPRoundTrip(b *testing.B) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	gw1 := vsg.New("a", srv.URL())
+	gw2 := vsg.New("b", srv.URL())
+	if err := gw1.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer gw1.Close()
+	if err := gw2.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer gw2.Close()
+	ctx := context.Background()
+	desc := service.Description{
+		ID: "bench:echo", Name: "echo", Middleware: "bench",
+		Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+			{Name: "Echo", Inputs: []service.Parameter{{Name: "v", Type: service.KindInt}}, Output: service.KindInt},
+		}},
+	}
+	inv := service.InvokerFunc(func(_ context.Context, _ string, args []service.Value) (service.Value, error) {
+		return args[0], nil
+	})
+	if err := gw1.Export(ctx, desc, inv); err != nil {
+		b.Fatal(err)
+	}
+	arg := []service.Value{service.IntValue(7)}
+	if _, err := gw2.Call(ctx, "bench:echo", "Echo", arg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw2.Call(ctx, "bench:echo", "Echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRMISimRoundTrip is the binary-protocol baseline for E6: the
+// same echo shape over the Jini RMI simulation.
+func BenchmarkRMISimRoundTrip(b *testing.B) {
+	ex := jini.NewExporter()
+	if err := ex.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer ex.Close()
+	spec := jini.InterfaceSpec{Name: "Echo", Methods: []jini.MethodSpec{
+		{Name: "Echo", Params: []string{"int"}, Return: "int"},
+	}}
+	proxy := ex.Export(spec, jini.InvocableFunc(func(_ string, args []any) (any, error) {
+		return args[0], nil
+	}))
+	ctx := context.Background()
+	args := []any{int64(7)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jini.Call(ctx, proxy, "Echo", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7 / §4.2: event delivery, long-poll vs push ------------------------
+
+// BenchmarkEventLongPoll measures publish→deliver latency when the
+// consumer long-polls over HTTP (the best plain client/server HTTP can
+// do, per §4.2).
+func BenchmarkEventLongPoll(b *testing.B) {
+	hub, client := benchHub(b)
+	ctx := context.Background()
+	var cursor uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		type out struct {
+			n    int
+			next uint64
+		}
+		done := make(chan out, 1)
+		go func(since uint64) {
+			evs, next, _ := client.Poll(ctx, since, "bench", 5*time.Second)
+			done <- out{len(evs), next}
+		}(cursor)
+		// Give the poll time to park server-side, as a steady-state
+		// poller would be parked when the event fires.
+		time.Sleep(100 * time.Microsecond)
+		hub.Publish(service.Event{Source: "bench", Topic: "bench", Seq: uint64(i)})
+		o := <-done
+		if o.n == 0 {
+			b.Fatal("poll returned no events")
+		}
+		cursor = o.next
+	}
+}
+
+// BenchmarkEventPush measures publish→deliver latency over a push
+// subscription (HTTP callback).
+func BenchmarkEventPush(b *testing.B) {
+	hub, client := benchHub(b)
+	ctx := context.Background()
+	var mu sync.Mutex
+	delivered := make(chan struct{}, 64)
+	recv, err := events.NewPushReceiver(func(service.Event) {
+		mu.Lock()
+		mu.Unlock()
+		delivered <- struct{}{}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer recv.Close()
+	sid, err := client.Subscribe(ctx, recv.URL(), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = client.Unsubscribe(ctx, sid) }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Publish(service.Event{Source: "bench", Topic: "bench", Seq: uint64(i)})
+		<-delivered
+	}
+}
+
+func benchHub(b *testing.B) (*events.Hub, *events.Client) {
+	b.Helper()
+	srv, err := vsr.StartServer("127.0.0.1:0") // unused, keeps symmetry cheap
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	gw := vsg.New("bench", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(gw.Close)
+	return gw.Hub(), &events.Client{BaseURL: gw.EventsURL()}
+}
+
+// --- E8 / §5: framework vs pairwise bridge scaling -----------------------
+
+// BenchmarkBridgeScaling measures steady-state cross-middleware call
+// latency as the number of connected middleware grows, and reports the
+// adapter counts: N for the framework vs N(N-1)/2 pairwise.
+func BenchmarkBridgeScaling(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			fed, err := core.NewFederation()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fed.Close()
+			ctx := context.Background()
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("mw%d", i)
+				net, err := fed.AddNetwork(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := net.Attach(ctx, newBenchPCM(name)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				remotes, err := fed.Services(ctx)
+				if err == nil && len(remotes) == n {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatal("services missing")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			gw := fed.Network("mw0").Gateway()
+			arg := []service.Value{service.StringValue("x")}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := fmt.Sprintf("mw%d:echo", 1+i%(n-1))
+				if _, err := gw.Call(ctx, id, "Echo", arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n), "framework-adapters")
+			b.ReportMetric(float64(n*(n-1)/2), "pairwise-bridges")
+		})
+	}
+}
+
+// benchPCM is the E8 synthetic middleware adapter.
+type benchPCM struct {
+	name   string
+	runner pcm.Runner
+}
+
+func newBenchPCM(name string) *benchPCM { return &benchPCM{name: name} }
+
+func (s *benchPCM) Middleware() string { return s.name }
+
+func (s *benchPCM) Start(ctx context.Context, gw *vsg.VSG) error {
+	runCtx := s.runner.Start(ctx)
+	exp := &pcm.Exporter{List: func(context.Context) ([]pcm.LocalService, error) {
+		desc := service.Description{
+			ID: s.name + ":echo", Name: "echo", Middleware: s.name,
+			Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+				{Name: "Echo", Inputs: []service.Parameter{{Name: "v", Type: service.KindString}}, Output: service.KindString},
+			}},
+		}
+		inv := service.InvokerFunc(func(_ context.Context, _ string, args []service.Value) (service.Value, error) {
+			return args[0], nil
+		})
+		return []pcm.LocalService{{Desc: desc, Invoker: inv}}, nil
+	}}
+	s.runner.Go(func() { exp.Run(runCtx, gw) })
+	return nil
+}
+
+func (s *benchPCM) Stop() error {
+	s.runner.Stop()
+	return nil
+}
+
+// --- E9 / §3.3: VSR registration and discovery ---------------------------
+
+// BenchmarkVSRRegister measures service publication (WSDL generation +
+// UDDI save).
+func BenchmarkVSRRegister(b *testing.B) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	v := vsr.New(srv.URL())
+	ctx := context.Background()
+	desc := service.Description{
+		ID: "bench:svc", Name: "svc", Middleware: "bench",
+		Interface: service.Interface{Name: "Svc", Operations: []service.Operation{
+			{Name: "Ping", Output: service.KindVoid},
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Register(ctx, desc, "http://h/1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVSRFind measures repository inquiries without gateway caching.
+func BenchmarkVSRFind(b *testing.B) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	v := vsr.New(srv.URL())
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		desc := service.Description{
+			ID: fmt.Sprintf("bench:svc%d", i), Name: "svc", Middleware: "bench",
+			Interface: service.Interface{Name: "Svc", Operations: []service.Operation{
+				{Name: "Ping", Output: service.KindVoid},
+			}},
+		}
+		if _, err := v.Register(ctx, desc, "http://h/1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Lookup(ctx, "bench:svc7"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVSRFindCached measures the same resolution through a gateway's
+// resolve cache — the caching ablation of DESIGN.md §7.
+func BenchmarkVSRFindCached(b *testing.B) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	gw := vsg.New("bench", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	ctx := context.Background()
+	desc := service.Description{
+		ID: "bench:svc", Name: "svc", Middleware: "bench",
+		Interface: service.Interface{Name: "Svc", Operations: []service.Operation{
+			{Name: "Ping", Output: service.KindVoid},
+		}},
+	}
+	v := vsr.New(srv.URL())
+	if _, err := v.Register(ctx, desc, "http://h/1"); err != nil {
+		b.Fatal(err)
+	}
+	gw.SetCacheTTL(time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.Resolve(ctx, "bench:svc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10 / §5: UPnP PCM -----------------------------------------------
+
+// BenchmarkUPnPControl measures a federation call into a UPnP device
+// through the UPnP PCM (double SOAP: inter-VSG, then UPnP control).
+func BenchmarkUPnPControl(b *testing.B) {
+	h := benchHome(b, sim.Config{UPnP: true, X10: true}, 2)
+	gw := h.Fed.Network("x10-net").Gateway()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.Call(ctx, "upnp:porch-SwitchPower", "GetStatus", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: metadata-driven proxy generation cost ---------------------
+
+// BenchmarkProxyGeneration measures converting Jini interface metadata to
+// a federation interface — the per-discovery cost of automatic proxy
+// generation.
+func BenchmarkProxyGeneration(b *testing.B) {
+	spec := jini.InterfaceSpec{
+		Name: "Laserdisc",
+		Methods: []jini.MethodSpec{
+			{Name: "Play"},
+			{Name: "Stop"},
+			{Name: "SetChapter", Params: []string{"int"}},
+			{Name: "Chapter", Return: "int"},
+			{Name: "State", Return: "string"},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jinipcm.InterfaceFromSpec(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

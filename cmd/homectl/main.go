@@ -1,0 +1,131 @@
+// Command homectl is the federation's command-line client: it lists
+// services from the Virtual Service Repository, shows their interfaces,
+// and invokes operations directly over SOAP — the "control everything
+// from a PC" scenario of the paper's introduction.
+//
+//	homectl -vsr http://127.0.0.1:8600/uddi list
+//	homectl -vsr ... describe x10:lamp-1
+//	homectl -vsr ... call x10:lamp-1 SetLevel 60
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+	"homeconnect/internal/soap"
+)
+
+func main() {
+	vsrURL := flag.String("vsr", "http://127.0.0.1:8600/uddi", "Virtual Service Repository URL")
+	timeout := flag.Duration("timeout", 15*time.Second, "operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	repo := vsr.New(*vsrURL)
+
+	switch args[0] {
+	case "list":
+		list(ctx, repo)
+	case "describe":
+		if len(args) != 2 {
+			usage()
+		}
+		describe(ctx, repo, args[1])
+	case "call":
+		if len(args) < 3 {
+			usage()
+		}
+		call(ctx, repo, args[1], args[2], args[3:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: homectl [-vsr URL] <command>
+
+commands:
+  list                          list every federation service
+  describe <service-id>         show a service's interface
+  call <service-id> <op> [arg]  invoke an operation (text-form args)
+`)
+	os.Exit(2)
+}
+
+func list(ctx context.Context, repo *vsr.VSR) {
+	remotes, err := repo.Find(ctx, vsr.Query{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(remotes) == 0 {
+		fmt.Println("no services registered")
+		return
+	}
+	fmt.Printf("%-28s %-8s %-14s %s\n", "SERVICE", "MWARE", "INTERFACE", "ENDPOINT")
+	for _, r := range remotes {
+		fmt.Printf("%-28s %-8s %-14s %s\n", r.Desc.ID, r.Desc.Middleware, r.Desc.Interface.Name, r.Endpoint)
+	}
+}
+
+func describe(ctx context.Context, repo *vsr.VSR, id string) {
+	r, err := repo.Lookup(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service   %s (%s)\n", r.Desc.ID, r.Desc.Name)
+	fmt.Printf("middleware %s\n", r.Desc.Middleware)
+	fmt.Printf("endpoint  %s\n", r.Endpoint)
+	fmt.Printf("interface %s\n", r.Desc.Interface.Name)
+	for _, op := range r.Desc.Interface.Operations {
+		fmt.Printf("  %s\n", op.Signature())
+		if op.Doc != "" {
+			fmt.Printf("      %s\n", op.Doc)
+		}
+	}
+	if len(r.Desc.Context) > 0 {
+		fmt.Println("context")
+		for k, v := range r.Desc.Context {
+			fmt.Printf("  %s = %s\n", k, v)
+		}
+	}
+}
+
+func call(ctx context.Context, repo *vsr.VSR, id, op string, textArgs []string) {
+	r, err := repo.Lookup(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opSpec, ok := r.Desc.Interface.Operation(op)
+	if !ok {
+		log.Fatalf("service %s has no operation %s", id, op)
+	}
+	args, err := service.CoerceArgs(opSpec, textArgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	callDoc := soap.Call{Namespace: vsg.Namespace(id), Operation: op}
+	for i, p := range opSpec.Inputs {
+		callDoc.Args = append(callDoc.Args, soap.Arg{Name: p.Name, Value: args[i]})
+	}
+	client := &soap.Client{URL: r.Endpoint}
+	result, err := client.Call(ctx, vsg.Namespace(id)+"#"+op, callDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if result.IsVoid() {
+		fmt.Println("ok")
+		return
+	}
+	fmt.Println(result.Text())
+}

@@ -1,0 +1,99 @@
+// Command homesim runs the full simulated smart home of the paper's
+// prototype — Jini, X10, HAVi and mail networks (plus the UPnP extension)
+// connected by the framework — and keeps it running so homectl can be
+// pointed at it. With -demo it additionally replays the Figure 5
+// Universal Remote Controller sequence and exits.
+//
+//	homesim            # run until interrupted, print the VSR URL
+//	homesim -demo      # run the universal remote demo and exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"homeconnect/internal/sim"
+	"homeconnect/internal/x10"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "replay the Figure 5 universal remote sequence and exit")
+	upnp := flag.Bool("upnp", true, "include the UPnP network")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	cfg := sim.Prototype()
+	cfg.UPnP = *upnp
+	want := 7
+	if cfg.UPnP {
+		want++
+	}
+
+	fmt.Println("homesim: building the simulated home...")
+	home, err := sim.NewHome(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer home.Close()
+	if err := home.WaitForServices(ctx, want); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("homesim: repository at %s\n", home.Fed.VSRURL())
+	ids, err := home.ServiceIDs(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("homesim: services:")
+	for _, id := range ids {
+		fmt.Printf("  %s\n", id)
+	}
+
+	if *demo {
+		runDemo(home)
+		return
+	}
+
+	fmt.Println("homesim: running — point homectl at the repository URL above; Ctrl-C to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("homesim: shutting down")
+}
+
+func runDemo(home *sim.Home) {
+	fmt.Println("\nhomesim: --- universal remote demo (Figure 5) ---")
+	steps := []struct {
+		unit x10.UnitCode
+		fn   x10.Function
+		what string
+		cond func() bool
+	}{
+		{sim.RemoteLaserdiscUnit, x10.On, "laserdisc playing", func() bool { return home.Laserdisc.State() == "playing" }},
+		{sim.RemoteCameraUnit, x10.On, "camera capturing", func() bool { return home.Camera.State() == "capturing" }},
+		{sim.RemoteCameraUnit, x10.Off, "camera stopped", func() bool { return home.Camera.State() == "stopped" }},
+		{sim.RemoteLaserdiscUnit, x10.Off, "laserdisc stopped", func() bool { return home.Laserdisc.State() == "stopped" }},
+	}
+	for _, s := range steps {
+		fmt.Printf("homesim: remote key %d %v → ", s.unit, s.fn)
+		if err := home.Remote.Press(s.unit, s.fn); err != nil {
+			log.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for !s.cond() {
+			if time.Now().After(deadline) {
+				log.Fatalf("timed out waiting for %s", s.what)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Println(s.what)
+	}
+	fmt.Println("homesim: demo complete")
+}

@@ -1,0 +1,47 @@
+// Command stubgen generates a typed Go client from a WSDL service
+// description — the compile-time counterpart of the framework's runtime
+// proxy generation (Javassist in the paper's prototype).
+//
+//	stubgen -pkg vcrstub -o vcr_client.go vcr.wsdl
+//	homectl describe havi:vcr-vcr1   # WSDL lives in the repository
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"homeconnect/internal/stubgen"
+	"homeconnect/internal/wsdl"
+)
+
+func main() {
+	pkg := flag.String("pkg", "stubs", "package name for the generated file")
+	out := flag.String("o", "", "output file (stdout if empty)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: stubgen [-pkg name] [-o file] <wsdl-file>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := wsdl.Parse(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := stubgen.Generate(doc, stubgen.Options{Package: *pkg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		_, _ = os.Stdout.Write(src)
+		return
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "stubgen: wrote %s\n", *out)
+}

@@ -1,0 +1,87 @@
+// Command vsgd runs one Virtual Service Gateway for a middleware network
+// and attaches the requested Protocol Conversion Manager. Networks whose
+// hardware is in-process-only (the X10 powerline and HAVi bus
+// simulations) are hosted by cmd/homesim instead; vsgd covers the
+// middleware reachable over real sockets: Jini lookup services, UPnP
+// devices, and mail servers.
+//
+//	vsgd -vsr http://127.0.0.1:8600/uddi -name jini-net -middleware jini -jini-lookup 127.0.0.1:4160
+//	vsgd -vsr ... -name upnp-net -middleware upnp -ssdp 127.0.0.1:1900
+//	vsgd -vsr ... -name mail-net -middleware mail -smtp 127.0.0.1:2525 -pop3 127.0.0.1:2110 -mailbox home@house.example
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"homeconnect/internal/bridge/jinipcm"
+	"homeconnect/internal/bridge/mailpcm"
+	"homeconnect/internal/bridge/upnppcm"
+	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/vsg"
+)
+
+func main() {
+	vsrURL := flag.String("vsr", "http://127.0.0.1:8600/uddi", "Virtual Service Repository URL")
+	name := flag.String("name", "", "network name (required)")
+	addr := flag.String("addr", "127.0.0.1:0", "gateway listen address")
+	middleware := flag.String("middleware", "", "PCM to attach: jini, upnp, mail, none")
+	jiniLookup := flag.String("jini-lookup", "", "jini: lookup service address")
+	ssdp := flag.String("ssdp", "", "upnp: comma-separated SSDP addresses to search")
+	smtp := flag.String("smtp", "", "mail: SMTP server address")
+	pop3 := flag.String("pop3", "", "mail: POP3 server address")
+	mailbox := flag.String("mailbox", "", "mail: command mailbox address")
+	flag.Parse()
+	if *name == "" {
+		log.Fatal("vsgd: -name is required")
+	}
+
+	gw := vsg.New(*name, *vsrURL)
+	if err := gw.Start(*addr); err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	fmt.Printf("vsgd: gateway %q at %s (events at %s)\n", *name, gw.BaseURL(), gw.EventsURL())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var p pcm.PCM
+	switch *middleware {
+	case "", "none":
+	case "jini":
+		if *jiniLookup == "" {
+			log.Fatal("vsgd: -jini-lookup is required for the jini PCM")
+		}
+		p = jinipcm.New(*jiniLookup)
+	case "upnp":
+		if *ssdp == "" {
+			log.Fatal("vsgd: -ssdp is required for the upnp PCM")
+		}
+		p = upnppcm.New(upnppcm.Config{SSDPAddrs: strings.Split(*ssdp, ",")})
+	case "mail":
+		if *smtp == "" || *pop3 == "" || *mailbox == "" {
+			log.Fatal("vsgd: -smtp, -pop3 and -mailbox are required for the mail PCM")
+		}
+		p = mailpcm.New(mailpcm.Config{SMTPAddr: *smtp, POP3Addr: *pop3, CommandAddr: *mailbox})
+	default:
+		log.Fatalf("vsgd: unknown middleware %q", *middleware)
+	}
+	if p != nil {
+		if err := p.Start(ctx, gw); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = p.Stop() }()
+		fmt.Printf("vsgd: %s PCM attached\n", p.Middleware())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("vsgd: shutting down")
+}

@@ -1,0 +1,30 @@
+// Command vsrd runs a standalone Virtual Service Repository: the
+// WSDL/UDDI registry every gateway publishes to and resolves from.
+//
+//	vsrd -addr 127.0.0.1:8600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8600", "listen address")
+	flag.Parse()
+
+	srv, err := startServer(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("vsrd: repository at %s\n", srv.URL())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("vsrd: shutting down")
+}

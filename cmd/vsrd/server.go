@@ -1,0 +1,8 @@
+package main
+
+import "homeconnect/internal/core/vsr"
+
+// startServer wraps vsr.StartServer so main stays flag-only.
+func startServer(addr string) (*vsr.Server, error) {
+	return vsr.StartServer(addr)
+}

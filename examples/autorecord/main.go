@@ -1,0 +1,146 @@
+// Automatic video recording — the motivating scenario of the paper's §2:
+// "the service integration of a VCR control service with a TV program
+// service on the Internet can provide an automatic video recording
+// service that records TV programs according to user profiles on the
+// Internet."
+//
+// A TV-program guide is published as a plain SOAP web service (the
+// Internet service); the HAVi VCR is bridged by its PCM; a small
+// integration loop matches the user profile against the guide, tunes the
+// VCR, starts recording, and mails the user through the mail PCM.
+//
+//	go run ./examples/autorecord
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"homeconnect"
+	"homeconnect/internal/sim"
+)
+
+// program is one guide entry of the pretend Internet TV guide.
+type program struct {
+	Title   string
+	Channel int64
+	Genre   string
+}
+
+var guide = []program{
+	{Title: "Morning News", Channel: 1, Genre: "news"},
+	{Title: "Robot Wrestling", Channel: 7, Genre: "sports"},
+	{Title: "Ubiquitous Computing Hour", Channel: 12, Genre: "documentary"},
+}
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	home, err := sim.NewHome(ctx, sim.Prototype())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer home.Close()
+	if err := home.WaitForServices(ctx, 7); err != nil {
+		log.Fatal(err)
+	}
+
+	// Publish the TV-program guide as a plain SOAP web service on the
+	// mail network's gateway — an Internet service needs no PCM, it
+	// speaks the VSG protocol natively (§2: a service is also "a network
+	// application provided by some servers").
+	guideDesc := homeconnect.Description{
+		ID:         "soap:tvguide",
+		Name:       "TV program guide",
+		Middleware: "soap",
+		Interface: homeconnect.Interface{
+			Name: "TVGuide",
+			Operations: []homeconnect.Operation{
+				{
+					Name:   "FindByGenre",
+					Inputs: []homeconnect.Parameter{{Name: "genre", Type: homeconnect.KindString}},
+					// "title@channel", or "" when nothing matches.
+					Output: homeconnect.KindString,
+				},
+			},
+		},
+	}
+	guideImpl := homeconnect.InvokerFunc(func(_ context.Context, op string, args []homeconnect.Value) (homeconnect.Value, error) {
+		genre := args[0].Str()
+		for _, p := range guide {
+			if p.Genre == genre {
+				return homeconnect.String(fmt.Sprintf("%s@%d", p.Title, p.Channel)), nil
+			}
+		}
+		return homeconnect.String(""), nil
+	})
+	gw := home.Fed.Network("mail-net").Gateway()
+	if err := gw.Export(ctx, guideDesc, guideImpl); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("internet: TV guide published as a SOAP web service")
+
+	// The user profile lives "on the Internet" too; here it is a genre.
+	const userProfileGenre = "documentary"
+	const userAddr = "user@house.example"
+
+	// The integration: guide lookup → tune → record → notify. Every call
+	// goes through the federation, no middleware-specific code.
+	hit, err := home.Fed.Call(ctx, "soap:tvguide", "FindByGenre", homeconnect.String(userProfileGenre))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if hit.Str() == "" {
+		log.Fatalf("no %s programs in the guide", userProfileGenre)
+	}
+	parts := strings.SplitN(hit.Str(), "@", 2)
+	title, channelText := parts[0], parts[1]
+	fmt.Printf("guide: profile genre %q matched %q on channel %s\n", userProfileGenre, title, channelText)
+
+	if _, err = home.Fed.Call(ctx, "havi:vcr-vcr1", "SetChannel", mustInt(channelText)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err = home.Fed.Call(ctx, "havi:vcr-vcr1", "Record"); err != nil {
+		log.Fatal(err)
+	}
+	state, err := home.Fed.Call(ctx, "havi:vcr-vcr1", "State")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("havi: VCR state=%s channel=%s\n", state.Str(), channelText)
+
+	if _, err = home.Fed.Call(ctx, "mail:outbox", "Send",
+		homeconnect.String(userAddr),
+		homeconnect.String("recording started: "+title),
+		homeconnect.String(fmt.Sprintf("Your %s program %q is being recorded on channel %s.", userProfileGenre, title, channelText)),
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the notification actually landed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		msgs := home.MailStore.Messages(userAddr)
+		if len(msgs) > 0 {
+			fmt.Printf("mail: %s received %q\n", userAddr, msgs[0].Subject)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("notification mail never arrived")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println("automatic recording service complete")
+}
+
+func mustInt(s string) homeconnect.Value {
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		log.Fatalf("bad channel %q: %v", s, err)
+	}
+	return homeconnect.Int(n)
+}

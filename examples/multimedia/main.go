@@ -1,0 +1,126 @@
+// Event-based multimedia system — the §4.2 experiment that exposed
+// HTTP's weakness at asynchronous notification: "we have tried to develop
+// the event-based multimedia system, which manages multimedia streams and
+// send multimedia data to appropriate I/O devices, with X10 motion
+// sensors and HAVi and Jini AV systems."
+//
+// Here the event gateway extension closes that gap: an X10 motion sensor
+// publishes motion events on its network's hub; a coordinator subscribed
+// by push reacts by routing a DV stream from the HAVi camera to the HAVi
+// display over a real isochronous connection, and tears it down when the
+// motion clears.
+//
+//	go run ./examples/multimedia
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"homeconnect"
+	"homeconnect/internal/core/events"
+	"homeconnect/internal/havi"
+	"homeconnect/internal/sim"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	home, err := sim.NewHome(ctx, sim.Prototype())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer home.Close()
+	if err := home.WaitForServices(ctx, 7); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("home is up; motion sensor at", sim.MotionAddr)
+
+	// The coordinator subscribes to motion events by push — the
+	// asynchronous channel plain HTTP request/response lacked in 2002.
+	x10Hub := home.Fed.Network("x10-net").Gateway().EventsURL()
+	client := &events.Client{BaseURL: x10Hub}
+
+	var mu sync.Mutex
+	var conn *havi.Connection
+	startStream := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if conn != nil {
+			return
+		}
+		c, err := home.TVDevice.ConnectStream(ctx, home.Camera.SEID(), home.Display.SEID(), 0)
+		if err != nil {
+			log.Printf("stream setup failed: %v", err)
+			return
+		}
+		conn = c
+		fmt.Printf("stream: camera → display on iso channel %d (bandwidth %d)\n",
+			c.Channel().Number(), c.Channel().Bandwidth())
+	}
+	stopStream := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if conn == nil {
+			return
+		}
+		_ = conn.Close(ctx)
+		conn = nil
+		fmt.Println("stream: closed, bandwidth released")
+	}
+
+	recv, err := events.NewPushReceiver(func(ev homeconnect.Event) {
+		on := ev.Payload["on"].Bool()
+		fmt.Printf("event: %s %s on=%v\n", ev.Source, ev.Topic, on)
+		if on {
+			startStream()
+		} else {
+			stopStream()
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recv.Close()
+	sid, err := client.Subscribe(ctx, recv.URL(), "motion")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = client.Unsubscribe(ctx, sid) }()
+	fmt.Println("coordinator subscribed to motion events (push)")
+
+	// Someone walks past the sensor.
+	if err := home.Motion.Trigger(); err != nil {
+		log.Fatal(err)
+	}
+	waitFor("display rendering frames", func() bool { return home.Display.Frames() > 0 })
+	fmt.Printf("display has rendered %d frames\n", home.Display.Frames())
+
+	// The hallway empties again.
+	if err := home.Motion.Clear(); err != nil {
+		log.Fatal(err)
+	}
+	waitFor("stream torn down", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return conn == nil
+	})
+	if home.Camera.State() != havi.StateStopped {
+		log.Fatalf("camera still %s after teardown", home.Camera.State())
+	}
+	fmt.Println("event-based multimedia system complete")
+}
+
+func waitFor(what string, cond func() bool) {
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatalf("timed out waiting: %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,139 @@
+// Quickstart: the smallest useful federation. A Jini network (lookup
+// service + a lamp service) and an X10 network (powerline + CM11A +
+// a wall switch module) are connected through the framework; then a
+// federation client controls the X10 lamp, and a plain Jini client
+// controls it too through the server proxy the X10... rather, the Jini
+// PCM planted. Run it:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"homeconnect"
+	"homeconnect/internal/bridge/jinipcm"
+	"homeconnect/internal/bridge/x10pcm"
+	"homeconnect/internal/jini"
+	"homeconnect/internal/x10"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// --- The Jini network: a lookup service and a lamp service. -------
+	lookup := jini.NewLookupService()
+	must(lookup.Start("127.0.0.1:0"))
+	defer lookup.Close()
+	exporter := jini.NewExporter()
+	must(exporter.Start("127.0.0.1:0"))
+	defer exporter.Close()
+
+	lampSpec := jini.InterfaceSpec{Name: "Lamp", Methods: []jini.MethodSpec{
+		{Name: "On"}, {Name: "Off"}, {Name: "IsOn", Return: "bool"},
+	}}
+	var jiniLampOn bool
+	proxy := exporter.Export(lampSpec, jini.InvocableFunc(func(method string, _ []any) (any, error) {
+		switch method {
+		case "On":
+			jiniLampOn = true
+			return nil, nil
+		case "Off":
+			jiniLampOn = false
+			return nil, nil
+		case "IsOn":
+			return jiniLampOn, nil
+		}
+		return nil, jini.ErrNoSuchMethod
+	}))
+	reg, err := jini.Discover(ctx, lookup.Addr())
+	must(err)
+	_, err = reg.Register(ctx, jini.ServiceItem{
+		Proxy: proxy,
+		Attrs: []jini.Entry{{Name: jinipcm.EntryName, Value: "desklamp"}},
+	}, time.Minute)
+	must(err)
+	fmt.Println("jini: lamp service registered in the lookup service")
+
+	// --- The X10 network: powerline, CM11A, one wall module. ----------
+	line := x10.NewPowerline()
+	pcPort, devPort := x10.NewLink()
+	cm11a := x10.NewCM11A(line, devPort)
+	defer cm11a.Close()
+	controller := x10.NewController(pcPort)
+	defer controller.Close()
+	wall := x10.NewApplianceModule(line, x10.Address{House: 'B', Unit: 1})
+	defer wall.Close()
+	fmt.Println("x10: CM11A attached to the powerline")
+
+	// --- The framework: one federation, two networks, two PCMs. -------
+	fed, err := homeconnect.New()
+	must(err)
+	defer fed.Close()
+
+	jiniNet, err := fed.AddNetwork("jini-net")
+	must(err)
+	must(jiniNet.Attach(ctx, jinipcm.New(lookup.Addr())))
+
+	x10Net, err := fed.AddNetwork("x10-net")
+	must(err)
+	must(x10Net.Attach(ctx, x10pcm.New(x10pcm.Config{
+		Controller: controller,
+		Devices: []x10pcm.DeviceConfig{
+			{Name: "wall-1", Addr: x10.Address{House: 'B', Unit: 1}, Kind: x10pcm.Appliance},
+		},
+	})))
+
+	// Wait until both services surface in the Virtual Service Repository.
+	for {
+		services, err := fed.Services(ctx)
+		must(err)
+		if len(services) >= 2 {
+			fmt.Println("vsr: services visible:")
+			for _, s := range services {
+				fmt.Printf("  %-16s middleware=%-5s interface=%s\n",
+					s.Desc.ID, s.Desc.Middleware, s.Desc.Interface.Name)
+			}
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// --- A federation client controls both, transparently. ------------
+	_, err = fed.Call(ctx, "x10:wall-1", "On")
+	must(err)
+	fmt.Printf("federation → x10:wall-1 On: module is now on=%v\n", wall.On())
+
+	_, err = fed.Call(ctx, "jini:desklamp", "On")
+	must(err)
+	state, err := fed.Call(ctx, "jini:desklamp", "IsOn")
+	must(err)
+	fmt.Printf("federation → jini:desklamp On: IsOn=%v\n", state.Bool())
+
+	// --- A legacy Jini client reaches the X10 module natively. --------
+	var x10Proxy jini.ProxyDescriptor
+	for {
+		items, err := reg.Lookup(ctx, jini.ServiceTemplate{IfaceName: "X10Appliance"})
+		must(err)
+		if len(items) == 1 {
+			x10Proxy = items[0].Proxy
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	_, err = jini.Call(ctx, x10Proxy, "Off", nil)
+	must(err)
+	fmt.Printf("jini client → X10 module Off through the server proxy: on=%v\n", wall.On())
+
+	fmt.Println("quickstart complete")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

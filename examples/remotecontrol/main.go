@@ -1,0 +1,75 @@
+// Universal Remote Controller — the application of the paper's Figure 5.
+// An X10 hand-held remote controls not only X10 devices but also a Jini
+// Laserdisc player and a HAVi DV camera, because the X10 PCM maps remote
+// keys to remote federation services. "We could develop this application
+// without any difficulties since VSGs and PCMs hide the differentiation
+// between these middleware" (§4.2).
+//
+//	go run ./examples/remotecontrol
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"homeconnect/internal/sim"
+	"homeconnect/internal/x10"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	fmt.Println("bringing up the simulated home (Jini + X10 + HAVi + mail)...")
+	home, err := sim.NewHome(ctx, sim.Prototype())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer home.Close()
+	if err := home.WaitForServices(ctx, 7); err != nil {
+		log.Fatal(err)
+	}
+	ids, _ := home.ServiceIDs(ctx)
+	fmt.Printf("federation services: %v\n\n", ids)
+
+	press := func(unit x10.UnitCode, fn x10.Function, what string) {
+		fmt.Printf("remote: press key %d %v  (%s)\n", unit, fn, what)
+		if err := home.Remote.Press(unit, fn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	waitState := func(what string, cond func() bool) {
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				log.Fatalf("timed out waiting: %s", what)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fmt.Printf("        → %s\n", what)
+	}
+
+	// Key 1: a plain X10 lamp — native X10, no conversion.
+	press(sim.LampAddr.Unit, x10.On, "the X10 lamp itself")
+	waitState("x10 lamp is on", func() bool { return home.Lamp.On() })
+
+	// Key 2: the Jini Laserdisc — X10 → SOAP → Jini conversion.
+	press(sim.RemoteLaserdiscUnit, x10.On, "bound to jini:laserdisc-1 Play")
+	waitState("laserdisc is playing", func() bool { return home.Laserdisc.State() == "playing" })
+
+	// Key 3: the HAVi DV camera — X10 → SOAP → HAVi conversion.
+	press(sim.RemoteCameraUnit, x10.On, "bound to havi:dvcam-cam1 StartCapture")
+	waitState("camera is capturing", func() bool { return home.Camera.State() == "capturing" })
+
+	// And everything off again.
+	press(sim.RemoteCameraUnit, x10.Off, "stop the camera")
+	waitState("camera stopped", func() bool { return home.Camera.State() == "stopped" })
+	press(sim.RemoteLaserdiscUnit, x10.Off, "stop the laserdisc")
+	waitState("laserdisc stopped", func() bool { return home.Laserdisc.State() == "stopped" })
+	press(sim.LampAddr.Unit, x10.Off, "lamp off")
+	waitState("x10 lamp is off", func() bool { return !home.Lamp.On() })
+
+	fmt.Println("\none remote, three middleware — universal remote controller complete")
+}

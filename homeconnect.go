@@ -1,0 +1,114 @@
+// Package homeconnect is a framework for connecting home computing
+// middleware, reproducing Tokunaga et al., "A Framework for Connecting
+// Home Computing Middleware" (ICDCS Workshops 2002).
+//
+// A federation is built from three kinds of components, one set per
+// middleware network:
+//
+//   - the Virtual Service Repository (VSR) stores every service's
+//     interface (as WSDL), location and context (in a UDDI-style
+//     registry);
+//   - each network's Virtual Service Gateway (VSG) speaks SOAP 1.1 over
+//     HTTP to the other gateways and hosts a SOAP endpoint per exported
+//     service;
+//   - each middleware's Protocol Conversion Manager (PCM) converts
+//     between the native protocol and the gateway: its Client Proxy
+//     exports local services to the federation and its Server Proxy
+//     plants native stand-ins for every remote service, so unmodified
+//     legacy clients and services interoperate.
+//
+// Quick start:
+//
+//	fed, err := homeconnect.New()
+//	if err != nil { ... }
+//	defer fed.Close()
+//	net, err := fed.AddNetwork("livingroom")
+//	if err != nil { ... }
+//	err = net.Attach(ctx, jinipcm.New(lookupAddr))
+//	...
+//	result, err := fed.Call(ctx, "jini:lamp-1", "On")
+//
+// The concrete PCMs live in internal/bridge; the middleware simulations
+// they convert (Jini, HAVi on IEEE 1394, X10 behind a CM11A, SMTP/POP3
+// mail, UPnP) live in their own internal packages. See DESIGN.md for the
+// full inventory and EXPERIMENTS.md for the reproduction results.
+package homeconnect
+
+import (
+	"homeconnect/internal/core"
+	"homeconnect/internal/service"
+)
+
+// Federation is a running instance of the framework: one Virtual Service
+// Repository plus any number of middleware networks.
+type Federation = core.Federation
+
+// Network is one middleware network: a Virtual Service Gateway plus its
+// attached Protocol Conversion Managers.
+type Network = core.Network
+
+// New starts a federation with its own repository.
+func New() (*Federation, error) { return core.NewFederation() }
+
+// Service model re-exports: the middleware-neutral types every PCM
+// converts to and from.
+type (
+	// Value is a dynamically typed service argument or result.
+	Value = service.Value
+	// Kind identifies a Value's wire type.
+	Kind = service.Kind
+	// Parameter is a named, typed operation input.
+	Parameter = service.Parameter
+	// Operation is one callable operation of an interface.
+	Operation = service.Operation
+	// Interface is a named set of operations.
+	Interface = service.Interface
+	// Description advertises one service to the federation.
+	Description = service.Description
+	// Invoker is the uniform calling convention for all proxies.
+	Invoker = service.Invoker
+	// InvokerFunc adapts a function to Invoker.
+	InvokerFunc = service.InvokerFunc
+	// Event is a middleware-neutral asynchronous notification.
+	Event = service.Event
+)
+
+// Value kinds.
+const (
+	KindVoid   = service.KindVoid
+	KindString = service.KindString
+	KindInt    = service.KindInt
+	KindFloat  = service.KindFloat
+	KindBool   = service.KindBool
+	KindBytes  = service.KindBytes
+)
+
+// Value constructors.
+var (
+	// Void returns the void value.
+	Void = service.Void
+	// String returns a string value.
+	String = service.StringValue
+	// Int returns an integer value.
+	Int = service.IntValue
+	// Float returns a floating-point value.
+	Float = service.FloatValue
+	// Bool returns a boolean value.
+	Bool = service.BoolValue
+	// Bytes returns a binary value.
+	Bytes = service.BytesValue
+)
+
+// Well-known errors, testable with errors.Is across middleware and
+// gateway boundaries.
+var (
+	// ErrNoSuchService reports an unknown federation service ID.
+	ErrNoSuchService = service.ErrNoSuchService
+	// ErrNoSuchOperation reports an operation outside the interface.
+	ErrNoSuchOperation = service.ErrNoSuchOperation
+	// ErrBadArgument reports an arity or type mismatch.
+	ErrBadArgument = service.ErrBadArgument
+	// ErrUnavailable reports a reachable-in-principle service that cannot
+	// currently be called (gateway down, lease lapsed, device detached).
+	ErrUnavailable = service.ErrUnavailable
+)

@@ -1,0 +1,102 @@
+package homeconnect_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"homeconnect"
+)
+
+// TestPublicAPI drives the package through its public face only: build a
+// federation, export a service on one network, call it from another.
+func TestPublicAPI(t *testing.T) {
+	fed, err := homeconnect.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	kitchen, err := fed.AddNetwork("kitchen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.AddNetwork("livingroom"); err != nil {
+		t.Fatal(err)
+	}
+
+	desc := homeconnect.Description{
+		ID:         "demo:thermostat",
+		Name:       "thermostat",
+		Middleware: "demo",
+		Interface: homeconnect.Interface{
+			Name: "Thermostat",
+			Operations: []homeconnect.Operation{
+				{Name: "Set", Inputs: []homeconnect.Parameter{{Name: "celsius", Type: homeconnect.KindFloat}}, Output: homeconnect.KindVoid},
+				{Name: "Get", Output: homeconnect.KindFloat},
+			},
+		},
+	}
+	var temp float64 = 20
+	impl := homeconnect.InvokerFunc(func(_ context.Context, op string, args []homeconnect.Value) (homeconnect.Value, error) {
+		switch op {
+		case "Set":
+			temp = args[0].Float()
+			return homeconnect.Void(), nil
+		case "Get":
+			return homeconnect.Float(temp), nil
+		}
+		return homeconnect.Value{}, homeconnect.ErrNoSuchOperation
+	})
+	if err := kitchen.Gateway().Export(ctx, desc, impl); err != nil {
+		t.Fatal(err)
+	}
+
+	// Call through the other network's gateway.
+	gw := fed.Network("livingroom").Gateway()
+	if _, err := gw.Call(ctx, "demo:thermostat", "Set", []homeconnect.Value{homeconnect.Float(22.5)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fed.Call(ctx, "demo:thermostat", "Get")
+	if err != nil || got.Float() != 22.5 {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+
+	// Error identities survive the public boundary.
+	if _, err := fed.Call(ctx, "demo:thermostat", "Explode"); !errors.Is(err, homeconnect.ErrNoSuchOperation) {
+		t.Errorf("unknown op: %v", err)
+	}
+	if _, err := fed.Call(ctx, "demo:ghost", "Get"); !errors.Is(err, homeconnect.ErrNoSuchService) {
+		t.Errorf("unknown service: %v", err)
+	}
+	if _, err := fed.Call(ctx, "demo:thermostat", "Set", homeconnect.String("hot")); !errors.Is(err, homeconnect.ErrBadArgument) {
+		t.Errorf("bad arg: %v", err)
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if homeconnect.String("x").Str() != "x" {
+		t.Error("String")
+	}
+	if homeconnect.Int(4).Int() != 4 {
+		t.Error("Int")
+	}
+	if homeconnect.Float(0.5).Float() != 0.5 {
+		t.Error("Float")
+	}
+	if !homeconnect.Bool(true).Bool() {
+		t.Error("Bool")
+	}
+	if got := homeconnect.Bytes([]byte{1}).Bytes(); len(got) != 1 || got[0] != 1 {
+		t.Error("Bytes")
+	}
+	if !homeconnect.Void().IsVoid() {
+		t.Error("Void")
+	}
+	if homeconnect.String("x").Kind() != homeconnect.KindString {
+		t.Error("Kind")
+	}
+}

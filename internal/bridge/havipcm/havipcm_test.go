@@ -1,0 +1,151 @@
+package havipcm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/havi"
+	"homeconnect/internal/ieee1394"
+	"homeconnect/internal/service"
+)
+
+func TestFCMInterfaceTable(t *testing.T) {
+	types := []string{"VCR", "Camera", "Tuner", "Display", "Amplifier"}
+	for _, ft := range types {
+		iface, opcodes, ok := fcmInterface(ft)
+		if !ok {
+			t.Fatalf("no interface for FCM type %s", ft)
+		}
+		if err := iface.Validate(); err != nil {
+			t.Errorf("%s interface invalid: %v", ft, err)
+		}
+		// Every operation needs an opcode mapping.
+		for _, op := range iface.Operations {
+			if _, ok := opcodes[op.Name]; !ok {
+				t.Errorf("%s operation %s has no opcode", ft, op.Name)
+			}
+		}
+		if len(opcodes) != len(iface.Operations) {
+			t.Errorf("%s: %d opcodes for %d operations", ft, len(opcodes), len(iface.Operations))
+		}
+	}
+	if _, _, ok := fcmInterface("Toaster"); ok {
+		t.Error("unknown FCM type mapped")
+	}
+}
+
+// TestPCMExportsAndImports runs the PCM on a real bus with a VCR and
+// checks both directions.
+func TestPCMExportsAndImports(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	bus := ieee1394.NewBus()
+	vcrDev := havi.NewDevice(bus, 0xB0001, "vcr")
+	defer vcrDev.Close()
+	vcr := havi.NewVCR(vcrDev, "vcr1")
+
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	gw := vsg.New("havi-net", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	p := New(bus, 0xFC001)
+	if err := p.Start(ctx, gw); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Stop() }()
+
+	// CP: the VCR appears and is controllable.
+	waitFor(t, func() bool {
+		_, err := gw.VSR().Lookup(ctx, "havi:vcr-vcr1")
+		return err == nil
+	})
+	if _, err := gw.Call(ctx, "havi:vcr-vcr1", "Record", nil); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if vcr.State() != havi.StateRecording {
+		t.Errorf("vcr state = %s", vcr.State())
+	}
+	got, err := gw.Call(ctx, "havi:vcr-vcr1", "State", nil)
+	if err != nil || got.Str() != havi.StateRecording {
+		t.Errorf("State = %v, %v", got, err)
+	}
+
+	// SP: a synthetic remote service appears as a virtual element.
+	gw2 := vsg.New("other-net", srv.URL())
+	if err := gw2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw2.Close()
+	desc := service.Description{
+		ID: "synth:adder", Name: "adder", Middleware: "synth",
+		Interface: service.Interface{Name: "Adder", Operations: []service.Operation{
+			{Name: "Add", Inputs: []service.Parameter{
+				{Name: "a", Type: service.KindInt}, {Name: "b", Type: service.KindInt},
+			}, Output: service.KindInt},
+		}},
+	}
+	adder := service.InvokerFunc(func(_ context.Context, _ string, args []service.Value) (service.Value, error) {
+		return service.IntValue(args[0].Int() + args[1].Int()), nil
+	})
+	if err := gw2.Export(ctx, desc, adder); err != nil {
+		t.Fatal(err)
+	}
+
+	// A plain HAVi client finds and calls it.
+	client := havi.NewDevice(bus, 0xC0C0A, "client")
+	defer client.Close()
+	var target havi.SEID
+	waitFor(t, func() bool {
+		infos, err := client.Query(ctx, map[string]string{AttrOrigin: "synth:adder"})
+		if err != nil || len(infos) != 1 {
+			return false
+		}
+		target = infos[0].SEID
+		return true
+	})
+	vals, err := InvokeVirtual(ctx, client, target, "Add", int64(2), int64(40))
+	if err != nil || len(vals) != 1 || vals[0].(int64) != 42 {
+		t.Fatalf("InvokeVirtual = %v, %v", vals, err)
+	}
+
+	// Error paths through the virtual element.
+	if _, err := InvokeVirtual(ctx, client, target, "Nope"); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := InvokeVirtual(ctx, client, target, "Add", int64(1)); err == nil {
+		t.Error("arity error accepted")
+	}
+
+	// Loop guard: the virtual element must not be re-exported.
+	remotes, err := gw.List(ctx, vsr.Query{Middleware: "havi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range remotes {
+		if r.Desc.ID != "havi:vcr-vcr1" {
+			t.Errorf("leaked virtual element: %s", r.Desc.ID)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,200 @@
+package jinipcm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/jini"
+	"homeconnect/internal/service"
+)
+
+func TestInterfaceSpecRoundTrip(t *testing.T) {
+	spec := jini.InterfaceSpec{
+		Name: "Laserdisc",
+		Methods: []jini.MethodSpec{
+			{Name: "Play"},
+			{Name: "SetChapter", Params: []string{"int"}},
+			{Name: "Describe", Params: []string{"string", "bool"}, Return: "string"},
+			{Name: "Dump", Return: "bytes"},
+			{Name: "Gain", Return: "float"},
+		},
+	}
+	iface, err := InterfaceFromSpec(spec)
+	if err != nil {
+		t.Fatalf("InterfaceFromSpec: %v", err)
+	}
+	if len(iface.Operations) != 5 {
+		t.Fatalf("operations = %d", len(iface.Operations))
+	}
+	op, _ := iface.Operation("Describe")
+	if op.Output != service.KindString || len(op.Inputs) != 2 || op.Inputs[1].Type != service.KindBool {
+		t.Errorf("Describe = %+v", op)
+	}
+	play, _ := iface.Operation("Play")
+	if play.Output != service.KindVoid {
+		t.Errorf("Play output = %v", play.Output)
+	}
+
+	back := SpecFromInterface(iface)
+	if len(back.Methods) != len(spec.Methods) {
+		t.Fatalf("round trip lost methods: %+v", back)
+	}
+	for i := range spec.Methods {
+		if back.Methods[i].Name != spec.Methods[i].Name || back.Methods[i].Return != spec.Methods[i].Return {
+			t.Errorf("method %d: %+v != %+v", i, back.Methods[i], spec.Methods[i])
+		}
+		if len(back.Methods[i].Params) != len(spec.Methods[i].Params) {
+			t.Errorf("method %d params: %v != %v", i, back.Methods[i].Params, spec.Methods[i].Params)
+		}
+	}
+}
+
+func TestInterfaceFromSpecRejectsBadKinds(t *testing.T) {
+	bad := []jini.InterfaceSpec{
+		{Name: "X", Methods: []jini.MethodSpec{{Name: "M", Return: "tuple"}}},
+		{Name: "X", Methods: []jini.MethodSpec{{Name: "M", Params: []string{"void"}}}},
+		{Name: "X", Methods: []jini.MethodSpec{{Name: "M", Params: []string{"complex"}}}},
+	}
+	for i, spec := range bad {
+		if _, err := InterfaceFromSpec(spec); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestPCMBothDirections runs the PCM against a real lookup service and
+// gateway: a native Jini echo service becomes a federation service (CP),
+// and a synthetic remote service becomes a Jini service (SP).
+func TestPCMBothDirections(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	lookup := jini.NewLookupService()
+	if err := lookup.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer lookup.Close()
+	exporter := jini.NewExporter()
+	if err := exporter.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer exporter.Close()
+
+	// Native Jini echo service.
+	spec := jini.InterfaceSpec{Name: "Echo", Methods: []jini.MethodSpec{
+		{Name: "Echo", Params: []string{"string"}, Return: "string"},
+	}}
+	proxy := exporter.Export(spec, jini.InvocableFunc(func(_ string, args []any) (any, error) {
+		return args[0].(string) + "!", nil
+	}))
+	reg, err := jini.Discover(ctx, lookup.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(ctx, jini.ServiceItem{
+		Proxy: proxy,
+		Attrs: []jini.Entry{{Name: EntryName, Value: "echo-1"}},
+	}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gateway + PCM.
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	gw := vsg.New("jini-net", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	p := New(lookup.Addr())
+	if err := p.Start(ctx, gw); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Stop() }()
+
+	// CP: the federation reaches the native echo service.
+	waitFor(t, func() bool {
+		_, err := gw.VSR().Lookup(ctx, "jini:echo-1")
+		return err == nil
+	})
+	got, err := gw.Call(ctx, "jini:echo-1", "Echo", []service.Value{service.StringValue("hi")})
+	if err != nil || got.Str() != "hi!" {
+		t.Fatalf("CP call = %v, %v", got, err)
+	}
+
+	// SP: publish a synthetic remote service; it must appear as a Jini
+	// service with the imported tag.
+	remoteDesc := service.Description{
+		ID: "synth:upper", Name: "upper", Middleware: "synth",
+		Interface: service.Interface{Name: "Upper", Operations: []service.Operation{
+			{Name: "Up", Inputs: []service.Parameter{{Name: "v", Type: service.KindString}}, Output: service.KindString},
+		}},
+		Context: map[string]string{service.CtxNetwork: "other-net"},
+	}
+	gw2 := vsg.New("other-net", srv.URL())
+	if err := gw2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw2.Close()
+	upper := service.InvokerFunc(func(_ context.Context, _ string, args []service.Value) (service.Value, error) {
+		s := args[0].Str()
+		out := make([]byte, len(s))
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c >= 'a' && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			out[i] = c
+		}
+		return service.StringValue(string(out)), nil
+	})
+	if err := gw2.Export(ctx, remoteDesc, upper); err != nil {
+		t.Fatal(err)
+	}
+
+	var spProxy jini.ProxyDescriptor
+	waitFor(t, func() bool {
+		items, err := reg.Lookup(ctx, jini.ServiceTemplate{IfaceName: "Upper"})
+		if err != nil || len(items) != 1 {
+			return false
+		}
+		spProxy = items[0].Proxy
+		return true
+	})
+	res, err := jini.Call(ctx, spProxy, "Up", []any{"abc"})
+	if err != nil || res.(string) != "ABC" {
+		t.Fatalf("SP call = %v, %v", res, err)
+	}
+	if p.OfferedCount() != 1 {
+		t.Errorf("OfferedCount = %d", p.OfferedCount())
+	}
+
+	// The SP registration must not be re-exported by the CP (loop
+	// guard): only the two genuine services exist in the repository.
+	remotes, err := gw.List(ctx, vsr.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range remotes {
+		if r.Desc.Middleware == "jini" && r.Desc.ID != "jini:echo-1" {
+			t.Errorf("leaked server proxy into the repository: %s", r.Desc.ID)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

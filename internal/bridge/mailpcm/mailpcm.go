@@ -1,0 +1,213 @@
+// Package mailpcm is the Protocol Conversion Manager for the Internet
+// Mail service — the fourth middleware in the paper's prototype (§4.1),
+// demonstrating §2's point that service integration spans Internet
+// services, not just appliances.
+//
+// Client Proxy direction: the PCM exports a "mail:outbox" service whose
+// Send operation submits mail through SMTP, so any appliance on any
+// middleware can send notifications (the autorecord example mails the
+// user when a recording starts).
+//
+// Server Proxy direction: the PCM polls a command mailbox over POP3.
+// Messages whose subject reads "invoke <service-id> <operation>" are
+// executed against the federation — one text argument per body line —
+// and the result is mailed back to the sender. Store-and-forward command
+// execution, exactly how early home-automation gateways integrated mail.
+package mailpcm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/mail"
+	"homeconnect/internal/service"
+)
+
+// Config wires the PCM to its mail infrastructure.
+type Config struct {
+	// SMTPAddr is the outgoing mail server.
+	SMTPAddr string
+	// POP3Addr is the retrieval server for the command mailbox.
+	POP3Addr string
+	// CommandAddr is the mailbox watched for "invoke" commands.
+	CommandAddr string
+	// FromAddr is the sender identity for outgoing mail.
+	FromAddr string
+	// PollInterval between mailbox checks; pcm.DefaultSyncInterval if 0.
+	PollInterval time.Duration
+}
+
+// PCM bridges mail to the federation.
+type PCM struct {
+	cfg    Config
+	runner pcm.Runner
+	exp    *pcm.Exporter
+}
+
+// New builds the PCM from configuration.
+func New(cfg Config) *PCM {
+	if cfg.FromAddr == "" {
+		cfg.FromAddr = cfg.CommandAddr
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = pcm.DefaultSyncInterval
+	}
+	return &PCM{cfg: cfg}
+}
+
+// Middleware implements pcm.PCM.
+func (p *PCM) Middleware() string { return "mail" }
+
+// Start implements pcm.PCM.
+func (p *PCM) Start(ctx context.Context, gw *vsg.VSG) error {
+	if p.cfg.SMTPAddr == "" || p.cfg.POP3Addr == "" || p.cfg.CommandAddr == "" {
+		return fmt.Errorf("mailpcm: SMTPAddr, POP3Addr and CommandAddr are required")
+	}
+	runCtx := p.runner.Start(ctx)
+
+	p.exp = &pcm.Exporter{List: p.listLocal}
+	p.runner.Go(func() { p.exp.Run(runCtx, gw) })
+	p.runner.Go(func() { p.commandLoop(runCtx, gw) })
+	return nil
+}
+
+// Stop implements pcm.PCM.
+func (p *PCM) Stop() error {
+	p.runner.Stop()
+	return nil
+}
+
+// outboxInterface is the CP-exported mail service.
+func outboxInterface() service.Interface {
+	return service.Interface{
+		Name: "Mailer",
+		Doc:  "Outgoing Internet mail",
+		Operations: []service.Operation{
+			{
+				Name: "Send",
+				Doc:  "Send a mail message",
+				Inputs: []service.Parameter{
+					{Name: "to", Type: service.KindString},
+					{Name: "subject", Type: service.KindString},
+					{Name: "body", Type: service.KindString},
+				},
+				Output: service.KindVoid,
+			},
+		},
+	}
+}
+
+func (p *PCM) listLocal(ctx context.Context) ([]pcm.LocalService, error) {
+	desc := service.Description{
+		ID:         "mail:outbox",
+		Name:       "outbox",
+		Middleware: "mail",
+		Interface:  outboxInterface(),
+		Context:    map[string]string{"mail.from": p.cfg.FromAddr},
+	}
+	inv := service.InvokerFunc(func(_ context.Context, op string, args []service.Value) (service.Value, error) {
+		if op != "Send" {
+			return service.Value{}, fmt.Errorf("%s: %w", op, service.ErrNoSuchOperation)
+		}
+		err := mail.Send(p.cfg.SMTPAddr, mail.Message{
+			From:    p.cfg.FromAddr,
+			To:      args[0].Str(),
+			Subject: args[1].Str(),
+			Body:    args[2].Str(),
+		})
+		if err != nil {
+			return service.Value{}, fmt.Errorf("mailpcm: %w", err)
+		}
+		return service.Void(), nil
+	})
+	return []pcm.LocalService{{Desc: desc, Invoker: inv}}, nil
+}
+
+// commandLoop polls the command mailbox and executes invoke commands.
+func (p *PCM) commandLoop(ctx context.Context, gw *vsg.VSG) {
+	ticker := time.NewTicker(p.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			msgs, err := mail.Fetch(p.cfg.POP3Addr, p.cfg.CommandAddr, true)
+			if err != nil {
+				continue // mail server hiccup; retry next poll
+			}
+			for _, m := range msgs {
+				p.execute(ctx, gw, m)
+			}
+		}
+	}
+}
+
+// ParseCommand extracts (serviceID, op, args) from a command message.
+// Exposed for the homectl mail tooling and tests.
+func ParseCommand(m mail.Message) (serviceID, op string, args []string, err error) {
+	fields := strings.Fields(m.Subject)
+	if len(fields) != 3 || !strings.EqualFold(fields[0], "invoke") {
+		return "", "", nil, fmt.Errorf("mailpcm: subject %q is not 'invoke <service> <op>'", m.Subject)
+	}
+	for _, line := range strings.Split(m.Body, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			args = append(args, line)
+		}
+	}
+	return fields[1], fields[2], args, nil
+}
+
+// execute runs one command message and mails the outcome back.
+func (p *PCM) execute(ctx context.Context, gw *vsg.VSG, m mail.Message) {
+	reply := func(subject, body string) {
+		if m.From == "" {
+			return
+		}
+		_ = mail.Send(p.cfg.SMTPAddr, mail.Message{
+			From:    p.cfg.FromAddr,
+			To:      m.From,
+			Subject: subject,
+			Body:    body,
+		})
+	}
+	serviceID, op, textArgs, err := ParseCommand(m)
+	if err != nil {
+		reply("error: "+m.Subject, err.Error())
+		return
+	}
+	remote, err := gw.Resolve(ctx, serviceID)
+	if err != nil {
+		reply("error: "+m.Subject, err.Error())
+		return
+	}
+	opSpec, ok := remote.Desc.Interface.Operation(op)
+	if !ok {
+		reply("error: "+m.Subject, fmt.Sprintf("service %s has no operation %s", serviceID, op))
+		return
+	}
+	args, err := service.CoerceArgs(opSpec, textArgs)
+	if err != nil {
+		reply("error: "+m.Subject, err.Error())
+		return
+	}
+	callCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	result, err := gw.CallRemote(callCtx, remote, op, args)
+	cancel()
+	if err != nil {
+		reply("error: "+m.Subject, err.Error())
+		return
+	}
+	body := "ok"
+	if !result.IsVoid() {
+		body = result.Text()
+	}
+	reply("result: "+m.Subject, body)
+}
+
+var _ pcm.PCM = (*PCM)(nil)

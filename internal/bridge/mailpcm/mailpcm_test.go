@@ -1,0 +1,70 @@
+package mailpcm
+
+import (
+	"testing"
+
+	"homeconnect/internal/mail"
+)
+
+func TestParseCommand(t *testing.T) {
+	tests := []struct {
+		subject string
+		body    string
+		wantSvc string
+		wantOp  string
+		args    []string
+		ok      bool
+	}{
+		{"invoke x10:lamp-1 On", "", "x10:lamp-1", "On", nil, true},
+		{"invoke havi:vcr-vcr1 SetChannel", "12", "havi:vcr-vcr1", "SetChannel", []string{"12"}, true},
+		{"INVOKE a:b Op", "one\ntwo\n", "a:b", "Op", []string{"one", "two"}, true},
+		{"invoke a:b Op", "  padded  \n\n", "a:b", "Op", []string{"padded"}, true},
+		{"hello there", "", "", "", nil, false},
+		{"invoke onlyservice", "", "", "", nil, false},
+		{"invoke a b c d", "", "", "", nil, false},
+		{"", "", "", "", nil, false},
+	}
+	for _, tt := range tests {
+		svc, op, args, err := ParseCommand(mail.Message{Subject: tt.subject, Body: tt.body})
+		if tt.ok {
+			if err != nil {
+				t.Errorf("ParseCommand(%q): %v", tt.subject, err)
+				continue
+			}
+			if svc != tt.wantSvc || op != tt.wantOp {
+				t.Errorf("ParseCommand(%q) = %s.%s", tt.subject, svc, op)
+			}
+			if len(args) != len(tt.args) {
+				t.Errorf("ParseCommand(%q) args = %v, want %v", tt.subject, args, tt.args)
+				continue
+			}
+			for i := range args {
+				if args[i] != tt.args[i] {
+					t.Errorf("arg %d = %q, want %q", i, args[i], tt.args[i])
+				}
+			}
+		} else if err == nil {
+			t.Errorf("ParseCommand(%q) accepted", tt.subject)
+		}
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	p := New(Config{SMTPAddr: "a", POP3Addr: "b", CommandAddr: "cmd@h"})
+	if p.cfg.FromAddr != "cmd@h" {
+		t.Errorf("FromAddr default = %q", p.cfg.FromAddr)
+	}
+	if p.cfg.PollInterval <= 0 {
+		t.Error("PollInterval not defaulted")
+	}
+	if p.Middleware() != "mail" {
+		t.Errorf("Middleware = %q", p.Middleware())
+	}
+}
+
+func TestStartRequiresConfig(t *testing.T) {
+	p := New(Config{})
+	if err := p.Start(nil, nil); err == nil { //nolint:staticcheck // nil ctx fine: fails before use
+		t.Error("Start without config accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package upnppcm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+	"homeconnect/internal/upnp"
+)
+
+func TestInterfaceActionConversionRoundTrip(t *testing.T) {
+	actions := []upnp.Action{
+		{Name: "SetTarget", In: []upnp.Arg{{Name: "newTargetValue", Type: service.KindBool}}},
+		{Name: "GetStatus", Out: service.KindBool},
+		{Name: "Configure", In: []upnp.Arg{
+			{Name: "name", Type: service.KindString},
+			{Name: "level", Type: service.KindInt},
+		}, Out: service.KindString},
+	}
+	iface, err := InterfaceFromActions("SwitchPower", actions)
+	if err != nil {
+		t.Fatalf("InterfaceFromActions: %v", err)
+	}
+	if len(iface.Operations) != 3 {
+		t.Fatalf("operations = %d", len(iface.Operations))
+	}
+	set, _ := iface.Operation("SetTarget")
+	if set.Output != service.KindVoid || len(set.Inputs) != 1 {
+		t.Errorf("SetTarget = %+v", set)
+	}
+	back := ActionsFromInterface(iface)
+	if len(back) != 3 {
+		t.Fatalf("round trip = %d actions", len(back))
+	}
+	for i := range actions {
+		if back[i].Name != actions[i].Name || len(back[i].In) != len(actions[i].In) {
+			t.Errorf("action %d: %+v != %+v", i, back[i], actions[i])
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := serviceTypeName("urn:schemas-upnp-org:service:SwitchPower:1"); got != "SwitchPower" {
+		t.Errorf("serviceTypeName = %q", got)
+	}
+	if got := shortServiceID("urn:upnp-org:serviceId:SwitchPower"); got != "SwitchPower" {
+		t.Errorf("shortServiceID = %q", got)
+	}
+	if got := sanitize("x10:lamp 1/a"); got != "x10-lamp-1-a" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+// TestPCMBothDirections: a real UPnP light joins the federation, and a
+// synthetic remote service becomes a discoverable virtual UPnP device.
+func TestPCMBothDirections(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	light, state := upnp.NewBinaryLight("hall")
+	if err := light.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer light.Close()
+
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	gw := vsg.New("upnp-net", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	p := New(Config{SSDPAddrs: []string{light.SSDPAddr()}})
+	if err := p.Start(ctx, gw); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Stop() }()
+
+	// CP: the light is callable from the federation.
+	waitFor(t, func() bool {
+		_, err := gw.VSR().Lookup(ctx, "upnp:hall-SwitchPower")
+		return err == nil
+	})
+	if _, err := gw.Call(ctx, "upnp:hall-SwitchPower", "SetTarget", []service.Value{service.BoolValue(true)}); err != nil {
+		t.Fatalf("SetTarget: %v", err)
+	}
+	if !state.On() {
+		t.Error("light not on")
+	}
+
+	// SP: a synthetic remote service becomes a virtual UPnP device.
+	gw2 := vsg.New("other-net", srv.URL())
+	if err := gw2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw2.Close()
+	desc := service.Description{
+		ID: "synth:clock", Name: "clock", Middleware: "synth",
+		Interface: service.Interface{Name: "Clock", Operations: []service.Operation{
+			{Name: "Now", Output: service.KindString},
+		}},
+	}
+	inv := service.InvokerFunc(func(context.Context, string, []service.Value) (service.Value, error) {
+		return service.StringValue("2002-07-02T12:00:00Z"), nil
+	})
+	if err := gw2.Export(ctx, desc, inv); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, func() bool { return len(p.VirtualSSDPAddrs()) == 1 })
+	results, err := upnp.Search(ctx, "ssdp:all", p.VirtualSSDPAddrs())
+	if err != nil || len(results) != 1 {
+		t.Fatalf("Search = %v, %v", results, err)
+	}
+	cp := &upnp.ControlPoint{}
+	pd, services, err := cp.Describe(ctx, results[0].Location)
+	if err != nil || len(services) != 1 {
+		t.Fatalf("Describe = %+v, %v", pd, err)
+	}
+	if pd.FriendlyName != "synth:clock" {
+		t.Errorf("friendly name = %q", pd.FriendlyName)
+	}
+	got, err := cp.Invoke(ctx, services[0], "Now", nil)
+	if err != nil || got.Str() != "2002-07-02T12:00:00Z" {
+		t.Errorf("Invoke = %v, %v", got, err)
+	}
+
+	// Loop guard: the virtual device is not re-exported by the CP scan
+	// even though it answers SSDP (CP scans only the configured real
+	// addresses, and the UDN prefix guards double coverage).
+	remotes, err := gw.List(ctx, vsr.Query{Middleware: "upnp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range remotes {
+		if r.Desc.ID != "upnp:hall-SwitchPower" {
+			t.Errorf("leaked virtual device: %s", r.Desc.ID)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,390 @@
+// Package x10pcm is the Protocol Conversion Manager for X10 — the PCM
+// behind both Figure 4 (a Jini client switching an X10 light through the
+// framework) and Figure 5 (the Universal Remote Controller: an X10 remote
+// driving Jini and HAVi services).
+//
+// X10 modules are not self-describing, so the PCM works from
+// configuration, exactly as real X10 software did:
+//
+//   - Devices lists the modules on the powerline; each is exported to the
+//     federation with a Lamp- or Appliance-shaped interface whose Invoker
+//     drives the CM11A controller (Client Proxy direction). X10 is a
+//     one-way medium, so level/state reads come from shadow state
+//     maintained by the PCM, the standard X10 practice.
+//   - Bindings maps X10 addresses to remote federation services: a
+//     keypress received from the powerline (remote control, motion
+//     sensor) triggers the bound operation through the gateway (Server
+//     Proxy direction — the Universal Remote Controller).
+//   - Every received command is also published on the gateway's event
+//     hub (topic "x10.command", and "motion" for sensor-flagged
+//     addresses), feeding the event-based multimedia system of §4.2.
+package x10pcm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/service"
+	"homeconnect/internal/x10"
+)
+
+// DeviceKind selects the exported interface shape.
+type DeviceKind int
+
+// Device kinds.
+const (
+	// Lamp exports On/Off/SetLevel/Level (dimmable).
+	Lamp DeviceKind = iota + 1
+	// Appliance exports On/Off/State.
+	Appliance
+	// Sensor is receive-only: not exported as a callable service, but
+	// its frames publish "motion" events.
+	Sensor
+)
+
+// DeviceConfig describes one module on the powerline.
+type DeviceConfig struct {
+	Name string
+	Addr x10.Address
+	Kind DeviceKind
+}
+
+// Binding maps one X10 address to an operation on a remote federation
+// service — a key on the Universal Remote Controller.
+type Binding struct {
+	// ServiceID is the remote federation service.
+	ServiceID string
+	// OnOp and OffOp are invoked for X10 On/Off functions at the bound
+	// address. Empty ops are skipped.
+	OnOp  string
+	OffOp string
+	// DimOp, if set, is invoked for Dim/Bright with one int argument:
+	// the new shadow level 0-100.
+	DimOp string
+}
+
+// Config wires the PCM to its powerline hardware.
+type Config struct {
+	// Controller drives the CM11A.
+	Controller *x10.Controller
+	// Devices are the modules to export.
+	Devices []DeviceConfig
+	// Bindings maps addresses to remote operations.
+	Bindings map[x10.Address]Binding
+}
+
+// PCM bridges one X10 powerline to the federation.
+type PCM struct {
+	cfg    Config
+	runner pcm.Runner
+
+	mu sync.Mutex
+	gw *vsg.VSG
+	// shadow holds the PCM's view of each device's level (0-100).
+	shadow map[x10.Address]int
+	// bindLevels tracks dim state per bound address for DimOp.
+	bindLevels map[x10.Address]int
+
+	exp *pcm.Exporter
+}
+
+// New builds the PCM from configuration.
+func New(cfg Config) *PCM {
+	return &PCM{
+		cfg:        cfg,
+		shadow:     make(map[x10.Address]int),
+		bindLevels: make(map[x10.Address]int),
+	}
+}
+
+// Middleware implements pcm.PCM.
+func (p *PCM) Middleware() string { return "x10" }
+
+// Start implements pcm.PCM.
+func (p *PCM) Start(ctx context.Context, gw *vsg.VSG) error {
+	if p.cfg.Controller == nil {
+		return fmt.Errorf("x10pcm: no controller configured")
+	}
+	runCtx := p.runner.Start(ctx)
+	p.mu.Lock()
+	p.gw = gw
+	p.mu.Unlock()
+
+	// Client Proxy direction: configured devices, statically known.
+	p.exp = &pcm.Exporter{List: p.listLocal}
+	p.runner.Go(func() { p.exp.Run(runCtx, gw) })
+
+	// Server Proxy direction: received commands dispatch to bindings and
+	// publish events. The controller invokes handlers on its manage
+	// goroutine, so commands are queued to a worker: off the controller
+	// goroutine (bindings may Send), but still in arrival order —
+	// keypress ordering is semantically meaningful.
+	cmds := make(chan x10.Command, 64)
+	p.runner.Go(func() {
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case cmd := <-cmds:
+				p.handleCommand(runCtx, cmd)
+			}
+		}
+	})
+	p.cfg.Controller.OnCommand(func(cmd x10.Command) {
+		select {
+		case cmds <- cmd:
+		default:
+			// Queue overflow: drop, as a flooded powerline would.
+		}
+	})
+	return nil
+}
+
+// Stop implements pcm.PCM.
+func (p *PCM) Stop() error {
+	p.cfg.Controller.OnCommand(nil)
+	p.runner.Stop()
+	return nil
+}
+
+// interfaces per device kind.
+
+func lampInterface() service.Interface {
+	return service.Interface{
+		Name: "X10Lamp",
+		Doc:  "Dimmable X10 lamp module",
+		Operations: []service.Operation{
+			{Name: "On", Output: service.KindVoid},
+			{Name: "Off", Output: service.KindVoid},
+			{Name: "SetLevel", Inputs: []service.Parameter{{Name: "level", Type: service.KindInt}}, Output: service.KindVoid},
+			{Name: "Level", Output: service.KindInt},
+		},
+	}
+}
+
+func applianceInterface() service.Interface {
+	return service.Interface{
+		Name: "X10Appliance",
+		Doc:  "X10 appliance relay module",
+		Operations: []service.Operation{
+			{Name: "On", Output: service.KindVoid},
+			{Name: "Off", Output: service.KindVoid},
+			{Name: "State", Output: service.KindBool},
+		},
+	}
+}
+
+// listLocal enumerates configured devices; static, but run through the
+// standard exporter so hot-editing configs or future discovery slots in.
+func (p *PCM) listLocal(ctx context.Context) ([]pcm.LocalService, error) {
+	var out []pcm.LocalService
+	for _, d := range p.cfg.Devices {
+		if d.Kind == Sensor {
+			continue
+		}
+		d := d
+		var iface service.Interface
+		switch d.Kind {
+		case Lamp:
+			iface = lampInterface()
+		case Appliance:
+			iface = applianceInterface()
+		default:
+			continue
+		}
+		desc := service.Description{
+			ID:         "x10:" + d.Name,
+			Name:       d.Name,
+			Middleware: "x10",
+			Interface:  iface,
+			Context:    map[string]string{"x10.address": d.Addr.String()},
+		}
+		out = append(out, pcm.LocalService{Desc: desc, Invoker: p.deviceInvoker(d)})
+	}
+	return out, nil
+}
+
+// deviceInvoker generates the CP Invoker for one module: operations
+// become CM11A transmissions plus shadow-state updates.
+func (p *PCM) deviceInvoker(d DeviceConfig) service.Invoker {
+	return service.InvokerFunc(func(ctx context.Context, op string, args []service.Value) (service.Value, error) {
+		switch op {
+		case "On":
+			if err := p.cfg.Controller.Send(ctx, d.Addr, x10.On, 0); err != nil {
+				return service.Value{}, fmt.Errorf("x10pcm: %w", err)
+			}
+			p.setShadow(d.Addr, 100)
+			return service.Void(), nil
+		case "Off":
+			if err := p.cfg.Controller.Send(ctx, d.Addr, x10.Off, 0); err != nil {
+				return service.Value{}, fmt.Errorf("x10pcm: %w", err)
+			}
+			p.setShadow(d.Addr, 0)
+			return service.Void(), nil
+		case "SetLevel":
+			if d.Kind != Lamp {
+				return service.Value{}, fmt.Errorf("SetLevel on non-lamp: %w", service.ErrNoSuchOperation)
+			}
+			target := int(args[0].Int())
+			if target < 0 {
+				target = 0
+			}
+			if target > 100 {
+				target = 100
+			}
+			if err := p.sendLevel(ctx, d.Addr, target); err != nil {
+				return service.Value{}, err
+			}
+			return service.Void(), nil
+		case "Level":
+			return service.IntValue(int64(p.getShadow(d.Addr))), nil
+		case "State":
+			return service.BoolValue(p.getShadow(d.Addr) > 0), nil
+		default:
+			return service.Value{}, fmt.Errorf("%s: %w", op, service.ErrNoSuchOperation)
+		}
+	})
+}
+
+// sendLevel reaches a target level with On + Dim/Bright steps, mirroring
+// how X10 software drives dimmers, and updates shadow state.
+func (p *PCM) sendLevel(ctx context.Context, addr x10.Address, target int) error {
+	current := p.getShadow(addr)
+	if target == current {
+		return nil
+	}
+	if current == 0 && target > 0 {
+		// Lamp modules wake at full brightness.
+		if err := p.cfg.Controller.Send(ctx, addr, x10.On, 0); err != nil {
+			return fmt.Errorf("x10pcm: %w", err)
+		}
+		current = 100
+	}
+	if target == 0 {
+		if err := p.cfg.Controller.Send(ctx, addr, x10.Off, 0); err != nil {
+			return fmt.Errorf("x10pcm: %w", err)
+		}
+		p.setShadow(addr, 0)
+		return nil
+	}
+	delta := target - current
+	fn := x10.Bright
+	if delta < 0 {
+		fn = x10.Dim
+		delta = -delta
+	}
+	steps := byte((delta*x10.MaxDim + 99) / 100)
+	if steps > 0 {
+		if err := p.cfg.Controller.Send(ctx, addr, fn, steps); err != nil {
+			return fmt.Errorf("x10pcm: %w", err)
+		}
+	}
+	p.setShadow(addr, target)
+	return nil
+}
+
+func (p *PCM) setShadow(addr x10.Address, level int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shadow[addr] = level
+}
+
+func (p *PCM) getShadow(addr x10.Address) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shadow[addr]
+}
+
+// handleCommand is the Server Proxy direction: received powerline
+// commands trigger bound remote operations and publish events.
+func (p *PCM) handleCommand(ctx context.Context, cmd x10.Command) {
+	p.mu.Lock()
+	gw := p.gw
+	p.mu.Unlock()
+	if gw == nil || ctx.Err() != nil {
+		return
+	}
+	for _, unit := range cmd.Units {
+		addr := x10.Address{House: cmd.House, Unit: unit}
+		p.publishEvent(gw, addr, cmd)
+		if b, ok := p.cfg.Bindings[addr]; ok {
+			p.dispatchBinding(ctx, gw, addr, b, cmd)
+		}
+	}
+}
+
+// publishEvent feeds the event hub.
+func (p *PCM) publishEvent(gw *vsg.VSG, addr x10.Address, cmd x10.Command) {
+	topic := "x10.command"
+	if p.isSensor(addr) {
+		topic = "motion"
+	}
+	gw.Hub().Publish(service.Event{
+		Source: "x10:" + addr.String(),
+		Topic:  topic,
+		Time:   time.Now(),
+		Payload: map[string]service.Value{
+			"address":  service.StringValue(addr.String()),
+			"function": service.StringValue(cmd.Func.String()),
+			"on":       service.BoolValue(cmd.Func == x10.On || cmd.Func == x10.Bright),
+		},
+	})
+}
+
+func (p *PCM) isSensor(addr x10.Address) bool {
+	for _, d := range p.cfg.Devices {
+		if d.Addr == addr && d.Kind == Sensor {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchBinding invokes the remote operation bound to addr.
+func (p *PCM) dispatchBinding(ctx context.Context, gw *vsg.VSG, addr x10.Address, b Binding, cmd x10.Command) {
+	callCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	switch cmd.Func {
+	case x10.On:
+		if b.OnOp != "" {
+			_, _ = gw.Call(callCtx, b.ServiceID, b.OnOp, nil)
+		}
+		p.mu.Lock()
+		p.bindLevels[addr] = 100
+		p.mu.Unlock()
+	case x10.Off:
+		if b.OffOp != "" {
+			_, _ = gw.Call(callCtx, b.ServiceID, b.OffOp, nil)
+		}
+		p.mu.Lock()
+		p.bindLevels[addr] = 0
+		p.mu.Unlock()
+	case x10.Dim, x10.Bright:
+		if b.DimOp == "" {
+			return
+		}
+		p.mu.Lock()
+		level := p.bindLevels[addr]
+		delta := int(cmd.Dim) * 100 / x10.MaxDim
+		if cmd.Func == x10.Dim {
+			level -= delta
+		} else {
+			level += delta
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level > 100 {
+			level = 100
+		}
+		p.bindLevels[addr] = level
+		p.mu.Unlock()
+		_, _ = gw.Call(callCtx, b.ServiceID, b.DimOp, []service.Value{service.IntValue(int64(level))})
+	}
+}
+
+var _ pcm.PCM = (*PCM)(nil)

@@ -1,0 +1,255 @@
+package x10pcm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+	"homeconnect/internal/x10"
+)
+
+// rig builds a powerline with a CM11A, controller, one lamp and one
+// appliance, a gateway, and the PCM.
+type rig struct {
+	line      *x10.Powerline
+	lamp      *x10.LampModule
+	appliance *x10.ApplianceModule
+	gw        *vsg.VSG
+	pcm       *PCM
+	srv       *vsr.Server
+}
+
+var (
+	lampAddr      = x10.Address{House: 'A', Unit: 1}
+	applianceAddr = x10.Address{House: 'A', Unit: 2}
+	boundAddr     = x10.Address{House: 'A', Unit: 9}
+)
+
+func newRig(t *testing.T, bindings map[x10.Address]Binding) *rig {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	line := x10.NewPowerline()
+	pcPort, devPort := x10.NewLink()
+	dev := x10.NewCM11A(line, devPort)
+	t.Cleanup(dev.Close)
+	ctl := x10.NewController(pcPort)
+	t.Cleanup(ctl.Close)
+	lamp := x10.NewLampModule(line, lampAddr)
+	t.Cleanup(lamp.Close)
+	appliance := x10.NewApplianceModule(line, applianceAddr)
+	t.Cleanup(appliance.Close)
+
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	gw := vsg.New("x10-net", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+
+	p := New(Config{
+		Controller: ctl,
+		Devices: []DeviceConfig{
+			{Name: "lamp-1", Addr: lampAddr, Kind: Lamp},
+			{Name: "fan-1", Addr: applianceAddr, Kind: Appliance},
+			{Name: "pir-1", Addr: x10.Address{House: 'A', Unit: 5}, Kind: Sensor},
+		},
+		Bindings: bindings,
+	})
+	if err := p.Start(ctx, gw); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Stop() })
+
+	r := &rig{line: line, lamp: lamp, appliance: appliance, gw: gw, pcm: p, srv: srv}
+	waitFor(t, func() bool {
+		remotes, err := gw.List(ctx, vsr.Query{Middleware: "x10"})
+		return err == nil && len(remotes) == 2 // sensor is not exported
+	})
+	return r
+}
+
+func TestExportsConfiguredDevices(t *testing.T) {
+	r := newRig(t, nil)
+	ctx := context.Background()
+	remotes, err := r.gw.List(ctx, vsr.Query{Middleware: "x10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]string{}
+	for _, rm := range remotes {
+		byID[rm.Desc.ID] = rm.Desc.Interface.Name
+	}
+	if byID["x10:lamp-1"] != "X10Lamp" || byID["x10:fan-1"] != "X10Appliance" {
+		t.Errorf("exports = %v", byID)
+	}
+}
+
+func TestLampControlAndShadowState(t *testing.T) {
+	r := newRig(t, nil)
+	ctx := context.Background()
+
+	if _, err := r.gw.Call(ctx, "x10:lamp-1", "On", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !r.lamp.On() {
+		t.Error("physical lamp not on")
+	}
+	got, err := r.gw.Call(ctx, "x10:lamp-1", "Level", nil)
+	if err != nil || got.Int() != 100 {
+		t.Errorf("shadow level = %v, %v", got, err)
+	}
+
+	// SetLevel dims using real Dim frames; shadow tracks the target and
+	// the physical module lands near it (X10 dim steps are coarse).
+	if _, err := r.gw.Call(ctx, "x10:lamp-1", "SetLevel", []service.Value{service.IntValue(50)}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = r.gw.Call(ctx, "x10:lamp-1", "Level", nil)
+	if got.Int() != 50 {
+		t.Errorf("shadow after SetLevel = %v", got)
+	}
+	phys := r.lamp.Level()
+	if phys < 40 || phys > 60 {
+		t.Errorf("physical level = %d, want ≈50", phys)
+	}
+
+	if _, err := r.gw.Call(ctx, "x10:lamp-1", "Off", nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.lamp.On() {
+		t.Error("physical lamp not off")
+	}
+}
+
+func TestApplianceControl(t *testing.T) {
+	r := newRig(t, nil)
+	ctx := context.Background()
+	if _, err := r.gw.Call(ctx, "x10:fan-1", "On", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !r.appliance.On() {
+		t.Error("appliance not on")
+	}
+	got, err := r.gw.Call(ctx, "x10:fan-1", "State", nil)
+	if err != nil || !got.Bool() {
+		t.Errorf("State = %v, %v", got, err)
+	}
+	// SetLevel is a lamp operation.
+	if _, err := r.gw.Call(ctx, "x10:fan-1", "SetLevel", []service.Value{service.IntValue(5)}); !errors.Is(err, service.ErrNoSuchOperation) {
+		t.Errorf("SetLevel on appliance: %v", err)
+	}
+}
+
+func TestBindingDispatchesRemoteCalls(t *testing.T) {
+	r := newRig(t, map[x10.Address]Binding{
+		boundAddr: {ServiceID: "synth:player", OnOp: "Play", OffOp: "Stop", DimOp: "SetVolume"},
+	})
+	ctx := context.Background()
+
+	// Host the bound remote service on a second gateway.
+	gw2 := vsg.New("other-net", r.srv.URL())
+	if err := gw2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw2.Close)
+	calls := make(chan recordedCall, 16)
+	desc := service.Description{
+		ID: "synth:player", Name: "player", Middleware: "synth",
+		Interface: service.Interface{Name: "Player", Operations: []service.Operation{
+			{Name: "Play", Output: service.KindVoid},
+			{Name: "Stop", Output: service.KindVoid},
+			{Name: "SetVolume", Inputs: []service.Parameter{{Name: "v", Type: service.KindInt}}, Output: service.KindVoid},
+		}},
+	}
+	inv := service.InvokerFunc(func(_ context.Context, op string, args []service.Value) (service.Value, error) {
+		c := recordedCall{op: op}
+		if len(args) == 1 {
+			c.arg = args[0].Int()
+		}
+		calls <- c
+		return service.Void(), nil
+	})
+	if err := gw2.Export(ctx, desc, inv); err != nil {
+		t.Fatal(err)
+	}
+
+	remote := x10.NewRemote(r.line, 'A')
+	if err := remote.Press(boundAddr.Unit, x10.On); err != nil {
+		t.Fatal(err)
+	}
+	expectCall(t, calls, "Play")
+	if err := remote.Press(boundAddr.Unit, x10.Off); err != nil {
+		t.Fatal(err)
+	}
+	expectCall(t, calls, "Stop")
+
+	// Bright from 0 → volume rises.
+	if err := remote.PressDim(boundAddr.Unit, x10.Bright, 11); err != nil {
+		t.Fatal(err)
+	}
+	got := expectCall(t, calls, "SetVolume")
+	if got.arg != 50 {
+		t.Errorf("SetVolume arg = %d, want 50", got.arg)
+	}
+}
+
+func TestSensorPublishesMotionEvents(t *testing.T) {
+	r := newRig(t, nil)
+	events := make(chan service.Event, 8)
+	stop := r.gw.Hub().Subscribe("motion", func(ev service.Event) { events <- ev })
+	defer stop()
+
+	sensor := x10.NewMotionSensor(r.line, x10.Address{House: 'A', Unit: 5})
+	if err := sensor.Trigger(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Source != "x10:A5" || !ev.Payload["on"].Bool() {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no motion event")
+	}
+}
+
+// recordedCall is one observed invocation on the synthetic bound service.
+type recordedCall struct {
+	op  string
+	arg int64
+}
+
+func expectCall(t *testing.T, calls chan recordedCall, op string) recordedCall {
+	t.Helper()
+	select {
+	case c := <-calls:
+		if c.op != op {
+			t.Fatalf("got call %q, want %q", c.op, op)
+		}
+		return c
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for %s call", op)
+		return recordedCall{}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

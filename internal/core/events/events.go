@@ -1,0 +1,272 @@
+// Package events is the asynchronous-notification extension of the
+// framework. The paper found plain HTTP inadequate for events: "HTTP is
+// inherently a client/server protocol, which does not map well to
+// asynchronous notification scenarios" (§4.2). This package gives each
+// Virtual Service Gateway an event hub with both delivery disciplines so
+// the trade-off can be measured (experiment E7):
+//
+//   - long-polling: a consumer repeatedly asks the hub for events after a
+//     cursor, holding the request open until something arrives — the best
+//     a pure client/server HTTP deployment could do in 2002;
+//   - push subscriptions: the consumer registers an HTTP callback and the
+//     hub POSTs each event immediately — the GENA-style escape hatch.
+//
+// Protocol Conversion Managers adapt native middleware events (Jini
+// remote events, HAVi event-manager posts, X10 received frames) into
+// service.Event values published on the local hub.
+package events
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"homeconnect/internal/service"
+)
+
+// ringCapacity bounds the replay buffer; pollers further behind than this
+// miss events, which the cursor makes detectable.
+const ringCapacity = 1024
+
+// stamped is an event with its hub cursor.
+type stamped struct {
+	cursor uint64
+	ev     service.Event
+}
+
+// Hub fans events out to local subscribers, long-pollers and push
+// callbacks.
+type Hub struct {
+	mu      sync.Mutex
+	ring    []stamped
+	cursor  uint64
+	wait    chan struct{} // closed and replaced on every publish
+	subs    map[int]localSub
+	nextSub int
+	pushers map[string]*pusher
+	nextSID int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type localSub struct {
+	topic string
+	fn    func(service.Event)
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{
+		wait:    make(chan struct{}),
+		subs:    make(map[int]localSub),
+		pushers: make(map[string]*pusher),
+	}
+}
+
+// Close stops push deliveries and wakes pollers.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.wg.Wait()
+		return
+	}
+	h.closed = true
+	for _, p := range h.pushers {
+		p.stop()
+	}
+	close(h.wait)
+	h.wait = make(chan struct{})
+	h.mu.Unlock()
+	h.wg.Wait()
+}
+
+// Publish delivers ev to every subscriber. The hub assigns the event's
+// cursor; the event's own Seq (per-source) is preserved.
+func (h *Hub) Publish(ev service.Event) {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.cursor++
+	h.ring = append(h.ring, stamped{cursor: h.cursor, ev: ev.Clone()})
+	if len(h.ring) > ringCapacity {
+		h.ring = h.ring[len(h.ring)-ringCapacity:]
+	}
+	// Wake long-pollers.
+	close(h.wait)
+	h.wait = make(chan struct{})
+	// Snapshot local subscribers.
+	var local []localSub
+	for _, s := range h.subs {
+		if topicMatches(s.topic, ev.Topic) {
+			local = append(local, s)
+		}
+	}
+	var pushTargets []*pusher
+	for _, p := range h.pushers {
+		if topicMatches(p.topic, ev.Topic) {
+			pushTargets = append(pushTargets, p)
+		}
+	}
+	h.mu.Unlock()
+
+	for _, s := range local {
+		s.fn(ev.Clone())
+	}
+	for _, p := range pushTargets {
+		p.enqueue(ev.Clone())
+	}
+}
+
+// topicMatches applies the subscription filter: empty subscribes to all.
+func topicMatches(filter, topic string) bool {
+	return filter == "" || filter == topic
+}
+
+// Subscribe registers a local callback for events whose topic matches
+// (empty topic = all). The returned function unsubscribes.
+func (h *Hub) Subscribe(topic string, fn func(service.Event)) (stop func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.nextSub
+	h.nextSub++
+	h.subs[id] = localSub{topic: topic, fn: fn}
+	return func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		delete(h.subs, id)
+	}
+}
+
+// Poll returns events with cursor > since, blocking up to timeout for the
+// first one (long poll). It returns the events and the new cursor to pass
+// next time.
+func (h *Hub) Poll(ctx context.Context, since uint64, topic string, timeout time.Duration) ([]service.Event, uint64, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		var out []service.Event
+		next := since
+		for _, s := range h.ring {
+			if s.cursor > since && topicMatches(topic, s.ev.Topic) {
+				out = append(out, s.ev.Clone())
+			}
+			if s.cursor > next {
+				next = s.cursor
+			}
+		}
+		waitCh := h.wait
+		closed := h.closed
+		h.mu.Unlock()
+		if len(out) > 0 || closed {
+			return out, next, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, next, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-waitCh:
+			timer.Stop()
+		case <-timer.C:
+			return nil, next, nil
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, next, ctx.Err()
+		}
+	}
+}
+
+// SubscribePush registers an HTTP callback for matching events and
+// returns the subscription ID. deliver is invoked sequentially per
+// subscription with each event; it is supplied by the transport layer
+// (HTTP POST in the gateway, direct call in tests).
+func (h *Hub) SubscribePush(topic string, deliver func(service.Event) error) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextSID++
+	sid := "sub-" + strconv.Itoa(h.nextSID)
+	p := newPusher(topic, deliver, &h.wg)
+	h.pushers[sid] = p
+	return sid
+}
+
+// UnsubscribePush cancels a push subscription.
+func (h *Hub) UnsubscribePush(sid string) {
+	h.mu.Lock()
+	p, ok := h.pushers[sid]
+	if ok {
+		delete(h.pushers, sid)
+	}
+	h.mu.Unlock()
+	if ok {
+		p.stop()
+	}
+}
+
+// pusher serializes deliveries for one push subscription on a dedicated
+// goroutine, dropping the subscription after repeated failures (a dead
+// callback must not stall the hub).
+type pusher struct {
+	topic string
+	ch    chan service.Event
+	done  chan struct{}
+	once  sync.Once
+}
+
+const pusherQueue = 256
+
+func newPusher(topic string, deliver func(service.Event) error, wg *sync.WaitGroup) *pusher {
+	p := &pusher{
+		topic: topic,
+		ch:    make(chan service.Event, pusherQueue),
+		done:  make(chan struct{}),
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		failures := 0
+		for {
+			select {
+			case <-p.done:
+				return
+			case ev := <-p.ch:
+				if err := deliver(ev); err != nil {
+					failures++
+					if failures >= 3 {
+						return
+					}
+					continue
+				}
+				failures = 0
+			}
+		}
+	}()
+	return p
+}
+
+func (p *pusher) enqueue(ev service.Event) {
+	select {
+	case p.ch <- ev:
+	default:
+		// Queue overflow: drop the oldest pending event to keep the
+		// stream moving (lossy, like the underlying middleware events).
+		select {
+		case <-p.ch:
+		default:
+		}
+		select {
+		case p.ch <- ev:
+		default:
+		}
+	}
+}
+
+func (p *pusher) stop() { p.once.Do(func() { close(p.done) }) }

@@ -1,0 +1,160 @@
+// Package core assembles the paper's framework: a Virtual Service
+// Repository, one Virtual Service Gateway per middleware network, and the
+// Protocol Conversion Managers attached to each gateway. The Federation
+// type owns the lifecycle; the public homeconnect package at the module
+// root re-exports it.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+)
+
+// Federation is a running instance of the framework.
+type Federation struct {
+	vsrServer *vsr.Server
+
+	mu       sync.Mutex
+	networks map[string]*Network
+	order    []string
+	closed   bool
+}
+
+// Network is one middleware network: a gateway plus its attached PCMs.
+type Network struct {
+	fed  *Federation
+	gw   *vsg.VSG
+	mu   sync.Mutex
+	pcms []pcm.PCM
+}
+
+// NewFederation starts a federation with its own repository on an
+// ephemeral port.
+func NewFederation() (*Federation, error) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: start vsr: %w", err)
+	}
+	return &Federation{
+		vsrServer: srv,
+		networks:  make(map[string]*Network),
+	}, nil
+}
+
+// VSRURL returns the repository endpoint.
+func (f *Federation) VSRURL() string { return f.vsrServer.URL() }
+
+// VSRServer exposes the repository server (stats, tests).
+func (f *Federation) VSRServer() *vsr.Server { return f.vsrServer }
+
+// AddNetwork creates and starts a gateway for a new middleware network.
+func (f *Federation) AddNetwork(name string) (*Network, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, fmt.Errorf("core: federation closed")
+	}
+	if _, exists := f.networks[name]; exists {
+		return nil, fmt.Errorf("core: network %q already exists", name)
+	}
+	gw := vsg.New(name, f.vsrServer.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	n := &Network{fed: f, gw: gw}
+	f.networks[name] = n
+	f.order = append(f.order, name)
+	return n, nil
+}
+
+// Network returns a network by name, or nil.
+func (f *Federation) Network(name string) *Network {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.networks[name]
+}
+
+// Networks lists network names in creation order.
+func (f *Federation) Networks() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
+// Gateway returns the network's Virtual Service Gateway.
+func (n *Network) Gateway() *vsg.VSG { return n.gw }
+
+// Attach starts a PCM on this network's gateway.
+func (n *Network) Attach(ctx context.Context, p pcm.PCM) error {
+	if err := p.Start(ctx, n.gw); err != nil {
+		return fmt.Errorf("core: attach %s PCM to %s: %w", p.Middleware(), n.gw.Name(), err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pcms = append(n.pcms, p)
+	return nil
+}
+
+// anyGateway returns some gateway for federation-level operations.
+func (f *Federation) anyGateway() (*vsg.VSG, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, name := range f.order {
+		return f.networks[name].gw, nil
+	}
+	return nil, fmt.Errorf("core: federation has no networks")
+}
+
+// Call invokes an operation on any federation service by ID, routing
+// through an arbitrary gateway (all gateways can reach all services).
+func (f *Federation) Call(ctx context.Context, serviceID, op string, args ...service.Value) (service.Value, error) {
+	gw, err := f.anyGateway()
+	if err != nil {
+		return service.Value{}, err
+	}
+	return gw.Call(ctx, serviceID, op, args)
+}
+
+// Services lists every service currently registered in the repository.
+func (f *Federation) Services(ctx context.Context) ([]vsr.Remote, error) {
+	gw, err := f.anyGateway()
+	if err != nil {
+		return nil, err
+	}
+	return gw.List(ctx, vsr.Query{})
+}
+
+// Close stops PCMs, gateways and the repository, in that order.
+func (f *Federation) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	names := append([]string(nil), f.order...)
+	nets := make([]*Network, 0, len(names))
+	for _, name := range names {
+		nets = append(nets, f.networks[name])
+	}
+	f.mu.Unlock()
+
+	for _, n := range nets {
+		n.mu.Lock()
+		pcms := append([]pcm.PCM(nil), n.pcms...)
+		n.mu.Unlock()
+		for _, p := range pcms {
+			_ = p.Stop()
+		}
+	}
+	for _, n := range nets {
+		n.gw.Close()
+	}
+	f.vsrServer.Close()
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/service"
+)
+
+// nopPCM records lifecycle calls.
+type nopPCM struct {
+	started   bool
+	stopped   bool
+	failStart bool
+}
+
+func (p *nopPCM) Middleware() string { return "nop" }
+
+func (p *nopPCM) Start(context.Context, *vsg.VSG) error {
+	if p.failStart {
+		return errors.New("boom")
+	}
+	p.started = true
+	return nil
+}
+
+func (p *nopPCM) Stop() error {
+	p.stopped = true
+	return nil
+}
+
+var _ pcm.PCM = (*nopPCM)(nil)
+
+func TestFederationLifecycle(t *testing.T) {
+	fed, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if fed.VSRURL() == "" {
+		t.Fatal("no VSR URL")
+	}
+
+	n1, err := fed.AddNetwork("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.AddNetwork("a"); err == nil {
+		t.Error("duplicate network accepted")
+	}
+	if fed.Network("a") != n1 {
+		t.Error("Network lookup failed")
+	}
+	if fed.Network("zzz") != nil {
+		t.Error("unknown network returned")
+	}
+	if _, err := fed.AddNetwork("b"); err != nil {
+		t.Fatal(err)
+	}
+	names := fed.Networks()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Networks = %v", names)
+	}
+
+	p := &nopPCM{}
+	ctx := context.Background()
+	if err := n1.Attach(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.started {
+		t.Error("PCM not started")
+	}
+	bad := &nopPCM{failStart: true}
+	if err := n1.Attach(ctx, bad); err == nil {
+		t.Error("failing PCM attach accepted")
+	}
+
+	fed.Close()
+	if !p.stopped {
+		t.Error("PCM not stopped on Close")
+	}
+	// Close is idempotent; AddNetwork after Close fails.
+	fed.Close()
+	if _, err := fed.AddNetwork("c"); err == nil {
+		t.Error("AddNetwork after Close accepted")
+	}
+}
+
+func TestFederationCallRouting(t *testing.T) {
+	fed, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	// No networks yet.
+	if _, err := fed.Call(ctx, "x:y", "Op"); err == nil {
+		t.Error("Call without networks accepted")
+	}
+	if _, err := fed.Services(ctx); err == nil {
+		t.Error("Services without networks accepted")
+	}
+
+	n, err := fed.AddNetwork("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := service.Description{
+		ID: "x:y", Name: "y", Middleware: "x",
+		Interface: service.Interface{Name: "I", Operations: []service.Operation{
+			{Name: "Ping", Output: service.KindString},
+		}},
+	}
+	inv := service.InvokerFunc(func(context.Context, string, []service.Value) (service.Value, error) {
+		return service.StringValue("pong"), nil
+	})
+	if err := n.Gateway().Export(ctx, desc, inv); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fed.Call(ctx, "x:y", "Ping")
+	if err != nil || got.Str() != "pong" {
+		t.Fatalf("Call = %v, %v", got, err)
+	}
+	services, err := fed.Services(ctx)
+	if err != nil || len(services) != 1 {
+		t.Fatalf("Services = %v, %v", services, err)
+	}
+}

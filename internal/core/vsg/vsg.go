@@ -1,0 +1,371 @@
+// Package vsg implements the Virtual Service Gateway (§3.1): "a gateway
+// which connects middleware to another middleware using certain protocol
+// which decides the information of services such as interfaces, locations
+// and data." As in the prototype, the inter-gateway protocol is SOAP over
+// HTTP (§4.1): every service exported from a middleware network becomes a
+// SOAP endpoint on its gateway, registered in the Virtual Service
+// Repository; calls to remote services resolve through the VSR and travel
+// as SOAP RPC to the owning gateway.
+//
+// The gateway also mounts the event hub extension (see
+// internal/core/events) under /events, addressing the asynchronous-
+// notification gap the paper hit in §4.2.
+package vsg
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"homeconnect/internal/core/events"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+	"homeconnect/internal/soap"
+)
+
+// namespacePrefix qualifies SOAP operation elements with the target
+// service identity.
+const namespacePrefix = "urn:homeconnect:"
+
+// Namespace returns the SOAP namespace for a federation service ID.
+func Namespace(serviceID string) string { return namespacePrefix + serviceID }
+
+// ServiceIDFromNamespace inverts Namespace.
+func ServiceIDFromNamespace(ns string) (string, bool) {
+	if !strings.HasPrefix(ns, namespacePrefix) {
+		return "", false
+	}
+	return ns[len(namespacePrefix):], true
+}
+
+// export is one locally exported service.
+type export struct {
+	desc    service.Description
+	invoker service.Invoker
+	key     string // VSR registration key
+}
+
+// VSG is one middleware network's gateway.
+type VSG struct {
+	name string
+	vsr  *vsr.VSR
+	hub  *events.Hub
+
+	ln    net.Listener
+	httpS *http.Server
+
+	mu      sync.Mutex
+	exports map[string]*export
+	// resolveCache holds recent VSR lookups; see SetCacheTTL.
+	resolveCache map[string]cachedRemote
+	cacheTTL     time.Duration
+	closed       bool
+
+	refreshCancel context.CancelFunc
+	refreshDone   chan struct{}
+
+	// stats for the benchmark harness.
+	inboundCalls  uint64
+	outboundCalls uint64
+}
+
+type cachedRemote struct {
+	remote  vsr.Remote
+	expires time.Time
+}
+
+// New builds a gateway named name against the repository at vsrURL.
+func New(name, vsrURL string) *VSG {
+	return &VSG{
+		name:         name,
+		vsr:          vsr.New(vsrURL),
+		hub:          events.NewHub(),
+		exports:      make(map[string]*export),
+		resolveCache: make(map[string]cachedRemote),
+		cacheTTL:     2 * time.Second,
+	}
+}
+
+// Name returns the gateway's network name.
+func (g *VSG) Name() string { return g.name }
+
+// VSR returns the repository client (used by PCM importers).
+func (g *VSG) VSR() *vsr.VSR { return g.vsr }
+
+// Hub returns the gateway's event hub.
+func (g *VSG) Hub() *events.Hub { return g.hub }
+
+// SetCacheTTL adjusts resolve caching; zero disables it (each call hits
+// the repository, the ablation measured by BenchmarkVSRFindCached).
+func (g *VSG) SetCacheTTL(d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cacheTTL = d
+	g.resolveCache = make(map[string]cachedRemote)
+}
+
+// Start brings the gateway up on addr ("127.0.0.1:0" for ephemeral) and
+// begins refreshing VSR registrations.
+func (g *VSG) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("vsg %s: listen: %w", g.name, err)
+	}
+	g.ln = ln
+	mux := http.NewServeMux()
+	mux.Handle("/services/", soap.NewHTTPHandler(inbound{g: g}))
+	mux.Handle("/events/", http.StripPrefix("/events", events.Handler(g.hub)))
+	g.httpS = &http.Server{Handler: mux}
+	go func() { _ = g.httpS.Serve(ln) }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g.refreshCancel = cancel
+	g.refreshDone = make(chan struct{})
+	go g.refreshLoop(ctx)
+	return nil
+}
+
+// Close stops the gateway: exports are withdrawn from the VSR on a best-
+// effort basis, the HTTP server shuts down and the hub closes.
+func (g *VSG) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	keys := make([]string, 0, len(g.exports))
+	for _, e := range g.exports {
+		keys = append(keys, e.key)
+	}
+	g.mu.Unlock()
+
+	if g.refreshCancel != nil {
+		g.refreshCancel()
+		<-g.refreshDone
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, key := range keys {
+		_ = g.vsr.Unregister(ctx, key)
+	}
+	if g.httpS != nil {
+		_ = g.httpS.Close()
+	}
+	g.hub.Close()
+}
+
+// BaseURL returns the gateway's HTTP root.
+func (g *VSG) BaseURL() string {
+	if g.ln == nil {
+		return ""
+	}
+	return "http://" + g.ln.Addr().String()
+}
+
+// EndpointFor returns the SOAP endpoint URL serving a local service.
+func (g *VSG) EndpointFor(serviceID string) string {
+	return g.BaseURL() + "/services/" + serviceID
+}
+
+// EventsURL returns the event hub mount point.
+func (g *VSG) EventsURL() string { return g.BaseURL() + "/events" }
+
+// Export publishes a local service to the federation: it gains a SOAP
+// endpoint on this gateway and a VSR registration. The context tags the
+// description with the gateway's network name.
+func (g *VSG) Export(ctx context.Context, desc service.Description, invoker service.Invoker) error {
+	if err := desc.Validate(); err != nil {
+		return err
+	}
+	desc = desc.Clone()
+	if desc.Context == nil {
+		desc.Context = make(map[string]string)
+	}
+	desc.Context[service.CtxNetwork] = g.name
+	key, err := g.vsr.Register(ctx, desc, g.EndpointFor(desc.ID))
+	if err != nil {
+		return fmt.Errorf("vsg %s: export %s: %w", g.name, desc.ID, err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.exports[desc.ID] = &export{desc: desc, invoker: invoker, key: key}
+	return nil
+}
+
+// Unexport withdraws a local service.
+func (g *VSG) Unexport(ctx context.Context, serviceID string) error {
+	g.mu.Lock()
+	e, ok := g.exports[serviceID]
+	if ok {
+		delete(g.exports, serviceID)
+	}
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("vsg %s: unexport %s: %w", g.name, serviceID, service.ErrNoSuchService)
+	}
+	return g.vsr.Unregister(ctx, e.key)
+}
+
+// Exports lists the IDs of locally exported services.
+func (g *VSG) Exports() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.exports))
+	for id := range g.exports {
+		out = append(out, id)
+	}
+	return out
+}
+
+// localExport returns the local export for id, if any.
+func (g *VSG) localExport(id string) (*export, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.exports[id]
+	return e, ok
+}
+
+// refreshLoop re-registers exports at a fraction of the VSR TTL so they
+// survive; the repository expires anything whose gateway dies.
+func (g *VSG) refreshLoop(ctx context.Context) {
+	defer close(g.refreshDone)
+	interval := g.vsr.TTL() / 3
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			g.mu.Lock()
+			exports := make([]*export, 0, len(g.exports))
+			for _, e := range g.exports {
+				exports = append(exports, e)
+			}
+			g.mu.Unlock()
+			for _, e := range exports {
+				rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+				_, _ = g.vsr.Register(rctx, e.desc, g.EndpointFor(e.desc.ID))
+				cancel()
+			}
+		}
+	}
+}
+
+// Resolve finds the service with the given federation ID, consulting the
+// resolve cache first.
+func (g *VSG) Resolve(ctx context.Context, serviceID string) (vsr.Remote, error) {
+	g.mu.Lock()
+	if c, ok := g.resolveCache[serviceID]; ok && time.Now().Before(c.expires) {
+		g.mu.Unlock()
+		return c.remote, nil
+	}
+	ttl := g.cacheTTL
+	g.mu.Unlock()
+
+	remote, err := g.vsr.Lookup(ctx, serviceID)
+	if err != nil {
+		return vsr.Remote{}, err
+	}
+	if ttl > 0 {
+		g.mu.Lock()
+		g.resolveCache[serviceID] = cachedRemote{remote: remote, expires: time.Now().Add(ttl)}
+		g.mu.Unlock()
+	}
+	return remote, nil
+}
+
+// List queries the repository.
+func (g *VSG) List(ctx context.Context, q vsr.Query) ([]vsr.Remote, error) {
+	return g.vsr.Find(ctx, q)
+}
+
+// Call invokes an operation on any federation service by ID. Local
+// exports are invoked directly (they live on this gateway's network);
+// remote services go out over SOAP to their owning gateway.
+func (g *VSG) Call(ctx context.Context, serviceID, op string, args []service.Value) (service.Value, error) {
+	if e, ok := g.localExport(serviceID); ok {
+		opSpec, ok := e.desc.Interface.Operation(op)
+		if !ok {
+			return service.Value{}, fmt.Errorf("%s.%s: %w", serviceID, op, service.ErrNoSuchOperation)
+		}
+		if err := service.ValidateArgs(opSpec, args); err != nil {
+			return service.Value{}, err
+		}
+		return e.invoker.Invoke(ctx, op, args)
+	}
+	remote, err := g.Resolve(ctx, serviceID)
+	if err != nil {
+		return service.Value{}, err
+	}
+	return g.CallRemote(ctx, remote, op, args)
+}
+
+// CallRemote invokes op on an already resolved remote service.
+func (g *VSG) CallRemote(ctx context.Context, remote vsr.Remote, op string, args []service.Value) (service.Value, error) {
+	opSpec, ok := remote.Desc.Interface.Operation(op)
+	if !ok {
+		return service.Value{}, fmt.Errorf("%s.%s: %w", remote.Desc.ID, op, service.ErrNoSuchOperation)
+	}
+	if err := service.ValidateArgs(opSpec, args); err != nil {
+		return service.Value{}, err
+	}
+	call := soap.Call{Namespace: Namespace(remote.Desc.ID), Operation: op}
+	for i, p := range opSpec.Inputs {
+		call.Args = append(call.Args, soap.Arg{Name: p.Name, Value: args[i]})
+	}
+	g.mu.Lock()
+	g.outboundCalls++
+	g.mu.Unlock()
+	client := &soap.Client{URL: remote.Endpoint}
+	return client.Call(ctx, Namespace(remote.Desc.ID)+"#"+op, call)
+}
+
+// Stats returns (inbound, outbound) call counters.
+func (g *VSG) Stats() (inbound, outbound uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inboundCalls, g.outboundCalls
+}
+
+// inbound adapts the gateway's exports to the SOAP server: the client
+// proxy direction of Figure 2 (remote federation calls invoking local
+// middleware services).
+type inbound struct {
+	g *VSG
+}
+
+// ServeSOAP implements soap.Handler.
+func (in inbound) ServeSOAP(ctx context.Context, call soap.Call) (service.Value, error) {
+	id, ok := ServiceIDFromNamespace(call.Namespace)
+	if !ok {
+		return service.Value{}, fmt.Errorf("namespace %q: %w", call.Namespace, service.ErrNoSuchService)
+	}
+	e, ok := in.g.localExport(id)
+	if !ok {
+		return service.Value{}, fmt.Errorf("%s: %w", id, service.ErrNoSuchService)
+	}
+	op, ok := e.desc.Interface.Operation(call.Operation)
+	if !ok {
+		return service.Value{}, fmt.Errorf("%s.%s: %w", id, call.Operation, service.ErrNoSuchOperation)
+	}
+	args := make([]service.Value, len(call.Args))
+	for i := range call.Args {
+		args[i] = call.Args[i].Value
+	}
+	if err := service.ValidateArgs(op, args); err != nil {
+		return service.Value{}, err
+	}
+	in.g.mu.Lock()
+	in.g.inboundCalls++
+	in.g.mu.Unlock()
+	return e.invoker.Invoke(ctx, call.Operation, args)
+}

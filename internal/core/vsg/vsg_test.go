@@ -1,0 +1,271 @@
+package vsg
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+)
+
+func lampInterface() service.Interface {
+	return service.Interface{
+		Name: "Lamp",
+		Operations: []service.Operation{
+			{Name: "On", Output: service.KindVoid},
+			{Name: "Off", Output: service.KindVoid},
+			{Name: "SetLevel", Inputs: []service.Parameter{{Name: "level", Type: service.KindInt}}, Output: service.KindVoid},
+			{Name: "Level", Output: service.KindInt},
+		},
+	}
+}
+
+// fakeLamp is a local service implementation.
+type fakeLamp struct {
+	mu    sync.Mutex
+	level int64
+}
+
+func (l *fakeLamp) Invoke(_ context.Context, op string, args []service.Value) (service.Value, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch op {
+	case "On":
+		l.level = 100
+		return service.Void(), nil
+	case "Off":
+		l.level = 0
+		return service.Void(), nil
+	case "SetLevel":
+		l.level = args[0].Int()
+		return service.Void(), nil
+	case "Level":
+		return service.IntValue(l.level), nil
+	default:
+		return service.Value{}, service.ErrNoSuchOperation
+	}
+}
+
+func lampDesc(id string) service.Description {
+	return service.Description{ID: id, Name: id, Middleware: "jini", Interface: lampInterface()}
+}
+
+// rig is a repository plus two gateways on separate "networks".
+type rig struct {
+	srv *vsr.Server
+	gw1 *VSG
+	gw2 *VSG
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw1 := New("net1", srv.URL())
+	gw2 := New("net2", srv.URL())
+	if err := gw1.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		gw1.Close()
+		gw2.Close()
+		srv.Close()
+	})
+	return &rig{srv: srv, gw1: gw1, gw2: gw2}
+}
+
+func TestExportAndLocalCall(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	lamp := &fakeLamp{}
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), lamp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.gw1.Call(ctx, "jini:lamp-1", "SetLevel", []service.Value{service.IntValue(42)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.gw1.Call(ctx, "jini:lamp-1", "Level", nil)
+	if err != nil || got.Int() != 42 {
+		t.Fatalf("Level = %v, %v", got, err)
+	}
+	// Local calls never touch SOAP.
+	in, out := r.gw1.Stats()
+	if in != 0 || out != 0 {
+		t.Errorf("local call used the wire: in=%d out=%d", in, out)
+	}
+}
+
+func TestCrossGatewayCall(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	lamp := &fakeLamp{}
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), lamp); err != nil {
+		t.Fatal(err)
+	}
+
+	// gw2 reaches the service exported on gw1 through the VSR + SOAP.
+	if _, err := r.gw2.Call(ctx, "jini:lamp-1", "SetLevel", []service.Value{service.IntValue(7)}); err != nil {
+		t.Fatalf("cross call: %v", err)
+	}
+	got, err := r.gw2.Call(ctx, "jini:lamp-1", "Level", nil)
+	if err != nil || got.Int() != 7 {
+		t.Fatalf("Level via gw2 = %v, %v", got, err)
+	}
+	in1, _ := r.gw1.Stats()
+	_, out2 := r.gw2.Stats()
+	if in1 != 2 || out2 != 2 {
+		t.Errorf("stats: gw1 in=%d gw2 out=%d, want 2/2", in1, out2)
+	}
+}
+
+func TestCallErrorsCrossGateway(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := r.gw2.Call(ctx, "ghost:svc", "On", nil); !errors.Is(err, service.ErrNoSuchService) {
+		t.Errorf("unknown service: %v", err)
+	}
+	if _, err := r.gw2.Call(ctx, "jini:lamp-1", "Explode", nil); !errors.Is(err, service.ErrNoSuchOperation) {
+		t.Errorf("unknown op: %v", err)
+	}
+	if _, err := r.gw2.Call(ctx, "jini:lamp-1", "SetLevel", []service.Value{service.StringValue("x")}); !errors.Is(err, service.ErrBadArgument) {
+		t.Errorf("bad arg: %v", err)
+	}
+	if _, err := r.gw2.Call(ctx, "jini:lamp-1", "SetLevel", nil); !errors.Is(err, service.ErrBadArgument) {
+		t.Errorf("arity: %v", err)
+	}
+}
+
+func TestUnexportRemovesService(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.gw1.Unexport(ctx, "jini:lamp-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.gw2.Call(ctx, "jini:lamp-1", "On", nil); !errors.Is(err, service.ErrNoSuchService) {
+		t.Errorf("call after unexport: %v", err)
+	}
+	if err := r.gw1.Unexport(ctx, "jini:lamp-1"); !errors.Is(err, service.ErrNoSuchService) {
+		t.Errorf("double unexport: %v", err)
+	}
+}
+
+func TestGatewayDownIsUnavailable(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+	// Resolve once so gw2 has the endpoint, then kill gw1's HTTP side.
+	if _, err := r.gw2.Resolve(ctx, "jini:lamp-1"); err != nil {
+		t.Fatal(err)
+	}
+	r.gw1.Close()
+	if _, err := r.gw2.Call(ctx, "jini:lamp-1", "On", nil); !errors.Is(err, service.ErrUnavailable) {
+		t.Errorf("dead gateway: %v", err)
+	}
+}
+
+func TestResolveCaching(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+	_, before := r.srv.Registry().Stats()
+	for i := 0; i < 10; i++ {
+		if _, err := r.gw2.Resolve(ctx, "jini:lamp-1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, after := r.srv.Registry().Stats()
+	if after-before != 1 {
+		t.Errorf("cached resolves hit the registry %d times", after-before)
+	}
+
+	// With caching disabled every resolve goes to the repository.
+	r.gw2.SetCacheTTL(0)
+	_, before = r.srv.Registry().Stats()
+	for i := 0; i < 5; i++ {
+		if _, err := r.gw2.Resolve(ctx, "jini:lamp-1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, after = r.srv.Registry().Stats()
+	if after-before != 5 {
+		t.Errorf("uncached resolves hit the registry %d times, want 5", after-before)
+	}
+}
+
+func TestRefreshKeepsRegistrationAlive(t *testing.T) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	gw := New("net1", srv.URL())
+	gw.VSR().SetTTL(500 * time.Millisecond)
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	ctx := context.Background()
+	if err := gw.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+	// Without refresh the 500ms TTL would lapse well within a second.
+	time.Sleep(1200 * time.Millisecond)
+	if _, err := gw.VSR().Lookup(ctx, "jini:lamp-1"); err != nil {
+		t.Errorf("registration lapsed despite refresh: %v", err)
+	}
+}
+
+func TestNamespaceRoundTrip(t *testing.T) {
+	ns := Namespace("jini:lamp-1")
+	id, ok := ServiceIDFromNamespace(ns)
+	if !ok || id != "jini:lamp-1" {
+		t.Errorf("round trip = %q, %v", id, ok)
+	}
+	if _, ok := ServiceIDFromNamespace("urn:other:thing"); ok {
+		t.Error("foreign namespace accepted")
+	}
+}
+
+func TestListQuery(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.gw2.Export(ctx, lampDesc("jini:lamp-2"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := r.gw1.List(ctx, vsr.Query{})
+	if err != nil || len(all) != 2 {
+		t.Fatalf("List = %d, %v", len(all), err)
+	}
+	// Network context tags are applied on export.
+	for _, rm := range all {
+		want := "net1"
+		if rm.Desc.ID == "jini:lamp-2" {
+			want = "net2"
+		}
+		if rm.Desc.Context[service.CtxNetwork] != want {
+			t.Errorf("%s network = %q, want %q", rm.Desc.ID, rm.Desc.Context[service.CtxNetwork], want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package vsr implements the Virtual Service Repository (§3.3): "a
+// virtual database which has a lot of information of heterogeneous
+// services such as service locations and service contexts." Following the
+// prototype (§4.1), it is built from WSDL (interface descriptions) and a
+// UDDI-style registry (locations and contexts): each federation service
+// is published as a UDDI entry whose inline WSDL document carries the
+// interface and whose category bag carries the service context.
+package vsr
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"homeconnect/internal/service"
+	"homeconnect/internal/uddi"
+	"homeconnect/internal/wsdl"
+)
+
+// Category keys the VSR adds to each UDDI entry beyond the service's own
+// context attributes.
+const (
+	catMiddleware = "homeconnect.middleware"
+	catServiceID  = "homeconnect.id"
+)
+
+// DefaultTTL is the registration lifetime; publishers refresh at a
+// fraction of it.
+const DefaultTTL = 30 * time.Second
+
+// Remote is one discovered service: its description plus the VSG endpoint
+// that serves it.
+type Remote struct {
+	Desc service.Description
+	// Endpoint is the SOAP URL of the owning Virtual Service Gateway.
+	Endpoint string
+}
+
+// Query selects services in the repository.
+type Query struct {
+	// ID, if set, matches the exact federation service ID.
+	ID string
+	// Middleware, if set, matches the native middleware name.
+	Middleware string
+	// Interface, if set, matches the interface (tModel) name.
+	Interface string
+	// Context entries must all match the service context.
+	Context map[string]string
+}
+
+// VSR is a client handle on the repository.
+type VSR struct {
+	client *uddi.Client
+	ttl    time.Duration
+}
+
+// New returns a VSR client against the given registry URL.
+func New(url string) *VSR {
+	return &VSR{client: &uddi.Client{URL: url}, ttl: DefaultTTL}
+}
+
+// TTL returns the registration lifetime used by Register.
+func (v *VSR) TTL() time.Duration { return v.ttl }
+
+// SetTTL overrides the registration lifetime (tests and benchmarks).
+func (v *VSR) SetTTL(d time.Duration) {
+	if d > 0 {
+		v.ttl = d
+	}
+}
+
+// Register publishes a service with its gateway endpoint and returns the
+// repository key. Call it again with the same description to refresh the
+// TTL.
+func (v *VSR) Register(ctx context.Context, desc service.Description, endpoint string) (string, error) {
+	if err := desc.Validate(); err != nil {
+		return "", err
+	}
+	doc, err := wsdl.Generate(desc.Interface, endpoint)
+	if err != nil {
+		return "", fmt.Errorf("vsr: generate wsdl for %s: %w", desc.ID, err)
+	}
+	cats := map[string]string{
+		catMiddleware: desc.Middleware,
+		catServiceID:  desc.ID,
+	}
+	for k, val := range desc.Context {
+		cats[k] = val
+	}
+	entry := uddi.Entry{
+		// Keying the UDDI entry by service ID makes re-registration a
+		// refresh rather than a duplicate.
+		Key:         "uuid:svc-" + desc.ID,
+		Name:        desc.ID,
+		Description: desc.Name,
+		AccessPoint: endpoint,
+		TModel:      desc.Interface.Name,
+		WSDL:        string(doc),
+		Categories:  cats,
+	}
+	key, err := v.client.Save(ctx, entry, v.ttl)
+	if err != nil {
+		return "", fmt.Errorf("vsr: register %s: %w", desc.ID, err)
+	}
+	return key, nil
+}
+
+// Unregister withdraws a registration by key.
+func (v *VSR) Unregister(ctx context.Context, key string) error {
+	if err := v.client.Delete(ctx, key); err != nil {
+		return fmt.Errorf("vsr: unregister: %w", err)
+	}
+	return nil
+}
+
+// Find returns all services matching the query.
+func (v *VSR) Find(ctx context.Context, q Query) ([]Remote, error) {
+	uq := uddi.Query{TModel: q.Interface, Categories: map[string]string{}}
+	if q.ID != "" {
+		uq.Categories[catServiceID] = q.ID
+	}
+	if q.Middleware != "" {
+		uq.Categories[catMiddleware] = q.Middleware
+	}
+	for k, val := range q.Context {
+		uq.Categories[k] = val
+	}
+	entries, err := v.client.Find(ctx, uq)
+	if err != nil {
+		return nil, fmt.Errorf("vsr: find: %w", err)
+	}
+	out := make([]Remote, 0, len(entries))
+	for _, e := range entries {
+		r, err := remoteFromEntry(e)
+		if err != nil {
+			// Skip malformed entries rather than failing the whole
+			// inquiry; other publishers' bugs should not break lookup.
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Lookup returns the single service with the given federation ID.
+func (v *VSR) Lookup(ctx context.Context, id string) (Remote, error) {
+	found, err := v.Find(ctx, Query{ID: id})
+	if err != nil {
+		return Remote{}, err
+	}
+	if len(found) == 0 {
+		return Remote{}, fmt.Errorf("vsr: %s: %w", id, service.ErrNoSuchService)
+	}
+	return found[0], nil
+}
+
+// remoteFromEntry rebuilds the service description from a UDDI entry.
+func remoteFromEntry(e uddi.Entry) (Remote, error) {
+	doc, err := wsdl.Parse([]byte(e.WSDL))
+	if err != nil {
+		return Remote{}, fmt.Errorf("vsr: entry %s: %w", e.Name, err)
+	}
+	desc := service.Description{
+		ID:         e.Categories[catServiceID],
+		Name:       e.Description,
+		Middleware: e.Categories[catMiddleware],
+		Interface:  doc.Interface,
+		Context:    make(map[string]string),
+	}
+	if desc.ID == "" {
+		desc.ID = e.Name
+	}
+	for k, val := range e.Categories {
+		if k == catMiddleware || k == catServiceID {
+			continue
+		}
+		desc.Context[k] = val
+	}
+	endpoint := e.AccessPoint
+	if endpoint == "" {
+		endpoint = doc.Location
+	}
+	return Remote{Desc: desc, Endpoint: endpoint}, nil
+}
+
+// Server hosts the repository itself: the UDDI registry behind an HTTP
+// listener.
+type Server struct {
+	registry *uddi.Server
+	httpS    *http.Server
+	ln       net.Listener
+}
+
+// StartServer brings up a repository on addr ("127.0.0.1:0" for
+// ephemeral).
+func StartServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("vsr: listen: %w", err)
+	}
+	reg := uddi.NewServer()
+	s := &Server{
+		registry: reg,
+		httpS:    &http.Server{Handler: reg.Handler()},
+		ln:       ln,
+	}
+	go func() { _ = s.httpS.Serve(ln) }()
+	return s, nil
+}
+
+// URL returns the repository endpoint for VSR clients.
+func (s *Server) URL() string { return "http://" + s.ln.Addr().String() + "/uddi" }
+
+// Registry exposes the underlying UDDI store (tests, stats).
+func (s *Server) Registry() *uddi.Server { return s.registry }
+
+// Close stops the repository.
+func (s *Server) Close() { _ = s.httpS.Close() }

@@ -1,0 +1,173 @@
+package vsr
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"homeconnect/internal/service"
+)
+
+func lampDesc() service.Description {
+	return service.Description{
+		ID:         "jini:lamp-1",
+		Name:       "Living room lamp",
+		Middleware: "jini",
+		Interface: service.Interface{
+			Name: "Lamp",
+			Operations: []service.Operation{
+				{Name: "On", Output: service.KindVoid},
+				{Name: "Off", Output: service.KindVoid},
+				{Name: "SetLevel", Inputs: []service.Parameter{{Name: "level", Type: service.KindInt}}, Output: service.KindVoid},
+				{Name: "Level", Output: service.KindInt},
+			},
+		},
+		Context: map[string]string{"room": "living"},
+	}
+}
+
+func newVSR(t *testing.T) (*Server, *VSR) {
+	t.Helper()
+	srv, err := StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, New(srv.URL())
+}
+
+func TestRegisterLookupRoundTrip(t *testing.T) {
+	_, v := newVSR(t)
+	ctx := context.Background()
+	const endpoint = "http://10.0.0.1:8800/services/jini:lamp-1"
+
+	key, err := v.Register(ctx, lampDesc(), endpoint)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if key == "" {
+		t.Fatal("empty key")
+	}
+	got, err := v.Lookup(ctx, "jini:lamp-1")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if got.Endpoint != endpoint {
+		t.Errorf("endpoint = %q", got.Endpoint)
+	}
+	want := lampDesc()
+	if got.Desc.ID != want.ID || got.Desc.Middleware != want.Middleware || got.Desc.Name != want.Name {
+		t.Errorf("desc = %+v", got.Desc)
+	}
+	if !got.Desc.Interface.Equal(want.Interface) {
+		t.Errorf("interface mismatch: %+v", got.Desc.Interface)
+	}
+	if got.Desc.Context["room"] != "living" {
+		t.Errorf("context = %v", got.Desc.Context)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	_, v := newVSR(t)
+	_, err := v.Lookup(context.Background(), "nope:missing")
+	if !errors.Is(err, service.ErrNoSuchService) {
+		t.Errorf("want ErrNoSuchService, got %v", err)
+	}
+}
+
+func TestFindFilters(t *testing.T) {
+	_, v := newVSR(t)
+	ctx := context.Background()
+	if _, err := v.Register(ctx, lampDesc(), "http://h/1"); err != nil {
+		t.Fatal(err)
+	}
+	vcr := service.Description{
+		ID:         "havi:vcr-1",
+		Middleware: "havi",
+		Interface: service.Interface{Name: "VCR", Operations: []service.Operation{
+			{Name: "Play", Output: service.KindVoid},
+		}},
+		Context: map[string]string{"room": "living"},
+	}
+	if _, err := v.Register(ctx, vcr, "http://h/2"); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		q    Query
+		want int
+	}{
+		{"all", Query{}, 2},
+		{"by middleware", Query{Middleware: "jini"}, 1},
+		{"by interface", Query{Interface: "VCR"}, 1},
+		{"by context", Query{Context: map[string]string{"room": "living"}}, 2},
+		{"by context miss", Query{Context: map[string]string{"room": "kitchen"}}, 0},
+		{"by id", Query{ID: "havi:vcr-1"}, 1},
+		{"combined", Query{Middleware: "jini", Interface: "Lamp"}, 1},
+		{"combined miss", Query{Middleware: "jini", Interface: "VCR"}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := v.Find(ctx, tt.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != tt.want {
+				t.Errorf("Find = %d results, want %d", len(got), tt.want)
+			}
+		})
+	}
+}
+
+func TestReregisterRefreshesNotDuplicates(t *testing.T) {
+	srv, v := newVSR(t)
+	ctx := context.Background()
+	if _, err := v.Register(ctx, lampDesc(), "http://h/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Register(ctx, lampDesc(), "http://h/1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.Registry().Len(); n != 1 {
+		t.Errorf("registry has %d entries, want 1", n)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	srv, v := newVSR(t)
+	v.SetTTL(time.Second)
+	ctx := context.Background()
+	now := time.Unix(0, 0)
+	srv.Registry().SetClock(func() time.Time { return now })
+	if _, err := v.Register(ctx, lampDesc(), "http://h/1"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Second)
+	if _, err := v.Lookup(ctx, "jini:lamp-1"); !errors.Is(err, service.ErrNoSuchService) {
+		t.Errorf("expired service still found: %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	_, v := newVSR(t)
+	ctx := context.Background()
+	key, err := v.Register(ctx, lampDesc(), "http://h/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Unregister(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Lookup(ctx, "jini:lamp-1"); !errors.Is(err, service.ErrNoSuchService) {
+		t.Errorf("unregistered service still found: %v", err)
+	}
+}
+
+func TestRegisterInvalidDescription(t *testing.T) {
+	_, v := newVSR(t)
+	if _, err := v.Register(context.Background(), service.Description{}, "http://h/1"); err == nil {
+		t.Error("invalid description accepted")
+	}
+}

@@ -1,0 +1,382 @@
+package havi
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"homeconnect/internal/ieee1394"
+)
+
+// Element is one software element hosted by a device: FCMs, DCMs and
+// applications implement it. Handlers run on the calling node's goroutine
+// and must be safe for concurrent use.
+type Element interface {
+	// Attributes returns the element's registry attributes.
+	Attributes() map[string]string
+	// HandleMessage serves one control message.
+	HandleMessage(src SEID, opcode uint16, args []Value) ([]Value, error)
+}
+
+// ElementFunc adapts a function (with fixed attributes) to Element.
+type ElementFunc struct {
+	Attrs  map[string]string
+	Handle func(src SEID, opcode uint16, args []Value) ([]Value, error)
+}
+
+// Attributes implements Element.
+func (e ElementFunc) Attributes() map[string]string { return e.Attrs }
+
+// HandleMessage implements Element.
+func (e ElementFunc) HandleMessage(src SEID, opcode uint16, args []Value) ([]Value, error) {
+	return e.Handle(src, opcode, args)
+}
+
+var _ Element = ElementFunc{}
+
+// Device is one HAVi device: a 1394 node running the messaging system,
+// registry, event manager, stream manager and a set of software elements.
+type Device struct {
+	name string
+	bus  *ieee1394.Bus
+	node *ieee1394.Node
+
+	mu       sync.Mutex
+	elements map[uint16]Element
+	nextFCM  uint16
+	subs     map[int]subscription
+	nextSub  int
+	closed   bool
+
+	// resetHooks run after every bus reset (used by PCMs to rescan).
+	resetHooks []func()
+}
+
+type subscription struct {
+	eventType uint16
+	fn        func(src SEID, eventType uint16, args []Value)
+}
+
+// NewDevice attaches a HAVi device with the given GUID to the bus.
+func NewDevice(bus *ieee1394.Bus, guid ieee1394.GUID, name string) *Device {
+	d := &Device{
+		name:     name,
+		bus:      bus,
+		elements: make(map[uint16]Element),
+		nextFCM:  SwFirstFCM,
+		subs:     make(map[int]subscription),
+	}
+	// The DCM represents the device itself in the registry.
+	d.elements[SwDCM] = ElementFunc{
+		Attrs: map[string]string{
+			AttrSEType:  "DCM",
+			AttrDevName: name,
+			AttrHUID:    fmt.Sprintf("huid-%s-dcm", name),
+		},
+		Handle: func(src SEID, opcode uint16, args []Value) ([]Value, error) {
+			return nil, fmt.Errorf("%w: DCM has no opcode %#x", ErrUnknownOpcode, opcode)
+		},
+	}
+	d.node = bus.Attach(guid, d.handleBus, d.handleReset)
+	return d
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// GUID returns the device's bus identity.
+func (d *Device) GUID() ieee1394.GUID { return d.node.GUID() }
+
+// Bus returns the underlying 1394 bus.
+func (d *Device) Bus() *ieee1394.Bus { return d.bus }
+
+// Close detaches the device from the bus.
+func (d *Device) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.bus.Detach(d.node)
+}
+
+// OnBusReset registers fn to run after every bus reset.
+func (d *Device) OnBusReset(fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.resetHooks = append(d.resetHooks, fn)
+}
+
+func (d *Device) handleReset(gen uint64, ids []ieee1394.GUID) {
+	d.mu.Lock()
+	hooks := append([]func(){}, d.resetHooks...)
+	d.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// Register installs el under an explicit software element ID.
+func (d *Device) Register(swID uint16, el Element) SEID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.elements[swID] = el
+	return SEID{GUID: d.node.GUID(), SwID: swID}
+}
+
+// Unregister removes a software element.
+func (d *Device) Unregister(swID uint16) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.elements, swID)
+}
+
+// RegisterFCM installs el under the next free FCM ID.
+func (d *Device) RegisterFCM(el Element) SEID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		id := d.nextFCM
+		d.nextFCM++
+		if _, used := d.elements[id]; !used {
+			d.elements[id] = el
+			return SEID{GUID: d.node.GUID(), SwID: id}
+		}
+	}
+}
+
+// handleBus serves one incoming bus payload.
+func (d *Device) handleBus(src ieee1394.GUID, data []byte) ([]byte, error) {
+	m, err := decodeMessage(data)
+	if err != nil {
+		return encodeReply(statusBadMessage, nil)
+	}
+	srcSEID := SEID{GUID: src, SwID: m.SrcSwID}
+	switch m.DstSwID {
+	case SwRegistry:
+		if m.Opcode == opRegistryQuery {
+			return d.handleRegistryQuery(m.Args)
+		}
+	case SwEventManager:
+		if m.Opcode == opEventPost {
+			d.dispatchEvent(srcSEID, m.Args)
+			return encodeReply(statusOK, nil)
+		}
+	}
+	d.mu.Lock()
+	el, ok := d.elements[m.DstSwID]
+	d.mu.Unlock()
+	if !ok {
+		return encodeReply(statusUnknownElement, nil)
+	}
+	vals, err := el.HandleMessage(srcSEID, m.Opcode, m.Args)
+	status, errVals := statusFromErr(err)
+	if status != statusOK {
+		return encodeReply(status, errVals)
+	}
+	return encodeReply(statusOK, vals)
+}
+
+// handleRegistryQuery answers with the flattened local element table:
+// for each element, [swID int, attrCount int, k, v, k, v, ...].
+func (d *Device) handleRegistryQuery(args []Value) ([]byte, error) {
+	want := make(map[string]string)
+	// Query arguments arrive as alternating key/value strings.
+	for i := 0; i+1 < len(args); i += 2 {
+		k, err1 := ArgString(args, i)
+		v, err2 := ArgString(args, i+1)
+		if err1 != nil || err2 != nil {
+			return encodeReply(statusBadMessage, nil)
+		}
+		want[k] = v
+	}
+	d.mu.Lock()
+	ids := make([]uint16, 0, len(d.elements))
+	for id := range d.elements {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []Value
+	for _, id := range ids {
+		attrs := d.elements[id].Attributes()
+		if !MatchAttrs(want, attrs) {
+			continue
+		}
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out = append(out, int64(id), int64(len(keys)))
+		for _, k := range keys {
+			out = append(out, k, attrs[k])
+		}
+	}
+	d.mu.Unlock()
+	return encodeReply(statusOK, out)
+}
+
+// dispatchEvent delivers a posted event to local subscribers. Event
+// payloads carry the event type as their first argument.
+func (d *Device) dispatchEvent(src SEID, args []Value) {
+	if len(args) < 1 {
+		return
+	}
+	et, ok := args[0].(int64)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	var targets []subscription
+	for _, s := range d.subs {
+		if s.eventType == 0 || s.eventType == uint16(et) {
+			targets = append(targets, s)
+		}
+	}
+	d.mu.Unlock()
+	for _, s := range targets {
+		s.fn(src, uint16(et), args[1:])
+	}
+}
+
+// Send delivers a control message to dst and returns its reply values.
+// srcSwID identifies the sending element (0 for anonymous clients).
+func (d *Device) Send(ctx context.Context, srcSwID uint16, dst SEID, opcode uint16, args []Value) ([]Value, error) {
+	payload, err := encodeMessage(message{DstSwID: dst.SwID, SrcSwID: srcSwID, Opcode: opcode, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	if dst.GUID == d.node.GUID() {
+		// Local delivery without touching the bus, as HAVi messaging does.
+		reply, err := d.handleBus(d.node.GUID(), payload)
+		if err != nil {
+			return nil, err
+		}
+		return decodeReply(reply)
+	}
+	reply, err := d.node.SendAsync(ctx, dst.GUID, payload)
+	if err != nil {
+		return nil, err
+	}
+	return decodeReply(reply)
+}
+
+// Subscribe registers fn for events of the given type (0 subscribes to
+// all). The returned function unsubscribes.
+func (d *Device) Subscribe(eventType uint16, fn func(src SEID, eventType uint16, args []Value)) (stop func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextSub
+	d.nextSub++
+	d.subs[id] = subscription{eventType: eventType, fn: fn}
+	return func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		delete(d.subs, id)
+	}
+}
+
+// PostEvent broadcasts an event bus-wide and delivers it locally.
+func (d *Device) PostEvent(ctx context.Context, srcSwID uint16, eventType uint16, args []Value) error {
+	full := append([]Value{int64(eventType)}, args...)
+	payload, err := encodeMessage(message{
+		DstSwID: SwEventManager,
+		SrcSwID: srcSwID,
+		Opcode:  opEventPost,
+		Args:    full,
+	})
+	if err != nil {
+		return err
+	}
+	src := SEID{GUID: d.node.GUID(), SwID: srcSwID}
+	d.dispatchEvent(src, full)
+	return d.node.Broadcast(ctx, payload)
+}
+
+// Query runs a registry query across every device on the bus (local
+// registry plus each peer) and merges the results, as HAVi's distributed
+// registry queries do. want filters by attribute equality (nil matches
+// everything).
+func (d *Device) Query(ctx context.Context, want map[string]string) ([]ElementInfo, error) {
+	var args []Value
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		args = append(args, k, want[k])
+	}
+
+	var out []ElementInfo
+	// Local registry.
+	localReply, err := d.handleRegistryQuery(args)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := decodeReply(localReply)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := parseRegistryReply(d.node.GUID(), vals)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, infos...)
+
+	// Remote registries.
+	payload, err := encodeMessage(message{DstSwID: SwRegistry, Opcode: opRegistryQuery, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	for _, peer := range d.node.Peers() {
+		reply, err := d.node.SendAsync(ctx, peer, payload)
+		if err != nil {
+			// A peer that vanished mid-query is skipped; the next bus
+			// reset will reconcile, as in real HAVi.
+			continue
+		}
+		vals, err := decodeReply(reply)
+		if err != nil {
+			continue
+		}
+		infos, err := parseRegistryReply(peer, vals)
+		if err != nil {
+			continue
+		}
+		out = append(out, infos...)
+	}
+	return out, nil
+}
+
+// parseRegistryReply decodes the flattened element table.
+func parseRegistryReply(guid ieee1394.GUID, vals []Value) ([]ElementInfo, error) {
+	var out []ElementInfo
+	i := 0
+	for i < len(vals) {
+		id, err := ArgInt(vals, i)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		}
+		count, err := ArgInt(vals, i+1)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		}
+		i += 2
+		attrs := make(map[string]string, count)
+		for j := int64(0); j < count; j++ {
+			k, err1 := ArgString(vals, i)
+			v, err2 := ArgString(vals, i+1)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%w: truncated attributes", ErrBadMessage)
+			}
+			attrs[k] = v
+			i += 2
+		}
+		out = append(out, ElementInfo{SEID: SEID{GUID: guid, SwID: uint16(id)}, Attrs: attrs})
+	}
+	return out, nil
+}

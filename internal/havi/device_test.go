@@ -1,0 +1,330 @@
+package havi
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"homeconnect/internal/ieee1394"
+)
+
+// newAVNetwork builds the paper's AV network: a DV camera device, a VCR
+// device, and a TV (display + tuner) device on one 1394 bus.
+func newAVNetwork(t *testing.T) (bus *ieee1394.Bus, camDev, vcrDev, tvDev *Device, cam *Camera, vcr *VCR, disp *Display, tuner *Tuner) {
+	t.Helper()
+	bus = ieee1394.NewBus()
+	camDev = NewDevice(bus, 0xCA0001, "dvcam")
+	vcrDev = NewDevice(bus, 0xB00002, "vcr")
+	tvDev = NewDevice(bus, 0x770003, "tv")
+	cam = NewCamera(camDev, "cam1")
+	vcr = NewVCR(vcrDev, "vcr1")
+	disp = NewDisplay(tvDev, "screen")
+	tuner = NewTuner(tvDev, "tuner")
+	t.Cleanup(func() {
+		camDev.Close()
+		vcrDev.Close()
+		tvDev.Close()
+	})
+	return
+}
+
+func TestRegistryQueryAcrossBus(t *testing.T) {
+	_, camDev, _, _, _, vcr, _, _ := newAVNetwork(t)
+	ctx := context.Background()
+
+	// All FCMs bus-wide.
+	infos, err := camDev.Query(ctx, map[string]string{AttrSEType: "FCM"})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(infos) != 4 {
+		t.Fatalf("found %d FCMs, want 4: %+v", len(infos), infos)
+	}
+
+	// Filter by FCM type.
+	vcrs, err := camDev.Query(ctx, map[string]string{AttrSEType: "FCM", AttrFCMType: "VCR"})
+	if err != nil || len(vcrs) != 1 {
+		t.Fatalf("VCR query = %+v, %v", vcrs, err)
+	}
+	if vcrs[0].SEID != vcr.SEID() {
+		t.Errorf("VCR SEID = %v, want %v", vcrs[0].SEID, vcr.SEID())
+	}
+	if vcrs[0].Attrs[AttrDevName] != "vcr" {
+		t.Errorf("attrs = %v", vcrs[0].Attrs)
+	}
+
+	// DCMs: one per device.
+	dcms, err := camDev.Query(ctx, map[string]string{AttrSEType: "DCM"})
+	if err != nil || len(dcms) != 3 {
+		t.Fatalf("DCM query = %d, %v", len(dcms), err)
+	}
+}
+
+func TestCrossDeviceControlMessages(t *testing.T) {
+	_, camDev, _, _, _, vcr, _, tuner := newAVNetwork(t)
+	ctx := context.Background()
+
+	// Control the remote VCR from the camera device.
+	if _, err := camDev.Send(ctx, 0, vcr.SEID(), OpRecord, nil); err != nil {
+		t.Fatalf("OpRecord: %v", err)
+	}
+	if vcr.State() != StateRecording {
+		t.Errorf("vcr state = %s", vcr.State())
+	}
+	vals, err := camDev.Send(ctx, 0, vcr.SEID(), OpState, nil)
+	if err != nil || vals[0].(string) != StateRecording {
+		t.Errorf("OpState = %v, %v", vals, err)
+	}
+
+	// Tune the remote tuner.
+	if _, err := camDev.Send(ctx, 0, tuner.SEID(), OpSetChannel, []Value{int64(12)}); err != nil {
+		t.Fatalf("OpSetChannel: %v", err)
+	}
+	if tuner.Channel() != 12 {
+		t.Errorf("channel = %d", tuner.Channel())
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	bus := ieee1394.NewBus()
+	dev := NewDevice(bus, 1, "solo")
+	defer dev.Close()
+	amp := NewAmplifier(dev, "amp")
+	ctx := context.Background()
+	if _, err := dev.Send(ctx, 0, amp.SEID(), OpSetVolume, []Value{int64(80)}); err != nil {
+		t.Fatalf("local send: %v", err)
+	}
+	if amp.Volume() != 80 {
+		t.Errorf("volume = %d", amp.Volume())
+	}
+}
+
+func TestMessageErrors(t *testing.T) {
+	_, camDev, _, _, cam, vcr, _, _ := newAVNetwork(t)
+	ctx := context.Background()
+
+	// Unknown element.
+	bogus := SEID{GUID: vcr.SEID().GUID, SwID: 0x7777}
+	if _, err := camDev.Send(ctx, 0, bogus, OpPlay, nil); !errors.Is(err, ErrUnknownElement) {
+		t.Errorf("unknown element: %v", err)
+	}
+	// Unknown opcode.
+	if _, err := camDev.Send(ctx, 0, vcr.SEID(), OpSetVolume, nil); !errors.Is(err, ErrUnknownOpcode) {
+		t.Errorf("unknown opcode: %v", err)
+	}
+	// Application error crosses the bus.
+	if _, err := camDev.Send(ctx, 0, cam.SEID(), OpZoom, []Value{int64(99)}); !errors.Is(err, ErrRemote) {
+		t.Errorf("range error: %v", err)
+	}
+	// Missing argument.
+	if _, err := camDev.Send(ctx, 0, cam.SEID(), OpZoom, nil); err == nil {
+		t.Error("missing arg accepted")
+	}
+}
+
+func TestEventsBusWide(t *testing.T) {
+	_, camDev, vcrDev, tvDev, _, vcr, _, _ := newAVNetwork(t)
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	events := make(map[string][]string) // device → states seen
+	sub := func(name string, dev *Device) {
+		dev.Subscribe(EventTransport, func(src SEID, et uint16, args []Value) {
+			mu.Lock()
+			defer mu.Unlock()
+			state, _ := ArgString(args, 0)
+			events[name] = append(events[name], state)
+		})
+	}
+	sub("cam", camDev)
+	sub("tv", tvDev)
+
+	// A state change on the VCR is announced to every device.
+	if _, err := vcrDev.Send(ctx, 0, vcr.SEID(), OpPlay, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		got := len(events["cam"]) == 1 && len(events["tv"]) == 1
+		mu.Unlock()
+		if got {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("events = %v", events)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events["cam"][0] != StatePlaying {
+		t.Errorf("cam saw %v", events["cam"])
+	}
+}
+
+func TestSubscribeFilterAndUnsubscribe(t *testing.T) {
+	bus := ieee1394.NewBus()
+	dev := NewDevice(bus, 1, "solo")
+	defer dev.Close()
+	ctx := context.Background()
+
+	var transport, all int
+	var mu sync.Mutex
+	stopT := dev.Subscribe(EventTransport, func(SEID, uint16, []Value) {
+		mu.Lock()
+		transport++
+		mu.Unlock()
+	})
+	dev.Subscribe(0, func(SEID, uint16, []Value) {
+		mu.Lock()
+		all++
+		mu.Unlock()
+	})
+
+	_ = dev.PostEvent(ctx, 0, EventTransport, []Value{StatePlaying})
+	_ = dev.PostEvent(ctx, 0, EventUser, []Value{"x"})
+	mu.Lock()
+	if transport != 1 || all != 2 {
+		t.Errorf("transport=%d all=%d", transport, all)
+	}
+	mu.Unlock()
+
+	stopT()
+	_ = dev.PostEvent(ctx, 0, EventTransport, []Value{StateStopped})
+	mu.Lock()
+	if transport != 1 {
+		t.Error("unsubscribed handler still called")
+	}
+	mu.Unlock()
+}
+
+func TestHotplugAndBusResetHook(t *testing.T) {
+	bus := ieee1394.NewBus()
+	dev := NewDevice(bus, 1, "tv")
+	defer dev.Close()
+	ctx := context.Background()
+
+	var resets int
+	var mu sync.Mutex
+	dev.OnBusReset(func() { mu.Lock(); resets++; mu.Unlock() })
+
+	// A camera appears on the bus.
+	camDev := NewDevice(bus, 2, "dvcam")
+	cam := NewCamera(camDev, "cam1")
+	mu.Lock()
+	if resets != 1 {
+		t.Errorf("resets = %d after attach", resets)
+	}
+	mu.Unlock()
+
+	infos, err := dev.Query(ctx, map[string]string{AttrFCMType: "Camera"})
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("camera not discovered: %v, %v", infos, err)
+	}
+	if infos[0].SEID != cam.SEID() {
+		t.Error("SEID mismatch")
+	}
+
+	// And disappears.
+	camDev.Close()
+	mu.Lock()
+	if resets != 2 {
+		t.Errorf("resets = %d after detach", resets)
+	}
+	mu.Unlock()
+	infos, _ = dev.Query(ctx, map[string]string{AttrFCMType: "Camera"})
+	if len(infos) != 0 {
+		t.Errorf("ghost camera after detach: %v", infos)
+	}
+}
+
+func TestVCRTransportCycle(t *testing.T) {
+	bus := ieee1394.NewBus()
+	dev := NewDevice(bus, 1, "vcr")
+	defer dev.Close()
+	vcr := NewVCR(dev, "vcr1")
+	ctx := context.Background()
+
+	steps := []struct {
+		op   uint16
+		want string
+	}{
+		{OpPlay, StatePlaying},
+		{OpRecord, StateRecording},
+		{OpStop, StateStopped},
+	}
+	for _, s := range steps {
+		if _, err := dev.Send(ctx, 0, vcr.SEID(), s.op, nil); err != nil {
+			t.Fatalf("op %#x: %v", s.op, err)
+		}
+		if vcr.State() != s.want {
+			t.Errorf("state = %s, want %s", vcr.State(), s.want)
+		}
+	}
+	if vcr.Position() != 1 {
+		t.Errorf("position = %d after one record", vcr.Position())
+	}
+	if _, err := dev.Send(ctx, 0, vcr.SEID(), OpRewind, nil); err != nil {
+		t.Fatal(err)
+	}
+	if vcr.Position() != 0 {
+		t.Errorf("position = %d after rewind", vcr.Position())
+	}
+}
+
+func TestStreamConnection(t *testing.T) {
+	bus := ieee1394.NewBus()
+	camDev := NewDevice(bus, 1, "dvcam")
+	tvDev := NewDevice(bus, 2, "tv")
+	defer camDev.Close()
+	defer tvDev.Close()
+	cam := NewCamera(camDev, "cam1")
+	disp := NewDisplay(tvDev, "screen")
+	ctx := context.Background()
+
+	before := bus.AvailableIsoBandwidth()
+	conn, err := tvDev.ConnectStream(ctx, cam.SEID(), disp.SEID(), 0)
+	if err != nil {
+		t.Fatalf("ConnectStream: %v", err)
+	}
+	if bus.AvailableIsoBandwidth() >= before {
+		t.Error("no bandwidth reserved")
+	}
+
+	// The camera sources a burst of frames; wait for the display to
+	// render them.
+	deadline := time.Now().Add(2 * time.Second)
+	for disp.Frames() < 16 {
+		if time.Now().After(deadline) {
+			t.Fatalf("display rendered %d frames", disp.Frames())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := conn.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if bus.AvailableIsoBandwidth() != before {
+		t.Error("bandwidth not released")
+	}
+	if cam.State() != StateStopped {
+		t.Errorf("camera state after close = %s", cam.State())
+	}
+}
+
+func TestStreamConnectionBandwidthExhaustion(t *testing.T) {
+	bus := ieee1394.NewBus()
+	dev := NewDevice(bus, 1, "tv")
+	defer dev.Close()
+	cam := NewCamera(dev, "cam")
+	disp := NewDisplay(dev, "screen")
+	ctx := context.Background()
+
+	if _, err := dev.ConnectStream(ctx, cam.SEID(), disp.SEID(), ieee1394.TotalIsoBandwidth+1); !errors.Is(err, ieee1394.ErrNoBandwidth) {
+		t.Errorf("over-budget connect: %v", err)
+	}
+}

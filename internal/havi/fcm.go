@@ -1,0 +1,524 @@
+package havi
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// FCM opcodes, modelled on the HAVi 1.1 FCM APIs. Each FCM type answers
+// a subset.
+const (
+	// Transport control (VCR, Camera).
+	OpPlay      uint16 = 0x0101
+	OpStop      uint16 = 0x0102
+	OpRecord    uint16 = 0x0103
+	OpRewind    uint16 = 0x0104
+	OpState     uint16 = 0x0105 // → string
+	OpPosition  uint16 = 0x0106 // → int (tape counter / frames captured)
+	OpZoom      uint16 = 0x0110 // Camera: (level int)
+	OpZoomLevel uint16 = 0x0111 // Camera: → int
+
+	// Tuner.
+	OpSetChannel uint16 = 0x0201 // (channel int)
+	OpChannel    uint16 = 0x0202 // → int
+
+	// Display.
+	OpShowMessage uint16 = 0x0301 // (text string)
+	OpSetInput    uint16 = 0x0302 // (input string)
+	OpInput       uint16 = 0x0303 // → string
+	OpFrames      uint16 = 0x0304 // → int (frames rendered)
+
+	// Amplifier.
+	OpSetVolume uint16 = 0x0401 // (volume int 0-100)
+	OpVolume    uint16 = 0x0402 // → int
+
+	// Streaming (sources and sinks).
+	OpStreamTo   uint16 = 0x0501 // (isoChannel int): start sourcing
+	OpSinkFrom   uint16 = 0x0502 // (isoChannel int): start sinking
+	OpStreamHalt uint16 = 0x0503 // stop sourcing/sinking
+)
+
+// Transport states reported by OpState.
+const (
+	StateStopped   = "stopped"
+	StatePlaying   = "playing"
+	StateRecording = "recording"
+	StateCapturing = "capturing"
+)
+
+// FCM is the common base for functional component modules: attributes,
+// the hosting device, and stream plumbing. Concrete FCMs embed it.
+type FCM struct {
+	mu     sync.Mutex
+	dev    *Device
+	seid   SEID
+	attrs  map[string]string
+	stream *streamState
+}
+
+type streamState struct {
+	stop func()
+}
+
+// fcmInit wires the base after registration.
+func (f *FCM) fcmInit(dev *Device, seid SEID, fcmType, name string) {
+	f.dev = dev
+	f.seid = seid
+	f.attrs = map[string]string{
+		AttrSEType:  "FCM",
+		AttrFCMType: fcmType,
+		AttrDevName: dev.Name(),
+		AttrHUID:    fmt.Sprintf("huid-%s-%s", dev.Name(), name),
+	}
+}
+
+// Attributes implements Element.
+func (f *FCM) Attributes() map[string]string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]string, len(f.attrs))
+	for k, v := range f.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// SEID returns the FCM's address.
+func (f *FCM) SEID() SEID { return f.seid }
+
+// Device returns the hosting device.
+func (f *FCM) Device() *Device { return f.dev }
+
+// postTransport publishes a transport state change event.
+func (f *FCM) postTransport(state string) {
+	_ = f.dev.PostEvent(context.Background(), f.seid.SwID, EventTransport, []Value{state})
+}
+
+// haltStream stops any active stream. Caller holds f.mu.
+func (f *FCM) haltStreamLocked() {
+	if f.stream != nil {
+		f.stream.stop()
+		f.stream = nil
+	}
+}
+
+// VCR is the video cassette recorder FCM of the paper's motivating
+// scenario (automatic recording of TV programs).
+type VCR struct {
+	FCM
+	state    string
+	position int64
+	channel  int64 // input channel being recorded
+}
+
+// NewVCR registers a VCR FCM on dev.
+func NewVCR(dev *Device, name string) *VCR {
+	v := &VCR{state: StateStopped}
+	seid := dev.RegisterFCM(v)
+	v.fcmInit(dev, seid, "VCR", name)
+	return v
+}
+
+// State returns the transport state.
+func (v *VCR) State() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.state
+}
+
+// Position returns the tape counter.
+func (v *VCR) Position() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.position
+}
+
+// HandleMessage implements Element.
+func (v *VCR) HandleMessage(src SEID, opcode uint16, args []Value) ([]Value, error) {
+	v.mu.Lock()
+	switch opcode {
+	case OpPlay:
+		v.state = StatePlaying
+		v.mu.Unlock()
+		v.postTransport(StatePlaying)
+		return nil, nil
+	case OpStop:
+		v.state = StateStopped
+		v.haltStreamLocked()
+		v.mu.Unlock()
+		v.postTransport(StateStopped)
+		return nil, nil
+	case OpRecord:
+		v.state = StateRecording
+		v.position++
+		v.mu.Unlock()
+		v.postTransport(StateRecording)
+		return nil, nil
+	case OpRewind:
+		v.position = 0
+		v.mu.Unlock()
+		return nil, nil
+	case OpState:
+		defer v.mu.Unlock()
+		return []Value{v.state}, nil
+	case OpPosition:
+		defer v.mu.Unlock()
+		return []Value{v.position}, nil
+	case OpSetChannel:
+		defer v.mu.Unlock()
+		ch, err := ArgInt(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		v.channel = ch
+		return nil, nil
+	case OpChannel:
+		defer v.mu.Unlock()
+		return []Value{v.channel}, nil
+	case OpStreamTo:
+		defer v.mu.Unlock()
+		return v.startStreamLocked(args)
+	case OpStreamHalt:
+		v.haltStreamLocked()
+		v.state = StateStopped
+		v.mu.Unlock()
+		return nil, nil
+	default:
+		v.mu.Unlock()
+		return nil, fmt.Errorf("%w: VCR %#x", ErrUnknownOpcode, opcode)
+	}
+}
+
+// startStreamLocked begins sourcing frames onto the given iso channel.
+func (v *VCR) startStreamLocked(args []Value) ([]Value, error) {
+	chNum, err := ArgInt(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	ch, ok := v.dev.Bus().Channel(int(chNum))
+	if !ok {
+		return nil, fmt.Errorf("%w: iso channel %d not allocated", ErrRemote, chNum)
+	}
+	v.haltStreamLocked()
+	stopc := make(chan struct{})
+	var once sync.Once
+	v.stream = &streamState{stop: func() { once.Do(func() { close(stopc) }) }}
+	v.state = StatePlaying
+	go func() {
+		seq := 0
+		for {
+			select {
+			case <-stopc:
+				return
+			default:
+			}
+			ch.Send([]byte(fmt.Sprintf("dv-frame-%d", seq)))
+			seq++
+			if seq >= 16 { // one tape "segment" per StreamTo request
+				return
+			}
+		}
+	}()
+	return nil, nil
+}
+
+// Camera is the DV camera FCM controlled in the paper's Figure 5 demo.
+type Camera struct {
+	FCM
+	state  string
+	zoom   int64
+	frames int64
+}
+
+// NewCamera registers a camera FCM on dev.
+func NewCamera(dev *Device, name string) *Camera {
+	c := &Camera{state: StateStopped}
+	seid := dev.RegisterFCM(c)
+	c.fcmInit(dev, seid, "Camera", name)
+	return c
+}
+
+// State returns the capture state.
+func (c *Camera) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Zoom returns the zoom level.
+func (c *Camera) Zoom() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.zoom
+}
+
+// HandleMessage implements Element.
+func (c *Camera) HandleMessage(src SEID, opcode uint16, args []Value) ([]Value, error) {
+	c.mu.Lock()
+	switch opcode {
+	case OpPlay: // start capture
+		c.state = StateCapturing
+		c.mu.Unlock()
+		c.postTransport(StateCapturing)
+		return nil, nil
+	case OpStop:
+		c.state = StateStopped
+		c.haltStreamLocked()
+		c.mu.Unlock()
+		c.postTransport(StateStopped)
+		return nil, nil
+	case OpZoom:
+		defer c.mu.Unlock()
+		z, err := ArgInt(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if z < 0 || z > 10 {
+			return nil, fmt.Errorf("%w: zoom %d out of range 0-10", ErrRemote, z)
+		}
+		c.zoom = z
+		return nil, nil
+	case OpZoomLevel:
+		defer c.mu.Unlock()
+		return []Value{c.zoom}, nil
+	case OpState:
+		defer c.mu.Unlock()
+		return []Value{c.state}, nil
+	case OpPosition:
+		defer c.mu.Unlock()
+		return []Value{c.frames}, nil
+	case OpStreamTo:
+		defer c.mu.Unlock()
+		return c.startStreamLocked(args)
+	case OpStreamHalt:
+		c.haltStreamLocked()
+		c.state = StateStopped
+		c.mu.Unlock()
+		return nil, nil
+	default:
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: Camera %#x", ErrUnknownOpcode, opcode)
+	}
+}
+
+func (c *Camera) startStreamLocked(args []Value) ([]Value, error) {
+	chNum, err := ArgInt(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	ch, ok := c.dev.Bus().Channel(int(chNum))
+	if !ok {
+		return nil, fmt.Errorf("%w: iso channel %d not allocated", ErrRemote, chNum)
+	}
+	c.haltStreamLocked()
+	stopc := make(chan struct{})
+	var once sync.Once
+	c.stream = &streamState{stop: func() { once.Do(func() { close(stopc) }) }}
+	c.state = StateCapturing
+	go func() {
+		seq := 0
+		for {
+			select {
+			case <-stopc:
+				return
+			default:
+			}
+			ch.Send([]byte(fmt.Sprintf("cam-frame-%d", seq)))
+			c.mu.Lock()
+			c.frames++
+			c.mu.Unlock()
+			seq++
+			if seq >= 16 {
+				return
+			}
+		}
+	}()
+	return nil, nil
+}
+
+// Tuner selects broadcast channels.
+type Tuner struct {
+	FCM
+	channel int64
+}
+
+// NewTuner registers a tuner FCM on dev.
+func NewTuner(dev *Device, name string) *Tuner {
+	t := &Tuner{channel: 1}
+	seid := dev.RegisterFCM(t)
+	t.fcmInit(dev, seid, "Tuner", name)
+	return t
+}
+
+// Channel returns the tuned channel.
+func (t *Tuner) Channel() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.channel
+}
+
+// HandleMessage implements Element.
+func (t *Tuner) HandleMessage(src SEID, opcode uint16, args []Value) ([]Value, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch opcode {
+	case OpSetChannel:
+		ch, err := ArgInt(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if ch < 1 || ch > 999 {
+			return nil, fmt.Errorf("%w: channel %d out of range", ErrRemote, ch)
+		}
+		t.channel = ch
+		return nil, nil
+	case OpChannel:
+		return []Value{t.channel}, nil
+	default:
+		return nil, fmt.Errorf("%w: Tuner %#x", ErrUnknownOpcode, opcode)
+	}
+}
+
+// Display renders messages and sinks video streams (the digital TV GUI
+// of the paper's scenario).
+type Display struct {
+	FCM
+	input    string
+	messages []string
+	frames   int64
+}
+
+// NewDisplay registers a display FCM on dev.
+func NewDisplay(dev *Device, name string) *Display {
+	d := &Display{input: "tuner"}
+	seid := dev.RegisterFCM(d)
+	d.fcmInit(dev, seid, "Display", name)
+	return d
+}
+
+// Messages returns the messages shown so far.
+func (d *Display) Messages() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.messages...)
+}
+
+// Frames returns the number of video frames rendered.
+func (d *Display) Frames() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.frames
+}
+
+// Input returns the selected input.
+func (d *Display) Input() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.input
+}
+
+// HandleMessage implements Element.
+func (d *Display) HandleMessage(src SEID, opcode uint16, args []Value) ([]Value, error) {
+	d.mu.Lock()
+	switch opcode {
+	case OpShowMessage:
+		defer d.mu.Unlock()
+		text, err := ArgString(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		d.messages = append(d.messages, text)
+		return nil, nil
+	case OpSetInput:
+		defer d.mu.Unlock()
+		input, err := ArgString(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		d.input = input
+		return nil, nil
+	case OpInput:
+		defer d.mu.Unlock()
+		return []Value{d.input}, nil
+	case OpFrames:
+		defer d.mu.Unlock()
+		return []Value{d.frames}, nil
+	case OpSinkFrom:
+		defer d.mu.Unlock()
+		chNum, err := ArgInt(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		ch, ok := d.dev.Bus().Channel(int(chNum))
+		if !ok {
+			return nil, fmt.Errorf("%w: iso channel %d not allocated", ErrRemote, chNum)
+		}
+		d.haltStreamLocked()
+		stop := ch.Listen(func(packet []byte) {
+			d.mu.Lock()
+			d.frames++
+			d.mu.Unlock()
+		})
+		d.stream = &streamState{stop: stop}
+		return nil, nil
+	case OpStreamHalt:
+		d.haltStreamLocked()
+		d.mu.Unlock()
+		return nil, nil
+	default:
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: Display %#x", ErrUnknownOpcode, opcode)
+	}
+}
+
+// Amplifier controls audio volume.
+type Amplifier struct {
+	FCM
+	volume int64
+}
+
+// NewAmplifier registers an amplifier FCM on dev.
+func NewAmplifier(dev *Device, name string) *Amplifier {
+	a := &Amplifier{volume: 50}
+	seid := dev.RegisterFCM(a)
+	a.fcmInit(dev, seid, "Amplifier", name)
+	return a
+}
+
+// Volume returns the volume (0-100).
+func (a *Amplifier) Volume() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.volume
+}
+
+// HandleMessage implements Element.
+func (a *Amplifier) HandleMessage(src SEID, opcode uint16, args []Value) ([]Value, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch opcode {
+	case OpSetVolume:
+		v, err := ArgInt(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 100 {
+			return nil, fmt.Errorf("%w: volume %d out of range 0-100", ErrRemote, v)
+		}
+		a.volume = v
+		return nil, nil
+	case OpVolume:
+		return []Value{a.volume}, nil
+	default:
+		return nil, fmt.Errorf("%w: Amplifier %#x", ErrUnknownOpcode, opcode)
+	}
+}
+
+var (
+	_ Element = (*VCR)(nil)
+	_ Element = (*Camera)(nil)
+	_ Element = (*Tuner)(nil)
+	_ Element = (*Display)(nil)
+	_ Element = (*Amplifier)(nil)
+)

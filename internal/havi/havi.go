@@ -1,0 +1,215 @@
+// Package havi simulates the HAVi (Home Audio/Video interoperability)
+// middleware that the paper bridges for digital AV appliances. It is
+// layered on the internal/ieee1394 bus exactly as real HAVi sits on
+// FireWire:
+//
+//   - a Messaging System per device routes request/response messages
+//     between software elements addressed by SEID (GUID + software
+//     element ID);
+//   - a Registry per device stores software element attributes; queries
+//     fan out to every device on the bus and merge, as HAVi registry
+//     queries do;
+//   - an Event Manager broadcasts typed events to subscribers bus-wide;
+//   - Device Control Modules (DCMs) host Functional Component Modules
+//     (FCMs) — VCR, Camera, Tuner, Display, Amplifier — each with an
+//     opcode table modelled on the HAVi FCM APIs;
+//   - a Stream Manager establishes isochronous connections between
+//     source and sink FCMs with real bandwidth allocation.
+//
+// The HAVi PCM consumes this package's registry and messaging APIs to
+// generate proxies, exactly as the paper's PCM consumed the HAVi stack.
+package havi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"homeconnect/internal/ieee1394"
+)
+
+// Well-known software element IDs within a device, mirroring HAVi's
+// reserved SEID range.
+const (
+	// SwRegistry answers registry queries.
+	SwRegistry uint16 = 0x0001
+	// SwEventManager receives event broadcasts.
+	SwEventManager uint16 = 0x0002
+	// SwStreamManager negotiates isochronous connections.
+	SwStreamManager uint16 = 0x0003
+	// SwDCM is the device control module.
+	SwDCM uint16 = 0x0010
+	// SwFirstFCM is the first ID assigned to FCMs.
+	SwFirstFCM uint16 = 0x0020
+)
+
+// Errors returned by the HAVi layer.
+var (
+	// ErrUnknownElement reports a message to an SEID with no registered
+	// software element.
+	ErrUnknownElement = errors.New("havi: unknown software element")
+	// ErrUnknownOpcode reports an opcode outside the element's table.
+	ErrUnknownOpcode = errors.New("havi: unknown opcode")
+	// ErrBadMessage reports an undecodable bus payload.
+	ErrBadMessage = errors.New("havi: bad message")
+	// ErrRemote wraps failures raised by a remote software element.
+	ErrRemote = errors.New("havi: remote error")
+)
+
+// SEID addresses one software element on the bus.
+type SEID struct {
+	GUID ieee1394.GUID
+	SwID uint16
+}
+
+// String renders the SEID as guid/swid.
+func (s SEID) String() string { return fmt.Sprintf("%s/%04x", s.GUID, s.SwID) }
+
+// Message wire status codes.
+const (
+	statusOK byte = iota
+	statusUnknownElement
+	statusUnknownOpcode
+	statusBadMessage
+	statusError
+)
+
+// message is the decoded wire form of one HAVi message.
+type message struct {
+	DstSwID uint16
+	SrcSwID uint16
+	Opcode  uint16
+	Args    []Value
+}
+
+// encodeMessage builds the bus payload for a message.
+func encodeMessage(m message) ([]byte, error) {
+	head := make([]byte, 6)
+	binary.BigEndian.PutUint16(head[0:], m.DstSwID)
+	binary.BigEndian.PutUint16(head[2:], m.SrcSwID)
+	binary.BigEndian.PutUint16(head[4:], m.Opcode)
+	body, err := MarshalValues(m.Args)
+	if err != nil {
+		return nil, err
+	}
+	return append(head, body...), nil
+}
+
+// decodeMessage inverts encodeMessage.
+func decodeMessage(data []byte) (message, error) {
+	if len(data) < 7 {
+		return message{}, fmt.Errorf("%w: %d bytes", ErrBadMessage, len(data))
+	}
+	m := message{
+		DstSwID: binary.BigEndian.Uint16(data[0:]),
+		SrcSwID: binary.BigEndian.Uint16(data[2:]),
+		Opcode:  binary.BigEndian.Uint16(data[4:]),
+	}
+	vals, _, err := UnmarshalValues(data[6:])
+	if err != nil {
+		return message{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	m.Args = vals
+	return m, nil
+}
+
+// encodeReply builds a response payload: status byte plus values.
+func encodeReply(status byte, vals []Value) ([]byte, error) {
+	body, err := MarshalValues(vals)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{status}, body...), nil
+}
+
+// decodeReply inverts encodeReply, mapping non-OK statuses to errors.
+func decodeReply(data []byte) ([]Value, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("%w: empty reply", ErrBadMessage)
+	}
+	status := data[0]
+	vals, _, err := UnmarshalValues(data[1:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	switch status {
+	case statusOK:
+		return vals, nil
+	case statusUnknownElement:
+		return nil, ErrUnknownElement
+	case statusUnknownOpcode:
+		return nil, ErrUnknownOpcode
+	case statusBadMessage:
+		return nil, ErrBadMessage
+	default:
+		msg := ""
+		if len(vals) > 0 {
+			if s, ok := vals[0].(string); ok {
+				msg = s
+			}
+		}
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+}
+
+// statusFromErr classifies an element error for the wire.
+func statusFromErr(err error) (byte, []Value) {
+	switch {
+	case err == nil:
+		return statusOK, nil
+	case errors.Is(err, ErrUnknownElement):
+		return statusUnknownElement, nil
+	case errors.Is(err, ErrUnknownOpcode):
+		return statusUnknownOpcode, nil
+	case errors.Is(err, ErrBadMessage):
+		return statusBadMessage, nil
+	default:
+		return statusError, []Value{err.Error()}
+	}
+}
+
+// Registry attribute names, mirroring HAVi's ATT_* attribute set.
+const (
+	AttrSEType   = "SE_TYPE"   // "DCM", "FCM", "APPLICATION"
+	AttrFCMType  = "FCM_TYPE"  // "VCR", "Camera", ...
+	AttrHUID     = "HUID"      // globally unique element identity
+	AttrDevName  = "DEV_NAME"  // human-readable device name
+	AttrDevManuf = "DEV_MANUF" // manufacturer
+)
+
+// Event types carried by the Event Manager.
+const (
+	// EventElementsChanged announces registry membership changes
+	// (HAVi's NewSoftwareElement/GoneSoftwareElement events).
+	EventElementsChanged uint16 = 0x0001
+	// EventTransport announces FCM transport state changes
+	// (play/stop/record), used by the multimedia application.
+	EventTransport uint16 = 0x0100
+	// EventUser is the first free application event type.
+	EventUser uint16 = 0x1000
+)
+
+// Registry query opcode (sent to SwRegistry) and event post opcode (sent
+// to SwEventManager).
+const (
+	opRegistryQuery uint16 = 0x0001
+	opEventPost     uint16 = 0x0002
+	opStreamStart   uint16 = 0x0003
+	opStreamStop    uint16 = 0x0004
+)
+
+// ElementInfo is one registry query result.
+type ElementInfo struct {
+	SEID  SEID
+	Attrs map[string]string
+}
+
+// MatchAttrs reports whether have satisfies every requirement in want.
+func MatchAttrs(want, have map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}

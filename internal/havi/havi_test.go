@@ -1,0 +1,163 @@
+package havi
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalValuesRoundTrip(t *testing.T) {
+	in := []Value{"hello", int64(-42), 3.25, true, []byte{0, 1, 255}, false, ""}
+	data, err := MarshalValues(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, n, err := UnmarshalValues(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if n != len(data) {
+		t.Errorf("consumed %d of %d bytes", n, len(data))
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d values, want %d", len(out), len(in))
+	}
+	for i := range in {
+		switch want := in[i].(type) {
+		case []byte:
+			got, ok := out[i].([]byte)
+			if !ok || string(got) != string(want) {
+				t.Errorf("value %d: %v != %v", i, out[i], want)
+			}
+		default:
+			if out[i] != in[i] {
+				t.Errorf("value %d: %v != %v", i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestMarshalIntWidths(t *testing.T) {
+	// Plain int is accepted and surfaces as int64.
+	data, err := MarshalValues([]Value{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := UnmarshalValues(data)
+	if err != nil || out[0].(int64) != 7 {
+		t.Errorf("int round trip = %v, %v", out, err)
+	}
+}
+
+func TestMarshalRejectsUnknownTypes(t *testing.T) {
+	if _, err := MarshalValues([]Value{struct{}{}}); err == nil {
+		t.Error("struct value accepted")
+	}
+	if _, err := MarshalValues(make([]Value, 256)); err == nil {
+		t.Error("256 values accepted")
+	}
+}
+
+func TestUnmarshalRejectsTruncated(t *testing.T) {
+	data, _ := MarshalValues([]Value{"abcdef", int64(1)})
+	for cut := 1; cut < len(data); cut++ {
+		if _, _, err := UnmarshalValues(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, err := UnmarshalValues(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, _, err := UnmarshalValues([]byte{1, 99}); err == nil {
+		t.Error("unknown tag accepted")
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	fn := func(s string, n int64, f float64, b bool, raw []byte) bool {
+		if math.IsNaN(f) {
+			f = 0
+		}
+		in := []Value{s, n, f, b, raw}
+		data, err := MarshalValues(in)
+		if err != nil {
+			return false
+		}
+		out, _, err := UnmarshalValues(data)
+		if err != nil || len(out) != 5 {
+			return false
+		}
+		return out[0] == s && out[1] == n && out[2] == f && out[3] == b &&
+			string(out[4].([]byte)) == string(raw)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	m := message{DstSwID: 0x20, SrcSwID: 0x01, Opcode: OpSetChannel, Args: []Value{int64(9)}}
+	data, err := encodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeMessage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DstSwID != m.DstSwID || got.SrcSwID != m.SrcSwID || got.Opcode != m.Opcode {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if got.Args[0].(int64) != 9 {
+		t.Errorf("args = %v", got.Args)
+	}
+	if _, err := decodeMessage([]byte{1, 2, 3}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("short message: %v", err)
+	}
+}
+
+func TestReplyCodec(t *testing.T) {
+	data, err := encodeReply(statusOK, []Value{"fine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := decodeReply(data)
+	if err != nil || vals[0] != "fine" {
+		t.Fatalf("decodeReply = %v, %v", vals, err)
+	}
+	for _, tt := range []struct {
+		status byte
+		want   error
+	}{
+		{statusUnknownElement, ErrUnknownElement},
+		{statusUnknownOpcode, ErrUnknownOpcode},
+		{statusBadMessage, ErrBadMessage},
+	} {
+		data, _ := encodeReply(tt.status, nil)
+		if _, err := decodeReply(data); !errors.Is(err, tt.want) {
+			t.Errorf("status %d: got %v, want %v", tt.status, err, tt.want)
+		}
+	}
+	data, _ = encodeReply(statusError, []Value{"kaboom"})
+	_, err = decodeReply(data)
+	if !errors.Is(err, ErrRemote) {
+		t.Errorf("statusError: %v", err)
+	}
+}
+
+func TestMatchAttrs(t *testing.T) {
+	have := map[string]string{"a": "1", "b": "2"}
+	if !MatchAttrs(nil, have) {
+		t.Error("nil want should match")
+	}
+	if !MatchAttrs(map[string]string{"a": "1"}, have) {
+		t.Error("subset should match")
+	}
+	if MatchAttrs(map[string]string{"a": "2"}, have) {
+		t.Error("wrong value matched")
+	}
+	if MatchAttrs(map[string]string{"c": "3"}, have) {
+		t.Error("missing key matched")
+	}
+}

@@ -1,0 +1,171 @@
+package havi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Value is a dynamically typed HAVi message argument: string, int64,
+// float64, bool or []byte. HAVi defines its own compact marshaling for
+// message payloads; this is the simulation's equivalent.
+type Value = any
+
+// Marshal value kind tags.
+const (
+	tagString byte = 1
+	tagInt    byte = 2
+	tagFloat  byte = 3
+	tagBool   byte = 4
+	tagBytes  byte = 5
+)
+
+// MarshalValues encodes arguments into the compact HAVi payload form:
+// a count byte followed by tagged values.
+func MarshalValues(vals []Value) ([]byte, error) {
+	if len(vals) > 255 {
+		return nil, fmt.Errorf("havi: too many values: %d", len(vals))
+	}
+	out := []byte{byte(len(vals))}
+	for i, v := range vals {
+		switch t := v.(type) {
+		case string:
+			out = append(out, tagString)
+			out = appendLenBytes(out, []byte(t))
+		case int64:
+			out = append(out, tagInt)
+			out = binary.BigEndian.AppendUint64(out, uint64(t))
+		case int:
+			out = append(out, tagInt)
+			out = binary.BigEndian.AppendUint64(out, uint64(int64(t)))
+		case float64:
+			out = append(out, tagFloat)
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(t))
+		case bool:
+			out = append(out, tagBool)
+			if t {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		case []byte:
+			out = append(out, tagBytes)
+			out = appendLenBytes(out, t)
+		default:
+			return nil, fmt.Errorf("havi: cannot marshal value %d of type %T", i, v)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalValues decodes a payload produced by MarshalValues, returning
+// the values and the number of bytes consumed.
+func UnmarshalValues(data []byte) ([]Value, int, error) {
+	if len(data) < 1 {
+		return nil, 0, fmt.Errorf("havi: empty payload")
+	}
+	count := int(data[0])
+	pos := 1
+	vals := make([]Value, 0, count)
+	for i := 0; i < count; i++ {
+		if pos >= len(data) {
+			return nil, 0, fmt.Errorf("havi: truncated payload at value %d", i)
+		}
+		tag := data[pos]
+		pos++
+		switch tag {
+		case tagString:
+			raw, n, err := readLenBytes(data[pos:])
+			if err != nil {
+				return nil, 0, fmt.Errorf("havi: value %d: %w", i, err)
+			}
+			pos += n
+			vals = append(vals, string(raw))
+		case tagInt:
+			if pos+8 > len(data) {
+				return nil, 0, fmt.Errorf("havi: truncated int at value %d", i)
+			}
+			vals = append(vals, int64(binary.BigEndian.Uint64(data[pos:])))
+			pos += 8
+		case tagFloat:
+			if pos+8 > len(data) {
+				return nil, 0, fmt.Errorf("havi: truncated float at value %d", i)
+			}
+			vals = append(vals, math.Float64frombits(binary.BigEndian.Uint64(data[pos:])))
+			pos += 8
+		case tagBool:
+			if pos >= len(data) {
+				return nil, 0, fmt.Errorf("havi: truncated bool at value %d", i)
+			}
+			vals = append(vals, data[pos] != 0)
+			pos++
+		case tagBytes:
+			raw, n, err := readLenBytes(data[pos:])
+			if err != nil {
+				return nil, 0, fmt.Errorf("havi: value %d: %w", i, err)
+			}
+			pos += n
+			cp := make([]byte, len(raw))
+			copy(cp, raw)
+			vals = append(vals, cp)
+		default:
+			return nil, 0, fmt.Errorf("havi: unknown value tag %d", tag)
+		}
+	}
+	return vals, pos, nil
+}
+
+func appendLenBytes(out, b []byte) []byte {
+	out = binary.BigEndian.AppendUint32(out, uint32(len(b)))
+	return append(out, b...)
+}
+
+func readLenBytes(data []byte) ([]byte, int, error) {
+	if len(data) < 4 {
+		return nil, 0, fmt.Errorf("truncated length")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	if 4+n > len(data) {
+		return nil, 0, fmt.Errorf("truncated bytes: want %d, have %d", n, len(data)-4)
+	}
+	return data[4 : 4+n], 4 + n, nil
+}
+
+// String, Int, Float, Bool and Bytes extract typed arguments with
+// positional error reporting, for use in FCM handlers.
+
+// ArgString returns args[i] as a string.
+func ArgString(args []Value, i int) (string, error) {
+	if i >= len(args) {
+		return "", fmt.Errorf("havi: missing argument %d", i)
+	}
+	s, ok := args[i].(string)
+	if !ok {
+		return "", fmt.Errorf("havi: argument %d is %T, want string", i, args[i])
+	}
+	return s, nil
+}
+
+// ArgInt returns args[i] as an int64.
+func ArgInt(args []Value, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("havi: missing argument %d", i)
+	}
+	n, ok := args[i].(int64)
+	if !ok {
+		return 0, fmt.Errorf("havi: argument %d is %T, want int", i, args[i])
+	}
+	return n, nil
+}
+
+// ArgBool returns args[i] as a bool.
+func ArgBool(args []Value, i int) (bool, error) {
+	if i >= len(args) {
+		return false, fmt.Errorf("havi: missing argument %d", i)
+	}
+	b, ok := args[i].(bool)
+	if !ok {
+		return false, fmt.Errorf("havi: argument %d is %T, want bool", i, args[i])
+	}
+	return b, nil
+}

@@ -1,0 +1,72 @@
+package havi
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"homeconnect/internal/ieee1394"
+)
+
+// Connection is an established isochronous AV connection between a source
+// FCM and a sink FCM, managed by the Stream Manager: the channel and
+// bandwidth stay reserved until Close.
+type Connection struct {
+	dev *Device
+	src SEID
+	dst SEID
+	ch  *ieee1394.IsoChannel
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DefaultStreamBandwidth approximates a DV stream's bandwidth share.
+const DefaultStreamBandwidth = 800
+
+// ConnectStream establishes src → dst over a freshly allocated
+// isochronous channel: the sink is armed first, then the source starts
+// streaming, as the HAVi Stream Manager sequences it.
+func (d *Device) ConnectStream(ctx context.Context, src, dst SEID, bandwidth int) (*Connection, error) {
+	if bandwidth <= 0 {
+		bandwidth = DefaultStreamBandwidth
+	}
+	ch, err := d.bus.AllocateIso(bandwidth)
+	if err != nil {
+		return nil, fmt.Errorf("havi: stream manager: %w", err)
+	}
+	chArg := []Value{int64(ch.Number())}
+	if _, err := d.Send(ctx, SwStreamManager, dst, OpSinkFrom, chArg); err != nil {
+		ch.Release()
+		return nil, fmt.Errorf("havi: arm sink %s: %w", dst, err)
+	}
+	if _, err := d.Send(ctx, SwStreamManager, src, OpStreamTo, chArg); err != nil {
+		_, _ = d.Send(ctx, SwStreamManager, dst, OpStreamHalt, nil)
+		ch.Release()
+		return nil, fmt.Errorf("havi: start source %s: %w", src, err)
+	}
+	return &Connection{dev: d, src: src, dst: dst, ch: ch}, nil
+}
+
+// Channel returns the underlying isochronous channel.
+func (c *Connection) Channel() *ieee1394.IsoChannel { return c.ch }
+
+// Close halts both endpoints and releases the channel.
+func (c *Connection) Close(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var firstErr error
+	if _, err := c.dev.Send(ctx, SwStreamManager, c.src, OpStreamHalt, nil); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if _, err := c.dev.Send(ctx, SwStreamManager, c.dst, OpStreamHalt, nil); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	c.ch.Release()
+	return firstErr
+}

@@ -1,0 +1,233 @@
+// Package ieee1394 simulates the IEEE 1394 (FireWire) bus that HAVi runs
+// on: hot-pluggable nodes identified by 64-bit GUIDs, bus resets with
+// self-identification on every topology change, asynchronous
+// request/response transactions, and isochronous channels with bandwidth
+// allocation for streaming.
+//
+// The simulation is in-process: nodes attach to a Bus value and exchange
+// byte payloads. Fidelity points that matter to the layers above: a bus
+// reset invalidates the generation number, so transactions in flight
+// across a reset fail with ErrBusReset exactly as 1394 transactions do;
+// and isochronous bandwidth is a finite resource, so allocation can fail.
+package ieee1394
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Simulation limits from the 1394 specification.
+const (
+	// MaxIsoChannels is the number of isochronous channel slots.
+	MaxIsoChannels = 64
+	// TotalIsoBandwidth is the allocatable bandwidth budget in abstract
+	// "bandwidth units" (the real bus uses 4915 units of ~20ns each).
+	TotalIsoBandwidth = 4915
+)
+
+// Errors returned by the bus.
+var (
+	// ErrBusReset reports a transaction interrupted by a topology change.
+	ErrBusReset = errors.New("ieee1394: bus reset")
+	// ErrNoSuchNode reports a transaction to a GUID not on the bus.
+	ErrNoSuchNode = errors.New("ieee1394: no such node")
+	// ErrNoBandwidth reports isochronous allocation beyond the budget.
+	ErrNoBandwidth = errors.New("ieee1394: insufficient isochronous bandwidth")
+	// ErrNoChannel reports exhaustion of the 64 channel slots.
+	ErrNoChannel = errors.New("ieee1394: no isochronous channel available")
+	// ErrDetached reports an operation on a node no longer attached.
+	ErrDetached = errors.New("ieee1394: node detached")
+)
+
+// GUID is a node's 64-bit globally unique identifier (EUI-64).
+type GUID uint64
+
+// String renders the GUID as 16 hex digits.
+func (g GUID) String() string { return fmt.Sprintf("%016x", uint64(g)) }
+
+// RequestHandler serves incoming asynchronous transactions addressed to a
+// node. It runs on the sender's goroutine and returns the response
+// payload or an application error.
+type RequestHandler func(src GUID, data []byte) ([]byte, error)
+
+// ResetHandler is notified after every bus reset with the new generation
+// number and the self-ID list (all GUIDs on the bus, sorted).
+type ResetHandler func(generation uint64, selfIDs []GUID)
+
+// Bus is the shared 1394 medium.
+type Bus struct {
+	mu         sync.RWMutex
+	generation uint64
+	nodes      map[GUID]*Node
+	channels   map[int]*IsoChannel
+	bandwidth  int // remaining budget
+}
+
+// NewBus returns an empty bus at generation zero.
+func NewBus() *Bus {
+	return &Bus{
+		nodes:     make(map[GUID]*Node),
+		channels:  make(map[int]*IsoChannel),
+		bandwidth: TotalIsoBandwidth,
+	}
+}
+
+// Generation returns the current bus generation (increments on every
+// reset).
+func (b *Bus) Generation() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.generation
+}
+
+// SelfIDs returns the sorted GUIDs currently on the bus.
+func (b *Bus) SelfIDs() []GUID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.selfIDsLocked()
+}
+
+func (b *Bus) selfIDsLocked() []GUID {
+	ids := make([]GUID, 0, len(b.nodes))
+	for g := range b.nodes {
+		ids = append(ids, g)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Attach adds a node with the given GUID, triggering a bus reset. The
+// handler serves incoming transactions; onReset (optional) observes
+// resets. Attaching an already-present GUID replaces the old node, as a
+// re-plugged device would.
+func (b *Bus) Attach(guid GUID, handler RequestHandler, onReset ResetHandler) *Node {
+	n := &Node{bus: b, guid: guid, handler: handler, onReset: onReset}
+	b.mu.Lock()
+	b.nodes[guid] = n
+	b.resetLocked()
+	observers, gen, ids := b.resetObserversLocked()
+	b.mu.Unlock()
+	notifyReset(observers, gen, ids)
+	return n
+}
+
+// Detach removes a node, triggering a bus reset.
+func (b *Bus) Detach(n *Node) {
+	b.mu.Lock()
+	if b.nodes[n.guid] != n {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.nodes, n.guid)
+	n.detached = true
+	b.resetLocked()
+	observers, gen, ids := b.resetObserversLocked()
+	b.mu.Unlock()
+	notifyReset(observers, gen, ids)
+}
+
+// resetLocked bumps the generation. Caller holds b.mu.
+func (b *Bus) resetLocked() { b.generation++ }
+
+// resetObserversLocked snapshots reset handlers for delivery outside the
+// lock.
+func (b *Bus) resetObserversLocked() ([]ResetHandler, uint64, []GUID) {
+	var obs []ResetHandler
+	for _, n := range b.nodes {
+		if n.onReset != nil {
+			obs = append(obs, n.onReset)
+		}
+	}
+	return obs, b.generation, b.selfIDsLocked()
+}
+
+func notifyReset(observers []ResetHandler, gen uint64, ids []GUID) {
+	for _, fn := range observers {
+		fn(gen, ids)
+	}
+}
+
+// Node is one attached device.
+type Node struct {
+	bus      *Bus
+	guid     GUID
+	handler  RequestHandler
+	onReset  ResetHandler
+	detached bool
+}
+
+// GUID returns the node's identifier.
+func (n *Node) GUID() GUID { return n.guid }
+
+// SendAsync performs an asynchronous transaction to dst: the request is
+// delivered to dst's handler and the response returned. The transaction
+// fails with ErrBusReset if a reset occurs between send and completion,
+// matching 1394 transaction-layer semantics.
+func (n *Node) SendAsync(ctx context.Context, dst GUID, data []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n.bus.mu.RLock()
+	if n.detached || n.bus.nodes[n.guid] != n {
+		n.bus.mu.RUnlock()
+		return nil, ErrDetached
+	}
+	gen := n.bus.generation
+	target, ok := n.bus.nodes[dst]
+	n.bus.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchNode, dst)
+	}
+	resp, err := target.handler(n.guid, data)
+	if err != nil {
+		return nil, err
+	}
+	// Transaction completion check: a reset between request and response
+	// aborts the transaction.
+	n.bus.mu.RLock()
+	stale := n.bus.generation != gen
+	n.bus.mu.RUnlock()
+	if stale {
+		return nil, ErrBusReset
+	}
+	return resp, nil
+}
+
+// Broadcast delivers data to every other node's handler, ignoring
+// responses and errors (1394 broadcast writes are unconfirmed).
+func (n *Node) Broadcast(ctx context.Context, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n.bus.mu.RLock()
+	if n.detached || n.bus.nodes[n.guid] != n {
+		n.bus.mu.RUnlock()
+		return ErrDetached
+	}
+	targets := make([]*Node, 0, len(n.bus.nodes))
+	for g, t := range n.bus.nodes {
+		if g != n.guid {
+			targets = append(targets, t)
+		}
+	}
+	n.bus.mu.RUnlock()
+	for _, t := range targets {
+		_, _ = t.handler(n.guid, data)
+	}
+	return nil
+}
+
+// Peers returns the GUIDs of all other nodes currently on the bus.
+func (n *Node) Peers() []GUID {
+	all := n.bus.SelfIDs()
+	out := all[:0]
+	for _, g := range all {
+		if g != n.guid {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package ieee1394
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func echoHandler(prefix string) RequestHandler {
+	return func(src GUID, data []byte) ([]byte, error) {
+		return append([]byte(prefix), data...), nil
+	}
+}
+
+func TestAttachTriggersBusReset(t *testing.T) {
+	bus := NewBus()
+	var resets []uint64
+	var mu sync.Mutex
+	onReset := func(gen uint64, ids []GUID) {
+		mu.Lock()
+		resets = append(resets, gen)
+		mu.Unlock()
+	}
+	n1 := bus.Attach(1, echoHandler("a"), onReset)
+	if bus.Generation() != 1 {
+		t.Errorf("generation = %d, want 1", bus.Generation())
+	}
+	bus.Attach(2, echoHandler("b"), nil)
+	if bus.Generation() != 2 {
+		t.Errorf("generation = %d, want 2", bus.Generation())
+	}
+	mu.Lock()
+	if len(resets) != 2 {
+		t.Errorf("node 1 saw %d resets, want 2", len(resets))
+	}
+	mu.Unlock()
+	ids := bus.SelfIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("SelfIDs = %v", ids)
+	}
+	bus.Detach(n1)
+	if got := bus.SelfIDs(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("SelfIDs after detach = %v", got)
+	}
+}
+
+func TestSendAsync(t *testing.T) {
+	bus := NewBus()
+	n1 := bus.Attach(1, echoHandler("one:"), nil)
+	bus.Attach(2, echoHandler("two:"), nil)
+	ctx := context.Background()
+
+	resp, err := n1.SendAsync(ctx, 2, []byte("ping"))
+	if err != nil || string(resp) != "two:ping" {
+		t.Fatalf("SendAsync = %q, %v", resp, err)
+	}
+	if _, err := n1.SendAsync(ctx, 99, nil); !errors.Is(err, ErrNoSuchNode) {
+		t.Errorf("missing node: %v", err)
+	}
+}
+
+func TestSendAsyncAfterDetach(t *testing.T) {
+	bus := NewBus()
+	n1 := bus.Attach(1, echoHandler(""), nil)
+	bus.Attach(2, echoHandler(""), nil)
+	bus.Detach(n1)
+	if _, err := n1.SendAsync(context.Background(), 2, nil); !errors.Is(err, ErrDetached) {
+		t.Errorf("detached send: %v", err)
+	}
+}
+
+func TestSendAsyncInterruptedByBusReset(t *testing.T) {
+	bus := NewBus()
+	var n3 *Node
+	// Node 2's handler detaches node 3 mid-transaction, forcing a reset
+	// between request and response.
+	n1 := bus.Attach(1, echoHandler(""), nil)
+	bus.Attach(2, func(src GUID, data []byte) ([]byte, error) {
+		bus.Detach(n3)
+		return []byte("done"), nil
+	}, nil)
+	n3 = bus.Attach(3, echoHandler(""), nil)
+
+	_, err := n1.SendAsync(context.Background(), 2, []byte("x"))
+	if !errors.Is(err, ErrBusReset) {
+		t.Errorf("want ErrBusReset, got %v", err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	bus := NewBus()
+	var mu sync.Mutex
+	seen := make(map[GUID][]byte)
+	mk := func(g GUID) RequestHandler {
+		return func(src GUID, data []byte) ([]byte, error) {
+			mu.Lock()
+			seen[g] = data
+			mu.Unlock()
+			return nil, nil
+		}
+	}
+	n1 := bus.Attach(1, mk(1), nil)
+	bus.Attach(2, mk(2), nil)
+	bus.Attach(3, mk(3), nil)
+	if err := n1.Broadcast(context.Background(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Errorf("broadcast reached %d nodes, want 2 (not self)", len(seen))
+	}
+	if _, self := seen[1]; self {
+		t.Error("broadcast delivered to sender")
+	}
+}
+
+func TestPeers(t *testing.T) {
+	bus := NewBus()
+	n1 := bus.Attach(10, echoHandler(""), nil)
+	bus.Attach(20, echoHandler(""), nil)
+	bus.Attach(30, echoHandler(""), nil)
+	peers := n1.Peers()
+	if len(peers) != 2 || peers[0] != 20 || peers[1] != 30 {
+		t.Errorf("Peers = %v", peers)
+	}
+}
+
+func TestIsoAllocationAndStreaming(t *testing.T) {
+	bus := NewBus()
+	ch, err := bus.AllocateIso(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Number() != 0 || ch.Bandwidth() != 1000 {
+		t.Errorf("channel = %d/%d", ch.Number(), ch.Bandwidth())
+	}
+	if got := bus.AvailableIsoBandwidth(); got != TotalIsoBandwidth-1000 {
+		t.Errorf("available = %d", got)
+	}
+
+	var got [][]byte
+	var mu sync.Mutex
+	stop := ch.Listen(func(p []byte) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	ch.Send([]byte("frame1"))
+	ch.Send([]byte("frame2"))
+	stop()
+	ch.Send([]byte("frame3"))
+	mu.Lock()
+	if len(got) != 2 {
+		t.Errorf("received %d packets, want 2", len(got))
+	}
+	mu.Unlock()
+	if ch.Packets() != 3 {
+		t.Errorf("Packets = %d", ch.Packets())
+	}
+
+	ch.Release()
+	if got := bus.AvailableIsoBandwidth(); got != TotalIsoBandwidth {
+		t.Errorf("bandwidth not returned: %d", got)
+	}
+	ch.Release() // double release is a no-op
+	ch.Send([]byte("dropped"))
+	if ch.Packets() != 3 {
+		t.Error("send after release counted")
+	}
+}
+
+func TestIsoExhaustion(t *testing.T) {
+	bus := NewBus()
+	if _, err := bus.AllocateIso(TotalIsoBandwidth + 1); !errors.Is(err, ErrNoBandwidth) {
+		t.Errorf("over-budget: %v", err)
+	}
+	// Exhaust the channel slots with minimal bandwidth.
+	for i := 0; i < MaxIsoChannels; i++ {
+		if _, err := bus.AllocateIso(1); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := bus.AllocateIso(1); !errors.Is(err, ErrNoChannel) {
+		t.Errorf("slot exhaustion: %v", err)
+	}
+}
+
+func TestChannelNumbersReused(t *testing.T) {
+	bus := NewBus()
+	a, _ := bus.AllocateIso(1)
+	b, _ := bus.AllocateIso(1)
+	if a.Number() == b.Number() {
+		t.Fatal("duplicate channel numbers")
+	}
+	a.Release()
+	c, _ := bus.AllocateIso(1)
+	if c.Number() != a.Number() {
+		t.Errorf("released slot not reused: got %d, want %d", c.Number(), a.Number())
+	}
+}

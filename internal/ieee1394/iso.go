@@ -1,0 +1,128 @@
+package ieee1394
+
+import "sync"
+
+// IsoChannel is an allocated isochronous channel: a broadcast stream with
+// reserved bandwidth, as used for DV and audio transport under HAVi.
+type IsoChannel struct {
+	bus       *Bus
+	number    int
+	bandwidth int
+
+	mu        sync.Mutex
+	listeners map[int]func([]byte)
+	nextID    int
+	packets   uint64
+	released  bool
+}
+
+// AllocateIso reserves a channel with the given bandwidth from the bus's
+// isochronous resource manager. It fails when the 64 channels or the
+// bandwidth budget are exhausted.
+func (b *Bus) AllocateIso(bandwidth int) (*IsoChannel, error) {
+	if bandwidth <= 0 {
+		bandwidth = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bandwidth > b.bandwidth {
+		return nil, ErrNoBandwidth
+	}
+	number := -1
+	for i := 0; i < MaxIsoChannels; i++ {
+		if _, used := b.channels[i]; !used {
+			number = i
+			break
+		}
+	}
+	if number < 0 {
+		return nil, ErrNoChannel
+	}
+	ch := &IsoChannel{
+		bus:       b,
+		number:    number,
+		bandwidth: bandwidth,
+		listeners: make(map[int]func([]byte)),
+	}
+	b.channels[number] = ch
+	b.bandwidth -= bandwidth
+	return ch, nil
+}
+
+// AvailableIsoBandwidth returns the unallocated bandwidth units.
+func (b *Bus) AvailableIsoBandwidth() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.bandwidth
+}
+
+// Channel returns the allocated channel with the given slot number.
+func (b *Bus) Channel(n int) (*IsoChannel, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ch, ok := b.channels[n]
+	return ch, ok
+}
+
+// Number returns the channel slot (0-63).
+func (c *IsoChannel) Number() int { return c.number }
+
+// Bandwidth returns the reserved bandwidth units.
+func (c *IsoChannel) Bandwidth() int { return c.bandwidth }
+
+// Listen subscribes to packets on the channel; the returned function
+// unsubscribes.
+func (c *IsoChannel) Listen(fn func([]byte)) (stop func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	c.listeners[id] = fn
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.listeners, id)
+	}
+}
+
+// Send broadcasts one isochronous packet to all listeners. Isochronous
+// traffic is unacknowledged: sends on a released channel are dropped
+// silently, like talking on a channel nobody reserved.
+func (c *IsoChannel) Send(packet []byte) {
+	c.mu.Lock()
+	if c.released {
+		c.mu.Unlock()
+		return
+	}
+	c.packets++
+	fns := make([]func([]byte), 0, len(c.listeners))
+	for _, fn := range c.listeners {
+		fns = append(fns, fn)
+	}
+	c.mu.Unlock()
+	for _, fn := range fns {
+		fn(packet)
+	}
+}
+
+// Packets returns the number of packets sent so far.
+func (c *IsoChannel) Packets() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.packets
+}
+
+// Release returns the channel and its bandwidth to the bus.
+func (c *IsoChannel) Release() {
+	c.mu.Lock()
+	if c.released {
+		c.mu.Unlock()
+		return
+	}
+	c.released = true
+	c.mu.Unlock()
+	c.bus.mu.Lock()
+	delete(c.bus.channels, c.number)
+	c.bus.bandwidth += c.bandwidth
+	c.bus.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+package ieee1394
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickBandwidthConservation: across any sequence of allocations and
+// releases, the bus's available bandwidth plus the bandwidth of live
+// channels equals the total budget, and never goes negative.
+func TestQuickBandwidthConservation(t *testing.T) {
+	fn := func(ops []uint16) bool {
+		bus := NewBus()
+		var live []*IsoChannel
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				// Release the oldest live channel.
+				live[0].Release()
+				live = live[1:]
+				continue
+			}
+			bw := int(op%512) + 1
+			ch, err := bus.AllocateIso(bw)
+			if err != nil {
+				continue // budget or slots exhausted: acceptable
+			}
+			live = append(live, ch)
+			if len(live) > MaxIsoChannels {
+				return false
+			}
+		}
+		sum := 0
+		for _, ch := range live {
+			sum += ch.Bandwidth()
+		}
+		avail := bus.AvailableIsoBandwidth()
+		return avail >= 0 && avail+sum == TotalIsoBandwidth
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickChannelNumbersUnique: live channels never share a slot number.
+func TestQuickChannelNumbersUnique(t *testing.T) {
+	fn := func(n uint8) bool {
+		bus := NewBus()
+		want := int(n%MaxIsoChannels) + 1
+		seen := make(map[int]bool)
+		for i := 0; i < want; i++ {
+			ch, err := bus.AllocateIso(1)
+			if err != nil {
+				return false
+			}
+			if seen[ch.Number()] {
+				return false
+			}
+			seen[ch.Number()] = true
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package integration
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/events"
+	"homeconnect/internal/service"
+	"homeconnect/internal/sim"
+)
+
+// TestEventDelivery covers experiment E7's functional side: an X10 motion
+// sensor's frames surface as federation events, observable both by
+// long-polling and by push subscription — the asynchronous-notification
+// capability §4.2 found missing over plain HTTP.
+func TestEventDelivery(t *testing.T) {
+	h := newHome(t, sim.Config{X10: true})
+	waitServices(t, h, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	gw := h.Fed.Network("x10-net").Gateway()
+	client := &events.Client{BaseURL: gw.EventsURL()}
+
+	// Push subscription.
+	var mu sync.Mutex
+	var pushed []service.Event
+	recv, err := events.NewPushReceiver(func(ev service.Event) {
+		mu.Lock()
+		pushed = append(pushed, ev)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	sid, err := client.Subscribe(ctx, recv.URL(), "motion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Unsubscribe(ctx, sid) }()
+
+	// Long poll racing the push.
+	type pollOut struct {
+		evs []service.Event
+		err error
+	}
+	pollDone := make(chan pollOut, 1)
+	go func() {
+		evs, _, err := client.Poll(ctx, 0, "motion", 10*time.Second)
+		pollDone <- pollOut{evs, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+
+	// Motion!
+	if err := h.Motion.Trigger(); err != nil {
+		t.Fatal(err)
+	}
+
+	var po pollOut
+	select {
+	case po = <-pollDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("long poll never returned")
+	}
+	if po.err != nil || len(po.evs) == 0 {
+		t.Fatalf("poll = %v, %v", po.evs, po.err)
+	}
+	ev := po.evs[0]
+	if ev.Topic != "motion" || ev.Source != "x10:"+sim.MotionAddr.String() {
+		t.Errorf("event = %+v", ev)
+	}
+	if !ev.Payload["on"].Equal(service.BoolValue(true)) {
+		t.Errorf("payload = %v", ev.Payload)
+	}
+
+	waitCond(t, "pushed motion event", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(pushed) >= 1
+	})
+	mu.Lock()
+	if pushed[0].Topic != "motion" {
+		t.Errorf("pushed = %+v", pushed[0])
+	}
+	mu.Unlock()
+}
+
+// TestHaviTransportEventsBridged checks the HAVi event manager feeds the
+// federation hub (used by the multimedia example).
+func TestHaviTransportEventsBridged(t *testing.T) {
+	h := newHome(t, sim.Config{HAVi: true})
+	waitServices(t, h, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	gw := h.Fed.Network("havi-net").Gateway()
+	var mu sync.Mutex
+	var got []service.Event
+	stop := gw.Hub().Subscribe("havi.transport", func(ev service.Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+	defer stop()
+
+	if _, err := h.Fed.Call(ctx, "havi:vcr-vcr1", "Play"); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "transport event", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Payload["state"].Str() != "playing" {
+		t.Errorf("event = %+v", got[0])
+	}
+}

@@ -1,0 +1,232 @@
+package integration
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"homeconnect/internal/bridge/havipcm"
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/havi"
+	"homeconnect/internal/ieee1394"
+	"homeconnect/internal/service"
+)
+
+func echoService(id, middleware string) (service.Description, service.Invoker) {
+	desc := service.Description{
+		ID: id, Name: id, Middleware: middleware,
+		Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+			{Name: "Echo", Inputs: []service.Parameter{{Name: "v", Type: service.KindString}}, Output: service.KindString},
+		}},
+	}
+	inv := service.InvokerFunc(func(_ context.Context, _ string, args []service.Value) (service.Value, error) {
+		return args[0], nil
+	})
+	return desc, inv
+}
+
+// TestGatewayDeathMakesServicesUnavailableThenExpire: when a network's
+// gateway dies, calls to its services fail with ErrUnavailable at once,
+// and the repository forgets them after the TTL lapses — the federation
+// self-heals instead of serving ghosts.
+func TestGatewayDeathMakesServicesUnavailableThenExpire(t *testing.T) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	victim := vsg.New("victim", srv.URL())
+	victim.VSR().SetTTL(500 * time.Millisecond)
+	if err := victim.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	observer := vsg.New("observer", srv.URL())
+	observer.SetCacheTTL(0) // always consult the repository
+	if err := observer.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer observer.Close()
+
+	desc, inv := echoService("victim:echo", "victim-mw")
+	if err := victim.Export(ctx, desc, inv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := observer.Call(ctx, "victim:echo", "Echo", []service.Value{service.StringValue("x")}); err != nil {
+		t.Fatalf("pre-crash call: %v", err)
+	}
+
+	// Kill the gateway. Close unregisters eagerly (the graceful path); to
+	// simulate a crash, re-plant the registration afterwards pointing at
+	// the dead endpoint, as a crashed gateway's still-live TTL would.
+	deadEndpoint := victim.EndpointFor(desc.ID)
+	victim.Close()
+	staleClient := vsr.New(srv.URL())
+	staleClient.SetTTL(500 * time.Millisecond)
+	if _, err := staleClient.Register(ctx, desc, deadEndpoint); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale window: the repository still lists it, calls fail
+	// Unavailable.
+	if _, err := observer.Call(ctx, "victim:echo", "Echo", []service.Value{service.StringValue("x")}); !errors.Is(err, service.ErrUnavailable) {
+		t.Fatalf("stale-window call: want ErrUnavailable, got %v", err)
+	}
+
+	// After the TTL the registration expires and the service is gone.
+	waitCond(t, "registration expiry", func() bool {
+		_, err := observer.Resolve(ctx, "victim:echo")
+		return errors.Is(err, service.ErrNoSuchService)
+	})
+}
+
+// TestRepositoryRestartRecovers: gateways refresh their registrations, so
+// a repository that loses all state (crash/restart on the same address)
+// repopulates within the refresh interval.
+func TestRepositoryRestartRecovers(t *testing.T) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.URL()[len("http://") : len(srv.URL())-len("/uddi")]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	gw := vsg.New("net1", srv.URL())
+	gw.VSR().SetTTL(600 * time.Millisecond) // refresh every 200ms
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	desc, inv := echoService("mw:echo", "mw")
+	if err := gw.Export(ctx, desc, inv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the repository and restart it empty on the same address.
+	srv.Close()
+	var srv2 *vsr.Server
+	waitCond(t, "repository restart", func() bool {
+		s, err := vsr.StartServer(addr)
+		if err != nil {
+			return false
+		}
+		srv2 = s
+		return true
+	})
+	defer srv2.Close()
+	if srv2.Registry().Len() != 0 {
+		t.Fatal("restarted repository not empty")
+	}
+
+	// The gateway's refresh loop repopulates it.
+	waitCond(t, "re-registration after restart", func() bool {
+		return srv2.Registry().Len() == 1
+	})
+}
+
+// TestHaviHotplugPropagates: plugging a new HAVi device into the 1394
+// bus makes its FCM appear in the federation; unplugging removes it —
+// the paper's premise that appliances come and go.
+func TestHaviHotplugPropagates(t *testing.T) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	bus := ieee1394.NewBus()
+	gw := vsg.New("havi-net", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	p := havipcm.New(bus, 0xFC001)
+	if err := p.Start(ctx, gw); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Stop() }()
+
+	// Nothing yet.
+	if _, err := gw.VSR().Lookup(ctx, "havi:amp-a1"); !errors.Is(err, service.ErrNoSuchService) {
+		t.Fatalf("unexpected pre-plug state: %v", err)
+	}
+
+	// Plug in an amplifier.
+	ampDev := havi.NewDevice(bus, 0xA0001, "amp")
+	havi.NewAmplifier(ampDev, "a1")
+	waitCond(t, "amplifier exported", func() bool {
+		_, err := gw.VSR().Lookup(ctx, "havi:amp-a1")
+		return err == nil
+	})
+	got, err := gw.Call(ctx, "havi:amp-a1", "Volume", nil)
+	if err != nil || got.Int() != 50 {
+		t.Fatalf("Volume = %v, %v", got, err)
+	}
+
+	// Unplug it (bus reset); the export disappears.
+	ampDev.Close()
+	waitCond(t, "amplifier withdrawn", func() bool {
+		_, err := gw.VSR().Lookup(ctx, "havi:amp-a1")
+		return errors.Is(err, service.ErrNoSuchService)
+	})
+	if _, err := gw.Call(ctx, "havi:amp-a1", "Volume", nil); err == nil {
+		t.Error("call to unplugged device succeeded")
+	}
+}
+
+// TestBusResetDuringStream: detaching an unrelated device mid-transaction
+// must not wedge the federation; subsequent calls succeed.
+func TestBusResetDuringStream(t *testing.T) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	bus := ieee1394.NewBus()
+	vcrDev := havi.NewDevice(bus, 0xB0001, "vcr")
+	defer vcrDev.Close()
+	havi.NewVCR(vcrDev, "vcr1")
+	extra := havi.NewDevice(bus, 0xE0001, "extra")
+
+	gw := vsg.New("havi-net", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	p := havipcm.New(bus, 0xFC001)
+	if err := p.Start(ctx, gw); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Stop() }()
+	waitCond(t, "vcr exported", func() bool {
+		_, err := gw.VSR().Lookup(ctx, "havi:vcr-vcr1")
+		return err == nil
+	})
+
+	// Yank a device to force a bus reset, then keep calling. A call that
+	// races the reset may fail once with a bus-reset error; the next
+	// attempt must succeed.
+	extra.Close()
+	var lastErr error
+	ok := false
+	for attempt := 0; attempt < 5; attempt++ {
+		if _, lastErr = gw.Call(ctx, "havi:vcr-vcr1", "State", nil); lastErr == nil {
+			ok = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatalf("calls never recovered after bus reset: %v", lastErr)
+	}
+}

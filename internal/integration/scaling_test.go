@@ -1,0 +1,111 @@
+package integration
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core"
+	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/service"
+)
+
+// syntheticPCM is a minimal middleware stand-in used to grow federations
+// for the scaling experiment (E8): each instance exports one echo
+// service, like a real PCM's client-proxy direction.
+type syntheticPCM struct {
+	name   string
+	runner pcm.Runner
+}
+
+func newSyntheticPCM(name string) *syntheticPCM { return &syntheticPCM{name: name} }
+
+func (s *syntheticPCM) Middleware() string { return s.name }
+
+func (s *syntheticPCM) Start(ctx context.Context, gw *vsg.VSG) error {
+	runCtx := s.runner.Start(ctx)
+	exp := &pcm.Exporter{List: func(context.Context) ([]pcm.LocalService, error) {
+		desc := service.Description{
+			ID:         s.name + ":echo",
+			Name:       "echo",
+			Middleware: s.name,
+			Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+				{Name: "Echo", Inputs: []service.Parameter{{Name: "v", Type: service.KindString}}, Output: service.KindString},
+			}},
+		}
+		inv := service.InvokerFunc(func(_ context.Context, op string, args []service.Value) (service.Value, error) {
+			return args[0], nil
+		})
+		return []pcm.LocalService{{Desc: desc, Invoker: inv}}, nil
+	}}
+	s.runner.Go(func() { exp.Run(runCtx, gw) })
+	return nil
+}
+
+func (s *syntheticPCM) Stop() error {
+	s.runner.Stop()
+	return nil
+}
+
+// TestBridgeScaling quantifies §5's claim that pairwise bridges do not
+// scale: connecting N middleware needs N PCMs under the framework but
+// N(N-1)/2 dedicated bridges pairwise. The test grows a federation and
+// checks any-to-any reachability holds with exactly N adapters.
+func TestBridgeScaling(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		t.Run(fmt.Sprintf("N=%d", n), func(t *testing.T) {
+			fed, err := core.NewFederation()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fed.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+
+			adapters := 0
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("mw%d", i)
+				net, err := fed.AddNetwork(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := net.Attach(ctx, newSyntheticPCM(name)); err != nil {
+					t.Fatal(err)
+				}
+				adapters++ // one PCM per middleware — the framework's cost
+			}
+			if adapters != n {
+				t.Fatalf("adapters = %d, want %d", adapters, n)
+			}
+			pairwise := n * (n - 1) / 2
+			if n > 2 && pairwise <= n {
+				t.Fatalf("test setup broken: pairwise %d should exceed N %d", pairwise, n)
+			}
+
+			// Every network reaches every service.
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				remotes, err := fed.Services(ctx)
+				if err == nil && len(remotes) == n {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("only %d/%d services registered", len(remotes), n)
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+			for i := 0; i < n; i++ {
+				gw := fed.Network(fmt.Sprintf("mw%d", i)).Gateway()
+				for j := 0; j < n; j++ {
+					id := fmt.Sprintf("mw%d:echo", j)
+					got, err := gw.Call(ctx, id, "Echo", []service.Value{service.StringValue("x")})
+					if err != nil || got.Str() != "x" {
+						t.Fatalf("mw%d → %s: %v, %v", i, id, got, err)
+					}
+				}
+			}
+		})
+	}
+}

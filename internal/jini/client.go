@@ -1,0 +1,188 @@
+package jini
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Discover performs Jini unicast discovery against addr: it connects and
+// verifies that the endpoint is a lookup service, returning a Registrar
+// client. (Real Jini also supports multicast discovery; unicast is part
+// of the specification and needs no multicast routes, so the simulation
+// uses it exclusively.)
+func Discover(ctx context.Context, addr string) (*Registrar, error) {
+	resp, err := defaultTransport.roundTrip(ctx, addr, request{Op: opDiscover})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.IsLookup {
+		return nil, fmt.Errorf("%w: %s", ErrNotLookupService, addr)
+	}
+	return &Registrar{addr: addr}, nil
+}
+
+// Registrar is the client proxy for a lookup service.
+type Registrar struct {
+	addr string
+}
+
+// Addr returns the registrar endpoint.
+func (r *Registrar) Addr() string { return r.addr }
+
+// Register adds item under a lease of the requested duration (clamped by
+// the registrar) and returns the granted lease. A zero item.ID asks the
+// registrar to assign one; the assigned ID is returned in the lease.
+func (r *Registrar) Register(ctx context.Context, item ServiceItem, lease time.Duration) (*Lease, error) {
+	resp, err := defaultTransport.roundTrip(ctx, r.addr, request{
+		Op:      opRegister,
+		Item:    item,
+		LeaseMS: lease.Milliseconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := errFromCode(resp.ErrCode, resp.ErrMsg); err != nil {
+		return nil, err
+	}
+	return &Lease{
+		registrar: r,
+		ID:        resp.LeaseID,
+		ServiceID: resp.AssignedID,
+		Duration:  time.Duration(resp.ExpiryMS) * time.Millisecond,
+	}, nil
+}
+
+// Lookup returns all registered services matching the template.
+func (r *Registrar) Lookup(ctx context.Context, tmpl ServiceTemplate) ([]ServiceItem, error) {
+	resp, err := defaultTransport.roundTrip(ctx, r.addr, request{Op: opLookup, Template: tmpl})
+	if err != nil {
+		return nil, err
+	}
+	if err := errFromCode(resp.ErrCode, resp.ErrMsg); err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// Notify registers listener for transition events on services matching
+// the template, under a lease. The listener proxy must implement
+// Notify(sourceID string, eventID int, seq int, transition int, payload
+// string).
+func (r *Registrar) Notify(ctx context.Context, tmpl ServiceTemplate, listener ProxyDescriptor, eventID int64, lease time.Duration) (*Lease, error) {
+	resp, err := defaultTransport.roundTrip(ctx, r.addr, request{
+		Op:       opNotify,
+		Template: tmpl,
+		Listener: listener,
+		EventID:  eventID,
+		LeaseMS:  lease.Milliseconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := errFromCode(resp.ErrCode, resp.ErrMsg); err != nil {
+		return nil, err
+	}
+	return &Lease{
+		registrar: r,
+		ID:        resp.LeaseID,
+		Duration:  time.Duration(resp.ExpiryMS) * time.Millisecond,
+	}, nil
+}
+
+// Lease is a granted registration lease, Jini's liveness mechanism: hold
+// it, renew it, or let the registration vanish.
+type Lease struct {
+	registrar *Registrar
+	// ID is the registrar-assigned lease identity.
+	ID uint64
+	// ServiceID is the identity assigned at registration (zero for event
+	// leases).
+	ServiceID ServiceID
+	// Duration is the granted term.
+	Duration time.Duration
+}
+
+// Renew extends the lease by d (clamped by the registrar).
+func (l *Lease) Renew(ctx context.Context, d time.Duration) error {
+	resp, err := defaultTransport.roundTrip(ctx, l.registrar.addr, request{
+		Op:      opRenew,
+		LeaseID: l.ID,
+		LeaseMS: d.Milliseconds(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := errFromCode(resp.ErrCode, resp.ErrMsg); err != nil {
+		return err
+	}
+	l.Duration = time.Duration(resp.ExpiryMS) * time.Millisecond
+	return nil
+}
+
+// Cancel terminates the lease immediately.
+func (l *Lease) Cancel(ctx context.Context) error {
+	resp, err := defaultTransport.roundTrip(ctx, l.registrar.addr, request{Op: opCancel, LeaseID: l.ID})
+	if err != nil {
+		return err
+	}
+	return errFromCode(resp.ErrCode, resp.ErrMsg)
+}
+
+// AutoRenew renews the lease every interval until ctx is cancelled or a
+// renewal fails; the returned wait function blocks until the renewal
+// goroutine exits and reports its terminal error (nil after cancellation).
+func (l *Lease) AutoRenew(ctx context.Context, interval time.Duration) (wait func() error) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		last error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if err := l.Renew(ctx, l.Duration); err != nil {
+					if ctx.Err() == nil {
+						mu.Lock()
+						last = err
+						mu.Unlock()
+					}
+					return
+				}
+			}
+		}
+	}()
+	return func() error {
+		wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		return last
+	}
+}
+
+// Call invokes a method on a remote object through its proxy descriptor —
+// the client half of the RMI simulation. Argument and return values are
+// restricted to string, int64, float64, bool and []byte.
+func Call(ctx context.Context, proxy ProxyDescriptor, method string, args []any) (any, error) {
+	resp, err := defaultTransport.roundTrip(ctx, proxy.Addr, request{
+		Op:       opInvoke,
+		ObjectID: proxy.ObjectID,
+		Method:   method,
+		Args:     args,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := errFromCode(resp.ErrCode, resp.ErrMsg); err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}

@@ -1,0 +1,81 @@
+package jini
+
+import (
+	"context"
+	"fmt"
+)
+
+// ListenerSpec returns the remote interface implemented by event
+// listeners, the simulation of net.jini.core.event.RemoteEventListener.
+// The event is flattened to wire-safe scalars.
+func ListenerSpec() InterfaceSpec {
+	return InterfaceSpec{
+		Name: "RemoteEventListener",
+		Methods: []MethodSpec{
+			{Name: "Notify", Params: []string{"string", "int", "int", "int", "string"}},
+		},
+	}
+}
+
+// ExportListener hosts fn as a remote event listener on e and returns the
+// proxy to hand to Registrar.Notify or application event sources. fn is
+// called on the exporter's connection goroutines and must be safe for
+// concurrent use.
+func ExportListener(e *Exporter, fn func(RemoteEvent)) ProxyDescriptor {
+	impl := InvocableFunc(func(method string, args []any) (any, error) {
+		if method != "Notify" {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchMethod, method)
+		}
+		ev, err := eventFromArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		fn(ev)
+		return nil, nil
+	})
+	return e.Export(ListenerSpec(), impl)
+}
+
+// eventFromArgs rebuilds a RemoteEvent from the flattened wire arguments.
+func eventFromArgs(args []any) (RemoteEvent, error) {
+	if len(args) != 5 {
+		return RemoteEvent{}, fmt.Errorf("%w: Notify wants 5 args, got %d", ErrBadArgs, len(args))
+	}
+	sidText, ok := args[0].(string)
+	if !ok {
+		return RemoteEvent{}, fmt.Errorf("%w: Notify arg 0 must be string", ErrBadArgs)
+	}
+	sid, err := ParseServiceID(sidText)
+	if err != nil {
+		return RemoteEvent{}, fmt.Errorf("%w: %v", ErrBadArgs, err)
+	}
+	nums := make([]int64, 3)
+	for i := 1; i <= 3; i++ {
+		n, ok := args[i].(int64)
+		if !ok {
+			return RemoteEvent{}, fmt.Errorf("%w: Notify arg %d must be int", ErrBadArgs, i)
+		}
+		nums[i-1] = n
+	}
+	payload, ok := args[4].(string)
+	if !ok {
+		return RemoteEvent{}, fmt.Errorf("%w: Notify arg 4 must be string", ErrBadArgs)
+	}
+	return RemoteEvent{
+		SourceID:   sid,
+		EventID:    nums[0],
+		Seq:        uint64(nums[1]),
+		Transition: nums[2],
+		Payload:    payload,
+	}, nil
+}
+
+// NotifyListener delivers ev to a listener proxy; the inverse of
+// ExportListener, used by application-level event sources (e.g. the PCM
+// bridging federation events into Jini).
+func NotifyListener(ctx context.Context, listener ProxyDescriptor, ev RemoteEvent) error {
+	_, err := Call(ctx, listener, "Notify", []any{
+		ev.SourceID.String(), ev.EventID, int64(ev.Seq), ev.Transition, ev.Payload,
+	})
+	return err
+}

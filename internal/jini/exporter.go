@@ -1,0 +1,99 @@
+package jini
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Exporter hosts remote objects, the simulation of RMI export: each
+// exported object gets an ObjectID and is reachable at the exporter's TCP
+// endpoint through a ProxyDescriptor.
+type Exporter struct {
+	srv tcpServer
+
+	mu      sync.Mutex
+	nextObj uint64
+	objects map[uint64]exported
+}
+
+type exported struct {
+	iface InterfaceSpec
+	impl  Invocable
+}
+
+// NewExporter returns an unstarted exporter.
+func NewExporter() *Exporter {
+	return &Exporter{objects: make(map[uint64]exported)}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port).
+func (e *Exporter) Start(addr string) error {
+	return e.srv.start(addr, e.handle)
+}
+
+// Addr returns the listening address.
+func (e *Exporter) Addr() string { return e.srv.addrString() }
+
+// Close stops the exporter, severs connections, and waits for in-flight
+// invocations.
+func (e *Exporter) Close() { e.srv.close() }
+
+// Export publishes impl under the given interface and returns the proxy
+// clients use to reach it. The exporter must be started first.
+func (e *Exporter) Export(iface InterfaceSpec, impl Invocable) ProxyDescriptor {
+	e.mu.Lock()
+	e.nextObj++
+	id := e.nextObj
+	e.objects[id] = exported{iface: iface, impl: impl}
+	e.mu.Unlock()
+	return ProxyDescriptor{Addr: e.srv.addrString(), ObjectID: id, Iface: iface}
+}
+
+// Unexport withdraws an object; subsequent calls fail with
+// ErrNoSuchObject.
+func (e *Exporter) Unexport(objectID uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.objects, objectID)
+}
+
+// Len reports the number of exported objects.
+func (e *Exporter) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.objects)
+}
+
+// handle dispatches one wire request.
+func (e *Exporter) handle(req request) response {
+	if req.Op == opDiscover {
+		return response{IsLookup: false}
+	}
+	if req.Op != opInvoke {
+		return response{ErrCode: codeRemote, ErrMsg: "exporter: unsupported operation"}
+	}
+	e.mu.Lock()
+	obj, ok := e.objects[req.ObjectID]
+	e.mu.Unlock()
+	if !ok {
+		return response{ErrCode: codeNoSuchObject, ErrMsg: fmt.Sprintf("object %d", req.ObjectID)}
+	}
+	// Validate against the interface spec before dispatch, as the RMI
+	// skeleton's signature check would.
+	spec, ok := obj.iface.Method(req.Method)
+	if !ok {
+		return response{ErrCode: codeNoSuchMethod, ErrMsg: req.Method}
+	}
+	if len(req.Args) != len(spec.Params) {
+		return response{
+			ErrCode: codeBadArgs,
+			ErrMsg:  fmt.Sprintf("%s: got %d args, want %d", req.Method, len(req.Args), len(spec.Params)),
+		}
+	}
+	value, err := obj.impl.Call(req.Method, req.Args)
+	if err != nil {
+		code, msg := codeFromErr(err)
+		return response{ErrCode: code, ErrMsg: msg}
+	}
+	return response{Value: value}
+}

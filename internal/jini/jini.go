@@ -1,0 +1,211 @@
+// Package jini simulates the Jini middleware the paper bridges: a lookup
+// service with leases, unicast discovery, attribute (Entry) matching,
+// RMI-style remote invocation, and distributed events with sequence
+// numbers.
+//
+// Real Jini rides on Java RMI: proxies are serialized objects that, once
+// downloaded from the lookup service, call back to their exporter. This
+// simulation preserves that architecture — services export invocable
+// objects through an Exporter, register ProxyDescriptors with the
+// LookupService under a lease, and clients discover the registrar,
+// download proxies, and invoke them over a gob-encoded TCP protocol (the
+// stand-in for RMI's JRMP). What is deliberately absent is the JVM:
+// dynamic code download is replaced by interface metadata
+// (InterfaceSpec), which is exactly the information the paper's Protocol
+// Conversion Manager consumes to generate its proxies.
+package jini
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by the Jini simulation.
+var (
+	// ErrNoSuchObject reports an invocation on an object the exporter does
+	// not host (RMI's NoSuchObjectException).
+	ErrNoSuchObject = errors.New("jini: no such object")
+	// ErrNoSuchMethod reports an invocation of an undefined method.
+	ErrNoSuchMethod = errors.New("jini: no such method")
+	// ErrLeaseExpired reports a renewal or cancel of an unknown or expired
+	// lease (Jini's UnknownLeaseException).
+	ErrLeaseExpired = errors.New("jini: unknown or expired lease")
+	// ErrNotLookupService reports unicast discovery against an endpoint
+	// that is not a lookup service.
+	ErrNotLookupService = errors.New("jini: endpoint is not a lookup service")
+	// ErrBadArgs reports an argument arity/type error raised by a remote
+	// object.
+	ErrBadArgs = errors.New("jini: bad arguments")
+	// ErrRemote wraps failures raised by the remote implementation.
+	ErrRemote = errors.New("jini: remote exception")
+)
+
+// ServiceID is the 128-bit service identity assigned by the registrar, as
+// in Jini's net.jini.core.lookup.ServiceID.
+type ServiceID [16]byte
+
+// NewServiceID returns a random service ID.
+func NewServiceID() ServiceID {
+	var id ServiceID
+	if _, err := rand.Read(id[:]); err != nil {
+		// Extremely unlikely; derive from the clock instead of failing.
+		now := time.Now().UnixNano()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(now >> (8 * i))
+		}
+	}
+	return id
+}
+
+// String renders the ID as 32 hex digits.
+func (id ServiceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is unset.
+func (id ServiceID) IsZero() bool { return id == ServiceID{} }
+
+// ParseServiceID parses the hex form produced by String.
+func ParseServiceID(s string) (ServiceID, error) {
+	var id ServiceID
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(id) {
+		return id, fmt.Errorf("jini: bad service ID %q", s)
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+// Entry is a lookup attribute, the simulation of net.jini.core.entry.Entry
+// templates: a name/value pair matched exactly.
+type Entry struct {
+	Name  string
+	Value string
+}
+
+// MethodSpec describes one remotely callable method. Param and return
+// types use the service-model kind names ("string", "int", "float",
+// "bool", "bytes"); Return is empty for void methods.
+type MethodSpec struct {
+	Name   string
+	Params []string
+	Return string
+}
+
+// InterfaceSpec is the remote interface metadata a proxy carries — the
+// stand-in for the Java interface class a real Jini proxy implements.
+type InterfaceSpec struct {
+	Name    string
+	Methods []MethodSpec
+}
+
+// Method returns the named method spec.
+func (s InterfaceSpec) Method(name string) (MethodSpec, bool) {
+	for _, m := range s.Methods {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MethodSpec{}, false
+}
+
+// ProxyDescriptor is the downloadable proxy: where the exported object
+// lives and what interface it implements.
+type ProxyDescriptor struct {
+	// Addr is the exporter endpoint (host:port).
+	Addr string
+	// ObjectID identifies the object within the exporter.
+	ObjectID uint64
+	// Iface is the remote interface metadata.
+	Iface InterfaceSpec
+}
+
+// ServiceItem is a registered service: identity, proxy, and attributes —
+// Jini's net.jini.core.lookup.ServiceItem.
+type ServiceItem struct {
+	ID    ServiceID
+	Proxy ProxyDescriptor
+	Attrs []Entry
+}
+
+// ServiceTemplate selects services during lookup. Zero fields match
+// anything; Attrs must all be present with equal values (Jini entry
+// matching).
+type ServiceTemplate struct {
+	ID        ServiceID
+	IfaceName string
+	Attrs     []Entry
+}
+
+// Matches reports whether the item satisfies the template.
+func (t ServiceTemplate) Matches(item ServiceItem) bool {
+	if !t.ID.IsZero() && t.ID != item.ID {
+		return false
+	}
+	if t.IfaceName != "" && t.IfaceName != item.Proxy.Iface.Name {
+		return false
+	}
+	for _, want := range t.Attrs {
+		found := false
+		for _, have := range item.Attrs {
+			if have.Name == want.Name && have.Value == want.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Transition values reported by registrar events, mirroring Jini's
+// TRANSITION_* constants.
+const (
+	// TransitionMatch reports a service that newly matches a template
+	// (registered or attribute change).
+	TransitionMatch = int64(1)
+	// TransitionNoMatch reports a service that stopped matching
+	// (cancelled or expired).
+	TransitionNoMatch = int64(2)
+)
+
+// RemoteEvent is a Jini distributed event: identified source, event ID,
+// and a strictly increasing sequence number so consumers can detect loss
+// and reordering.
+type RemoteEvent struct {
+	SourceID ServiceID
+	EventID  int64
+	Seq      uint64
+	// Transition is one of the Transition* constants for registrar
+	// events; application events may carry any value.
+	Transition int64
+	// Payload is an optional application payload.
+	Payload string
+}
+
+// Invocable is the server-side contract for exported objects: a dynamic
+// dispatch entry point, standing in for Java reflection on RMI skeletons.
+// Implementations must be safe for concurrent use.
+type Invocable interface {
+	Call(method string, args []any) (any, error)
+}
+
+// InvocableFunc adapts a function to Invocable.
+type InvocableFunc func(method string, args []any) (any, error)
+
+// Call implements Invocable.
+func (f InvocableFunc) Call(method string, args []any) (any, error) { return f(method, args) }
+
+var _ Invocable = (InvocableFunc)(nil)
+
+// Lease durations, mirroring Jini's lease discipline. The registrar grants
+// at most MaxLease regardless of the request.
+const (
+	// DefaultLease is granted when a registration requests zero.
+	DefaultLease = 30 * time.Second
+	// MaxLease caps every grant.
+	MaxLease = 5 * time.Minute
+)

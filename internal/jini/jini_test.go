@@ -1,0 +1,452 @@
+package jini
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func lampSpec() InterfaceSpec {
+	return InterfaceSpec{
+		Name: "Lamp",
+		Methods: []MethodSpec{
+			{Name: "On"},
+			{Name: "Off"},
+			{Name: "SetLevel", Params: []string{"int"}},
+			{Name: "Level", Return: "int"},
+		},
+	}
+}
+
+// lamp is a tiny thread-safe test service.
+type lamp struct {
+	mu    sync.Mutex
+	level int64
+}
+
+func (l *lamp) Call(method string, args []any) (any, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch method {
+	case "On":
+		l.level = 100
+		return nil, nil
+	case "Off":
+		l.level = 0
+		return nil, nil
+	case "SetLevel":
+		n, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("%w: SetLevel wants int", ErrBadArgs)
+		}
+		l.level = n
+		return nil, nil
+	case "Level":
+		return l.level, nil
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchMethod, method)
+	}
+}
+
+func startLookup(t *testing.T) *LookupService {
+	t.Helper()
+	ls := NewLookupService()
+	if err := ls.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("lookup start: %v", err)
+	}
+	t.Cleanup(ls.Close)
+	return ls
+}
+
+func startExporter(t *testing.T) *Exporter {
+	t.Helper()
+	ex := NewExporter()
+	if err := ex.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("exporter start: %v", err)
+	}
+	t.Cleanup(ex.Close)
+	return ex
+}
+
+func TestServiceIDRoundTrip(t *testing.T) {
+	id := NewServiceID()
+	if id.IsZero() {
+		t.Fatal("NewServiceID returned zero")
+	}
+	parsed, err := ParseServiceID(id.String())
+	if err != nil || parsed != id {
+		t.Errorf("ParseServiceID(%s) = %v, %v", id, parsed, err)
+	}
+	if _, err := ParseServiceID("xyz"); err == nil {
+		t.Error("bad ID parsed")
+	}
+	if _, err := ParseServiceID("abcd"); err == nil {
+		t.Error("short ID parsed")
+	}
+}
+
+func TestTemplateMatching(t *testing.T) {
+	id := NewServiceID()
+	item := ServiceItem{
+		ID:    id,
+		Proxy: ProxyDescriptor{Iface: lampSpec()},
+		Attrs: []Entry{{Name: "room", Value: "living"}, {Name: "make", Value: "acme"}},
+	}
+	tests := []struct {
+		name string
+		tmpl ServiceTemplate
+		want bool
+	}{
+		{"empty matches", ServiceTemplate{}, true},
+		{"by id", ServiceTemplate{ID: id}, true},
+		{"wrong id", ServiceTemplate{ID: NewServiceID()}, false},
+		{"by iface", ServiceTemplate{IfaceName: "Lamp"}, true},
+		{"wrong iface", ServiceTemplate{IfaceName: "VCR"}, false},
+		{"by attr", ServiceTemplate{Attrs: []Entry{{Name: "room", Value: "living"}}}, true},
+		{"two attrs", ServiceTemplate{Attrs: []Entry{{Name: "room", Value: "living"}, {Name: "make", Value: "acme"}}}, true},
+		{"wrong attr value", ServiceTemplate{Attrs: []Entry{{Name: "room", Value: "kitchen"}}}, false},
+		{"missing attr", ServiceTemplate{Attrs: []Entry{{Name: "color", Value: "red"}}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.tmpl.Matches(item); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDiscoverRegisterLookupInvoke(t *testing.T) {
+	ls := startLookup(t)
+	ex := startExporter(t)
+	ctx := context.Background()
+
+	// Export the service object.
+	proxy := ex.Export(lampSpec(), &lamp{})
+
+	// Unicast discovery.
+	reg, err := Discover(ctx, ls.Addr())
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+
+	// Register with attributes.
+	lease, err := reg.Register(ctx, ServiceItem{
+		Proxy: proxy,
+		Attrs: []Entry{{Name: "room", Value: "living"}},
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if lease.ServiceID.IsZero() {
+		t.Fatal("registrar did not assign a ServiceID")
+	}
+
+	// Lookup by interface.
+	items, err := reg.Lookup(ctx, ServiceTemplate{IfaceName: "Lamp"})
+	if err != nil || len(items) != 1 {
+		t.Fatalf("Lookup = %v, %v", items, err)
+	}
+
+	// Invoke through the downloaded proxy.
+	if _, err := Call(ctx, items[0].Proxy, "SetLevel", []any{int64(42)}); err != nil {
+		t.Fatalf("SetLevel: %v", err)
+	}
+	got, err := Call(ctx, items[0].Proxy, "Level", nil)
+	if err != nil {
+		t.Fatalf("Level: %v", err)
+	}
+	if got.(int64) != 42 {
+		t.Errorf("Level = %v, want 42", got)
+	}
+}
+
+func TestDiscoverNonLookupEndpoint(t *testing.T) {
+	ex := startExporter(t)
+	_, err := Discover(context.Background(), ex.Addr())
+	if !errors.Is(err, ErrNotLookupService) {
+		t.Errorf("Discover(exporter) = %v, want ErrNotLookupService", err)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	ex := startExporter(t)
+	ctx := context.Background()
+	proxy := ex.Export(lampSpec(), &lamp{})
+
+	if _, err := Call(ctx, proxy, "Explode", nil); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("unknown method: %v", err)
+	}
+	if _, err := Call(ctx, proxy, "SetLevel", nil); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("arity error: %v", err)
+	}
+	bogus := proxy
+	bogus.ObjectID = 9999
+	if _, err := Call(ctx, bogus, "On", nil); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("unknown object: %v", err)
+	}
+	ex.Unexport(proxy.ObjectID)
+	if _, err := Call(ctx, proxy, "On", nil); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("unexported object: %v", err)
+	}
+	if ex.Len() != 0 {
+		t.Errorf("Len = %d after unexport", ex.Len())
+	}
+}
+
+func TestLeaseExpiryAndRenewal(t *testing.T) {
+	ls := startLookup(t)
+	now := time.Unix(5000, 0)
+	var mu sync.Mutex
+	ls.SetClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	ctx := context.Background()
+	reg, err := Discover(ctx, ls.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, err := reg.Register(ctx, ServiceItem{Proxy: ProxyDescriptor{Iface: lampSpec()}}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Duration != 10*time.Second {
+		t.Errorf("granted %v, want 10s", lease.Duration)
+	}
+
+	advance(8 * time.Second)
+	if err := lease.Renew(ctx, 10*time.Second); err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	advance(8 * time.Second)
+	items, _ := reg.Lookup(ctx, ServiceTemplate{})
+	if len(items) != 1 {
+		t.Fatal("renewed registration expired")
+	}
+	advance(11 * time.Second)
+	items, _ = reg.Lookup(ctx, ServiceTemplate{})
+	if len(items) != 0 {
+		t.Fatal("registration survived expiry")
+	}
+	if err := lease.Renew(ctx, time.Second); !errors.Is(err, ErrLeaseExpired) {
+		t.Errorf("renew after expiry: %v", err)
+	}
+	if err := lease.Cancel(ctx); !errors.Is(err, ErrLeaseExpired) {
+		t.Errorf("cancel after expiry: %v", err)
+	}
+}
+
+func TestLeaseClamping(t *testing.T) {
+	if got := clampLease(0); got != DefaultLease {
+		t.Errorf("clampLease(0) = %v", got)
+	}
+	if got := clampLease((10 * time.Hour).Milliseconds()); got != MaxLease {
+		t.Errorf("clampLease(10h) = %v", got)
+	}
+	if got := clampLease((3 * time.Second).Milliseconds()); got != 3*time.Second {
+		t.Errorf("clampLease(3s) = %v", got)
+	}
+}
+
+func TestCancelRemovesRegistration(t *testing.T) {
+	ls := startLookup(t)
+	ctx := context.Background()
+	reg, _ := Discover(ctx, ls.Addr())
+	lease, err := reg.Register(ctx, ServiceItem{Proxy: ProxyDescriptor{Iface: lampSpec()}}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Cancel(ctx); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	items, _ := reg.Lookup(ctx, ServiceTemplate{})
+	if len(items) != 0 {
+		t.Error("registration survived cancel")
+	}
+}
+
+func TestReregisterSameServiceID(t *testing.T) {
+	ls := startLookup(t)
+	ctx := context.Background()
+	reg, _ := Discover(ctx, ls.Addr())
+	id := NewServiceID()
+	if _, err := reg.Register(ctx, ServiceItem{ID: id, Proxy: ProxyDescriptor{Iface: lampSpec()}}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(ctx, ServiceItem{ID: id, Proxy: ProxyDescriptor{Iface: lampSpec()}}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	items, _ := reg.Lookup(ctx, ServiceTemplate{ID: id})
+	if len(items) != 1 {
+		t.Errorf("duplicate registrations for one ServiceID: %d", len(items))
+	}
+	if ls.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ls.Len())
+	}
+}
+
+func TestTransitionEvents(t *testing.T) {
+	ls := startLookup(t)
+	ex := startExporter(t)
+	ctx := context.Background()
+
+	var events []RemoteEvent
+	var mu sync.Mutex
+	done := make(chan struct{}, 8)
+	listener := ExportListener(ex, func(ev RemoteEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+
+	reg, _ := Discover(ctx, ls.Addr())
+	if _, err := reg.Notify(ctx, ServiceTemplate{IfaceName: "Lamp"}, listener, 77, time.Minute); err != nil {
+		t.Fatalf("Notify: %v", err)
+	}
+
+	lease, err := reg.Register(ctx, ServiceItem{Proxy: ProxyDescriptor{Iface: lampSpec()}}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, done) // match event
+
+	if err := lease.Cancel(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, done) // no-match event
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(events), events)
+	}
+	if events[0].Transition != TransitionMatch || events[1].Transition != TransitionNoMatch {
+		t.Errorf("transitions = %+v", events)
+	}
+	if events[0].EventID != 77 {
+		t.Errorf("eventID = %d, want 77", events[0].EventID)
+	}
+	if events[1].Seq <= events[0].Seq {
+		t.Errorf("sequence numbers not increasing: %d then %d", events[0].Seq, events[1].Seq)
+	}
+	if events[0].SourceID != lease.ServiceID {
+		t.Errorf("source = %v, want %v", events[0].SourceID, lease.ServiceID)
+	}
+}
+
+func waitEvent(t *testing.T, done chan struct{}) {
+	t.Helper()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for event")
+	}
+}
+
+func TestAutoRenewKeepsAlive(t *testing.T) {
+	ls := startLookup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg, _ := Discover(ctx, ls.Addr())
+	lease, err := reg.Register(ctx, ServiceItem{Proxy: ProxyDescriptor{Iface: lampSpec()}}, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := lease.AutoRenew(ctx, 50*time.Millisecond)
+	time.Sleep(600 * time.Millisecond)
+	items, _ := reg.Lookup(ctx, ServiceTemplate{})
+	if len(items) != 1 {
+		t.Error("auto-renewed registration expired")
+	}
+	cancel()
+	if err := wait(); err != nil {
+		t.Errorf("AutoRenew terminal error: %v", err)
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	ex := startExporter(t)
+	proxy := ex.Export(lampSpec(), &lamp{})
+	ctx := context.Background()
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if _, err := Call(ctx, proxy, "SetLevel", []any{n}); err != nil {
+					failures.Add(1)
+					return
+				}
+				if _, err := Call(ctx, proxy, "Level", nil); err != nil {
+					failures.Add(1)
+					return
+				}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Errorf("%d goroutines saw failures", failures.Load())
+	}
+}
+
+func TestCallValueKindsRoundTrip(t *testing.T) {
+	ex := startExporter(t)
+	echoSpec := InterfaceSpec{Name: "Echo", Methods: []MethodSpec{{Name: "Echo", Params: []string{"string"}, Return: "string"}}}
+	proxy := ex.Export(echoSpec, InvocableFunc(func(_ string, args []any) (any, error) {
+		return args[0], nil
+	}))
+	ctx := context.Background()
+	for _, v := range []any{"str", int64(-9), 3.5, true, []byte{1, 2, 3}} {
+		got, err := Call(ctx, proxy, "Echo", []any{v})
+		if err != nil {
+			t.Fatalf("Echo(%v): %v", v, err)
+		}
+		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", v) {
+			t.Errorf("Echo(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestCallAfterExporterClose(t *testing.T) {
+	ex := NewExporter()
+	if err := ex.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	proxy := ex.Export(lampSpec(), &lamp{})
+	ex.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := Call(ctx, proxy, "On", nil); err == nil {
+		t.Error("call to closed exporter succeeded")
+	}
+}
+
+func TestQuickTemplateIDMatch(t *testing.T) {
+	// Property: a template with a specific ID matches exactly the items
+	// carrying that ID.
+	fn := func(a, b [16]byte) bool {
+		ia := ServiceItem{ID: ServiceID(a)}
+		tmplA := ServiceTemplate{ID: ServiceID(a)}
+		if !tmplA.Matches(ia) && !ServiceID(a).IsZero() {
+			return false
+		}
+		if a != b && !ServiceID(a).IsZero() && !ServiceID(b).IsZero() {
+			if tmplA.Matches(ServiceItem{ID: ServiceID(b)}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

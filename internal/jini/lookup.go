@@ -1,0 +1,267 @@
+package jini
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// LookupService is the registrar: it stores service registrations under
+// leases, answers template lookups, and pushes transition events to
+// registered listeners — the simulation of Jini's reggie.
+type LookupService struct {
+	now func() time.Time
+
+	srv     tcpServer
+	eventWG sync.WaitGroup
+
+	mu        sync.Mutex
+	nextLease uint64
+	services  map[uint64]*registration // lease ID → registration
+	watches   map[uint64]*watch        // lease ID → event registration
+	eventSeq  uint64
+
+	// notifier delivers events to listeners; tests can stub it.
+	notifier func(listener ProxyDescriptor, ev RemoteEvent)
+}
+
+type registration struct {
+	item    ServiceItem
+	expires time.Time
+}
+
+type watch struct {
+	template ServiceTemplate
+	listener ProxyDescriptor
+	eventID  int64
+	expires  time.Time
+}
+
+// NewLookupService returns an unstarted registrar.
+func NewLookupService() *LookupService {
+	l := &LookupService{
+		now:      time.Now,
+		services: make(map[uint64]*registration),
+		watches:  make(map[uint64]*watch),
+	}
+	l.notifier = l.deliverEvent
+	return l
+}
+
+// SetClock overrides the time source (tests only).
+func (l *LookupService) SetClock(now func() time.Time) { l.now = now }
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port).
+func (l *LookupService) Start(addr string) error {
+	return l.srv.start(addr, l.handle)
+}
+
+// Addr returns the listening address.
+func (l *LookupService) Addr() string { return l.srv.addrString() }
+
+// Close stops the registrar, severs connections, and waits for in-flight
+// requests and event deliveries.
+func (l *LookupService) Close() {
+	l.srv.close()
+	l.eventWG.Wait()
+}
+
+// Len reports the number of live registrations.
+func (l *LookupService) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	return len(l.services)
+}
+
+// clampLease applies Jini's lease discipline.
+func clampLease(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = DefaultLease
+	}
+	if d > MaxLease {
+		d = MaxLease
+	}
+	return d
+}
+
+// handle dispatches one wire request.
+func (l *LookupService) handle(req request) response {
+	switch req.Op {
+	case opDiscover:
+		return response{IsLookup: true}
+	case opRegister:
+		return l.register(req)
+	case opLookup:
+		return l.lookup(req)
+	case opRenew:
+		return l.renew(req)
+	case opCancel:
+		return l.cancel(req)
+	case opNotify:
+		return l.notify(req)
+	default:
+		return response{ErrCode: codeRemote, ErrMsg: "lookup service: unsupported operation"}
+	}
+}
+
+func (l *LookupService) register(req request) response {
+	item := req.Item
+	if item.ID.IsZero() {
+		item.ID = NewServiceID()
+	}
+	lease := clampLease(req.LeaseMS)
+
+	l.mu.Lock()
+	l.expireLocked()
+	// Re-registration with the same ServiceID replaces the old
+	// registration (Jini semantics), preserving no old lease.
+	for id, reg := range l.services {
+		if reg.item.ID == item.ID {
+			delete(l.services, id)
+		}
+	}
+	l.nextLease++
+	leaseID := l.nextLease
+	expiry := l.now().Add(lease)
+	l.services[leaseID] = &registration{item: item, expires: expiry}
+	events := l.transitionsLocked(item, TransitionMatch)
+	l.mu.Unlock()
+
+	l.fire(events)
+	return response{LeaseID: leaseID, ExpiryMS: lease.Milliseconds(), AssignedID: item.ID}
+}
+
+func (l *LookupService) lookup(req request) response {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	var items []ServiceItem
+	for _, reg := range l.services {
+		if req.Template.Matches(reg.item) {
+			items = append(items, reg.item)
+		}
+	}
+	return response{Items: items}
+}
+
+func (l *LookupService) renew(req request) response {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	lease := clampLease(req.LeaseMS)
+	if reg, ok := l.services[req.LeaseID]; ok {
+		reg.expires = l.now().Add(lease)
+		return response{LeaseID: req.LeaseID, ExpiryMS: lease.Milliseconds()}
+	}
+	if w, ok := l.watches[req.LeaseID]; ok {
+		w.expires = l.now().Add(lease)
+		return response{LeaseID: req.LeaseID, ExpiryMS: lease.Milliseconds()}
+	}
+	return response{ErrCode: codeLease, ErrMsg: "renew: unknown lease"}
+}
+
+func (l *LookupService) cancel(req request) response {
+	l.mu.Lock()
+	var events []pendingEvent
+	if reg, ok := l.services[req.LeaseID]; ok {
+		delete(l.services, req.LeaseID)
+		events = l.transitionsLocked(reg.item, TransitionNoMatch)
+		l.mu.Unlock()
+		l.fire(events)
+		return response{}
+	}
+	if _, ok := l.watches[req.LeaseID]; ok {
+		delete(l.watches, req.LeaseID)
+		l.mu.Unlock()
+		return response{}
+	}
+	l.mu.Unlock()
+	return response{ErrCode: codeLease, ErrMsg: "cancel: unknown lease"}
+}
+
+func (l *LookupService) notify(req request) response {
+	lease := clampLease(req.LeaseMS)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextLease++
+	leaseID := l.nextLease
+	l.watches[leaseID] = &watch{
+		template: req.Template,
+		listener: req.Listener,
+		eventID:  req.EventID,
+		expires:  l.now().Add(lease),
+	}
+	return response{LeaseID: leaseID, ExpiryMS: lease.Milliseconds()}
+}
+
+// pendingEvent pairs a listener with the event to deliver after the lock
+// is released.
+type pendingEvent struct {
+	listener ProxyDescriptor
+	event    RemoteEvent
+}
+
+// transitionsLocked collects events for watches matching item. Caller
+// holds l.mu.
+func (l *LookupService) transitionsLocked(item ServiceItem, transition int64) []pendingEvent {
+	var out []pendingEvent
+	now := l.now()
+	for id, w := range l.watches {
+		if now.After(w.expires) {
+			delete(l.watches, id)
+			continue
+		}
+		if w.template.Matches(item) {
+			l.eventSeq++
+			out = append(out, pendingEvent{
+				listener: w.listener,
+				event: RemoteEvent{
+					SourceID:   item.ID,
+					EventID:    w.eventID,
+					Seq:        l.eventSeq,
+					Transition: transition,
+				},
+			})
+		}
+	}
+	return out
+}
+
+// fire delivers events asynchronously; listener failures are ignored, as
+// in Jini (the lease will eventually lapse).
+func (l *LookupService) fire(events []pendingEvent) {
+	for _, ev := range events {
+		l.eventWG.Add(1)
+		go func(pe pendingEvent) {
+			defer l.eventWG.Done()
+			l.notifier(pe.listener, pe.event)
+		}(ev)
+	}
+}
+
+// deliverEvent invokes the listener proxy's Notify method with the event
+// flattened to wire-safe scalars.
+func (l *LookupService) deliverEvent(listener ProxyDescriptor, ev RemoteEvent) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, _ = Call(ctx, listener, "Notify", []any{
+		ev.SourceID.String(), ev.EventID, int64(ev.Seq), ev.Transition, ev.Payload,
+	})
+}
+
+// expireLocked drops expired registrations and watches. Caller holds l.mu.
+func (l *LookupService) expireLocked() {
+	now := l.now()
+	for id, reg := range l.services {
+		if now.After(reg.expires) {
+			delete(l.services, id)
+		}
+	}
+	for id, w := range l.watches {
+		if now.After(w.expires) {
+			delete(l.watches, id)
+		}
+	}
+}

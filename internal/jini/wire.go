@@ -1,0 +1,310 @@
+package jini
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The wire protocol is one gob stream per connection carrying request/
+// response pairs in lock step — the simulation's JRMP. Connections are
+// pooled and reused sequentially.
+
+// opcode discriminates request kinds.
+type opcode int
+
+const (
+	opDiscover opcode = iota + 1
+	opRegister
+	opLookup
+	opRenew
+	opCancel
+	opNotify
+	opInvoke
+)
+
+// request is the single wire request shape; the opcode selects which
+// fields are meaningful.
+type request struct {
+	Op opcode
+
+	// opRegister
+	Item    ServiceItem
+	LeaseMS int64
+
+	// opLookup / opNotify
+	Template ServiceTemplate
+
+	// opRenew / opCancel
+	LeaseID uint64
+
+	// opNotify
+	Listener ProxyDescriptor
+	EventID  int64
+
+	// opInvoke
+	ObjectID uint64
+	Method   string
+	Args     []any
+}
+
+// response is the single wire response shape.
+type response struct {
+	// ErrCode is "" on success; otherwise one of the wire error codes
+	// below, with ErrMsg carrying detail.
+	ErrCode string
+	ErrMsg  string
+
+	// opDiscover
+	IsLookup bool
+	// opRegister / opRenew
+	LeaseID  uint64
+	ExpiryMS int64
+	// opRegister
+	AssignedID ServiceID
+	// opLookup
+	Items []ServiceItem
+	// opInvoke
+	Value any
+}
+
+// Wire error codes.
+const (
+	codeNoSuchObject = "NoSuchObject"
+	codeNoSuchMethod = "NoSuchMethod"
+	codeLease        = "LeaseExpired"
+	codeBadArgs      = "BadArgs"
+	codeRemote       = "Remote"
+)
+
+// errFromCode rebuilds a typed error from its wire code.
+func errFromCode(code, msg string) error {
+	switch code {
+	case "":
+		return nil
+	case codeNoSuchObject:
+		return fmt.Errorf("%w: %s", ErrNoSuchObject, msg)
+	case codeNoSuchMethod:
+		return fmt.Errorf("%w: %s", ErrNoSuchMethod, msg)
+	case codeLease:
+		return fmt.Errorf("%w: %s", ErrLeaseExpired, msg)
+	case codeBadArgs:
+		return fmt.Errorf("%w: %s", ErrBadArgs, msg)
+	default:
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+}
+
+// codeFromErr classifies an error for the wire.
+func codeFromErr(err error) (string, string) {
+	if err == nil {
+		return "", ""
+	}
+	for _, pair := range []struct {
+		target error
+		code   string
+	}{
+		{ErrNoSuchObject, codeNoSuchObject},
+		{ErrNoSuchMethod, codeNoSuchMethod},
+		{ErrLeaseExpired, codeLease},
+		{ErrBadArgs, codeBadArgs},
+	} {
+		if errors.Is(err, pair.target) {
+			return pair.code, err.Error()
+		}
+	}
+	return codeRemote, err.Error()
+}
+
+// registerGobTypes installs the concrete types that may travel inside
+// `any` fields. gob requires explicit registration for interface values.
+var registerGobTypes = sync.OnceFunc(func() {
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register(false)
+	gob.Register("")
+	gob.Register([]byte(nil))
+})
+
+// conn is one pooled connection with its sticky gob codec state.
+type conn struct {
+	nc  net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// transport maintains per-address connection pools.
+type transport struct {
+	mu    sync.Mutex
+	idle  map[string][]*conn
+	limit int
+}
+
+func newTransport() *transport {
+	registerGobTypes()
+	return &transport{idle: make(map[string][]*conn), limit: 4}
+}
+
+// defaultTransport is shared by package-level Call and Registrar clients
+// so every proxy in a process reuses connections, as an RMI runtime would.
+var defaultTransport = newTransport()
+
+func (t *transport) get(ctx context.Context, addr string) (*conn, error) {
+	t.mu.Lock()
+	if pool := t.idle[addr]; len(pool) > 0 {
+		c := pool[len(pool)-1]
+		t.idle[addr] = pool[:len(pool)-1]
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("jini: dial %s: %w", addr, err)
+	}
+	return &conn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}, nil
+}
+
+func (t *transport) put(addr string, c *conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.idle[addr]) >= t.limit {
+		_ = c.nc.Close()
+		return
+	}
+	t.idle[addr] = append(t.idle[addr], c)
+}
+
+// roundTrip sends req and receives the response, honouring ctx deadlines.
+// On any transport error the connection is discarded.
+func (t *transport) roundTrip(ctx context.Context, addr string, req request) (response, error) {
+	c, err := t.get(ctx, addr)
+	if err != nil {
+		return response{}, err
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(30 * time.Second)
+	}
+	_ = c.nc.SetDeadline(deadline)
+	if err := c.enc.Encode(req); err != nil {
+		_ = c.nc.Close()
+		return response{}, fmt.Errorf("jini: send to %s: %w", addr, err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		_ = c.nc.Close()
+		return response{}, fmt.Errorf("jini: receive from %s: %w", addr, err)
+	}
+	_ = c.nc.SetDeadline(time.Time{})
+	t.put(addr, c)
+	return resp, nil
+}
+
+// tcpServer is the shared server plumbing for the lookup service and the
+// exporter: it accepts connections, runs the lock-step gob protocol on
+// each, and tracks live connections so Close can tear them down instead
+// of waiting for idle peers to hang up.
+type tcpServer struct {
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// start listens on addr and serves handle on every connection.
+func (s *tcpServer) start(addr string, handle func(request) response) error {
+	registerGobTypes()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				_ = nc.Close()
+				return
+			}
+			s.conns[nc] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(nc, handle)
+			}()
+		}
+	}()
+	return nil
+}
+
+// serveConn runs the lock-step protocol until the peer disconnects or the
+// server closes.
+func (s *tcpServer) serveConn(nc net.Conn, handle func(request) response) {
+	dec := gob.NewDecoder(nc)
+	enc := gob.NewEncoder(nc)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		_ = nc.Close()
+	}()
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// addrString returns the listening address, or "".
+func (s *tcpServer) addrString() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// close stops the listener, severs live connections, and waits for every
+// server goroutine to exit. Safe to call twice.
+func (s *tcpServer) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		_ = nc.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+}

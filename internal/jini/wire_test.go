@@ -1,0 +1,47 @@
+package jini
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestErrorCodeRoundTrip: every typed error survives the wire encoding
+// (codeFromErr → errFromCode) with its identity intact, so errors.Is
+// works across the RMI-sim boundary.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	typed := []error{ErrNoSuchObject, ErrNoSuchMethod, ErrLeaseExpired, ErrBadArgs}
+	for _, want := range typed {
+		wrapped := fmt.Errorf("context: %w", want)
+		code, msg := codeFromErr(wrapped)
+		back := errFromCode(code, msg)
+		if !errors.Is(back, want) {
+			t.Errorf("%v: round trip lost identity (code %s → %v)", want, code, back)
+		}
+	}
+	// Arbitrary errors become remote exceptions.
+	code, msg := codeFromErr(errors.New("disk on fire"))
+	back := errFromCode(code, msg)
+	if !errors.Is(back, ErrRemote) {
+		t.Errorf("generic error: %v", back)
+	}
+	// nil stays nil.
+	if code, _ := codeFromErr(nil); code != "" {
+		t.Errorf("nil error encoded as %q", code)
+	}
+	if errFromCode("", "") != nil {
+		t.Error("empty code decoded as error")
+	}
+}
+
+// TestInterfaceSpecMethodLookup exercises the spec accessor.
+func TestInterfaceSpecMethodLookup(t *testing.T) {
+	spec := InterfaceSpec{Name: "X", Methods: []MethodSpec{{Name: "A"}, {Name: "B", Params: []string{"int"}}}}
+	m, ok := spec.Method("B")
+	if !ok || len(m.Params) != 1 {
+		t.Errorf("Method(B) = %+v, %v", m, ok)
+	}
+	if _, ok := spec.Method("C"); ok {
+		t.Error("found missing method")
+	}
+}

@@ -1,0 +1,112 @@
+package mail
+
+import (
+	"fmt"
+	"net"
+	"net/smtp"
+	"net/textproto"
+	"strconv"
+	"strings"
+)
+
+// Send submits a message through an SMTP server (ours or any other) using
+// the standard library client.
+func Send(smtpAddr string, m Message) error {
+	if err := smtp.SendMail(smtpAddr, nil, m.From, []string{m.To}, m.Render()); err != nil {
+		return fmt.Errorf("mail: send: %w", err)
+	}
+	return nil
+}
+
+// Fetch retrieves (and optionally deletes) every message in addr's
+// mailbox via the POP3 server.
+func Fetch(pop3Addr, addr string, del bool) ([]Message, error) {
+	nc, err := net.Dial("tcp", pop3Addr)
+	if err != nil {
+		return nil, fmt.Errorf("mail: dial pop3: %w", err)
+	}
+	tp := textproto.NewConn(nc)
+	defer tp.Close()
+
+	expectOK := func() (string, error) {
+		line, err := tp.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		if !strings.HasPrefix(line, "+OK") {
+			return "", fmt.Errorf("mail: pop3: %s", line)
+		}
+		return strings.TrimSpace(strings.TrimPrefix(line, "+OK")), nil
+	}
+	cmd := func(format string, args ...any) (string, error) {
+		if err := tp.PrintfLine(format, args...); err != nil {
+			return "", err
+		}
+		return expectOK()
+	}
+
+	if _, err := expectOK(); err != nil { // greeting
+		return nil, err
+	}
+	if _, err := cmd("USER %s", addr); err != nil {
+		return nil, err
+	}
+	if _, err := cmd("PASS x"); err != nil {
+		return nil, err
+	}
+	stat, err := cmd("STAT")
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(stat)
+	if len(fields) < 1 {
+		return nil, fmt.Errorf("mail: bad STAT reply %q", stat)
+	}
+	count, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("mail: bad STAT count %q", stat)
+	}
+
+	var out []Message
+	for i := 1; i <= count; i++ {
+		if _, err := cmd("RETR %d", i); err != nil {
+			return nil, err
+		}
+		raw, err := readDotLines(tp)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ParseMessage(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		if del {
+			if _, err := cmd("DELE %d", i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := cmd("QUIT"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readDotLines reads a dot-terminated multi-line response, undoing
+// dot-stuffing.
+func readDotLines(tp *textproto.Conn) ([]byte, error) {
+	var b strings.Builder
+	for {
+		line, err := tp.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "." {
+			return []byte(b.String()), nil
+		}
+		line = strings.TrimPrefix(line, ".")
+		b.WriteString(line)
+		b.WriteString("\r\n")
+	}
+}

@@ -1,0 +1,184 @@
+package mail
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMessageRenderParseRoundTrip(t *testing.T) {
+	in := Message{
+		From:    "vcr@home.example",
+		To:      "user@home.example",
+		Subject: "invoke havi:vcr-1 Record",
+		Date:    time.Date(2002, 7, 2, 10, 0, 0, 0, time.UTC),
+		Body:    "channel=5\nminutes=30",
+	}
+	out, err := ParseMessage(in.Render())
+	if err != nil {
+		t.Fatalf("ParseMessage: %v", err)
+	}
+	if out.From != in.From || out.To != in.To || out.Subject != in.Subject {
+		t.Errorf("headers: %+v", out)
+	}
+	if !out.Date.Equal(in.Date) {
+		t.Errorf("date: %v != %v", out.Date, in.Date)
+	}
+	if out.Body != "channel=5\nminutes=30" {
+		t.Errorf("body = %q", out.Body)
+	}
+}
+
+func TestParseMessageTolerant(t *testing.T) {
+	m, err := ParseMessage([]byte("Subject: hi\r\n\r\nbody"))
+	if err != nil {
+		t.Fatalf("ParseMessage: %v", err)
+	}
+	if m.Subject != "hi" || m.Body != "body" || m.From != "" {
+		t.Errorf("%+v", m)
+	}
+}
+
+func TestStoreSemantics(t *testing.T) {
+	s := NewStore()
+	s.Deliver("User@Example.COM", Message{Subject: "a"})
+	s.Deliver("<user@example.com>", Message{Subject: "b"})
+	msgs := s.Messages("user@example.com")
+	if len(msgs) != 2 {
+		t.Fatalf("normalization failed: %d messages", len(msgs))
+	}
+	if !s.Delete("user@example.com", 0) {
+		t.Fatal("Delete failed")
+	}
+	msgs = s.Messages("user@example.com")
+	if len(msgs) != 1 || msgs[0].Subject != "b" {
+		t.Errorf("after delete: %+v", msgs)
+	}
+	if s.Delete("user@example.com", 5) {
+		t.Error("out-of-range delete succeeded")
+	}
+	if got := s.Addresses(); len(got) != 1 || got[0] != "user@example.com" {
+		t.Errorf("Addresses = %v", got)
+	}
+	if got := s.Drain("user@example.com"); len(got) != 1 {
+		t.Errorf("Drain = %v", got)
+	}
+	if len(s.Messages("user@example.com")) != 0 {
+		t.Error("mailbox not empty after drain")
+	}
+}
+
+func newMailRig(t *testing.T) (*Store, *SMTPServer, *POP3Server) {
+	t.Helper()
+	store := NewStore()
+	smtpSrv := NewSMTPServer(store)
+	if err := smtpSrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	popSrv := NewPOP3Server(store)
+	if err := popSrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		smtpSrv.Close()
+		popSrv.Close()
+	})
+	return store, smtpSrv, popSrv
+}
+
+func TestSMTPDelivery(t *testing.T) {
+	store, smtpSrv, _ := newMailRig(t)
+	err := Send(smtpSrv.Addr(), Message{
+		From:    "alice@home.example",
+		To:      "bob@home.example",
+		Subject: "hello",
+		Body:    "line one\nline two",
+	})
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	msgs := store.Messages("bob@home.example")
+	if len(msgs) != 1 {
+		t.Fatalf("delivered %d messages", len(msgs))
+	}
+	if msgs[0].Subject != "hello" || !strings.Contains(msgs[0].Body, "line two") {
+		t.Errorf("message = %+v", msgs[0])
+	}
+}
+
+func TestSMTPDotStuffing(t *testing.T) {
+	store, smtpSrv, _ := newMailRig(t)
+	err := Send(smtpSrv.Addr(), Message{
+		From:    "a@h",
+		To:      "b@h",
+		Subject: "dots",
+		Body:    ".leading dot\nnormal\n..double",
+	})
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	msgs := store.Messages("b@h")
+	if len(msgs) != 1 {
+		t.Fatal("no delivery")
+	}
+	if msgs[0].Body != ".leading dot\nnormal\n..double" {
+		t.Errorf("body = %q", msgs[0].Body)
+	}
+}
+
+func TestPOP3FetchAndDelete(t *testing.T) {
+	store, _, popSrv := newMailRig(t)
+	store.Deliver("user@h", Message{From: "x@h", To: "user@h", Subject: "one", Body: "1"})
+	store.Deliver("user@h", Message{From: "x@h", To: "user@h", Subject: "two", Body: "2"})
+
+	msgs, err := Fetch(popSrv.Addr(), "user@h", false)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if len(msgs) != 2 || msgs[0].Subject != "one" || msgs[1].Subject != "two" {
+		t.Fatalf("msgs = %+v", msgs)
+	}
+	// Non-destructive fetch left them in place.
+	if len(store.Messages("user@h")) != 2 {
+		t.Error("messages deleted by non-destructive fetch")
+	}
+
+	// Destructive fetch empties the box.
+	if _, err := Fetch(popSrv.Addr(), "user@h", true); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.Messages("user@h")) != 0 {
+		t.Error("messages survived destructive fetch")
+	}
+}
+
+func TestEndToEndMailLoop(t *testing.T) {
+	_, smtpSrv, popSrv := newMailRig(t)
+	if err := Send(smtpSrv.Addr(), Message{From: "a@h", To: "svc@h", Subject: "invoke x10:lamp-1 On", Body: ""}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := Fetch(popSrv.Addr(), "svc@h", true)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("Fetch = %v, %v", msgs, err)
+	}
+	if msgs[0].Subject != "invoke x10:lamp-1 On" {
+		t.Errorf("subject = %q", msgs[0].Subject)
+	}
+}
+
+func TestFetchEmptyMailbox(t *testing.T) {
+	_, _, popSrv := newMailRig(t)
+	msgs, err := Fetch(popSrv.Addr(), "nobody@h", true)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if len(msgs) != 0 {
+		t.Errorf("msgs = %v", msgs)
+	}
+}
+
+func TestFetchServerGone(t *testing.T) {
+	if _, err := Fetch("127.0.0.1:1", "x@h", false); err == nil {
+		t.Error("Fetch against dead server succeeded")
+	}
+}

@@ -1,0 +1,145 @@
+// Package mail simulates the Internet mail service integrated by the
+// paper's prototype (§4.1 lists an "Internet Mail service" PCM among the
+// four middleware). It provides a small SMTP server with per-address
+// mailboxes, a POP3-style retrieval server, and client helpers built on
+// net/smtp.
+//
+// The mail PCM uses the store-and-forward conventions real systems used:
+// commands arrive as messages whose subject line is "invoke <service>
+// <operation>" with one argument per body line, and results are mailed
+// back — the same asymmetric integration the paper's prototype performed.
+package mail
+
+import (
+	"bufio"
+	"fmt"
+	"net/textproto"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Message is one mail message.
+type Message struct {
+	From    string
+	To      string
+	Subject string
+	Date    time.Time
+	Body    string
+}
+
+// Render produces the RFC 822-style wire form.
+func (m Message) Render() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "From: %s\r\n", m.From)
+	fmt.Fprintf(&b, "To: %s\r\n", m.To)
+	fmt.Fprintf(&b, "Subject: %s\r\n", m.Subject)
+	date := m.Date
+	if date.IsZero() {
+		date = time.Now()
+	}
+	fmt.Fprintf(&b, "Date: %s\r\n", date.UTC().Format(time.RFC1123Z))
+	b.WriteString("\r\n")
+	b.WriteString(m.Body)
+	return []byte(b.String())
+}
+
+// ParseMessage inverts Render, tolerating missing headers.
+func ParseMessage(raw []byte) (Message, error) {
+	r := textproto.NewReader(bufio.NewReader(strings.NewReader(string(raw))))
+	hdr, err := r.ReadMIMEHeader()
+	if err != nil && len(hdr) == 0 {
+		return Message{}, fmt.Errorf("mail: parse headers: %w", err)
+	}
+	var m Message
+	m.From = hdr.Get("From")
+	m.To = hdr.Get("To")
+	m.Subject = hdr.Get("Subject")
+	if d := hdr.Get("Date"); d != "" {
+		if t, err := time.Parse(time.RFC1123Z, d); err == nil {
+			m.Date = t
+		}
+	}
+	rest := new(strings.Builder)
+	for {
+		line, err := r.ReadLine()
+		if err != nil {
+			break
+		}
+		rest.WriteString(line)
+		rest.WriteString("\n")
+	}
+	m.Body = strings.TrimRight(rest.String(), "\n")
+	return m, nil
+}
+
+// Store holds mailboxes keyed by address.
+type Store struct {
+	mu    sync.Mutex
+	boxes map[string][]Message
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{boxes: make(map[string][]Message)}
+}
+
+// Deliver appends a message to the recipient's mailbox.
+func (s *Store) Deliver(to string, m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.boxes[normalize(to)] = append(s.boxes[normalize(to)], m)
+}
+
+// Messages returns a copy of a mailbox.
+func (s *Store) Messages(addr string) []Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Message(nil), s.boxes[normalize(addr)]...)
+}
+
+// Delete removes message i (0-based) from a mailbox.
+func (s *Store) Delete(addr string, i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := normalize(addr)
+	box := s.boxes[key]
+	if i < 0 || i >= len(box) {
+		return false
+	}
+	s.boxes[key] = append(box[:i:i], box[i+1:]...)
+	return true
+}
+
+// Drain removes and returns every message in a mailbox.
+func (s *Store) Drain(addr string) []Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := normalize(addr)
+	out := s.boxes[key]
+	delete(s.boxes, key)
+	return out
+}
+
+// Addresses lists mailboxes that currently hold mail, sorted.
+func (s *Store) Addresses() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for addr, box := range s.boxes {
+		if len(box) > 0 {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// normalize lower-cases and strips angle brackets from an address.
+func normalize(addr string) string {
+	addr = strings.TrimSpace(addr)
+	addr = strings.TrimPrefix(addr, "<")
+	addr = strings.TrimSuffix(addr, ">")
+	return strings.ToLower(addr)
+}

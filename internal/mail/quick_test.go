@@ -1,0 +1,69 @@
+package mail
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMessageRoundTrip: any message with header-safe fields and a
+// printable body survives Render → ParseMessage.
+func TestQuickMessageRoundTrip(t *testing.T) {
+	sanitizeHeader := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r < 32 || r > 126 {
+				return 'x'
+			}
+			return r
+		}, s)
+	}
+	fn := func(from, to, subject string, bodyLines []string) bool {
+		m := Message{
+			From:    sanitizeHeader(from),
+			To:      sanitizeHeader(to),
+			Subject: sanitizeHeader(subject),
+		}
+		var body []string
+		for _, l := range bodyLines {
+			body = append(body, strings.Map(func(r rune) rune {
+				if r == '\r' || r == '\n' {
+					return ' '
+				}
+				return r
+			}, l))
+		}
+		m.Body = strings.TrimRight(strings.Join(body, "\n"), "\n")
+		out, err := ParseMessage(m.Render())
+		if err != nil {
+			return false
+		}
+		return strings.TrimSpace(out.From) == strings.TrimSpace(m.From) &&
+			strings.TrimSpace(out.Subject) == strings.TrimSpace(m.Subject) &&
+			out.Body == m.Body
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNormalize: normalization is idempotent for any input, and
+// case-insensitive for ASCII addresses (the only kind RFC 5321 local
+// parts guarantee; exotic Unicode has no stable case round trip).
+func TestQuickNormalize(t *testing.T) {
+	fn := func(addr string) bool {
+		n1 := normalize(addr)
+		if normalize(n1) != n1 {
+			return false
+		}
+		ascii := strings.Map(func(r rune) rune {
+			if r > 126 {
+				return 'a'
+			}
+			return r
+		}, addr)
+		return normalize(strings.ToUpper(ascii)) == normalize(strings.ToLower(ascii))
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,405 @@
+package mail
+
+import (
+	"bufio"
+	"net"
+	"net/textproto"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// lineServer is shared accept/track/close plumbing for the two
+// line-oriented protocol servers.
+type lineServer struct {
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+func (s *lineServer) start(addr string, serve func(net.Conn)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				_ = nc.Close()
+				return
+			}
+			s.conns[nc] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() {
+					s.mu.Lock()
+					delete(s.conns, nc)
+					s.mu.Unlock()
+					_ = nc.Close()
+				}()
+				serve(nc)
+			}()
+		}
+	}()
+	return nil
+}
+
+func (s *lineServer) addrString() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *lineServer) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		_ = nc.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// SMTPServer accepts mail and delivers it into a Store.
+type SMTPServer struct {
+	store *Store
+	srv   lineServer
+}
+
+// NewSMTPServer returns an unstarted server delivering into store.
+func NewSMTPServer(store *Store) *SMTPServer {
+	return &SMTPServer{store: store}
+}
+
+// Start listens on addr ("127.0.0.1:0" for ephemeral).
+func (s *SMTPServer) Start(addr string) error { return s.srv.start(addr, s.serve) }
+
+// Addr returns the listening address.
+func (s *SMTPServer) Addr() string { return s.srv.addrString() }
+
+// Close stops the server.
+func (s *SMTPServer) Close() { s.srv.close() }
+
+// serve speaks just enough RFC 5321 for net/smtp.SendMail.
+func (s *SMTPServer) serve(nc net.Conn) {
+	tp := textproto.NewConn(nc)
+	defer tp.Close()
+	say := func(code int, msg string) bool {
+		return tp.PrintfLine("%d %s", code, msg) == nil
+	}
+	if !say(220, "homeconnect simulated SMTP service ready") {
+		return
+	}
+	var from string
+	var rcpts []string
+	for {
+		line, err := tp.ReadLine()
+		if err != nil {
+			return
+		}
+		verb := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(verb, "HELO"), strings.HasPrefix(verb, "EHLO"):
+			if !say(250, "homeconnect") {
+				return
+			}
+		case strings.HasPrefix(verb, "MAIL FROM:"):
+			from = normalize(line[len("MAIL FROM:"):])
+			rcpts = nil
+			if !say(250, "sender ok") {
+				return
+			}
+		case strings.HasPrefix(verb, "RCPT TO:"):
+			if from == "" {
+				if !say(503, "need MAIL before RCPT") {
+					return
+				}
+				continue
+			}
+			rcpts = append(rcpts, normalize(line[len("RCPT TO:"):]))
+			if !say(250, "recipient ok") {
+				return
+			}
+		case verb == "DATA":
+			if len(rcpts) == 0 {
+				if !say(503, "need RCPT before DATA") {
+					return
+				}
+				continue
+			}
+			if !say(354, "end with <CRLF>.<CRLF>") {
+				return
+			}
+			raw, err := readDotBody(tp)
+			if err != nil {
+				return
+			}
+			msg, err := ParseMessage(raw)
+			if err != nil {
+				if !say(554, "unparseable message") {
+					return
+				}
+				continue
+			}
+			if msg.From == "" {
+				msg.From = from
+			}
+			for _, rcpt := range rcpts {
+				if msg.To == "" {
+					msg.To = rcpt
+				}
+				s.store.Deliver(rcpt, msg)
+			}
+			from, rcpts = "", nil
+			if !say(250, "delivered") {
+				return
+			}
+		case verb == "RSET":
+			from, rcpts = "", nil
+			if !say(250, "ok") {
+				return
+			}
+		case verb == "NOOP":
+			if !say(250, "ok") {
+				return
+			}
+		case verb == "QUIT":
+			say(221, "bye")
+			return
+		default:
+			if !say(502, "command not implemented") {
+				return
+			}
+		}
+	}
+}
+
+// readDotBody reads a DATA body up to the lone-dot terminator, undoing
+// dot-stuffing.
+func readDotBody(tp *textproto.Conn) ([]byte, error) {
+	var b strings.Builder
+	for {
+		line, err := tp.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "." {
+			return []byte(strings.TrimSuffix(b.String(), "\r\n")), nil
+		}
+		line = strings.TrimPrefix(line, ".")
+		b.WriteString(line)
+		b.WriteString("\r\n")
+	}
+}
+
+// POP3Server exposes a Store for retrieval with a POP3-style protocol:
+// USER/PASS (any password accepted), STAT, LIST, RETR, DELE, QUIT.
+type POP3Server struct {
+	store *Store
+	srv   lineServer
+}
+
+// NewPOP3Server returns an unstarted retrieval server over store.
+func NewPOP3Server(store *Store) *POP3Server {
+	return &POP3Server{store: store}
+}
+
+// Start listens on addr.
+func (s *POP3Server) Start(addr string) error { return s.srv.start(addr, s.serve) }
+
+// Addr returns the listening address.
+func (s *POP3Server) Addr() string { return s.srv.addrString() }
+
+// Close stops the server.
+func (s *POP3Server) Close() { s.srv.close() }
+
+func (s *POP3Server) serve(nc net.Conn) {
+	tp := textproto.NewConn(nc)
+	defer tp.Close()
+	ok := func(format string, args ...any) bool {
+		return tp.PrintfLine("+OK "+format, args...) == nil
+	}
+	bad := func(format string, args ...any) bool {
+		return tp.PrintfLine("-ERR "+format, args...) == nil
+	}
+	if !ok("homeconnect POP3 ready") {
+		return
+	}
+	var user string
+	authed := false
+	// deleted marks messages removed in this session (applied at QUIT,
+	// per POP3 update semantics).
+	deleted := map[int]bool{}
+	for {
+		line, err := tp.ReadLine()
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "USER":
+			if len(fields) < 2 {
+				if !bad("USER needs an address") {
+					return
+				}
+				continue
+			}
+			user = fields[1]
+			if !ok("user accepted") {
+				return
+			}
+		case "PASS":
+			if user == "" {
+				if !bad("USER first") {
+					return
+				}
+				continue
+			}
+			authed = true
+			if !ok("mailbox open") {
+				return
+			}
+		case "STAT":
+			if !authed {
+				if !bad("not authenticated") {
+					return
+				}
+				continue
+			}
+			msgs := s.store.Messages(user)
+			size := 0
+			for _, m := range msgs {
+				size += len(m.Render())
+			}
+			if !ok("%d %d", len(msgs), size) {
+				return
+			}
+		case "LIST":
+			if !authed {
+				if !bad("not authenticated") {
+					return
+				}
+				continue
+			}
+			msgs := s.store.Messages(user)
+			if !ok("%d messages", len(msgs)) {
+				return
+			}
+			for i, m := range msgs {
+				if tp.PrintfLine("%d %d", i+1, len(m.Render())) != nil {
+					return
+				}
+			}
+			if tp.PrintfLine(".") != nil {
+				return
+			}
+		case "RETR":
+			if !authed {
+				if !bad("not authenticated") {
+					return
+				}
+				continue
+			}
+			n, err := strconv.Atoi(strings.Join(fields[1:], ""))
+			msgs := s.store.Messages(user)
+			if err != nil || n < 1 || n > len(msgs) {
+				if !bad("no such message") {
+					return
+				}
+				continue
+			}
+			raw := msgs[n-1].Render()
+			if !ok("%d octets", len(raw)) {
+				return
+			}
+			if err := writeDotBody(tp, raw); err != nil {
+				return
+			}
+		case "DELE":
+			if !authed {
+				if !bad("not authenticated") {
+					return
+				}
+				continue
+			}
+			n, err := strconv.Atoi(strings.Join(fields[1:], ""))
+			msgs := s.store.Messages(user)
+			if err != nil || n < 1 || n > len(msgs) {
+				if !bad("no such message") {
+					return
+				}
+				continue
+			}
+			deleted[n-1] = true
+			if !ok("marked for deletion") {
+				return
+			}
+		case "NOOP":
+			if !ok("") {
+				return
+			}
+		case "QUIT":
+			// Apply deletions highest-index first so indices stay valid.
+			if authed {
+				for i := len(s.store.Messages(user)) - 1; i >= 0; i-- {
+					if deleted[i] {
+						s.store.Delete(user, i)
+					}
+				}
+			}
+			ok("bye")
+			return
+		default:
+			if !bad("unknown command %s", fields[0]) {
+				return
+			}
+		}
+	}
+}
+
+// writeDotBody writes a multi-line response with dot-stuffing and the
+// final lone dot.
+func writeDotBody(tp *textproto.Conn, raw []byte) error {
+	sc := bufio.NewScanner(strings.NewReader(string(raw)))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ".") {
+			line = "." + line
+		}
+		if err := tp.PrintfLine("%s", line); err != nil {
+			return err
+		}
+	}
+	return tp.PrintfLine(".")
+}

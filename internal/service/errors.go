@@ -1,0 +1,75 @@
+package service
+
+import "errors"
+
+// Sentinel errors shared across the framework. Wrap them with context via
+// fmt.Errorf("...: %w", Err...) and test with errors.Is.
+var (
+	// ErrNoSuchOperation reports a call to an operation the interface does
+	// not declare.
+	ErrNoSuchOperation = errors.New("no such operation")
+	// ErrNoSuchService reports a lookup or call against an unknown service
+	// ID.
+	ErrNoSuchService = errors.New("no such service")
+	// ErrBadArgument reports an arity or type mismatch between a call and
+	// the operation signature.
+	ErrBadArgument = errors.New("bad argument")
+	// ErrBadKind reports an undefined value kind.
+	ErrBadKind = errors.New("bad value kind")
+	// ErrBadInterface reports a structurally invalid interface definition.
+	ErrBadInterface = errors.New("bad interface definition")
+	// ErrBadDescription reports a structurally invalid service description.
+	ErrBadDescription = errors.New("bad service description")
+	// ErrUnavailable reports that a service exists but cannot currently be
+	// reached (gateway down, lease expired, device detached).
+	ErrUnavailable = errors.New("service unavailable")
+)
+
+// RemoteError carries a failure raised by the remote side of a bridged
+// call. It preserves the remote code and message across the SOAP fault
+// boundary so errors survive protocol conversion, as required for
+// transparent access.
+type RemoteError struct {
+	// Code is a machine-readable classification ("Client", "Server",
+	// "NoSuchOperation", ...) mapped to/from SOAP fault codes.
+	Code string
+	// Msg is the human-readable failure description from the remote side.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "remote: " + e.Code + ": " + e.Msg }
+
+// Unwrap maps well-known remote codes back to local sentinel errors so that
+// errors.Is works across the bridge.
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case "NoSuchOperation":
+		return ErrNoSuchOperation
+	case "NoSuchService":
+		return ErrNoSuchService
+	case "BadArgument":
+		return ErrBadArgument
+	case "Unavailable":
+		return ErrUnavailable
+	default:
+		return nil
+	}
+}
+
+// RemoteCode classifies err into the wire code carried by RemoteError and
+// SOAP faults.
+func RemoteCode(err error) string {
+	switch {
+	case errors.Is(err, ErrNoSuchOperation):
+		return "NoSuchOperation"
+	case errors.Is(err, ErrNoSuchService):
+		return "NoSuchService"
+	case errors.Is(err, ErrBadArgument):
+		return "BadArgument"
+	case errors.Is(err, ErrUnavailable):
+		return "Unavailable"
+	default:
+		return "Server"
+	}
+}

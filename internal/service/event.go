@@ -1,0 +1,35 @@
+package service
+
+import "time"
+
+// Event is a middleware-neutral asynchronous notification. The paper's
+// prototype could not deliver these over plain HTTP (§4.2); the event
+// gateway extension carries them between VSGs over push connections or
+// long-polling, and each PCM adapts its middleware's native events (Jini
+// remote events, HAVi event manager posts, X10 received frames) into this
+// form.
+type Event struct {
+	// Source is the federation-wide ID of the emitting service.
+	Source string
+	// Topic names the event within the source, e.g. "motion", "tape-end".
+	Topic string
+	// Seq is a per-source monotonically increasing sequence number, as in
+	// Jini distributed events.
+	Seq uint64
+	// Time is the emission timestamp.
+	Time time.Time
+	// Payload carries event data keyed by attribute name.
+	Payload map[string]Value
+}
+
+// Clone returns a deep copy of the event.
+func (e Event) Clone() Event {
+	cp := e
+	if e.Payload != nil {
+		cp.Payload = make(map[string]Value, len(e.Payload))
+		for k, v := range e.Payload {
+			cp.Payload[k] = v
+		}
+	}
+	return cp
+}

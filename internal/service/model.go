@@ -1,0 +1,248 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Parameter is a named, typed operation input.
+type Parameter struct {
+	Name string
+	Type Kind
+}
+
+// Operation is one callable operation of a service interface.
+type Operation struct {
+	Name   string
+	Doc    string
+	Inputs []Parameter
+	Output Kind // KindVoid for operations that return nothing
+}
+
+// Validate checks the operation for structural problems.
+func (o Operation) Validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("service: operation with empty name: %w", ErrBadInterface)
+	}
+	if !o.Output.Valid() {
+		return fmt.Errorf("service: operation %s: invalid output kind: %w", o.Name, ErrBadInterface)
+	}
+	seen := make(map[string]bool, len(o.Inputs))
+	for _, p := range o.Inputs {
+		if p.Name == "" {
+			return fmt.Errorf("service: operation %s: parameter with empty name: %w", o.Name, ErrBadInterface)
+		}
+		if !p.Type.Valid() || p.Type == KindVoid {
+			return fmt.Errorf("service: operation %s: parameter %s has invalid type: %w", o.Name, p.Name, ErrBadInterface)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("service: operation %s: duplicate parameter %s: %w", o.Name, p.Name, ErrBadInterface)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// Signature renders the operation as a human-readable signature, e.g.
+// "SetChannel(channel int) void".
+func (o Operation) Signature() string {
+	var b strings.Builder
+	b.WriteString(o.Name)
+	b.WriteByte('(')
+	for i, p := range o.Inputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Name)
+		b.WriteByte(' ')
+		b.WriteString(p.Type.String())
+	}
+	b.WriteString(") ")
+	b.WriteString(o.Output.String())
+	return b.String()
+}
+
+// Interface is a named set of operations — the unit described by WSDL in
+// the paper's prototype and advertised through the Virtual Service
+// Repository.
+type Interface struct {
+	Name       string
+	Doc        string
+	Operations []Operation
+}
+
+// Validate checks the interface and all of its operations.
+func (it Interface) Validate() error {
+	if it.Name == "" {
+		return fmt.Errorf("service: interface with empty name: %w", ErrBadInterface)
+	}
+	seen := make(map[string]bool, len(it.Operations))
+	for _, op := range it.Operations {
+		if err := op.Validate(); err != nil {
+			return fmt.Errorf("service: interface %s: %w", it.Name, err)
+		}
+		if seen[op.Name] {
+			return fmt.Errorf("service: interface %s: duplicate operation %s: %w", it.Name, op.Name, ErrBadInterface)
+		}
+		seen[op.Name] = true
+	}
+	return nil
+}
+
+// Operation returns the named operation.
+func (it Interface) Operation(name string) (Operation, bool) {
+	for _, op := range it.Operations {
+		if op.Name == name {
+			return op, true
+		}
+	}
+	return Operation{}, false
+}
+
+// Equal reports whether two interfaces describe the same operations
+// (order-insensitive).
+func (it Interface) Equal(o Interface) bool {
+	if it.Name != o.Name || len(it.Operations) != len(o.Operations) {
+		return false
+	}
+	a := append([]Operation(nil), it.Operations...)
+	b := append([]Operation(nil), o.Operations...)
+	sort.Slice(a, func(i, j int) bool { return a[i].Name < a[j].Name })
+	sort.Slice(b, func(i, j int) bool { return b[i].Name < b[j].Name })
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Output != b[i].Output || len(a[i].Inputs) != len(b[i].Inputs) {
+			return false
+		}
+		for j := range a[i].Inputs {
+			if a[i].Inputs[j] != b[i].Inputs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Context keys set by the framework on service descriptions.
+const (
+	// CtxImported marks a description that a Protocol Conversion Manager
+	// created inside a local middleware on behalf of a remote service (a
+	// Server Proxy). PCM exporters must skip such services to avoid
+	// re-exporting them in a loop.
+	CtxImported = "homeconnect.imported"
+	// CtxOrigin records the globally unique ID of the original service a
+	// Server Proxy stands in for.
+	CtxOrigin = "homeconnect.origin"
+	// CtxNetwork records the name of the middleware network (the VSG) that
+	// exported the service.
+	CtxNetwork = "homeconnect.network"
+)
+
+// Description advertises one service to the federation: identity, the
+// middleware it natively lives on, its interface, and free-form context
+// attributes (locations, capabilities) as stored by the Virtual Service
+// Repository.
+type Description struct {
+	// ID is the federation-wide identifier, by convention
+	// "<middleware>:<local name>", e.g. "jini:laserdisc-1".
+	ID string
+	// Name is the human-readable display name.
+	Name string
+	// Middleware names the native middleware: "jini", "havi", "x10",
+	// "mail", "upnp", "soap".
+	Middleware string
+	// Interface describes the callable operations.
+	Interface Interface
+	// Context carries attribute metadata (service contexts in the paper's
+	// VSR terminology).
+	Context map[string]string
+}
+
+// Validate checks the description.
+func (d Description) Validate() error {
+	if d.ID == "" {
+		return fmt.Errorf("service: description with empty ID: %w", ErrBadDescription)
+	}
+	if d.Middleware == "" {
+		return fmt.Errorf("service: description %s: empty middleware: %w", d.ID, ErrBadDescription)
+	}
+	if err := d.Interface.Validate(); err != nil {
+		return fmt.Errorf("service: description %s: %w", d.ID, err)
+	}
+	return nil
+}
+
+// Imported reports whether the description is a Server Proxy stand-in
+// created by a PCM (see CtxImported).
+func (d Description) Imported() bool {
+	return d.Context[CtxImported] == "true"
+}
+
+// Clone returns a deep copy of the description.
+func (d Description) Clone() Description {
+	cp := d
+	cp.Interface.Operations = append([]Operation(nil), d.Interface.Operations...)
+	for i := range cp.Interface.Operations {
+		cp.Interface.Operations[i].Inputs = append([]Parameter(nil), d.Interface.Operations[i].Inputs...)
+	}
+	if d.Context != nil {
+		cp.Context = make(map[string]string, len(d.Context))
+		for k, v := range d.Context {
+			cp.Context[k] = v
+		}
+	}
+	return cp
+}
+
+// Invoker is the uniform calling convention of the framework. Every proxy —
+// client proxies wrapping native middleware clients, server proxies
+// wrapping remote SOAP calls — implements Invoker.
+type Invoker interface {
+	// Invoke calls the named operation with positional arguments matching
+	// the operation's declared inputs and returns its result (Void for
+	// void operations).
+	Invoke(ctx context.Context, op string, args []Value) (Value, error)
+}
+
+// InvokerFunc adapts a function to the Invoker interface.
+type InvokerFunc func(ctx context.Context, op string, args []Value) (Value, error)
+
+// Invoke implements Invoker.
+func (f InvokerFunc) Invoke(ctx context.Context, op string, args []Value) (Value, error) {
+	return f(ctx, op, args)
+}
+
+var _ Invoker = (InvokerFunc)(nil)
+
+// ValidateArgs checks positional args against the operation signature and
+// returns a descriptive error on arity or type mismatch.
+func ValidateArgs(op Operation, args []Value) error {
+	if len(args) != len(op.Inputs) {
+		return fmt.Errorf("service: %s: got %d args, want %d: %w", op.Name, len(args), len(op.Inputs), ErrBadArgument)
+	}
+	for i, p := range op.Inputs {
+		if args[i].Kind() != p.Type {
+			return fmt.Errorf("service: %s: arg %s is %v, want %v: %w", op.Name, p.Name, args[i].Kind(), p.Type, ErrBadArgument)
+		}
+	}
+	return nil
+}
+
+// CoerceArgs converts text-form arguments into typed Values per the
+// operation signature. It is used by CLI front ends and the mail PCM,
+// where arguments arrive as strings.
+func CoerceArgs(op Operation, texts []string) ([]Value, error) {
+	if len(texts) != len(op.Inputs) {
+		return nil, fmt.Errorf("service: %s: got %d args, want %d: %w", op.Name, len(texts), len(op.Inputs), ErrBadArgument)
+	}
+	args := make([]Value, len(texts))
+	for i, p := range op.Inputs {
+		v, err := ParseText(p.Type, texts[i])
+		if err != nil {
+			return nil, fmt.Errorf("service: %s: arg %s: %w", op.Name, p.Name, err)
+		}
+		args[i] = v
+	}
+	return args, nil
+}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testInterface() Interface {
+	return Interface{
+		Name: "VCR",
+		Operations: []Operation{
+			{Name: "Play", Output: KindVoid},
+			{Name: "Stop", Output: KindVoid},
+			{Name: "Record", Inputs: []Parameter{{Name: "channel", Type: KindInt}, {Name: "minutes", Type: KindInt}}, Output: KindBool},
+			{Name: "Status", Output: KindString},
+		},
+	}
+}
+
+func TestInterfaceValidate(t *testing.T) {
+	if err := testInterface().Validate(); err != nil {
+		t.Fatalf("valid interface rejected: %v", err)
+	}
+	bad := []Interface{
+		{Name: ""},
+		{Name: "X", Operations: []Operation{{Name: ""}}},
+		{Name: "X", Operations: []Operation{{Name: "A", Output: KindInvalid}}},
+		{Name: "X", Operations: []Operation{{Name: "A", Output: KindVoid}, {Name: "A", Output: KindVoid}}},
+		{Name: "X", Operations: []Operation{{Name: "A", Output: KindVoid, Inputs: []Parameter{{Name: "", Type: KindInt}}}}},
+		{Name: "X", Operations: []Operation{{Name: "A", Output: KindVoid, Inputs: []Parameter{{Name: "p", Type: KindVoid}}}}},
+		{Name: "X", Operations: []Operation{{Name: "A", Output: KindVoid, Inputs: []Parameter{{Name: "p", Type: KindInt}, {Name: "p", Type: KindInt}}}}},
+	}
+	for i, it := range bad {
+		if err := it.Validate(); !errors.Is(err, ErrBadInterface) {
+			t.Errorf("case %d: want ErrBadInterface, got %v", i, err)
+		}
+	}
+}
+
+func TestInterfaceOperationLookup(t *testing.T) {
+	it := testInterface()
+	op, ok := it.Operation("Record")
+	if !ok || op.Name != "Record" || len(op.Inputs) != 2 {
+		t.Fatalf("Operation(Record) = %+v, %v", op, ok)
+	}
+	if _, ok := it.Operation("Rewind"); ok {
+		t.Error("found nonexistent operation")
+	}
+}
+
+func TestInterfaceEqual(t *testing.T) {
+	a := testInterface()
+	b := testInterface()
+	// Order-insensitive.
+	b.Operations[0], b.Operations[1] = b.Operations[1], b.Operations[0]
+	if !a.Equal(b) {
+		t.Error("reordered interface not Equal")
+	}
+	c := testInterface()
+	c.Operations[2].Inputs[0].Type = KindString
+	if a.Equal(c) {
+		t.Error("different parameter types Equal")
+	}
+	d := testInterface()
+	d.Name = "Other"
+	if a.Equal(d) {
+		t.Error("different names Equal")
+	}
+}
+
+func TestOperationSignature(t *testing.T) {
+	it := testInterface()
+	op, _ := it.Operation("Record")
+	want := "Record(channel int, minutes int) bool"
+	if got := op.Signature(); got != want {
+		t.Errorf("Signature() = %q, want %q", got, want)
+	}
+}
+
+func TestDescriptionValidateAndClone(t *testing.T) {
+	d := Description{
+		ID:         "havi:vcr-1",
+		Name:       "Living room VCR",
+		Middleware: "havi",
+		Interface:  testInterface(),
+		Context:    map[string]string{"room": "living"},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid description rejected: %v", err)
+	}
+	cp := d.Clone()
+	cp.Context["room"] = "kitchen"
+	cp.Interface.Operations[0].Name = "Mutated"
+	if d.Context["room"] != "living" {
+		t.Error("Clone shares Context map")
+	}
+	if d.Interface.Operations[0].Name != "Play" {
+		t.Error("Clone shares Operations slice")
+	}
+
+	for _, bad := range []Description{
+		{},
+		{ID: "x"},
+		{ID: "x", Middleware: "jini"},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid description %+v accepted", bad)
+		}
+	}
+}
+
+func TestDescriptionImported(t *testing.T) {
+	d := Description{ID: "a", Middleware: "jini", Interface: Interface{Name: "I"}}
+	if d.Imported() {
+		t.Error("fresh description marked imported")
+	}
+	d.Context = map[string]string{CtxImported: "true"}
+	if !d.Imported() {
+		t.Error("imported description not detected")
+	}
+}
+
+func TestValidateArgs(t *testing.T) {
+	op, _ := testInterface().Operation("Record")
+	if err := ValidateArgs(op, []Value{IntValue(3), IntValue(60)}); err != nil {
+		t.Errorf("valid args rejected: %v", err)
+	}
+	if err := ValidateArgs(op, []Value{IntValue(3)}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("arity mismatch: got %v", err)
+	}
+	if err := ValidateArgs(op, []Value{IntValue(3), StringValue("60")}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("type mismatch: got %v", err)
+	}
+}
+
+func TestCoerceArgs(t *testing.T) {
+	op, _ := testInterface().Operation("Record")
+	args, err := CoerceArgs(op, []string{"5", "30"})
+	if err != nil {
+		t.Fatalf("CoerceArgs: %v", err)
+	}
+	if !args[0].Equal(IntValue(5)) || !args[1].Equal(IntValue(30)) {
+		t.Errorf("CoerceArgs = %v", args)
+	}
+	if _, err := CoerceArgs(op, []string{"5"}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("arity: got %v", err)
+	}
+	if _, err := CoerceArgs(op, []string{"5", "x"}); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestInvokerFunc(t *testing.T) {
+	inv := InvokerFunc(func(_ context.Context, op string, args []Value) (Value, error) {
+		if op != "Echo" {
+			return Value{}, ErrNoSuchOperation
+		}
+		return args[0], nil
+	})
+	got, err := inv.Invoke(context.Background(), "Echo", []Value{StringValue("hi")})
+	if err != nil || got.Str() != "hi" {
+		t.Fatalf("Invoke = %v, %v", got, err)
+	}
+	if _, err := inv.Invoke(context.Background(), "Nope", nil); !errors.Is(err, ErrNoSuchOperation) {
+		t.Errorf("want ErrNoSuchOperation, got %v", err)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	tests := []struct {
+		code string
+		want error
+	}{
+		{"NoSuchOperation", ErrNoSuchOperation},
+		{"NoSuchService", ErrNoSuchService},
+		{"BadArgument", ErrBadArgument},
+		{"Unavailable", ErrUnavailable},
+	}
+	for _, tt := range tests {
+		err := error(&RemoteError{Code: tt.code, Msg: "m"})
+		if !errors.Is(err, tt.want) {
+			t.Errorf("RemoteError(%s) does not unwrap to %v", tt.code, tt.want)
+		}
+		if RemoteCode(err) != tt.code {
+			t.Errorf("RemoteCode round trip for %s failed", tt.code)
+		}
+	}
+	generic := &RemoteError{Code: "Server", Msg: "boom"}
+	if !strings.Contains(generic.Error(), "boom") {
+		t.Errorf("Error() = %q", generic.Error())
+	}
+	if RemoteCode(errors.New("other")) != "Server" {
+		t.Error("unknown errors should map to Server")
+	}
+}
+
+func TestEventClone(t *testing.T) {
+	e := Event{Source: "x10:motion-1", Topic: "motion", Seq: 4, Payload: map[string]Value{"unit": IntValue(3)}}
+	cp := e.Clone()
+	cp.Payload["unit"] = IntValue(9)
+	if !e.Payload["unit"].Equal(IntValue(3)) {
+		t.Error("Clone shares payload map")
+	}
+}

@@ -1,0 +1,308 @@
+// Package service defines the middleware-neutral service model shared by
+// every component of the framework: typed values, operation signatures,
+// service interfaces, service descriptions, and the Invoker abstraction
+// through which any service — local or remote, on any middleware — is
+// called.
+//
+// The model deliberately mirrors the information carried by the paper's
+// WSDL descriptions: an interface is a named set of operations, each with
+// typed input parameters and a typed result. Protocol Conversion Managers
+// translate between this model and each middleware's native representation.
+package service
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the wire type of a Value. The set matches the XSD types
+// used by the SOAP/WSDL prototype in the paper (§4.1): string, int, double,
+// boolean, base64Binary, plus void for operations with no result.
+type Kind int
+
+// Supported value kinds. KindInvalid is the zero value so that an
+// uninitialized Kind is never mistaken for a real type.
+const (
+	KindInvalid Kind = iota
+	KindVoid
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+	KindBytes
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid: "invalid",
+	KindVoid:    "void",
+	KindString:  "string",
+	KindInt:     "int",
+	KindFloat:   "float",
+	KindBool:    "bool",
+	KindBytes:   "bytes",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Valid reports whether k is one of the defined kinds (excluding
+// KindInvalid).
+func (k Kind) Valid() bool {
+	return k > KindInvalid && k <= KindBytes
+}
+
+// KindFromString parses the name produced by Kind.String. It returns
+// KindInvalid for unknown names.
+func KindFromString(s string) Kind {
+	for k, name := range kindNames {
+		if name == s && k != KindInvalid {
+			return k
+		}
+	}
+	return KindInvalid
+}
+
+// Value is a dynamically typed value exchanged between middleware. The zero
+// Value has KindInvalid; use the constructors below. Values are immutable
+// by convention: accessors return copies of mutable state.
+type Value struct {
+	kind  Kind
+	str   string
+	num   int64
+	real  float64
+	truth bool
+	blob  []byte
+}
+
+// Void returns the void value, used as the result of operations that return
+// nothing.
+func Void() Value { return Value{kind: KindVoid} }
+
+// String returns a string value.
+func StringValue(s string) Value { return Value{kind: KindString, str: s} }
+
+// IntValue returns an integer value.
+func IntValue(n int64) Value { return Value{kind: KindInt, num: n} }
+
+// FloatValue returns a floating-point value.
+func FloatValue(f float64) Value { return Value{kind: KindFloat, real: f} }
+
+// BoolValue returns a boolean value.
+func BoolValue(b bool) Value { return Value{kind: KindBool, truth: b} }
+
+// BytesValue returns a binary value. The slice is copied.
+func BytesValue(b []byte) Value {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return Value{kind: KindBytes, blob: cp}
+}
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsVoid reports whether the value is the void value.
+func (v Value) IsVoid() bool { return v.kind == KindVoid }
+
+// Str returns the string payload. It is valid only for KindString values;
+// other kinds return the empty string.
+func (v Value) Str() string { return v.str }
+
+// Int returns the integer payload (KindInt only).
+func (v Value) Int() int64 { return v.num }
+
+// Float returns the floating-point payload (KindFloat only).
+func (v Value) Float() float64 { return v.real }
+
+// Bool returns the boolean payload (KindBool only).
+func (v Value) Bool() bool { return v.truth }
+
+// Bytes returns a copy of the binary payload (KindBytes only).
+func (v Value) Bytes() []byte {
+	cp := make([]byte, len(v.blob))
+	copy(cp, v.blob)
+	return cp
+}
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.str == o.str
+	case KindInt:
+		return v.num == o.num
+	case KindFloat:
+		return v.real == o.real
+	case KindBool:
+		return v.truth == o.truth
+	case KindBytes:
+		if len(v.blob) != len(o.blob) {
+			return false
+		}
+		for i := range v.blob {
+			if v.blob[i] != o.blob[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return true // void == void, invalid == invalid
+	}
+}
+
+// String renders the value for logs and debugging.
+func (v Value) String() string {
+	switch v.kind {
+	case KindVoid:
+		return "void"
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.real, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.truth)
+	case KindBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.blob))
+	default:
+		return "invalid"
+	}
+}
+
+// Text encodes the payload as the text form used on the wire (SOAP element
+// character data, mail bodies, CLI output). Bytes are hex encoded by the
+// caller-facing codecs; here they round-trip through Latin-1-free hex.
+func (v Value) Text() string {
+	switch v.kind {
+	case KindString:
+		return v.str
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.real, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.truth)
+	case KindBytes:
+		const hexdigits = "0123456789abcdef"
+		out := make([]byte, 0, len(v.blob)*2)
+		for _, b := range v.blob {
+			out = append(out, hexdigits[b>>4], hexdigits[b&0x0f])
+		}
+		return string(out)
+	default:
+		return ""
+	}
+}
+
+// ParseText decodes the text form produced by Text into a value of the
+// given kind.
+func ParseText(k Kind, text string) (Value, error) {
+	switch k {
+	case KindVoid:
+		return Void(), nil
+	case KindString:
+		return StringValue(text), nil
+	case KindInt:
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("service: parse int %q: %w", text, err)
+		}
+		return IntValue(n), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("service: parse float %q: %w", text, err)
+		}
+		return FloatValue(f), nil
+	case KindBool:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return Value{}, fmt.Errorf("service: parse bool %q: %w", text, err)
+		}
+		return BoolValue(b), nil
+	case KindBytes:
+		if len(text)%2 != 0 {
+			return Value{}, fmt.Errorf("service: parse bytes: odd hex length %d", len(text))
+		}
+		out := make([]byte, len(text)/2)
+		for i := 0; i < len(out); i++ {
+			hi, ok1 := unhex(text[2*i])
+			lo, ok2 := unhex(text[2*i+1])
+			if !ok1 || !ok2 {
+				return Value{}, fmt.Errorf("service: parse bytes: bad hex at %d", 2*i)
+			}
+			out[i] = hi<<4 | lo
+		}
+		return Value{kind: KindBytes, blob: out}, nil
+	default:
+		return Value{}, fmt.Errorf("service: parse: %w: %v", ErrBadKind, k)
+	}
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// FromGo converts a native Go value (as used by the middleware simulators'
+// dynamically typed invocation paths) into a Value. Supported inputs:
+// nil, string, int, int32, int64, float32, float64, bool, []byte.
+func FromGo(x any) (Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return Void(), nil
+	case string:
+		return StringValue(t), nil
+	case int:
+		return IntValue(int64(t)), nil
+	case int32:
+		return IntValue(int64(t)), nil
+	case int64:
+		return IntValue(t), nil
+	case float32:
+		return FloatValue(float64(t)), nil
+	case float64:
+		return FloatValue(t), nil
+	case bool:
+		return BoolValue(t), nil
+	case []byte:
+		return BytesValue(t), nil
+	default:
+		return Value{}, fmt.Errorf("service: cannot convert %T to Value", x)
+	}
+}
+
+// ToGo converts a Value to the native Go representation used by the
+// middleware simulators: void becomes nil, bytes become []byte, and the
+// scalar kinds map to string/int64/float64/bool.
+func (v Value) ToGo() any {
+	switch v.kind {
+	case KindString:
+		return v.str
+	case KindInt:
+		return v.num
+	case KindFloat:
+		return v.real
+	case KindBool:
+		return v.truth
+	case KindBytes:
+		return v.Bytes()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+		text string
+	}{
+		{"void", Void(), KindVoid, ""},
+		{"string", StringValue("hello"), KindString, "hello"},
+		{"empty string", StringValue(""), KindString, ""},
+		{"int", IntValue(-42), KindInt, "-42"},
+		{"float", FloatValue(2.5), KindFloat, "2.5"},
+		{"bool true", BoolValue(true), KindBool, "true"},
+		{"bool false", BoolValue(false), KindBool, "false"},
+		{"bytes", BytesValue([]byte{0xde, 0xad}), KindBytes, "dead"},
+		{"empty bytes", BytesValue(nil), KindBytes, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Errorf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if got := tt.v.Text(); got != tt.text {
+				t.Errorf("Text() = %q, want %q", got, tt.text)
+			}
+		})
+	}
+}
+
+func TestValueTextRoundTrip(t *testing.T) {
+	values := []Value{
+		Void(),
+		StringValue("x y z"),
+		IntValue(math.MaxInt64),
+		IntValue(math.MinInt64),
+		FloatValue(-1.25e10),
+		BoolValue(true),
+		BytesValue([]byte{0, 1, 2, 255}),
+	}
+	for _, v := range values {
+		got, err := ParseText(v.Kind(), v.Text())
+		if err != nil {
+			t.Fatalf("ParseText(%v, %q): %v", v.Kind(), v.Text(), err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v: got %v", v, got)
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		text string
+	}{
+		{KindInt, "abc"},
+		{KindInt, "1.5"},
+		{KindFloat, "zzz"},
+		{KindBool, "maybe"},
+		{KindBytes, "abc"},   // odd length
+		{KindBytes, "zz"},    // bad hex
+		{KindInvalid, "any"}, // bad kind
+		{Kind(99), "any"},
+	}
+	for _, tt := range tests {
+		if _, err := ParseText(tt.kind, tt.text); err == nil {
+			t.Errorf("ParseText(%v, %q): want error", tt.kind, tt.text)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !StringValue("a").Equal(StringValue("a")) {
+		t.Error("equal strings not Equal")
+	}
+	if StringValue("a").Equal(StringValue("b")) {
+		t.Error("different strings Equal")
+	}
+	if StringValue("1").Equal(IntValue(1)) {
+		t.Error("cross-kind Equal")
+	}
+	if !Void().Equal(Void()) {
+		t.Error("void != void")
+	}
+	if !BytesValue([]byte{1, 2}).Equal(BytesValue([]byte{1, 2})) {
+		t.Error("equal bytes not Equal")
+	}
+	if BytesValue([]byte{1, 2}).Equal(BytesValue([]byte{1, 3})) {
+		t.Error("different bytes Equal")
+	}
+	if BytesValue([]byte{1, 2}).Equal(BytesValue([]byte{1})) {
+		t.Error("different length bytes Equal")
+	}
+}
+
+func TestBytesValueCopies(t *testing.T) {
+	src := []byte{1, 2, 3}
+	v := BytesValue(src)
+	src[0] = 99
+	if got := v.Bytes(); got[0] != 1 {
+		t.Errorf("BytesValue aliases caller slice: %v", got)
+	}
+	out := v.Bytes()
+	out[1] = 99
+	if got := v.Bytes(); got[1] != 2 {
+		t.Errorf("Bytes() aliases internal slice: %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindInvalid; k <= KindBytes; k++ {
+		s := k.String()
+		if s == "" {
+			t.Errorf("Kind(%d).String() empty", k)
+		}
+		if k == KindInvalid {
+			continue
+		}
+		if got := KindFromString(s); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", s, got, k)
+		}
+	}
+	if got := KindFromString("nope"); got != KindInvalid {
+		t.Errorf("KindFromString(nope) = %v, want invalid", got)
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Errorf("unknown kind String: %s", Kind(42).String())
+	}
+}
+
+func TestFromGoToGo(t *testing.T) {
+	tests := []struct {
+		in   any
+		want Value
+	}{
+		{nil, Void()},
+		{"s", StringValue("s")},
+		{7, IntValue(7)},
+		{int32(7), IntValue(7)},
+		{int64(7), IntValue(7)},
+		{float32(0.5), FloatValue(0.5)},
+		{1.5, FloatValue(1.5)},
+		{true, BoolValue(true)},
+		{[]byte{9}, BytesValue([]byte{9})},
+	}
+	for _, tt := range tests {
+		got, err := FromGo(tt.in)
+		if err != nil {
+			t.Fatalf("FromGo(%v): %v", tt.in, err)
+		}
+		if !got.Equal(tt.want) {
+			t.Errorf("FromGo(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Error("FromGo(struct{}{}) should fail")
+	}
+	// ToGo inverse on the canonical kinds.
+	for _, v := range []Value{StringValue("x"), IntValue(3), FloatValue(2.5), BoolValue(true), BytesValue([]byte{1})} {
+		back, err := FromGo(v.ToGo())
+		if err != nil {
+			t.Fatalf("FromGo(ToGo(%v)): %v", v, err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("ToGo/FromGo round trip: %v != %v", back, v)
+		}
+	}
+	if Void().ToGo() != nil {
+		t.Error("Void().ToGo() != nil")
+	}
+}
+
+// quickValue builds a Value from fuzz inputs, cycling over kinds.
+func quickValue(sel uint8, s string, n int64, f float64, b bool, raw []byte) Value {
+	switch sel % 6 {
+	case 0:
+		return Void()
+	case 1:
+		return StringValue(s)
+	case 2:
+		return IntValue(n)
+	case 3:
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			f = 0
+		}
+		return FloatValue(f)
+	case 4:
+		return BoolValue(b)
+	default:
+		return BytesValue(raw)
+	}
+}
+
+func TestQuickTextRoundTrip(t *testing.T) {
+	fn := func(sel uint8, s string, n int64, f float64, b bool, raw []byte) bool {
+		v := quickValue(sel, s, n, f, b, raw)
+		got, err := ParseText(v.Kind(), v.Text())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualReflexive(t *testing.T) {
+	fn := func(sel uint8, s string, n int64, f float64, b bool, raw []byte) bool {
+		v := quickValue(sel, s, n, f, b, raw)
+		return v.Equal(v)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,404 @@
+// Package sim assembles the paper's smart home end to end: the
+// middleware substrates (Jini lookup + devices, an X10 powerline behind a
+// CM11A, a HAVi IEEE 1394 bus with AV appliances, SMTP/POP3 mail, and a
+// UPnP light), one federation network per middleware, and the matching
+// Protocol Conversion Managers. Integration tests, the benchmark harness,
+// the examples and cmd/homesim all build on it.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"homeconnect/internal/bridge/havipcm"
+	"homeconnect/internal/bridge/jinipcm"
+	"homeconnect/internal/bridge/mailpcm"
+	"homeconnect/internal/bridge/upnppcm"
+	"homeconnect/internal/bridge/x10pcm"
+	"homeconnect/internal/core"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/havi"
+	"homeconnect/internal/ieee1394"
+	"homeconnect/internal/jini"
+	"homeconnect/internal/mail"
+	"homeconnect/internal/upnp"
+	"homeconnect/internal/x10"
+)
+
+// Config selects which middleware networks to build.
+type Config struct {
+	Jini bool
+	X10  bool
+	HAVi bool
+	Mail bool
+	UPnP bool
+}
+
+// All enables every middleware — the paper's Figure 3 prototype plus the
+// §5 UPnP extension.
+func All() Config { return Config{Jini: true, X10: true, HAVi: true, Mail: true, UPnP: true} }
+
+// Prototype enables the four middleware of Figure 3 exactly.
+func Prototype() Config { return Config{Jini: true, X10: true, HAVi: true, Mail: true} }
+
+// Home is a running simulated smart home.
+type Home struct {
+	Fed *core.Federation
+
+	// Jini network.
+	Lookup       *jini.LookupService
+	JiniExporter *jini.Exporter
+	Laserdisc    *Laserdisc
+	JiniPCM      *jinipcm.PCM
+
+	// X10 network.
+	Powerline  *x10.Powerline
+	CM11A      *x10.CM11A
+	Controller *x10.Controller
+	Lamp       *x10.LampModule
+	Motion     *x10.MotionSensor
+	Remote     *x10.Remote
+	X10PCM     *x10pcm.PCM
+
+	// HAVi network.
+	Bus       *ieee1394.Bus
+	VCRDevice *havi.Device
+	CamDevice *havi.Device
+	TVDevice  *havi.Device
+	VCR       *havi.VCR
+	Camera    *havi.Camera
+	Display   *havi.Display
+	Tuner     *havi.Tuner
+	HaviPCM   *havipcm.PCM
+
+	// Mail network.
+	MailStore *mail.Store
+	SMTP      *mail.SMTPServer
+	POP3      *mail.POP3Server
+	MailPCM   *mailpcm.PCM
+
+	// UPnP network.
+	Light      *upnp.Device
+	LightState *upnp.BinaryLightState
+	UPnPPCM    *upnppcm.PCM
+
+	closers []func()
+	mu      sync.Mutex
+	closed  bool
+}
+
+// X10 layout used by the simulated home.
+var (
+	// LampAddr is the living-room lamp module.
+	LampAddr = x10.Address{House: 'A', Unit: 1}
+	// MotionAddr is the hallway motion sensor.
+	MotionAddr = x10.Address{House: 'A', Unit: 5}
+	// RemoteLaserdiscUnit is the remote key bound to the Jini Laserdisc.
+	RemoteLaserdiscUnit = x10.UnitCode(2)
+	// RemoteCameraUnit is the remote key bound to the HAVi camera.
+	RemoteCameraUnit = x10.UnitCode(3)
+)
+
+// CommandMailbox is the mail PCM's watched address.
+const CommandMailbox = "home@house.example"
+
+// Laserdisc is the Jini-based Laserdisc player of the paper's Figure 5.
+type Laserdisc struct {
+	mu      sync.Mutex
+	state   string
+	chapter int64
+}
+
+// Spec returns the Jini interface of the Laserdisc.
+func (l *Laserdisc) Spec() jini.InterfaceSpec {
+	return jini.InterfaceSpec{
+		Name: "Laserdisc",
+		Methods: []jini.MethodSpec{
+			{Name: "Play"},
+			{Name: "Stop"},
+			{Name: "SetChapter", Params: []string{"int"}},
+			{Name: "Chapter", Return: "int"},
+			{Name: "State", Return: "string"},
+		},
+	}
+}
+
+// State returns the transport state.
+func (l *Laserdisc) State() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state
+}
+
+// Chapter returns the selected chapter.
+func (l *Laserdisc) Chapter() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chapter
+}
+
+// Call implements jini.Invocable.
+func (l *Laserdisc) Call(method string, args []any) (any, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch method {
+	case "Play":
+		l.state = "playing"
+		return nil, nil
+	case "Stop":
+		l.state = "stopped"
+		return nil, nil
+	case "SetChapter":
+		n, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("%w: SetChapter wants int", jini.ErrBadArgs)
+		}
+		l.chapter = n
+		return nil, nil
+	case "Chapter":
+		return l.chapter, nil
+	case "State":
+		if l.state == "" {
+			return "stopped", nil
+		}
+		return l.state, nil
+	default:
+		return nil, fmt.Errorf("%w: %s", jini.ErrNoSuchMethod, method)
+	}
+}
+
+// NewHome builds and starts the configured home. Call Close when done.
+func NewHome(ctx context.Context, cfg Config) (*Home, error) {
+	h := &Home{}
+	fed, err := core.NewFederation()
+	if err != nil {
+		return nil, err
+	}
+	h.Fed = fed
+	h.closers = append(h.closers, fed.Close)
+
+	ok := false
+	defer func() {
+		if !ok {
+			h.Close()
+		}
+	}()
+
+	if cfg.Jini {
+		if err := h.buildJini(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.X10 {
+		if err := h.buildX10(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.HAVi {
+		if err := h.buildHAVi(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Mail {
+		if err := h.buildMail(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.UPnP {
+		if err := h.buildUPnP(ctx); err != nil {
+			return nil, err
+		}
+	}
+	ok = true
+	return h, nil
+}
+
+func (h *Home) buildJini(ctx context.Context) error {
+	h.Lookup = jini.NewLookupService()
+	if err := h.Lookup.Start("127.0.0.1:0"); err != nil {
+		return fmt.Errorf("sim: jini lookup: %w", err)
+	}
+	h.closers = append(h.closers, h.Lookup.Close)
+
+	h.JiniExporter = jini.NewExporter()
+	if err := h.JiniExporter.Start("127.0.0.1:0"); err != nil {
+		return fmt.Errorf("sim: jini exporter: %w", err)
+	}
+	h.closers = append(h.closers, h.JiniExporter.Close)
+
+	// The Laserdisc registers itself in the lookup service, as any Jini
+	// service would.
+	h.Laserdisc = &Laserdisc{}
+	proxy := h.JiniExporter.Export(h.Laserdisc.Spec(), h.Laserdisc)
+	reg, err := jini.Discover(ctx, h.Lookup.Addr())
+	if err != nil {
+		return fmt.Errorf("sim: jini discover: %w", err)
+	}
+	lease, err := reg.Register(ctx, jini.ServiceItem{
+		Proxy: proxy,
+		Attrs: []jini.Entry{{Name: jinipcm.EntryName, Value: "laserdisc-1"}},
+	}, time.Minute)
+	if err != nil {
+		return fmt.Errorf("sim: jini register: %w", err)
+	}
+	renewCtx, cancel := context.WithCancel(context.Background())
+	wait := lease.AutoRenew(renewCtx, 10*time.Second)
+	h.closers = append(h.closers, func() { cancel(); _ = wait() })
+
+	net, err := h.Fed.AddNetwork("jini-net")
+	if err != nil {
+		return err
+	}
+	h.JiniPCM = jinipcm.New(h.Lookup.Addr())
+	return net.Attach(ctx, h.JiniPCM)
+}
+
+func (h *Home) buildX10(ctx context.Context) error {
+	h.Powerline = x10.NewPowerline()
+	pcPort, devPort := x10.NewLink()
+	h.CM11A = x10.NewCM11A(h.Powerline, devPort)
+	h.closers = append(h.closers, h.CM11A.Close)
+	h.Controller = x10.NewController(pcPort)
+	h.closers = append(h.closers, h.Controller.Close)
+
+	h.Lamp = x10.NewLampModule(h.Powerline, LampAddr)
+	h.closers = append(h.closers, h.Lamp.Close)
+	h.Motion = x10.NewMotionSensor(h.Powerline, MotionAddr)
+	h.Remote = x10.NewRemote(h.Powerline, 'A')
+
+	net, err := h.Fed.AddNetwork("x10-net")
+	if err != nil {
+		return err
+	}
+	h.X10PCM = x10pcm.New(x10pcm.Config{
+		Controller: h.Controller,
+		Devices: []x10pcm.DeviceConfig{
+			{Name: "lamp-1", Addr: LampAddr, Kind: x10pcm.Lamp},
+			{Name: "motion-1", Addr: MotionAddr, Kind: x10pcm.Sensor},
+		},
+		Bindings: map[x10.Address]x10pcm.Binding{
+			{House: 'A', Unit: RemoteLaserdiscUnit}: {ServiceID: "jini:laserdisc-1", OnOp: "Play", OffOp: "Stop"},
+			{House: 'A', Unit: RemoteCameraUnit}:    {ServiceID: "havi:dvcam-cam1", OnOp: "StartCapture", OffOp: "StopCapture"},
+		},
+	})
+	return net.Attach(ctx, h.X10PCM)
+}
+
+func (h *Home) buildHAVi(ctx context.Context) error {
+	h.Bus = ieee1394.NewBus()
+	h.VCRDevice = havi.NewDevice(h.Bus, 0xB0001, "vcr")
+	h.closers = append(h.closers, h.VCRDevice.Close)
+	h.CamDevice = havi.NewDevice(h.Bus, 0xCA001, "dvcam")
+	h.closers = append(h.closers, h.CamDevice.Close)
+	h.TVDevice = havi.NewDevice(h.Bus, 0x77001, "tv")
+	h.closers = append(h.closers, h.TVDevice.Close)
+
+	h.VCR = havi.NewVCR(h.VCRDevice, "vcr1")
+	h.Camera = havi.NewCamera(h.CamDevice, "cam1")
+	h.Display = havi.NewDisplay(h.TVDevice, "screen")
+	h.Tuner = havi.NewTuner(h.TVDevice, "tuner")
+
+	net, err := h.Fed.AddNetwork("havi-net")
+	if err != nil {
+		return err
+	}
+	h.HaviPCM = havipcm.New(h.Bus, 0xFC001)
+	return net.Attach(ctx, h.HaviPCM)
+}
+
+func (h *Home) buildMail(ctx context.Context) error {
+	h.MailStore = mail.NewStore()
+	h.SMTP = mail.NewSMTPServer(h.MailStore)
+	if err := h.SMTP.Start("127.0.0.1:0"); err != nil {
+		return fmt.Errorf("sim: smtp: %w", err)
+	}
+	h.closers = append(h.closers, h.SMTP.Close)
+	h.POP3 = mail.NewPOP3Server(h.MailStore)
+	if err := h.POP3.Start("127.0.0.1:0"); err != nil {
+		return fmt.Errorf("sim: pop3: %w", err)
+	}
+	h.closers = append(h.closers, h.POP3.Close)
+
+	net, err := h.Fed.AddNetwork("mail-net")
+	if err != nil {
+		return err
+	}
+	h.MailPCM = mailpcm.New(mailpcm.Config{
+		SMTPAddr:    h.SMTP.Addr(),
+		POP3Addr:    h.POP3.Addr(),
+		CommandAddr: CommandMailbox,
+	})
+	return net.Attach(ctx, h.MailPCM)
+}
+
+func (h *Home) buildUPnP(ctx context.Context) error {
+	h.Light, h.LightState = upnp.NewBinaryLight("porch")
+	if err := h.Light.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		return fmt.Errorf("sim: upnp light: %w", err)
+	}
+	h.closers = append(h.closers, h.Light.Close)
+
+	net, err := h.Fed.AddNetwork("upnp-net")
+	if err != nil {
+		return err
+	}
+	h.UPnPPCM = upnppcm.New(upnppcm.Config{SSDPAddrs: []string{h.Light.SSDPAddr()}})
+	return net.Attach(ctx, h.UPnPPCM)
+}
+
+// WaitForServices polls the repository until at least n services are
+// visible or the context expires.
+func (h *Home) WaitForServices(ctx context.Context, n int) error {
+	for {
+		remotes, err := h.Fed.Services(ctx)
+		if err == nil && len(remotes) >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			got := len(remotes)
+			ids := make([]string, 0, got)
+			for _, r := range remotes {
+				ids = append(ids, r.Desc.ID)
+			}
+			return fmt.Errorf("sim: %d/%d services after wait (%v): %w", got, n, ids, ctx.Err())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// ServiceIDs returns the sorted federation service IDs currently visible.
+func (h *Home) ServiceIDs(ctx context.Context) ([]string, error) {
+	remotes, err := h.Fed.Services(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(remotes))
+	for _, r := range remotes {
+		out = append(out, r.Desc.ID)
+	}
+	return out, nil
+}
+
+// Find returns the repository view of one service.
+func (h *Home) Find(ctx context.Context, id string) (vsr.Remote, error) {
+	gw := h.Fed.Network(h.Fed.Networks()[0]).Gateway()
+	return gw.Resolve(ctx, id)
+}
+
+// Close tears the home down in reverse construction order.
+func (h *Home) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	closers := h.closers
+	h.mu.Unlock()
+	for i := len(closers) - 1; i >= 0; i-- {
+		closers[i]()
+	}
+}

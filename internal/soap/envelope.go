@@ -1,0 +1,378 @@
+// Package soap implements the subset of SOAP 1.1 used as the Virtual
+// Service Gateway protocol in the paper's prototype (§4.1): RPC-style
+// envelopes with xsi-typed parameters, faults, and an HTTP binding.
+//
+// The paper chose SOAP because it is "simple ... easy for implementation
+// and light-weight for network" and rides on ubiquitous HTTP/XML
+// infrastructure. This package reproduces exactly that: hand-rolled
+// encoding against the SOAP 1.1 envelope/encoding namespaces with no
+// dependencies beyond the standard library.
+package soap
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"homeconnect/internal/service"
+)
+
+// SOAP 1.1 namespace constants.
+const (
+	EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+	EncodingNS = "http://schemas.xmlsoap.org/soap/encoding/"
+	XSDNS      = "http://www.w3.org/2001/XMLSchema"
+	XSINS      = "http://www.w3.org/2001/XMLSchema-instance"
+)
+
+// Arg is one named, typed RPC parameter.
+type Arg struct {
+	Name  string
+	Value service.Value
+}
+
+// Call is an RPC-style SOAP request: an operation element in the service's
+// namespace whose children are the parameters.
+type Call struct {
+	// Namespace qualifies the operation element; the framework uses
+	// "urn:homeconnect:<service-id>".
+	Namespace string
+	// Operation is the element (method) name.
+	Operation string
+	// Args are the positional parameters in declaration order.
+	Args []Arg
+}
+
+// Fault is a SOAP 1.1 fault. It implements error.
+type Fault struct {
+	// Code is the faultcode QName local part: "Client" or "Server".
+	Code string
+	// String is the human-readable faultstring.
+	String string
+	// Actor optionally identifies the failing node.
+	Actor string
+	// Detail carries the framework's machine-readable error code (see
+	// service.RemoteCode) in a <code> element.
+	Detail string
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// xsdType maps a value kind to its xsi:type attribute value (with the xsd:
+// prefix bound in the envelope).
+func xsdType(k service.Kind) (string, error) {
+	switch k {
+	case service.KindString:
+		return "xsd:string", nil
+	case service.KindInt:
+		return "xsd:long", nil
+	case service.KindFloat:
+		return "xsd:double", nil
+	case service.KindBool:
+		return "xsd:boolean", nil
+	case service.KindBytes:
+		return "xsd:base64Binary", nil
+	default:
+		return "", fmt.Errorf("soap: no xsd type for kind %v: %w", k, service.ErrBadKind)
+	}
+}
+
+// kindFromXSD inverts xsdType, accepting any prefix before the colon.
+func kindFromXSD(t string) (service.Kind, error) {
+	if i := strings.IndexByte(t, ':'); i >= 0 {
+		t = t[i+1:]
+	}
+	switch t {
+	case "string":
+		return service.KindString, nil
+	case "long", "int", "short", "integer":
+		return service.KindInt, nil
+	case "double", "float", "decimal":
+		return service.KindFloat, nil
+	case "boolean":
+		return service.KindBool, nil
+	case "base64Binary":
+		return service.KindBytes, nil
+	default:
+		return service.KindInvalid, fmt.Errorf("soap: unknown xsd type %q: %w", t, service.ErrBadKind)
+	}
+}
+
+// encodeValueText renders a value's character data for the wire. Bytes use
+// base64 per xsd:base64Binary; scalars use service text form.
+func encodeValueText(v service.Value) string {
+	if v.Kind() == service.KindBytes {
+		return base64.StdEncoding.EncodeToString(v.Bytes())
+	}
+	return v.Text()
+}
+
+// decodeValueText parses wire character data into a value of kind k.
+func decodeValueText(k service.Kind, text string) (service.Value, error) {
+	if k == service.KindBytes {
+		raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(text))
+		if err != nil {
+			return service.Value{}, fmt.Errorf("soap: base64: %w", err)
+		}
+		return service.BytesValue(raw), nil
+	}
+	return service.ParseText(k, text)
+}
+
+// writeEscaped writes XML-escaped character data.
+func writeEscaped(b *bytes.Buffer, s string) {
+	// xml.EscapeText never fails on a bytes.Buffer.
+	_ = xml.EscapeText(b, []byte(s))
+}
+
+func writeEnvelopeOpen(b *bytes.Buffer) {
+	b.WriteString(xml.Header)
+	b.WriteString(`<SOAP-ENV:Envelope xmlns:SOAP-ENV="` + EnvelopeNS + `"`)
+	b.WriteString(` xmlns:xsd="` + XSDNS + `"`)
+	b.WriteString(` xmlns:xsi="` + XSINS + `"`)
+	b.WriteString(` SOAP-ENV:encodingStyle="` + EncodingNS + `">`)
+	b.WriteString("<SOAP-ENV:Body>")
+}
+
+func writeEnvelopeClose(b *bytes.Buffer) {
+	b.WriteString("</SOAP-ENV:Body></SOAP-ENV:Envelope>")
+}
+
+// EncodeCall serializes an RPC request envelope.
+func EncodeCall(c Call) ([]byte, error) {
+	if c.Operation == "" {
+		return nil, fmt.Errorf("soap: empty operation name")
+	}
+	var b bytes.Buffer
+	writeEnvelopeOpen(&b)
+	b.WriteString(`<m:` + c.Operation + ` xmlns:m="`)
+	writeEscaped(&b, c.Namespace)
+	b.WriteString(`">`)
+	for _, a := range c.Args {
+		t, err := xsdType(a.Value.Kind())
+		if err != nil {
+			return nil, fmt.Errorf("soap: arg %s: %w", a.Name, err)
+		}
+		b.WriteString(`<` + a.Name + ` xsi:type="` + t + `">`)
+		writeEscaped(&b, encodeValueText(a.Value))
+		b.WriteString(`</` + a.Name + `>`)
+	}
+	b.WriteString(`</m:` + c.Operation + `>`)
+	writeEnvelopeClose(&b)
+	return b.Bytes(), nil
+}
+
+// EncodeResponse serializes an RPC response envelope. A void result
+// produces an empty <m:<op>Response/> element, matching Apache SOAP.
+func EncodeResponse(namespace, operation string, result service.Value) ([]byte, error) {
+	var b bytes.Buffer
+	writeEnvelopeOpen(&b)
+	b.WriteString(`<m:` + operation + `Response xmlns:m="`)
+	writeEscaped(&b, namespace)
+	b.WriteString(`">`)
+	if !result.IsVoid() {
+		t, err := xsdType(result.Kind())
+		if err != nil {
+			return nil, fmt.Errorf("soap: result: %w", err)
+		}
+		b.WriteString(`<return xsi:type="` + t + `">`)
+		writeEscaped(&b, encodeValueText(result))
+		b.WriteString(`</return>`)
+	}
+	b.WriteString(`</m:` + operation + `Response>`)
+	writeEnvelopeClose(&b)
+	return b.Bytes(), nil
+}
+
+// EncodeFault serializes a fault envelope.
+func EncodeFault(f *Fault) []byte {
+	var b bytes.Buffer
+	writeEnvelopeOpen(&b)
+	b.WriteString(`<SOAP-ENV:Fault><faultcode>SOAP-ENV:`)
+	writeEscaped(&b, f.Code)
+	b.WriteString(`</faultcode><faultstring>`)
+	writeEscaped(&b, f.String)
+	b.WriteString(`</faultstring>`)
+	if f.Actor != "" {
+		b.WriteString(`<faultactor>`)
+		writeEscaped(&b, f.Actor)
+		b.WriteString(`</faultactor>`)
+	}
+	if f.Detail != "" {
+		b.WriteString(`<detail><code>`)
+		writeEscaped(&b, f.Detail)
+		b.WriteString(`</code></detail>`)
+	}
+	b.WriteString(`</SOAP-ENV:Fault>`)
+	writeEnvelopeClose(&b)
+	return b.Bytes()
+}
+
+// element is a parsed XML element subtree: name, attributes, character
+// data, and child elements, in document order.
+type element struct {
+	name     xml.Name
+	attrs    []xml.Attr
+	text     string
+	children []*element
+}
+
+func (e *element) attr(local string) string {
+	for _, a := range e.attrs {
+		if a.Name.Local == local {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func (e *element) child(local string) *element {
+	for _, c := range e.children {
+		if c.name.Local == local {
+			return c
+		}
+	}
+	return nil
+}
+
+// parseElement reads one element subtree from the decoder, given its start
+// token.
+func parseElement(dec *xml.Decoder, start xml.StartElement) (*element, error) {
+	el := &element{name: start.Name, attrs: start.Attr}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("soap: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			c, err := parseElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			el.children = append(el.children, c)
+		case xml.CharData:
+			el.text += string(t)
+		case xml.EndElement:
+			return el, nil
+		}
+	}
+}
+
+// parseBody decodes an envelope and returns the first element inside Body.
+func parseBody(data []byte) (*element, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	inBody := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("soap: no Body element found")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("soap: parse envelope: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch {
+		case !inBody && start.Name.Local == "Body" && start.Name.Space == EnvelopeNS:
+			inBody = true
+		case !inBody && start.Name.Local == "Envelope" && start.Name.Space != EnvelopeNS:
+			return nil, fmt.Errorf("soap: envelope namespace %q is not SOAP 1.1", start.Name.Space)
+		case inBody:
+			return parseElement(dec, start)
+		}
+	}
+}
+
+// parseFault converts a parsed <Fault> element into a Fault value.
+func parseFault(el *element) *Fault {
+	f := &Fault{}
+	if c := el.child("faultcode"); c != nil {
+		code := strings.TrimSpace(c.text)
+		if i := strings.IndexByte(code, ':'); i >= 0 {
+			code = code[i+1:]
+		}
+		f.Code = code
+	}
+	if c := el.child("faultstring"); c != nil {
+		f.String = strings.TrimSpace(c.text)
+	}
+	if c := el.child("faultactor"); c != nil {
+		f.Actor = strings.TrimSpace(c.text)
+	}
+	if d := el.child("detail"); d != nil {
+		if c := d.child("code"); c != nil {
+			f.Detail = strings.TrimSpace(c.text)
+		}
+	}
+	return f
+}
+
+// DecodeCall parses an RPC request envelope.
+func DecodeCall(data []byte) (Call, error) {
+	el, err := parseBody(data)
+	if err != nil {
+		return Call{}, err
+	}
+	if el.name.Local == "Fault" && el.name.Space == EnvelopeNS {
+		return Call{}, fmt.Errorf("soap: request contains a fault: %w", parseFault(el))
+	}
+	c := Call{Namespace: el.name.Space, Operation: el.name.Local}
+	for _, p := range el.children {
+		t := p.attr("type")
+		if t == "" {
+			return Call{}, fmt.Errorf("soap: parameter %s missing xsi:type", p.name.Local)
+		}
+		k, err := kindFromXSD(t)
+		if err != nil {
+			return Call{}, fmt.Errorf("soap: parameter %s: %w", p.name.Local, err)
+		}
+		v, err := decodeValueText(k, p.text)
+		if err != nil {
+			return Call{}, fmt.Errorf("soap: parameter %s: %w", p.name.Local, err)
+		}
+		c.Args = append(c.Args, Arg{Name: p.name.Local, Value: v})
+	}
+	return c, nil
+}
+
+// DecodeResponse parses a response envelope, returning the result value or
+// the decoded fault. The fault is returned as a value (not an error) so
+// callers can distinguish transport errors from remote faults.
+func DecodeResponse(data []byte) (service.Value, *Fault, error) {
+	el, err := parseBody(data)
+	if err != nil {
+		return service.Value{}, nil, err
+	}
+	if el.name.Local == "Fault" && el.name.Space == EnvelopeNS {
+		return service.Value{}, parseFault(el), nil
+	}
+	if !strings.HasSuffix(el.name.Local, "Response") {
+		return service.Value{}, nil, fmt.Errorf("soap: unexpected response element %s", el.name.Local)
+	}
+	ret := el.child("return")
+	if ret == nil {
+		return service.Void(), nil, nil
+	}
+	t := ret.attr("type")
+	if t == "" {
+		return service.Value{}, nil, fmt.Errorf("soap: return missing xsi:type")
+	}
+	k, err := kindFromXSD(t)
+	if err != nil {
+		return service.Value{}, nil, err
+	}
+	v, err := decodeValueText(k, ret.text)
+	if err != nil {
+		return service.Value{}, nil, err
+	}
+	return v, nil, nil
+}

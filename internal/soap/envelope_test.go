@@ -1,0 +1,213 @@
+package soap
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"homeconnect/internal/service"
+)
+
+func sampleCall() Call {
+	return Call{
+		Namespace: "urn:homeconnect:jini:lamp-1",
+		Operation: "SetLevel",
+		Args: []Arg{
+			{Name: "level", Value: service.IntValue(7)},
+			{Name: "label", Value: service.StringValue("dim <&> it")},
+			{Name: "fade", Value: service.BoolValue(true)},
+			{Name: "gamma", Value: service.FloatValue(2.2)},
+			{Name: "blob", Value: service.BytesValue([]byte{0x00, 0xff, 0x10})},
+		},
+	}
+}
+
+func TestEncodeDecodeCallRoundTrip(t *testing.T) {
+	in := sampleCall()
+	data, err := EncodeCall(in)
+	if err != nil {
+		t.Fatalf("EncodeCall: %v", err)
+	}
+	if !strings.Contains(string(data), "SOAP-ENV:Envelope") {
+		t.Fatalf("missing envelope: %s", data)
+	}
+	out, err := DecodeCall(data)
+	if err != nil {
+		t.Fatalf("DecodeCall: %v", err)
+	}
+	if out.Namespace != in.Namespace || out.Operation != in.Operation {
+		t.Errorf("identity mismatch: %+v", out)
+	}
+	if len(out.Args) != len(in.Args) {
+		t.Fatalf("got %d args, want %d", len(out.Args), len(in.Args))
+	}
+	for i := range in.Args {
+		if out.Args[i].Name != in.Args[i].Name || !out.Args[i].Value.Equal(in.Args[i].Value) {
+			t.Errorf("arg %d: got %s=%v, want %s=%v", i, out.Args[i].Name, out.Args[i].Value, in.Args[i].Name, in.Args[i].Value)
+		}
+	}
+}
+
+func TestEncodeCallRejectsBadInput(t *testing.T) {
+	if _, err := EncodeCall(Call{Namespace: "urn:x"}); err == nil {
+		t.Error("empty operation accepted")
+	}
+	if _, err := EncodeCall(Call{Namespace: "urn:x", Operation: "Op", Args: []Arg{{Name: "a", Value: service.Value{}}}}); err == nil {
+		t.Error("invalid arg kind accepted")
+	}
+	if _, err := EncodeCall(Call{Namespace: "urn:x", Operation: "Op", Args: []Arg{{Name: "a", Value: service.Void()}}}); err == nil {
+		t.Error("void arg accepted")
+	}
+}
+
+func TestEncodeDecodeResponse(t *testing.T) {
+	tests := []service.Value{
+		service.Void(),
+		service.StringValue("ok"),
+		service.IntValue(-1),
+		service.FloatValue(0.25),
+		service.BoolValue(false),
+		service.BytesValue([]byte("raw")),
+	}
+	for _, want := range tests {
+		data, err := EncodeResponse("urn:x", "Op", want)
+		if err != nil {
+			t.Fatalf("EncodeResponse(%v): %v", want, err)
+		}
+		got, fault, err := DecodeResponse(data)
+		if err != nil || fault != nil {
+			t.Fatalf("DecodeResponse(%v): %v %v", want, fault, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("round trip: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	in := &Fault{Code: "Client", String: "no such operation: Zap", Actor: "urn:vsg:livingroom", Detail: "NoSuchOperation"}
+	data := EncodeFault(in)
+	v, fault, err := DecodeResponse(data)
+	if err != nil {
+		t.Fatalf("DecodeResponse(fault): %v", err)
+	}
+	if fault == nil {
+		t.Fatalf("fault lost, got value %v", v)
+	}
+	if *fault != *in {
+		t.Errorf("fault round trip: got %+v, want %+v", fault, in)
+	}
+	if !strings.Contains(fault.Error(), "no such operation") {
+		t.Errorf("Fault.Error() = %q", fault.Error())
+	}
+}
+
+func TestDecodeCallOnFaultEnvelope(t *testing.T) {
+	data := EncodeFault(&Fault{Code: "Server", String: "boom"})
+	if _, err := DecodeCall(data); err == nil {
+		t.Error("DecodeCall accepted a fault envelope")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not xml at all",
+		"<foo/>",
+		`<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://wrong/ns"><SOAP-ENV:Body/></SOAP-ENV:Envelope>`,
+	}
+	for _, c := range cases {
+		if _, err := DecodeCall([]byte(c)); err == nil {
+			t.Errorf("DecodeCall(%q): want error", c)
+		}
+		if _, _, err := DecodeResponse([]byte(c)); err == nil {
+			t.Errorf("DecodeResponse(%q): want error", c)
+		}
+	}
+}
+
+func TestDecodeCallMissingType(t *testing.T) {
+	env := `<?xml version="1.0"?><SOAP-ENV:Envelope xmlns:SOAP-ENV="` + EnvelopeNS + `">` +
+		`<SOAP-ENV:Body><m:Op xmlns:m="urn:x"><p>5</p></m:Op></SOAP-ENV:Body></SOAP-ENV:Envelope>`
+	if _, err := DecodeCall([]byte(env)); err == nil || !strings.Contains(err.Error(), "xsi:type") {
+		t.Errorf("want missing xsi:type error, got %v", err)
+	}
+}
+
+func TestKindXSDMapping(t *testing.T) {
+	kinds := []service.Kind{service.KindString, service.KindInt, service.KindFloat, service.KindBool, service.KindBytes}
+	for _, k := range kinds {
+		name, err := xsdType(k)
+		if err != nil {
+			t.Fatalf("xsdType(%v): %v", k, err)
+		}
+		back, err := kindFromXSD(name)
+		if err != nil || back != k {
+			t.Errorf("kindFromXSD(xsdType(%v)) = %v, %v", k, back, err)
+		}
+	}
+	// Alternate integer widths also decode.
+	for _, alias := range []string{"xsd:int", "xsd:short", "integer"} {
+		if k, err := kindFromXSD(alias); err != nil || k != service.KindInt {
+			t.Errorf("kindFromXSD(%s) = %v, %v", alias, k, err)
+		}
+	}
+	if _, err := kindFromXSD("xsd:duration"); err == nil {
+		t.Error("unknown xsd type accepted")
+	}
+	if _, err := xsdType(service.KindVoid); err == nil {
+		t.Error("xsdType(void) should fail")
+	}
+}
+
+func TestQuickCallRoundTrip(t *testing.T) {
+	fn := func(op uint8, s string, n int64, f float64, b bool, raw []byte) bool {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			f = 0
+		}
+		call := Call{
+			Namespace: "urn:homeconnect:quick",
+			Operation: "Op" + string(rune('A'+op%26)),
+			Args: []Arg{
+				{Name: "s", Value: service.StringValue(s)},
+				{Name: "n", Value: service.IntValue(n)},
+				{Name: "f", Value: service.FloatValue(f)},
+				{Name: "b", Value: service.BoolValue(b)},
+				{Name: "raw", Value: service.BytesValue(raw)},
+			},
+		}
+		data, err := EncodeCall(call)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeCall(data)
+		if err != nil || out.Operation != call.Operation || len(out.Args) != 5 {
+			return false
+		}
+		for i := range call.Args {
+			if !out.Args[i].Value.Equal(call.Args[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResponseRoundTrip(t *testing.T) {
+	fn := func(n int64) bool {
+		data, err := EncodeResponse("urn:q", "Get", service.IntValue(n))
+		if err != nil {
+			return false
+		}
+		v, fault, err := DecodeResponse(data)
+		return err == nil && fault == nil && v.Int() == n
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

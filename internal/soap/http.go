@@ -1,0 +1,157 @@
+package soap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"homeconnect/internal/service"
+)
+
+// maxEnvelopeBytes bounds request/response bodies to keep a misbehaving
+// peer from exhausting memory. The paper's appliance-class targets make a
+// small bound realistic.
+const maxEnvelopeBytes = 1 << 20
+
+// Client issues SOAP calls over HTTP, the binding used between Virtual
+// Service Gateways.
+type Client struct {
+	// HTTP is the underlying client; http.DefaultClient if nil.
+	HTTP *http.Client
+	// URL is the endpoint the envelope is POSTed to.
+	URL string
+}
+
+// httpClient returns the effective *http.Client.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Call POSTs the request envelope with the given SOAPAction and decodes the
+// result. A remote fault is surfaced as a *service.RemoteError so that
+// sentinel errors survive the protocol boundary.
+func (c *Client) Call(ctx context.Context, soapAction string, call Call) (service.Value, error) {
+	body, err := EncodeCall(call)
+	if err != nil {
+		return service.Value{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(body))
+	if err != nil {
+		return service.Value{}, fmt.Errorf("soap: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
+	req.Header.Set("SOAPAction", `"`+soapAction+`"`)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return service.Value{}, fmt.Errorf("soap: %w: %w", service.ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEnvelopeBytes))
+	if err != nil {
+		return service.Value{}, fmt.Errorf("soap: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
+		// SOAP 1.1 requires faults to use 500; anything else is transport
+		// failure.
+		return service.Value{}, fmt.Errorf("soap: %w: http status %s", service.ErrUnavailable, resp.Status)
+	}
+	v, fault, err := DecodeResponse(data)
+	if err != nil {
+		return service.Value{}, err
+	}
+	if fault != nil {
+		code := fault.Detail
+		if code == "" {
+			code = fault.Code
+		}
+		return service.Value{}, &service.RemoteError{Code: code, Msg: fault.String}
+	}
+	return v, nil
+}
+
+// Handler processes one decoded SOAP call. Implementations are mounted on
+// a Server; errors become faults.
+type Handler interface {
+	ServeSOAP(ctx context.Context, call Call) (service.Value, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(ctx context.Context, call Call) (service.Value, error)
+
+// ServeSOAP implements Handler.
+func (f HandlerFunc) ServeSOAP(ctx context.Context, call Call) (service.Value, error) {
+	return f(ctx, call)
+}
+
+var _ Handler = (HandlerFunc)(nil)
+
+// NewHTTPHandler wraps a SOAP Handler as an http.Handler: it decodes POSTed
+// envelopes, dispatches, and encodes the response or fault. Handler errors
+// are classified through service.RemoteCode, preserving well-known error
+// kinds across the wire.
+func NewHTTPHandler(h Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeFault(w, &Fault{Code: "Client", String: "method " + r.Method + " not allowed; POST required"})
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes))
+		if err != nil {
+			writeFault(w, &Fault{Code: "Client", String: "read body: " + err.Error()})
+			return
+		}
+		call, err := DecodeCall(data)
+		if err != nil {
+			writeFault(w, &Fault{Code: "Client", String: err.Error()})
+			return
+		}
+		result, err := h.ServeSOAP(r.Context(), call)
+		if err != nil {
+			writeFault(w, FaultFromError(err))
+			return
+		}
+		body, err := EncodeResponse(call.Namespace, call.Operation, result)
+		if err != nil {
+			writeFault(w, &Fault{Code: "Server", String: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	})
+}
+
+// FaultFromError classifies err as a SOAP fault. Remote errors pass their
+// code through unchanged; client-side classification (bad arguments,
+// unknown operations) maps to the Client fault code.
+func FaultFromError(err error) *Fault {
+	var re *service.RemoteError
+	if errors.As(err, &re) {
+		return &Fault{Code: sideOf(re.Code), String: re.Msg, Detail: re.Code}
+	}
+	code := service.RemoteCode(err)
+	return &Fault{Code: sideOf(code), String: err.Error(), Detail: code}
+}
+
+// sideOf maps a framework error code to the SOAP 1.1 faultcode side.
+func sideOf(code string) string {
+	switch code {
+	case "NoSuchOperation", "NoSuchService", "BadArgument", "Client":
+		return "Client"
+	default:
+		return "Server"
+	}
+}
+
+// writeFault emits a fault envelope with the mandatory 500 status.
+func writeFault(w http.ResponseWriter, f *Fault) {
+	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(EncodeFault(f))
+}

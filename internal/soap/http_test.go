@@ -1,0 +1,151 @@
+package soap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"homeconnect/internal/service"
+)
+
+// echoHandler returns its first argument, or typed errors on demand.
+func echoHandler() Handler {
+	return HandlerFunc(func(_ context.Context, call Call) (service.Value, error) {
+		switch call.Operation {
+		case "Echo":
+			if len(call.Args) == 0 {
+				return service.Void(), nil
+			}
+			return call.Args[0].Value, nil
+		case "Void":
+			return service.Void(), nil
+		case "Fail":
+			return service.Value{}, fmt.Errorf("exploded: %w", service.ErrUnavailable)
+		default:
+			return service.Value{}, fmt.Errorf("%s: %w", call.Operation, service.ErrNoSuchOperation)
+		}
+	})
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := httptest.NewServer(NewHTTPHandler(echoHandler()))
+	t.Cleanup(srv.Close)
+	return srv, &Client{URL: srv.URL}
+}
+
+func TestHTTPCallEcho(t *testing.T) {
+	_, client := newTestServer(t)
+	got, err := client.Call(context.Background(), "urn:test#Echo", Call{
+		Namespace: "urn:test",
+		Operation: "Echo",
+		Args:      []Arg{{Name: "v", Value: service.StringValue("ping")}},
+	})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.Str() != "ping" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestHTTPCallVoid(t *testing.T) {
+	_, client := newTestServer(t)
+	got, err := client.Call(context.Background(), "urn:test#Void", Call{Namespace: "urn:test", Operation: "Void"})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if !got.IsVoid() {
+		t.Errorf("want void, got %v", got)
+	}
+}
+
+func TestHTTPFaultPreservesErrorKind(t *testing.T) {
+	_, client := newTestServer(t)
+	_, err := client.Call(context.Background(), "a", Call{Namespace: "urn:test", Operation: "Zap"})
+	if !errors.Is(err, service.ErrNoSuchOperation) {
+		t.Errorf("want ErrNoSuchOperation through the wire, got %v", err)
+	}
+	_, err = client.Call(context.Background(), "a", Call{Namespace: "urn:test", Operation: "Fail"})
+	if !errors.Is(err, service.ErrUnavailable) {
+		t.Errorf("want ErrUnavailable through the wire, got %v", err)
+	}
+	var re *service.RemoteError
+	if !errors.As(err, &re) || re.Code != "Unavailable" {
+		t.Errorf("want RemoteError with code Unavailable, got %v", err)
+	}
+}
+
+func TestHTTPRejectsGet(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("GET status = %d, want 500 fault", resp.StatusCode)
+	}
+}
+
+func TestHTTPMalformedEnvelope(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL, "text/xml", strings.NewReader("<bogus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("malformed status = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestClientServerDown(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPHandler(echoHandler()))
+	client := &Client{URL: srv.URL}
+	srv.Close()
+	_, err := client.Call(context.Background(), "a", Call{Namespace: "urn:test", Operation: "Echo"})
+	if !errors.Is(err, service.ErrUnavailable) {
+		t.Errorf("dead server: want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	client := &Client{URL: srv.URL}
+	if _, err := client.Call(ctx, "a", Call{Namespace: "urn:test", Operation: "Echo"}); err == nil {
+		t.Error("cancelled context: want error")
+	}
+}
+
+func TestFaultFromErrorSides(t *testing.T) {
+	tests := []struct {
+		err  error
+		side string
+		code string
+	}{
+		{service.ErrNoSuchOperation, "Client", "NoSuchOperation"},
+		{service.ErrNoSuchService, "Client", "NoSuchService"},
+		{service.ErrBadArgument, "Client", "BadArgument"},
+		{service.ErrUnavailable, "Server", "Unavailable"},
+		{errors.New("anything"), "Server", "Server"},
+		{&service.RemoteError{Code: "NoSuchService", Msg: "m"}, "Client", "NoSuchService"},
+	}
+	for _, tt := range tests {
+		f := FaultFromError(tt.err)
+		if f.Code != tt.side || f.Detail != tt.code {
+			t.Errorf("FaultFromError(%v) = {%s %s}, want {%s %s}", tt.err, f.Code, f.Detail, tt.side, tt.code)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package stubgen
+
+import (
+	"strings"
+	"testing"
+
+	"homeconnect/internal/service"
+	"homeconnect/internal/wsdl"
+)
+
+func vcrDoc() wsdl.Document {
+	return wsdl.Document{
+		Interface: service.Interface{
+			Name: "VCR",
+			Operations: []service.Operation{
+				{Name: "Play", Output: service.KindVoid, Doc: "Start playback"},
+				{Name: "Record", Inputs: []service.Parameter{
+					{Name: "channel", Type: service.KindInt},
+					{Name: "minutes", Type: service.KindInt},
+				}, Output: service.KindBool},
+				{Name: "Status", Output: service.KindString},
+				{Name: "Snapshot", Output: service.KindBytes},
+				{Name: "Gain", Output: service.KindFloat},
+			},
+		},
+	}
+}
+
+func TestGenerateCompilesShape(t *testing.T) {
+	src, err := Generate(vcrDoc(), Options{Package: "vcrstub"})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	code := string(src)
+	wants := []string{
+		"package vcrstub",
+		"type VCRClient struct",
+		"func (c *VCRClient) Play(ctx context.Context) error",
+		"func (c *VCRClient) Record(ctx context.Context, channel int64, minutes int64) (bool, error)",
+		"func (c *VCRClient) Status(ctx context.Context) (string, error)",
+		"func (c *VCRClient) Snapshot(ctx context.Context) ([]byte, error)",
+		"func (c *VCRClient) Gain(ctx context.Context) (float64, error)",
+		"Start playback",
+		"DO NOT EDIT",
+	}
+	for _, want := range wants {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+func TestGenerateDefaultPackage(t *testing.T) {
+	src, err := Generate(vcrDoc(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "package stubs") {
+		t.Error("default package name not applied")
+	}
+}
+
+func TestGenerateFromParsedWSDL(t *testing.T) {
+	// Full pipeline: interface → WSDL → parse → stub.
+	raw, err := wsdl.Generate(vcrDoc().Interface, "http://h/vcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := wsdl.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(doc, Options{Package: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "VCRClient") {
+		t.Error("pipeline output missing client type")
+	}
+}
+
+func TestGenerateRejectsInvalidInterface(t *testing.T) {
+	if _, err := Generate(wsdl.Document{}, Options{}); err == nil {
+		t.Error("empty interface accepted")
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	tests := map[string]string{
+		"level":     "level",
+		"new-value": "new_value",
+		"9lives":    "p9lives",
+		"":          "p",
+	}
+	for in, want := range tests {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package uddi
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"homeconnect/internal/xmltree"
+)
+
+// Client talks to a registry server over HTTP.
+type Client struct {
+	// HTTP is the underlying client; http.DefaultClient if nil.
+	HTTP *http.Client
+	// URL is the registry endpoint.
+	URL string
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// roundTrip POSTs doc and returns the parsed response root.
+func (c *Client) roundTrip(ctx context.Context, doc []byte) (*xmltree.Element, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(doc))
+	if err != nil {
+		return nil, fmt.Errorf("uddi: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("uddi: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return nil, fmt.Errorf("uddi: read response: %w", err)
+	}
+	root, err := xmltree.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("uddi: parse response: %w", err)
+	}
+	if root.Name.Local == "dispositionReport" && root.Attr("result") == "error" {
+		return nil, fmt.Errorf("uddi: %s: %s", root.ChildText("errCode"), root.ChildText("errInfo"))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("uddi: http status %s", resp.Status)
+	}
+	return root, nil
+}
+
+// Save publishes the entry with the given TTL and returns the assigned
+// service key.
+func (c *Client) Save(ctx context.Context, e Entry, ttl time.Duration) (string, error) {
+	w := xmltree.NewWriter()
+	w.Open("save_service")
+	entryToXML(w, e)
+	if ttl > 0 {
+		w.Leaf("ttlms", strconv.Itoa(int(ttl/time.Millisecond)))
+	}
+	root, err := c.roundTrip(ctx, w.Bytes())
+	if err != nil {
+		return "", err
+	}
+	key := root.ChildText("serviceKey")
+	if key == "" {
+		return "", fmt.Errorf("uddi: save_service response missing serviceKey")
+	}
+	return key, nil
+}
+
+// Delete removes the registration with the given key.
+func (c *Client) Delete(ctx context.Context, key string) error {
+	w := xmltree.NewWriter()
+	w.Open("delete_service")
+	w.Leaf("serviceKey", key)
+	_, err := c.roundTrip(ctx, w.Bytes())
+	return err
+}
+
+// Find runs an inquiry and returns matching entries sorted by name.
+func (c *Client) Find(ctx context.Context, q Query) ([]Entry, error) {
+	w := xmltree.NewWriter()
+	w.Open("find_service")
+	if q.Name != "" {
+		w.Leaf("name", q.Name)
+	}
+	if q.TModel != "" {
+		w.Leaf("tModel", q.TModel)
+	}
+	keys := make([]string, 0, len(q.Categories))
+	for k := range q.Categories {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.SelfClose("category", "keyName", k, "keyValue", q.Categories[k])
+	}
+	root, err := c.roundTrip(ctx, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, svc := range root.All("service") {
+		e, err := entryFromXML(svc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Get fetches one entry by key; found is false for unknown or expired
+// keys.
+func (c *Client) Get(ctx context.Context, key string) (Entry, bool, error) {
+	w := xmltree.NewWriter()
+	w.Open("get_serviceDetail")
+	w.Leaf("serviceKey", key)
+	root, err := c.roundTrip(ctx, w.Bytes())
+	if err != nil {
+		return Entry{}, false, err
+	}
+	svc := root.Child("service")
+	if svc == nil {
+		return Entry{}, false, nil
+	}
+	e, err := entryFromXML(svc)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	return e, true, nil
+}

@@ -1,0 +1,297 @@
+package uddi
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"homeconnect/internal/xmltree"
+)
+
+// maxRequestBytes bounds inbound publication/inquiry documents.
+const maxRequestBytes = 1 << 20
+
+// Server is an in-memory UDDI-style registry. The zero value is not
+// usable; call NewServer.
+type Server struct {
+	// now is swappable for expiry tests.
+	now func() time.Time
+
+	mu      sync.RWMutex
+	entries map[string]*record
+
+	// saves and finds count operations for the benchmark harness.
+	saves int64
+	finds int64
+}
+
+type record struct {
+	entry   Entry
+	expires time.Time
+}
+
+// NewServer returns an empty registry.
+func NewServer() *Server {
+	return &Server{
+		now:     time.Now,
+		entries: make(map[string]*record),
+	}
+}
+
+// SetClock overrides the time source (tests only).
+func (s *Server) SetClock(now func() time.Time) { s.now = now }
+
+// Save registers or replaces an entry with the given TTL and returns its
+// key.
+func (s *Server) Save(e Entry, ttl time.Duration) string {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	if e.Key == "" {
+		e.Key = NewKey()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saves++
+	s.entries[e.Key] = &record{entry: e.Clone(), expires: s.now().Add(ttl)}
+	return e.Key
+}
+
+// Delete removes an entry; deleting an unknown key is not an error,
+// matching UDDI semantics for already-expired registrations.
+func (s *Server) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, key)
+}
+
+// Get returns the entry for key if present and unexpired.
+func (s *Server) Get(key string) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.entries[key]
+	if !ok || s.now().After(rec.expires) {
+		return Entry{}, false
+	}
+	return rec.entry.Clone(), true
+}
+
+// Find returns unexpired entries matching q, ordered by name then key for
+// determinism.
+func (s *Server) Find(q Query) []Entry {
+	s.mu.Lock()
+	s.finds++
+	now := s.now()
+	var out []Entry
+	for key, rec := range s.entries {
+		if now.After(rec.expires) {
+			delete(s.entries, key)
+			continue
+		}
+		if q.Matches(rec.entry) {
+			out = append(out, rec.entry.Clone())
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Len reports the number of live entries.
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	now := s.now()
+	for _, rec := range s.entries {
+		if !now.After(rec.expires) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns cumulative (saves, finds) counters.
+func (s *Server) Stats() (saves, finds int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.saves, s.finds
+}
+
+// Handler returns the HTTP face of the registry. All operations POST an
+// XML document to this handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "E_unsupported", "POST required")
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "E_fatalError", "read: "+err.Error())
+			return
+		}
+		root, err := xmltree.Parse(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "E_fatalError", "parse: "+err.Error())
+			return
+		}
+		switch root.Name.Local {
+		case "save_service":
+			s.handleSave(w, root)
+		case "delete_service":
+			s.handleDelete(w, root)
+		case "find_service":
+			s.handleFind(w, root)
+		case "get_serviceDetail":
+			s.handleGet(w, root)
+		default:
+			writeError(w, http.StatusBadRequest, "E_unsupported", "unknown request "+root.Name.Local)
+		}
+	})
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, root *xmltree.Element) {
+	svc := root.Child("service")
+	if svc == nil {
+		writeError(w, http.StatusBadRequest, "E_fatalError", "save_service without service")
+		return
+	}
+	entry, err := entryFromXML(svc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "E_fatalError", err.Error())
+		return
+	}
+	ttl := time.Duration(0)
+	if t := root.ChildText("ttlms"); t != "" {
+		ms, err := strconv.Atoi(t)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "E_fatalError", "bad ttlms "+t)
+			return
+		}
+		ttl = time.Duration(ms) * time.Millisecond
+	}
+	key := s.Save(entry, ttl)
+	xw := xmltree.NewWriter()
+	xw.Open("serviceDetail")
+	xw.Leaf("serviceKey", key)
+	writeXML(w, xw.Bytes())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, root *xmltree.Element) {
+	key := root.ChildText("serviceKey")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "E_invalidKeyPassed", "delete_service without serviceKey")
+		return
+	}
+	s.Delete(key)
+	xw := xmltree.NewWriter()
+	xw.SelfClose("dispositionReport", "result", "ok")
+	writeXML(w, xw.Bytes())
+}
+
+func (s *Server) handleFind(w http.ResponseWriter, root *xmltree.Element) {
+	q := Query{
+		Name:   root.ChildText("name"),
+		TModel: root.ChildText("tModel"),
+	}
+	for _, c := range root.All("category") {
+		if q.Categories == nil {
+			q.Categories = make(map[string]string)
+		}
+		q.Categories[c.Attr("keyName")] = c.Attr("keyValue")
+	}
+	entries := s.Find(q)
+	xw := xmltree.NewWriter()
+	xw.Open("serviceList")
+	for _, e := range entries {
+		entryToXML(xw, e)
+	}
+	writeXML(w, xw.Bytes())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, root *xmltree.Element) {
+	key := root.ChildText("serviceKey")
+	entry, ok := s.Get(key)
+	xw := xmltree.NewWriter()
+	xw.Open("serviceDetail")
+	if ok {
+		entryToXML(xw, entry)
+	}
+	writeXML(w, xw.Bytes())
+}
+
+// entryToXML appends a <service> element for e to the writer.
+func entryToXML(w *xmltree.Writer, e Entry) {
+	w.Open("service",
+		"serviceKey", e.Key,
+		"name", e.Name,
+		"accessPoint", e.AccessPoint,
+		"tModel", e.TModel,
+	)
+	if e.Description != "" {
+		w.Leaf("description", e.Description)
+	}
+	// Deterministic category order for stable wire output.
+	keys := make([]string, 0, len(e.Categories))
+	for k := range e.Categories {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.SelfClose("category", "keyName", k, "keyValue", e.Categories[k])
+	}
+	if e.WSDL != "" {
+		w.Leaf("wsdl", e.WSDL)
+	}
+	w.Close()
+}
+
+// entryFromXML parses a <service> element.
+func entryFromXML(svc *xmltree.Element) (Entry, error) {
+	e := Entry{
+		Key:         svc.Attr("serviceKey"),
+		Name:        svc.Attr("name"),
+		AccessPoint: svc.Attr("accessPoint"),
+		TModel:      svc.Attr("tModel"),
+		Description: svc.ChildText("description"),
+	}
+	if e.Name == "" {
+		return Entry{}, fmt.Errorf("uddi: service without name")
+	}
+	for _, c := range svc.All("category") {
+		if e.Categories == nil {
+			e.Categories = make(map[string]string)
+		}
+		e.Categories[c.Attr("keyName")] = c.Attr("keyValue")
+	}
+	if wel := svc.Child("wsdl"); wel != nil {
+		e.WSDL = wel.Text
+	}
+	return e, nil
+}
+
+func writeXML(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	xw := xmltree.NewWriter()
+	xw.Open("dispositionReport", "result", "error")
+	xw.Leaf("errCode", code)
+	xw.Leaf("errInfo", msg)
+	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	w.WriteHeader(status)
+	_, _ = w.Write(xw.Bytes())
+}

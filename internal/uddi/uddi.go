@@ -1,0 +1,118 @@
+// Package uddi implements the service repository protocol behind the
+// paper's Virtual Service Repository: "Currently VSR has been implemented
+// by WSDL ... and Universal Description, Discovery and Integration (UDDI)"
+// (§4.1). It provides a registry server storing service entries (name,
+// access point, interface tModel, inline WSDL, category bag) and a client
+// speaking a compact XML-over-HTTP protocol modelled on the UDDI v2
+// inquiry/publication API: save_service, delete_service, find_service,
+// get_serviceDetail.
+//
+// Entries carry a time-to-live; publishers refresh periodically and the
+// registry expires stale services, giving the federation the liveness that
+// Jini gets from leases.
+package uddi
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Entry is one registered service.
+type Entry struct {
+	// Key uniquely identifies the registration; assigned by the registry
+	// on first save if empty.
+	Key string
+	// Name is the human-readable service name, searchable with % globs.
+	Name string
+	// Description is free-form text.
+	Description string
+	// AccessPoint is the service endpoint URL (the VSG SOAP endpoint).
+	AccessPoint string
+	// TModel names the abstract interface the service implements.
+	TModel string
+	// WSDL is the inline interface description document.
+	WSDL string
+	// Categories is the category bag: free-form attribute pairs
+	// (the paper's "service contexts").
+	Categories map[string]string
+}
+
+// Clone returns a deep copy of the entry.
+func (e Entry) Clone() Entry {
+	cp := e
+	if e.Categories != nil {
+		cp.Categories = make(map[string]string, len(e.Categories))
+		for k, v := range e.Categories {
+			cp.Categories[k] = v
+		}
+	}
+	return cp
+}
+
+// Query selects entries. Zero-value fields match everything.
+type Query struct {
+	// Name matches the entry name; '%' is a multi-character wildcard, as
+	// in UDDI find qualifiers.
+	Name string
+	// TModel, if set, must equal the entry's TModel exactly.
+	TModel string
+	// Categories must all be present with equal values in the entry's
+	// category bag.
+	Categories map[string]string
+}
+
+// Matches reports whether the entry satisfies the query.
+func (q Query) Matches(e Entry) bool {
+	if q.Name != "" && !globMatch(q.Name, e.Name) {
+		return false
+	}
+	if q.TModel != "" && q.TModel != e.TModel {
+		return false
+	}
+	for k, v := range q.Categories {
+		if e.Categories[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// globMatch implements UDDI-style '%' wildcards (match any run, including
+// empty). Matching is case-sensitive, like UDDI's exactNameMatch qualifier
+// combined with wildcards.
+func globMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "%")
+	if len(parts) == 1 {
+		return pattern == s
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for i := 1; i < len(parts)-1; i++ {
+		idx := strings.Index(s, parts[i])
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(parts[i]):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+// NewKey returns a fresh random service key ("uuid:" + 32 hex digits).
+func NewKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable; fall back to a time-based
+		// key rather than panicking inside library code.
+		return fmt.Sprintf("uuid:time-%d", time.Now().UnixNano())
+	}
+	return "uuid:" + hex.EncodeToString(b[:])
+}
+
+// DefaultTTL is the registration lifetime used when a save request does
+// not specify one.
+const DefaultTTL = 60 * time.Second

@@ -1,0 +1,186 @@
+package upnp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"homeconnect/internal/service"
+	"homeconnect/internal/soap"
+)
+
+// ActionHandler serves one control action invocation.
+type ActionHandler func(ctx context.Context, action string, args []service.Value) (service.Value, error)
+
+// Device hosts one UPnP root device: an HTTP server for description,
+// SCPD and SOAP control, plus an SSDP responder for unicast search.
+type Device struct {
+	desc     Description
+	handlers map[string]ActionHandler // service ShortID → handler
+
+	httpLn net.Listener
+	httpS  *http.Server
+	ssdp   *ssdpResponder
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewDevice builds a device with the given description. handlers maps
+// each service's ShortID to its action handler.
+func NewDevice(desc Description, handlers map[string]ActionHandler) *Device {
+	return &Device{desc: desc, handlers: handlers}
+}
+
+// Start brings up the HTTP side on httpAddr and the SSDP responder on a
+// UDP port ("127.0.0.1:0" for ephemeral).
+func (d *Device) Start(httpAddr, ssdpAddr string) error {
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		return fmt.Errorf("upnp: http listen: %w", err)
+	}
+	d.httpLn = ln
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/description.xml", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+		_, _ = w.Write(RenderDescription(d.desc))
+	})
+	for _, svc := range d.desc.Services {
+		svc := svc
+		scpd, err := RenderSCPD(svc)
+		if err != nil {
+			_ = ln.Close()
+			return fmt.Errorf("upnp: scpd for %s: %w", svc.ID, err)
+		}
+		mux.HandleFunc("/scpd/"+svc.ShortID()+".xml", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+			_, _ = w.Write(scpd)
+		})
+		handler, ok := d.handlers[svc.ShortID()]
+		if !ok {
+			_ = ln.Close()
+			return fmt.Errorf("upnp: no handler for service %s", svc.ID)
+		}
+		mux.Handle("/control/"+svc.ShortID(), soap.NewHTTPHandler(controlAdapter{svc: svc, handler: handler}))
+	}
+
+	d.httpS = &http.Server{Handler: mux}
+	go func() { _ = d.httpS.Serve(ln) }()
+
+	resp, err := newSSDPResponder(ssdpAddr, d)
+	if err != nil {
+		_ = ln.Close()
+		return err
+	}
+	d.ssdp = resp
+	return nil
+}
+
+// Location returns the description URL.
+func (d *Device) Location() string {
+	return "http://" + d.httpLn.Addr().String() + "/description.xml"
+}
+
+// SSDPAddr returns the UDP address answering M-SEARCH.
+func (d *Device) SSDPAddr() string { return d.ssdp.addr() }
+
+// Description returns the hosted description.
+func (d *Device) Description() Description { return d.desc }
+
+// Close stops both servers.
+func (d *Device) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.ssdp.close()
+	_ = d.httpS.Close()
+}
+
+// controlAdapter bridges SOAP calls to the action handler, validating
+// against the SCPD action table first — as a real UPnP stack rejects
+// actions outside the service description.
+type controlAdapter struct {
+	svc     Service
+	handler ActionHandler
+}
+
+// ServeSOAP implements soap.Handler.
+func (c controlAdapter) ServeSOAP(ctx context.Context, call soap.Call) (service.Value, error) {
+	action, ok := c.svc.Action(call.Operation)
+	if !ok {
+		return service.Value{}, fmt.Errorf("%s: %w", call.Operation, service.ErrNoSuchOperation)
+	}
+	if len(call.Args) != len(action.In) {
+		return service.Value{}, fmt.Errorf("%s: got %d args, want %d: %w",
+			call.Operation, len(call.Args), len(action.In), service.ErrBadArgument)
+	}
+	args := make([]service.Value, len(call.Args))
+	for i, a := range call.Args {
+		if a.Value.Kind() != action.In[i].Type {
+			return service.Value{}, fmt.Errorf("%s: arg %s has kind %v, want %v: %w",
+				call.Operation, a.Name, a.Value.Kind(), action.In[i].Type, service.ErrBadArgument)
+		}
+		args[i] = a.Value
+	}
+	return c.handler(ctx, call.Operation, args)
+}
+
+// NewBinaryLight builds the classic UPnP sample device: a BinaryLight
+// with a SwitchPower service (SetTarget, GetStatus) — handy for tests,
+// examples and the UPnP PCM experiment.
+func NewBinaryLight(name string) (*Device, *BinaryLightState) {
+	state := &BinaryLightState{}
+	svc := Service{
+		Type: "urn:schemas-upnp-org:service:SwitchPower:1",
+		ID:   "urn:upnp-org:serviceId:SwitchPower",
+		Actions: []Action{
+			{Name: "SetTarget", In: []Arg{{Name: "newTargetValue", Type: service.KindBool}}},
+			{Name: "GetStatus", Out: service.KindBool},
+		},
+	}
+	desc := Description{
+		DeviceType:   "urn:schemas-upnp-org:device:BinaryLight:1",
+		FriendlyName: name,
+		UDN:          "uuid:homeconnect-light-" + strings.ReplaceAll(name, " ", "-"),
+		Services:     []Service{svc},
+	}
+	dev := NewDevice(desc, map[string]ActionHandler{
+		"SwitchPower": state.handle,
+	})
+	return dev, state
+}
+
+// BinaryLightState is the mutable state behind a BinaryLight device.
+type BinaryLightState struct {
+	mu sync.Mutex
+	on bool
+}
+
+// On reports whether the light is on.
+func (s *BinaryLightState) On() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.on
+}
+
+func (s *BinaryLightState) handle(_ context.Context, action string, args []service.Value) (service.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch action {
+	case "SetTarget":
+		s.on = args[0].Bool()
+		return service.Void(), nil
+	case "GetStatus":
+		return service.BoolValue(s.on), nil
+	default:
+		return service.Value{}, fmt.Errorf("%s: %w", action, service.ErrNoSuchOperation)
+	}
+}

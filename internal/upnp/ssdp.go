@@ -1,0 +1,194 @@
+package upnp
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SSDP in unicast search form: a control point sends an HTTPU M-SEARCH
+// datagram to a device's SSDP port and receives an HTTP/1.1 200 response
+// whose LOCATION header points at the description document. The wire
+// format matches the UPnP architecture; only the multicast group is
+// replaced by direct addressing, which UPnP 1.1 also permits.
+
+// ssdpResponder answers M-SEARCH datagrams for one device.
+type ssdpResponder struct {
+	conn *net.UDPConn
+	dev  *Device
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newSSDPResponder(addr string, dev *Device) (*ssdpResponder, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("upnp: ssdp addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("upnp: ssdp listen: %w", err)
+	}
+	r := &ssdpResponder{conn: conn, dev: dev}
+	r.wg.Add(1)
+	go r.loop()
+	return r, nil
+}
+
+func (r *ssdpResponder) addr() string { return r.conn.LocalAddr().String() }
+
+func (r *ssdpResponder) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	_ = r.conn.Close()
+	r.wg.Wait()
+}
+
+func (r *ssdpResponder) loop() {
+	defer r.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, peer, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		req, err := http.ReadRequest(bufio.NewReader(bytes.NewReader(buf[:n])))
+		if err != nil || req.Method != "M-SEARCH" {
+			continue
+		}
+		st := req.Header.Get("ST")
+		desc := r.dev.Description()
+		if !ssdpTargetMatches(st, desc) {
+			continue
+		}
+		resp := fmt.Sprintf("HTTP/1.1 200 OK\r\n"+
+			"CACHE-CONTROL: max-age=1800\r\n"+
+			"EXT:\r\n"+
+			"LOCATION: %s\r\n"+
+			"SERVER: homeconnect/1.0 UPnP/1.0\r\n"+
+			"ST: %s\r\n"+
+			"USN: %s::%s\r\n\r\n",
+			r.dev.Location(), st, desc.UDN, desc.DeviceType)
+		_, _ = r.conn.WriteToUDP([]byte(resp), peer)
+	}
+}
+
+// ssdpTargetMatches implements the ST matching rules for the subset we
+// serve: ssdp:all, upnp:rootdevice, the device type URN, or the UDN.
+func ssdpTargetMatches(st string, d Description) bool {
+	switch {
+	case st == "" || st == "ssdp:all" || st == "upnp:rootdevice":
+		return true
+	case st == d.DeviceType || st == d.UDN:
+		return true
+	default:
+		for _, svc := range d.Services {
+			if st == svc.Type {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// SearchResult is one M-SEARCH response.
+type SearchResult struct {
+	// Location is the description URL.
+	Location string
+	// USN is the unique service name from the response.
+	USN string
+	// ST echoes the search target.
+	ST string
+}
+
+// Search sends a unicast M-SEARCH for st to each SSDP address and
+// collects the responses. Devices that do not answer within the context
+// deadline (or one second, whichever is sooner) are skipped.
+func Search(ctx context.Context, st string, ssdpAddrs []string) ([]SearchResult, error) {
+	if st == "" {
+		st = "ssdp:all"
+	}
+	var out []SearchResult
+	for _, addr := range ssdpAddrs {
+		res, err := searchOne(ctx, st, addr)
+		if err != nil {
+			continue // absent devices are normal during discovery
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func searchOne(ctx context.Context, st, addr string) (SearchResult, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	defer conn.Close()
+
+	msg := fmt.Sprintf("M-SEARCH * HTTP/1.1\r\n"+
+		"HOST: %s\r\n"+
+		"MAN: \"ssdp:discover\"\r\n"+
+		"MX: 1\r\n"+
+		"ST: %s\r\n\r\n", addr, st)
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		return SearchResult{}, err
+	}
+
+	deadline := time.Now().Add(time.Second)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetReadDeadline(deadline)
+	buf := make([]byte, 2048)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return parseSearchResponse(buf[:n])
+}
+
+func parseSearchResponse(raw []byte) (SearchResult, error) {
+	lines := strings.Split(string(raw), "\r\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "HTTP/1.1 200") {
+		return SearchResult{}, fmt.Errorf("upnp: bad search response")
+	}
+	res := SearchResult{}
+	for _, line := range lines[1:] {
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			continue
+		}
+		key := strings.ToUpper(strings.TrimSpace(line[:i]))
+		val := strings.TrimSpace(line[i+1:])
+		switch key {
+		case "LOCATION":
+			res.Location = val
+		case "USN":
+			res.USN = val
+		case "ST":
+			res.ST = val
+		}
+	}
+	if res.Location == "" {
+		return SearchResult{}, fmt.Errorf("upnp: search response without LOCATION")
+	}
+	return res, nil
+}

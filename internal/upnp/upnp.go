@@ -1,0 +1,293 @@
+// Package upnp simulates Universal Plug and Play, the related-work system
+// the paper singles out: "We can connect the UPnP service to other
+// middleware by developing a PCM for UPnP" (§5). The simulation covers
+// what that PCM needs:
+//
+//   - device and service descriptions (device XML + SCPD action lists)
+//     served over HTTP;
+//   - SSDP discovery in its unicast search form (HTTPU M-SEARCH request,
+//     HTTP/1.1 200 response with a LOCATION header) — part of the UPnP
+//     architecture and routable without multicast;
+//   - SOAP control, reusing the framework's own SOAP implementation,
+//     since UPnP control actions genuinely are SOAP calls.
+package upnp
+
+import (
+	"fmt"
+	"strings"
+
+	"homeconnect/internal/service"
+	"homeconnect/internal/xmltree"
+)
+
+// Arg is one action argument.
+type Arg struct {
+	Name string
+	Type service.Kind
+}
+
+// Action is one SCPD action: named input arguments and at most one output.
+type Action struct {
+	Name string
+	In   []Arg
+	// Out is the result type; KindVoid (or the zero Kind) for none.
+	Out service.Kind
+}
+
+// returnsValue reports whether the action has an out argument.
+func (a Action) returnsValue() bool {
+	return a.Out != service.KindVoid && a.Out != service.KindInvalid
+}
+
+// Service is one UPnP service of a device.
+type Service struct {
+	// Type is the URN, e.g. "urn:schemas-upnp-org:service:SwitchPower:1".
+	Type string
+	// ID is the service identifier, e.g. "urn:upnp-org:serviceId:SwitchPower".
+	ID string
+	// Actions is the SCPD action table.
+	Actions []Action
+}
+
+// ShortID returns the trailing path-safe component of the service ID.
+func (s Service) ShortID() string {
+	if i := strings.LastIndexByte(s.ID, ':'); i >= 0 {
+		return s.ID[i+1:]
+	}
+	return s.ID
+}
+
+// Action returns the named action.
+func (s Service) Action(name string) (Action, bool) {
+	for _, a := range s.Actions {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Action{}, false
+}
+
+// Description is a root device description.
+type Description struct {
+	// DeviceType is the URN, e.g. "urn:schemas-upnp-org:device:BinaryLight:1".
+	DeviceType string
+	// FriendlyName is the human-readable name.
+	FriendlyName string
+	// UDN is the unique device name ("uuid:...").
+	UDN string
+	// Services lists the device's services.
+	Services []Service
+}
+
+// dataTypeOf maps a kind to the UPnP state variable dataType.
+func dataTypeOf(k service.Kind) (string, error) {
+	switch k {
+	case service.KindString:
+		return "string", nil
+	case service.KindInt:
+		return "i4", nil
+	case service.KindFloat:
+		return "r8", nil
+	case service.KindBool:
+		return "boolean", nil
+	case service.KindBytes:
+		return "bin.base64", nil
+	default:
+		return "", fmt.Errorf("upnp: no dataType for %v: %w", k, service.ErrBadKind)
+	}
+}
+
+// kindOfDataType inverts dataTypeOf.
+func kindOfDataType(t string) (service.Kind, error) {
+	switch t {
+	case "string":
+		return service.KindString, nil
+	case "i4", "ui4", "int", "i2":
+		return service.KindInt, nil
+	case "r4", "r8", "number", "float":
+		return service.KindFloat, nil
+	case "boolean":
+		return service.KindBool, nil
+	case "bin.base64":
+		return service.KindBytes, nil
+	default:
+		return service.KindInvalid, fmt.Errorf("upnp: unknown dataType %q: %w", t, service.ErrBadKind)
+	}
+}
+
+// RenderDescription produces the device description document.
+func RenderDescription(d Description) []byte {
+	w := xmltree.NewWriter()
+	w.Open("root", "xmlns", "urn:schemas-upnp-org:device-1-0")
+	w.Open("specVersion")
+	w.Leaf("major", "1")
+	w.Leaf("minor", "0")
+	w.Close()
+	w.Open("device")
+	w.Leaf("deviceType", d.DeviceType)
+	w.Leaf("friendlyName", d.FriendlyName)
+	w.Leaf("UDN", d.UDN)
+	w.Open("serviceList")
+	for _, s := range d.Services {
+		w.Open("service")
+		w.Leaf("serviceType", s.Type)
+		w.Leaf("serviceId", s.ID)
+		w.Leaf("controlURL", "/control/"+s.ShortID())
+		w.Leaf("SCPDURL", "/scpd/"+s.ShortID()+".xml")
+		w.Close()
+	}
+	w.Close()
+	w.Close()
+	return w.Bytes()
+}
+
+// ParsedService pairs a service with its description-relative URLs.
+type ParsedService struct {
+	Type       string
+	ID         string
+	ControlURL string
+	SCPDURL    string
+}
+
+// ParsedDescription is the control point's view of a description document.
+type ParsedDescription struct {
+	DeviceType   string
+	FriendlyName string
+	UDN          string
+	Services     []ParsedService
+}
+
+// ParseDescription reads a device description document.
+func ParseDescription(data []byte) (ParsedDescription, error) {
+	root, err := xmltree.Parse(data)
+	if err != nil {
+		return ParsedDescription{}, fmt.Errorf("upnp: description: %w", err)
+	}
+	dev := root.Child("device")
+	if dev == nil {
+		return ParsedDescription{}, fmt.Errorf("upnp: description has no device element")
+	}
+	out := ParsedDescription{
+		DeviceType:   dev.ChildText("deviceType"),
+		FriendlyName: dev.ChildText("friendlyName"),
+		UDN:          dev.ChildText("UDN"),
+	}
+	if list := dev.Child("serviceList"); list != nil {
+		for _, s := range list.All("service") {
+			out.Services = append(out.Services, ParsedService{
+				Type:       s.ChildText("serviceType"),
+				ID:         s.ChildText("serviceId"),
+				ControlURL: s.ChildText("controlURL"),
+				SCPDURL:    s.ChildText("SCPDURL"),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderSCPD produces the service control protocol description for a
+// service: the action list plus a state variable per distinct argument
+// type (A_ARG_* convention).
+func RenderSCPD(s Service) ([]byte, error) {
+	w := xmltree.NewWriter()
+	w.Open("scpd", "xmlns", "urn:schemas-upnp-org:service-1-0")
+	w.Open("actionList")
+	type varDecl struct{ name, dataType string }
+	var vars []varDecl
+	addVar := func(argName string, k service.Kind) (string, error) {
+		dt, err := dataTypeOf(k)
+		if err != nil {
+			return "", err
+		}
+		name := "A_ARG_TYPE_" + argName
+		for _, v := range vars {
+			if v.name == name {
+				return name, nil
+			}
+		}
+		vars = append(vars, varDecl{name: name, dataType: dt})
+		return name, nil
+	}
+	for _, a := range s.Actions {
+		w.Open("action")
+		w.Leaf("name", a.Name)
+		w.Open("argumentList")
+		for _, in := range a.In {
+			rel, err := addVar(in.Name, in.Type)
+			if err != nil {
+				return nil, fmt.Errorf("upnp: action %s arg %s: %w", a.Name, in.Name, err)
+			}
+			w.Open("argument")
+			w.Leaf("name", in.Name)
+			w.Leaf("direction", "in")
+			w.Leaf("relatedStateVariable", rel)
+			w.Close()
+		}
+		if a.returnsValue() {
+			rel, err := addVar(a.Name+"Result", a.Out)
+			if err != nil {
+				return nil, fmt.Errorf("upnp: action %s result: %w", a.Name, err)
+			}
+			w.Open("argument")
+			w.Leaf("name", "Result")
+			w.Leaf("direction", "out")
+			w.Leaf("relatedStateVariable", rel)
+			w.Close()
+		}
+		w.Close() // argumentList
+		w.Close() // action
+	}
+	w.Close() // actionList
+	w.Open("serviceStateTable")
+	for _, v := range vars {
+		w.Open("stateVariable", "sendEvents", "no")
+		w.Leaf("name", v.name)
+		w.Leaf("dataType", v.dataType)
+		w.Close()
+	}
+	w.Close()
+	return w.Bytes(), nil
+}
+
+// ParseSCPD reads an SCPD document back into the action table.
+func ParseSCPD(data []byte) ([]Action, error) {
+	root, err := xmltree.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("upnp: scpd: %w", err)
+	}
+	// Index state variable types.
+	varTypes := make(map[string]service.Kind)
+	if table := root.Child("serviceStateTable"); table != nil {
+		for _, v := range table.All("stateVariable") {
+			k, err := kindOfDataType(v.ChildText("dataType"))
+			if err != nil {
+				return nil, err
+			}
+			varTypes[v.ChildText("name")] = k
+		}
+	}
+	list := root.Child("actionList")
+	if list == nil {
+		return nil, fmt.Errorf("upnp: scpd has no actionList")
+	}
+	var out []Action
+	for _, a := range list.All("action") {
+		act := Action{Name: a.ChildText("name"), Out: service.KindVoid}
+		if args := a.Child("argumentList"); args != nil {
+			for _, arg := range args.All("argument") {
+				k, ok := varTypes[arg.ChildText("relatedStateVariable")]
+				if !ok {
+					return nil, fmt.Errorf("upnp: action %s references unknown state variable %q",
+						act.Name, arg.ChildText("relatedStateVariable"))
+				}
+				if arg.ChildText("direction") == "out" {
+					act.Out = k
+					continue
+				}
+				act.In = append(act.In, Arg{Name: arg.ChildText("name"), Type: k})
+			}
+		}
+		out = append(out, act)
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package upnp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"homeconnect/internal/service"
+)
+
+func startLight(t *testing.T, name string) (*Device, *BinaryLightState) {
+	t.Helper()
+	dev, state := NewBinaryLight(name)
+	if err := dev.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(dev.Close)
+	return dev, state
+}
+
+func TestDescriptionRoundTrip(t *testing.T) {
+	dev, _ := NewBinaryLight("Hall Light")
+	raw := RenderDescription(dev.Description())
+	parsed, err := ParseDescription(raw)
+	if err != nil {
+		t.Fatalf("ParseDescription: %v", err)
+	}
+	if parsed.FriendlyName != "Hall Light" || parsed.DeviceType != "urn:schemas-upnp-org:device:BinaryLight:1" {
+		t.Errorf("parsed = %+v", parsed)
+	}
+	if len(parsed.Services) != 1 || parsed.Services[0].ControlURL != "/control/SwitchPower" {
+		t.Errorf("services = %+v", parsed.Services)
+	}
+}
+
+func TestSCPDRoundTrip(t *testing.T) {
+	svc := Service{
+		Type: "urn:x:service:Test:1",
+		ID:   "urn:x:serviceId:Test",
+		Actions: []Action{
+			{Name: "DoIt", In: []Arg{{Name: "count", Type: service.KindInt}, {Name: "label", Type: service.KindString}}, Out: service.KindBool},
+			{Name: "Reset"},
+		},
+	}
+	raw, err := RenderSCPD(svc)
+	if err != nil {
+		t.Fatalf("RenderSCPD: %v", err)
+	}
+	actions, err := ParseSCPD(raw)
+	if err != nil {
+		t.Fatalf("ParseSCPD: %v", err)
+	}
+	if len(actions) != 2 {
+		t.Fatalf("actions = %+v", actions)
+	}
+	doit := actions[0]
+	if doit.Name != "DoIt" || doit.Out != service.KindBool || len(doit.In) != 2 {
+		t.Errorf("DoIt = %+v", doit)
+	}
+	if doit.In[0] != (Arg{Name: "count", Type: service.KindInt}) {
+		t.Errorf("arg 0 = %+v", doit.In[0])
+	}
+	if actions[1].Out != service.KindVoid || len(actions[1].In) != 0 {
+		t.Errorf("Reset = %+v", actions[1])
+	}
+}
+
+func TestSSDPSearchAndDescribe(t *testing.T) {
+	dev, _ := startLight(t, "Porch Light")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	results, err := Search(ctx, "ssdp:all", []string{dev.SSDPAddr()})
+	if err != nil || len(results) != 1 {
+		t.Fatalf("Search = %+v, %v", results, err)
+	}
+	if results[0].Location != dev.Location() {
+		t.Errorf("Location = %q, want %q", results[0].Location, dev.Location())
+	}
+
+	cp := &ControlPoint{}
+	desc, services, err := cp.Describe(ctx, results[0].Location)
+	if err != nil {
+		t.Fatalf("Describe: %v", err)
+	}
+	if desc.FriendlyName != "Porch Light" || len(services) != 1 {
+		t.Fatalf("desc = %+v services = %+v", desc, services)
+	}
+	if len(services[0].Actions) != 2 {
+		t.Errorf("actions = %+v", services[0].Actions)
+	}
+}
+
+func TestSSDPTargetFiltering(t *testing.T) {
+	dev, _ := startLight(t, "Lamp")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+
+	// Matching device-type target answers.
+	res, err := Search(ctx, "urn:schemas-upnp-org:device:BinaryLight:1", []string{dev.SSDPAddr()})
+	if err != nil || len(res) != 1 {
+		t.Fatalf("device-type search = %v, %v", res, err)
+	}
+	// Service-type target answers.
+	res, err = Search(ctx, "urn:schemas-upnp-org:service:SwitchPower:1", []string{dev.SSDPAddr()})
+	if err != nil || len(res) != 1 {
+		t.Fatalf("service-type search = %v, %v", res, err)
+	}
+	// Non-matching target is silent (Search skips it).
+	res, _ = Search(ctx, "urn:other:device:Toaster:1", []string{dev.SSDPAddr()})
+	if len(res) != 0 {
+		t.Errorf("toaster search answered: %+v", res)
+	}
+}
+
+func TestControlInvoke(t *testing.T) {
+	dev, state := startLight(t, "Desk Light")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cp := &ControlPoint{}
+	_, services, err := cp.Describe(ctx, dev.Location())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := services[0]
+
+	if _, err := cp.Invoke(ctx, sw, "SetTarget", []service.Value{service.BoolValue(true)}); err != nil {
+		t.Fatalf("SetTarget: %v", err)
+	}
+	if !state.On() {
+		t.Error("light not on")
+	}
+	got, err := cp.Invoke(ctx, sw, "GetStatus", nil)
+	if err != nil || !got.Bool() {
+		t.Errorf("GetStatus = %v, %v", got, err)
+	}
+}
+
+func TestControlInvokeErrors(t *testing.T) {
+	dev, _ := startLight(t, "Light")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cp := &ControlPoint{}
+	_, services, err := cp.Describe(ctx, dev.Location())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := services[0]
+
+	if _, err := cp.Invoke(ctx, sw, "Explode", nil); !errors.Is(err, service.ErrNoSuchOperation) {
+		t.Errorf("unknown action: %v", err)
+	}
+	if _, err := cp.Invoke(ctx, sw, "SetTarget", nil); !errors.Is(err, service.ErrBadArgument) {
+		t.Errorf("missing arg: %v", err)
+	}
+	// Wrong argument type is rejected server-side too; bypass client
+	// validation by crafting the action table.
+	forged := sw
+	forged.Actions = []Action{{Name: "SetTarget", In: []Arg{{Name: "newTargetValue", Type: service.KindString}}}}
+	if _, err := cp.Invoke(ctx, forged, "SetTarget", []service.Value{service.StringValue("yes")}); !errors.Is(err, service.ErrBadArgument) {
+		t.Errorf("wrong type: %v", err)
+	}
+}
+
+func TestDescribeUnreachable(t *testing.T) {
+	cp := &ControlPoint{}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, _, err := cp.Describe(ctx, "http://127.0.0.1:1/description.xml"); err == nil {
+		t.Error("Describe of dead device succeeded")
+	}
+}
+
+func TestSearchSkipsDeadDevices(t *testing.T) {
+	dev, _ := startLight(t, "Live")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	res, err := Search(ctx, "ssdp:all", []string{"127.0.0.1:1", dev.SSDPAddr()})
+	if err != nil || len(res) != 1 {
+		t.Errorf("Search = %v, %v", res, err)
+	}
+}

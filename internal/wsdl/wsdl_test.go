@@ -1,0 +1,141 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"homeconnect/internal/service"
+)
+
+func vcrInterface() service.Interface {
+	return service.Interface{
+		Name: "VCR",
+		Doc:  "Digital video cassette recorder control",
+		Operations: []service.Operation{
+			{Name: "Play", Output: service.KindVoid, Doc: "Start playback"},
+			{Name: "Stop", Output: service.KindVoid},
+			{Name: "Record", Inputs: []service.Parameter{
+				{Name: "channel", Type: service.KindInt},
+				{Name: "minutes", Type: service.KindInt},
+			}, Output: service.KindBool},
+			{Name: "Status", Output: service.KindString},
+			{Name: "Calibrate", Inputs: []service.Parameter{
+				{Name: "gain", Type: service.KindFloat},
+				{Name: "raw", Type: service.KindBytes},
+				{Name: "fast", Type: service.KindBool},
+			}, Output: service.KindFloat},
+		},
+	}
+}
+
+func TestGenerateParseRoundTrip(t *testing.T) {
+	in := vcrInterface()
+	const loc = "http://192.168.0.10:8800/services/havi:vcr-1"
+	data, err := Generate(in, loc)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, want := range []string{"portType", "soap:address", "RecordInput", "rpc"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("generated WSDL missing %q:\n%s", want, data)
+		}
+	}
+	doc, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if doc.Location != loc {
+		t.Errorf("Location = %q, want %q", doc.Location, loc)
+	}
+	if !doc.Interface.Equal(in) {
+		t.Errorf("interface mismatch:\n got %+v\nwant %+v", doc.Interface, in)
+	}
+	if doc.Interface.Doc != in.Doc {
+		t.Errorf("doc string lost: %q", doc.Interface.Doc)
+	}
+	op, _ := doc.Interface.Operation("Play")
+	if op.Doc != "Start playback" {
+		t.Errorf("operation doc lost: %q", op.Doc)
+	}
+}
+
+func TestGenerateWithoutLocation(t *testing.T) {
+	data, err := Generate(vcrInterface(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Location != "" {
+		t.Errorf("Location = %q, want empty", doc.Location)
+	}
+}
+
+func TestGenerateRejectsInvalidInterface(t *testing.T) {
+	if _, err := Generate(service.Interface{}, ""); err == nil {
+		t.Error("empty interface accepted")
+	}
+	bad := service.Interface{Name: "X", Operations: []service.Operation{{Name: "A", Output: service.Kind(77)}}}
+	if _, err := Generate(bad, ""); err == nil {
+		t.Error("invalid output kind accepted")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"<notwsdl/>",
+		`<definitions name="X"></definitions>`, // no portType
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("Parse(%q): want error", c)
+		}
+	}
+}
+
+func TestSOAPActionAndNamespace(t *testing.T) {
+	if got := TargetNamespace("VCR"); got != "urn:homeconnect:iface:VCR" {
+		t.Errorf("TargetNamespace = %q", got)
+	}
+	if got := SOAPAction("VCR", "Play"); got != "urn:homeconnect:iface:VCR#Play" {
+		t.Errorf("SOAPAction = %q", got)
+	}
+}
+
+// TestQuickRoundTrip generates random small interfaces and checks the
+// generate/parse round trip preserves them.
+func TestQuickRoundTrip(t *testing.T) {
+	kinds := []service.Kind{service.KindString, service.KindInt, service.KindFloat, service.KindBool, service.KindBytes}
+	outs := append([]service.Kind{service.KindVoid}, kinds...)
+	fn := func(nOps, nParams uint8, outSel, inSel uint8) bool {
+		it := service.Interface{Name: "Q"}
+		ops := int(nOps%4) + 1
+		for i := 0; i < ops; i++ {
+			op := service.Operation{
+				Name:   "Op" + string(rune('A'+i)),
+				Output: outs[(int(outSel)+i)%len(outs)],
+			}
+			params := int(nParams % 4)
+			for j := 0; j < params; j++ {
+				op.Inputs = append(op.Inputs, service.Parameter{
+					Name: "p" + string(rune('a'+j)),
+					Type: kinds[(int(inSel)+i+j)%len(kinds)],
+				})
+			}
+			it.Operations = append(it.Operations, op)
+		}
+		data, err := Generate(it, "http://h:1/x")
+		if err != nil {
+			return false
+		}
+		doc, err := Parse(data)
+		return err == nil && doc.Interface.Equal(it)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+package x10
+
+import (
+	"io"
+	"sync"
+)
+
+// CM11A protocol constants from the published programming protocol
+// (reference [15] of the paper).
+const (
+	cmAck            = 0x00 // PC → IF: checksum correct, transmit
+	cmReady          = 0x55 // IF → PC: interface ready
+	cmPoll           = 0x5A // IF → PC: receive buffer pending
+	cmPollAck        = 0xC3 // PC → IF: send the receive buffer
+	cmClockPoll      = 0xA5 // IF → PC: power-fail, clock wanted
+	cmClockSetHeader = 0x9B // PC → IF: 9-byte clock download header
+
+	// header bit layout for PC → IF transmissions.
+	hdrSync     = 0x04 // always set
+	hdrFunction = 0x02 // set for function codes, clear for addresses
+)
+
+// maxReceiveBuffer is the CM11A's 8-byte receive data limit (plus the
+// size and mask bytes).
+const maxReceiveBuffer = 8
+
+// CM11A simulates the CM11A computer interface: one side speaks the
+// serial byte protocol, the other side transmits and receives on the
+// powerline.
+type CM11A struct {
+	port SerialPort
+	line *Powerline
+
+	mu sync.Mutex
+	// rxQueue holds powerline frames awaiting upload to the PC.
+	rxQueue []Frame
+	// transmitting suppresses echo of the device's own transmissions.
+	transmitting bool
+	detach       func()
+	closed       bool
+	needsClk     bool
+
+	wg sync.WaitGroup
+	// kick wakes the protocol loop when a powerline frame arrives.
+	kick chan struct{}
+	// pcBytes carries bytes read from the serial port.
+	pcBytes chan byte
+}
+
+// CM11AOption configures the device.
+type CM11AOption func(*CM11A)
+
+// WithPowerFailPoll makes the device demand a clock download (0xA5 poll)
+// before serving commands, as a real CM11A does after power loss.
+func WithPowerFailPoll() CM11AOption {
+	return func(c *CM11A) { c.needsClk = true }
+}
+
+// NewCM11A attaches a CM11A to the powerline, speaking the serial
+// protocol on port. Close the device to release both.
+func NewCM11A(line *Powerline, port SerialPort, opts ...CM11AOption) *CM11A {
+	c := &CM11A{
+		port:    port,
+		line:    line,
+		kick:    make(chan struct{}, 1),
+		pcBytes: make(chan byte, 64),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.detach = line.Attach(c.receiveFromLine)
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.run()
+	return c
+}
+
+// Close shuts the device down and closes the serial port.
+func (c *CM11A) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.detach()
+	_ = c.port.Close()
+	c.wg.Wait()
+}
+
+// receiveFromLine queues frames seen on the powerline for upload.
+func (c *CM11A) receiveFromLine(f Frame) {
+	c.mu.Lock()
+	if c.transmitting {
+		c.mu.Unlock()
+		return
+	}
+	c.rxQueue = append(c.rxQueue, f)
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// readLoop pumps serial bytes into pcBytes.
+func (c *CM11A) readLoop() {
+	defer c.wg.Done()
+	defer close(c.pcBytes)
+	buf := make([]byte, 1)
+	for {
+		if _, err := io.ReadFull(c.port, buf); err != nil {
+			return
+		}
+		c.pcBytes <- buf[0]
+	}
+}
+
+// run is the device protocol loop. The serial protocol is command/
+// response from the PC's perspective; the device initiates only the 0x5A
+// receive poll and the 0xA5 clock poll, raised when idle.
+func (c *CM11A) run() {
+	defer c.wg.Done()
+	announced := false
+	for {
+		if !announced {
+			if c.clockWanted() {
+				if _, err := c.port.Write([]byte{cmClockPoll}); err != nil {
+					return
+				}
+				announced = true
+			} else if c.pendingRx() {
+				if _, err := c.port.Write([]byte{cmPoll}); err != nil {
+					return
+				}
+				announced = true
+			}
+		}
+		select {
+		case b, ok := <-c.pcBytes:
+			if !ok {
+				return
+			}
+			announced = false
+			if !c.dispatch(b) {
+				return
+			}
+		case <-c.kick:
+			// New powerline frame: fall through to announce.
+		}
+	}
+}
+
+// dispatch processes one leading byte from the PC; false stops the loop.
+func (c *CM11A) dispatch(b byte) bool {
+	switch b {
+	case cmPollAck:
+		return c.uploadReceiveBuffer()
+	case cmClockSetHeader:
+		// Consume the 8 remaining clock bytes; the simulated device has
+		// no real-time clock, the download just clears the poll.
+		for i := 0; i < 8; i++ {
+			if _, ok := c.nextPC(); !ok {
+				return false
+			}
+		}
+		c.mu.Lock()
+		c.needsClk = false
+		c.mu.Unlock()
+		_, err := c.port.Write([]byte{cmReady})
+		return err == nil
+	default:
+		return c.handleTransmission(b)
+	}
+}
+
+// nextPC blocks for the next PC byte.
+func (c *CM11A) nextPC() (byte, bool) {
+	b, ok := <-c.pcBytes
+	return b, ok
+}
+
+func (c *CM11A) clockWanted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.needsClk
+}
+
+func (c *CM11A) pendingRx() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.rxQueue) > 0
+}
+
+// handleTransmission runs the checksum handshake for one [header,code]
+// pair and, on acknowledge, transmits the frame on the powerline.
+func (c *CM11A) handleTransmission(header byte) bool {
+	code, ok := c.nextPC()
+	if !ok {
+		return false
+	}
+	checksum := (header + code) & 0xFF
+	if _, err := c.port.Write([]byte{checksum}); err != nil {
+		return false
+	}
+	ack, ok := c.nextPC()
+	if !ok {
+		return false
+	}
+	if ack != cmAck {
+		// Checksum rejected: the PC resends the pair; treat the byte as
+		// the next header.
+		return c.handleTransmission(ack)
+	}
+	frame, decoded := decodeWire(header, code)
+	if decoded {
+		c.mu.Lock()
+		c.transmitting = true
+		c.mu.Unlock()
+		_ = c.line.Transmit(frame)
+		c.mu.Lock()
+		c.transmitting = false
+		c.mu.Unlock()
+	}
+	_, err := c.port.Write([]byte{cmReady})
+	return err == nil
+}
+
+// uploadReceiveBuffer sends the queued frames as a CM11A receive buffer:
+// size byte, function bitmap, then one byte per frame. Dim and Bright
+// functions carry an extra dim-count byte, tagged in the bitmap like the
+// function byte it follows.
+func (c *CM11A) uploadReceiveBuffer() bool {
+	c.mu.Lock()
+	var data []byte
+	var mask byte
+	bit := 0
+	consumed := 0
+	for _, f := range c.rxQueue {
+		need := 1
+		if f.IsFunction && (f.Function == Dim || f.Function == Bright) {
+			need = 2
+		}
+		if len(data)+need > maxReceiveBuffer {
+			break
+		}
+		b, ok := encodeWireCode(f)
+		if !ok {
+			consumed++
+			continue
+		}
+		if f.IsFunction {
+			mask |= 1 << bit
+		}
+		data = append(data, b)
+		bit++
+		if need == 2 {
+			mask |= 1 << bit // dim byte tagged as function data
+			data = append(data, f.Dim)
+			bit++
+		}
+		consumed++
+	}
+	c.rxQueue = c.rxQueue[consumed:]
+	c.mu.Unlock()
+
+	out := append([]byte{byte(len(data) + 1), mask}, data...)
+	_, err := c.port.Write(out)
+	return err == nil
+}
+
+// decodeWire converts a [header,code] pair to a Frame.
+func decodeWire(header, code byte) (Frame, bool) {
+	house, err := DecodeHouse(code >> 4)
+	if err != nil {
+		return Frame{}, false
+	}
+	if header&hdrFunction != 0 {
+		f := Frame{
+			IsFunction: true,
+			House:      house,
+			Function:   Function(code & 0x0F),
+			Dim:        header >> 3,
+		}
+		if f.Dim > MaxDim {
+			return Frame{}, false
+		}
+		return f, true
+	}
+	unit, err := DecodeUnit(code & 0x0F)
+	if err != nil {
+		return Frame{}, false
+	}
+	return Frame{House: house, Unit: unit}, true
+}
+
+// encodeWire converts a Frame to its [header,code] pair.
+func encodeWire(f Frame) (header, code byte, ok bool) {
+	code, ok = encodeWireCode(f)
+	if !ok {
+		return 0, 0, false
+	}
+	header = hdrSync
+	if f.IsFunction {
+		header |= hdrFunction
+		header |= f.Dim << 3
+	}
+	return header, code, true
+}
+
+// encodeWireCode returns the code byte for a frame.
+func encodeWireCode(f Frame) (byte, bool) {
+	hb, err := EncodeHouse(f.House)
+	if err != nil {
+		return 0, false
+	}
+	if f.IsFunction {
+		return hb<<4 | byte(f.Function), true
+	}
+	ub, err := EncodeUnit(f.Unit)
+	if err != nil {
+		return 0, false
+	}
+	return hb<<4 | ub, true
+}

@@ -1,0 +1,235 @@
+package x10
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rig is a complete CM11A test bench: powerline, device, controller.
+type rig struct {
+	line *Powerline
+	dev  *CM11A
+	ctl  *Controller
+}
+
+func newRig(t *testing.T, opts ...CM11AOption) *rig {
+	t.Helper()
+	line := NewPowerline()
+	pcPort, devPort := NewLink()
+	dev := NewCM11A(line, devPort, opts...)
+	ctl := NewController(pcPort)
+	t.Cleanup(func() {
+		ctl.Close()
+		dev.Close()
+	})
+	return &rig{line: line, dev: dev, ctl: ctl}
+}
+
+func TestCM11ATransmitLampOn(t *testing.T) {
+	r := newRig(t)
+	lamp := NewLampModule(r.line, Address{'A', 1})
+	defer lamp.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.ctl.Send(ctx, Address{'A', 1}, On, 0); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if !lamp.On() {
+		t.Error("lamp not on after CM11A transmission")
+	}
+	if err := r.ctl.Send(ctx, Address{'A', 1}, Off, 0); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if lamp.On() {
+		t.Error("lamp not off")
+	}
+}
+
+func TestCM11ATransmitDim(t *testing.T) {
+	r := newRig(t)
+	lamp := NewLampModule(r.line, Address{'B', 4})
+	defer lamp.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.ctl.Send(ctx, Address{'B', 4}, On, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctl.Send(ctx, Address{'B', 4}, Dim, 11); err != nil {
+		t.Fatal(err)
+	}
+	if got := lamp.Level(); got != 50 {
+		t.Errorf("level = %d, want 50", got)
+	}
+}
+
+func TestCM11AReceiveRemoteKeypress(t *testing.T) {
+	r := newRig(t)
+	var mu sync.Mutex
+	var cmds []Command
+	got := make(chan struct{}, 8)
+	r.ctl.OnCommand(func(c Command) {
+		mu.Lock()
+		cmds = append(cmds, c)
+		mu.Unlock()
+		got <- struct{}{}
+	})
+
+	remote := NewRemote(r.line, 'C')
+	if err := remote.Press(5, On); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no command received from remote keypress")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(cmds) != 1 {
+		t.Fatalf("cmds = %v", cmds)
+	}
+	c := cmds[0]
+	if c.House != 'C' || len(c.Units) != 1 || c.Units[0] != 5 || c.Func != On {
+		t.Errorf("command = %+v", c)
+	}
+}
+
+func TestCM11AReceiveDimWithSteps(t *testing.T) {
+	r := newRig(t)
+	got := make(chan Command, 8)
+	r.ctl.OnCommand(func(c Command) { got <- c })
+
+	remote := NewRemote(r.line, 'D')
+	if err := remote.PressDim(2, Dim, 7); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-got:
+		if c.Func != Dim || c.Dim != 7 {
+			t.Errorf("command = %+v", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no dim command received")
+	}
+}
+
+func TestCM11AMotionSensorFlow(t *testing.T) {
+	r := newRig(t)
+	got := make(chan Command, 8)
+	r.ctl.OnCommand(func(c Command) { got <- c })
+
+	sensor := NewMotionSensor(r.line, Address{'E', 9})
+	if err := sensor.Trigger(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-got:
+		if c.Func != On || c.Units[0] != 9 {
+			t.Errorf("motion command = %+v", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no motion command")
+	}
+}
+
+func TestCM11ADeviceDoesNotEchoOwnTransmissions(t *testing.T) {
+	r := newRig(t)
+	got := make(chan Command, 8)
+	r.ctl.OnCommand(func(c Command) { got <- c })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.ctl.Send(ctx, Address{'A', 1}, On, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-got:
+		t.Errorf("own transmission echoed back: %+v", c)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func TestCM11APowerFailClockDownload(t *testing.T) {
+	r := newRig(t, WithPowerFailPoll())
+	// After the controller services the 0xA5 poll with a clock download,
+	// normal transmissions must work.
+	lamp := NewLampModule(r.line, Address{'F', 1})
+	defer lamp.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.ctl.Send(ctx, Address{'F', 1}, On, 0); err != nil {
+		t.Fatalf("Send after clock poll: %v", err)
+	}
+	if !lamp.On() {
+		t.Error("lamp not on")
+	}
+}
+
+func TestCM11AInterleavedSendAndReceive(t *testing.T) {
+	r := newRig(t)
+	lamp := NewLampModule(r.line, Address{'A', 1})
+	defer lamp.Close()
+	var rx sync.WaitGroup
+	rx.Add(3)
+	r.ctl.OnCommand(func(Command) { rx.Done() })
+
+	remote := NewRemote(r.line, 'A')
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if err := remote.Press(7, On); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ctl.Send(ctx, Address{'A', 1}, On, 0); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	waitDone := make(chan struct{})
+	go func() { rx.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("remote keypresses lost during interleaved traffic")
+	}
+	if !lamp.On() {
+		t.Error("lamp not on")
+	}
+}
+
+func TestControllerSendAfterClose(t *testing.T) {
+	line := NewPowerline()
+	pcPort, devPort := NewLink()
+	dev := NewCM11A(line, devPort)
+	ctl := NewController(pcPort)
+	ctl.Close()
+	dev.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := ctl.Send(ctx, Address{'A', 1}, On, 0); err == nil {
+		t.Error("Send on closed controller succeeded")
+	}
+}
+
+func TestSerialLinkSemantics(t *testing.T) {
+	a, b := NewLink()
+	msg := []byte{1, 2, 3, 4}
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := b.Read(buf)
+	if err != nil || n != 4 {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	_ = a.Close()
+	if _, err := b.Write([]byte{9}); err == nil {
+		t.Error("write on closed link succeeded")
+	}
+	if _, err := b.Read(buf); err == nil {
+		t.Error("read on closed drained link succeeded")
+	}
+}

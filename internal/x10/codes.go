@@ -1,0 +1,223 @@
+// Package x10 simulates the X10 powerline control middleware integrated by
+// the paper's prototype, including the CM11A serial computer interface
+// whose programming protocol the paper cites as reference [15].
+//
+// The simulation has three layers, mirroring a real installation:
+//
+//   - a shared Powerline medium carrying X10 frames (address frames and
+//     function frames with the real non-linear house/unit bit codes);
+//   - device modules attached to the powerline (lamp and appliance
+//     modules, motion sensors) with faithful addressing semantics: an
+//     address frame selects units, a following function frame operates on
+//     every selected unit;
+//   - a CM11A interface device bridging a serial port to the powerline,
+//     speaking the documented byte protocol: [header,code] transmissions,
+//     additive checksums, 0x00 acknowledge, 0x55 interface-ready, 0x5A
+//     receive polls answered by 0xC3, and the optional 0xA5 power-fail
+//     clock request answered by a 0x9B clock download.
+//
+// The Universal Remote Controller of §4.2 is an X10 remote whose
+// keypresses surface here as received frames on the CM11A.
+package x10
+
+import "fmt"
+
+// HouseCode is an X10 house code, 'A' through 'P'.
+type HouseCode byte
+
+// UnitCode is an X10 unit code, 1 through 16.
+type UnitCode byte
+
+// Function is an X10 command function.
+type Function byte
+
+// X10 functions with their real 4-bit wire encodings.
+const (
+	AllUnitsOff   Function = 0x0
+	AllLightsOn   Function = 0x1
+	On            Function = 0x2
+	Off           Function = 0x3
+	Dim           Function = 0x4
+	Bright        Function = 0x5
+	AllLightsOff  Function = 0x6
+	ExtendedCode  Function = 0x7
+	HailRequest   Function = 0x8
+	HailAck       Function = 0x9
+	PresetDim1    Function = 0xA
+	PresetDim2    Function = 0xB
+	ExtendedData  Function = 0xC
+	StatusOn      Function = 0xD
+	StatusOff     Function = 0xE
+	StatusRequest Function = 0xF
+)
+
+var functionNames = map[Function]string{
+	AllUnitsOff:   "AllUnitsOff",
+	AllLightsOn:   "AllLightsOn",
+	On:            "On",
+	Off:           "Off",
+	Dim:           "Dim",
+	Bright:        "Bright",
+	AllLightsOff:  "AllLightsOff",
+	ExtendedCode:  "ExtendedCode",
+	HailRequest:   "HailRequest",
+	HailAck:       "HailAck",
+	PresetDim1:    "PresetDim1",
+	PresetDim2:    "PresetDim2",
+	ExtendedData:  "ExtendedData",
+	StatusOn:      "StatusOn",
+	StatusOff:     "StatusOff",
+	StatusRequest: "StatusRequest",
+}
+
+// String returns the function's conventional name.
+func (f Function) String() string {
+	if s, ok := functionNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("Function(%d)", byte(f))
+}
+
+// ParseFunction inverts String. It returns an error for unknown names.
+func ParseFunction(s string) (Function, error) {
+	for f, name := range functionNames {
+		if name == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("x10: unknown function %q", s)
+}
+
+// houseBits is the real, non-linear X10 encoding of house codes A-P.
+var houseBits = [16]byte{
+	0x6, 0xE, 0x2, 0xA, 0x1, 0x9, 0x5, 0xD, // A B C D E F G H
+	0x7, 0xF, 0x3, 0xB, 0x0, 0x8, 0x4, 0xC, // I J K L M N O P
+}
+
+// unitBits uses the same non-linear table for units 1-16.
+var unitBits = houseBits
+
+// EncodeHouse returns the 4-bit wire code for a house code.
+func EncodeHouse(h HouseCode) (byte, error) {
+	if h < 'A' || h > 'P' {
+		return 0, fmt.Errorf("x10: house code %q out of range A-P", string(rune(h)))
+	}
+	return houseBits[h-'A'], nil
+}
+
+// DecodeHouse inverts EncodeHouse.
+func DecodeHouse(bits byte) (HouseCode, error) {
+	for i, b := range houseBits {
+		if b == bits&0x0F {
+			return HouseCode('A' + i), nil
+		}
+	}
+	return 0, fmt.Errorf("x10: invalid house bits %#x", bits)
+}
+
+// EncodeUnit returns the 4-bit wire code for a unit code.
+func EncodeUnit(u UnitCode) (byte, error) {
+	if u < 1 || u > 16 {
+		return 0, fmt.Errorf("x10: unit code %d out of range 1-16", u)
+	}
+	return unitBits[u-1], nil
+}
+
+// DecodeUnit inverts EncodeUnit.
+func DecodeUnit(bits byte) (UnitCode, error) {
+	for i, b := range unitBits {
+		if b == bits&0x0F {
+			return UnitCode(i + 1), nil
+		}
+	}
+	return 0, fmt.Errorf("x10: invalid unit bits %#x", bits)
+}
+
+// Address identifies one module on the powerline.
+type Address struct {
+	House HouseCode
+	Unit  UnitCode
+}
+
+// String renders the address in the conventional "A3" form.
+func (a Address) String() string { return fmt.Sprintf("%c%d", a.House, a.Unit) }
+
+// ParseAddress parses the "A3" form.
+func ParseAddress(s string) (Address, error) {
+	if len(s) < 2 {
+		return Address{}, fmt.Errorf("x10: bad address %q", s)
+	}
+	h := HouseCode(s[0])
+	if h < 'A' || h > 'P' {
+		return Address{}, fmt.Errorf("x10: bad house in address %q", s)
+	}
+	var u int
+	if _, err := fmt.Sscanf(s[1:], "%d", &u); err != nil || u < 1 || u > 16 {
+		return Address{}, fmt.Errorf("x10: bad unit in address %q", s)
+	}
+	return Address{House: h, Unit: UnitCode(u)}, nil
+}
+
+// Valid reports whether the address is within range.
+func (a Address) Valid() bool {
+	return a.House >= 'A' && a.House <= 'P' && a.Unit >= 1 && a.Unit <= 16
+}
+
+// MaxDim is the number of dim steps spanning full brightness, as in the
+// CM11A protocol ("dims" field 0-22).
+const MaxDim = 22
+
+// Frame is one X10 powerline transmission: either an address frame
+// selecting a unit or a function frame operating on the selected units.
+type Frame struct {
+	// IsFunction distinguishes function frames from address frames.
+	IsFunction bool
+	House      HouseCode
+	// Unit is meaningful for address frames.
+	Unit UnitCode
+	// Function is meaningful for function frames.
+	Function Function
+	// Dim is the dim/bright step count (0-22) for Dim and Bright frames.
+	Dim byte
+}
+
+// AddressFrame builds an address frame.
+func AddressFrame(a Address) Frame {
+	return Frame{House: a.House, Unit: a.Unit}
+}
+
+// FunctionFrame builds a function frame.
+func FunctionFrame(h HouseCode, f Function, dim byte) Frame {
+	return Frame{IsFunction: true, House: h, Function: f, Dim: dim}
+}
+
+// String renders the frame for logs.
+func (f Frame) String() string {
+	if f.IsFunction {
+		if f.Function == Dim || f.Function == Bright {
+			return fmt.Sprintf("%c %v(%d)", f.House, f.Function, f.Dim)
+		}
+		return fmt.Sprintf("%c %v", f.House, f.Function)
+	}
+	return Address{House: f.House, Unit: f.Unit}.String()
+}
+
+// Validate checks the frame's fields are in range.
+func (f Frame) Validate() error {
+	if f.House < 'A' || f.House > 'P' {
+		return fmt.Errorf("x10: frame house %q out of range", string(rune(f.House)))
+	}
+	if f.IsFunction {
+		if f.Function > StatusRequest {
+			return fmt.Errorf("x10: frame function %d out of range", f.Function)
+		}
+		if f.Dim > MaxDim {
+			return fmt.Errorf("x10: frame dim %d out of range 0-%d", f.Dim, MaxDim)
+		}
+		return nil
+	}
+	if f.Unit < 1 || f.Unit > 16 {
+		return fmt.Errorf("x10: frame unit %d out of range", f.Unit)
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+package x10
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Controller errors.
+var (
+	// ErrChecksum reports repeated checksum failures on the serial link.
+	ErrChecksum = errors.New("x10: checksum mismatch after retries")
+	// ErrClosed reports use of a closed controller.
+	ErrClosed = errors.New("x10: controller closed")
+)
+
+// Command is one decoded X10 command: the address(es) it was sent to and
+// the function applied. The controller pairs address and function frames
+// received from the CM11A into Commands.
+type Command struct {
+	House HouseCode
+	// Units are the unit codes addressed before the function frame.
+	Units []UnitCode
+	Func  Function
+	Dim   byte
+}
+
+// String renders the command for logs.
+func (c Command) String() string {
+	if len(c.Units) == 1 {
+		return fmt.Sprintf("%c%d %v", c.House, c.Units[0], c.Func)
+	}
+	return fmt.Sprintf("%c%v %v", c.House, c.Units, c.Func)
+}
+
+// Controller drives a CM11A over its serial port from the PC side: it
+// transmits commands with the [header,code]/checksum/ack handshake and
+// services the device's receive polls, delivering decoded commands to the
+// registered handler. This is the software the paper's X10 PCM builds on.
+type Controller struct {
+	port SerialPort
+
+	// sendQ carries transmit requests into the manager goroutine.
+	sendQ chan sendReq
+	// rxBytes carries serial bytes from the reader goroutine.
+	rxBytes chan byte
+
+	mu      sync.Mutex
+	handler func(Command)
+	// selected tracks address frames per house awaiting a function frame.
+	selected map[HouseCode][]UnitCode
+	closed   bool
+
+	// done closes when the manager goroutine exits, unblocking senders.
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type sendReq struct {
+	frames []Frame
+	done   chan error
+}
+
+// NewController starts a controller on the given port.
+func NewController(port SerialPort) *Controller {
+	c := &Controller{
+		port:     port,
+		sendQ:    make(chan sendReq),
+		rxBytes:  make(chan byte, 64),
+		selected: make(map[HouseCode][]UnitCode),
+		done:     make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.manage()
+	return c
+}
+
+// OnCommand registers the handler invoked for each command received from
+// the powerline (remote keypresses, motion sensors). The handler runs on
+// the controller goroutine and must not call back into Send.
+func (c *Controller) OnCommand(fn func(Command)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handler = fn
+}
+
+// Close shuts the controller down and closes the port.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = c.port.Close()
+	c.wg.Wait()
+}
+
+// Send transmits the address+function pair for one command.
+func (c *Controller) Send(ctx context.Context, addr Address, fn Function, dim byte) error {
+	frames := []Frame{AddressFrame(addr), FunctionFrame(addr.House, fn, dim)}
+	return c.SendFrames(ctx, frames)
+}
+
+// SendFrames transmits raw frames in order (several address frames may
+// precede one function frame to address a group).
+func (c *Controller) SendFrames(ctx context.Context, frames []Frame) error {
+	for _, f := range frames {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+	}
+	req := sendReq{frames: frames, done: make(chan error, 1)}
+	select {
+	case c.sendQ <- req:
+	case <-c.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-c.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// readLoop pumps serial bytes into rxBytes.
+func (c *Controller) readLoop() {
+	defer c.wg.Done()
+	defer close(c.rxBytes)
+	buf := make([]byte, 1)
+	for {
+		if _, err := io.ReadFull(c.port, buf); err != nil {
+			return
+		}
+		c.rxBytes <- buf[0]
+	}
+}
+
+// manage owns the serial protocol: it serializes transmissions and
+// services device polls.
+func (c *Controller) manage() {
+	defer c.wg.Done()
+	defer close(c.done)
+	for {
+		select {
+		case b, ok := <-c.rxBytes:
+			if !ok {
+				c.drainSendQ()
+				return
+			}
+			c.handleUnsolicited(b)
+		case req, ok := <-c.sendQ:
+			if !ok {
+				return
+			}
+			req.done <- c.transmit(req.frames)
+		}
+	}
+}
+
+// drainSendQ fails queued sends after close.
+func (c *Controller) drainSendQ() {
+	for {
+		select {
+		case req := <-c.sendQ:
+			req.done <- ErrClosed
+		default:
+			return
+		}
+	}
+}
+
+// handleUnsolicited processes a device-initiated byte seen while idle.
+func (c *Controller) handleUnsolicited(b byte) {
+	switch b {
+	case cmPoll:
+		c.servicePoll()
+	case cmClockPoll:
+		c.serviceClockPoll()
+	case cmReady:
+		// Stale ready byte; ignore.
+	default:
+		// Unexpected byte outside a transaction; ignore, the protocol
+		// will resynchronize on the next poll.
+	}
+}
+
+// servicePoll answers a 0x5A poll: request and decode the receive buffer.
+func (c *Controller) servicePoll() {
+	if _, err := c.port.Write([]byte{cmPollAck}); err != nil {
+		return
+	}
+	size, ok := c.nextByte(time.Second)
+	if !ok || size < 1 {
+		return
+	}
+	mask, ok := c.nextByte(time.Second)
+	if !ok {
+		return
+	}
+	data := make([]byte, size-1)
+	for i := range data {
+		data[i], ok = c.nextByte(time.Second)
+		if !ok {
+			return
+		}
+	}
+	c.decodeReceiveBuffer(mask, data)
+}
+
+// serviceClockPoll answers a 0xA5 power-fail poll with a clock download.
+func (c *Controller) serviceClockPoll() {
+	// 0x9B header plus 8 bytes of clock data; the simulated device
+	// ignores the fields, so zeros suffice.
+	msg := make([]byte, 9)
+	msg[0] = cmClockSetHeader
+	if _, err := c.port.Write(msg); err != nil {
+		return
+	}
+	// Device acknowledges with ready.
+	c.awaitReady(time.Second)
+}
+
+// decodeReceiveBuffer turns an uploaded buffer into frames and pairs them
+// into commands.
+func (c *Controller) decodeReceiveBuffer(mask byte, data []byte) {
+	for i := 0; i < len(data); i++ {
+		isFunc := mask&(1<<i) != 0
+		b := data[i]
+		if !isFunc {
+			house, err1 := DecodeHouse(b >> 4)
+			unit, err2 := DecodeUnit(b & 0x0F)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			c.noteAddress(house, unit)
+			continue
+		}
+		house, err := DecodeHouse(b >> 4)
+		if err != nil {
+			continue
+		}
+		fn := Function(b & 0x0F)
+		var dim byte
+		if (fn == Dim || fn == Bright) && i+1 < len(data) && mask&(1<<(i+1)) != 0 {
+			i++
+			dim = data[i]
+		}
+		c.noteFunction(house, fn, dim)
+	}
+}
+
+// noteAddress records a received address frame.
+func (c *Controller) noteAddress(house HouseCode, unit UnitCode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.selected[house] = append(c.selected[house], unit)
+}
+
+// noteFunction closes out a command and delivers it.
+func (c *Controller) noteFunction(house HouseCode, fn Function, dim byte) {
+	c.mu.Lock()
+	units := c.selected[house]
+	delete(c.selected, house)
+	handler := c.handler
+	c.mu.Unlock()
+	if handler != nil {
+		handler(Command{House: house, Units: units, Func: fn, Dim: dim})
+	}
+}
+
+// nextByte reads a byte from the device with a timeout.
+func (c *Controller) nextByte(timeout time.Duration) (byte, bool) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case b, ok := <-c.rxBytes:
+		return b, ok
+	case <-t.C:
+		return 0, false
+	}
+}
+
+// transmit performs the [header,code]/checksum/ack handshake for each
+// frame, retrying on checksum mismatch and servicing any poll that
+// slipped in between.
+func (c *Controller) transmit(frames []Frame) error {
+	for _, f := range frames {
+		header, code, ok := encodeWire(f)
+		if !ok {
+			return fmt.Errorf("x10: cannot encode frame %v", f)
+		}
+		if err := c.transmitPair(header, code); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Controller) transmitPair(header, code byte) error {
+	want := (header + code) & 0xFF
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err := c.port.Write([]byte{header, code}); err != nil {
+			return fmt.Errorf("x10: serial write: %w", err)
+		}
+		got, ok := c.awaitChecksum(want, 2*time.Second)
+		if !ok {
+			return fmt.Errorf("x10: serial read: %w", ErrClosed)
+		}
+		if got != want {
+			continue // device saw garbage; resend the pair
+		}
+		if _, err := c.port.Write([]byte{cmAck}); err != nil {
+			return fmt.Errorf("x10: serial write: %w", err)
+		}
+		if !c.awaitReady(2 * time.Second) {
+			return fmt.Errorf("x10: no interface-ready: %w", ErrClosed)
+		}
+		return nil
+	}
+	return ErrChecksum
+}
+
+// awaitChecksum reads the checksum byte, servicing polls that raced with
+// the transmission (a 0x5A/0xA5 written by the device just before it read
+// our header).
+func (c *Controller) awaitChecksum(want byte, timeout time.Duration) (byte, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		b, ok := c.nextByte(time.Until(deadline))
+		if !ok {
+			return 0, false
+		}
+		// A poll byte that cannot be our checksum: service it afterwards
+		// by leaving it pending; the device re-raises polls, so it is
+		// safe to ignore it here unless it equals the checksum.
+		if (b == cmPoll || b == cmClockPoll) && b != want {
+			continue
+		}
+		return b, true
+	}
+}
+
+// awaitReady consumes bytes until the 0x55 ready byte, tolerating
+// interleaved poll bytes.
+func (c *Controller) awaitReady(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		b, ok := c.nextByte(time.Until(deadline))
+		if !ok {
+			return false
+		}
+		if b == cmReady {
+			return true
+		}
+	}
+}

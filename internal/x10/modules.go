@@ -1,0 +1,244 @@
+package x10
+
+import (
+	"sync"
+)
+
+// Module addressing semantics shared by receivers: an address frame for
+// the module's house selects it (several units can be selected in one
+// sequence); the next function frame on that house operates on every
+// selected unit and then, for most functions, clears the selection.
+
+// LampModule is a dimmable X10 lamp module (e.g. LM465). It responds to
+// On, Off, Dim, Bright, AllLightsOn, AllLightsOff and AllUnitsOff and
+// answers StatusRequest with StatusOn/StatusOff when selected.
+type LampModule struct {
+	addr Address
+	line *Powerline
+
+	mu       sync.Mutex
+	selected bool
+	level    int // 0-100
+	detach   func()
+	// pending status reply, transmitted by a separate goroutine because
+	// the medium is half-duplex (no re-entrant transmits from receive).
+	statusCh chan Function
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewLampModule attaches a lamp module at addr.
+func NewLampModule(line *Powerline, addr Address) *LampModule {
+	m := &LampModule{addr: addr, line: line, statusCh: make(chan Function, 4)}
+	m.detach = line.Attach(m.receive)
+	m.wg.Add(1)
+	go m.statusLoop()
+	return m
+}
+
+// Close detaches the module from the powerline.
+func (m *LampModule) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.detach()
+	close(m.statusCh)
+	m.wg.Wait()
+}
+
+// Addr returns the module address.
+func (m *LampModule) Addr() Address { return m.addr }
+
+// Level returns the current brightness (0-100).
+func (m *LampModule) Level() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.level
+}
+
+// On reports whether the lamp is lit.
+func (m *LampModule) On() bool { return m.Level() > 0 }
+
+func (m *LampModule) statusLoop() {
+	defer m.wg.Done()
+	for fn := range m.statusCh {
+		_ = m.line.Transmit(FunctionFrame(m.addr.House, fn, 0))
+	}
+}
+
+func (m *LampModule) receive(f Frame) {
+	if f.House != m.addr.House {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !f.IsFunction {
+		if f.Unit == m.addr.Unit {
+			m.selected = true
+		}
+		return
+	}
+	switch f.Function {
+	case AllLightsOn:
+		m.level = 100
+	case AllLightsOff:
+		m.level = 0
+	case AllUnitsOff:
+		m.level = 0
+		m.selected = false
+	case On:
+		if m.selected {
+			m.level = 100
+			m.selected = false
+		}
+	case Off:
+		if m.selected {
+			m.level = 0
+			m.selected = false
+		}
+	case Dim:
+		if m.selected {
+			m.level -= int(f.Dim) * 100 / MaxDim
+			if m.level < 0 {
+				m.level = 0
+			}
+			// Dim/Bright keep the selection so repeated presses work,
+			// matching real module behaviour.
+		}
+	case Bright:
+		if m.selected {
+			m.level += int(f.Dim) * 100 / MaxDim
+			if m.level > 100 {
+				m.level = 100
+			}
+		}
+	case StatusRequest:
+		if m.selected {
+			m.selected = false
+			reply := StatusOff
+			if m.level > 0 {
+				reply = StatusOn
+			}
+			if !m.closed {
+				select {
+				case m.statusCh <- reply:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// ApplianceModule is a non-dimmable relay module (e.g. AM486): On, Off,
+// AllUnitsOff. It ignores AllLightsOn, as real appliance modules do.
+type ApplianceModule struct {
+	addr Address
+	line *Powerline
+
+	mu       sync.Mutex
+	selected bool
+	on       bool
+	detach   func()
+}
+
+// NewApplianceModule attaches an appliance module at addr.
+func NewApplianceModule(line *Powerline, addr Address) *ApplianceModule {
+	m := &ApplianceModule{addr: addr, line: line}
+	m.detach = line.Attach(m.receive)
+	return m
+}
+
+// Close detaches the module.
+func (m *ApplianceModule) Close() { m.detach() }
+
+// Addr returns the module address.
+func (m *ApplianceModule) Addr() Address { return m.addr }
+
+// On reports whether the relay is closed.
+func (m *ApplianceModule) On() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.on
+}
+
+func (m *ApplianceModule) receive(f Frame) {
+	if f.House != m.addr.House {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !f.IsFunction {
+		if f.Unit == m.addr.Unit {
+			m.selected = true
+		}
+		return
+	}
+	switch f.Function {
+	case AllUnitsOff:
+		m.on = false
+		m.selected = false
+	case On:
+		if m.selected {
+			m.on = true
+			m.selected = false
+		}
+	case Off:
+		if m.selected {
+			m.on = false
+			m.selected = false
+		}
+	}
+}
+
+// MotionSensor models an X10 motion detector (e.g. MS13 with its RF-to-
+// powerline transceiver): on motion it transmits its address followed by
+// On; when motion clears it transmits Off.
+type MotionSensor struct {
+	addr Address
+	line *Powerline
+}
+
+// NewMotionSensor returns a transmitter-only sensor at addr.
+func NewMotionSensor(line *Powerline, addr Address) *MotionSensor {
+	return &MotionSensor{addr: addr, line: line}
+}
+
+// Addr returns the sensor address.
+func (s *MotionSensor) Addr() Address { return s.addr }
+
+// Trigger transmits the motion-detected command pair.
+func (s *MotionSensor) Trigger() error {
+	return s.line.TransmitCommand(s.addr, On, 0)
+}
+
+// Clear transmits the motion-cleared command pair.
+func (s *MotionSensor) Clear() error {
+	return s.line.TransmitCommand(s.addr, Off, 0)
+}
+
+// Remote models a hand-held X10 remote control (the paper's Universal
+// Remote Controller hardware): each keypress transmits an address +
+// function pair for the configured house code.
+type Remote struct {
+	house HouseCode
+	line  *Powerline
+}
+
+// NewRemote returns a remote transmitting on the given house code.
+func NewRemote(line *Powerline, house HouseCode) *Remote {
+	return &Remote{house: house, line: line}
+}
+
+// Press transmits the command pair for a unit key plus function key.
+func (r *Remote) Press(unit UnitCode, fn Function) error {
+	return r.line.TransmitCommand(Address{House: r.house, Unit: unit}, fn, 0)
+}
+
+// PressDim transmits a dim/bright keypress with the given step count.
+func (r *Remote) PressDim(unit UnitCode, fn Function, steps byte) error {
+	return r.line.TransmitCommand(Address{House: r.house, Unit: unit}, fn, steps)
+}

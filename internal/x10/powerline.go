@@ -1,0 +1,107 @@
+package x10
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Powerline is the shared transmission medium. Every attached receiver
+// sees every frame, in transmission order — the house wiring of the
+// simulation. A configurable frame duration models the ~1 s an X10 frame
+// takes on real 60 Hz mains (zero by default so tests run fast).
+type Powerline struct {
+	// FrameDuration, if positive, is slept while "transmitting" each
+	// frame, serialized across the medium like real zero-crossing signalling.
+	frameDuration time.Duration
+
+	mu        sync.Mutex
+	receivers map[int]func(Frame)
+	nextID    int
+	// trace retains recent frames for diagnostics and tests.
+	trace    []Frame
+	traceCap int
+}
+
+// NewPowerline returns an idle powerline with no propagation delay.
+func NewPowerline() *Powerline {
+	return &Powerline{
+		receivers: make(map[int]func(Frame)),
+		traceCap:  256,
+	}
+}
+
+// SetFrameDuration sets the simulated per-frame transmission time.
+func (p *Powerline) SetFrameDuration(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frameDuration = d
+}
+
+// Attach registers a receiver callback and returns a detach function.
+// Callbacks run synchronously on the transmitter's goroutine — attached
+// devices must not block and must not transmit re-entrantly from the
+// callback (real modules cannot either: the medium is half-duplex).
+func (p *Powerline) Attach(recv func(Frame)) (detach func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextID
+	p.nextID++
+	p.receivers[id] = recv
+	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		delete(p.receivers, id)
+	}
+}
+
+// Transmit broadcasts one frame to every attached receiver.
+func (p *Powerline) Transmit(f Frame) error {
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("x10: transmit: %w", err)
+	}
+	p.mu.Lock()
+	if p.frameDuration > 0 {
+		// Hold the medium for the frame time: transmissions serialize,
+		// as on real mains wiring.
+		time.Sleep(p.frameDuration)
+	}
+	p.trace = append(p.trace, f)
+	if len(p.trace) > p.traceCap {
+		p.trace = p.trace[len(p.trace)-p.traceCap:]
+	}
+	recvs := make([]func(Frame), 0, len(p.receivers))
+	for _, r := range p.receivers {
+		recvs = append(recvs, r)
+	}
+	p.mu.Unlock()
+	for _, r := range recvs {
+		r(f)
+	}
+	return nil
+}
+
+// TransmitCommand sends the canonical two-frame sequence for one command:
+// the address frame, then the function frame.
+func (p *Powerline) TransmitCommand(a Address, fn Function, dim byte) error {
+	if err := p.Transmit(AddressFrame(a)); err != nil {
+		return err
+	}
+	return p.Transmit(FunctionFrame(a.House, fn, dim))
+}
+
+// Trace returns a copy of the recent frame history.
+func (p *Powerline) Trace() []Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Frame, len(p.trace))
+	copy(out, p.trace)
+	return out
+}
+
+// ClearTrace empties the frame history.
+func (p *Powerline) ClearTrace() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trace = nil
+}

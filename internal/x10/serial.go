@@ -1,0 +1,94 @@
+package x10
+
+import (
+	"io"
+	"sync"
+)
+
+// SerialPort is one end of the byte link between a computer and the
+// CM11A interface.
+type SerialPort = io.ReadWriteCloser
+
+// NewLink returns the two ends of an in-memory serial cable. Unlike
+// net.Pipe, each direction is buffered like a UART FIFO, so the CM11A can
+// raise its 0x5A receive poll while the PC is not yet reading — exactly
+// the asynchronous behaviour the real serial line allows.
+func NewLink() (pcSide, deviceSide SerialPort) {
+	const fifo = 512
+	aToB := make(chan byte, fifo)
+	bToA := make(chan byte, fifo)
+	done := make(chan struct{})
+	var once sync.Once
+	closeLink := func() error {
+		once.Do(func() { close(done) })
+		return nil
+	}
+	a := &linkEnd{recv: bToA, send: aToB, done: done, close: closeLink}
+	b := &linkEnd{recv: aToB, send: bToA, done: done, close: closeLink}
+	return a, b
+}
+
+// linkEnd is one end of the buffered duplex link. Closing either end
+// closes the whole link, like unplugging the cable.
+type linkEnd struct {
+	recv  <-chan byte
+	send  chan<- byte
+	done  chan struct{}
+	close func() error
+}
+
+// Read blocks for at least one byte, then drains whatever else is
+// immediately available, like a UART read with data ready.
+func (e *linkEnd) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	select {
+	case b := <-e.recv:
+		p[0] = b
+	case <-e.done:
+		// Drain residual bytes before reporting EOF so in-flight protocol
+		// exchanges complete.
+		select {
+		case b := <-e.recv:
+			p[0] = b
+		default:
+			return 0, io.EOF
+		}
+	}
+	n := 1
+	for n < len(p) {
+		select {
+		case b := <-e.recv:
+			p[n] = b
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// Write queues bytes into the FIFO, blocking only when it is full.
+func (e *linkEnd) Write(p []byte) (int, error) {
+	for i, b := range p {
+		// Check for closure first so writes after Close fail even while
+		// FIFO space remains.
+		select {
+		case <-e.done:
+			return i, io.ErrClosedPipe
+		default:
+		}
+		select {
+		case e.send <- b:
+		case <-e.done:
+			return i, io.ErrClosedPipe
+		}
+	}
+	return len(p), nil
+}
+
+// Close unplugs the link for both ends.
+func (e *linkEnd) Close() error { return e.close() }
+
+var _ SerialPort = (*linkEnd)(nil)

@@ -1,0 +1,344 @@
+package x10
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHouseCodeRoundTrip(t *testing.T) {
+	seen := make(map[byte]bool)
+	for h := HouseCode('A'); h <= 'P'; h++ {
+		bits, err := EncodeHouse(h)
+		if err != nil {
+			t.Fatalf("EncodeHouse(%c): %v", h, err)
+		}
+		if bits > 0x0F {
+			t.Errorf("EncodeHouse(%c) = %#x exceeds 4 bits", h, bits)
+		}
+		if seen[bits] {
+			t.Errorf("duplicate house encoding %#x", bits)
+		}
+		seen[bits] = true
+		back, err := DecodeHouse(bits)
+		if err != nil || back != h {
+			t.Errorf("DecodeHouse(EncodeHouse(%c)) = %c, %v", h, back, err)
+		}
+	}
+	if _, err := EncodeHouse('Q'); err == nil {
+		t.Error("EncodeHouse(Q) accepted")
+	}
+}
+
+func TestKnownHouseCodes(t *testing.T) {
+	// Spot-check the published non-linear table.
+	known := map[HouseCode]byte{'A': 0x6, 'E': 0x1, 'M': 0x0, 'P': 0xC}
+	for h, want := range known {
+		if got, _ := EncodeHouse(h); got != want {
+			t.Errorf("EncodeHouse(%c) = %#x, want %#x", h, got, want)
+		}
+	}
+}
+
+func TestUnitCodeRoundTrip(t *testing.T) {
+	for u := UnitCode(1); u <= 16; u++ {
+		bits, err := EncodeUnit(u)
+		if err != nil {
+			t.Fatalf("EncodeUnit(%d): %v", u, err)
+		}
+		back, err := DecodeUnit(bits)
+		if err != nil || back != u {
+			t.Errorf("DecodeUnit(EncodeUnit(%d)) = %d, %v", u, back, err)
+		}
+	}
+	for _, bad := range []UnitCode{0, 17} {
+		if _, err := EncodeUnit(bad); err == nil {
+			t.Errorf("EncodeUnit(%d) accepted", bad)
+		}
+	}
+}
+
+func TestAddressParse(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Address
+		ok   bool
+	}{
+		{"A1", Address{'A', 1}, true},
+		{"P16", Address{'P', 16}, true},
+		{"C7", Address{'C', 7}, true},
+		{"Q1", Address{}, false},
+		{"A0", Address{}, false},
+		{"A17", Address{}, false},
+		{"A", Address{}, false},
+		{"", Address{}, false},
+	}
+	for _, tt := range tests {
+		got, err := ParseAddress(tt.in)
+		if tt.ok && (err != nil || got != tt.want) {
+			t.Errorf("ParseAddress(%q) = %v, %v", tt.in, got, err)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("ParseAddress(%q) accepted", tt.in)
+		}
+	}
+	if got := (Address{'B', 3}).String(); got != "B3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFunctionNames(t *testing.T) {
+	for f := AllUnitsOff; f <= StatusRequest; f++ {
+		name := f.String()
+		back, err := ParseFunction(name)
+		if err != nil || back != f {
+			t.Errorf("ParseFunction(%q) = %v, %v", name, back, err)
+		}
+	}
+	if _, err := ParseFunction("Nope"); err == nil {
+		t.Error("ParseFunction(Nope) accepted")
+	}
+}
+
+func TestFrameValidate(t *testing.T) {
+	good := []Frame{
+		AddressFrame(Address{'A', 1}),
+		FunctionFrame('A', On, 0),
+		FunctionFrame('P', Dim, 22),
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%v): %v", f, err)
+		}
+	}
+	bad := []Frame{
+		{House: 'Z', Unit: 1},
+		{House: 'A', Unit: 0},
+		{House: 'A', Unit: 17},
+		{IsFunction: true, House: 'A', Function: On, Dim: 23},
+		{IsFunction: true, House: 'A', Function: Function(16)},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", f)
+		}
+	}
+}
+
+func TestPowerlineBroadcastAndTrace(t *testing.T) {
+	line := NewPowerline()
+	var got []Frame
+	detach := line.Attach(func(f Frame) { got = append(got, f) })
+	defer detach()
+
+	if err := line.TransmitCommand(Address{'A', 3}, On, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].IsFunction || !got[1].IsFunction {
+		t.Fatalf("received %v", got)
+	}
+	if tr := line.Trace(); len(tr) != 2 {
+		t.Errorf("trace = %v", tr)
+	}
+	line.ClearTrace()
+	if len(line.Trace()) != 0 {
+		t.Error("trace not cleared")
+	}
+
+	// Invalid frames are rejected before hitting the medium.
+	if err := line.Transmit(Frame{House: 'Z'}); err == nil {
+		t.Error("invalid frame transmitted")
+	}
+}
+
+func TestPowerlineDetach(t *testing.T) {
+	line := NewPowerline()
+	count := 0
+	detach := line.Attach(func(Frame) { count++ })
+	_ = line.Transmit(AddressFrame(Address{'A', 1}))
+	detach()
+	_ = line.Transmit(AddressFrame(Address{'A', 1}))
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}
+
+func TestLampModuleAddressing(t *testing.T) {
+	line := NewPowerline()
+	lamp := NewLampModule(line, Address{'A', 3})
+	defer lamp.Close()
+	other := NewLampModule(line, Address{'A', 4})
+	defer other.Close()
+
+	// On only affects the selected unit.
+	_ = line.TransmitCommand(Address{'A', 3}, On, 0)
+	if !lamp.On() || other.On() {
+		t.Errorf("lamp=%v other=%v after A3 On", lamp.On(), other.On())
+	}
+
+	// Unselected function frame is ignored.
+	_ = line.Transmit(FunctionFrame('A', Off, 0))
+	if !lamp.On() {
+		t.Error("Off applied without addressing")
+	}
+
+	// Group addressing: two address frames then one function.
+	_ = line.Transmit(AddressFrame(Address{'A', 3}))
+	_ = line.Transmit(AddressFrame(Address{'A', 4}))
+	_ = line.Transmit(FunctionFrame('A', Off, 0))
+	if lamp.On() || other.On() {
+		t.Error("group Off failed")
+	}
+
+	// Different house code is invisible.
+	_ = line.TransmitCommand(Address{'B', 3}, On, 0)
+	if lamp.On() {
+		t.Error("house B frame affected house A module")
+	}
+}
+
+func TestLampModuleDimBright(t *testing.T) {
+	line := NewPowerline()
+	lamp := NewLampModule(line, Address{'A', 1})
+	defer lamp.Close()
+
+	_ = line.TransmitCommand(Address{'A', 1}, On, 0)
+	if lamp.Level() != 100 {
+		t.Fatalf("level = %d", lamp.Level())
+	}
+	_ = line.TransmitCommand(Address{'A', 1}, Dim, 11) // half range
+	if got := lamp.Level(); got != 50 {
+		t.Errorf("level after dim 11 = %d, want 50", got)
+	}
+	// Dim keeps selection: repeated function frames continue to apply.
+	_ = line.Transmit(FunctionFrame('A', Dim, 11))
+	if got := lamp.Level(); got != 0 {
+		t.Errorf("level after second dim = %d, want 0", got)
+	}
+	_ = line.Transmit(FunctionFrame('A', Bright, 22))
+	if got := lamp.Level(); got != 100 {
+		t.Errorf("level after bright 22 = %d, want 100", got)
+	}
+	// Clamped at bounds.
+	_ = line.Transmit(FunctionFrame('A', Bright, 22))
+	if got := lamp.Level(); got != 100 {
+		t.Errorf("level clamped = %d", got)
+	}
+}
+
+func TestLampModuleAllLights(t *testing.T) {
+	line := NewPowerline()
+	lamp := NewLampModule(line, Address{'C', 2})
+	defer lamp.Close()
+	appliance := NewApplianceModule(line, Address{'C', 5})
+	defer appliance.Close()
+
+	_ = line.Transmit(FunctionFrame('C', AllLightsOn, 0))
+	if !lamp.On() {
+		t.Error("AllLightsOn ignored by lamp")
+	}
+	if appliance.On() {
+		t.Error("AllLightsOn turned on appliance module")
+	}
+	_ = line.Transmit(FunctionFrame('C', AllUnitsOff, 0))
+	if lamp.On() {
+		t.Error("AllUnitsOff ignored by lamp")
+	}
+}
+
+func TestApplianceModule(t *testing.T) {
+	line := NewPowerline()
+	ap := NewApplianceModule(line, Address{'D', 9})
+	defer ap.Close()
+	_ = line.TransmitCommand(Address{'D', 9}, On, 0)
+	if !ap.On() {
+		t.Error("appliance not on")
+	}
+	_ = line.TransmitCommand(Address{'D', 9}, Off, 0)
+	if ap.On() {
+		t.Error("appliance not off")
+	}
+	_ = line.TransmitCommand(Address{'D', 9}, On, 0)
+	_ = line.Transmit(FunctionFrame('D', AllUnitsOff, 0))
+	if ap.On() {
+		t.Error("AllUnitsOff ignored")
+	}
+}
+
+func TestMotionSensorAndRemote(t *testing.T) {
+	line := NewPowerline()
+	var frames []Frame
+	detach := line.Attach(func(f Frame) { frames = append(frames, f) })
+	defer detach()
+
+	sensor := NewMotionSensor(line, Address{'E', 7})
+	if err := sensor.Trigger(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sensor.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("frames = %v", frames)
+	}
+	if frames[1].Function != On || frames[3].Function != Off {
+		t.Errorf("sensor frames = %v", frames)
+	}
+
+	frames = nil
+	remote := NewRemote(line, 'E')
+	_ = remote.Press(2, On)
+	_ = remote.PressDim(2, Dim, 5)
+	if len(frames) != 4 {
+		t.Fatalf("remote frames = %v", frames)
+	}
+	if frames[3].Dim != 5 {
+		t.Errorf("dim steps = %d", frames[3].Dim)
+	}
+}
+
+func TestWireEncodeDecodeRoundTrip(t *testing.T) {
+	frames := []Frame{
+		AddressFrame(Address{'A', 1}),
+		AddressFrame(Address{'P', 16}),
+		FunctionFrame('M', On, 0),
+		FunctionFrame('B', Dim, 15),
+		FunctionFrame('K', StatusRequest, 0),
+	}
+	for _, f := range frames {
+		header, code, ok := encodeWire(f)
+		if !ok {
+			t.Fatalf("encodeWire(%v) failed", f)
+		}
+		if header&hdrSync == 0 {
+			t.Errorf("header %#x missing sync bit", header)
+		}
+		got, ok := decodeWire(header, code)
+		if !ok || got != f {
+			t.Errorf("decodeWire(encodeWire(%v)) = %v, %v", f, got, ok)
+		}
+	}
+}
+
+func TestQuickWireRoundTrip(t *testing.T) {
+	fn := func(houseSel, unitSel, fnSel, dimSel uint8, isFunc bool) bool {
+		f := Frame{House: HouseCode('A' + houseSel%16)}
+		if isFunc {
+			f.IsFunction = true
+			f.Function = Function(fnSel % 16)
+			if f.Function == Dim || f.Function == Bright {
+				f.Dim = dimSel % (MaxDim + 1)
+			}
+		} else {
+			f.Unit = UnitCode(unitSel%16 + 1)
+		}
+		header, code, ok := encodeWire(f)
+		if !ok {
+			return false
+		}
+		got, ok := decodeWire(header, code)
+		return ok && got == f
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

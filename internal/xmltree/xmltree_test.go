@@ -1,0 +1,107 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `<?xml version="1.0"?>
+<root version="2">
+  <a id="1">alpha</a>
+  <a id="2">beta</a>
+  <b><c>deep &amp; nested</c></b>
+</root>`
+
+func TestParseAndNavigate(t *testing.T) {
+	root, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if root.Name.Local != "root" || root.Attr("version") != "2" {
+		t.Errorf("root = %+v", root.Name)
+	}
+	if got := len(root.All("a")); got != 2 {
+		t.Errorf("All(a) = %d, want 2", got)
+	}
+	if got := root.ChildText("a"); got != "alpha" {
+		t.Errorf("ChildText(a) = %q", got)
+	}
+	if got := root.Find("b", "c"); got == nil || trimSpace(got.Text) != "deep & nested" {
+		t.Errorf("Find(b,c) = %+v", got)
+	}
+	if root.Find("b", "missing") != nil {
+		t.Error("Find of missing path should be nil")
+	}
+	if root.Child("zzz") != nil {
+		t.Error("Child(zzz) should be nil")
+	}
+	if root.Attr("zzz") != "" {
+		t.Error("Attr(zzz) should be empty")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", "<unclosed>", "<a></b>"} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+}
+
+func TestChildNS(t *testing.T) {
+	doc := `<r xmlns:x="urn:one" xmlns:y="urn:two"><x:item/><y:item/></r>`
+	root, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := root.ChildNS("urn:two", "item"); el == nil || el.Name.Space != "urn:two" {
+		t.Errorf("ChildNS = %+v", el)
+	}
+	if root.ChildNS("urn:three", "item") != nil {
+		t.Error("ChildNS with wrong ns should be nil")
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Open("doc", "kind", "test")
+	w.Leaf("name", "a<b>&c", "lang", "en")
+	w.Open("list")
+	w.Leaf("item", "one")
+	w.Leaf("item", "two")
+	w.Close()
+	w.SelfClose("empty", "flag", "y")
+	data := w.Bytes()
+
+	root, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse(writer output): %v\n%s", err, data)
+	}
+	if root.Attr("kind") != "test" {
+		t.Errorf("kind = %q", root.Attr("kind"))
+	}
+	if got := root.ChildText("name"); got != "a<b>&c" {
+		t.Errorf("name = %q", got)
+	}
+	if items := root.Find("list"); items == nil || len(items.All("item")) != 2 {
+		t.Error("list items missing")
+	}
+	if root.Child("empty") == nil || root.Child("empty").Attr("flag") != "y" {
+		t.Error("empty element missing")
+	}
+}
+
+func TestWriterAutoClose(t *testing.T) {
+	w := NewWriter()
+	w.Open("a").Open("b").Open("c")
+	data := string(w.Bytes())
+	if !strings.HasSuffix(data, "</c></b></a>") {
+		t.Errorf("unbalanced output: %s", data)
+	}
+	// Close on empty stack is a no-op.
+	w2 := NewWriter()
+	w2.Close()
+	if !strings.Contains(string(w2.Bytes()), "<?xml") {
+		t.Error("header missing")
+	}
+}
