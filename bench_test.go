@@ -19,6 +19,7 @@ import (
 	"homeconnect/internal/core"
 	"homeconnect/internal/core/events"
 	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/scene"
 	"homeconnect/internal/core/vsg"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/jini"
@@ -588,6 +589,117 @@ func BenchmarkUPnPControl(b *testing.B) {
 		if _, err := gw.Call(ctx, "upnp:porch-SwitchPower", "GetStatus", nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- E11: scene engine — declarative cross-middleware composition --------
+
+// sceneRig is a two-network federation with an echo service on network
+// "b" and the scene engine triggered from network "a"'s hub, so every
+// scene action crosses the full VSR + SOAP path between gateways.
+func sceneRig(b *testing.B) (*core.Federation, *events.Hub, chan scene.Record) {
+	b.Helper()
+	fed, err := core.NewFederation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(fed.Close)
+	ctx := context.Background()
+	netA, err := fed.AddNetwork("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	netB, err := fed.AddNetwork("b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	desc := service.Description{
+		ID: "bench:echo", Name: "echo", Middleware: "bench",
+		Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+			{Name: "Echo", Inputs: []service.Parameter{{Name: "v", Type: service.KindString}}, Output: service.KindString},
+		}},
+	}
+	inv := service.InvokerFunc(func(_ context.Context, _ string, args []service.Value) (service.Value, error) {
+		return args[0], nil
+	})
+	if err := netB.Gateway().Export(ctx, desc, inv); err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan scene.Record, 1024)
+	fed.Scenes().SetRunHook(func(r scene.Record) { done <- r })
+	return fed, netA.Gateway().Hub(), done
+}
+
+func benchScene(name string) *scene.Scene {
+	return &scene.Scene{
+		Name:     name,
+		Triggers: []scene.Trigger{{Topic: "bench.tick", Network: "a"}},
+		Guards:   []scene.Guard{{Left: "${trigger.payload.v}", Op: scene.OpNe, Right: ""}},
+		Steps: []scene.Step{{
+			Kind: scene.StepCall, Name: "echo", Service: "bench:echo", Op: "Echo",
+			Timeout: 10 * time.Second,
+			Args:    []scene.Arg{{Type: service.KindString, Text: "${trigger.payload.v}"}},
+		}},
+	}
+}
+
+// BenchmarkSceneTrigger measures one full composition firing: event
+// publish → trigger match → guard → templated cross-gateway SOAP call →
+// run accounting.
+func BenchmarkSceneTrigger(b *testing.B) {
+	fed, hub, done := sceneRig(b)
+	eng := fed.Scenes()
+	if err := eng.Load(benchScene("bench")); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start("bench"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Publish(service.Event{
+			Source:  "bench",
+			Topic:   "bench.tick",
+			Payload: map[string]service.Value{"v": service.StringValue("x")},
+		})
+		rec := <-done
+		if rec.Outcome != scene.OutcomeCompleted {
+			b.Fatalf("outcome = %s, %v", rec.Outcome, rec.Err)
+		}
+	}
+}
+
+// BenchmarkSceneFanOut measures one event fanning out to N armed scenes,
+// each making its own cross-gateway call — the many-compositions load
+// shape of a home full of automations.
+func BenchmarkSceneFanOut(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			fed, hub, done := sceneRig(b)
+			eng := fed.Scenes()
+			for i := 0; i < n; i++ {
+				if err := eng.Load(benchScene(fmt.Sprintf("bench%d", i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.StartAll(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hub.Publish(service.Event{
+					Source:  "bench",
+					Topic:   "bench.tick",
+					Payload: map[string]service.Value{"v": service.StringValue("x")},
+				})
+				for j := 0; j < n; j++ {
+					rec := <-done
+					if rec.Outcome != scene.OutcomeCompleted {
+						b.Fatalf("outcome = %s, %v", rec.Outcome, rec.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -47,6 +47,8 @@ func main() {
 			usage()
 		}
 		call(ctx, repo, args[1], args[2], args[3:])
+	case "scene":
+		sceneCmd(ctx, repo, args[1:])
 	default:
 		usage()
 	}
@@ -59,6 +61,7 @@ commands:
   list                          list every federation service
   describe <service-id>         show a service's interface
   call <service-id> <op> [arg]  invoke an operation (text-form args)
+  scene <subcommand>            run declarative compositions (scene -h)
 `)
 	os.Exit(2)
 }

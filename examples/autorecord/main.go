@@ -4,10 +4,18 @@
 // service that records TV programs according to user profiles on the
 // Internet."
 //
-// A TV-program guide is published as a plain SOAP web service (the
-// Internet service); the HAVi VCR is bridged by its PCM; a small
-// integration loop matches the user profile against the guide, tunes the
-// VCR, starts recording, and mails the user through the mail PCM.
+// Unlike the original hand-coded integration loop, the composition here
+// is declarative: two scenes loaded into the federation's scene engine
+// from the XML document below.
+//
+//   - "guide-scan" runs on an interval schedule, asks the Internet
+//     TV-guide web service for a program matching the user profile, and —
+//     guarded on a non-empty answer — publishes a guide.match event.
+//   - "autorecord" triggers on guide.match, guards the genre against the
+//     profile, tunes the HAVi VCR, starts recording, and mails the user —
+//     one scene whose actions cross the HAVi and mail middleware networks.
+//
+// Run it with:
 //
 //	go run ./examples/autorecord
 package main
@@ -16,7 +24,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"strings"
 	"time"
 
 	"homeconnect"
@@ -35,6 +42,50 @@ var guide = []program{
 	{Title: "Robot Wrestling", Channel: 7, Genre: "sports"},
 	{Title: "Ubiquitous Computing Hour", Channel: 12, Genre: "documentary"},
 }
+
+// The user profile lives "on the Internet"; here it is a genre and a
+// mailbox, spliced into the scene document below.
+const (
+	userProfileGenre = "documentary"
+	userAddr         = "user@house.example"
+)
+
+// sceneXML is the declarative composition. It is data: the same document
+// could be stored in the repository, edited by a tool, or loaded by
+// `homectl scene run` against a live federation.
+const sceneXML = `<?xml version="1.0" encoding="UTF-8"?>
+<scenes>
+  <scene name="guide-scan" doc="Match the Internet TV guide against the user profile and announce hits.">
+    <trigger kind="interval" every="150ms"/>
+    <step kind="call" name="title" service="soap:tvguide" op="FindTitle" timeout="5s" retries="2" retrydelay="50ms">
+      <arg type="string">` + userProfileGenre + `</arg>
+    </step>
+    <step kind="call" name="channel" service="soap:tvguide" op="FindChannel" timeout="5s">
+      <guard left="${steps.title.result}" op="ne" right=""/>
+      <arg type="string">` + userProfileGenre + `</arg>
+    </step>
+    <step kind="publish" network="mail-net" topic="guide.match" source="soap:tvguide">
+      <p name="title" type="string">${steps.title.result}</p>
+      <p name="channel" type="int">${steps.channel.result}</p>
+      <p name="genre" type="string">` + userProfileGenre + `</p>
+    </step>
+  </scene>
+  <scene name="autorecord" doc="Record a matched program on the HAVi VCR and notify the user by mail.">
+    <trigger kind="event" topic="guide.match" network="mail-net"/>
+    <guard left="${trigger.payload.genre}" op="eq" right="` + userProfileGenre + `"/>
+    <step kind="call" name="tune" service="havi:vcr-vcr1" op="SetChannel" timeout="5s" retries="3" retrydelay="100ms">
+      <arg type="int">${trigger.payload.channel}</arg>
+    </step>
+    <step kind="call" name="record" service="havi:vcr-vcr1" op="Record" timeout="5s"/>
+    <step kind="call" name="state" service="havi:vcr-vcr1" op="State" timeout="5s"/>
+    <step kind="call" name="notify" service="mail:outbox" op="Send" timeout="5s">
+      <arg type="string">` + userAddr + `</arg>
+      <arg type="string">recording started: ${trigger.payload.title}</arg>
+      <arg type="string">Your ` + userProfileGenre + ` program "${trigger.payload.title}" is being recorded on channel ${trigger.payload.channel} (VCR ${steps.state.result}).</arg>
+    </step>
+  </scene>
+</scenes>
+`
 
 func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -61,10 +112,16 @@ func main() {
 			Name: "TVGuide",
 			Operations: []homeconnect.Operation{
 				{
-					Name:   "FindByGenre",
+					Name:   "FindTitle",
 					Inputs: []homeconnect.Parameter{{Name: "genre", Type: homeconnect.KindString}},
-					// "title@channel", or "" when nothing matches.
+					// The matched title, or "" when nothing matches.
 					Output: homeconnect.KindString,
+				},
+				{
+					Name:   "FindChannel",
+					Inputs: []homeconnect.Parameter{{Name: "genre", Type: homeconnect.KindString}},
+					// The matched channel, or 0 when nothing matches.
+					Output: homeconnect.KindInt,
 				},
 			},
 		},
@@ -73,10 +130,16 @@ func main() {
 		genre := args[0].Str()
 		for _, p := range guide {
 			if p.Genre == genre {
-				return homeconnect.String(fmt.Sprintf("%s@%d", p.Title, p.Channel)), nil
+				if op == "FindTitle" {
+					return homeconnect.String(p.Title), nil
+				}
+				return homeconnect.Int(p.Channel), nil
 			}
 		}
-		return homeconnect.String(""), nil
+		if op == "FindTitle" {
+			return homeconnect.String(""), nil
+		}
+		return homeconnect.Int(0), nil
 	})
 	gw := home.Fed.Network("mail-net").Gateway()
 	if err := gw.Export(ctx, guideDesc, guideImpl); err != nil {
@@ -84,45 +147,21 @@ func main() {
 	}
 	fmt.Println("internet: TV guide published as a SOAP web service")
 
-	// The user profile lives "on the Internet" too; here it is a genre.
-	const userProfileGenre = "documentary"
-	const userAddr = "user@house.example"
-
-	// The integration: guide lookup → tune → record → notify. Every call
-	// goes through the federation, no middleware-specific code.
-	hit, err := home.Fed.Call(ctx, "soap:tvguide", "FindByGenre", homeconnect.String(userProfileGenre))
+	// Load and arm the composition. Every call below goes through the
+	// federation; the scenes carry no middleware-specific code.
+	engine := home.Fed.Scenes()
+	names, err := engine.LoadXML([]byte(sceneXML))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if hit.Str() == "" {
-		log.Fatalf("no %s programs in the guide", userProfileGenre)
+	if err := engine.StartAll(); err != nil {
+		log.Fatal(err)
 	}
-	parts := strings.SplitN(hit.Str(), "@", 2)
-	title, channelText := parts[0], parts[1]
-	fmt.Printf("guide: profile genre %q matched %q on channel %s\n", userProfileGenre, title, channelText)
+	fmt.Printf("scenes: loaded and armed %v\n", names)
 
-	if _, err = home.Fed.Call(ctx, "havi:vcr-vcr1", "SetChannel", mustInt(channelText)); err != nil {
-		log.Fatal(err)
-	}
-	if _, err = home.Fed.Call(ctx, "havi:vcr-vcr1", "Record"); err != nil {
-		log.Fatal(err)
-	}
-	state, err := home.Fed.Call(ctx, "havi:vcr-vcr1", "State")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("havi: VCR state=%s channel=%s\n", state.Str(), channelText)
-
-	if _, err = home.Fed.Call(ctx, "mail:outbox", "Send",
-		homeconnect.String(userAddr),
-		homeconnect.String("recording started: "+title),
-		homeconnect.String(fmt.Sprintf("Your %s program %q is being recorded on channel %s.", userProfileGenre, title, channelText)),
-	); err != nil {
-		log.Fatal(err)
-	}
-
-	// Show the notification actually landed.
-	deadline := time.Now().Add(5 * time.Second)
+	// Show the composition actually ran: the notification lands in the
+	// user's mailbox.
+	deadline := time.Now().Add(15 * time.Second)
 	for {
 		msgs := home.MailStore.Messages(userAddr)
 		if len(msgs) > 0 {
@@ -134,13 +173,19 @@ func main() {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	fmt.Println("automatic recording service complete")
-}
-
-func mustInt(s string) homeconnect.Value {
-	var n int64
-	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
-		log.Fatalf("bad channel %q: %v", s, err)
+	state, err := home.Fed.Call(ctx, "havi:vcr-vcr1", "State")
+	if err != nil {
+		log.Fatal(err)
 	}
-	return homeconnect.Int(n)
+	fmt.Printf("havi: VCR state=%s\n", state.Str())
+
+	for _, name := range names {
+		st, err := engine.Status(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scene %-10s runs=%d completed=%d guarded=%d failed=%d\n",
+			st.Name, st.Stats.Runs, st.Stats.Completed, st.Stats.Guarded, st.Stats.Failed)
+	}
+	fmt.Println("automatic recording service complete")
 }

@@ -1,0 +1,3 @@
+module homeconnect
+
+go 1.24

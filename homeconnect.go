@@ -36,6 +36,7 @@ package homeconnect
 
 import (
 	"homeconnect/internal/core"
+	"homeconnect/internal/core/scene"
 	"homeconnect/internal/service"
 )
 
@@ -49,6 +50,34 @@ type Network = core.Network
 
 // New starts a federation with its own repository.
 func New() (*Federation, error) { return core.NewFederation() }
+
+// Scene-engine re-exports: declarative cross-middleware compositions (the
+// paper's §2 automatic-recording scenario as data, not code). Load scenes
+// into a federation with fed.Scenes().LoadXML or .Load; see
+// internal/core/scene and DESIGN.md for the model and XML schema.
+type (
+	// Scene is one declarative composition: triggers + guards + steps.
+	Scene = scene.Scene
+	// SceneTrigger fires scene runs (event match or interval schedule).
+	SceneTrigger = scene.Trigger
+	// SceneGuard is one comparison over trigger payloads or step results.
+	SceneGuard = scene.Guard
+	// SceneStep is one action: a federation call, an event publication,
+	// or a sleep.
+	SceneStep = scene.Step
+	// SceneEngine loads, arms and executes scenes.
+	SceneEngine = scene.Engine
+	// SceneRecord is the account of one scene run.
+	SceneRecord = scene.Record
+	// SceneStatus is one scene's run-history view.
+	SceneStatus = scene.Status
+)
+
+// EncodeScenes renders scenes as their canonical XML document.
+var EncodeScenes = scene.Encode
+
+// DecodeScenes parses and validates a scene XML document.
+var DecodeScenes = scene.Decode
 
 // Service model re-exports: the middleware-neutral types every PCM
 // converts to and from.

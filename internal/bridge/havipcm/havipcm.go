@@ -339,7 +339,7 @@ func (p *PCM) offer(gw *vsg.VSG, remote vsr.Remote) (func(), error) {
 			return []havi.Value{result.ToGo()}, nil
 		},
 	}
-	seid := dev.RegisterFCM(el)
+	seid := dev.RegisterFCM(el, nil)
 	return func() { dev.Unregister(seid.SwID) }, nil
 }
 

@@ -19,6 +19,7 @@ package events
 import (
 	"context"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -124,10 +125,22 @@ func (h *Hub) Publish(ev service.Event) {
 	}
 }
 
-// topicMatches applies the subscription filter: empty subscribes to all.
-func topicMatches(filter, topic string) bool {
-	return filter == "" || filter == topic
+// TopicMatches applies the subscription filter grammar shared by hub
+// subscriptions and scene triggers: "" and "*" match every topic; a filter
+// ending in '*' is a prefix match ("havi.*" matches "havi.tape-end"); any
+// other filter matches exactly.
+func TopicMatches(filter, topic string) bool {
+	if filter == "" || filter == "*" {
+		return true
+	}
+	if strings.HasSuffix(filter, "*") {
+		return strings.HasPrefix(topic, filter[:len(filter)-1])
+	}
+	return filter == topic
 }
+
+// topicMatches is the internal spelling used by the hub's fan-out paths.
+func topicMatches(filter, topic string) bool { return TopicMatches(filter, topic) }
 
 // Subscribe registers a local callback for events whose topic matches
 // (empty topic = all). The returned function unsubscribes.

@@ -259,3 +259,71 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+func TestTopicMatches(t *testing.T) {
+	cases := []struct {
+		filter, topic string
+		want          bool
+	}{
+		// Empty filter and bare star are wildcards.
+		{"", "anything", true},
+		{"", "", true},
+		{"*", "havi.tape-end", true},
+		{"*", "", true},
+		// Exact matching.
+		{"motion", "motion", true},
+		{"motion", "motions", false},
+		{"motion", "Motion", false}, // case-sensitive
+		{"a.b", "a.b", true},
+		{"a.b", "a.c", false},
+		// Trailing-star prefix matching.
+		{"havi.*", "havi.tape-end", true},
+		{"havi.*", "havi.", true},
+		{"havi.*", "havi", false}, // prefix includes the dot
+		{"havi.*", "x10.on", false},
+		{"guide*", "guide.match", true},
+		{"guide*", "guide", true},
+		// A star anywhere but the end is literal.
+		{"a*b", "a*b", true},
+		{"a*b", "axb", false},
+		{"*x", "*x", true},
+		{"*x", "ax", false},
+		// Degenerate double star: prefix "*".
+		{"**", "*anything", true},
+		{"**", "anything", false},
+	}
+	for _, c := range cases {
+		if got := TopicMatches(c.filter, c.topic); got != c.want {
+			t.Errorf("TopicMatches(%q, %q) = %v, want %v", c.filter, c.topic, got, c.want)
+		}
+		if got := topicMatches(c.filter, c.topic); got != c.want {
+			t.Errorf("topicMatches(%q, %q) = %v, want %v", c.filter, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestHubSubscribeWildcard(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	var mu sync.Mutex
+	var got []string
+	stop := h.Subscribe("havi.*", func(ev service.Event) {
+		mu.Lock()
+		got = append(got, ev.Topic)
+		mu.Unlock()
+	})
+	defer stop()
+	h.Publish(service.Event{Source: "s", Topic: "havi.tape-end"})
+	h.Publish(service.Event{Source: "s", Topic: "x10.on"})
+	h.Publish(service.Event{Source: "s", Topic: "havi.eject"})
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "havi.tape-end" || got[1] != "havi.eject" {
+		t.Errorf("wildcard subscription saw %v", got)
+	}
+}

@@ -99,8 +99,25 @@ func eventFromXML(el *xmltree.Element) (service.Event, error) {
 //	POST /poll        — long poll; query params since, topic, timeoutms
 //	POST /subscribe   — body <subscribe callback="URL" topic="..."/>
 //	POST /unsubscribe — body <unsubscribe sid="..."/>
+//	POST /publish     — body <events>...</events>; injects events into the hub
 func Handler(h *Hub) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/publish", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		evs, err := DecodeEvents(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, ev := range evs {
+			h.Publish(ev)
+		}
+		w.WriteHeader(http.StatusOK)
+	})
 	mux.HandleFunc("/poll", func(w http.ResponseWriter, r *http.Request) {
 		since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
 		topic := r.URL.Query().Get("topic")
@@ -214,6 +231,27 @@ func (c *Client) Poll(ctx context.Context, since uint64, topic string, timeout t
 		return nil, since, err
 	}
 	return evs, next, nil
+}
+
+// Publish injects events into the remote hub — the write half of the
+// long-poll discipline, used by scene runners that compose events across
+// gateways without an in-process hub reference.
+func (c *Client) Publish(ctx context.Context, evs ...service.Event) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/publish", bytes.NewReader(EncodeEvents(evs)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("events: publish: %w", err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: publish: %s", resp.Status)
+	}
+	return nil
 }
 
 // Subscribe registers a push callback and returns the subscription ID.

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/scene"
 	"homeconnect/internal/core/vsg"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
@@ -23,6 +24,7 @@ type Federation struct {
 	mu       sync.Mutex
 	networks map[string]*Network
 	order    []string
+	scenes   *scene.Engine
 	closed   bool
 }
 
@@ -70,7 +72,35 @@ func (f *Federation) AddNetwork(name string) (*Network, error) {
 	n := &Network{fed: f, gw: gw}
 	f.networks[name] = n
 	f.order = append(f.order, name)
+	if f.scenes != nil {
+		f.scenes.AddSource(name, scene.HubSource{Hub: gw.Hub()})
+	}
 	return n, nil
+}
+
+// Scenes returns the federation's scene engine, creating it on first use.
+// The engine invokes services through the federation's gateways and sees
+// every network's event hub as a trigger source — scenes loaded here
+// compose services across middleware boundaries.
+func (f *Federation) Scenes() *scene.Engine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.scenes == nil {
+		f.scenes = scene.NewEngine(scene.CallerFunc(
+			func(ctx context.Context, serviceID, op string, args []service.Value) (service.Value, error) {
+				return f.Call(ctx, serviceID, op, args...)
+			}))
+		for _, name := range f.order {
+			f.scenes.AddSource(name, scene.HubSource{Hub: f.networks[name].gw.Hub()})
+		}
+		if f.closed {
+			// The federation is already torn down: hand back an engine
+			// that refuses to load or start anything rather than one
+			// arming triggers against dead gateways.
+			f.scenes.Close()
+		}
+	}
+	return f.scenes
 }
 
 // Network returns a network by name, or nil.
@@ -130,7 +160,9 @@ func (f *Federation) Services(ctx context.Context) ([]vsr.Remote, error) {
 	return gw.List(ctx, vsr.Query{})
 }
 
-// Close stops PCMs, gateways and the repository, in that order.
+// Close stops the scene engine, PCMs, gateways and the repository, in
+// that order: scenes first so no composition fires while the services it
+// calls are being torn down.
 func (f *Federation) Close() {
 	f.mu.Lock()
 	if f.closed {
@@ -138,6 +170,7 @@ func (f *Federation) Close() {
 		return
 	}
 	f.closed = true
+	engine := f.scenes
 	names := append([]string(nil), f.order...)
 	nets := make([]*Network, 0, len(names))
 	for _, name := range names {
@@ -145,6 +178,9 @@ func (f *Federation) Close() {
 	}
 	f.mu.Unlock()
 
+	if engine != nil {
+		engine.Close()
+	}
 	for _, n := range nets {
 		n.mu.Lock()
 		pcms := append([]pcm.PCM(nil), n.pcms...)

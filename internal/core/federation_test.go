@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/scene"
 	"homeconnect/internal/core/vsg"
 	"homeconnect/internal/service"
 )
@@ -130,5 +131,92 @@ func TestFederationCallRouting(t *testing.T) {
 	services, err := fed.Services(ctx)
 	if err != nil || len(services) != 1 {
 		t.Fatalf("Services = %v, %v", services, err)
+	}
+}
+
+func TestFederationSceneEngineLifecycle(t *testing.T) {
+	fed, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	n, err := fed.AddNetwork("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := service.Description{
+		ID: "x:y", Name: "y", Middleware: "x",
+		Interface: service.Interface{Name: "I", Operations: []service.Operation{
+			{Name: "Ping", Output: service.KindString},
+		}},
+	}
+	inv := service.InvokerFunc(func(context.Context, string, []service.Value) (service.Value, error) {
+		return service.StringValue("pong"), nil
+	})
+	if err := n.Gateway().Export(ctx, desc, inv); err != nil {
+		t.Fatal(err)
+	}
+
+	// The engine is created once and sees existing networks as sources.
+	eng := fed.Scenes()
+	if eng == nil || fed.Scenes() != eng {
+		t.Fatal("Scenes is not a stable accessor")
+	}
+	done := make(chan scene.Record, 4)
+	eng.SetRunHook(func(r scene.Record) { done <- r })
+	sc := &scene.Scene{
+		Name:     "ping",
+		Triggers: []scene.Trigger{{Topic: "test.go", Network: "a"}},
+		Steps:    []scene.Step{{Kind: scene.StepCall, Name: "p", Service: "x:y", Op: "Ping"}},
+	}
+	if err := eng.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start("ping"); err != nil {
+		t.Fatal(err)
+	}
+	// Networks added after the engine exists become sources too.
+	if _, err := fed.AddNetwork("b"); err != nil {
+		t.Fatal(err)
+	}
+	n.Gateway().Hub().Publish(service.Event{Source: "test", Topic: "test.go"})
+	select {
+	case rec := <-done:
+		if rec.Outcome != scene.OutcomeCompleted || rec.Steps[0].Result.Str() != "pong" {
+			t.Fatalf("run = %+v", rec)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("scene never ran")
+	}
+
+	// Close is idempotent and tears the engine down first.
+	fed.Close()
+	fed.Close()
+	if err := eng.Load(sc); err == nil {
+		t.Error("scene engine usable after federation Close")
+	}
+}
+
+func TestFederationScenesAfterClose(t *testing.T) {
+	fed, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.AddNetwork("a"); err != nil {
+		t.Fatal(err)
+	}
+	// The engine is first requested only after the federation is gone:
+	// it must come back already closed, not armable.
+	fed.Close()
+	eng := fed.Scenes()
+	sc := &scene.Scene{
+		Name:  "late",
+		Steps: []scene.Step{{Kind: scene.StepCall, Service: "x:y", Op: "Ping"}},
+	}
+	if err := eng.Load(sc); err == nil {
+		t.Error("post-Close engine accepted a scene")
 	}
 }

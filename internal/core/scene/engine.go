@@ -1,0 +1,639 @@
+package scene
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"homeconnect/internal/core/events"
+	"homeconnect/internal/service"
+)
+
+// Caller invokes federation services on behalf of scene steps. The
+// Federation and the per-network gateways both satisfy the shape; CLI
+// runners supply a VSR+SOAP implementation.
+type Caller interface {
+	Call(ctx context.Context, serviceID, op string, args []service.Value) (service.Value, error)
+}
+
+// CallerFunc adapts a function to Caller.
+type CallerFunc func(ctx context.Context, serviceID, op string, args []service.Value) (service.Value, error)
+
+// Call implements Caller.
+func (f CallerFunc) Call(ctx context.Context, serviceID, op string, args []service.Value) (service.Value, error) {
+	return f(ctx, serviceID, op, args)
+}
+
+// Source is one network's event surface for scene triggers.
+type Source interface {
+	// Subscribe registers fn for events matching topic (TopicMatches
+	// grammar) and returns an unsubscribe function.
+	Subscribe(topic string, fn func(service.Event)) (stop func())
+}
+
+// PublishingSource is a Source that can also carry the synthetic events
+// emitted by publish steps.
+type PublishingSource interface {
+	Source
+	PublishEvent(ev service.Event) error
+}
+
+// HubSource adapts an in-process events.Hub to the engine.
+type HubSource struct{ Hub *events.Hub }
+
+// Subscribe implements Source.
+func (s HubSource) Subscribe(topic string, fn func(service.Event)) func() {
+	return s.Hub.Subscribe(topic, fn)
+}
+
+// PublishEvent implements PublishingSource.
+func (s HubSource) PublishEvent(ev service.Event) error {
+	s.Hub.Publish(ev)
+	return nil
+}
+
+// Run outcomes.
+const (
+	// OutcomeCompleted: every step ran.
+	OutcomeCompleted = "completed"
+	// OutcomeGuarded: a guard evaluated false; the run stopped cleanly.
+	OutcomeGuarded = "guarded"
+	// OutcomeFailed: a guard or step errored.
+	OutcomeFailed = "failed"
+)
+
+// StepResult records one executed step of a run.
+type StepResult struct {
+	// Name is the step's declared name, or "<kind>#<index>" when unnamed.
+	Name string
+	Kind string
+	// Result is the step's value (Void for publish/sleep).
+	Result service.Value
+	// Attempts counts call invocations including retries.
+	Attempts int
+	Err      error
+}
+
+// Record is the full account of one scene run.
+type Record struct {
+	Scene   string
+	Trigger service.Event
+	Start   time.Time
+	Latency time.Duration
+	Outcome string
+	Err     error
+	Steps   []StepResult
+}
+
+// Stats is a scene's cumulative run history.
+type Stats struct {
+	Runs, Completed, Guarded, Failed uint64
+	LastOutcome                      string
+	// LastError is the most recent run's error, "" when that run did
+	// not fail.
+	LastError string
+	LastRun   time.Time
+	// TotalLatency summed over runs; divide by Runs for the mean.
+	TotalLatency time.Duration
+}
+
+// Status is one scene's externally visible state.
+type Status struct {
+	Name     string
+	Doc      string
+	Running  bool
+	Triggers int
+	Steps    int
+	Stats    Stats
+}
+
+// Engine loads, arms and executes scenes. Independent scenes (and
+// concurrent firings of one scene) run concurrently; Close waits for
+// in-flight runs.
+type Engine struct {
+	caller Caller
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	sources  map[string]Source
+	srcOrder []string
+	scenes   map[string]*state
+	order    []string
+	hook     func(Record)
+	closed   bool
+}
+
+type state struct {
+	scene   *Scene
+	running bool
+	stops   []func()
+	stats   Stats
+}
+
+// NewEngine returns an engine that invokes services through c.
+func NewEngine(c Caller) *Engine {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Engine{
+		caller:  c,
+		ctx:     ctx,
+		cancel:  cancel,
+		sources: make(map[string]Source),
+		scenes:  make(map[string]*state),
+	}
+}
+
+// AddSource registers (or replaces) the event surface of one network.
+// Running scenes whose event triggers match a newly added network (by
+// name, or by subscribing to every network) are armed on it immediately,
+// so networks attached after Start still deliver triggers. Replacing an
+// existing network's source does not rebind running scenes — stop and
+// restart them to move their subscriptions.
+func (e *Engine) AddSource(network string, src Source) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, existed := e.sources[network]; existed {
+		e.sources[network] = src
+		return
+	}
+	e.srcOrder = append(e.srcOrder, network)
+	e.sources[network] = src
+	for _, name := range e.order {
+		st := e.scenes[name]
+		if !st.running {
+			continue
+		}
+		for _, tr := range st.scene.Triggers {
+			if tr.Every > 0 || (tr.Network != "" && tr.Network != network) {
+				continue
+			}
+			st.stops = append(st.stops, e.subscribeTrigger(src, name, tr))
+		}
+	}
+}
+
+// subscribeTrigger arms one event trigger on one source.
+func (e *Engine) subscribeTrigger(src Source, name string, tr Trigger) (stop func()) {
+	wantSource := tr.Source
+	return src.Subscribe(tr.Topic, func(ev service.Event) {
+		if wantSource != "" && wantSource != ev.Source {
+			return
+		}
+		e.spawn(name, ev)
+	})
+}
+
+// SetRunHook installs fn to observe every completed run (tests, benchmarks,
+// logging). It runs on the run's goroutine after stats are updated.
+func (e *Engine) SetRunHook(fn func(Record)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hook = fn
+}
+
+// Load validates and stores a scene. Reloading a stopped scene replaces
+// its definition and keeps its run history; reloading a running scene is
+// an error.
+func (e *Engine) Load(sc *Scene) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("scene: engine closed")
+	}
+	if st, ok := e.scenes[sc.Name]; ok {
+		if st.running {
+			return fmt.Errorf("scene %s is running; stop it before reloading", sc.Name)
+		}
+		st.scene = sc
+		return nil
+	}
+	e.scenes[sc.Name] = &state{scene: sc}
+	e.order = append(e.order, sc.Name)
+	return nil
+}
+
+// LoadXML decodes a scene document and loads every scene in it, returning
+// their names in document order.
+func (e *Engine) LoadXML(data []byte) ([]string, error) {
+	scs, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(scs))
+	for _, sc := range scs {
+		if err := e.Load(sc); err != nil {
+			return names, err
+		}
+		names = append(names, sc.Name)
+	}
+	return names, nil
+}
+
+// Unload removes a stopped scene and its history.
+func (e *Engine) Unload(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.scenes[name]
+	if !ok {
+		return fmt.Errorf("scene: no scene %q", name)
+	}
+	if st.running {
+		return fmt.Errorf("scene %s is running; stop it before unloading", name)
+	}
+	delete(e.scenes, name)
+	for i, n := range e.order {
+		if n == name {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Start arms a loaded scene's triggers. Starting a running scene is a
+// no-op. Event triggers naming an unregistered network fail.
+func (e *Engine) Start(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("scene: engine closed")
+	}
+	st, ok := e.scenes[name]
+	if !ok {
+		return fmt.Errorf("scene: no scene %q", name)
+	}
+	if st.running {
+		return nil
+	}
+	var stops []func()
+	undo := func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+	for i, tr := range st.scene.Triggers {
+		if tr.Every > 0 {
+			tctx, tcancel := context.WithCancel(e.ctx)
+			e.wg.Add(1)
+			go e.intervalLoop(tctx, name, tr.Every)
+			stops = append(stops, tcancel)
+			continue
+		}
+		matched := 0
+		for _, net := range e.srcOrder {
+			if tr.Network != "" && tr.Network != net {
+				continue
+			}
+			matched++
+			stops = append(stops, e.subscribeTrigger(e.sources[net], name, tr))
+		}
+		// A trigger naming a missing network is a broken composition;
+		// an all-networks trigger stays armed-in-waiting (AddSource
+		// binds it when the first network appears).
+		if matched == 0 && tr.Network != "" {
+			undo()
+			return fmt.Errorf("scene %s: trigger %d: no event source for network %q", name, i+1, tr.Network)
+		}
+	}
+	st.stops = stops
+	st.running = true
+	return nil
+}
+
+// StartAll arms every loaded scene, stopping at the first error.
+func (e *Engine) StartAll() error {
+	e.mu.Lock()
+	names := append([]string(nil), e.order...)
+	e.mu.Unlock()
+	for _, name := range names {
+		if err := e.Start(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop disarms a scene's triggers. In-flight runs complete; history is
+// kept. Stopping a stopped scene is a no-op.
+func (e *Engine) Stop(name string) error {
+	e.mu.Lock()
+	st, ok := e.scenes[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("scene: no scene %q", name)
+	}
+	stops := st.stops
+	st.stops = nil
+	st.running = false
+	e.mu.Unlock()
+	for _, s := range stops {
+		s()
+	}
+	return nil
+}
+
+// Run fires a scene once, synchronously, with the given trigger event —
+// the manual path used by `homectl scene run` and tests. The run is
+// accounted in the scene's stats and is covered by Close's wait, so the
+// engine never reports closed while a manual run's steps are mid-flight.
+func (e *Engine) Run(ctx context.Context, name string, trigger service.Event) (Record, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Record{}, fmt.Errorf("scene: engine closed")
+	}
+	st, ok := e.scenes[name]
+	if !ok {
+		e.mu.Unlock()
+		return Record{}, fmt.Errorf("scene: no scene %q", name)
+	}
+	sc := st.scene
+	e.wg.Add(1)
+	e.mu.Unlock()
+	defer e.wg.Done()
+	rec := e.execute(ctx, sc, trigger)
+	e.account(name, rec)
+	return rec, nil
+}
+
+// Status reports one scene.
+func (e *Engine) Status(name string) (Status, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.scenes[name]
+	if !ok {
+		return Status{}, fmt.Errorf("scene: no scene %q", name)
+	}
+	return statusOf(st), nil
+}
+
+// List reports every loaded scene in load order.
+func (e *Engine) List() []Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, 0, len(e.order))
+	for _, name := range e.order {
+		out = append(out, statusOf(e.scenes[name]))
+	}
+	return out
+}
+
+func statusOf(st *state) Status {
+	return Status{
+		Name:     st.scene.Name,
+		Doc:      st.scene.Doc,
+		Running:  st.running,
+		Triggers: len(st.scene.Triggers),
+		Steps:    len(st.scene.Steps),
+		Stats:    st.stats,
+	}
+}
+
+// Close disarms every scene, cancels interval schedules and waits for
+// in-flight runs. The engine cannot be reused.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	var stops []func()
+	for _, st := range e.scenes {
+		stops = append(stops, st.stops...)
+		st.stops = nil
+		st.running = false
+	}
+	e.mu.Unlock()
+	for _, s := range stops {
+		s()
+	}
+	e.cancel()
+	e.wg.Wait()
+}
+
+func (e *Engine) intervalLoop(ctx context.Context, name string, every time.Duration) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			e.spawn(name, service.Event{Source: "scene:" + name, Topic: TopicInterval, Time: now})
+		}
+	}
+}
+
+// spawn runs the scene asynchronously for one trigger firing. It must not
+// block: it is called from hub fan-out paths.
+func (e *Engine) spawn(name string, trigger service.Event) {
+	e.mu.Lock()
+	st, ok := e.scenes[name]
+	if e.closed || !ok || !st.running {
+		e.mu.Unlock()
+		return
+	}
+	sc := st.scene
+	e.wg.Add(1)
+	e.mu.Unlock()
+	go func() {
+		defer e.wg.Done()
+		rec := e.execute(e.ctx, sc, trigger)
+		e.account(name, rec)
+	}()
+}
+
+func (e *Engine) account(name string, rec Record) {
+	e.mu.Lock()
+	if st, ok := e.scenes[name]; ok {
+		st.stats.Runs++
+		switch rec.Outcome {
+		case OutcomeCompleted:
+			st.stats.Completed++
+		case OutcomeGuarded:
+			st.stats.Guarded++
+		case OutcomeFailed:
+			st.stats.Failed++
+		}
+		st.stats.LastOutcome = rec.Outcome
+		if rec.Err != nil {
+			st.stats.LastError = rec.Err.Error()
+		} else {
+			// The error tracks the most recent run: a scene that has
+			// recovered must not report stale failures forever.
+			st.stats.LastError = ""
+		}
+		st.stats.LastRun = rec.Start
+		st.stats.TotalLatency += rec.Latency
+	}
+	hook := e.hook
+	e.mu.Unlock()
+	if hook != nil {
+		hook(rec)
+	}
+}
+
+func (e *Engine) execute(ctx context.Context, sc *Scene, trigger service.Event) Record {
+	start := time.Now()
+	rec := Record{Scene: sc.Name, Trigger: trigger.Clone(), Start: start}
+	ev := &env{trigger: trigger, steps: make(map[string]service.Value)}
+	rec.Outcome, rec.Err = e.runSteps(ctx, sc, ev, &rec)
+	rec.Latency = time.Since(start)
+	return rec
+}
+
+func (e *Engine) runSteps(ctx context.Context, sc *Scene, ev *env, rec *Record) (string, error) {
+	for _, g := range sc.Guards {
+		ok, err := g.eval(ev)
+		if err != nil {
+			return OutcomeFailed, err
+		}
+		if !ok {
+			return OutcomeGuarded, nil
+		}
+	}
+	for i, st := range sc.Steps {
+		label := st.Name
+		if label == "" {
+			label = fmt.Sprintf("%s#%d", st.Kind, i+1)
+		}
+		guarded := false
+		for _, g := range st.Guards {
+			ok, err := g.eval(ev)
+			if err != nil {
+				return OutcomeFailed, fmt.Errorf("step %s: %w", label, err)
+			}
+			if !ok {
+				guarded = true
+				break
+			}
+		}
+		if guarded {
+			return OutcomeGuarded, nil
+		}
+		sr := StepResult{Name: label, Kind: st.Kind, Result: service.Void()}
+		var err error
+		switch st.Kind {
+		case StepSleep:
+			err = sleep(ctx, st.For)
+		case StepPublish:
+			err = e.publishStep(sc, st, ev)
+		case StepCall:
+			sr.Result, sr.Attempts, err = e.callStep(ctx, st, ev)
+		}
+		sr.Err = err
+		rec.Steps = append(rec.Steps, sr)
+		if err != nil {
+			return OutcomeFailed, fmt.Errorf("step %s: %w", label, err)
+		}
+		if st.Name != "" {
+			ev.steps[st.Name] = sr.Result
+		}
+	}
+	return OutcomeCompleted, nil
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+func (e *Engine) callStep(ctx context.Context, st Step, ev *env) (service.Value, int, error) {
+	serviceID, err := expand(st.Service, ev)
+	if err != nil {
+		return service.Value{}, 0, err
+	}
+	args := make([]service.Value, len(st.Args))
+	for i, a := range st.Args {
+		text, err := expand(a.Text, ev)
+		if err != nil {
+			return service.Value{}, 0, err
+		}
+		if args[i], err = service.ParseText(a.Type, text); err != nil {
+			return service.Value{}, 0, err
+		}
+	}
+	timeout := st.Timeout
+	if timeout <= 0 {
+		timeout = DefaultStepTimeout
+	}
+	delay := st.RetryDelay
+	if delay <= 0 {
+		delay = DefaultRetryDelay
+	}
+	attempts := 0
+	for {
+		attempts++
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		v, err := e.caller.Call(cctx, serviceID, st.Op, args)
+		cancel()
+		if err == nil {
+			return v, attempts, nil
+		}
+		// Only transient unavailability is worth retrying: devices
+		// detach and leases lapse, but a bad argument stays bad.
+		if attempts > st.Retries || !errors.Is(err, service.ErrUnavailable) {
+			return service.Value{}, attempts, err
+		}
+		if err := sleep(ctx, delay); err != nil {
+			return service.Value{}, attempts, err
+		}
+	}
+}
+
+func (e *Engine) publishStep(sc *Scene, st Step, ev *env) error {
+	topic, err := expand(st.Topic, ev)
+	if err != nil {
+		return err
+	}
+	source, err := expand(st.Source, ev)
+	if err != nil {
+		return err
+	}
+	if source == "" {
+		source = "scene:" + sc.Name
+	}
+	out := service.Event{Source: source, Topic: topic, Payload: make(map[string]service.Value, len(st.Payload))}
+	for _, f := range st.Payload {
+		text, err := expand(f.Text, ev)
+		if err != nil {
+			return err
+		}
+		if out.Payload[f.Name], err = service.ParseText(f.Type, text); err != nil {
+			return fmt.Errorf("payload %s: %w", f.Name, err)
+		}
+	}
+	e.mu.Lock()
+	var target PublishingSource
+	if st.Network != "" {
+		target, _ = e.sources[st.Network].(PublishingSource)
+	} else {
+		for _, net := range e.srcOrder {
+			if p, ok := e.sources[net].(PublishingSource); ok {
+				target = p
+				break
+			}
+		}
+	}
+	e.mu.Unlock()
+	if target == nil {
+		return fmt.Errorf("scene: no publishable event source for network %q", st.Network)
+	}
+	return target.PublishEvent(out)
+}

@@ -1,0 +1,542 @@
+package scene
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/events"
+	"homeconnect/internal/service"
+)
+
+// fakeCaller records calls and plays scripted responses.
+type fakeCaller struct {
+	mu    sync.Mutex
+	calls []recordedCall
+	// fail maps "<service>.<op>" to a number of ErrUnavailable failures
+	// before success.
+	fail map[string]int
+	// respond maps "<service>.<op>" to the returned value.
+	respond map[string]service.Value
+	// block makes every call wait for ctx cancellation.
+	block bool
+}
+
+type recordedCall struct {
+	Service, Op string
+	Args        []service.Value
+}
+
+func (f *fakeCaller) Call(ctx context.Context, serviceID, op string, args []service.Value) (service.Value, error) {
+	f.mu.Lock()
+	f.calls = append(f.calls, recordedCall{serviceID, op, args})
+	key := serviceID + "." + op
+	remaining := f.fail[key]
+	if remaining > 0 {
+		f.fail[key] = remaining - 1
+	}
+	resp, ok := f.respond[key]
+	block := f.block
+	f.mu.Unlock()
+	if block {
+		<-ctx.Done()
+		return service.Value{}, ctx.Err()
+	}
+	if remaining > 0 {
+		return service.Value{}, fmt.Errorf("gateway down: %w", service.ErrUnavailable)
+	}
+	if !ok {
+		resp = service.Void()
+	}
+	return resp, nil
+}
+
+func (f *fakeCaller) recorded() []recordedCall {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]recordedCall(nil), f.calls...)
+}
+
+func triggerEvent(genre string, channel int64) service.Event {
+	return service.Event{
+		Source: "soap:tvguide",
+		Topic:  "guide.match",
+		Payload: map[string]service.Value{
+			"genre":   service.StringValue(genre),
+			"channel": service.IntValue(channel),
+			"title":   service.StringValue("Ubiquitous Computing Hour"),
+		},
+	}
+}
+
+func recordScene() *Scene {
+	return &Scene{
+		Name:     "autorecord",
+		Triggers: []Trigger{{Topic: "guide.match"}},
+		Guards:   []Guard{{Left: "${trigger.payload.genre}", Op: OpEq, Right: "documentary"}},
+		Steps: []Step{
+			{Kind: StepCall, Name: "tune", Service: "havi:vcr", Op: "SetChannel",
+				Args: []Arg{{Type: service.KindInt, Text: "${trigger.payload.channel}"}}},
+			{Kind: StepCall, Name: "record", Service: "havi:vcr", Op: "Record"},
+			{Kind: StepCall, Name: "notify", Service: "mail:outbox", Op: "Send",
+				Args: []Arg{
+					{Type: service.KindString, Text: "user@house.example"},
+					{Type: service.KindString, Text: "recording: ${trigger.payload.title}"},
+				}},
+		},
+	}
+}
+
+func TestManualRunSequencesSteps(t *testing.T) {
+	c := &fakeCaller{respond: map[string]service.Value{}}
+	e := NewEngine(c)
+	defer e.Close()
+	if err := e.Load(recordScene()); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.Run(context.Background(), "autorecord", triggerEvent("documentary", 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != OutcomeCompleted || rec.Err != nil {
+		t.Fatalf("outcome = %s, %v", rec.Outcome, rec.Err)
+	}
+	calls := c.recorded()
+	if len(calls) != 3 {
+		t.Fatalf("calls = %+v", calls)
+	}
+	if calls[0].Op != "SetChannel" || calls[0].Args[0].Int() != 12 {
+		t.Errorf("tune call = %+v", calls[0])
+	}
+	if calls[2].Args[1].Str() != "recording: Ubiquitous Computing Hour" {
+		t.Errorf("notify subject = %v", calls[2].Args[1])
+	}
+	st, err := e.Status("autorecord")
+	if err != nil || st.Stats.Runs != 1 || st.Stats.Completed != 1 {
+		t.Errorf("status = %+v, %v", st, err)
+	}
+}
+
+func TestGuardStopsRun(t *testing.T) {
+	c := &fakeCaller{}
+	e := NewEngine(c)
+	defer e.Close()
+	if err := e.Load(recordScene()); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.Run(context.Background(), "autorecord", triggerEvent("sports", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != OutcomeGuarded || len(c.recorded()) != 0 {
+		t.Fatalf("outcome = %s, calls = %+v", rec.Outcome, c.recorded())
+	}
+	st, _ := e.Status("autorecord")
+	if st.Stats.Guarded != 1 {
+		t.Errorf("stats = %+v", st.Stats)
+	}
+}
+
+func TestStepGuardStopsMidSequence(t *testing.T) {
+	c := &fakeCaller{respond: map[string]service.Value{
+		"guide.FindTitle": service.StringValue(""),
+	}}
+	e := NewEngine(c)
+	defer e.Close()
+	sc := &Scene{
+		Name: "scan",
+		Steps: []Step{
+			{Kind: StepCall, Name: "title", Service: "guide", Op: "FindTitle"},
+			{Kind: StepCall, Name: "tune", Service: "havi:vcr", Op: "Record",
+				Guards: []Guard{{Left: "${steps.title.result}", Op: OpNe, Right: ""}}},
+		},
+	}
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.Run(context.Background(), "scan", service.Event{Topic: "manual"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != OutcomeGuarded {
+		t.Fatalf("outcome = %s", rec.Outcome)
+	}
+	if calls := c.recorded(); len(calls) != 1 || calls[0].Op != "FindTitle" {
+		t.Fatalf("calls = %+v", calls)
+	}
+}
+
+func TestRetryOnUnavailable(t *testing.T) {
+	c := &fakeCaller{fail: map[string]int{"havi:vcr.Record": 2}}
+	e := NewEngine(c)
+	defer e.Close()
+	sc := &Scene{
+		Name: "retry",
+		Steps: []Step{{Kind: StepCall, Name: "rec", Service: "havi:vcr", Op: "Record",
+			Retries: 3, RetryDelay: time.Millisecond}},
+	}
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.Run(context.Background(), "retry", service.Event{Topic: "manual"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != OutcomeCompleted {
+		t.Fatalf("outcome = %s, %v", rec.Outcome, rec.Err)
+	}
+	if rec.Steps[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", rec.Steps[0].Attempts)
+	}
+}
+
+func TestRetriesExhaustedFails(t *testing.T) {
+	c := &fakeCaller{fail: map[string]int{"havi:vcr.Record": 99}}
+	e := NewEngine(c)
+	defer e.Close()
+	sc := &Scene{
+		Name: "exhaust",
+		Steps: []Step{{Kind: StepCall, Service: "havi:vcr", Op: "Record",
+			Retries: 1, RetryDelay: time.Millisecond}},
+	}
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.Run(context.Background(), "exhaust", service.Event{Topic: "manual"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != OutcomeFailed || !errors.Is(rec.Err, service.ErrUnavailable) {
+		t.Fatalf("outcome = %s, err = %v", rec.Outcome, rec.Err)
+	}
+	if rec.Steps[0].Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", rec.Steps[0].Attempts)
+	}
+	st, _ := e.Status("exhaust")
+	if st.Stats.Failed != 1 || st.Stats.LastError == "" {
+		t.Errorf("stats = %+v", st.Stats)
+	}
+}
+
+func TestNonRetryableErrorFailsImmediately(t *testing.T) {
+	calls := 0
+	c := CallerFunc(func(context.Context, string, string, []service.Value) (service.Value, error) {
+		calls++
+		return service.Value{}, service.ErrNoSuchOperation
+	})
+	e := NewEngine(c)
+	defer e.Close()
+	sc := &Scene{
+		Name:  "fatal",
+		Steps: []Step{{Kind: StepCall, Service: "x:y", Op: "Nope", Retries: 5, RetryDelay: time.Millisecond}},
+	}
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := e.Run(context.Background(), "fatal", service.Event{Topic: "manual"})
+	if rec.Outcome != OutcomeFailed || calls != 1 {
+		t.Fatalf("outcome = %s after %d calls", rec.Outcome, calls)
+	}
+}
+
+func TestStepTimeout(t *testing.T) {
+	c := &fakeCaller{block: true}
+	e := NewEngine(c)
+	defer e.Close()
+	sc := &Scene{
+		Name:  "slow",
+		Steps: []Step{{Kind: StepCall, Service: "x:y", Op: "Hang", Timeout: 20 * time.Millisecond}},
+	}
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rec, _ := e.Run(context.Background(), "slow", service.Event{Topic: "manual"})
+	if rec.Outcome != OutcomeFailed || !errors.Is(rec.Err, context.DeadlineExceeded) {
+		t.Fatalf("outcome = %s, err = %v", rec.Outcome, rec.Err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+}
+
+func TestEventTriggerViaHub(t *testing.T) {
+	hub := events.NewHub()
+	defer hub.Close()
+	c := &fakeCaller{}
+	e := NewEngine(c)
+	defer e.Close()
+	e.AddSource("mail-net", HubSource{Hub: hub})
+
+	done := make(chan Record, 4)
+	e.SetRunHook(func(r Record) { done <- r })
+	if err := e.Load(recordScene()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start("autorecord"); err != nil {
+		t.Fatal(err)
+	}
+	hub.Publish(triggerEvent("documentary", 12))
+	select {
+	case rec := <-done:
+		if rec.Outcome != OutcomeCompleted {
+			t.Fatalf("outcome = %s, %v", rec.Outcome, rec.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never fired")
+	}
+
+	// A stopped scene no longer fires.
+	if err := e.Stop("autorecord"); err != nil {
+		t.Fatal(err)
+	}
+	hub.Publish(triggerEvent("documentary", 12))
+	select {
+	case <-done:
+		t.Fatal("stopped scene fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestTriggerSourceFilter(t *testing.T) {
+	hub := events.NewHub()
+	defer hub.Close()
+	e := NewEngine(&fakeCaller{})
+	defer e.Close()
+	e.AddSource("net", HubSource{Hub: hub})
+	done := make(chan Record, 4)
+	e.SetRunHook(func(r Record) { done <- r })
+	sc := recordScene()
+	sc.Triggers = []Trigger{{Topic: "guide.match", Source: "soap:tvguide"}}
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(sc.Name); err != nil {
+		t.Fatal(err)
+	}
+	wrong := triggerEvent("documentary", 12)
+	wrong.Source = "someone:else"
+	hub.Publish(wrong)
+	select {
+	case <-done:
+		t.Fatal("source filter ignored")
+	case <-time.After(100 * time.Millisecond):
+	}
+	hub.Publish(triggerEvent("documentary", 12))
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("matching source never fired")
+	}
+}
+
+func TestSourceAddedAfterStartDeliversTriggers(t *testing.T) {
+	e := NewEngine(&fakeCaller{})
+	defer e.Close()
+	done := make(chan Record, 4)
+	e.SetRunHook(func(r Record) { done <- r })
+	// recordScene's trigger has no network filter: it subscribes to
+	// every registered network, including ones that appear later.
+	if err := e.Load(recordScene()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start("autorecord"); err != nil {
+		t.Fatal(err)
+	}
+	late := events.NewHub()
+	defer late.Close()
+	e.AddSource("late-net", HubSource{Hub: late})
+	late.Publish(triggerEvent("documentary", 12))
+	select {
+	case rec := <-done:
+		if rec.Outcome != OutcomeCompleted {
+			t.Fatalf("outcome = %s, %v", rec.Outcome, rec.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("trigger on late-added network never fired")
+	}
+}
+
+func TestStartUnknownNetworkFails(t *testing.T) {
+	e := NewEngine(&fakeCaller{})
+	defer e.Close()
+	sc := recordScene()
+	sc.Triggers = []Trigger{{Topic: "guide.match", Network: "nope-net"}}
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(sc.Name); err == nil {
+		t.Fatal("Start with unknown network succeeded")
+	}
+}
+
+func TestIntervalTrigger(t *testing.T) {
+	c := &fakeCaller{}
+	e := NewEngine(c)
+	defer e.Close()
+	done := make(chan Record, 64)
+	e.SetRunHook(func(r Record) { done <- r })
+	sc := &Scene{
+		Name:     "tick",
+		Triggers: []Trigger{{Every: 10 * time.Millisecond}},
+		Steps:    []Step{{Kind: StepCall, Service: "x:y", Op: "Ping"}},
+	}
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start("tick"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case rec := <-done:
+			if rec.Trigger.Topic != TopicInterval {
+				t.Errorf("trigger topic = %s", rec.Trigger.Topic)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("interval never fired")
+		}
+	}
+	if err := e.Stop("tick"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishStepChainsScenes(t *testing.T) {
+	hub := events.NewHub()
+	defer hub.Close()
+	c := &fakeCaller{respond: map[string]service.Value{
+		"guide.FindTitle":   service.StringValue("Robot Wrestling"),
+		"guide.FindChannel": service.IntValue(7),
+	}}
+	e := NewEngine(c)
+	defer e.Close()
+	e.AddSource("net", HubSource{Hub: hub})
+	done := make(chan Record, 8)
+	e.SetRunHook(func(r Record) { done <- r })
+
+	scan := &Scene{
+		Name: "scan",
+		Steps: []Step{
+			{Kind: StepCall, Name: "title", Service: "guide", Op: "FindTitle"},
+			{Kind: StepCall, Name: "channel", Service: "guide", Op: "FindChannel"},
+			{Kind: StepPublish, Network: "net", Topic: "guide.match", Payload: []Field{
+				{Name: "title", Type: service.KindString, Text: "${steps.title.result}"},
+				{Name: "channel", Type: service.KindInt, Text: "${steps.channel.result}"},
+				{Name: "genre", Type: service.KindString, Text: "documentary"},
+			}},
+		},
+	}
+	record := recordScene()
+	for _, sc := range []*Scene{scan, record} {
+		if err := e.Load(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background(), "scan", service.Event{Topic: "manual"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case rec := <-done:
+			if rec.Scene == "autorecord" {
+				if rec.Outcome != OutcomeCompleted {
+					t.Fatalf("autorecord outcome = %s, %v", rec.Outcome, rec.Err)
+				}
+				if rec.Trigger.Source != "scene:scan" {
+					t.Errorf("chained trigger source = %s", rec.Trigger.Source)
+				}
+				if rec.Trigger.Payload["channel"].Int() != 7 {
+					t.Errorf("chained payload = %+v", rec.Trigger.Payload)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("chained scene never ran")
+		}
+	}
+}
+
+func TestLoadLifecycle(t *testing.T) {
+	e := NewEngine(&fakeCaller{})
+	defer e.Close()
+	sc := recordScene()
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	// Reload while stopped is fine.
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	hub := events.NewHub()
+	defer hub.Close()
+	e.AddSource("net", HubSource{Hub: hub})
+	if err := e.Start(sc.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(sc); err == nil {
+		t.Error("reload of running scene accepted")
+	}
+	if err := e.Unload(sc.Name); err == nil {
+		t.Error("unload of running scene accepted")
+	}
+	if err := e.Stop(sc.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Unload(sc.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Status(sc.Name); err == nil {
+		t.Error("status of unloaded scene succeeded")
+	}
+	if got := len(e.List()); got != 0 {
+		t.Errorf("List after unload = %d entries", got)
+	}
+}
+
+func TestLoadXMLAndList(t *testing.T) {
+	e := NewEngine(&fakeCaller{})
+	defer e.Close()
+	names, err := e.LoadXML(Encode([]*Scene{recordScene(), {
+		Name:  "second",
+		Steps: []Step{{Kind: StepSleep, For: time.Millisecond}},
+	}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "autorecord" || names[1] != "second" {
+		t.Fatalf("names = %v", names)
+	}
+	list := e.List()
+	if len(list) != 2 || list[0].Name != "autorecord" || list[1].Steps != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestEngineCloseIsIdempotentAndWaits(t *testing.T) {
+	e := NewEngine(&fakeCaller{})
+	sc := &Scene{
+		Name:     "tick",
+		Triggers: []Trigger{{Every: 5 * time.Millisecond}},
+		Steps:    []Step{{Kind: StepSleep, For: time.Millisecond}},
+	}
+	if err := e.Load(sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start("tick"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	e.Close()
+	e.Close()
+	if err := e.Load(sc); err == nil {
+		t.Error("Load after Close accepted")
+	}
+}

@@ -1,0 +1,242 @@
+// Package scene is the framework's declarative service-composition layer:
+// the paper's §2 motivating scenario — "the service integration of a VCR
+// control service with a TV program service on the Internet can provide an
+// automatic video recording service" — expressed as a storable artifact
+// the system executes, monitors and retries, instead of a hand-coded
+// integration loop.
+//
+// A Scene is triggers + guards + a sequence of actions:
+//
+//   - Triggers fire a run: an event on any middleware network's hub
+//     (matched by topic/source, delivered via in-process subscription or
+//     remote long-poll), or a fixed interval schedule.
+//   - Guards are comparisons over the trigger's payload and earlier step
+//     results; a false guard stops the run without error ("guarded").
+//   - Steps are federation calls (with argument templating, a per-step
+//     timeout and bounded retry on service.ErrUnavailable), synthetic
+//     event publications, and sleeps.
+//
+// Scenes serialize to XML (see Encode/Decode) so compositions are data,
+// not code; the Engine loads, arms, runs and accounts for them.
+package scene
+
+import (
+	"fmt"
+	"time"
+
+	"homeconnect/internal/service"
+)
+
+// Step kinds.
+const (
+	// StepCall invokes a federation service operation.
+	StepCall = "call"
+	// StepPublish emits a synthetic event on a network's hub.
+	StepPublish = "publish"
+	// StepSleep pauses the run.
+	StepSleep = "sleep"
+)
+
+// Guard comparison operators.
+const (
+	OpEq       = "eq"
+	OpNe       = "ne"
+	OpLt       = "lt"
+	OpLe       = "le"
+	OpGt       = "gt"
+	OpGe       = "ge"
+	OpContains = "contains"
+)
+
+// DefaultStepTimeout bounds call steps that declare no timeout of their
+// own.
+const DefaultStepTimeout = 10 * time.Second
+
+// DefaultRetryDelay separates retry attempts when a step declares none.
+const DefaultRetryDelay = 50 * time.Millisecond
+
+// TopicInterval is the topic of the synthetic trigger event an interval
+// schedule delivers to its runs.
+const TopicInterval = "scene.interval"
+
+// Trigger fires scene runs. Every > 0 makes it an interval schedule;
+// otherwise it is an event trigger matching Topic (TopicMatches grammar;
+// empty matches all) and, when set, the exact event Source, on the named
+// Network's hub (empty = every registered network).
+type Trigger struct {
+	Topic   string
+	Source  string
+	Network string
+	Every   time.Duration
+}
+
+// Guard is one comparison: both operands are templates (see the template
+// grammar below); Op is one of the Op* constants. The ordered operators
+// compare numerically when both expanded operands parse as numbers, and
+// lexically otherwise.
+type Guard struct {
+	Left  string
+	Op    string
+	Right string
+}
+
+// Arg is one templated call argument: Text expands against the run
+// environment, then parses as Type.
+type Arg struct {
+	Type service.Kind
+	Text string
+}
+
+// Field is one templated payload attribute of a publish step.
+type Field struct {
+	Name string
+	Type service.Kind
+	Text string
+}
+
+// Step is one action of a scene. Name, when set, makes the step's result
+// referenceable by later templates as ${steps.<name>.result}. Guards run
+// before the step; a false guard ends the run as "guarded".
+type Step struct {
+	Kind   string
+	Name   string
+	Guards []Guard
+
+	// Call fields. Service is a template; the call is retried up to
+	// Retries extra times when it fails with service.ErrUnavailable
+	// (devices detach, leases lapse), waiting RetryDelay between
+	// attempts. Timeout bounds each attempt (DefaultStepTimeout if zero).
+	Service    string
+	Op         string
+	Args       []Arg
+	Timeout    time.Duration
+	Retries    int
+	RetryDelay time.Duration
+
+	// Publish fields. Topic and Source are templates; Network selects the
+	// hub (empty = first registered source that can publish).
+	Network string
+	Topic   string
+	Source  string
+	Payload []Field
+
+	// Sleep duration.
+	For time.Duration
+}
+
+// Scene is one declarative composition.
+type Scene struct {
+	Name     string
+	Doc      string
+	Triggers []Trigger
+	Guards   []Guard
+	Steps    []Step
+}
+
+// Template reference grammar, usable anywhere a field is documented as a
+// template:
+//
+//	${trigger.topic}          the triggering event's topic
+//	${trigger.source}         the triggering event's source service ID
+//	${trigger.seq}            the triggering event's sequence number
+//	${trigger.payload.<key>}  a payload attribute, in Value text form
+//	${steps.<name>.result}    a completed named step's result
+//
+// Everything outside ${...} is literal.
+
+var validOps = map[string]bool{
+	OpEq: true, OpNe: true, OpLt: true, OpLe: true,
+	OpGt: true, OpGe: true, OpContains: true,
+}
+
+// Validate checks the guard's operator.
+func (g Guard) Validate() error {
+	if !validOps[g.Op] {
+		return fmt.Errorf("scene: unknown guard op %q", g.Op)
+	}
+	return nil
+}
+
+func validateArgKind(k service.Kind) error {
+	if !k.Valid() || k == service.KindVoid {
+		return fmt.Errorf("scene: invalid argument kind %v", k)
+	}
+	return nil
+}
+
+// Validate checks the scene for structural problems; the Engine refuses
+// unvalidatable scenes at Load.
+func (s *Scene) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scene: scene with empty name")
+	}
+	if len(s.Steps) == 0 {
+		return fmt.Errorf("scene %s: no steps", s.Name)
+	}
+	for i, tr := range s.Triggers {
+		if tr.Every < 0 {
+			return fmt.Errorf("scene %s: trigger %d: negative interval", s.Name, i+1)
+		}
+		if tr.Every > 0 && (tr.Topic != "" || tr.Source != "" || tr.Network != "") {
+			return fmt.Errorf("scene %s: trigger %d: interval trigger cannot filter topic/source/network", s.Name, i+1)
+		}
+	}
+	for i, g := range s.Guards {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("scene %s: guard %d: %w", s.Name, i+1, err)
+		}
+	}
+	names := make(map[string]bool, len(s.Steps))
+	for i, st := range s.Steps {
+		where := fmt.Sprintf("scene %s: step %d", s.Name, i+1)
+		if st.Name != "" {
+			if names[st.Name] {
+				return fmt.Errorf("%s: duplicate step name %q", where, st.Name)
+			}
+			names[st.Name] = true
+		}
+		for j, g := range st.Guards {
+			if err := g.Validate(); err != nil {
+				return fmt.Errorf("%s: guard %d: %w", where, j+1, err)
+			}
+		}
+		switch st.Kind {
+		case StepCall:
+			if st.Service == "" || st.Op == "" {
+				return fmt.Errorf("%s: call needs service and op", where)
+			}
+			if st.Retries < 0 || st.Timeout < 0 || st.RetryDelay < 0 {
+				return fmt.Errorf("%s: negative retry/timeout settings", where)
+			}
+			for _, a := range st.Args {
+				if err := validateArgKind(a.Type); err != nil {
+					return fmt.Errorf("%s: %w", where, err)
+				}
+			}
+		case StepPublish:
+			if st.Topic == "" {
+				return fmt.Errorf("%s: publish needs a topic", where)
+			}
+			seen := make(map[string]bool, len(st.Payload))
+			for _, f := range st.Payload {
+				if f.Name == "" {
+					return fmt.Errorf("%s: payload field with empty name", where)
+				}
+				if seen[f.Name] {
+					return fmt.Errorf("%s: duplicate payload field %q", where, f.Name)
+				}
+				seen[f.Name] = true
+				if err := validateArgKind(f.Type); err != nil {
+					return fmt.Errorf("%s: payload %s: %w", where, f.Name, err)
+				}
+			}
+		case StepSleep:
+			if st.For <= 0 {
+				return fmt.Errorf("%s: sleep needs a positive duration", where)
+			}
+		default:
+			return fmt.Errorf("%s: unknown step kind %q", where, st.Kind)
+		}
+	}
+	return nil
+}

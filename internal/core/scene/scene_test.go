@@ -1,0 +1,241 @@
+package scene
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"homeconnect/internal/service"
+)
+
+// fullScene exercises every construct the codec supports.
+func fullScene() *Scene {
+	return &Scene{
+		Name: "autorecord",
+		Doc:  "record matched programs",
+		Triggers: []Trigger{
+			{Topic: "guide.match", Source: "soap:tvguide", Network: "mail-net"},
+			{Topic: "guide.*"},
+			{Every: 30 * time.Second},
+		},
+		Guards: []Guard{
+			{Left: "${trigger.payload.genre}", Op: OpEq, Right: "documentary"},
+		},
+		Steps: []Step{
+			{
+				Kind: StepCall, Name: "tune",
+				Service: "havi:vcr-vcr1", Op: "SetChannel",
+				Timeout: 5 * time.Second, Retries: 2, RetryDelay: 100 * time.Millisecond,
+				Args: []Arg{{Type: service.KindInt, Text: "${trigger.payload.channel}"}},
+			},
+			{Kind: StepCall, Name: "record", Service: "havi:vcr-vcr1", Op: "Record"},
+			{Kind: StepSleep, For: 500 * time.Millisecond},
+			{
+				Kind: StepPublish, Network: "mail-net", Topic: "recording.started", Source: "scene:autorecord",
+				Guards:  []Guard{{Left: "${steps.record.result}", Op: OpNe, Right: "error"}},
+				Payload: []Field{{Name: "channel", Type: service.KindInt, Text: "${trigger.payload.channel}"}},
+			},
+		},
+	}
+}
+
+func TestXMLRoundTripByteIdentical(t *testing.T) {
+	scenes := []*Scene{fullScene(), {
+		Name:  "minimal",
+		Steps: []Step{{Kind: StepCall, Service: "x:y", Op: "Ping"}},
+	}}
+	first := Encode(scenes)
+	decoded, err := Decode(first)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	second := Encode(decoded)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("round trip not byte-identical:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+func TestXMLRoundTripPreservesStructure(t *testing.T) {
+	in := fullScene()
+	decoded, err := Decode(Encode([]*Scene{in}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("got %d scenes", len(decoded))
+	}
+	out := decoded[0]
+	if out.Name != in.Name || out.Doc != in.Doc {
+		t.Errorf("identity: got %q/%q", out.Name, out.Doc)
+	}
+	if len(out.Triggers) != 3 || out.Triggers[2].Every != 30*time.Second {
+		t.Errorf("triggers = %+v", out.Triggers)
+	}
+	if out.Triggers[0].Network != "mail-net" || out.Triggers[1].Topic != "guide.*" {
+		t.Errorf("event triggers = %+v", out.Triggers)
+	}
+	if len(out.Guards) != 1 || out.Guards[0].Op != OpEq {
+		t.Errorf("guards = %+v", out.Guards)
+	}
+	if len(out.Steps) != 4 {
+		t.Fatalf("steps = %+v", out.Steps)
+	}
+	tune := out.Steps[0]
+	if tune.Retries != 2 || tune.Timeout != 5*time.Second || tune.RetryDelay != 100*time.Millisecond {
+		t.Errorf("tune retry config = %+v", tune)
+	}
+	if len(tune.Args) != 1 || tune.Args[0].Type != service.KindInt {
+		t.Errorf("tune args = %+v", tune.Args)
+	}
+	if out.Steps[2].For != 500*time.Millisecond {
+		t.Errorf("sleep = %+v", out.Steps[2])
+	}
+	pub := out.Steps[3]
+	if pub.Topic != "recording.started" || len(pub.Payload) != 1 || len(pub.Guards) != 1 {
+		t.Errorf("publish = %+v", pub)
+	}
+}
+
+func TestDecodeSingleSceneRoot(t *testing.T) {
+	doc := `<scene name="solo"><step kind="call" service="a:b" op="Ping"/></scene>`
+	scs, err := Decode([]byte(doc))
+	if err != nil || len(scs) != 1 || scs[0].Name != "solo" {
+		t.Fatalf("Decode = %v, %v", scs, err)
+	}
+}
+
+func TestDecodeRejectsBadDocuments(t *testing.T) {
+	cases := []string{
+		`<wrong/>`,
+		`<scenes><scene name=""><step kind="call" service="a" op="b"/></scene></scenes>`,
+		`<scenes><scene name="x"></scene></scenes>`,
+		`<scenes><scene name="x"><step kind="teleport"/></scene></scenes>`,
+		`<scenes><scene name="x"><trigger kind="interval" every="soon"/><step kind="call" service="a" op="b"/></scene></scenes>`,
+		`<scenes><scene name="x"><trigger kind="interval" every="1s" topic="motion"/><step kind="call" service="a" op="b"/></scene></scenes>`,
+		`<scenes><scene name="x"><trigger kind="interval" every="1s" network="net"/><step kind="call" service="a" op="b"/></scene></scenes>`,
+		`<scenes><scene name="x"><bogus/><step kind="call" service="a" op="b"/></scene></scenes>`,
+		`<scenes><scene name="x"><guard left="a" op="resembles" right="b"/><step kind="call" service="a" op="b"/></scene></scenes>`,
+		`<scenes><scene name="x"><step kind="sleep"/></scene></scenes>`,
+		`<scenes><scene name="x"><step kind="publish" topic="t"><arg type="string">v</arg></step></scene></scenes>`,
+		`<scenes><scene name="x"><step kind="call" service="a" op="b"><p name="k" type="string">v</p></step></scene></scenes>`,
+		`<scenes><scene name="x"><step kind="sleep" for="1s"><bogus/></step></scene></scenes>`,
+	}
+	for _, doc := range cases {
+		if _, err := Decode([]byte(doc)); err == nil {
+			t.Errorf("accepted %s", doc)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scene
+		ok   bool
+	}{
+		{"valid", *fullScene(), true},
+		{"empty name", Scene{Steps: []Step{{Kind: StepCall, Service: "a", Op: "b"}}}, false},
+		{"no steps", Scene{Name: "x"}, false},
+		{"interval with topic", Scene{Name: "x",
+			Triggers: []Trigger{{Every: time.Second, Topic: "t"}},
+			Steps:    []Step{{Kind: StepCall, Service: "a", Op: "b"}}}, false},
+		{"dup step names", Scene{Name: "x", Steps: []Step{
+			{Kind: StepCall, Name: "a", Service: "s", Op: "o"},
+			{Kind: StepCall, Name: "a", Service: "s", Op: "o"}}}, false},
+		{"call without op", Scene{Name: "x", Steps: []Step{{Kind: StepCall, Service: "s"}}}, false},
+		{"void arg", Scene{Name: "x", Steps: []Step{
+			{Kind: StepCall, Service: "s", Op: "o", Args: []Arg{{Type: service.KindVoid}}}}}, false},
+		{"publish without topic", Scene{Name: "x", Steps: []Step{{Kind: StepPublish}}}, false},
+		{"dup payload field", Scene{Name: "x", Steps: []Step{{Kind: StepPublish, Topic: "t",
+			Payload: []Field{
+				{Name: "a", Type: service.KindString},
+				{Name: "a", Type: service.KindString}}}}}, false},
+		{"negative retries", Scene{Name: "x", Steps: []Step{
+			{Kind: StepCall, Service: "s", Op: "o", Retries: -1}}}, false},
+	}
+	for _, c := range cases {
+		err := c.sc.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+}
+
+func testEnv() *env {
+	return &env{
+		trigger: service.Event{
+			Source: "soap:tvguide",
+			Topic:  "guide.match",
+			Seq:    7,
+			Payload: map[string]service.Value{
+				"title":   service.StringValue("Ubiquitous Computing Hour"),
+				"channel": service.IntValue(12),
+			},
+		},
+		steps: map[string]service.Value{
+			"state": service.StringValue("recording"),
+		},
+	}
+}
+
+func TestExpand(t *testing.T) {
+	ev := testEnv()
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"${trigger.topic}", "guide.match"},
+		{"${trigger.source}", "soap:tvguide"},
+		{"${trigger.seq}", "7"},
+		{"${trigger.payload.channel}", "12"},
+		{"ch ${trigger.payload.channel}: ${trigger.payload.title}", "ch 12: Ubiquitous Computing Hour"},
+		{"${steps.state.result}", "recording"},
+	}
+	for _, c := range cases {
+		got, err := expand(c.in, ev)
+		if err != nil || got != c.want {
+			t.Errorf("expand(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{
+		"${trigger.payload.missing}",
+		"${steps.nope.result}",
+		"${weird.ref}",
+		"${unterminated",
+	} {
+		if _, err := expand(bad, ev); err == nil {
+			t.Errorf("expand(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestGuardEval(t *testing.T) {
+	ev := testEnv()
+	cases := []struct {
+		g    Guard
+		want bool
+	}{
+		{Guard{"${trigger.topic}", OpEq, "guide.match"}, true},
+		{Guard{"${trigger.topic}", OpNe, "guide.match"}, false},
+		{Guard{"${trigger.payload.channel}", OpGt, "9"}, true},  // numeric: 12 > 9
+		{Guard{"${trigger.payload.channel}", OpLt, "9"}, false}, // lexically "12" < "9" would be true
+		{Guard{"${trigger.payload.channel}", OpGe, "12"}, true},
+		{Guard{"${trigger.payload.channel}", OpLe, "11"}, false},
+		{Guard{"${trigger.payload.title}", OpContains, "Computing"}, true},
+		{Guard{"apple", OpLt, "banana"}, true}, // lexical fallback
+	}
+	for _, c := range cases {
+		got, err := c.g.eval(ev)
+		if err != nil || got != c.want {
+			t.Errorf("eval(%+v) = %v, %v; want %v", c.g, got, err, c.want)
+		}
+	}
+	if _, err := (Guard{"${nope}", OpEq, "x"}).eval(ev); err == nil {
+		t.Error("guard with bad template evaluated")
+	}
+	if err := (Guard{"a", "resembles", "b"}).Validate(); err == nil || !strings.Contains(err.Error(), "resembles") {
+		t.Errorf("bad op validated: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package scene
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"homeconnect/internal/core/events"
+	"homeconnect/internal/service"
+)
+
+// PollSource adapts a remote gateway's event hub into a trigger source by
+// long-polling its /events endpoint from a background goroutine — the
+// path a scene runner outside the federation process (homectl) uses.
+// Publish steps travel back over the hub's /publish endpoint.
+type PollSource struct {
+	client *events.Client
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu   sync.Mutex
+	subs map[int]pollSub
+	next int
+}
+
+type pollSub struct {
+	topic string
+	fn    func(service.Event)
+}
+
+// NewPollSource starts polling the hub behind client. Close releases the
+// poller.
+func NewPollSource(client *events.Client) *PollSource {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &PollSource{
+		client: client,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		subs:   make(map[int]pollSub),
+	}
+	go p.loop(ctx)
+	return p
+}
+
+func (p *PollSource) loop(ctx context.Context) {
+	defer close(p.done)
+	// Fetch the hub's current cursor first so armed scenes react to new
+	// events only, not to replayed ring history. Keep retrying until it
+	// succeeds: entering the dispatch loop at cursor 0 would replay the
+	// whole ring.
+	var since uint64
+	for {
+		_, cur, err := p.client.Poll(ctx, 0, "", 0)
+		if ctx.Err() != nil {
+			return
+		}
+		if err == nil {
+			since = cur
+			break
+		}
+		timer := time.NewTimer(500 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+	}
+	for {
+		evs, next, err := p.client.Poll(ctx, since, "", 10*time.Second)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			// Gateway briefly unreachable: back off and retry.
+			timer := time.NewTimer(500 * time.Millisecond)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			continue
+		}
+		since = next
+		for _, ev := range evs {
+			p.dispatch(ev)
+		}
+	}
+}
+
+func (p *PollSource) dispatch(ev service.Event) {
+	p.mu.Lock()
+	var fns []func(service.Event)
+	for _, s := range p.subs {
+		if events.TopicMatches(s.topic, ev.Topic) {
+			fns = append(fns, s.fn)
+		}
+	}
+	p.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev.Clone())
+	}
+}
+
+// Subscribe implements Source.
+func (p *PollSource) Subscribe(topic string, fn func(service.Event)) (stop func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.next
+	p.next++
+	p.subs[id] = pollSub{topic: topic, fn: fn}
+	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		delete(p.subs, id)
+	}
+}
+
+// PublishEvent implements PublishingSource over the hub's HTTP publish
+// endpoint.
+func (p *PollSource) PublishEvent(ev service.Event) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return p.client.Publish(ctx, ev)
+}
+
+// Close stops the poll loop.
+func (p *PollSource) Close() {
+	p.cancel()
+	<-p.done
+}

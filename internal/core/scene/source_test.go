@@ -1,0 +1,94 @@
+package scene
+
+import (
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/events"
+	"homeconnect/internal/core/vsg"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+)
+
+// startGateway brings up a VSR + one gateway so the PollSource has a real
+// /events endpoint to poll.
+func startGateway(t *testing.T) *vsg.VSG {
+	t.Helper()
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	gw := vsg.New("poll-net", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	return gw
+}
+
+func TestPollSourceDeliversRemoteEvents(t *testing.T) {
+	gw := startGateway(t)
+	// Seed history the source must NOT replay.
+	gw.Hub().Publish(service.Event{Source: "old", Topic: "scene.test"})
+
+	src := NewPollSource(&events.Client{BaseURL: gw.EventsURL()})
+	defer src.Close()
+	got := make(chan service.Event, 8)
+	stop := src.Subscribe("scene.*", func(ev service.Event) { got <- ev })
+	defer stop()
+	other := make(chan service.Event, 8)
+	stopOther := src.Subscribe("unrelated", func(ev service.Event) { other <- ev })
+	defer stopOther()
+
+	// Give the poller a beat to take its starting cursor.
+	time.Sleep(50 * time.Millisecond)
+	gw.Hub().Publish(service.Event{
+		Source:  "soap:tvguide",
+		Topic:   "scene.test",
+		Payload: map[string]service.Value{"n": service.IntValue(42)},
+	})
+	select {
+	case ev := <-got:
+		if ev.Source == "old" {
+			t.Fatal("poll source replayed history")
+		}
+		if ev.Payload["n"].Int() != 42 {
+			t.Fatalf("payload = %+v", ev.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("remote event never delivered")
+	}
+	select {
+	case ev := <-other:
+		t.Fatalf("topic filter leaked event %+v", ev)
+	default:
+	}
+}
+
+func TestPollSourcePublishEvent(t *testing.T) {
+	gw := startGateway(t)
+	src := NewPollSource(&events.Client{BaseURL: gw.EventsURL()})
+	defer src.Close()
+
+	got := make(chan service.Event, 1)
+	stopLocal := gw.Hub().Subscribe("synthetic", func(ev service.Event) { got <- ev })
+	defer stopLocal()
+
+	err := src.PublishEvent(service.Event{
+		Source:  "scene:test",
+		Topic:   "synthetic",
+		Payload: map[string]service.Value{"k": service.StringValue("v")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-got:
+		if ev.Source != "scene:test" || ev.Payload["k"].Str() != "v" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("published event never reached the hub")
+	}
+}

@@ -1,0 +1,118 @@
+package scene
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"homeconnect/internal/service"
+)
+
+// env is the expansion context of one run: the trigger event plus the
+// results of completed named steps.
+type env struct {
+	trigger service.Event
+	steps   map[string]service.Value
+}
+
+// expand substitutes ${...} references in tmpl against the run
+// environment. Unknown references are errors: a template that names a
+// missing payload key or step is a broken composition, not an empty
+// string.
+func expand(tmpl string, ev *env) (string, error) {
+	if !strings.Contains(tmpl, "${") {
+		return tmpl, nil
+	}
+	var b strings.Builder
+	for {
+		i := strings.Index(tmpl, "${")
+		if i < 0 {
+			b.WriteString(tmpl)
+			return b.String(), nil
+		}
+		b.WriteString(tmpl[:i])
+		rest := tmpl[i+2:]
+		j := strings.IndexByte(rest, '}')
+		if j < 0 {
+			return "", fmt.Errorf("scene: unterminated ${ reference in %q", tmpl)
+		}
+		val, err := resolve(rest[:j], ev)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(val)
+		tmpl = rest[j+1:]
+	}
+}
+
+func resolve(ref string, ev *env) (string, error) {
+	switch {
+	case ref == "trigger.topic":
+		return ev.trigger.Topic, nil
+	case ref == "trigger.source":
+		return ev.trigger.Source, nil
+	case ref == "trigger.seq":
+		return strconv.FormatUint(ev.trigger.Seq, 10), nil
+	case strings.HasPrefix(ref, "trigger.payload."):
+		key := ref[len("trigger.payload."):]
+		v, ok := ev.trigger.Payload[key]
+		if !ok {
+			return "", fmt.Errorf("scene: trigger payload has no attribute %q", key)
+		}
+		return v.Text(), nil
+	case strings.HasPrefix(ref, "steps.") && strings.HasSuffix(ref, ".result"):
+		name := ref[len("steps.") : len(ref)-len(".result")]
+		v, ok := ev.steps[name]
+		if !ok {
+			return "", fmt.Errorf("scene: no completed step named %q", name)
+		}
+		return v.Text(), nil
+	}
+	return "", fmt.Errorf("scene: unknown template reference ${%s}", ref)
+}
+
+// eval expands both operands and applies the comparison. Ordered
+// operators compare numerically when both sides parse as numbers, and
+// lexically otherwise.
+func (g Guard) eval(ev *env) (bool, error) {
+	l, err := expand(g.Left, ev)
+	if err != nil {
+		return false, err
+	}
+	r, err := expand(g.Right, ev)
+	if err != nil {
+		return false, err
+	}
+	switch g.Op {
+	case OpEq:
+		return l == r, nil
+	case OpNe:
+		return l != r, nil
+	case OpContains:
+		return strings.Contains(l, r), nil
+	}
+	var c int
+	lf, errL := strconv.ParseFloat(l, 64)
+	rf, errR := strconv.ParseFloat(r, 64)
+	if errL == nil && errR == nil {
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	} else {
+		c = strings.Compare(l, r)
+	}
+	switch g.Op {
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	case OpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("scene: unknown guard op %q", g.Op)
+}

@@ -1,0 +1,263 @@
+package scene
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"homeconnect/internal/service"
+	"homeconnect/internal/xmltree"
+)
+
+// XML codec: scenes are storable artifacts in the framework's xmltree
+// idiom. Encoding is canonical — fixed element order (triggers, guards,
+// steps), fixed attribute order, zero-valued attributes omitted — so
+// encode→decode→encode is byte-identical.
+//
+// Schema sketch (see DESIGN.md for the full example):
+//
+//	<scenes>
+//	  <scene name="..." doc="...">
+//	    <trigger kind="event" topic="..." source="..." network="..."/>
+//	    <trigger kind="interval" every="30s"/>
+//	    <guard left="..." op="eq" right="..."/>
+//	    <step kind="call" name="..." service="..." op="..."
+//	          timeout="5s" retries="2" retrydelay="100ms">
+//	      <guard .../>
+//	      <arg type="string">template text</arg>
+//	    </step>
+//	    <step kind="publish" network="..." topic="..." source="...">
+//	      <p name="..." type="int">template text</p>
+//	    </step>
+//	    <step kind="sleep" for="500ms"/>
+//	  </scene>
+//	</scenes>
+
+// Encode renders scenes as a canonical <scenes> document.
+func Encode(scenes []*Scene) []byte {
+	w := xmltree.NewWriter()
+	w.Open("scenes")
+	for _, s := range scenes {
+		writeScene(w, s)
+	}
+	return w.Bytes()
+}
+
+func writeScene(w *xmltree.Writer, s *Scene) {
+	attrs := []string{"name", s.Name}
+	if s.Doc != "" {
+		attrs = append(attrs, "doc", s.Doc)
+	}
+	w.Open("scene", attrs...)
+	for _, t := range s.Triggers {
+		if t.Every > 0 {
+			w.SelfClose("trigger", "kind", "interval", "every", t.Every.String())
+			continue
+		}
+		attrs := []string{"kind", "event", "topic", t.Topic}
+		if t.Source != "" {
+			attrs = append(attrs, "source", t.Source)
+		}
+		if t.Network != "" {
+			attrs = append(attrs, "network", t.Network)
+		}
+		w.SelfClose("trigger", attrs...)
+	}
+	for _, g := range s.Guards {
+		writeGuard(w, g)
+	}
+	for _, st := range s.Steps {
+		writeStep(w, st)
+	}
+	w.Close()
+}
+
+func writeGuard(w *xmltree.Writer, g Guard) {
+	w.SelfClose("guard", "left", g.Left, "op", g.Op, "right", g.Right)
+}
+
+func writeStep(w *xmltree.Writer, st Step) {
+	attrs := []string{"kind", st.Kind}
+	if st.Name != "" {
+		attrs = append(attrs, "name", st.Name)
+	}
+	switch st.Kind {
+	case StepCall:
+		attrs = append(attrs, "service", st.Service, "op", st.Op)
+		if st.Timeout > 0 {
+			attrs = append(attrs, "timeout", st.Timeout.String())
+		}
+		if st.Retries > 0 {
+			attrs = append(attrs, "retries", strconv.Itoa(st.Retries))
+		}
+		if st.RetryDelay > 0 {
+			attrs = append(attrs, "retrydelay", st.RetryDelay.String())
+		}
+	case StepPublish:
+		if st.Network != "" {
+			attrs = append(attrs, "network", st.Network)
+		}
+		attrs = append(attrs, "topic", st.Topic)
+		if st.Source != "" {
+			attrs = append(attrs, "source", st.Source)
+		}
+	case StepSleep:
+		attrs = append(attrs, "for", st.For.String())
+	}
+	if len(st.Guards) == 0 && len(st.Args) == 0 && len(st.Payload) == 0 {
+		w.SelfClose("step", attrs...)
+		return
+	}
+	w.Open("step", attrs...)
+	for _, g := range st.Guards {
+		writeGuard(w, g)
+	}
+	for _, a := range st.Args {
+		w.Leaf("arg", a.Text, "type", a.Type.String())
+	}
+	for _, f := range st.Payload {
+		w.Leaf("p", f.Text, "name", f.Name, "type", f.Type.String())
+	}
+	w.Close()
+}
+
+// Decode parses a <scenes> document (or a single <scene> root) and
+// validates every scene.
+func Decode(data []byte) ([]*Scene, error) {
+	root, err := xmltree.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("scene: %w", err)
+	}
+	var els []*xmltree.Element
+	switch root.Name.Local {
+	case "scenes":
+		els = root.All("scene")
+	case "scene":
+		els = []*xmltree.Element{root}
+	default:
+		return nil, fmt.Errorf("scene: unexpected root element <%s>", root.Name.Local)
+	}
+	out := make([]*Scene, 0, len(els))
+	for _, el := range els {
+		s, err := sceneFromXML(el)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func sceneFromXML(el *xmltree.Element) (*Scene, error) {
+	s := &Scene{Name: el.Attr("name"), Doc: el.Attr("doc")}
+	for _, c := range el.Children {
+		switch c.Name.Local {
+		case "trigger":
+			tr, err := triggerFromXML(s.Name, c)
+			if err != nil {
+				return nil, err
+			}
+			s.Triggers = append(s.Triggers, tr)
+		case "guard":
+			s.Guards = append(s.Guards, guardFromXML(c))
+		case "step":
+			st, err := stepFromXML(s.Name, c)
+			if err != nil {
+				return nil, err
+			}
+			s.Steps = append(s.Steps, st)
+		default:
+			return nil, fmt.Errorf("scene %s: unexpected element <%s>", s.Name, c.Name.Local)
+		}
+	}
+	return s, nil
+}
+
+func triggerFromXML(scene string, el *xmltree.Element) (Trigger, error) {
+	// Filter attributes decode for both kinds so Validate can reject an
+	// interval trigger that also names them, instead of silently
+	// dropping the author's filter.
+	tr := Trigger{
+		Topic:   el.Attr("topic"),
+		Source:  el.Attr("source"),
+		Network: el.Attr("network"),
+	}
+	switch kind := el.Attr("kind"); kind {
+	case "interval":
+		d, err := time.ParseDuration(el.Attr("every"))
+		if err != nil {
+			return Trigger{}, fmt.Errorf("scene %s: interval trigger: bad every %q", scene, el.Attr("every"))
+		}
+		tr.Every = d
+		return tr, nil
+	case "event":
+		return tr, nil
+	default:
+		return Trigger{}, fmt.Errorf("scene %s: unknown trigger kind %q", scene, kind)
+	}
+}
+
+func guardFromXML(el *xmltree.Element) Guard {
+	return Guard{Left: el.Attr("left"), Op: el.Attr("op"), Right: el.Attr("right")}
+}
+
+func attrDuration(el *xmltree.Element, name string) (time.Duration, error) {
+	s := el.Attr(name)
+	if s == "" {
+		return 0, nil
+	}
+	return time.ParseDuration(s)
+}
+
+func stepFromXML(scene string, el *xmltree.Element) (Step, error) {
+	st := Step{Kind: el.Attr("kind"), Name: el.Attr("name")}
+	var err error
+	switch st.Kind {
+	case StepCall:
+		st.Service = el.Attr("service")
+		st.Op = el.Attr("op")
+		if st.Timeout, err = attrDuration(el, "timeout"); err != nil {
+			return Step{}, fmt.Errorf("scene %s: step %s: bad timeout: %w", scene, st.Name, err)
+		}
+		if st.RetryDelay, err = attrDuration(el, "retrydelay"); err != nil {
+			return Step{}, fmt.Errorf("scene %s: step %s: bad retrydelay: %w", scene, st.Name, err)
+		}
+		if r := el.Attr("retries"); r != "" {
+			if st.Retries, err = strconv.Atoi(r); err != nil {
+				return Step{}, fmt.Errorf("scene %s: step %s: bad retries %q", scene, st.Name, r)
+			}
+		}
+	case StepPublish:
+		st.Network = el.Attr("network")
+		st.Topic = el.Attr("topic")
+		st.Source = el.Attr("source")
+	case StepSleep:
+		if st.For, err = attrDuration(el, "for"); err != nil {
+			return Step{}, fmt.Errorf("scene %s: sleep step: bad for: %w", scene, err)
+		}
+	}
+	// Children are matched strictly per step kind: a misplaced <arg> or
+	// <p> is an authoring mistake worth an error at load time, not a
+	// silently dropped element that surfaces as a template failure at
+	// run time.
+	for _, c := range el.Children {
+		switch {
+		case c.Name.Local == "guard":
+			st.Guards = append(st.Guards, guardFromXML(c))
+		case c.Name.Local == "arg" && st.Kind == StepCall:
+			st.Args = append(st.Args, Arg{Type: service.KindFromString(c.Attr("type")), Text: c.Text})
+		case c.Name.Local == "p" && st.Kind == StepPublish:
+			st.Payload = append(st.Payload, Field{
+				Name: c.Attr("name"),
+				Type: service.KindFromString(c.Attr("type")),
+				Text: c.Text,
+			})
+		default:
+			return Step{}, fmt.Errorf("scene %s: %s step cannot contain <%s>", scene, st.Kind, c.Name.Local)
+		}
+	}
+	return st, nil
+}

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"homeconnect/internal/core/events"
@@ -68,9 +69,16 @@ type VSG struct {
 	refreshCancel context.CancelFunc
 	refreshDone   chan struct{}
 
-	// stats for the benchmark harness.
-	inboundCalls  uint64
-	outboundCalls uint64
+	// refresh health, guarded by mu: refreshLoop failures would otherwise
+	// vanish silently while the VSR lets registrations lapse.
+	refreshFailures int
+	lastRefreshErr  string
+	lastRefreshOK   time.Time
+
+	// stats for the benchmark harness; atomic, off the mutex — they sit
+	// on the per-call hot path.
+	inboundCalls  atomic.Uint64
+	outboundCalls atomic.Uint64
 }
 
 type cachedRemote struct {
@@ -251,11 +259,24 @@ func (g *VSG) refreshLoop(ctx context.Context) {
 				exports = append(exports, e)
 			}
 			g.mu.Unlock()
+			var roundErr error
 			for _, e := range exports {
 				rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-				_, _ = g.vsr.Register(rctx, e.desc, g.EndpointFor(e.desc.ID))
+				_, err := g.vsr.Register(rctx, e.desc, g.EndpointFor(e.desc.ID))
 				cancel()
+				if err != nil && roundErr == nil {
+					roundErr = fmt.Errorf("vsg %s: refresh %s: %w", g.name, e.desc.ID, err)
+				}
 			}
+			g.mu.Lock()
+			if roundErr != nil {
+				g.refreshFailures++
+				g.lastRefreshErr = roundErr.Error()
+			} else {
+				g.refreshFailures = 0
+				g.lastRefreshOK = time.Now()
+			}
+			g.mu.Unlock()
 		}
 	}
 }
@@ -322,18 +343,39 @@ func (g *VSG) CallRemote(ctx context.Context, remote vsr.Remote, op string, args
 	for i, p := range opSpec.Inputs {
 		call.Args = append(call.Args, soap.Arg{Name: p.Name, Value: args[i]})
 	}
-	g.mu.Lock()
-	g.outboundCalls++
-	g.mu.Unlock()
+	g.outboundCalls.Add(1)
 	client := &soap.Client{URL: remote.Endpoint}
 	return client.Call(ctx, Namespace(remote.Desc.ID)+"#"+op, call)
 }
 
 // Stats returns (inbound, outbound) call counters.
 func (g *VSG) Stats() (inbound, outbound uint64) {
+	return g.inboundCalls.Load(), g.outboundCalls.Load()
+}
+
+// Health describes the gateway's registration-refresh loop. A non-zero
+// ConsecutiveRefreshFailures with an aging LastRefreshOK means the VSR is
+// expiring this gateway's exports: the dead-repository condition §3.3
+// leaves otherwise invisible.
+type Health struct {
+	// ConsecutiveRefreshFailures counts refresh rounds since the last
+	// fully successful one.
+	ConsecutiveRefreshFailures int
+	// LastRefreshError is the most recent re-registration error.
+	LastRefreshError string
+	// LastRefreshOK is when a round last re-registered every export.
+	LastRefreshOK time.Time
+}
+
+// Health reports the refresh loop's condition.
+func (g *VSG) Health() Health {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.inboundCalls, g.outboundCalls
+	return Health{
+		ConsecutiveRefreshFailures: g.refreshFailures,
+		LastRefreshError:           g.lastRefreshErr,
+		LastRefreshOK:              g.lastRefreshOK,
+	}
 }
 
 // inbound adapts the gateway's exports to the SOAP server: the client
@@ -364,8 +406,6 @@ func (in inbound) ServeSOAP(ctx context.Context, call soap.Call) (service.Value,
 	if err := service.ValidateArgs(op, args); err != nil {
 		return service.Value{}, err
 	}
-	in.g.mu.Lock()
-	in.g.inboundCalls++
-	in.g.mu.Unlock()
+	in.g.inboundCalls.Add(1)
 	return e.invoker.Invoke(ctx, call.Operation, args)
 }

@@ -269,3 +269,77 @@ func TestListQuery(t *testing.T) {
 		}
 	}
 }
+
+func TestUnexportUnknownService(t *testing.T) {
+	r := newRig(t)
+	if err := r.gw1.Unexport(context.Background(), "jini:ghost"); !errors.Is(err, service.ErrNoSuchService) {
+		t.Errorf("Unexport of never-exported service = %v, want ErrNoSuchService", err)
+	}
+}
+
+func TestHealthSurfacesRefreshFailures(t *testing.T) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := New("net1", srv.URL())
+	gw.VSR().SetTTL(300 * time.Millisecond) // refresh every 100ms
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	ctx := context.Background()
+	if err := gw.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy repository: a successful round stamps LastRefreshOK and
+	// keeps the failure counter at zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Health().LastRefreshOK.IsZero() {
+		if time.Now().After(deadline) {
+			t.Fatal("no successful refresh round observed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if h := gw.Health(); h.ConsecutiveRefreshFailures != 0 {
+		t.Errorf("healthy gateway reports %+v", h)
+	}
+
+	// Dead repository: consecutive failures climb and the error is
+	// readable — the observable dead-VSR condition.
+	srv.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		h := gw.Health()
+		if h.ConsecutiveRefreshFailures >= 2 {
+			if h.LastRefreshError == "" {
+				t.Error("failures counted but no error recorded")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refresh failures never surfaced: %+v", h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestStatsCountCrossGatewayCalls(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.gw2.Call(ctx, "jini:lamp-1", "Level", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in, _ := r.gw1.Stats(); in != 3 {
+		t.Errorf("gw1 inbound = %d, want 3", in)
+	}
+	if _, out := r.gw2.Stats(); out != 3 {
+		t.Errorf("gw2 outbound = %d, want 3", out)
+	}
+}

@@ -134,18 +134,29 @@ func (d *Device) Unregister(swID uint16) {
 	delete(d.elements, swID)
 }
 
-// RegisterFCM installs el under the next free FCM ID.
-func (d *Device) RegisterFCM(el Element) SEID {
+// RegisterFCM installs el under the next free FCM ID. init, when
+// non-nil, runs with the allocated SEID before el is installed, so an
+// element never becomes visible to bus traffic (registry queries,
+// messages) half-initialized.
+func (d *Device) RegisterFCM(el Element, init func(SEID)) SEID {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	var id uint16
 	for {
-		id := d.nextFCM
+		id = d.nextFCM
 		d.nextFCM++
 		if _, used := d.elements[id]; !used {
-			d.elements[id] = el
-			return SEID{GUID: d.node.GUID(), SwID: id}
+			break
 		}
 	}
+	d.mu.Unlock()
+	seid := SEID{GUID: d.node.GUID(), SwID: id}
+	if init != nil {
+		init(seid)
+	}
+	d.mu.Lock()
+	d.elements[id] = el
+	d.mu.Unlock()
+	return seid
 }
 
 // handleBus serves one incoming bus payload.

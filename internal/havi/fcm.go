@@ -115,8 +115,7 @@ type VCR struct {
 // NewVCR registers a VCR FCM on dev.
 func NewVCR(dev *Device, name string) *VCR {
 	v := &VCR{state: StateStopped}
-	seid := dev.RegisterFCM(v)
-	v.fcmInit(dev, seid, "VCR", name)
+	dev.RegisterFCM(v, func(seid SEID) { v.fcmInit(dev, seid, "VCR", name) })
 	return v
 }
 
@@ -234,8 +233,7 @@ type Camera struct {
 // NewCamera registers a camera FCM on dev.
 func NewCamera(dev *Device, name string) *Camera {
 	c := &Camera{state: StateStopped}
-	seid := dev.RegisterFCM(c)
-	c.fcmInit(dev, seid, "Camera", name)
+	dev.RegisterFCM(c, func(seid SEID) { c.fcmInit(dev, seid, "Camera", name) })
 	return c
 }
 
@@ -346,8 +344,7 @@ type Tuner struct {
 // NewTuner registers a tuner FCM on dev.
 func NewTuner(dev *Device, name string) *Tuner {
 	t := &Tuner{channel: 1}
-	seid := dev.RegisterFCM(t)
-	t.fcmInit(dev, seid, "Tuner", name)
+	dev.RegisterFCM(t, func(seid SEID) { t.fcmInit(dev, seid, "Tuner", name) })
 	return t
 }
 
@@ -392,8 +389,7 @@ type Display struct {
 // NewDisplay registers a display FCM on dev.
 func NewDisplay(dev *Device, name string) *Display {
 	d := &Display{input: "tuner"}
-	seid := dev.RegisterFCM(d)
-	d.fcmInit(dev, seid, "Display", name)
+	dev.RegisterFCM(d, func(seid SEID) { d.fcmInit(dev, seid, "Display", name) })
 	return d
 }
 
@@ -481,8 +477,7 @@ type Amplifier struct {
 // NewAmplifier registers an amplifier FCM on dev.
 func NewAmplifier(dev *Device, name string) *Amplifier {
 	a := &Amplifier{volume: 50}
-	seid := dev.RegisterFCM(a)
-	a.fcmInit(dev, seid, "Amplifier", name)
+	dev.RegisterFCM(a, func(seid SEID) { a.fcmInit(dev, seid, "Amplifier", name) })
 	return a
 }
 

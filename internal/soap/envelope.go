@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 
 	"homeconnect/internal/service"
 )
@@ -104,21 +105,57 @@ func kindFromXSD(t string) (service.Kind, error) {
 	}
 }
 
-// encodeValueText renders a value's character data for the wire. Bytes use
-// base64 per xsd:base64Binary; scalars use service text form.
-func encodeValueText(v service.Value) string {
-	if v.Kind() == service.KindBytes {
-		return base64.StdEncoding.EncodeToString(v.Bytes())
+// isXMLChar reports whether r is representable in XML 1.0 character data.
+// Control characters below 0x20 (except tab, LF, CR) and the non-character
+// code points cannot appear even escaped; xml.EscapeText silently replaces
+// them with U+FFFD, which would corrupt round-trips.
+func isXMLChar(r rune) bool {
+	return r == 0x09 || r == 0x0A || r == 0x0D ||
+		(r >= 0x20 && r <= 0xD7FF) ||
+		(r >= 0xE000 && r <= 0xFFFD) ||
+		(r >= 0x10000 && r <= 0x10FFFF)
+}
+
+func xmlSafe(s string) bool {
+	// Invalid UTF-8 ranges as U+FFFD, which isXMLChar accepts but the
+	// encoder cannot round-trip — wrap those strings too.
+	if !utf8.ValidString(s) {
+		return false
 	}
-	return v.Text()
+	for _, r := range s {
+		if !isXMLChar(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeValueText renders a value's character data for the wire. Bytes use
+// base64 per xsd:base64Binary; scalars use service text form. Strings that
+// XML cannot carry are base64-wrapped, flagged by the enc="base64"
+// parameter attribute (both ends of the gateway protocol understand it).
+func encodeValueText(v service.Value) (text string, base64Wrapped bool) {
+	switch v.Kind() {
+	case service.KindBytes:
+		return base64.StdEncoding.EncodeToString(v.Bytes()), false
+	case service.KindString:
+		if s := v.Str(); !xmlSafe(s) {
+			return base64.StdEncoding.EncodeToString([]byte(s)), true
+		}
+	}
+	return v.Text(), false
 }
 
 // decodeValueText parses wire character data into a value of kind k.
-func decodeValueText(k service.Kind, text string) (service.Value, error) {
-	if k == service.KindBytes {
+// base64Wrapped reports an enc="base64" string parameter.
+func decodeValueText(k service.Kind, text string, base64Wrapped bool) (service.Value, error) {
+	if k == service.KindBytes || base64Wrapped {
 		raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(text))
 		if err != nil {
 			return service.Value{}, fmt.Errorf("soap: base64: %w", err)
+		}
+		if base64Wrapped {
+			return service.StringValue(string(raw)), nil
 		}
 		return service.BytesValue(raw), nil
 	}
@@ -159,8 +196,13 @@ func EncodeCall(c Call) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("soap: arg %s: %w", a.Name, err)
 		}
-		b.WriteString(`<` + a.Name + ` xsi:type="` + t + `">`)
-		writeEscaped(&b, encodeValueText(a.Value))
+		text, wrapped := encodeValueText(a.Value)
+		b.WriteString(`<` + a.Name + ` xsi:type="` + t + `"`)
+		if wrapped {
+			b.WriteString(` enc="base64"`)
+		}
+		b.WriteString(`>`)
+		writeEscaped(&b, text)
 		b.WriteString(`</` + a.Name + `>`)
 	}
 	b.WriteString(`</m:` + c.Operation + `>`)
@@ -181,8 +223,13 @@ func EncodeResponse(namespace, operation string, result service.Value) ([]byte, 
 		if err != nil {
 			return nil, fmt.Errorf("soap: result: %w", err)
 		}
-		b.WriteString(`<return xsi:type="` + t + `">`)
-		writeEscaped(&b, encodeValueText(result))
+		text, wrapped := encodeValueText(result)
+		b.WriteString(`<return xsi:type="` + t + `"`)
+		if wrapped {
+			b.WriteString(` enc="base64"`)
+		}
+		b.WriteString(`>`)
+		writeEscaped(&b, text)
 		b.WriteString(`</return>`)
 	}
 	b.WriteString(`</m:` + operation + `Response>`)
@@ -335,7 +382,7 @@ func DecodeCall(data []byte) (Call, error) {
 		if err != nil {
 			return Call{}, fmt.Errorf("soap: parameter %s: %w", p.name.Local, err)
 		}
-		v, err := decodeValueText(k, p.text)
+		v, err := decodeValueText(k, p.text, p.attr("enc") == "base64")
 		if err != nil {
 			return Call{}, fmt.Errorf("soap: parameter %s: %w", p.name.Local, err)
 		}
@@ -370,7 +417,7 @@ func DecodeResponse(data []byte) (service.Value, *Fault, error) {
 	if err != nil {
 		return service.Value{}, nil, err
 	}
-	v, err := decodeValueText(k, ret.text)
+	v, err := decodeValueText(k, ret.text, ret.attr("enc") == "base64")
 	if err != nil {
 		return service.Value{}, nil, err
 	}

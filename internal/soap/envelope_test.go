@@ -211,3 +211,26 @@ func TestQuickResponseRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestStringRoundTripXMLUnsafe(t *testing.T) {
+	cases := []string{
+		"plain",
+		"control \x15 char",
+		"a\xffb", // invalid UTF-8
+		"null\x00byte",
+		"tab\tand\nnewline\rok", // XML-legal whitespace survives unwrapped
+	}
+	for _, s := range cases {
+		data, err := EncodeResponse("urn:q", "Get", service.StringValue(s))
+		if err != nil {
+			t.Fatalf("%q: encode: %v", s, err)
+		}
+		v, fault, err := DecodeResponse(data)
+		if err != nil || fault != nil {
+			t.Fatalf("%q: decode: %v %v", s, err, fault)
+		}
+		if v.Str() != s {
+			t.Errorf("round trip %q -> %q", s, v.Str())
+		}
+	}
+}
