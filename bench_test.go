@@ -1,11 +1,11 @@
 // Benchmark harness for the reproduction. One benchmark (family) per
-// experiment in DESIGN.md §4; EXPERIMENTS.md records the measured
-// numbers. The paper itself reports no quantitative results, so these
-// benchmarks quantify the qualitative claims its text makes: bridged
-// calls cost more than native ones but stay interactive; SOAP is small
-// and cheap enough for appliance control; pairwise bridges scale
-// quadratically while the framework scales linearly; and HTTP long-poll
-// loses to push on event latency.
+// experiment in DESIGN.md §4. The paper itself reports no quantitative
+// results, so these benchmarks quantify the qualitative claims its text
+// makes: bridged calls cost more than native ones but stay interactive;
+// SOAP is small and cheap enough for appliance control; pairwise bridges
+// scale quadratically while the framework scales linearly; HTTP long-poll
+// loses to push on event latency; and the repository's change watch
+// (E12) beats TTL polling on both staleness and registry load.
 package homeconnect
 
 import (
@@ -574,6 +574,180 @@ func BenchmarkVSRFindCached(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- E12: VSR watch subsystem — push vs poll ----------------------------
+
+// BenchmarkVSRWatchPropagate measures change-propagation latency through
+// the repository's watch stream: one registration update → journal →
+// long-poll wake → delta on the watcher's channel. This is the push
+// counterpart of the TTL staleness window (up to the full cache TTL)
+// that gateways paid under the poll model.
+func BenchmarkVSRWatchPropagate(b *testing.B) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	v := vsr.New(srv.URL())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	desc := service.Description{
+		ID: "bench:svc", Name: "svc", Middleware: "bench",
+		Interface: service.Interface{Name: "Svc", Operations: []service.Operation{
+			{Name: "Ping", Output: service.KindVoid},
+		}},
+	}
+	if _, err := v.Register(ctx, desc, "http://h/1"); err != nil {
+		b.Fatal(err)
+	}
+	ch, err := v.Watch(ctx, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Drain the stream-up signal and the pre-registration delta.
+	for d := range ch {
+		if d.Op == vsr.DeltaAdd || d.Op == vsr.DeltaUpdate {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Register(ctx, desc, "http://h/1"); err != nil {
+			b.Fatal(err)
+		}
+		for d := range ch {
+			if d.Op == vsr.DeltaUpdate || d.Op == vsr.DeltaAdd {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkVSRBatchRefresh measures a refresh round for a gateway with N
+// exports: the paper's model re-registers each export individually (N
+// repository round trips); the batched API renews them all in one.
+func BenchmarkVSRBatchRefresh(b *testing.B) {
+	const nExports = 16
+	setup := func(b *testing.B) (*vsr.VSR, []vsr.Registration, func()) {
+		srv, err := vsr.StartServer("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := vsr.New(srv.URL())
+		regs := make([]vsr.Registration, nExports)
+		for i := range regs {
+			regs[i] = vsr.Registration{
+				Desc: service.Description{
+					ID: fmt.Sprintf("bench:svc%d", i), Name: "svc", Middleware: "bench",
+					Interface: service.Interface{Name: "Svc", Operations: []service.Operation{
+						{Name: "Ping", Output: service.KindVoid},
+					}},
+				},
+				Endpoint: "http://h/1",
+			}
+		}
+		return v, regs, srv.Close
+	}
+	b.Run("PerExport", func(b *testing.B) {
+		v, regs, done := setup(b)
+		defer done()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range regs {
+				if _, err := v.Register(ctx, r.Desc, r.Endpoint); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(nExports, "round-trips/op")
+	})
+	b.Run("Batched", func(b *testing.B) {
+		v, regs, done := setup(b)
+		defer done()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := v.RegisterAll(ctx, regs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(1, "round-trips/op")
+	})
+}
+
+// BenchmarkVSRFindCachedChurn re-runs the E9 cached-resolution benchmark
+// under registry churn: a background publisher keeps re-registering other
+// services while the gateway resolves one target in a loop. With the
+// watch-invalidated cache the target entry stays valid — deltas for other
+// services don't touch it — so steady-state resolution makes zero
+// repository inquiries regardless of churn or how long the run lasts;
+// the TTL sub-benchmark pays a repository inquiry every TTL expiry, and
+// shrinking the TTL to bound staleness multiplies that load.
+func BenchmarkVSRFindCachedChurn(b *testing.B) {
+	run := func(b *testing.B, watch bool) {
+		srv, err := vsr.StartServer("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		gw := vsg.New("bench", srv.URL())
+		gw.SetWatchEnabled(watch)
+		gw.SetCacheTTL(200 * time.Millisecond)
+		if err := gw.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer gw.Close()
+		ctx := context.Background()
+		v := vsr.New(srv.URL())
+		mkDesc := func(id string) service.Description {
+			return service.Description{
+				ID: id, Name: "svc", Middleware: "bench",
+				Interface: service.Interface{Name: "Svc", Operations: []service.Operation{
+					{Name: "Ping", Output: service.KindVoid},
+				}},
+			}
+		}
+		if _, err := v.Register(ctx, mkDesc("bench:target"), "http://h/1"); err != nil {
+			b.Fatal(err)
+		}
+		// Churn: other services keep changing in the background.
+		churnCtx, stopChurn := context.WithCancel(ctx)
+		defer stopChurn()
+		go func() {
+			for i := 0; churnCtx.Err() == nil; i++ {
+				_, _ = v.Register(churnCtx, mkDesc(fmt.Sprintf("bench:churn%d", i%8)), "http://h/2")
+				time.Sleep(time.Millisecond)
+			}
+		}()
+		// Warm the cache, and give a watch-enabled gateway time to see
+		// the stream come up so hits stop consulting the TTL.
+		if _, err := gw.Resolve(ctx, "bench:target"); err != nil {
+			b.Fatal(err)
+		}
+		if watch {
+			deadline := time.Now().Add(5 * time.Second)
+			for !gw.Health().WatchActive {
+				if time.Now().After(deadline) {
+					b.Fatal("watch never came up")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		_, findsBefore := srv.Registry().Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gw.Resolve(ctx, "bench:target"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		_, findsAfter := srv.Registry().Stats()
+		b.ReportMetric(float64(findsAfter-findsBefore)/float64(b.N), "registry-finds/op")
+	}
+	b.Run("WatchInvalidated", func(b *testing.B) { run(b, true) })
+	b.Run("TTL", func(b *testing.B) { run(b, false) })
 }
 
 // --- E10 / §5: UPnP PCM -----------------------------------------------

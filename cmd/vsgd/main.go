@@ -5,6 +5,11 @@
 // middleware reachable over real sockets: Jini lookup services, UPnP
 // devices, and mail servers.
 //
+// The gateway watches the repository for change notifications, so its
+// resolve cache is push-invalidated; -cache-ttl sets the fallback TTL
+// used while the watch is down, and -no-watch reverts to the paper's
+// blind TTL poll model.
+//
 //	vsgd -vsr http://127.0.0.1:8600/uddi -name jini-net -middleware jini -jini-lookup 127.0.0.1:4160
 //	vsgd -vsr ... -name upnp-net -middleware upnp -ssdp 127.0.0.1:1900
 //	vsgd -vsr ... -name mail-net -middleware mail -smtp 127.0.0.1:2525 -pop3 127.0.0.1:2110 -mailbox home@house.example
@@ -31,6 +36,8 @@ func main() {
 	vsrURL := flag.String("vsr", "http://127.0.0.1:8600/uddi", "Virtual Service Repository URL")
 	name := flag.String("name", "", "network name (required)")
 	addr := flag.String("addr", "127.0.0.1:0", "gateway listen address")
+	cacheTTL := flag.Duration("cache-ttl", 2*time.Second, "resolve-cache fallback TTL while the VSR watch is down (0 disables caching)")
+	noWatch := flag.Bool("no-watch", false, "disable the VSR change watch (blind TTL caching, the paper's poll model)")
 	middleware := flag.String("middleware", "", "PCM to attach: jini, upnp, mail, none")
 	jiniLookup := flag.String("jini-lookup", "", "jini: lookup service address")
 	ssdp := flag.String("ssdp", "", "upnp: comma-separated SSDP addresses to search")
@@ -43,11 +50,17 @@ func main() {
 	}
 
 	gw := vsg.New(*name, *vsrURL)
+	gw.SetCacheTTL(*cacheTTL)
+	gw.SetWatchEnabled(!*noWatch)
 	if err := gw.Start(*addr); err != nil {
 		log.Fatal(err)
 	}
 	defer gw.Close()
-	fmt.Printf("vsgd: gateway %q at %s (events at %s)\n", *name, gw.BaseURL(), gw.EventsURL())
+	mode := "watch-invalidated resolve cache"
+	if *noWatch {
+		mode = fmt.Sprintf("TTL resolve cache (%v)", *cacheTTL)
+	}
+	fmt.Printf("vsgd: gateway %q at %s (events at %s, %s)\n", *name, gw.BaseURL(), gw.EventsURL(), mode)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

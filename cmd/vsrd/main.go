@@ -1,7 +1,10 @@
 // Command vsrd runs a standalone Virtual Service Repository: the
-// WSDL/UDDI registry every gateway publishes to and resolves from.
+// WSDL/UDDI registry every gateway publishes to, resolves from, and
+// watches for change notifications. -journal sizes the change journal;
+// watchers further behind than it are told to resync.
 //
 //	vsrd -addr 127.0.0.1:8600
+//	vsrd -addr 127.0.0.1:8600 -journal 8192
 package main
 
 import (
@@ -14,14 +17,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8600", "listen address")
+	journal := flag.Int("journal", 0, "change-journal capacity (0 = default)")
 	flag.Parse()
 
-	srv, err := startServer(*addr)
+	srv, err := startServer(*addr, *journal)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("vsrd: repository at %s\n", srv.URL())
+	fmt.Printf("vsrd: repository at %s (gateways may watch for changes here)\n", srv.URL())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

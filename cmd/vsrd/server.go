@@ -2,7 +2,15 @@ package main
 
 import "homeconnect/internal/core/vsr"
 
-// startServer wraps vsr.StartServer so main stays flag-only.
-func startServer(addr string) (*vsr.Server, error) {
-	return vsr.StartServer(addr)
+// startServer wraps vsr.StartServer so main stays flag-only. A positive
+// journal capacity resizes the change journal before traffic flows.
+func startServer(addr string, journal int) (*vsr.Server, error) {
+	srv, err := vsr.StartServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	if journal > 0 {
+		srv.Registry().SetJournalCapacity(journal)
+	}
+	return srv, nil
 }

@@ -1,9 +1,9 @@
 // Quickstart: the smallest useful federation. A Jini network (lookup
 // service + a lamp service) and an X10 network (powerline + CM11A +
 // a wall switch module) are connected through the framework; then a
-// federation client controls the X10 lamp, and a plain Jini client
-// controls it too through the server proxy the X10... rather, the Jini
-// PCM planted. Run it:
+// federation client controls both lamps transparently, and a plain Jini
+// client controls the X10 module too, through the server proxy the Jini
+// PCM planted in the lookup service. Run it:
 //
 //	go run ./examples/quickstart
 package main

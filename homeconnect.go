@@ -28,10 +28,15 @@
 //	...
 //	result, err := fed.Call(ctx, "jini:lamp-1", "On")
 //
+// The repository is an active component: gateways watch its change
+// journal, so service registrations, moves and expiries propagate to
+// every resolution cache in milliseconds instead of waiting out a TTL;
+// Federation.Health surfaces each gateway's watch and refresh condition.
+//
 // The concrete PCMs live in internal/bridge; the middleware simulations
 // they convert (Jini, HAVi on IEEE 1394, X10 behind a CM11A, SMTP/POP3
-// mail, UPnP) live in their own internal packages. See DESIGN.md for the
-// full inventory and EXPERIMENTS.md for the reproduction results.
+// mail, UPnP) live in their own internal packages. See README.md for a
+// tour and DESIGN.md for the full inventory and experiment index.
 package homeconnect
 
 import (

@@ -1,8 +1,8 @@
-// Package core assembles the paper's framework: a Virtual Service
-// Repository, one Virtual Service Gateway per middleware network, and the
-// Protocol Conversion Managers attached to each gateway. The Federation
-// type owns the lifecycle; the public homeconnect package at the module
-// root re-exports it.
+// Package core assembles the paper's framework (§3): a Virtual Service
+// Repository (§3.3), one Virtual Service Gateway (§3.1) per middleware
+// network, and the Protocol Conversion Managers (§3.2) attached to each
+// gateway. The Federation type owns the lifecycle; the public homeconnect
+// package at the module root re-exports it.
 package core
 
 import (
@@ -158,6 +158,20 @@ func (f *Federation) Services(ctx context.Context) ([]vsr.Remote, error) {
 		return nil, err
 	}
 	return gw.List(ctx, vsr.Query{})
+}
+
+// Health reports every gateway's repository liaison, keyed by network
+// name. A gateway with WatchActive false is running degraded: its
+// resolutions fall back to blind TTL caching until the repository watch
+// recovers.
+func (f *Federation) Health() map[string]vsg.Health {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]vsg.Health, len(f.networks))
+	for name, n := range f.networks {
+		out[name] = n.gw.Health()
+	}
+	return out
 }
 
 // Close stops the scene engine, PCMs, gateways and the repository, in

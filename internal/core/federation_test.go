@@ -200,6 +200,78 @@ func TestFederationSceneEngineLifecycle(t *testing.T) {
 	}
 }
 
+// TestServiceRehomeCallableWithoutTTLWait: a service that moves from one
+// gateway to another is callable through a third gateway as soon as the
+// repository's change deltas land — with the caller's cache TTL set to an
+// hour, only push invalidation can deliver the new endpoint, so success
+// proves the move propagated by watch, not by waiting out a TTL (the old
+// behaviour stranded callers for up to the full 2s cache TTL).
+func TestServiceRehomeCallableWithoutTTLWait(t *testing.T) {
+	fed, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	nets := make([]*Network, 3)
+	for i, name := range []string{"a", "b", "c"} {
+		if nets[i], err = fed.AddNetwork(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	caller := nets[1].Gateway()
+	// A TTL that can never rescue a stale entry within the test.
+	caller.SetCacheTTL(time.Hour)
+
+	desc := service.Description{
+		ID: "x:mobile", Name: "mobile", Middleware: "x",
+		Interface: service.Interface{Name: "I", Operations: []service.Operation{
+			{Name: "Where", Output: service.KindString},
+		}},
+	}
+	home := func(where string) service.Invoker {
+		return service.InvokerFunc(func(context.Context, string, []service.Value) (service.Value, error) {
+			return service.StringValue(where), nil
+		})
+	}
+	if err := nets[0].Gateway().Export(ctx, desc, home("a")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fed.Network("b").Gateway().Call(ctx, "x:mobile", "Where", nil)
+	if err != nil || got.Str() != "a" {
+		t.Fatalf("call before move = %v, %v", got, err)
+	}
+
+	// The service moves: withdrawn from network a, exported on c.
+	if err := nets[0].Gateway().Unexport(ctx, "x:mobile"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nets[2].Gateway().Export(ctx, desc, home("c")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	deadline := start.Add(5 * time.Second)
+	for {
+		got, err := caller.Call(ctx, "x:mobile", "Where", nil)
+		if err == nil && got.Str() == "c" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("re-homed service never callable: %v, %v", got, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Push propagation is milliseconds; anything approaching the old 2s
+	// TTL wait means the watch path regressed. 1s leaves CI headroom.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("re-home took %v, want well under the old 2s TTL wait", elapsed)
+	} else {
+		t.Logf("re-homed service callable after %v", elapsed)
+	}
+}
+
 func TestFederationScenesAfterClose(t *testing.T) {
 	fed, err := NewFederation()
 	if err != nil {

@@ -10,6 +10,14 @@
 // The gateway also mounts the event hub extension (see
 // internal/core/events) under /events, addressing the asynchronous-
 // notification gap the paper hit in §4.2.
+//
+// Two departures from the paper's poll model keep repository load and
+// staleness independent of call rate: VSR registrations renew in one
+// batched request per refresh interval (RegisterAll), and the resolve
+// cache is driven by the repository's change watch — entries are
+// invalidated or rewritten the moment the VSR journals a change, with the
+// cache TTL surviving only as the fallback staleness bound while the
+// watch is down (degraded mode, surfaced via Health).
 package vsg
 
 import (
@@ -68,6 +76,10 @@ type VSG struct {
 
 	refreshCancel context.CancelFunc
 	refreshDone   chan struct{}
+	watchDone     chan struct{}
+
+	// watchEnabled gates the repository watch; set before Start.
+	watchEnabled bool
 
 	// refresh health, guarded by mu: refreshLoop failures would otherwise
 	// vanish silently while the VSR lets registrations lapse.
@@ -75,10 +87,26 @@ type VSG struct {
 	lastRefreshErr  string
 	lastRefreshOK   time.Time
 
+	// watch health, guarded by mu. While watchUp, cached resolutions are
+	// push-invalidated and never go stale; while down, the cache TTL is
+	// the only staleness bound (degraded mode, surfaced via Health).
+	watchUp      bool
+	lastWatchErr string
+	// changedSeq records the latest delta sequence per service ID and
+	// cacheGen counts resyncs/outages; together they fence cache inserts
+	// whose repository lookup predates a concurrent change (the looked-up
+	// data would be stale yet never invalidated).
+	changedSeq map[string]uint64
+	cacheGen   uint64
+
 	// stats for the benchmark harness; atomic, off the mutex — they sit
 	// on the per-call hot path.
 	inboundCalls  atomic.Uint64
 	outboundCalls atomic.Uint64
+	// watch accounting: deltas applied and cache entries invalidated or
+	// rewritten by push notifications.
+	watchDeltas   atomic.Uint64
+	invalidations atomic.Uint64
 }
 
 type cachedRemote struct {
@@ -94,7 +122,9 @@ func New(name, vsrURL string) *VSG {
 		hub:          events.NewHub(),
 		exports:      make(map[string]*export),
 		resolveCache: make(map[string]cachedRemote),
+		changedSeq:   make(map[string]uint64),
 		cacheTTL:     2 * time.Second,
+		watchEnabled: true,
 	}
 }
 
@@ -108,12 +138,24 @@ func (g *VSG) VSR() *vsr.VSR { return g.vsr }
 func (g *VSG) Hub() *events.Hub { return g.hub }
 
 // SetCacheTTL adjusts resolve caching; zero disables it (each call hits
-// the repository, the ablation measured by BenchmarkVSRFindCached).
+// the repository, the ablation measured by BenchmarkVSRFindCached). With
+// the repository watch up, the TTL is only the fallback staleness bound:
+// cached entries are push-invalidated and served regardless of age.
 func (g *VSG) SetCacheTTL(d time.Duration) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.cacheTTL = d
 	g.resolveCache = make(map[string]cachedRemote)
+}
+
+// SetWatchEnabled gates the repository watch; call before Start. With the
+// watch off the gateway degrades to the paper's poll model: blind
+// TTL-bounded caching and no push invalidation (the middle point of the
+// DESIGN.md §7 ablation).
+func (g *VSG) SetWatchEnabled(on bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.watchEnabled = on
 }
 
 // Start brings the gateway up on addr ("127.0.0.1:0" for ephemeral) and
@@ -134,6 +176,13 @@ func (g *VSG) Start(addr string) error {
 	g.refreshCancel = cancel
 	g.refreshDone = make(chan struct{})
 	go g.refreshLoop(ctx)
+	g.mu.Lock()
+	watch := g.watchEnabled
+	g.mu.Unlock()
+	if watch {
+		g.watchDone = make(chan struct{})
+		go g.watchLoop(ctx)
+	}
 	return nil
 }
 
@@ -155,6 +204,9 @@ func (g *VSG) Close() {
 	if g.refreshCancel != nil {
 		g.refreshCancel()
 		<-g.refreshDone
+		if g.watchDone != nil {
+			<-g.watchDone
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
@@ -238,8 +290,10 @@ func (g *VSG) localExport(id string) (*export, bool) {
 	return e, ok
 }
 
-// refreshLoop re-registers exports at a fraction of the VSR TTL so they
-// survive; the repository expires anything whose gateway dies.
+// refreshLoop renews exports at a fraction of the VSR TTL so they
+// survive; the repository expires anything whose gateway dies. Each round
+// is one batched RegisterAll, so a gateway with N exports costs the
+// repository one request per interval, not N.
 func (g *VSG) refreshLoop(ctx context.Context) {
 	defer close(g.refreshDone)
 	interval := g.vsr.TTL() / 3
@@ -254,18 +308,18 @@ func (g *VSG) refreshLoop(ctx context.Context) {
 			return
 		case <-ticker.C:
 			g.mu.Lock()
-			exports := make([]*export, 0, len(g.exports))
+			regs := make([]vsr.Registration, 0, len(g.exports))
 			for _, e := range g.exports {
-				exports = append(exports, e)
+				regs = append(regs, vsr.Registration{Desc: e.desc, Endpoint: g.EndpointFor(e.desc.ID)})
 			}
 			g.mu.Unlock()
 			var roundErr error
-			for _, e := range exports {
+			if len(regs) > 0 {
 				rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-				_, err := g.vsr.Register(rctx, e.desc, g.EndpointFor(e.desc.ID))
+				_, err := g.vsr.RegisterAll(rctx, regs)
 				cancel()
-				if err != nil && roundErr == nil {
-					roundErr = fmt.Errorf("vsg %s: refresh %s: %w", g.name, e.desc.ID, err)
+				if err != nil {
+					roundErr = fmt.Errorf("vsg %s: refresh %d exports: %w", g.name, len(regs), err)
 				}
 			}
 			g.mu.Lock()
@@ -281,24 +335,125 @@ func (g *VSG) refreshLoop(ctx context.Context) {
 	}
 }
 
+// watchLoop consumes the repository's change stream and keeps the resolve
+// cache exact: updates rewrite cached endpoints in place (a re-homed
+// service is callable again as soon as the delta lands), deletions and
+// expiries evict, and a resync or stream outage flushes or demotes the
+// cache to its TTL fallback.
+func (g *VSG) watchLoop(ctx context.Context) {
+	defer close(g.watchDone)
+	ch, err := g.vsr.Watch(ctx, 0)
+	if err != nil {
+		return
+	}
+	for d := range ch {
+		g.applyDelta(d)
+	}
+}
+
+// applyDelta folds one repository notification into the gateway's state.
+func (g *VSG) applyDelta(d vsr.Delta) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch d.Op {
+	case vsr.DeltaUp:
+		g.watchUp = true
+		g.lastWatchErr = ""
+	case vsr.DeltaDown:
+		// Degraded mode: cached entries keep serving, but only within
+		// their TTL — the blind staleness bound the watch normally lifts.
+		g.watchUp = false
+		if d.Err != nil {
+			g.lastWatchErr = d.Err.Error()
+		}
+	case vsr.DeltaResync:
+		// The journal skipped past us; anything cached may be stale, and
+		// recorded fence sequence numbers may come from a previous
+		// registry incarnation (a restarted registry counts from zero
+		// again, which would leave stale fences blocking cache fills).
+		if len(g.resolveCache) > 0 {
+			g.invalidations.Add(uint64(len(g.resolveCache)))
+			g.resolveCache = make(map[string]cachedRemote)
+		}
+		g.changedSeq = make(map[string]uint64)
+		g.cacheGen++
+		g.watchUp = true
+	case vsr.DeltaAdd, vsr.DeltaUpdate:
+		g.watchDeltas.Add(1)
+		g.stampChange(d)
+		// Only rewrite what callers have actually resolved; the cache
+		// tracks this gateway's working set, not the whole federation.
+		if _, ok := g.resolveCache[d.ServiceID]; ok {
+			g.resolveCache[d.ServiceID] = cachedRemote{
+				remote:  d.Remote,
+				expires: time.Now().Add(g.cacheTTL),
+			}
+			g.invalidations.Add(1)
+		}
+	case vsr.DeltaDelete, vsr.DeltaExpire:
+		g.watchDeltas.Add(1)
+		g.stampChange(d)
+		if _, ok := g.resolveCache[d.ServiceID]; ok {
+			delete(g.resolveCache, d.ServiceID)
+			g.invalidations.Add(1)
+		}
+	}
+}
+
+// fencePruneLen and fenceHorizon bound the changedSeq fence map: once it
+// outgrows fencePruneLen, stamps more than fenceHorizon sequence numbers
+// behind the newest delta are dropped. A dropped stamp only mis-admits a
+// cache fill whose repository inquiry was delayed across that many
+// registry mutations — and such an entry still falls to the next delta
+// for its ID. Without pruning the map would grow with every service ID
+// ever journaled, for the life of the gateway.
+const (
+	fencePruneLen = 1024
+	fenceHorizon  = 1024
+)
+
+// stampChange records a change delta's sequence number for the cache-fill
+// fence, pruning ancient stamps. Caller holds mu.
+func (g *VSG) stampChange(d vsr.Delta) {
+	g.changedSeq[d.ServiceID] = d.Seq
+	if len(g.changedSeq) > fencePruneLen && d.Seq > fenceHorizon {
+		for id, seq := range g.changedSeq {
+			if seq < d.Seq-fenceHorizon {
+				delete(g.changedSeq, id)
+			}
+		}
+	}
+}
+
 // Resolve finds the service with the given federation ID, consulting the
-// resolve cache first.
+// resolve cache first. While the repository watch is up, cache hits are
+// served regardless of age — entries are push-invalidated the moment the
+// repository reports a change, so they cannot go stale. When the watch is
+// down (degraded mode, see Health) the entry's TTL is the staleness bound
+// again, as in the paper's poll model.
 func (g *VSG) Resolve(ctx context.Context, serviceID string) (vsr.Remote, error) {
 	g.mu.Lock()
-	if c, ok := g.resolveCache[serviceID]; ok && time.Now().Before(c.expires) {
+	if c, ok := g.resolveCache[serviceID]; ok && (g.watchUp || time.Now().Before(c.expires)) {
 		g.mu.Unlock()
 		return c.remote, nil
 	}
 	ttl := g.cacheTTL
+	seenGen := g.cacheGen
 	g.mu.Unlock()
 
-	remote, err := g.vsr.Lookup(ctx, serviceID)
+	remote, seq, err := g.vsr.LookupSeq(ctx, serviceID)
 	if err != nil {
 		return vsr.Remote{}, err
 	}
 	if ttl > 0 {
 		g.mu.Lock()
-		g.resolveCache[serviceID] = cachedRemote{remote: remote, expires: time.Now().Add(ttl)}
+		// Fence: a delta newer than the inquiry means the looked-up data
+		// is already stale and must not enter the cache, where push
+		// invalidation — believing it already delivered that change —
+		// would never evict it. Same for a resync/outage generation bump.
+		if g.changedSeq[serviceID] <= seq && g.cacheGen == seenGen {
+			g.resolveCache[serviceID] = cachedRemote{remote: remote, expires: time.Now().Add(ttl)}
+		}
 		g.mu.Unlock()
 	}
 	return remote, nil
@@ -353,10 +508,13 @@ func (g *VSG) Stats() (inbound, outbound uint64) {
 	return g.inboundCalls.Load(), g.outboundCalls.Load()
 }
 
-// Health describes the gateway's registration-refresh loop. A non-zero
+// Health describes the gateway's repository liaison: the registration-
+// refresh loop and the change watch. A non-zero
 // ConsecutiveRefreshFailures with an aging LastRefreshOK means the VSR is
 // expiring this gateway's exports: the dead-repository condition §3.3
-// leaves otherwise invisible.
+// leaves otherwise invisible. WatchActive false on a watch-enabled
+// gateway is degraded mode: resolutions fall back to blind TTL caching
+// and may be stale for up to the cache TTL.
 type Health struct {
 	// ConsecutiveRefreshFailures counts refresh rounds since the last
 	// fully successful one.
@@ -365,9 +523,20 @@ type Health struct {
 	LastRefreshError string
 	// LastRefreshOK is when a round last re-registered every export.
 	LastRefreshOK time.Time
+	// WatchActive reports a live repository change stream: cached
+	// resolutions are push-invalidated and cannot go stale.
+	WatchActive bool
+	// LastWatchError is the failure that broke the watch stream, cleared
+	// on recovery.
+	LastWatchError string
+	// WatchDeltas counts change notifications applied since start.
+	WatchDeltas uint64
+	// CacheInvalidations counts cached resolutions evicted or rewritten
+	// by push notifications since start.
+	CacheInvalidations uint64
 }
 
-// Health reports the refresh loop's condition.
+// Health reports the repository liaison's condition.
 func (g *VSG) Health() Health {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -375,6 +544,10 @@ func (g *VSG) Health() Health {
 		ConsecutiveRefreshFailures: g.refreshFailures,
 		LastRefreshError:           g.lastRefreshErr,
 		LastRefreshOK:              g.lastRefreshOK,
+		WatchActive:                g.watchUp,
+		LastWatchError:             g.lastWatchErr,
+		WatchDeltas:                g.watchDeltas.Load(),
+		CacheInvalidations:         g.invalidations.Load(),
 	}
 }
 

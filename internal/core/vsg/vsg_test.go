@@ -175,7 +175,11 @@ func TestGatewayDownIsUnavailable(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.gw1.Close()
-	if _, err := r.gw2.Call(ctx, "jini:lamp-1", "On", nil); !errors.Is(err, service.ErrUnavailable) {
+	// Close also withdraws gw1's registrations, and the delete delta
+	// races the call: before it lands the cached endpoint is dialled and
+	// found dead (ErrUnavailable); after, the service is known gone
+	// (ErrNoSuchService). Both are correct.
+	if _, err := r.gw2.Call(ctx, "jini:lamp-1", "On", nil); !errors.Is(err, service.ErrUnavailable) && !errors.Is(err, service.ErrNoSuchService) {
 		t.Errorf("dead gateway: %v", err)
 	}
 }
@@ -322,6 +326,185 @@ func TestHealthSurfacesRefreshFailures(t *testing.T) {
 			t.Fatalf("refresh failures never surfaced: %+v", h)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitWatchActive parks until the gateway's repository watch is up.
+func waitWatchActive(t *testing.T, gw *VSG) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !gw.Health().WatchActive {
+		if time.Now().After(deadline) {
+			t.Fatal("watch never came up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchInvalidatesCacheOnChange: with the cache TTL effectively
+// infinite, only push invalidation can fix a stale resolution — a
+// re-registered endpoint must flow through within the watch latency, not
+// a TTL expiry.
+func TestWatchInvalidatesCacheOnChange(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	// An hour-long TTL: if the new endpoint shows up, the watch did it.
+	r.gw2.SetCacheTTL(time.Hour)
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+	waitWatchActive(t, r.gw2)
+	first, err := r.gw2.Resolve(ctx, "jini:lamp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The service re-homes: same ID, new endpoint, registered directly
+	// with the repository (as its new gateway would).
+	v := vsr.New(r.srv.URL())
+	desc := lampDesc("jini:lamp-1")
+	const moved = "http://203.0.113.9:1/services/jini:lamp-1"
+	if _, err := v.Register(ctx, desc, moved); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := r.gw2.Resolve(ctx, "jini:lamp-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Endpoint == moved {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("endpoint still %q (was %q), push invalidation never landed", got.Endpoint, first.Endpoint)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The rewrite came from the delta payload, not a fresh inquiry: the
+	// registry saw exactly one find for this gateway's two-plus resolves.
+	if h := r.gw2.Health(); h.CacheInvalidations == 0 {
+		t.Errorf("invalidation not accounted: %+v", h)
+	}
+}
+
+// TestWatchServesCacheBeyondTTL: a live watch lifts the TTL bound — the
+// entry cannot be stale, so it keeps serving without repository traffic.
+// The same gateway with the watch disabled re-queries every TTL: the
+// paper's poll model, now the degraded fallback.
+func TestWatchServesCacheBeyondTTL(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+		t.Fatal(err)
+	}
+	r.gw2.SetCacheTTL(100 * time.Millisecond)
+	waitWatchActive(t, r.gw2)
+	if _, err := r.gw2.Resolve(ctx, "jini:lamp-1"); err != nil {
+		t.Fatal(err)
+	}
+	_, before := r.srv.Registry().Stats()
+	time.Sleep(300 * time.Millisecond) // well past the TTL
+	for i := 0; i < 5; i++ {
+		if _, err := r.gw2.Resolve(ctx, "jini:lamp-1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, after := r.srv.Registry().Stats(); after != before {
+		t.Errorf("watch-backed cache re-queried the registry %d times past TTL", after-before)
+	}
+
+	// Watch disabled: the TTL is the only staleness bound again.
+	srv2, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	gw3 := New("net3", srv2.URL())
+	gw3.SetWatchEnabled(false)
+	gw3.SetCacheTTL(100 * time.Millisecond)
+	if err := gw3.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw3.Close()
+	v := vsr.New(srv2.URL())
+	if _, err := v.Register(ctx, lampDesc("jini:lamp-9"), "http://h/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw3.Resolve(ctx, "jini:lamp-9"); err != nil {
+		t.Fatal(err)
+	}
+	_, before = srv2.Registry().Stats()
+	time.Sleep(300 * time.Millisecond)
+	if _, err := gw3.Resolve(ctx, "jini:lamp-9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := srv2.Registry().Stats(); after-before != 1 {
+		t.Errorf("TTL-mode resolve past expiry hit the registry %d times, want 1", after-before)
+	}
+	if gw3.Health().WatchActive {
+		t.Error("watch reported active on a watch-disabled gateway")
+	}
+}
+
+// TestHealthSurfacesWatchOutage: losing the repository flips the gateway
+// into degraded mode with a readable cause; Health makes the outage
+// observable.
+func TestHealthSurfacesWatchOutage(t *testing.T) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := New("net1", srv.URL())
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	waitWatchActive(t, gw)
+
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := gw.Health()
+		if !h.WatchActive {
+			if h.LastWatchError == "" {
+				t.Error("watch down but no error recorded")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watch outage never surfaced: %+v", h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestBatchedRefreshKeepsManyExportsAlive: a gateway with several exports
+// renews them all (in one round trip per interval) — none lapse.
+func TestBatchedRefreshKeepsManyExportsAlive(t *testing.T) {
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	gw := New("net1", srv.URL())
+	gw.VSR().SetTTL(500 * time.Millisecond)
+	if err := gw.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	ctx := context.Background()
+	ids := []string{"jini:lamp-1", "jini:lamp-2", "jini:lamp-3", "jini:lamp-4"}
+	for _, id := range ids {
+		if err := gw.Export(ctx, lampDesc(id), &fakeLamp{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(1200 * time.Millisecond)
+	for _, id := range ids {
+		if _, err := gw.VSR().Lookup(ctx, id); err != nil {
+			t.Errorf("%s lapsed despite batched refresh: %v", id, err)
+		}
 	}
 }
 

@@ -5,6 +5,12 @@
 // UDDI-style registry (locations and contexts): each federation service
 // is published as a UDDI entry whose inline WSDL document carries the
 // interface and whose category bag carries the service context.
+//
+// Beyond the paper, the repository is an active component: Watch streams
+// registry changes (add/update/delete/expire deltas) to gateways over a
+// long-poll journal so resolution caches are push-invalidated instead of
+// guessing with a TTL, and RegisterAll renews a gateway's whole export
+// set in one round trip.
 package vsr
 
 import (
@@ -71,16 +77,14 @@ func (v *VSR) SetTTL(d time.Duration) {
 	}
 }
 
-// Register publishes a service with its gateway endpoint and returns the
-// repository key. Call it again with the same description to refresh the
-// TTL.
-func (v *VSR) Register(ctx context.Context, desc service.Description, endpoint string) (string, error) {
+// entryFor builds the UDDI entry advertising desc at endpoint.
+func entryFor(desc service.Description, endpoint string) (uddi.Entry, error) {
 	if err := desc.Validate(); err != nil {
-		return "", err
+		return uddi.Entry{}, err
 	}
 	doc, err := wsdl.Generate(desc.Interface, endpoint)
 	if err != nil {
-		return "", fmt.Errorf("vsr: generate wsdl for %s: %w", desc.ID, err)
+		return uddi.Entry{}, fmt.Errorf("vsr: generate wsdl for %s: %w", desc.ID, err)
 	}
 	cats := map[string]string{
 		catMiddleware: desc.Middleware,
@@ -89,7 +93,7 @@ func (v *VSR) Register(ctx context.Context, desc service.Description, endpoint s
 	for k, val := range desc.Context {
 		cats[k] = val
 	}
-	entry := uddi.Entry{
+	return uddi.Entry{
 		// Keying the UDDI entry by service ID makes re-registration a
 		// refresh rather than a duplicate.
 		Key:         "uuid:svc-" + desc.ID,
@@ -99,12 +103,52 @@ func (v *VSR) Register(ctx context.Context, desc service.Description, endpoint s
 		TModel:      desc.Interface.Name,
 		WSDL:        string(doc),
 		Categories:  cats,
+	}, nil
+}
+
+// Register publishes a service with its gateway endpoint and returns the
+// repository key. Call it again with the same description to refresh the
+// TTL.
+func (v *VSR) Register(ctx context.Context, desc service.Description, endpoint string) (string, error) {
+	entry, err := entryFor(desc, endpoint)
+	if err != nil {
+		return "", err
 	}
 	key, err := v.client.Save(ctx, entry, v.ttl)
 	if err != nil {
 		return "", fmt.Errorf("vsr: register %s: %w", desc.ID, err)
 	}
 	return key, nil
+}
+
+// Registration pairs a service description with the gateway endpoint
+// serving it, for batched publication.
+type Registration struct {
+	Desc     service.Description
+	Endpoint string
+}
+
+// RegisterAll publishes (or refreshes) every registration in a single
+// repository round trip and returns the keys in order. This is how a
+// gateway renews its N exports at one request per refresh interval
+// instead of N.
+func (v *VSR) RegisterAll(ctx context.Context, regs []Registration) ([]string, error) {
+	if len(regs) == 0 {
+		return nil, nil
+	}
+	entries := make([]uddi.Entry, len(regs))
+	for i, r := range regs {
+		entry, err := entryFor(r.Desc, r.Endpoint)
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = entry
+	}
+	keys, err := v.client.SaveAll(ctx, entries, v.ttl)
+	if err != nil {
+		return nil, fmt.Errorf("vsr: register batch of %d: %w", len(regs), err)
+	}
+	return keys, nil
 }
 
 // Unregister withdraws a registration by key.
@@ -117,6 +161,15 @@ func (v *VSR) Unregister(ctx context.Context, key string) error {
 
 // Find returns all services matching the query.
 func (v *VSR) Find(ctx context.Context, q Query) ([]Remote, error) {
+	out, _, err := v.FindSeq(ctx, q)
+	return out, err
+}
+
+// FindSeq is Find plus the repository's change-journal sequence number
+// observed at read time: the fence gateways use to reject cache fills
+// that a concurrent change (already journaled, delta possibly still in
+// flight) has made stale.
+func (v *VSR) FindSeq(ctx context.Context, q Query) ([]Remote, uint64, error) {
 	uq := uddi.Query{TModel: q.Interface, Categories: map[string]string{}}
 	if q.ID != "" {
 		uq.Categories[catServiceID] = q.ID
@@ -127,9 +180,9 @@ func (v *VSR) Find(ctx context.Context, q Query) ([]Remote, error) {
 	for k, val := range q.Context {
 		uq.Categories[k] = val
 	}
-	entries, err := v.client.Find(ctx, uq)
+	entries, seq, err := v.client.FindSeq(ctx, uq)
 	if err != nil {
-		return nil, fmt.Errorf("vsr: find: %w", err)
+		return nil, 0, fmt.Errorf("vsr: find: %w", err)
 	}
 	out := make([]Remote, 0, len(entries))
 	for _, e := range entries {
@@ -141,19 +194,172 @@ func (v *VSR) Find(ctx context.Context, q Query) ([]Remote, error) {
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out, seq, nil
 }
 
 // Lookup returns the single service with the given federation ID.
 func (v *VSR) Lookup(ctx context.Context, id string) (Remote, error) {
-	found, err := v.Find(ctx, Query{ID: id})
+	r, _, err := v.LookupSeq(ctx, id)
+	return r, err
+}
+
+// LookupSeq is Lookup plus the journal sequence number of the inquiry
+// (see FindSeq).
+func (v *VSR) LookupSeq(ctx context.Context, id string) (Remote, uint64, error) {
+	found, seq, err := v.FindSeq(ctx, Query{ID: id})
 	if err != nil {
-		return Remote{}, err
+		return Remote{}, 0, err
 	}
 	if len(found) == 0 {
-		return Remote{}, fmt.Errorf("vsr: %s: %w", id, service.ErrNoSuchService)
+		return Remote{}, 0, fmt.Errorf("vsr: %s: %w", id, service.ErrNoSuchService)
 	}
-	return found[0], nil
+	return found[0], seq, nil
+}
+
+// DeltaOp classifies one watch notification.
+type DeltaOp string
+
+// Watch notifications. Add/Update/Delete/Expire mirror the registry's
+// change journal; Resync, Up and Down describe the watch stream itself.
+const (
+	// DeltaAdd: a service appeared; Remote carries its description.
+	DeltaAdd DeltaOp = "add"
+	// DeltaUpdate: a registration changed (refresh, or a re-home to a new
+	// endpoint); Remote carries the new description.
+	DeltaUpdate DeltaOp = "update"
+	// DeltaDelete: a service was explicitly unregistered.
+	DeltaDelete DeltaOp = "delete"
+	// DeltaExpire: a registration's TTL lapsed (its gateway went silent).
+	DeltaExpire DeltaOp = "expire"
+	// DeltaResync: the journal no longer covers the watcher's cursor
+	// (too far behind, or the repository restarted). Consumers must
+	// discard every cached resolution.
+	DeltaResync DeltaOp = "resync"
+	// DeltaUp: the watch stream is (re)established — change notifications
+	// are flowing and caches may trust push invalidation again.
+	DeltaUp DeltaOp = "up"
+	// DeltaDown: a watch round failed; Err carries the cause. Until the
+	// next DeltaUp, consumers are blind to changes and must fall back to
+	// TTL-bounded caching.
+	DeltaDown DeltaOp = "down"
+)
+
+// Delta is one notification from a repository watch.
+type Delta struct {
+	// Seq is the registry sequence number (change deltas and Resync).
+	Seq uint64
+	// Op classifies the notification.
+	Op DeltaOp
+	// ServiceID is the affected federation service (change deltas).
+	ServiceID string
+	// Remote is the service's current description (Add and Update only).
+	Remote Remote
+	// Err is the transport failure behind a Down delta.
+	Err error
+}
+
+// watchPollTimeout is how long each long-poll round parks at the
+// repository before returning empty.
+const watchPollTimeout = 10 * time.Second
+
+// watchRetryDelay spaces retries while the repository is unreachable.
+const watchRetryDelay = 500 * time.Millisecond
+
+// Watch streams repository changes with sequence numbers greater than
+// since. The channel delivers change deltas in order, interleaved with
+// stream-state deltas (Up/Down/Resync); it closes when ctx is cancelled.
+// The first successful round trip emits DeltaUp immediately, so consumers
+// learn the stream is live without waiting out a long-poll.
+func (v *VSR) Watch(ctx context.Context, since uint64) (<-chan Delta, error) {
+	if v.client.URL == "" {
+		return nil, fmt.Errorf("vsr: watch: no repository URL")
+	}
+	ch := make(chan Delta, 64)
+	go v.watchLoop(ctx, since, ch)
+	return ch, nil
+}
+
+func (v *VSR) watchLoop(ctx context.Context, since uint64, ch chan<- Delta) {
+	defer close(ch)
+	send := func(d Delta) bool {
+		select {
+		case ch <- d:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	up := false
+	for ctx.Err() == nil {
+		timeout := watchPollTimeout
+		if !up {
+			// Probe with an immediate round so DeltaUp (or Down) arrives
+			// fast; only steady-state rounds park at the repository.
+			timeout = 0
+		}
+		changes, next, resync, err := v.client.Watch(ctx, since, timeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if up {
+				up = false
+				if !send(Delta{Op: DeltaDown, Err: err}) {
+					return
+				}
+			}
+			select {
+			case <-time.After(watchRetryDelay):
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		if !up {
+			up = true
+			if !send(Delta{Op: DeltaUp, Seq: next}) {
+				return
+			}
+		}
+		if resync {
+			if !send(Delta{Op: DeltaResync, Seq: next}) {
+				return
+			}
+		}
+		for _, c := range changes {
+			d, ok := deltaFromChange(c)
+			if !ok {
+				continue
+			}
+			if !send(d) {
+				return
+			}
+		}
+		since = next
+	}
+}
+
+// deltaFromChange maps a registry journal record to a federation delta.
+// Malformed entries are skipped, mirroring Find's tolerance of other
+// publishers' bugs.
+func deltaFromChange(c uddi.Change) (Delta, bool) {
+	d := Delta{Seq: c.Seq, Op: DeltaOp(c.Op)}
+	switch c.Op {
+	case uddi.OpAdd, uddi.OpUpdate:
+		r, err := remoteFromEntry(c.Entry)
+		if err != nil {
+			return Delta{}, false
+		}
+		d.Remote = r
+		d.ServiceID = r.Desc.ID
+	case uddi.OpDelete, uddi.OpExpire:
+		// Delete journal records carry only identity; the entry name is
+		// the federation service ID by the Register keying convention.
+		d.ServiceID = c.Entry.Name
+	default:
+		return Delta{}, false
+	}
+	return d, true
 }
 
 // remoteFromEntry rebuilds the service description from a UDDI entry.
@@ -216,5 +422,9 @@ func (s *Server) URL() string { return "http://" + s.ln.Addr().String() + "/uddi
 // Registry exposes the underlying UDDI store (tests, stats).
 func (s *Server) Registry() *uddi.Server { return s.registry }
 
-// Close stops the repository.
-func (s *Server) Close() { _ = s.httpS.Close() }
+// Close stops the repository: the HTTP listener and the registry's
+// expiry janitor, waking any parked watchers.
+func (s *Server) Close() {
+	_ = s.httpS.Close()
+	s.registry.Close()
+}

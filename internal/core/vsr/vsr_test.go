@@ -3,6 +3,7 @@ package vsr
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -139,12 +140,21 @@ func TestTTLExpiry(t *testing.T) {
 	srv, v := newVSR(t)
 	v.SetTTL(time.Second)
 	ctx := context.Background()
+	// Mutex-guarded fake clock: the registry janitor reads it
+	// concurrently with the test advancing it.
+	var mu sync.Mutex
 	now := time.Unix(0, 0)
-	srv.Registry().SetClock(func() time.Time { return now })
+	srv.Registry().SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
 	if _, err := v.Register(ctx, lampDesc(), "http://h/1"); err != nil {
 		t.Fatal(err)
 	}
+	mu.Lock()
 	now = now.Add(2 * time.Second)
+	mu.Unlock()
 	if _, err := v.Lookup(ctx, "jini:lamp-1"); !errors.Is(err, service.ErrNoSuchService) {
 		t.Errorf("expired service still found: %v", err)
 	}
@@ -169,5 +179,166 @@ func TestRegisterInvalidDescription(t *testing.T) {
 	_, v := newVSR(t)
 	if _, err := v.Register(context.Background(), service.Description{}, "http://h/1"); err == nil {
 		t.Error("invalid description accepted")
+	}
+}
+
+// nextDelta reads one delta or fails the test.
+func nextDelta(t *testing.T, ch <-chan Delta) Delta {
+	t.Helper()
+	select {
+	case d, ok := <-ch:
+		if !ok {
+			t.Fatal("watch channel closed")
+		}
+		return d
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delta within 10s")
+	}
+	panic("unreachable")
+}
+
+func TestWatchStreamsDeltas(t *testing.T) {
+	_, v := newVSR(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ch, err := v.Watch(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := nextDelta(t, ch); d.Op != DeltaUp {
+		t.Fatalf("first delta = %+v, want up", d)
+	}
+
+	const endpoint = "http://10.0.0.1:8800/services/jini:lamp-1"
+	key, err := v.Register(ctx, lampDesc(), endpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := nextDelta(t, ch)
+	if d.Op != DeltaAdd || d.ServiceID != "jini:lamp-1" {
+		t.Fatalf("add delta = %+v", d)
+	}
+	// Change deltas carry the full resolution: description and endpoint.
+	if d.Remote.Endpoint != endpoint || !d.Remote.Desc.Interface.Equal(lampDesc().Interface) {
+		t.Errorf("add delta remote = %+v", d.Remote)
+	}
+
+	// Re-registration (a refresh, or a re-home) is an update.
+	if _, err := v.Register(ctx, lampDesc(), "http://10.0.0.2:8800/services/jini:lamp-1"); err != nil {
+		t.Fatal(err)
+	}
+	d = nextDelta(t, ch)
+	if d.Op != DeltaUpdate || d.Remote.Endpoint != "http://10.0.0.2:8800/services/jini:lamp-1" {
+		t.Fatalf("update delta = %+v", d)
+	}
+
+	if err := v.Unregister(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	d = nextDelta(t, ch)
+	if d.Op != DeltaDelete || d.ServiceID != "jini:lamp-1" {
+		t.Fatalf("delete delta = %+v", d)
+	}
+
+	// Cancelling the context closes the stream.
+	cancel()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("watch channel never closed after cancel")
+		}
+	}
+}
+
+func TestWatchResumeFromSince(t *testing.T) {
+	srv, v := newVSR(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := v.Register(ctx, lampDesc(), "http://h/1"); err != nil {
+		t.Fatal(err)
+	}
+	seq := srv.Registry().Seq()
+	vcr := service.Description{
+		ID:         "havi:vcr-1",
+		Middleware: "havi",
+		Interface: service.Interface{Name: "VCR", Operations: []service.Operation{
+			{Name: "Play", Output: service.KindVoid},
+		}},
+	}
+	if _, err := v.Register(ctx, vcr, "http://h/2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resuming after the lamp's registration sees only the VCR.
+	ch, err := v.Watch(ctx, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := nextDelta(t, ch); d.Op != DeltaUp {
+		t.Fatalf("first delta = %+v", d)
+	}
+	if d := nextDelta(t, ch); d.Op != DeltaAdd || d.ServiceID != "havi:vcr-1" {
+		t.Fatalf("resumed delta = %+v", d)
+	}
+}
+
+func TestWatchDownAndRecovery(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(srv.URL())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := v.Watch(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := nextDelta(t, ch); d.Op != DeltaUp {
+		t.Fatalf("first delta = %+v", d)
+	}
+	srv.Close()
+	d := nextDelta(t, ch)
+	if d.Op != DeltaDown || d.Err == nil {
+		t.Fatalf("after repository death: %+v", d)
+	}
+}
+
+func TestRegisterAll(t *testing.T) {
+	srv, v := newVSR(t)
+	ctx := context.Background()
+	var regs []Registration
+	for i := 0; i < 3; i++ {
+		desc := lampDesc()
+		desc.ID = desc.ID[:len(desc.ID)-1] + string(rune('1'+i))
+		regs = append(regs, Registration{Desc: desc, Endpoint: "http://h/1"})
+	}
+	keys, err := v.RegisterAll(ctx, regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for _, r := range regs {
+		if _, err := v.Lookup(ctx, r.Desc.ID); err != nil {
+			t.Errorf("lookup %s after batch: %v", r.Desc.ID, err)
+		}
+	}
+	if n := srv.Registry().Len(); n != 3 {
+		t.Errorf("registry has %d entries, want 3", n)
+	}
+	// Empty and invalid batches.
+	if keys, err := v.RegisterAll(ctx, nil); err != nil || keys != nil {
+		t.Errorf("empty batch = %v, %v", keys, err)
+	}
+	if _, err := v.RegisterAll(ctx, []Registration{{}}); err == nil {
+		t.Error("invalid description accepted in batch")
 	}
 }

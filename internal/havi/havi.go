@@ -1,7 +1,7 @@
 // Package havi simulates the HAVi (Home Audio/Video interoperability)
-// middleware that the paper bridges for digital AV appliances. It is
-// layered on the internal/ieee1394 bus exactly as real HAVi sits on
-// FireWire:
+// middleware that the paper bridges for digital AV appliances — the third
+// middleware of its prototype (§4.1). It is layered on the
+// internal/ieee1394 bus exactly as real HAVi sits on FireWire:
 //
 //   - a Messaging System per device routes request/response messages
 //     between software elements addressed by SEID (GUID + software

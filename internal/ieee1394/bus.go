@@ -1,5 +1,6 @@
-// Package ieee1394 simulates the IEEE 1394 (FireWire) bus that HAVi runs
-// on: hot-pluggable nodes identified by 64-bit GUIDs, bus resets with
+// Package ieee1394 simulates the IEEE 1394 (FireWire) bus that HAVi —
+// the AV middleware of the paper's prototype (§4.1) — runs on:
+// hot-pluggable nodes identified by 64-bit GUIDs, bus resets with
 // self-identification on every topology change, asynchronous
 // request/response transactions, and isochronous channels with bandwidth
 // allocation for streaming.

@@ -1,7 +1,7 @@
-// Package jini simulates the Jini middleware the paper bridges: a lookup
-// service with leases, unicast discovery, attribute (Entry) matching,
-// RMI-style remote invocation, and distributed events with sequence
-// numbers.
+// Package jini simulates the Jini middleware the paper bridges — the
+// first middleware of its prototype (§4.1) — as a lookup service with
+// leases, unicast discovery, attribute (Entry) matching, RMI-style remote
+// invocation, and distributed events with sequence numbers.
 //
 // Real Jini rides on Java RMI: proxies are serialized objects that, once
 // downloaded from the lookup service, call back to their exporter. This

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"homeconnect/internal/xmltree"
@@ -77,6 +78,55 @@ func (c *Client) Save(ctx context.Context, e Entry, ttl time.Duration) (string, 
 	return key, nil
 }
 
+// SaveAll publishes every entry under one TTL in a single round trip and
+// returns the assigned keys in order — the batched refresh gateways use
+// so N exports cost one request, not N.
+func (c *Client) SaveAll(ctx context.Context, entries []Entry, ttl time.Duration) ([]string, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	w := xmltree.NewWriter()
+	w.Open("save_services")
+	if ttl > 0 {
+		w.Leaf("ttlms", strconv.Itoa(int(ttl/time.Millisecond)))
+	}
+	for _, e := range entries {
+		entryToXML(w, e)
+	}
+	root, err := c.roundTrip(ctx, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, el := range root.All("serviceKey") {
+		keys = append(keys, strings.TrimSpace(el.Text))
+	}
+	if len(keys) != len(entries) {
+		return nil, fmt.Errorf("uddi: save_services returned %d keys for %d entries", len(keys), len(entries))
+	}
+	return keys, nil
+}
+
+// Watch long-polls the registry's change journal: it blocks up to timeout
+// for changes with sequence numbers greater than since, returning them in
+// order plus the cursor to resume from. resync reports that the journal
+// no longer covers since (watcher too far behind, or registry restarted):
+// the caller must drop everything it cached and resume from next. A zero
+// timeout returns immediately, which doubles as a liveness probe.
+func (c *Client) Watch(ctx context.Context, since uint64, timeout time.Duration) (changes []Change, next uint64, resync bool, err error) {
+	w := xmltree.NewWriter()
+	w.Open("watch")
+	w.Leaf("since", strconv.FormatUint(since, 10))
+	if timeout > 0 {
+		w.Leaf("timeoutms", strconv.Itoa(int(timeout/time.Millisecond)))
+	}
+	root, err := c.roundTrip(ctx, w.Bytes())
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return decodeChangeList(root)
+}
+
 // Delete removes the registration with the given key.
 func (c *Client) Delete(ctx context.Context, key string) error {
 	w := xmltree.NewWriter()
@@ -88,6 +138,16 @@ func (c *Client) Delete(ctx context.Context, key string) error {
 
 // Find runs an inquiry and returns matching entries sorted by name.
 func (c *Client) Find(ctx context.Context, q Query) ([]Entry, error) {
+	entries, _, err := c.FindSeq(ctx, q)
+	return entries, err
+}
+
+// FindSeq is Find plus the registry's journal sequence number observed at
+// read time. A cache filled from the result is current through that
+// sequence: if a watch later reports a change with a higher number for an
+// entry, the cached copy is stale; a concurrent change with a lower or
+// equal number was already reflected in the inquiry.
+func (c *Client) FindSeq(ctx context.Context, q Query) ([]Entry, uint64, error) {
 	w := xmltree.NewWriter()
 	w.Open("find_service")
 	if q.Name != "" {
@@ -106,17 +166,19 @@ func (c *Client) Find(ctx context.Context, q Query) ([]Entry, error) {
 	}
 	root, err := c.roundTrip(ctx, w.Bytes())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	// Older registries omit the attribute; zero means "no fence".
+	seq, _ := strconv.ParseUint(root.Attr("seq"), 10, 64)
 	var out []Entry
 	for _, svc := range root.All("service") {
 		e, err := entryFromXML(svc)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		out = append(out, e)
 	}
-	return out, nil
+	return out, seq, nil
 }
 
 // Get fetches one entry by key; found is false for unknown or expired

@@ -1,12 +1,15 @@
 package uddi
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"homeconnect/internal/xmltree"
@@ -15,18 +18,53 @@ import (
 // maxRequestBytes bounds inbound publication/inquiry documents.
 const maxRequestBytes = 1 << 20
 
-// Server is an in-memory UDDI-style registry. The zero value is not
-// usable; call NewServer.
-type Server struct {
-	// now is swappable for expiry tests.
-	now func() time.Time
+// numShards splits the index by service-key hash so registration and
+// inquiry from many gateways stop contending on one mutex. Power of two.
+const numShards = 16
 
-	mu      sync.RWMutex
-	entries map[string]*record
+// defaultJournalCapacity bounds the change journal; watchers further
+// behind than this are told to resync (drop caches, resume from the
+// current sequence) rather than silently miss changes.
+const defaultJournalCapacity = 1024
+
+// sweepInterval is how often the expiry janitor scans for lapsed
+// registrations. Expired entries are invisible to reads immediately; the
+// janitor exists to delete them and journal the expiry for watchers.
+const sweepInterval = 100 * time.Millisecond
+
+// maxWatchTimeout caps how long one watch request may park server-side.
+const maxWatchTimeout = 30 * time.Second
+
+// Server is an in-memory UDDI-style registry with a change journal. The
+// zero value is not usable; call NewServer.
+type Server struct {
+	// nowFn is swappable for expiry tests; atomic so the janitor and
+	// SetClock don't race.
+	nowFn atomic.Value // func() time.Time
+
+	shards [numShards]shard
+
+	// The journal: a ring of the most recent changes, covering sequence
+	// numbers (seq-len(journal), seq]. Mutators append while holding
+	// their shard lock (shard → journal lock order, never the reverse),
+	// so journal order always matches per-key map order.
+	jmu     sync.Mutex
+	journal []Change
+	jcap    int
+	seq     uint64
+	wake    chan struct{} // closed and replaced on every append
 
 	// saves and finds count operations for the benchmark harness.
-	saves int64
-	finds int64
+	saves atomic.Int64
+	finds atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*record
 }
 
 type record struct {
@@ -34,16 +72,105 @@ type record struct {
 	expires time.Time
 }
 
-// NewServer returns an empty registry.
+// NewServer returns an empty registry and starts its expiry janitor;
+// call Close to stop it.
 func NewServer() *Server {
-	return &Server{
-		now:     time.Now,
-		entries: make(map[string]*record),
+	s := &Server{
+		jcap: defaultJournalCapacity,
+		wake: make(chan struct{}),
+		stop: make(chan struct{}),
 	}
+	s.nowFn.Store(time.Now)
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]*record)
+	}
+	go s.janitor()
+	return s
+}
+
+// Close stops the expiry janitor and wakes parked watchers.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.jmu.Lock()
+		close(s.wake)
+		s.wake = make(chan struct{})
+		s.jmu.Unlock()
+	})
 }
 
 // SetClock overrides the time source (tests only).
-func (s *Server) SetClock(now func() time.Time) { s.now = now }
+func (s *Server) SetClock(now func() time.Time) { s.nowFn.Store(now) }
+
+func (s *Server) now() time.Time { return s.nowFn.Load().(func() time.Time)() }
+
+// SetJournalCapacity resizes the change journal (set before traffic
+// flows; existing excess history is discarded).
+func (s *Server) SetJournalCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	s.jcap = n
+	if len(s.journal) > n {
+		s.journal = append([]Change(nil), s.journal[len(s.journal)-n:]...)
+	}
+}
+
+func (s *Server) shardFor(key string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return &s.shards[h.Sum32()&(numShards-1)]
+}
+
+// appendChange journals one mutation. Callers hold the shard lock for the
+// change's key, which serializes per-key journal order with map order.
+func (s *Server) appendChange(op ChangeOp, e Entry) {
+	if op == OpDelete || op == OpExpire {
+		// Invalidation needs identity, not payload; drop the heavy fields.
+		e = Entry{Key: e.Key, Name: e.Name}
+	}
+	s.jmu.Lock()
+	s.seq++
+	s.journal = append(s.journal, Change{Seq: s.seq, Op: op, Entry: e.Clone()})
+	if len(s.journal) > s.jcap {
+		s.journal = s.journal[len(s.journal)-s.jcap:]
+	}
+	close(s.wake)
+	s.wake = make(chan struct{})
+	s.jmu.Unlock()
+}
+
+// janitor deletes lapsed registrations and journals each expiry, so
+// watchers learn about silently dead services without polling.
+func (s *Server) janitor() {
+	t := time.NewTicker(sweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.expireSweep()
+		}
+	}
+}
+
+func (s *Server) expireSweep() {
+	now := s.now()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, rec := range sh.entries {
+			if now.After(rec.expires) {
+				delete(sh.entries, key)
+				s.appendChange(OpExpire, rec.entry)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
 
 // Save registers or replaces an entry with the given TTL and returns its
 // key.
@@ -54,26 +181,48 @@ func (s *Server) Save(e Entry, ttl time.Duration) string {
 	if e.Key == "" {
 		e.Key = NewKey()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.saves++
-	s.entries[e.Key] = &record{entry: e.Clone(), expires: s.now().Add(ttl)}
+	sh := s.shardFor(e.Key)
+	sh.mu.Lock()
+	s.saves.Add(1)
+	op := OpAdd
+	if old, ok := sh.entries[e.Key]; ok && !s.now().After(old.expires) {
+		op = OpUpdate
+	}
+	sh.entries[e.Key] = &record{entry: e.Clone(), expires: s.now().Add(ttl)}
+	s.appendChange(op, e)
+	sh.mu.Unlock()
 	return e.Key
+}
+
+// SaveAll registers every entry under one TTL and returns the keys in
+// order — the batched form gateways use to renew all their exports in a
+// single round trip.
+func (s *Server) SaveAll(entries []Entry, ttl time.Duration) []string {
+	keys := make([]string, len(entries))
+	for i, e := range entries {
+		keys[i] = s.Save(e, ttl)
+	}
+	return keys
 }
 
 // Delete removes an entry; deleting an unknown key is not an error,
 // matching UDDI semantics for already-expired registrations.
 func (s *Server) Delete(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.entries, key)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if rec, ok := sh.entries[key]; ok {
+		delete(sh.entries, key)
+		s.appendChange(OpDelete, rec.entry)
+	}
+	sh.mu.Unlock()
 }
 
 // Get returns the entry for key if present and unexpired.
 func (s *Server) Get(key string) (Entry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.entries[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.entries[key]
 	if !ok || s.now().After(rec.expires) {
 		return Entry{}, false
 	}
@@ -81,22 +230,25 @@ func (s *Server) Get(key string) (Entry, bool) {
 }
 
 // Find returns unexpired entries matching q, ordered by name then key for
-// determinism.
+// determinism. Expired entries are skipped (the janitor deletes and
+// journals them).
 func (s *Server) Find(q Query) []Entry {
-	s.mu.Lock()
-	s.finds++
+	s.finds.Add(1)
 	now := s.now()
 	var out []Entry
-	for key, rec := range s.entries {
-		if now.After(rec.expires) {
-			delete(s.entries, key)
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.entries {
+			if now.After(rec.expires) {
+				continue
+			}
+			if q.Matches(rec.entry) {
+				out = append(out, rec.entry.Clone())
+			}
 		}
-		if q.Matches(rec.entry) {
-			out = append(out, rec.entry.Clone())
-		}
+		sh.mu.RUnlock()
 	}
-	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
 			return out[i].Name < out[j].Name
@@ -108,23 +260,88 @@ func (s *Server) Find(q Query) []Entry {
 
 // Len reports the number of live entries.
 func (s *Server) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
 	now := s.now()
-	for _, rec := range s.entries {
-		if !now.After(rec.expires) {
-			n++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.entries {
+			if !now.After(rec.expires) {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // Stats returns cumulative (saves, finds) counters.
 func (s *Server) Stats() (saves, finds int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.saves, s.finds
+	return s.saves.Load(), s.finds.Load()
+}
+
+// Seq returns the sequence number of the most recent change.
+func (s *Server) Seq() uint64 {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.seq
+}
+
+// Changes returns the journal entries with sequence numbers greater than
+// since, plus the cursor to resume from. resync is true when the journal
+// no longer covers since (the watcher fell too far behind, or it resumed
+// against a restarted registry): the watcher must discard everything it
+// cached and continue from next.
+func (s *Server) Changes(since uint64) (changes []Change, next uint64, resync bool) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	oldest := s.seq - uint64(len(s.journal)) // journal covers (oldest, seq]
+	if since > s.seq || since < oldest {
+		return nil, s.seq, true
+	}
+	for _, c := range s.journal {
+		if c.Seq > since {
+			changes = append(changes, c)
+		}
+	}
+	return changes, s.seq, false
+}
+
+// WatchChanges long-polls the journal: it returns as soon as there are
+// changes after since (or a resync condition), blocking up to timeout. A
+// zero timeout returns immediately — an empty result with the current
+// cursor, which watchers use as a cheap liveness probe.
+func (s *Server) WatchChanges(ctx context.Context, since uint64, timeout time.Duration) (changes []Change, next uint64, resync bool, err error) {
+	// Wall-clock deadline: the swappable clock governs TTLs, not polls.
+	deadline := time.Now().Add(timeout)
+	for {
+		s.jmu.Lock()
+		waitCh := s.wake
+		s.jmu.Unlock()
+		changes, next, resync = s.Changes(since)
+		if len(changes) > 0 || resync {
+			return changes, next, resync, nil
+		}
+		select {
+		case <-s.stop:
+			return nil, next, false, nil
+		default:
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, next, false, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-waitCh:
+			timer.Stop()
+		case <-timer.C:
+			return nil, next, false, nil
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, next, false, ctx.Err()
+		}
+	}
 }
 
 // Handler returns the HTTP face of the registry. All operations POST an
@@ -148,16 +365,34 @@ func (s *Server) Handler() http.Handler {
 		switch root.Name.Local {
 		case "save_service":
 			s.handleSave(w, root)
+		case "save_services":
+			s.handleSaveAll(w, root)
 		case "delete_service":
 			s.handleDelete(w, root)
 		case "find_service":
 			s.handleFind(w, root)
 		case "get_serviceDetail":
 			s.handleGet(w, root)
+		case "watch":
+			s.handleWatch(r.Context(), w, root)
 		default:
 			writeError(w, http.StatusBadRequest, "E_unsupported", "unknown request "+root.Name.Local)
 		}
 	})
+}
+
+// parseMillis reads an optional millisecond-valued child element; an
+// absent element is zero (each caller's "use the default").
+func parseMillis(root *xmltree.Element, name string) (time.Duration, error) {
+	t := root.ChildText(name)
+	if t == "" {
+		return 0, nil
+	}
+	ms, err := strconv.Atoi(t)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("bad %s %s", name, t)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
 }
 
 func (s *Server) handleSave(w http.ResponseWriter, root *xmltree.Element) {
@@ -171,19 +406,44 @@ func (s *Server) handleSave(w http.ResponseWriter, root *xmltree.Element) {
 		writeError(w, http.StatusBadRequest, "E_fatalError", err.Error())
 		return
 	}
-	ttl := time.Duration(0)
-	if t := root.ChildText("ttlms"); t != "" {
-		ms, err := strconv.Atoi(t)
-		if err != nil || ms < 0 {
-			writeError(w, http.StatusBadRequest, "E_fatalError", "bad ttlms "+t)
-			return
-		}
-		ttl = time.Duration(ms) * time.Millisecond
+	ttl, err := parseMillis(root, "ttlms")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "E_fatalError", err.Error())
+		return
 	}
 	key := s.Save(entry, ttl)
 	xw := xmltree.NewWriter()
 	xw.Open("serviceDetail")
 	xw.Leaf("serviceKey", key)
+	writeXML(w, xw.Bytes())
+}
+
+func (s *Server) handleSaveAll(w http.ResponseWriter, root *xmltree.Element) {
+	svcs := root.All("service")
+	if len(svcs) == 0 {
+		writeError(w, http.StatusBadRequest, "E_fatalError", "save_services without service")
+		return
+	}
+	entries := make([]Entry, 0, len(svcs))
+	for _, svc := range svcs {
+		entry, err := entryFromXML(svc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "E_fatalError", err.Error())
+			return
+		}
+		entries = append(entries, entry)
+	}
+	ttl, err := parseMillis(root, "ttlms")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "E_fatalError", err.Error())
+		return
+	}
+	keys := s.SaveAll(entries, ttl)
+	xw := xmltree.NewWriter()
+	xw.Open("serviceDetail")
+	for _, key := range keys {
+		xw.Leaf("serviceKey", key)
+	}
 	writeXML(w, xw.Bytes())
 }
 
@@ -210,9 +470,13 @@ func (s *Server) handleFind(w http.ResponseWriter, root *xmltree.Element) {
 		}
 		q.Categories[c.Attr("keyName")] = c.Attr("keyValue")
 	}
+	// Journal position read before the scan: any change the scan might
+	// have missed has a higher sequence number, so clients can fence
+	// cache fills against concurrent mutations.
+	seq := s.Seq()
 	entries := s.Find(q)
 	xw := xmltree.NewWriter()
-	xw.Open("serviceList")
+	xw.Open("serviceList", "seq", strconv.FormatUint(seq, 10))
 	for _, e := range entries {
 		entryToXML(xw, e)
 	}
@@ -228,6 +492,93 @@ func (s *Server) handleGet(w http.ResponseWriter, root *xmltree.Element) {
 		entryToXML(xw, entry)
 	}
 	writeXML(w, xw.Bytes())
+}
+
+func (s *Server) handleWatch(ctx context.Context, w http.ResponseWriter, root *xmltree.Element) {
+	var since uint64
+	if t := root.ChildText("since"); t != "" {
+		v, err := strconv.ParseUint(t, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "E_fatalError", "bad since "+t)
+			return
+		}
+		since = v
+	}
+	timeout, err := parseMillis(root, "timeoutms")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "E_fatalError", err.Error())
+		return
+	}
+	if timeout > maxWatchTimeout {
+		timeout = maxWatchTimeout
+	}
+	changes, next, resync, err := s.WatchChanges(ctx, since, timeout)
+	if err != nil {
+		// Client went away mid-poll; nothing useful to write.
+		return
+	}
+	writeXML(w, encodeChangeList(changes, next, resync))
+}
+
+// encodeChangeList renders a watch response.
+func encodeChangeList(changes []Change, next uint64, resync bool) []byte {
+	xw := xmltree.NewWriter()
+	xw.Open("changeList",
+		"next", strconv.FormatUint(next, 10),
+		"resync", strconv.FormatBool(resync),
+	)
+	for _, c := range changes {
+		switch c.Op {
+		case OpAdd, OpUpdate:
+			xw.Open("change", "seq", strconv.FormatUint(c.Seq, 10), "op", string(c.Op))
+			entryToXML(xw, c.Entry)
+			xw.Close()
+		default:
+			xw.SelfClose("change",
+				"seq", strconv.FormatUint(c.Seq, 10),
+				"op", string(c.Op),
+				"serviceKey", c.Entry.Key,
+				"name", c.Entry.Name,
+			)
+		}
+	}
+	return xw.Bytes()
+}
+
+// decodeChangeList parses a watch response.
+func decodeChangeList(root *xmltree.Element) (changes []Change, next uint64, resync bool, err error) {
+	if root.Name.Local != "changeList" {
+		return nil, 0, false, fmt.Errorf("uddi: watch response root %s", root.Name.Local)
+	}
+	next, err = strconv.ParseUint(root.Attr("next"), 10, 64)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("uddi: bad changeList next: %w", err)
+	}
+	resync = root.Attr("resync") == "true"
+	for _, el := range root.All("change") {
+		seq, err := strconv.ParseUint(el.Attr("seq"), 10, 64)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("uddi: bad change seq: %w", err)
+		}
+		c := Change{Seq: seq, Op: ChangeOp(el.Attr("op"))}
+		switch c.Op {
+		case OpAdd, OpUpdate:
+			svc := el.Child("service")
+			if svc == nil {
+				return nil, 0, false, fmt.Errorf("uddi: %s change without service", c.Op)
+			}
+			c.Entry, err = entryFromXML(svc)
+			if err != nil {
+				return nil, 0, false, err
+			}
+		case OpDelete, OpExpire:
+			c.Entry = Entry{Key: el.Attr("serviceKey"), Name: el.Attr("name")}
+		default:
+			return nil, 0, false, fmt.Errorf("uddi: unknown change op %q", el.Attr("op"))
+		}
+		changes = append(changes, c)
+	}
+	return changes, next, resync, nil
 }
 
 // entryToXML appends a <service> element for e to the writer.

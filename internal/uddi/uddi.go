@@ -9,7 +9,16 @@
 //
 // Entries carry a time-to-live; publishers refresh periodically and the
 // registry expires stale services, giving the federation the liveness that
-// Jini gets from leases.
+// Jini gets from leases. Batched publication (save_services) renews a
+// gateway's whole export set in one round trip.
+//
+// Beyond the UDDI v2 API, the registry is an active component: every
+// mutation (add, update, delete, expire) is assigned a monotonically
+// increasing sequence number and recorded in a bounded change journal, and
+// a long-poll watch operation streams those changes to clients — the
+// push-based repository the paper's passive §3.3 database lacks, after
+// Dearle et al.'s argument that a registry should notify rather than be
+// polled.
 package uddi
 
 import (
@@ -116,3 +125,24 @@ func NewKey() string {
 // DefaultTTL is the registration lifetime used when a save request does
 // not specify one.
 const DefaultTTL = 60 * time.Second
+
+// ChangeOp classifies one registry mutation in the change journal.
+type ChangeOp string
+
+// Journal operations. Adds and updates carry the full entry; deletes and
+// expiries carry only the key and name (enough to invalidate a cache).
+const (
+	OpAdd    ChangeOp = "add"
+	OpUpdate ChangeOp = "update"
+	OpDelete ChangeOp = "delete"
+	OpExpire ChangeOp = "expire"
+)
+
+// Change is one journal record: a registry mutation stamped with its
+// global sequence number. Watchers resume from a sequence number and
+// receive every change after it, in order.
+type Change struct {
+	Seq   uint64
+	Op    ChangeOp
+	Entry Entry
+}

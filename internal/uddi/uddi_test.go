@@ -95,13 +95,13 @@ func TestServerReplaceByKey(t *testing.T) {
 
 func TestServerExpiry(t *testing.T) {
 	s := NewServer()
-	now := time.Unix(1000, 0)
-	s.SetClock(func() time.Time { return now })
+	clk := newFakeClock(time.Unix(1000, 0))
+	s.SetClock(clk.now)
 	key := s.Save(lampEntry(), 10*time.Second)
 	if _, ok := s.Get(key); !ok {
 		t.Fatal("entry not found before expiry")
 	}
-	now = now.Add(11 * time.Second)
+	clk.advance(11 * time.Second)
 	if _, ok := s.Get(key); ok {
 		t.Error("entry found after expiry")
 	}
@@ -113,11 +113,11 @@ func TestServerExpiry(t *testing.T) {
 	}
 	// Refreshing before expiry extends the lifetime.
 	key2 := s.Save(lampEntry(), 10*time.Second)
-	now = now.Add(8 * time.Second)
+	clk.advance(8 * time.Second)
 	e, _ := s.Get(key2)
 	e.Key = key2
 	s.Save(e, 10*time.Second)
-	now = now.Add(8 * time.Second)
+	clk.advance(8 * time.Second)
 	if _, ok := s.Get(key2); !ok {
 		t.Error("refreshed entry expired")
 	}

@@ -1,7 +1,8 @@
 // Package xmltree parses XML documents into a lightweight element tree.
-// The framework deals in small protocol documents (SOAP envelopes, WSDL
-// definitions, UDDI messages, UPnP device descriptions) whose schemas are
-// too dynamic for struct tags; a generic tree keeps each codec simple.
+// The framework deals in small protocol documents — the SOAP envelopes,
+// WSDL definitions and UDDI messages of the paper's prototype (§4.1),
+// plus UPnP device descriptions (§5) — whose schemas are too dynamic for
+// struct tags; a generic tree keeps each codec simple.
 package xmltree
 
 import (
