@@ -54,6 +54,7 @@ func BenchmarkFigure1FederationCall(b *testing.B) {
 	h := benchHome(b, sim.Config{Jini: true, X10: true}, 2)
 	gw := h.Fed.Network("jini-net").Gateway()
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gw.Call(ctx, "x10:lamp-1", "Level", nil); err != nil {
@@ -77,6 +78,7 @@ func BenchmarkFigure2NativeJiniCall(b *testing.B) {
 	if err != nil || len(items) != 1 {
 		b.Fatalf("lookup: %v %v", items, err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := jini.Call(ctx, items[0].Proxy, "State", nil); err != nil {
@@ -92,6 +94,7 @@ func BenchmarkFigure2ClientProxy(b *testing.B) {
 	// Call from the X10 network so the full SOAP path is exercised.
 	gw := h.Fed.Network("x10-net").Gateway()
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gw.Call(ctx, "jini:laserdisc-1", "State", nil); err != nil {
@@ -123,6 +126,7 @@ func BenchmarkFigure2ServerProxy(b *testing.B) {
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := jini.Call(ctx, proxy, "Level", nil); err != nil {
@@ -185,6 +189,7 @@ func BenchmarkFigure4JiniToX10(b *testing.B) {
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		op := "On"
@@ -204,6 +209,7 @@ func BenchmarkFigure4JiniToX10(b *testing.B) {
 // RMI-sim → Laserdisc state change.
 func BenchmarkFigure5RemotePress(b *testing.B) {
 	h := benchHome(b, sim.Prototype(), 7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fn, want := x10.On, "playing"
@@ -240,6 +246,7 @@ func BenchmarkSOAPEncode(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := soap.EncodeCall(call); err != nil {
@@ -256,6 +263,7 @@ func BenchmarkSOAPDecode(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := soap.DecodeCall(data); err != nil {
@@ -264,24 +272,26 @@ func BenchmarkSOAPDecode(b *testing.B) {
 	}
 }
 
-// BenchmarkSOAPRoundTrip measures a full SOAP/HTTP RPC over loopback —
-// the inter-VSG hop.
-func BenchmarkSOAPRoundTrip(b *testing.B) {
+// echoRig builds two gateways on one repository with an integer echo
+// service exported on the first — the minimal inter-VSG call shape shared
+// by the wire and loopback round-trip benchmarks.
+func echoRig(b *testing.B) (caller *vsg.VSG, warmArgs []service.Value) {
+	b.Helper()
 	srv, err := vsr.StartServer("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer srv.Close()
+	b.Cleanup(srv.Close)
 	gw1 := vsg.New("a", srv.URL())
 	gw2 := vsg.New("b", srv.URL())
 	if err := gw1.Start("127.0.0.1:0"); err != nil {
 		b.Fatal(err)
 	}
-	defer gw1.Close()
+	b.Cleanup(gw1.Close)
 	if err := gw2.Start("127.0.0.1:0"); err != nil {
 		b.Fatal(err)
 	}
-	defer gw2.Close()
+	b.Cleanup(gw2.Close)
 	ctx := context.Background()
 	desc := service.Description{
 		ID: "bench:echo", Name: "echo", Middleware: "bench",
@@ -299,11 +309,43 @@ func BenchmarkSOAPRoundTrip(b *testing.B) {
 	if _, err := gw2.Call(ctx, "bench:echo", "Echo", arg); err != nil {
 		b.Fatal(err)
 	}
+	return gw2, arg
+}
+
+// BenchmarkSOAPRoundTrip measures a full SOAP/HTTP RPC between two
+// gateways — the inter-VSG wire hop. Loopback is disabled so the paper's
+// protocol stays the thing measured.
+func BenchmarkSOAPRoundTrip(b *testing.B) {
+	gw, arg := echoRig(b)
+	gw.SetLoopbackEnabled(false)
+	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := gw2.Call(ctx, "bench:echo", "Echo", arg); err != nil {
+		if _, err := gw.Call(ctx, "bench:echo", "Echo", arg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLoopbackCall measures the same resolved federation call taking
+// the in-process loopback fast path: VSR resolution and argument
+// validation still run, HTTP and the SOAP codec do not. Compare against
+// BenchmarkSOAPRoundTrip (same rig) or BenchmarkFigure1FederationCall
+// (the full prototype's wire path).
+func BenchmarkLoopbackCall(b *testing.B) {
+	gw, arg := echoRig(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.Call(ctx, "bench:echo", "Echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, out, loop := gw.Stats(); loop == 0 || loop != out {
+		b.Fatalf("loopback hits = %d of %d outbound calls; the fast path was not measured", loop, out)
 	}
 }
 
@@ -323,6 +365,7 @@ func BenchmarkRMISimRoundTrip(b *testing.B) {
 	}))
 	ctx := context.Background()
 	args := []any{int64(7)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := jini.Call(ctx, proxy, "Echo", args); err != nil {
@@ -340,6 +383,7 @@ func BenchmarkEventLongPoll(b *testing.B) {
 	hub, client := benchHub(b)
 	ctx := context.Background()
 	var cursor uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		type out struct {
@@ -384,6 +428,7 @@ func BenchmarkEventPush(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer func() { _ = client.Unsubscribe(ctx, sid) }()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hub.Publish(service.Event{Source: "bench", Topic: "bench", Seq: uint64(i)})
@@ -419,6 +464,9 @@ func BenchmarkBridgeScaling(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer fed.Close()
+			// E8 measures cross-middleware wire scaling (adapter counts
+			// and TCP behavior); keep loopback out of the measurement.
+			fed.SetLoopback(false)
 			ctx := context.Background()
 			for i := 0; i < n; i++ {
 				name := fmt.Sprintf("mw%d", i)
@@ -443,6 +491,7 @@ func BenchmarkBridgeScaling(b *testing.B) {
 			}
 			gw := fed.Network("mw0").Gateway()
 			arg := []service.Value{service.StringValue("x")}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				id := fmt.Sprintf("mw%d:echo", 1+i%(n-1))
@@ -507,6 +556,7 @@ func BenchmarkVSRRegister(b *testing.B) {
 			{Name: "Ping", Output: service.KindVoid},
 		}},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := v.Register(ctx, desc, "http://h/1"); err != nil {
@@ -535,6 +585,7 @@ func BenchmarkVSRFind(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := v.Lookup(ctx, "bench:svc7"); err != nil {
@@ -568,6 +619,7 @@ func BenchmarkVSRFindCached(b *testing.B) {
 		b.Fatal(err)
 	}
 	gw.SetCacheTTL(time.Hour)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gw.Resolve(ctx, "bench:svc"); err != nil {
@@ -611,6 +663,7 @@ func BenchmarkVSRWatchPropagate(b *testing.B) {
 			break
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := v.Register(ctx, desc, "http://h/1"); err != nil {
@@ -653,6 +706,7 @@ func BenchmarkVSRBatchRefresh(b *testing.B) {
 		v, regs, done := setup(b)
 		defer done()
 		ctx := context.Background()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, r := range regs {
@@ -667,6 +721,7 @@ func BenchmarkVSRBatchRefresh(b *testing.B) {
 		v, regs, done := setup(b)
 		defer done()
 		ctx := context.Background()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := v.RegisterAll(ctx, regs); err != nil {
@@ -736,6 +791,7 @@ func BenchmarkVSRFindCachedChurn(b *testing.B) {
 			}
 		}
 		_, findsBefore := srv.Registry().Stats()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := gw.Resolve(ctx, "bench:target"); err != nil {
@@ -758,6 +814,7 @@ func BenchmarkUPnPControl(b *testing.B) {
 	h := benchHome(b, sim.Config{UPnP: true, X10: true}, 2)
 	gw := h.Fed.Network("x10-net").Gateway()
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gw.Call(ctx, "upnp:porch-SwitchPower", "GetStatus", nil); err != nil {
@@ -829,6 +886,7 @@ func BenchmarkSceneTrigger(b *testing.B) {
 	if err := eng.Start("bench"); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hub.Publish(service.Event{
@@ -859,6 +917,7 @@ func BenchmarkSceneFanOut(b *testing.B) {
 			if err := eng.StartAll(); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				hub.Publish(service.Event{
@@ -893,6 +952,7 @@ func BenchmarkProxyGeneration(b *testing.B) {
 			{Name: "State", Return: "string"},
 		},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := jinipcm.InterfaceFromSpec(spec); err != nil {

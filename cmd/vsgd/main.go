@@ -8,7 +8,9 @@
 // The gateway watches the repository for change notifications, so its
 // resolve cache is push-invalidated; -cache-ttl sets the fallback TTL
 // used while the watch is down, and -no-watch reverts to the paper's
-// blind TTL poll model.
+// blind TTL poll model. Calls that resolve to a gateway in the same
+// process dispatch in-process (loopback) instead of over SOAP/HTTP;
+// -no-loopback forces every call onto the wire.
 //
 //	vsgd -vsr http://127.0.0.1:8600/uddi -name jini-net -middleware jini -jini-lookup 127.0.0.1:4160
 //	vsgd -vsr ... -name upnp-net -middleware upnp -ssdp 127.0.0.1:1900
@@ -38,6 +40,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "gateway listen address")
 	cacheTTL := flag.Duration("cache-ttl", 2*time.Second, "resolve-cache fallback TTL while the VSR watch is down (0 disables caching)")
 	noWatch := flag.Bool("no-watch", false, "disable the VSR change watch (blind TTL caching, the paper's poll model)")
+	noLoopback := flag.Bool("no-loopback", false, "disable in-process loopback dispatch; every call goes over SOAP/HTTP")
 	middleware := flag.String("middleware", "", "PCM to attach: jini, upnp, mail, none")
 	jiniLookup := flag.String("jini-lookup", "", "jini: lookup service address")
 	ssdp := flag.String("ssdp", "", "upnp: comma-separated SSDP addresses to search")
@@ -52,6 +55,7 @@ func main() {
 	gw := vsg.New(*name, *vsrURL)
 	gw.SetCacheTTL(*cacheTTL)
 	gw.SetWatchEnabled(!*noWatch)
+	gw.SetLoopbackEnabled(!*noLoopback)
 	if err := gw.Start(*addr); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,55 @@
+// Allocation and contention guards for the hub hot path.
+package events
+
+import (
+	"fmt"
+	"testing"
+
+	"homeconnect/internal/service"
+)
+
+func TestTopicMatchesAllocs(t *testing.T) {
+	pairs := [][2]string{
+		{"", "havi.tape-end"},
+		{"*", "havi.tape-end"},
+		{"havi.*", "havi.tape-end"},
+		{"havi.tape-end", "havi.tape-end"},
+		{"x10.*", "havi.tape-end"},
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		for _, p := range pairs {
+			TopicMatches(p[0], p[1])
+		}
+	}); got != 0 {
+		t.Errorf("TopicMatches: %.1f allocs/op, want 0", got)
+	}
+}
+
+// BenchmarkHubPublishParallel measures concurrent publishers fanning out
+// to subscribers — the scene-trigger load shape. The copy-on-write
+// subscriber snapshot keeps matching and delivery off the hub mutex, so
+// publishers only serialize on the ring append.
+func BenchmarkHubPublishParallel(b *testing.B) {
+	for _, nSubs := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("subs=%d", nSubs), func(b *testing.B) {
+			h := NewHub()
+			defer h.Close()
+			for i := 0; i < nSubs; i++ {
+				// Half match the published topic, half filter it out.
+				topic := "bench.tick"
+				if i%2 == 1 {
+					topic = "other.*"
+				}
+				h.Subscribe(topic, func(service.Event) {})
+			}
+			ev := service.Event{Source: "bench", Topic: "bench.tick"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					h.Publish(ev)
+				}
+			})
+		})
+	}
+}

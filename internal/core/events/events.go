@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"homeconnect/internal/service"
@@ -38,17 +39,37 @@ type stamped struct {
 
 // Hub fans events out to local subscribers, long-pollers and push
 // callbacks.
+//
+// Publish is the hub's hot path — a home full of scenes triggers at event
+// rate, and the scene engine fans one event out to every armed
+// composition — so it holds the mutex only for the ring append and the
+// poller wakeup. Subscriber matching reads an immutable copy-on-write
+// snapshot rebuilt on (un)subscribe, so concurrent publishers never
+// serialize on the subscriber tables, and the replay ring is a fixed
+// circular buffer instead of an ever-reallocating append-and-reslice.
 type Hub struct {
-	mu      sync.Mutex
-	ring    []stamped
-	cursor  uint64
-	wait    chan struct{} // closed and replaced on every publish
-	subs    map[int]localSub
-	nextSub int
-	pushers map[string]*pusher
-	nextSID int
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	ring     []stamped // circular; allocated ringCapacity-long on first publish
+	ringHead int       // index of the oldest entry
+	ringLen  int
+	cursor   uint64
+	wait     chan struct{} // closed and replaced on every publish
+	subs     map[int]localSub
+	nextSub  int
+	pushers  map[string]*pusher
+	nextSID  int
+	closed   bool
+	wg       sync.WaitGroup
+
+	// snap is the publish-side view of the subscriber tables. Mutators
+	// rebuild it under mu; Publish loads it lock-free.
+	snap atomic.Pointer[subscriberSnapshot]
+}
+
+// subscriberSnapshot is an immutable view of the subscriber tables.
+type subscriberSnapshot struct {
+	local []localSub
+	push  []*pusher
 }
 
 type localSub struct {
@@ -58,11 +79,32 @@ type localSub struct {
 
 // NewHub returns an empty hub.
 func NewHub() *Hub {
-	return &Hub{
+	h := &Hub{
 		wait:    make(chan struct{}),
 		subs:    make(map[int]localSub),
 		pushers: make(map[string]*pusher),
 	}
+	h.snap.Store(&subscriberSnapshot{})
+	return h
+}
+
+// resnapshot rebuilds the publish-side subscriber snapshot. Caller holds
+// mu.
+func (h *Hub) resnapshot() {
+	s := &subscriberSnapshot{}
+	if n := len(h.subs); n > 0 {
+		s.local = make([]localSub, 0, n)
+		for _, sub := range h.subs {
+			s.local = append(s.local, sub)
+		}
+	}
+	if n := len(h.pushers); n > 0 {
+		s.push = make([]*pusher, 0, n)
+		for _, p := range h.pushers {
+			s.push = append(s.push, p)
+		}
+	}
+	h.snap.Store(s)
 }
 
 // Close stops push deliveries and wakes pollers.
@@ -89,39 +131,46 @@ func (h *Hub) Publish(ev service.Event) {
 	if ev.Time.IsZero() {
 		ev.Time = time.Now()
 	}
+	kept := ev.Clone() // the ring's copy, made outside the lock
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
 		return
 	}
 	h.cursor++
-	h.ring = append(h.ring, stamped{cursor: h.cursor, ev: ev.Clone()})
-	if len(h.ring) > ringCapacity {
-		h.ring = h.ring[len(h.ring)-ringCapacity:]
+	if h.ring == nil {
+		h.ring = make([]stamped, ringCapacity)
+	}
+	slot := h.ringHead + h.ringLen
+	if slot >= ringCapacity {
+		slot -= ringCapacity
+	}
+	h.ring[slot] = stamped{cursor: h.cursor, ev: kept}
+	if h.ringLen < ringCapacity {
+		h.ringLen++
+	} else {
+		// Full: the slot just written replaced the oldest entry.
+		if h.ringHead++; h.ringHead == ringCapacity {
+			h.ringHead = 0
+		}
 	}
 	// Wake long-pollers.
 	close(h.wait)
 	h.wait = make(chan struct{})
-	// Snapshot local subscribers.
-	var local []localSub
-	for _, s := range h.subs {
-		if topicMatches(s.topic, ev.Topic) {
-			local = append(local, s)
-		}
-	}
-	var pushTargets []*pusher
-	for _, p := range h.pushers {
-		if topicMatches(p.topic, ev.Topic) {
-			pushTargets = append(pushTargets, p)
-		}
-	}
 	h.mu.Unlock()
 
-	for _, s := range local {
-		s.fn(ev.Clone())
+	// Deliveries run against the copy-on-write snapshot, off the lock:
+	// a slow subscriber callback delays this publisher, never the hub.
+	snap := h.snap.Load()
+	for _, s := range snap.local {
+		if topicMatches(s.topic, ev.Topic) {
+			s.fn(ev.Clone())
+		}
 	}
-	for _, p := range pushTargets {
-		p.enqueue(ev.Clone())
+	for _, p := range snap.push {
+		if topicMatches(p.topic, ev.Topic) {
+			p.enqueue(ev.Clone())
+		}
 	}
 }
 
@@ -150,10 +199,12 @@ func (h *Hub) Subscribe(topic string, fn func(service.Event)) (stop func()) {
 	id := h.nextSub
 	h.nextSub++
 	h.subs[id] = localSub{topic: topic, fn: fn}
+	h.resnapshot()
 	return func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		delete(h.subs, id)
+		h.resnapshot()
 	}
 }
 
@@ -166,7 +217,12 @@ func (h *Hub) Poll(ctx context.Context, since uint64, topic string, timeout time
 		h.mu.Lock()
 		var out []service.Event
 		next := since
-		for _, s := range h.ring {
+		for k := 0; k < h.ringLen; k++ {
+			i := h.ringHead + k
+			if i >= ringCapacity {
+				i -= ringCapacity
+			}
+			s := h.ring[i]
 			if s.cursor > since && topicMatches(topic, s.ev.Topic) {
 				out = append(out, s.ev.Clone())
 			}
@@ -208,6 +264,7 @@ func (h *Hub) SubscribePush(topic string, deliver func(service.Event) error) str
 	sid := "sub-" + strconv.Itoa(h.nextSID)
 	p := newPusher(topic, deliver, &h.wg)
 	h.pushers[sid] = p
+	h.resnapshot()
 	return sid
 }
 
@@ -217,6 +274,7 @@ func (h *Hub) UnsubscribePush(sid string) {
 	p, ok := h.pushers[sid]
 	if ok {
 		delete(h.pushers, sid)
+		h.resnapshot()
 	}
 	h.mu.Unlock()
 	if ok {

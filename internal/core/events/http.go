@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"homeconnect/internal/service"
+	"homeconnect/internal/transport"
 	"homeconnect/internal/xmltree"
 )
 
@@ -172,12 +173,17 @@ func Handler(h *Hub) http.Handler {
 	return mux
 }
 
+// pushClient delivers push callbacks over the shared keep-alive
+// transport; the seed built a fresh http.Client (and connection) per
+// subscription. The timeout bounds each POST because a dead callback
+// must not park its pusher goroutine.
+var pushClient = transport.ClientWithTimeout(5 * time.Second)
+
 // pushDeliverer POSTs one event per request to the callback URL.
 func pushDeliverer(callback string) func(service.Event) error {
-	client := &http.Client{Timeout: 5 * time.Second}
 	return func(ev service.Event) error {
 		body := EncodeEvents([]service.Event{ev})
-		resp, err := client.Post(callback, `text/xml; charset="utf-8"`, bytes.NewReader(body))
+		resp, err := pushClient.Post(callback, `text/xml; charset="utf-8"`, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
@@ -192,7 +198,8 @@ func pushDeliverer(callback string) func(service.Event) error {
 
 // Client consumes a remote hub.
 type Client struct {
-	// HTTP is the underlying client; http.DefaultClient if nil.
+	// HTTP is the underlying client; the shared keep-alive transport
+	// (internal/transport) if nil.
 	HTTP *http.Client
 	// BaseURL is the hub's mount point (".../events").
 	BaseURL string
@@ -202,7 +209,7 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return transport.Client()
 }
 
 // Poll long-polls the remote hub.

@@ -21,11 +21,12 @@ import (
 type Federation struct {
 	vsrServer *vsr.Server
 
-	mu       sync.Mutex
-	networks map[string]*Network
-	order    []string
-	scenes   *scene.Engine
-	closed   bool
+	mu         sync.Mutex
+	networks   map[string]*Network
+	order      []string
+	scenes     *scene.Engine
+	noLoopback bool
+	closed     bool
 }
 
 // Network is one middleware network: a gateway plus its attached PCMs.
@@ -66,6 +67,7 @@ func (f *Federation) AddNetwork(name string) (*Network, error) {
 		return nil, fmt.Errorf("core: network %q already exists", name)
 	}
 	gw := vsg.New(name, f.vsrServer.URL())
+	gw.SetLoopbackEnabled(!f.noLoopback)
 	if err := gw.Start("127.0.0.1:0"); err != nil {
 		return nil, err
 	}
@@ -101,6 +103,22 @@ func (f *Federation) Scenes() *scene.Engine {
 		}
 	}
 	return f.scenes
+}
+
+// SetLoopback gates the in-process loopback fast path on every gateway
+// this federation creates (and those already created): with it on — the
+// default — cross-network calls between gateways sharing this process
+// dispatch straight to the target's service.Invoker, skipping HTTP and
+// the SOAP codec with identical results and faults. Turn it off to force
+// every call onto the wire, e.g. to measure the SOAP path or to emulate
+// gateways deployed on separate hosts (internal/sim does this).
+func (f *Federation) SetLoopback(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.noLoopback = !on
+	for _, n := range f.networks {
+		n.gw.SetLoopbackEnabled(on)
+	}
 }
 
 // Network returns a network by name, or nil.

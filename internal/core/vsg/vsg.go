@@ -22,6 +22,7 @@ package vsg
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -39,6 +40,21 @@ import (
 // namespacePrefix qualifies SOAP operation elements with the target
 // service identity.
 const namespacePrefix = "urn:homeconnect:"
+
+// procGateways registers every running gateway in this process by base
+// URL. When a resolved endpoint belongs to one of them, the call can be
+// dispatched in-process — straight to the registered service.Invoker —
+// skipping HTTP and the SOAP codec entirely (the loopback fast path).
+// Single-process federations (one host running every gateway, the
+// homesim deployment shape) make this the common case.
+var (
+	procMu       sync.RWMutex
+	procGateways = make(map[string]*VSG)
+)
+
+// servicesPath is the gateway's SOAP mount; endpoints are
+// "<base>/services/<id>".
+const servicesPath = "/services/"
 
 // Namespace returns the SOAP namespace for a federation service ID.
 func Namespace(serviceID string) string { return namespacePrefix + serviceID }
@@ -99,10 +115,16 @@ type VSG struct {
 	changedSeq map[string]uint64
 	cacheGen   uint64
 
+	// loopbackOff disables in-process dispatch on this (calling) gateway;
+	// atomic because it gates the per-call hot path. The zero value means
+	// loopback is on.
+	loopbackOff atomic.Bool
+
 	// stats for the benchmark harness; atomic, off the mutex — they sit
 	// on the per-call hot path.
 	inboundCalls  atomic.Uint64
 	outboundCalls atomic.Uint64
+	loopbackCalls atomic.Uint64
 	// watch accounting: deltas applied and cache entries invalidated or
 	// rewritten by push notifications.
 	watchDeltas   atomic.Uint64
@@ -148,6 +170,17 @@ func (g *VSG) SetCacheTTL(d time.Duration) {
 	g.resolveCache = make(map[string]cachedRemote)
 }
 
+// SetLoopbackEnabled gates the loopback fast path on this gateway's
+// outbound calls (default on): resolved endpoints served by a gateway in
+// the same process dispatch straight to the target's service.Invoker,
+// skipping HTTP and the SOAP codec while preserving wire semantics
+// (argument validation, fault mapping through service.RemoteError, call
+// accounting on both gateways). Disable it — the vsgd -no-loopback flag —
+// to force every call onto the wire, e.g. to benchmark the SOAP path.
+func (g *VSG) SetLoopbackEnabled(on bool) {
+	g.loopbackOff.Store(!on)
+}
+
 // SetWatchEnabled gates the repository watch; call before Start. With the
 // watch off the gateway degrades to the paper's poll model: blind
 // TTL-bounded caching and no push invalidation (the middle point of the
@@ -171,6 +204,9 @@ func (g *VSG) Start(addr string) error {
 	mux.Handle("/events/", http.StripPrefix("/events", events.Handler(g.hub)))
 	g.httpS = &http.Server{Handler: mux}
 	go func() { _ = g.httpS.Serve(ln) }()
+	procMu.Lock()
+	procGateways[g.BaseURL()] = g
+	procMu.Unlock()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	g.refreshCancel = cancel
@@ -200,6 +236,15 @@ func (g *VSG) Close() {
 		keys = append(keys, e.key)
 	}
 	g.mu.Unlock()
+
+	// Leave the loopback registry first: callers must fall back to the
+	// wire (and observe the dead listener) rather than invoke a gateway
+	// that is tearing down.
+	if base := g.BaseURL(); base != "" {
+		procMu.Lock()
+		delete(procGateways, base)
+		procMu.Unlock()
+	}
 
 	if g.refreshCancel != nil {
 		g.refreshCancel()
@@ -485,7 +530,10 @@ func (g *VSG) Call(ctx context.Context, serviceID, op string, args []service.Val
 	return g.CallRemote(ctx, remote, op, args)
 }
 
-// CallRemote invokes op on an already resolved remote service.
+// CallRemote invokes op on an already resolved remote service. When the
+// endpoint is served by a gateway in this process and loopback is enabled,
+// the call dispatches in-process (see SetLoopbackEnabled); otherwise it
+// travels as SOAP over the shared HTTP transport.
 func (g *VSG) CallRemote(ctx context.Context, remote vsr.Remote, op string, args []service.Value) (service.Value, error) {
 	opSpec, ok := remote.Desc.Interface.Operation(op)
 	if !ok {
@@ -494,18 +542,128 @@ func (g *VSG) CallRemote(ctx context.Context, remote vsr.Remote, op string, args
 	if err := service.ValidateArgs(opSpec, args); err != nil {
 		return service.Value{}, err
 	}
+	g.outboundCalls.Add(1)
+	if target := g.loopbackTarget(remote.Endpoint, args); target != nil {
+		g.loopbackCalls.Add(1)
+		return target.invokeLocal(ctx, remote.Desc.ID, op, args)
+	}
 	call := soap.Call{Namespace: Namespace(remote.Desc.ID), Operation: op}
 	for i, p := range opSpec.Inputs {
 		call.Args = append(call.Args, soap.Arg{Name: p.Name, Value: args[i]})
 	}
-	g.outboundCalls.Add(1)
 	client := &soap.Client{URL: remote.Endpoint}
 	return client.Call(ctx, Namespace(remote.Desc.ID)+"#"+op, call)
 }
 
-// Stats returns (inbound, outbound) call counters.
-func (g *VSG) Stats() (inbound, outbound uint64) {
-	return g.inboundCalls.Load(), g.outboundCalls.Load()
+// loopbackPayloadCeiling routes borderline-huge requests onto the wire:
+// above this conservative bound the encoded envelope might overflow
+// soap.MaxEnvelopeBytes once escaping (worst case 6×: "&#34;" for a
+// quote, U+FFFD for an invalid byte) or base64 wrapping expands the
+// payload, and only the real codec can decide exactly. Sending those few
+// calls over HTTP keeps the accept/reject boundary identical on both
+// paths instead of approximating it. The 4 KiB headroom covers the
+// envelope shell and operation/parameter elements.
+const loopbackPayloadCeiling = (soap.MaxEnvelopeBytes - 4096) / 6
+
+// payloadLen sums the variable-size payload bytes across values.
+func payloadLen(vals []service.Value) int {
+	total := 0
+	for _, v := range vals {
+		total += v.PayloadLen()
+	}
+	return total
+}
+
+// loopbackTarget returns the in-process gateway serving endpoint, or nil
+// when the call must go over the wire.
+func (g *VSG) loopbackTarget(endpoint string, args []service.Value) *VSG {
+	if g.loopbackOff.Load() {
+		return nil
+	}
+	if payloadLen(args) > loopbackPayloadCeiling {
+		return nil
+	}
+	i := strings.Index(endpoint, servicesPath)
+	if i < 0 {
+		return nil
+	}
+	procMu.RLock()
+	target := procGateways[endpoint[:i]]
+	procMu.RUnlock()
+	return target
+}
+
+// invokeLocal is the loopback receive side: the inbound SOAP handler's
+// semantics without the codec. Argument validation, call accounting and
+// fault shaping match the wire byte for byte at the API surface — a
+// target-side failure surfaces as the same *service.RemoteError a decoded
+// fault would have produced, so callers cannot tell the paths apart
+// (loopback_test.go holds that equivalence).
+func (g *VSG) invokeLocal(ctx context.Context, id, op string, args []service.Value) (service.Value, error) {
+	if err := ctx.Err(); err != nil {
+		// The wire's HTTP round trip would abort with the context error
+		// wrapped in ErrUnavailable; keep both sentinels on loopback.
+		return service.Value{}, fmt.Errorf("vsg: loopback: %w: %w", service.ErrUnavailable, err)
+	}
+	e, ok := g.localExport(id)
+	if !ok {
+		// The wire would reach this same gateway and fault NoSuchService;
+		// don't fall through to HTTP just to learn the same thing.
+		return service.Value{}, remoteErrorFrom(fmt.Errorf("%s: %w", id, service.ErrNoSuchService))
+	}
+	opSpec, ok := e.desc.Interface.Operation(op)
+	if !ok {
+		return service.Value{}, remoteErrorFrom(fmt.Errorf("%s.%s: %w", id, op, service.ErrNoSuchOperation))
+	}
+	if err := service.ValidateArgs(opSpec, args); err != nil {
+		return service.Value{}, remoteErrorFrom(err)
+	}
+	g.inboundCalls.Add(1)
+	v, err := e.invoker.Invoke(ctx, op, args)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			// Mid-call cancellation: the wire surfaces the context error
+			// as a transport failure, not a remote fault.
+			return service.Value{}, fmt.Errorf("vsg: loopback: %w: %w", service.ErrUnavailable, err)
+		}
+		return service.Value{}, remoteErrorFrom(err)
+	}
+	if !v.IsVoid() && !v.Kind().Valid() {
+		// The wire path would fail to encode this result and fault
+		// Server-side; mirror that instead of leaking an invalid value.
+		return service.Value{}, remoteErrorFrom(fmt.Errorf("soap: result: %w", service.ErrBadKind))
+	}
+	if v.PayloadLen() > loopbackPayloadCeiling {
+		// A result this large might overflow the wire's envelope bound;
+		// encode the real response so the limit is enforced exactly as
+		// the wire would (the caller's decode of a truncated envelope is
+		// a plain error, not a fault). The encode cost is paid only by
+		// payloads far beyond appliance-control scale.
+		data, err := soap.EncodeResponse(Namespace(id), op, v)
+		if err != nil {
+			return service.Value{}, remoteErrorFrom(err)
+		}
+		if len(data) > soap.MaxEnvelopeBytes {
+			return service.Value{}, fmt.Errorf("soap: response envelope exceeds %d bytes", soap.MaxEnvelopeBytes)
+		}
+	}
+	return v, nil
+}
+
+// remoteErrorFrom maps a target-side error to the *service.RemoteError
+// the wire path would deliver: classified through soap.FaultFromError on
+// the serving side, rebuilt from the fault exactly as the HTTP client
+// does (the shared Fault.RemoteError mapping).
+func remoteErrorFrom(err error) error {
+	return soap.FaultFromError(err).RemoteError()
+}
+
+// Stats returns the gateway's call counters: calls served for remote
+// peers (inbound), calls issued to federation services (outbound), and
+// how many of those outbound calls took the in-process loopback fast
+// path instead of the wire.
+func (g *VSG) Stats() (inbound, outbound, loopback uint64) {
+	return g.inboundCalls.Load(), g.outboundCalls.Load(), g.loopbackCalls.Load()
 }
 
 // Health describes the gateway's repository liaison: the registration-
@@ -534,6 +692,9 @@ type Health struct {
 	// CacheInvalidations counts cached resolutions evicted or rewritten
 	// by push notifications since start.
 	CacheInvalidations uint64
+	// LoopbackCalls counts outbound calls dispatched in-process instead
+	// of over the wire (see SetLoopbackEnabled).
+	LoopbackCalls uint64
 }
 
 // Health reports the repository liaison's condition.
@@ -548,6 +709,7 @@ func (g *VSG) Health() Health {
 		LastWatchError:             g.lastWatchErr,
 		WatchDeltas:                g.watchDeltas.Load(),
 		CacheInvalidations:         g.invalidations.Load(),
+		LoopbackCalls:              g.loopbackCalls.Load(),
 	}
 }
 

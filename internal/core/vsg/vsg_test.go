@@ -97,7 +97,7 @@ func TestExportAndLocalCall(t *testing.T) {
 		t.Fatalf("Level = %v, %v", got, err)
 	}
 	// Local calls never touch SOAP.
-	in, out := r.gw1.Stats()
+	in, out, _ := r.gw1.Stats()
 	if in != 0 || out != 0 {
 		t.Errorf("local call used the wire: in=%d out=%d", in, out)
 	}
@@ -119,8 +119,8 @@ func TestCrossGatewayCall(t *testing.T) {
 	if err != nil || got.Int() != 7 {
 		t.Fatalf("Level via gw2 = %v, %v", got, err)
 	}
-	in1, _ := r.gw1.Stats()
-	_, out2 := r.gw2.Stats()
+	in1, _, _ := r.gw1.Stats()
+	_, out2, _ := r.gw2.Stats()
 	if in1 != 2 || out2 != 2 {
 		t.Errorf("stats: gw1 in=%d gw2 out=%d, want 2/2", in1, out2)
 	}
@@ -519,10 +519,10 @@ func TestStatsCountCrossGatewayCalls(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if in, _ := r.gw1.Stats(); in != 3 {
+	if in, _, _ := r.gw1.Stats(); in != 3 {
 		t.Errorf("gw1 inbound = %d, want 3", in)
 	}
-	if _, out := r.gw2.Stats(); out != 3 {
+	if _, out, _ := r.gw2.Stats(); out != 3 {
 		t.Errorf("gw2 outbound = %d, want 3", out)
 	}
 }

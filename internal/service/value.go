@@ -105,6 +105,19 @@ func BytesValue(b []byte) Value {
 // Kind returns the value's kind.
 func (v Value) Kind() Kind { return v.kind }
 
+// PayloadLen returns the byte length of the value's variable-size payload
+// (string or bytes); fixed-size kinds report 0. It lets size-bounding
+// paths estimate wire cost without copying the blob.
+func (v Value) PayloadLen() int {
+	switch v.kind {
+	case KindString:
+		return len(v.str)
+	case KindBytes:
+		return len(v.blob)
+	}
+	return 0
+}
+
 // IsVoid reports whether the value is the void value.
 func (v Value) IsVoid() bool { return v.kind == KindVoid }
 

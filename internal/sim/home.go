@@ -178,6 +178,11 @@ func NewHome(ctx context.Context, cfg Config) (*Home, error) {
 	}
 	h.Fed = fed
 	h.closers = append(h.closers, fed.Close)
+	// The simulated home models the paper's deployment: one gateway per
+	// physical middleware network, reachable only over the wire. Disable
+	// in-process loopback so every cross-network call pays the real
+	// SOAP/HTTP hop the Figure 1–5 experiments measure.
+	fed.SetLoopback(false)
 
 	ok := false
 	defer func() {

@@ -7,6 +7,12 @@
 // infrastructure. This package reproduces exactly that: hand-rolled
 // encoding against the SOAP 1.1 envelope/encoding namespaces with no
 // dependencies beyond the standard library.
+//
+// The codec is the federation's hottest path — every inter-gateway call
+// crosses it twice in each direction — so it is built for allocation
+// economy: encoders write into pooled buffers behind precomputed envelope
+// prefix/suffix constants, and decoding rides internal/xmltree's pooled
+// single-pass scanner instead of a private encoding/xml element parser.
 package soap
 
 import (
@@ -14,11 +20,12 @@ import (
 	"encoding/base64"
 	"encoding/xml"
 	"fmt"
-	"io"
 	"strings"
+	"sync"
 	"unicode/utf8"
 
 	"homeconnect/internal/service"
+	"homeconnect/internal/xmltree"
 )
 
 // SOAP 1.1 namespace constants.
@@ -65,6 +72,19 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
 }
 
+// RemoteError converts the fault to the *service.RemoteError a caller
+// surfaces: the machine-readable Detail code when present, else the
+// faultcode side. This is the single fault→error mapping shared by the
+// HTTP client and the gateway's loopback path, so the two paths cannot
+// diverge.
+func (f *Fault) RemoteError() *service.RemoteError {
+	code := f.Detail
+	if code == "" {
+		code = f.Code
+	}
+	return &service.RemoteError{Code: code, Msg: f.String}
+}
+
 // xsdType maps a value kind to its xsi:type attribute value (with the xsd:
 // prefix bound in the envelope).
 func xsdType(k service.Kind) (string, error) {
@@ -105,25 +125,14 @@ func kindFromXSD(t string) (service.Kind, error) {
 	}
 }
 
-// isXMLChar reports whether r is representable in XML 1.0 character data.
-// Control characters below 0x20 (except tab, LF, CR) and the non-character
-// code points cannot appear even escaped; xml.EscapeText silently replaces
-// them with U+FFFD, which would corrupt round-trips.
-func isXMLChar(r rune) bool {
-	return r == 0x09 || r == 0x0A || r == 0x0D ||
-		(r >= 0x20 && r <= 0xD7FF) ||
-		(r >= 0xE000 && r <= 0xFFFD) ||
-		(r >= 0x10000 && r <= 0x10FFFF)
-}
-
 func xmlSafe(s string) bool {
-	// Invalid UTF-8 ranges as U+FFFD, which isXMLChar accepts but the
+	// Invalid UTF-8 ranges as U+FFFD, which xmltree.IsChar accepts but the
 	// encoder cannot round-trip — wrap those strings too.
 	if !utf8.ValidString(s) {
 		return false
 	}
 	for _, r := range s {
-		if !isXMLChar(r) {
+		if !xmltree.IsChar(r) {
 			return false
 		}
 	}
@@ -159,26 +168,77 @@ func decodeValueText(k service.Kind, text string, base64Wrapped bool) (service.V
 		}
 		return service.BytesValue(raw), nil
 	}
+	if k == service.KindString {
+		// The parsed text is a zero-copy slice of the whole envelope
+		// (see xmltree's scanner); clone it so a caller holding the
+		// string does not pin an envelope-sized allocation.
+		text = strings.Clone(text)
+	}
 	return service.ParseText(k, text)
 }
 
-// writeEscaped writes XML-escaped character data.
-func writeEscaped(b *bytes.Buffer, s string) {
-	// xml.EscapeText never fails on a bytes.Buffer.
-	_ = xml.EscapeText(b, []byte(s))
+// The envelope shell never varies, so it is two string constants: one
+// WriteString each instead of a token stream.
+const (
+	envelopeOpen = xml.Header +
+		`<SOAP-ENV:Envelope xmlns:SOAP-ENV="` + EnvelopeNS + `"` +
+		` xmlns:xsd="` + XSDNS + `"` +
+		` xmlns:xsi="` + XSINS + `"` +
+		` SOAP-ENV:encodingStyle="` + EncodingNS + `">` +
+		`<SOAP-ENV:Body>`
+	envelopeClose = `</SOAP-ENV:Body></SOAP-ENV:Envelope>`
+)
+
+// encBufPool recycles encoder buffers: a steady-state encode allocates
+// only the returned envelope copy.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// openEnvelope returns a pooled buffer primed with the envelope prefix.
+func openEnvelope() *bytes.Buffer {
+	b := encBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	b.WriteString(envelopeOpen)
+	return b
 }
 
-func writeEnvelopeOpen(b *bytes.Buffer) {
-	b.WriteString(xml.Header)
-	b.WriteString(`<SOAP-ENV:Envelope xmlns:SOAP-ENV="` + EnvelopeNS + `"`)
-	b.WriteString(` xmlns:xsd="` + XSDNS + `"`)
-	b.WriteString(` xmlns:xsi="` + XSINS + `"`)
-	b.WriteString(` SOAP-ENV:encodingStyle="` + EncodingNS + `">`)
-	b.WriteString("<SOAP-ENV:Body>")
+// encBufRetainLimit bounds pooled encoder buffers: one envelope with a
+// huge binary payload must not pin its buffer for the life of the
+// process while steady-state envelopes run a few hundred bytes.
+const encBufRetainLimit = 64 << 10
+
+// recycleBuf returns a buffer to the pool unless it has grown past the
+// retain limit.
+func recycleBuf(b *bytes.Buffer) {
+	if b.Cap() <= encBufRetainLimit {
+		encBufPool.Put(b)
+	}
 }
 
-func writeEnvelopeClose(b *bytes.Buffer) {
-	b.WriteString("</SOAP-ENV:Body></SOAP-ENV:Envelope>")
+// closeEnvelope finishes the envelope, copies it out and recycles the
+// buffer.
+func closeEnvelope(b *bytes.Buffer) []byte {
+	b.WriteString(envelopeClose)
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	recycleBuf(b)
+	return out
+}
+
+// writeParam writes one xsi-typed parameter element.
+func writeParam(b *bytes.Buffer, name, xsdT, text string, wrapped bool) {
+	b.WriteByte('<')
+	b.WriteString(name)
+	b.WriteString(` xsi:type="`)
+	b.WriteString(xsdT)
+	b.WriteByte('"')
+	if wrapped {
+		b.WriteString(` enc="base64"`)
+	}
+	b.WriteByte('>')
+	xmltree.Escape(b, text)
+	b.WriteString(`</`)
+	b.WriteString(name)
+	b.WriteByte('>')
 }
 
 // EncodeCall serializes an RPC request envelope.
@@ -186,181 +246,112 @@ func EncodeCall(c Call) ([]byte, error) {
 	if c.Operation == "" {
 		return nil, fmt.Errorf("soap: empty operation name")
 	}
-	var b bytes.Buffer
-	writeEnvelopeOpen(&b)
-	b.WriteString(`<m:` + c.Operation + ` xmlns:m="`)
-	writeEscaped(&b, c.Namespace)
+	b := openEnvelope()
+	b.WriteString(`<m:`)
+	b.WriteString(c.Operation)
+	b.WriteString(` xmlns:m="`)
+	xmltree.Escape(b, c.Namespace)
 	b.WriteString(`">`)
 	for _, a := range c.Args {
 		t, err := xsdType(a.Value.Kind())
 		if err != nil {
+			recycleBuf(b)
 			return nil, fmt.Errorf("soap: arg %s: %w", a.Name, err)
 		}
 		text, wrapped := encodeValueText(a.Value)
-		b.WriteString(`<` + a.Name + ` xsi:type="` + t + `"`)
-		if wrapped {
-			b.WriteString(` enc="base64"`)
-		}
-		b.WriteString(`>`)
-		writeEscaped(&b, text)
-		b.WriteString(`</` + a.Name + `>`)
+		writeParam(b, a.Name, t, text, wrapped)
 	}
-	b.WriteString(`</m:` + c.Operation + `>`)
-	writeEnvelopeClose(&b)
-	return b.Bytes(), nil
+	b.WriteString(`</m:`)
+	b.WriteString(c.Operation)
+	b.WriteByte('>')
+	return closeEnvelope(b), nil
 }
 
 // EncodeResponse serializes an RPC response envelope. A void result
 // produces an empty <m:<op>Response/> element, matching Apache SOAP.
 func EncodeResponse(namespace, operation string, result service.Value) ([]byte, error) {
-	var b bytes.Buffer
-	writeEnvelopeOpen(&b)
-	b.WriteString(`<m:` + operation + `Response xmlns:m="`)
-	writeEscaped(&b, namespace)
+	b := openEnvelope()
+	b.WriteString(`<m:`)
+	b.WriteString(operation)
+	b.WriteString(`Response xmlns:m="`)
+	xmltree.Escape(b, namespace)
 	b.WriteString(`">`)
 	if !result.IsVoid() {
 		t, err := xsdType(result.Kind())
 		if err != nil {
+			recycleBuf(b)
 			return nil, fmt.Errorf("soap: result: %w", err)
 		}
 		text, wrapped := encodeValueText(result)
-		b.WriteString(`<return xsi:type="` + t + `"`)
-		if wrapped {
-			b.WriteString(` enc="base64"`)
-		}
-		b.WriteString(`>`)
-		writeEscaped(&b, text)
-		b.WriteString(`</return>`)
+		writeParam(b, "return", t, text, wrapped)
 	}
-	b.WriteString(`</m:` + operation + `Response>`)
-	writeEnvelopeClose(&b)
-	return b.Bytes(), nil
+	b.WriteString(`</m:`)
+	b.WriteString(operation)
+	b.WriteString(`Response>`)
+	return closeEnvelope(b), nil
 }
 
 // EncodeFault serializes a fault envelope.
 func EncodeFault(f *Fault) []byte {
-	var b bytes.Buffer
-	writeEnvelopeOpen(&b)
+	b := openEnvelope()
 	b.WriteString(`<SOAP-ENV:Fault><faultcode>SOAP-ENV:`)
-	writeEscaped(&b, f.Code)
+	xmltree.Escape(b, f.Code)
 	b.WriteString(`</faultcode><faultstring>`)
-	writeEscaped(&b, f.String)
+	xmltree.Escape(b, f.String)
 	b.WriteString(`</faultstring>`)
 	if f.Actor != "" {
 		b.WriteString(`<faultactor>`)
-		writeEscaped(&b, f.Actor)
+		xmltree.Escape(b, f.Actor)
 		b.WriteString(`</faultactor>`)
 	}
 	if f.Detail != "" {
 		b.WriteString(`<detail><code>`)
-		writeEscaped(&b, f.Detail)
+		xmltree.Escape(b, f.Detail)
 		b.WriteString(`</code></detail>`)
 	}
 	b.WriteString(`</SOAP-ENV:Fault>`)
-	writeEnvelopeClose(&b)
-	return b.Bytes()
-}
-
-// element is a parsed XML element subtree: name, attributes, character
-// data, and child elements, in document order.
-type element struct {
-	name     xml.Name
-	attrs    []xml.Attr
-	text     string
-	children []*element
-}
-
-func (e *element) attr(local string) string {
-	for _, a := range e.attrs {
-		if a.Name.Local == local {
-			return a.Value
-		}
-	}
-	return ""
-}
-
-func (e *element) child(local string) *element {
-	for _, c := range e.children {
-		if c.name.Local == local {
-			return c
-		}
-	}
-	return nil
-}
-
-// parseElement reads one element subtree from the decoder, given its start
-// token.
-func parseElement(dec *xml.Decoder, start xml.StartElement) (*element, error) {
-	el := &element{name: start.Name, attrs: start.Attr}
-	for {
-		tok, err := dec.Token()
-		if err != nil {
-			return nil, fmt.Errorf("soap: parse: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			c, err := parseElement(dec, t)
-			if err != nil {
-				return nil, err
-			}
-			el.children = append(el.children, c)
-		case xml.CharData:
-			el.text += string(t)
-		case xml.EndElement:
-			return el, nil
-		}
-	}
+	return closeEnvelope(b)
 }
 
 // parseBody decodes an envelope and returns the first element inside Body.
-func parseBody(data []byte) (*element, error) {
-	dec := xml.NewDecoder(bytes.NewReader(data))
-	inBody := false
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			return nil, fmt.Errorf("soap: no Body element found")
-		}
-		if err != nil {
-			return nil, fmt.Errorf("soap: parse envelope: %w", err)
-		}
-		start, ok := tok.(xml.StartElement)
-		if !ok {
-			continue
-		}
-		switch {
-		case !inBody && start.Name.Local == "Body" && start.Name.Space == EnvelopeNS:
-			inBody = true
-		case !inBody && start.Name.Local == "Envelope" && start.Name.Space != EnvelopeNS:
-			return nil, fmt.Errorf("soap: envelope namespace %q is not SOAP 1.1", start.Name.Space)
-		case inBody:
-			return parseElement(dec, start)
-		}
+func parseBody(data []byte) (*xmltree.Element, error) {
+	root, err := xmltree.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("soap: parse envelope: %w", err)
 	}
+	if root.Name.Local == "Envelope" && root.Name.Space != EnvelopeNS {
+		return nil, fmt.Errorf("soap: envelope namespace %q is not SOAP 1.1", root.Name.Space)
+	}
+	if root.Name.Local != "Envelope" {
+		return nil, fmt.Errorf("soap: no Body element found")
+	}
+	body := root.ChildNS(EnvelopeNS, "Body")
+	if body == nil || len(body.Children) == 0 {
+		return nil, fmt.Errorf("soap: no Body element found")
+	}
+	return body.Children[0], nil
 }
 
 // parseFault converts a parsed <Fault> element into a Fault value.
-func parseFault(el *element) *Fault {
+func parseFault(el *xmltree.Element) *Fault {
 	f := &Fault{}
-	if c := el.child("faultcode"); c != nil {
-		code := strings.TrimSpace(c.text)
+	if code := el.ChildText("faultcode"); code != "" {
 		if i := strings.IndexByte(code, ':'); i >= 0 {
 			code = code[i+1:]
 		}
 		f.Code = code
 	}
-	if c := el.child("faultstring"); c != nil {
-		f.String = strings.TrimSpace(c.text)
-	}
-	if c := el.child("faultactor"); c != nil {
-		f.Actor = strings.TrimSpace(c.text)
-	}
-	if d := el.child("detail"); d != nil {
-		if c := d.child("code"); c != nil {
-			f.Detail = strings.TrimSpace(c.text)
-		}
+	f.String = el.ChildText("faultstring")
+	f.Actor = el.ChildText("faultactor")
+	if d := el.Child("detail"); d != nil {
+		f.Detail = d.ChildText("code")
 	}
 	return f
+}
+
+// isFault reports whether el is a SOAP 1.1 <Fault>.
+func isFault(el *xmltree.Element) bool {
+	return el.Name.Local == "Fault" && el.Name.Space == EnvelopeNS
 }
 
 // DecodeCall parses an RPC request envelope.
@@ -369,24 +360,27 @@ func DecodeCall(data []byte) (Call, error) {
 	if err != nil {
 		return Call{}, err
 	}
-	if el.name.Local == "Fault" && el.name.Space == EnvelopeNS {
+	if isFault(el) {
 		return Call{}, fmt.Errorf("soap: request contains a fault: %w", parseFault(el))
 	}
-	c := Call{Namespace: el.name.Space, Operation: el.name.Local}
-	for _, p := range el.children {
-		t := p.attr("type")
+	c := Call{Namespace: el.Name.Space, Operation: el.Name.Local}
+	if n := len(el.Children); n > 0 {
+		c.Args = make([]Arg, 0, n)
+	}
+	for _, p := range el.Children {
+		t := p.Attr("type")
 		if t == "" {
-			return Call{}, fmt.Errorf("soap: parameter %s missing xsi:type", p.name.Local)
+			return Call{}, fmt.Errorf("soap: parameter %s missing xsi:type", p.Name.Local)
 		}
 		k, err := kindFromXSD(t)
 		if err != nil {
-			return Call{}, fmt.Errorf("soap: parameter %s: %w", p.name.Local, err)
+			return Call{}, fmt.Errorf("soap: parameter %s: %w", p.Name.Local, err)
 		}
-		v, err := decodeValueText(k, p.text, p.attr("enc") == "base64")
+		v, err := decodeValueText(k, p.Text, p.Attr("enc") == "base64")
 		if err != nil {
-			return Call{}, fmt.Errorf("soap: parameter %s: %w", p.name.Local, err)
+			return Call{}, fmt.Errorf("soap: parameter %s: %w", p.Name.Local, err)
 		}
-		c.Args = append(c.Args, Arg{Name: p.name.Local, Value: v})
+		c.Args = append(c.Args, Arg{Name: p.Name.Local, Value: v})
 	}
 	return c, nil
 }
@@ -399,17 +393,17 @@ func DecodeResponse(data []byte) (service.Value, *Fault, error) {
 	if err != nil {
 		return service.Value{}, nil, err
 	}
-	if el.name.Local == "Fault" && el.name.Space == EnvelopeNS {
+	if isFault(el) {
 		return service.Value{}, parseFault(el), nil
 	}
-	if !strings.HasSuffix(el.name.Local, "Response") {
-		return service.Value{}, nil, fmt.Errorf("soap: unexpected response element %s", el.name.Local)
+	if !strings.HasSuffix(el.Name.Local, "Response") {
+		return service.Value{}, nil, fmt.Errorf("soap: unexpected response element %s", el.Name.Local)
 	}
-	ret := el.child("return")
+	ret := el.Child("return")
 	if ret == nil {
 		return service.Void(), nil, nil
 	}
-	t := ret.attr("type")
+	t := ret.Attr("type")
 	if t == "" {
 		return service.Value{}, nil, fmt.Errorf("soap: return missing xsi:type")
 	}
@@ -417,7 +411,7 @@ func DecodeResponse(data []byte) (service.Value, *Fault, error) {
 	if err != nil {
 		return service.Value{}, nil, err
 	}
-	v, err := decodeValueText(k, ret.text, ret.attr("enc") == "base64")
+	v, err := decodeValueText(k, ret.Text, ret.Attr("enc") == "base64")
 	if err != nil {
 		return service.Value{}, nil, err
 	}

@@ -9,17 +9,20 @@ import (
 	"net/http"
 
 	"homeconnect/internal/service"
+	"homeconnect/internal/transport"
 )
 
-// maxEnvelopeBytes bounds request/response bodies to keep a misbehaving
+// MaxEnvelopeBytes bounds request/response bodies to keep a misbehaving
 // peer from exhausting memory. The paper's appliance-class targets make a
-// small bound realistic.
-const maxEnvelopeBytes = 1 << 20
+// small bound realistic. Exported so the gateway's loopback dispatch can
+// honor the same limit the wire enforces.
+const MaxEnvelopeBytes = 1 << 20
 
 // Client issues SOAP calls over HTTP, the binding used between Virtual
 // Service Gateways.
 type Client struct {
-	// HTTP is the underlying client; http.DefaultClient if nil.
+	// HTTP is the underlying client; the shared keep-alive transport
+	// (internal/transport) if nil.
 	HTTP *http.Client
 	// URL is the endpoint the envelope is POSTed to.
 	URL string
@@ -30,7 +33,7 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return transport.Client()
 }
 
 // Call POSTs the request envelope with the given SOAPAction and decodes the
@@ -52,7 +55,7 @@ func (c *Client) Call(ctx context.Context, soapAction string, call Call) (servic
 		return service.Value{}, fmt.Errorf("soap: %w: %w", service.ErrUnavailable, err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEnvelopeBytes))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxEnvelopeBytes))
 	if err != nil {
 		return service.Value{}, fmt.Errorf("soap: read response: %w", err)
 	}
@@ -66,11 +69,7 @@ func (c *Client) Call(ctx context.Context, soapAction string, call Call) (servic
 		return service.Value{}, err
 	}
 	if fault != nil {
-		code := fault.Detail
-		if code == "" {
-			code = fault.Code
-		}
-		return service.Value{}, &service.RemoteError{Code: code, Msg: fault.String}
+		return service.Value{}, fault.RemoteError()
 	}
 	return v, nil
 }
@@ -101,7 +100,7 @@ func NewHTTPHandler(h Handler) http.Handler {
 			writeFault(w, &Fault{Code: "Client", String: "method " + r.Method + " not allowed; POST required"})
 			return
 		}
-		data, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes))
+		data, err := io.ReadAll(io.LimitReader(r.Body, MaxEnvelopeBytes))
 		if err != nil {
 			writeFault(w, &Fault{Code: "Client", String: "read body: " + err.Error()})
 			return

@@ -11,12 +11,14 @@ import (
 	"strings"
 	"time"
 
+	"homeconnect/internal/transport"
 	"homeconnect/internal/xmltree"
 )
 
 // Client talks to a registry server over HTTP.
 type Client struct {
-	// HTTP is the underlying client; http.DefaultClient if nil.
+	// HTTP is the underlying client; the shared keep-alive transport
+	// (internal/transport) if nil.
 	HTTP *http.Client
 	// URL is the registry endpoint.
 	URL string
@@ -26,7 +28,7 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return transport.Client()
 }
 
 // roundTrip POSTs doc and returns the parsed response root.

@@ -9,12 +9,14 @@ import (
 
 	"homeconnect/internal/service"
 	"homeconnect/internal/soap"
+	"homeconnect/internal/transport"
 )
 
 // ControlPoint drives remote UPnP devices: it fetches descriptions and
 // SCPDs over HTTP and invokes actions over SOAP.
 type ControlPoint struct {
-	// HTTP is the underlying client; http.DefaultClient if nil.
+	// HTTP is the underlying client; the shared keep-alive transport
+	// (internal/transport) if nil.
 	HTTP *http.Client
 }
 
@@ -22,7 +24,7 @@ func (c *ControlPoint) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return transport.Client()
 }
 
 // RemoteService is a fully resolved service on a remote device.

@@ -8,8 +8,7 @@ package xmltree
 import (
 	"bytes"
 	"encoding/xml"
-	"fmt"
-	"io"
+	"unicode/utf8"
 )
 
 // Element is one parsed XML element: its name, attributes, accumulated
@@ -21,43 +20,11 @@ type Element struct {
 	Children []*Element
 }
 
-// Parse reads a document and returns its root element.
+// Parse reads a document and returns its root element. Parsing is a
+// single pass over pooled scanner state (see scan.go): steady-state
+// callers allocate only the tree itself.
 func Parse(data []byte) (*Element, error) {
-	dec := xml.NewDecoder(bytes.NewReader(data))
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			return nil, fmt.Errorf("xmltree: document has no root element")
-		}
-		if err != nil {
-			return nil, fmt.Errorf("xmltree: %w", err)
-		}
-		if start, ok := tok.(xml.StartElement); ok {
-			return parseElement(dec, start)
-		}
-	}
-}
-
-func parseElement(dec *xml.Decoder, start xml.StartElement) (*Element, error) {
-	el := &Element{Name: start.Name, Attrs: start.Attr}
-	for {
-		tok, err := dec.Token()
-		if err != nil {
-			return nil, fmt.Errorf("xmltree: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			c, err := parseElement(dec, t)
-			if err != nil {
-				return nil, err
-			}
-			el.Children = append(el.Children, c)
-		case xml.CharData:
-			el.Text += string(t)
-		case xml.EndElement:
-			return el, nil
-		}
-	}
+	return parseDocument(data)
 }
 
 // Attr returns the value of the first attribute with the given local name,
@@ -138,6 +105,48 @@ func trimSpace(s string) string {
 
 func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
 
+// Escape writes s to buf with XML escaping, matching xml.EscapeText's
+// output byte for byte but without its []byte conversion: every encoder
+// in the framework escapes strings, and the copy was pure overhead.
+// Characters XML cannot represent become U+FFFD, as in xml.EscapeText.
+func Escape(buf *bytes.Buffer, s string) {
+	last := 0
+	for i := 0; i < len(s); {
+		r, width := utf8.DecodeRuneInString(s[i:])
+		var esc string
+		switch r {
+		case '"':
+			esc = "&#34;"
+		case '\'':
+			esc = "&#39;"
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '\t':
+			esc = "&#x9;"
+		case '\n':
+			esc = "&#xA;"
+		case '\r':
+			esc = "&#xD;"
+		default:
+			if (r == utf8.RuneError && width == 1) || !IsChar(r) {
+				esc = "�"
+				break
+			}
+			i += width
+			continue
+		}
+		buf.WriteString(s[last:i])
+		buf.WriteString(esc)
+		i += width
+		last = i
+	}
+	buf.WriteString(s[last:])
+}
+
 // Writer incrementally builds an XML document. It tracks open elements so
 // codecs can't emit mismatched tags, and escapes all character data.
 type Writer struct {
@@ -160,7 +169,7 @@ func (w *Writer) Open(name string, attrs ...string) *Writer {
 		w.buf.WriteByte(' ')
 		w.buf.WriteString(attrs[i])
 		w.buf.WriteString(`="`)
-		_ = xml.EscapeText(&w.buf, []byte(attrs[i+1]))
+		Escape(&w.buf, attrs[i+1])
 		w.buf.WriteByte('"')
 	}
 	w.buf.WriteByte('>')
@@ -183,7 +192,7 @@ func (w *Writer) Close() *Writer {
 
 // Text appends escaped character data.
 func (w *Writer) Text(s string) *Writer {
-	_ = xml.EscapeText(&w.buf, []byte(s))
+	Escape(&w.buf, s)
 	return w
 }
 
@@ -202,7 +211,7 @@ func (w *Writer) SelfClose(name string, attrs ...string) *Writer {
 		w.buf.WriteByte(' ')
 		w.buf.WriteString(attrs[i])
 		w.buf.WriteString(`="`)
-		_ = xml.EscapeText(&w.buf, []byte(attrs[i+1]))
+		Escape(&w.buf, attrs[i+1])
 		w.buf.WriteByte('"')
 	}
 	w.buf.WriteString("/>")
