@@ -960,3 +960,163 @@ func BenchmarkProxyGeneration(b *testing.B) {
 		}
 	}
 }
+
+// --- E13: inter-home federation (PR 4) ----------------------------------
+
+// benchFleet builds n lightweight peered homes: each is a home-named
+// federation with one network and one exported echo service
+// ("bench:svc-<i>"), and every pair of homes peers in both directions.
+// It returns the federations in home order.
+func benchFleet(b *testing.B, n int) []*core.Federation {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	homes := make([]*core.Federation, n)
+	for i := range homes {
+		fed, err := core.NewHomeFederation(fmt.Sprintf("home-%d", i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(fed.Close)
+		homes[i] = fed
+		net, err := fed.AddNetwork("net")
+		if err != nil {
+			b.Fatal(err)
+		}
+		id := fmt.Sprintf("bench:svc-%d", i+1)
+		desc := service.Description{
+			ID: id, Name: id, Middleware: "bench",
+			Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+				{Name: "Ping", Output: service.KindInt},
+			}},
+		}
+		inv := service.InvokerFunc(func(context.Context, string, []service.Value) (service.Value, error) {
+			return service.IntValue(int64(42)), nil
+		})
+		if err := net.Gateway().Export(ctx, desc, inv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, fed := range homes {
+		for j, other := range homes {
+			if i == j {
+				continue
+			}
+			if err := fed.Peer(other.PeerURL()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Wait until every home resolves every other home's service.
+	for i, fed := range homes {
+		gw := fed.Network("net").Gateway()
+		for j := range homes {
+			if i == j {
+				continue
+			}
+			id := fmt.Sprintf("home-%d/bench:svc-%d", j+1, j+1)
+			for {
+				if _, err := gw.Resolve(ctx, id); err == nil {
+					break
+				}
+				select {
+				case <-ctx.Done():
+					b.Fatalf("home-%d never saw %s: %v", i+1, id, ctx.Err())
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+		}
+	}
+	return homes
+}
+
+// BenchmarkPeerPropagate measures inter-home change-propagation latency:
+// one registration update in home A → A's journal → A-side watch round →
+// scoped re-registration in home B → delta on a B-side watcher. This is
+// the federation counterpart of BenchmarkVSRWatchPropagate, and the bound
+// behind "callable from home B within one watch round trip".
+func BenchmarkPeerPropagate(b *testing.B) {
+	homes := benchFleet(b, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	v := vsr.New(homes[1].VSRURL())
+	ch, err := v.Watch(ctx, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := vsr.New(homes[0].VSRURL())
+	desc := service.Description{
+		ID: "bench:svc-1", Name: "bench:svc-1", Middleware: "bench",
+		Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+			{Name: "Ping", Output: service.KindInt},
+		}},
+	}
+	// Drain until the stream is up and quiet.
+	for drained := false; !drained; {
+		select {
+		case <-ch:
+		case <-time.After(200 * time.Millisecond):
+			drained = true
+		}
+	}
+	endpoint := homes[0].Network("net").Gateway().EndpointFor("bench:svc-1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Register(ctx, desc, endpoint); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			d, ok := <-ch
+			if !ok {
+				b.Fatal("watch closed")
+			}
+			if (d.Op == vsr.DeltaAdd || d.Op == vsr.DeltaUpdate) && d.ServiceID == "home-1/bench:svc-1" {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkCrossHomeCall measures one away-from-home control call: home
+// B's gateway invoking a service imported from home A, addressed by its
+// scoped ID. Both homes share this process, but the home boundary forces
+// the call onto the wire — the path a real remote call takes.
+func BenchmarkCrossHomeCall(b *testing.B) {
+	homes := benchFleet(b, 2)
+	gw := homes[1].Network("net").Gateway()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.Call(ctx, "home-1/bench:svc-1", "Ping", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFederationHomesScale holds the O(1) resolve claim: with N
+// homes fully meshed, the per-call cost of a cross-home call from home 1
+// must not grow with N — resolution rides the local (push-maintained)
+// registry copy, never a wide-area lookup. N=1 is the in-home baseline
+// (a local call, no wire).
+func BenchmarkFederationHomesScale(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("homes=%d", n), func(b *testing.B) {
+			homes := benchFleet(b, n)
+			gw := homes[0].Network("net").Gateway()
+			target := fmt.Sprintf("home-%d/bench:svc-%d", n, n)
+			if n == 1 {
+				target = "bench:svc-1"
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gw.Call(ctx, target, "Ping", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

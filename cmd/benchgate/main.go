@@ -1,0 +1,273 @@
+// Command benchgate is the CI perf-regression gate: it parses `go test
+// -bench` output and fails when any benchmark guarded by a baseline
+// snapshot (BENCH_prN.json at the repo root) regresses its allocs/op.
+// Allocation counts — unlike nanoseconds — are deterministic enough to
+// gate on in shared CI runners, and they are exactly what the PR-3
+// pooled code paths must not lose.
+//
+//	go test -run '^$' -bench "$(go run ./cmd/benchgate -baseline BENCH_pr3.json -pattern)" \
+//	        -benchtime 1x -benchmem -count=2 ./... | \
+//	    go run ./cmd/benchgate -baseline BENCH_pr3.json
+//
+// With -count=2 each benchmark runs twice in one process; benchgate takes
+// the minimum allocs/op across runs, so one-shot pool warm-up (the first
+// iteration fills the sync.Pools the steady state reuses) does not read
+// as a regression. The tolerance — allocs may not exceed base + base/4 + 2
+// — absorbs residual cold-path noise while still catching any real
+// de-pooling: removing the SOAP encoder's buffer pool, for instance,
+// moves 1 alloc/op to 8 and trips the gate.
+//
+// -snapshot FILE additionally writes the parsed run in the BENCH_prN.json
+// format, for committing a PR's numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the BENCH_prN.json layout (extra fields ignored).
+type baselineFile struct {
+	Benchmarks map[string]benchNumbers `json:"benchmarks"`
+	// Gate names the benchmarks to guard. When absent, every benchmark
+	// in the snapshot is guarded — but wire-path benchmarks dial fresh
+	// connections every `go test` process, so their 1x-iteration alloc
+	// counts are not gateable; snapshots list them for the record and
+	// name the deterministic pooled paths here.
+	Gate []string `json:"gate"`
+}
+
+// guarded returns the benchmark set the gate compares, keyed by name.
+func (f baselineFile) guarded() (map[string]benchNumbers, error) {
+	if len(f.Gate) == 0 {
+		return f.Benchmarks, nil
+	}
+	out := make(map[string]benchNumbers, len(f.Gate))
+	for _, name := range f.Gate {
+		n, ok := f.Benchmarks[name]
+		if !ok {
+			return nil, fmt.Errorf("benchgate: gate entry %q has no baseline numbers", name)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+type benchNumbers struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// trailingProcs strips the -GOMAXPROCS suffix from a benchmark name.
+var trailingProcs = regexp.MustCompile(`-\d+$`)
+
+// parseBench folds bench output into per-benchmark minima across -count
+// repetitions (and across packages, though names do not collide here).
+// Lines are parsed field-wise — "<name> <iters> <value> <unit> ..." —
+// so custom b.ReportMetric units (wire-B/op and friends) pass through
+// harmlessly.
+func parseBench(r io.Reader) (map[string]benchNumbers, string, error) {
+	out := make(map[string]benchNumbers)
+	cpu := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not a result line (e.g. "BenchmarkX  \t--- FAIL")
+		}
+		name := trailingProcs.ReplaceAllString(fields[0], "")
+		n := benchNumbers{NsOp: -1, BytesOp: -1, AllocsOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				n.NsOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				n.BytesOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				n.AllocsOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if n.NsOp < 0 {
+			continue
+		}
+		if prev, seen := out[name]; seen {
+			if prev.NsOp >= 0 && prev.NsOp < n.NsOp {
+				n.NsOp = prev.NsOp
+			}
+			if prev.BytesOp >= 0 && (n.BytesOp < 0 || prev.BytesOp < n.BytesOp) {
+				n.BytesOp = prev.BytesOp
+			}
+			if prev.AllocsOp >= 0 && (n.AllocsOp < 0 || prev.AllocsOp < n.AllocsOp) {
+				n.AllocsOp = prev.AllocsOp
+			}
+		}
+		out[name] = n
+	}
+	return out, cpu, sc.Err()
+}
+
+// allocLimit is the gate threshold for a baseline allocation count.
+func allocLimit(base int64) int64 { return base + base/4 + 2 }
+
+// gateResult is one guarded benchmark's verdict.
+type gateResult struct {
+	name           string
+	base, got, lim int64
+	missing        bool
+	failed         bool
+}
+
+// gate compares measured minima against the baseline's guarded set.
+func gate(baseline map[string]benchNumbers, got map[string]benchNumbers) []gateResult {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	results := make([]gateResult, 0, len(names))
+	for _, name := range names {
+		base := baseline[name].AllocsOp
+		r := gateResult{name: name, base: base, lim: allocLimit(base)}
+		n, ok := got[name]
+		switch {
+		case !ok || n.AllocsOp < 0:
+			// A guarded benchmark that vanished (or stopped reporting
+			// allocations) is a rotted gate, which is itself a failure.
+			r.missing, r.failed = true, true
+		default:
+			r.got = n.AllocsOp
+			r.failed = n.AllocsOp > r.lim
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// pattern renders the -bench regex covering every guarded benchmark's
+// top-level function (sub-benchmark paths run whole).
+func pattern(baseline map[string]benchNumbers) string {
+	seen := make(map[string]bool)
+	var tops []string
+	for name := range baseline {
+		top, _, _ := strings.Cut(name, "/")
+		if !seen[top] {
+			seen[top] = true
+			tops = append(tops, top)
+		}
+	}
+	sort.Strings(tops)
+	return "^(" + strings.Join(tops, "|") + ")$"
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline BENCH_prN.json to gate against")
+	printPattern := flag.Bool("pattern", false, "print the -bench regex for the guarded set and exit")
+	snapshotPath := flag.String("snapshot", "", "also write the parsed run to this BENCH_prN.json-style file")
+	flag.Parse()
+
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var baseline baselineFile
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	guarded, err := baseline.guarded()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(guarded) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s guards no benchmarks\n", *baselinePath)
+		os.Exit(2)
+	}
+	if *printPattern {
+		fmt.Println(pattern(guarded))
+		return
+	}
+
+	got, cpu, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if *snapshotPath != "" {
+		if err := writeSnapshot(*snapshotPath, got, cpu); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+
+	failed := false
+	fmt.Printf("benchgate: gating %d benchmarks against %s (limit = base + base/4 + 2 allocs/op)\n",
+		len(guarded), *baselinePath)
+	for _, r := range gate(guarded, got) {
+		switch {
+		case r.missing:
+			failed = true
+			fmt.Printf("  FAIL %-44s guarded benchmark missing from run\n", r.name)
+		case r.failed:
+			failed = true
+			fmt.Printf("  FAIL %-44s allocs/op %d > limit %d (baseline %d)\n", r.name, r.got, r.lim, r.base)
+		default:
+			fmt.Printf("  ok   %-44s allocs/op %d <= limit %d (baseline %d)\n", r.name, r.got, r.lim, r.base)
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: allocation regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no allocation regressions")
+}
+
+// writeSnapshot renders the parsed run in the committed-snapshot layout.
+func writeSnapshot(path string, got map[string]benchNumbers, cpu string) error {
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	if cpu != "" {
+		fmt.Fprintf(&b, "  %q: %q,\n", "cpu", cpu)
+	}
+	b.WriteString("  \"benchmarks\": {\n")
+	for i, name := range names {
+		n := got[name]
+		fmt.Fprintf(&b, "    %q: { \"ns_op\": %g, \"bytes_op\": %d, \"allocs_op\": %d }",
+			name, n.NsOp, n.BytesOp, n.AllocsOp)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  }\n}\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,95 @@
+// Tests for the perf-regression gate: bench-output parsing, minima
+// across -count repetitions, thresholds, and the guarded-set pattern.
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: homeconnect/internal/soap
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSOAPEncode-8   	       1	      3120 ns/op	       472.0 wire-B/op	    1832 B/op	       4 allocs/op
+BenchmarkSOAPEncode-8   	       1	       700 ns/op	       472.0 wire-B/op	     480 B/op	       1 allocs/op
+BenchmarkSOAPDecode-8   	       1	      4200 ns/op	    1512 B/op	      15 allocs/op
+BenchmarkSceneFanOut/N=16-8 	       1	    150000 ns/op	   42783 B/op	     244 allocs/op
+BenchmarkNoMem-8        	       1	       100 ns/op
+PASS
+`
+
+func TestParseBenchTakesMinimaAcrossCounts(t *testing.T) {
+	got, cpu, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.70GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	enc := got["BenchmarkSOAPEncode"]
+	if enc.AllocsOp != 1 || enc.BytesOp != 480 || enc.NsOp != 700 {
+		t.Errorf("encode minima = %+v, want warm-run numbers", enc)
+	}
+	if got["BenchmarkSceneFanOut/N=16"].AllocsOp != 244 {
+		t.Errorf("sub-benchmark not parsed: %+v", got["BenchmarkSceneFanOut/N=16"])
+	}
+	if got["BenchmarkNoMem"].AllocsOp != -1 {
+		t.Errorf("benchmark without -benchmem should have no alloc count: %+v", got["BenchmarkNoMem"])
+	}
+}
+
+func TestAllocLimit(t *testing.T) {
+	cases := []struct{ base, want int64 }{
+		{0, 2},   // zero-alloc paths may not grow past pool-warm-up noise
+		{1, 3},   // pooled encode: de-pooling to 8 allocs must trip
+		{15, 20}, // pooled decode: regressing to 72 must trip
+		{124, 157},
+	}
+	for _, c := range cases {
+		if got := allocLimit(c.base); got != c.want {
+			t.Errorf("allocLimit(%d) = %d, want %d", c.base, got, c.want)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := map[string]benchNumbers{
+		"BenchmarkSOAPEncode":         {AllocsOp: 1},
+		"BenchmarkSOAPDecode":         {AllocsOp: 15},
+		"BenchmarkSceneFanOut/N=16":   {AllocsOp: 244},
+		"BenchmarkGone":               {AllocsOp: 3},
+		"BenchmarkLostItsReportAlloc": {AllocsOp: 3},
+	}
+	got := map[string]benchNumbers{
+		"BenchmarkSOAPEncode":         {AllocsOp: 8},   // regressed: de-pooled
+		"BenchmarkSOAPDecode":         {AllocsOp: 17},  // within tolerance
+		"BenchmarkSceneFanOut/N=16":   {AllocsOp: 244}, // unchanged
+		"BenchmarkLostItsReportAlloc": {AllocsOp: -1},  // stopped reporting
+	}
+	want := map[string]bool{
+		"BenchmarkSOAPEncode":         true,
+		"BenchmarkSOAPDecode":         false,
+		"BenchmarkSceneFanOut/N=16":   false,
+		"BenchmarkGone":               true,
+		"BenchmarkLostItsReportAlloc": true,
+	}
+	for _, r := range gate(baseline, got) {
+		if r.failed != want[r.name] {
+			t.Errorf("gate(%s): failed = %v, want %v", r.name, r.failed, want[r.name])
+		}
+	}
+}
+
+func TestPattern(t *testing.T) {
+	baseline := map[string]benchNumbers{
+		"BenchmarkSOAPEncode":              {},
+		"BenchmarkSceneFanOut/N=16":        {},
+		"BenchmarkHubPublishParallel/subs": {},
+	}
+	got := pattern(baseline)
+	want := "^(BenchmarkHubPublishParallel|BenchmarkSOAPEncode|BenchmarkSceneFanOut)$"
+	if got != want {
+		t.Errorf("pattern = %q, want %q", got, want)
+	}
+}

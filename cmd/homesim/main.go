@@ -2,10 +2,18 @@
 // prototype — Jini, X10, HAVi and mail networks (plus the UPnP extension)
 // connected by the framework — and keeps it running so homectl can be
 // pointed at it. With -demo it additionally replays the Figure 5
-// Universal Remote Controller sequence and exits.
+// Universal Remote Controller sequence and exits. With -homes N it runs
+// N such homes peered into one multi-home federation: every home's
+// services appear in every other home's repository under home-scoped IDs
+// ("home-1/havi:dvcam-cam1").
 //
 //	homesim            # run until interrupted, print the VSR URL
 //	homesim -demo      # run the universal remote demo and exit
+//	homesim -homes 2   # two peered homes, run until interrupted
+//
+// On SIGINT or SIGTERM every home is closed before exit — gateways
+// withdraw their registrations and long-poll watchers are released —
+// rather than the process dying with connections half-open.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"homeconnect/internal/sim"
@@ -24,6 +33,7 @@ import (
 func main() {
 	demo := flag.Bool("demo", false, "replay the Figure 5 universal remote sequence and exit")
 	upnp := flag.Bool("upnp", true, "include the UPnP network")
+	homes := flag.Int("homes", 1, "number of peered homes to run")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -31,41 +41,92 @@ func main() {
 
 	cfg := sim.Prototype()
 	cfg.UPnP = *upnp
-	want := 7
+	perHome := 7
 	if cfg.UPnP {
-		want++
+		perHome++
+	}
+	if *homes < 1 {
+		log.Fatalf("homesim: -homes %d", *homes)
+	}
+	if *demo && *homes != 1 {
+		log.Fatal("homesim: -demo runs a single home")
 	}
 
-	fmt.Println("homesim: building the simulated home...")
-	home, err := sim.NewHome(ctx, cfg)
-	if err != nil {
-		log.Fatal(err)
+	// Close on every exit path — normal return, demo completion and
+	// log.Fatal cannot be relied on together, so closing is also wired to
+	// the signal path below.
+	var neighborhood []*sim.Home
+	closeAll := func() {
+		for _, h := range neighborhood {
+			h.Close()
+		}
 	}
-	defer home.Close()
-	if err := home.WaitForServices(ctx, want); err != nil {
-		log.Fatal(err)
+	defer closeAll()
+
+	if *homes == 1 {
+		fmt.Println("homesim: building the simulated home...")
+		home, err := sim.NewHome(ctx, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		neighborhood = []*sim.Home{home}
+		if err := home.WaitForServices(ctx, perHome); err != nil {
+			closeAll()
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("homesim: building %d peered homes...\n", *homes)
+		var err error
+		neighborhood, err = sim.NewNeighborhood(ctx, *homes, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Every home must see its own services plus every peer's imports.
+		if err := sim.WaitForFederation(ctx, neighborhood, perHome**homes); err != nil {
+			closeAll()
+			log.Fatal(err)
+		}
 	}
 
-	fmt.Printf("homesim: repository at %s\n", home.Fed.VSRURL())
-	ids, err := home.ServiceIDs(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("homesim: services:")
-	for _, id := range ids {
-		fmt.Printf("  %s\n", id)
+	for _, home := range neighborhood {
+		name := home.Fed.Home()
+		if name == "" {
+			name = "home"
+		}
+		fmt.Printf("homesim: %s repository at %s\n", name, home.Fed.VSRURL())
+		if *homes > 1 {
+			fmt.Printf("homesim: %s peering endpoint at %s\n", name, home.Fed.PeerURL())
+		}
+		ids, err := home.ServiceIDs(ctx)
+		if err != nil {
+			closeAll()
+			log.Fatal(err)
+		}
+		fmt.Printf("homesim: %s services:\n", name)
+		for _, id := range ids {
+			fmt.Printf("  %s\n", id)
+		}
 	}
 
 	if *demo {
-		runDemo(home)
+		runDemo(neighborhood[0])
 		return
 	}
 
-	fmt.Println("homesim: running — point homectl at the repository URL above; Ctrl-C to stop")
+	fmt.Println("homesim: running — point homectl at a repository URL above; Ctrl-C to stop")
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("homesim: shutting down")
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	awaitShutdown(sig, closeAll)
+}
+
+// awaitShutdown blocks until a signal arrives, then closes every home
+// before returning. Keeping the close on the signal path (not just a
+// defer) guarantees gateways withdraw their registrations and long-poll
+// watchers are released even when later exit paths would skip defers.
+func awaitShutdown(sig <-chan os.Signal, closeAll func()) {
+	s := <-sig
+	fmt.Printf("homesim: %v — shutting down\n", s)
+	closeAll()
 }
 
 func runDemo(home *sim.Home) {

@@ -1,0 +1,60 @@
+// Tests for homesim's signal-driven shutdown: SIGTERM (not just
+// interrupt) must close every home before the process exits, so gateway
+// registrations are withdrawn and long-poll watchers released instead of
+// dying into connection-refused noise.
+package main
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"homeconnect/internal/sim"
+)
+
+func TestAwaitShutdownClosesHomesOnSIGTERM(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// A small home keeps the test quick; shutdown ordering is identical.
+	home, err := sim.NewHome(ctx, sim.Config{Jini: true, Home: "home-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := home.WaitForServices(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	go func() {
+		awaitShutdown(sig, func() {
+			home.Close()
+			close(closed)
+		})
+		close(done)
+	}()
+
+	sig <- syscall.SIGTERM
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("awaitShutdown never returned after SIGTERM")
+	}
+	select {
+	case <-closed:
+	case <-time.After(time.Second):
+		t.Fatal("close hook not invoked on signal")
+	}
+	// The close must be clean and complete: the federation is gone, so
+	// repository inquiries fail rather than hang, and a second Close is a
+	// no-op.
+	qctx, qcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer qcancel()
+	if _, err := home.Fed.Services(qctx); err == nil {
+		t.Error("federation still serving after signal-driven close")
+	}
+	home.Close()
+}

@@ -12,9 +12,14 @@
 // process dispatch in-process (loopback) instead of over SOAP/HTTP;
 // -no-loopback forces every call onto the wire.
 //
+// When the repository federates with other homes (vsrd -home), pass the
+// same name via -home so peers' scoped calls ("cottage/jini:lamp-1")
+// reach this gateway's exports.
+//
 //	vsgd -vsr http://127.0.0.1:8600/uddi -name jini-net -middleware jini -jini-lookup 127.0.0.1:4160
 //	vsgd -vsr ... -name upnp-net -middleware upnp -ssdp 127.0.0.1:1900
 //	vsgd -vsr ... -name mail-net -middleware mail -smtp 127.0.0.1:2525 -pop3 127.0.0.1:2110 -mailbox home@house.example
+//	vsgd -vsr ... -home cottage -name jini-net -middleware jini -jini-lookup ...
 package main
 
 import (
@@ -41,6 +46,7 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 2*time.Second, "resolve-cache fallback TTL while the VSR watch is down (0 disables caching)")
 	noWatch := flag.Bool("no-watch", false, "disable the VSR change watch (blind TTL caching, the paper's poll model)")
 	noLoopback := flag.Bool("no-loopback", false, "disable in-process loopback dispatch; every call goes over SOAP/HTTP")
+	home := flag.String("home", "", "home name; must match the repository's vsrd -home when federating")
 	middleware := flag.String("middleware", "", "PCM to attach: jini, upnp, mail, none")
 	jiniLookup := flag.String("jini-lookup", "", "jini: lookup service address")
 	ssdp := flag.String("ssdp", "", "upnp: comma-separated SSDP addresses to search")
@@ -53,6 +59,11 @@ func main() {
 	}
 
 	gw := vsg.New(*name, *vsrURL)
+	// In a federated deployment (vsrd -home) peers address this gateway
+	// by the home's scoped IDs; the gateway must know its home to strip
+	// that scope on inbound calls and to keep cross-home calls off the
+	// loopback fast path.
+	gw.SetHome(*home)
 	gw.SetCacheTTL(*cacheTTL)
 	gw.SetWatchEnabled(!*noWatch)
 	gw.SetLoopbackEnabled(!*noLoopback)

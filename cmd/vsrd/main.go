@@ -3,8 +3,17 @@
 // watches for change notifications. -journal sizes the change journal;
 // watchers further behind than it are told to resync.
 //
+// With -home the repository also serves a peering endpoint (/peer):
+// other homes replicate this registry's exports from it, and -peer
+// imports theirs in return, filing each remote service under its home
+// scope ("home-a/jini:laserdisc-1"). -export-allow/-export-deny set the
+// export policy (service-ID patterns, deny wins, "havi:*" style
+// wildcards).
+//
 //	vsrd -addr 127.0.0.1:8600
 //	vsrd -addr 127.0.0.1:8600 -journal 8192
+//	vsrd -addr 127.0.0.1:8600 -home cottage \
+//	     -peer http://apartment.example:8600/peer -export-deny 'x10:*'
 package main
 
 import (
@@ -13,22 +22,51 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 )
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8600", "listen address")
 	journal := flag.Int("journal", 0, "change-journal capacity (0 = default)")
+	home := flag.String("home", "", "home name for inter-home federation (enables /peer)")
+	var peers, allow, deny multiFlag
+	flag.Var(&peers, "peer", "peer endpoint to import from (repeatable; requires -home)")
+	flag.Var(&allow, "export-allow", "export-policy allow pattern (repeatable)")
+	flag.Var(&deny, "export-deny", "export-policy deny pattern (repeatable)")
 	flag.Parse()
 
-	srv, err := startServer(*addr, *journal)
+	srv, err := startServer(config{
+		addr:    *addr,
+		journal: *journal,
+		home:    *home,
+		peers:   peers,
+		allow:   allow,
+		deny:    deny,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	fmt.Printf("vsrd: repository at %s (gateways may watch for changes here)\n", srv.URL())
+	if *home != "" {
+		fmt.Printf("vsrd: home %q peering endpoint at %s\n", *home, srv.PeerURL())
+	}
+	for _, p := range peers {
+		fmt.Printf("vsrd: importing from peer %s\n", p)
+	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("vsrd: shutting down")
 }

@@ -1,16 +1,71 @@
+// Server assembly for vsrd: repository, journal sizing and the optional
+// inter-home peering layer, kept out of main so it stays flag-only and
+// testable.
 package main
 
-import "homeconnect/internal/core/vsr"
+import (
+	"fmt"
 
-// startServer wraps vsr.StartServer so main stays flag-only. A positive
-// journal capacity resizes the change journal before traffic flows.
-func startServer(addr string, journal int) (*vsr.Server, error) {
-	srv, err := vsr.StartServer(addr)
+	"homeconnect/internal/core/peer"
+	"homeconnect/internal/core/vsr"
+)
+
+// config carries vsrd's flags.
+type config struct {
+	addr    string
+	journal int
+	home    string
+	peers   []string
+	allow   []string
+	deny    []string
+}
+
+// server is the assembled repository plus its peering layer.
+type server struct {
+	*vsr.Server
+	peering *peer.Peering
+}
+
+// Close stops replication links before the repository they write to.
+func (s *server) Close() {
+	if s.peering != nil {
+		s.peering.Close()
+	}
+	s.Server.Close()
+}
+
+// startServer brings up the repository per config. A positive journal
+// capacity resizes the change journal before traffic flows; a home name
+// mounts the peering endpoint and starts one import link per peer URL.
+func startServer(cfg config) (*server, error) {
+	srv, err := vsr.StartServer(cfg.addr)
 	if err != nil {
 		return nil, err
 	}
-	if journal > 0 {
-		srv.Registry().SetJournalCapacity(journal)
+	if cfg.journal > 0 {
+		srv.Registry().SetJournalCapacity(cfg.journal)
 	}
-	return srv, nil
+	s := &server{Server: srv}
+	if cfg.home == "" {
+		if len(cfg.peers) > 0 || len(cfg.allow) > 0 || len(cfg.deny) > 0 {
+			srv.Close()
+			return nil, fmt.Errorf("vsrd: -peer/-export-allow/-export-deny require -home")
+		}
+		return s, nil
+	}
+	p, err := peer.New(cfg.home, srv.Registry())
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	p.SetPolicy(peer.Policy{Allow: cfg.allow, Deny: cfg.deny})
+	srv.MountPeer(p.ExportHandler())
+	s.peering = p
+	for _, url := range cfg.peers {
+		if _, err := p.Peer(url); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }

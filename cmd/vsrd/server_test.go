@@ -1,0 +1,66 @@
+// Tests for vsrd's server assembly: peering wire-up and flag validation.
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+)
+
+func TestStartServerRejectsPeerFlagsWithoutHome(t *testing.T) {
+	if _, err := startServer(config{addr: "127.0.0.1:0", peers: []string{"http://x/peer"}}); err == nil {
+		t.Error("peers without -home accepted")
+	}
+	if _, err := startServer(config{addr: "127.0.0.1:0", deny: []string{"x10:*"}}); err == nil {
+		t.Error("export policy without -home accepted")
+	}
+}
+
+func TestStartServerPeersTwoRepositories(t *testing.T) {
+	a, err := startServer(config{addr: "127.0.0.1:0", home: "home-a", deny: []string{"x10:*"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := startServer(config{addr: "127.0.0.1:0", home: "home-b", peers: []string{a.PeerURL()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	desc := service.Description{
+		ID: "jini:laserdisc-1", Name: "laserdisc", Middleware: "jini",
+		Interface: service.Interface{Name: "Laserdisc", Operations: []service.Operation{
+			{Name: "Play", Output: service.KindVoid},
+		}},
+	}
+	va := vsr.New(a.URL())
+	if _, err := va.Register(ctx, desc, "http://gw-a/services/jini:laserdisc-1"); err != nil {
+		t.Fatal(err)
+	}
+	denied := desc
+	denied.ID, denied.Name = "x10:lamp-1", "lamp"
+	if _, err := va.Register(ctx, denied, "http://gw-a/services/x10:lamp-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	vb := vsr.New(b.URL())
+	for {
+		if _, err := vb.Lookup(ctx, "home-a/jini:laserdisc-1"); err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("replication to vsrd peer never happened")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if _, err := vb.Lookup(ctx, "home-a/x10:lamp-1"); err == nil {
+		t.Error("export-denied service replicated")
+	}
+}

@@ -1,0 +1,96 @@
+// Awayhome: reaching home services from outside the home — the wide-area
+// scenario the paper motivates but leaves at one residence. Two homes run
+// here: a "cottage" with the full HAVi/X10 prototype networks, and an
+// "apartment" federation standing in for wherever the user is. The
+// apartment peers with the cottage's repository, the cottage's services
+// appear under its home scope ("cottage/havi:dvcam-cam1"), and a call
+// from the apartment starts the cottage's camera over the ordinary
+// gateway wire path. The cottage's export policy keeps its X10 devices
+// out of the apartment's repository: they never replicate, so the
+// apartment cannot resolve them (visibility control, not call
+// authorization — see DESIGN.md §11).
+//
+//	go run ./examples/awayhome
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"homeconnect"
+	"homeconnect/internal/sim"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// --- The cottage: a full simulated home, named for federation. ----
+	cottage, err := sim.NewHome(ctx, sim.Config{HAVi: true, X10: true, Home: "cottage"})
+	must(err)
+	defer cottage.Close()
+	must(cottage.WaitForServices(ctx, 5)) // 4 HAVi FCMs + X10 lamp
+	fmt.Println("cottage: home built; repository at", cottage.Fed.VSRURL())
+
+	// House rule: appliances may be reached from outside, the powerline
+	// devices may not.
+	must(cottage.Fed.SetExportPolicy(homeconnect.PeerPolicy{Deny: []string{"x10:*"}}))
+	fmt.Println("cottage: export policy set — x10:* stays private")
+
+	// --- The apartment: a bare federation wherever the user is. -------
+	apartment, err := homeconnect.NewHomeFederation("apartment")
+	must(err)
+	defer apartment.Close()
+	_, err = apartment.AddNetwork("mobile")
+	must(err)
+
+	// Peer with the cottage: one URL is all it takes.
+	must(apartment.Peer(cottage.Fed.PeerURL()))
+	fmt.Println("apartment: peered with", cottage.Fed.PeerURL())
+
+	// The cottage's exports replicate within one watch round trip.
+	for {
+		services, err := apartment.Services(ctx)
+		must(err)
+		if len(services) >= 4 {
+			fmt.Println("apartment: cottage services visible:")
+			for _, s := range services {
+				fmt.Printf("  %-28s middleware=%s\n", s.Desc.ID, s.Desc.Middleware)
+			}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// --- Control the cottage's camera from the apartment. -------------
+	_, err = apartment.Call(ctx, "cottage/havi:dvcam-cam1", "StartCapture")
+	must(err)
+	fmt.Printf("apartment → cottage/havi:dvcam-cam1 StartCapture: camera is %s\n",
+		cottage.Camera.State())
+	_, err = apartment.Call(ctx, "cottage/havi:dvcam-cam1", "StopCapture")
+	must(err)
+	fmt.Printf("apartment → cottage/havi:dvcam-cam1 StopCapture: camera is %s\n",
+		cottage.Camera.State())
+
+	// --- The policy holds: the lamp is not reachable from outside. ----
+	if _, err := apartment.Call(ctx, "cottage/x10:lamp-1", "Level"); err != nil {
+		fmt.Println("apartment → cottage/x10:lamp-1: denied by export policy ✔")
+	} else {
+		log.Fatal("x10:lamp-1 leaked through the export policy")
+	}
+
+	// --- Peer health, the away-from-home dashboard. -------------------
+	for url, st := range apartment.PeerStatus() {
+		fmt.Printf("apartment: link %s connected=%v imported=%d cursor=%d\n",
+			url, st.Connected, st.Imported, st.Cursor)
+	}
+	fmt.Println("awayhome complete")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

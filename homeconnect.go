@@ -41,6 +41,7 @@ package homeconnect
 
 import (
 	"homeconnect/internal/core"
+	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/scene"
 	"homeconnect/internal/service"
 )
@@ -55,6 +56,30 @@ type Network = core.Network
 
 // New starts a federation with its own repository.
 func New() (*Federation, error) { return core.NewFederation() }
+
+// NewHomeFederation starts a federation named as one home of a wider
+// multi-home deployment. Peer it with other homes' PeerURL endpoints and
+// their exported services become callable here under home-scoped IDs:
+//
+//	away, _ := homeconnect.NewHomeFederation("apartment")
+//	_ = away.Peer(cottagePeerURL)
+//	result, _ := away.Call(ctx, "cottage/havi:dvcam-cam1", "Status")
+//
+// See DESIGN.md §11 for ID scoping, replication and policy semantics.
+func NewHomeFederation(home string) (*Federation, error) {
+	return core.NewHomeFederation(home)
+}
+
+// Inter-home federation re-exports (see internal/core/peer).
+type (
+	// PeerPolicy is a home's export policy: allow/deny service-ID
+	// patterns with event-topic matching semantics ("havi:*"). Deny
+	// wins; an empty allow list admits everything.
+	PeerPolicy = peer.Policy
+	// PeerStatus is one replication link's condition, keyed by peer URL
+	// in Federation.PeerStatus.
+	PeerStatus = peer.Status
+)
 
 // Scene-engine re-exports: declarative cross-middleware compositions (the
 // paper's §2 automatic-recording scenario as data, not code). Load scenes

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/scene"
 	"homeconnect/internal/core/vsg"
 	"homeconnect/internal/core/vsr"
@@ -20,11 +21,15 @@ import (
 // Federation is a running instance of the framework.
 type Federation struct {
 	vsrServer *vsr.Server
+	// home names this residence when federating with other homes; empty
+	// for the paper's single-home deployment.
+	home string
 
 	mu         sync.Mutex
 	networks   map[string]*Network
 	order      []string
 	scenes     *scene.Engine
+	peering    *peer.Peering
 	noLoopback bool
 	closed     bool
 }
@@ -38,17 +43,42 @@ type Network struct {
 }
 
 // NewFederation starts a federation with its own repository on an
-// ephemeral port.
+// ephemeral port: the paper's single-home deployment. To federate homes,
+// use NewHomeFederation.
 func NewFederation() (*Federation, error) {
+	return NewHomeFederation("")
+}
+
+// NewHomeFederation starts a federation named as one home of a wider
+// multi-home deployment. The name scopes this home's services in every
+// peer's ID space ("<home>/<id>") and is required before Peer or
+// Peering may be used; it must be unique among the homes that federate.
+// The repository's export face (PeerURL) is live immediately, so other
+// homes can peer with this one without further setup.
+func NewHomeFederation(home string) (*Federation, error) {
 	srv, err := vsr.StartServer("127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("core: start vsr: %w", err)
 	}
-	return &Federation{
+	f := &Federation{
 		vsrServer: srv,
+		home:      home,
 		networks:  make(map[string]*Network),
-	}, nil
+	}
+	if home != "" {
+		p, err := peer.New(home, srv.Registry())
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		f.peering = p
+		srv.MountPeer(p.ExportHandler())
+	}
+	return f, nil
 }
+
+// Home returns the federation's home name ("" for single-home use).
+func (f *Federation) Home() string { return f.home }
 
 // VSRURL returns the repository endpoint.
 func (f *Federation) VSRURL() string { return f.vsrServer.URL() }
@@ -67,6 +97,7 @@ func (f *Federation) AddNetwork(name string) (*Network, error) {
 		return nil, fmt.Errorf("core: network %q already exists", name)
 	}
 	gw := vsg.New(name, f.vsrServer.URL())
+	gw.SetHome(f.home)
 	gw.SetLoopbackEnabled(!f.noLoopback)
 	if err := gw.Start("127.0.0.1:0"); err != nil {
 		return nil, err
@@ -119,6 +150,77 @@ func (f *Federation) SetLoopback(on bool) {
 	for _, n := range f.networks {
 		n.gw.SetLoopbackEnabled(on)
 	}
+}
+
+// Peering returns the federation's inter-home peering layer. It errors
+// unless the federation was built with NewHomeFederation: peers file
+// each other's services under home scopes, so an unnamed home has no
+// address in the wider federation.
+func (f *Federation) Peering() (*peer.Peering, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, fmt.Errorf("core: federation closed")
+	}
+	if f.peering == nil {
+		return nil, fmt.Errorf("core: federation has no home name; use NewHomeFederation to federate")
+	}
+	return f.peering, nil
+}
+
+// Peer starts replicating another home's registry into this one: that
+// home's exported services become resolvable here as "<home>/<id>" and
+// callable through any of this federation's gateways. url is the remote
+// repository's peering endpoint (vsr.Server.PeerURL, printed by vsrd).
+// Peering is one-directional; the remote home peers back for mutual
+// visibility.
+func (f *Federation) Peer(url string) error {
+	p, err := f.Peering()
+	if err != nil {
+		return err
+	}
+	_, err = p.Peer(url)
+	return err
+}
+
+// Unpeer stops replicating from a peer and withdraws its services.
+func (f *Federation) Unpeer(url string) error {
+	p, err := f.Peering()
+	if err != nil {
+		return err
+	}
+	return p.Unpeer(url)
+}
+
+// PeerURL returns the endpoint other homes pass to Peer to replicate
+// from this one. It serves 404 on federations without a home name.
+func (f *Federation) PeerURL() string { return f.vsrServer.PeerURL() }
+
+// SetExportPolicy installs the home's export policy: which local
+// services peers may see, as allow/deny ID patterns with
+// events.TopicMatches semantics (exact, "*", "prefix*"). Deny wins; an
+// empty allow list admits everything.
+func (f *Federation) SetExportPolicy(pol peer.Policy) error {
+	p, err := f.Peering()
+	if err != nil {
+		return err
+	}
+	p.SetPolicy(pol)
+	return nil
+}
+
+// PeerStatus reports every peering link keyed by remote URL — the
+// inter-home counterpart of Health. A link with Connected false is in
+// degraded mode: services already imported from that home keep serving
+// until their TTL lapses, then vanish until the link recovers.
+func (f *Federation) PeerStatus() map[string]peer.Status {
+	f.mu.Lock()
+	p := f.peering
+	f.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.Status()
 }
 
 // Network returns a network by name, or nil.
@@ -203,6 +305,7 @@ func (f *Federation) Close() {
 	}
 	f.closed = true
 	engine := f.scenes
+	peering := f.peering
 	names := append([]string(nil), f.order...)
 	nets := make([]*Network, 0, len(names))
 	for _, name := range names {
@@ -212,6 +315,11 @@ func (f *Federation) Close() {
 
 	if engine != nil {
 		engine.Close()
+	}
+	// Stop replication before gateways go down so no half-dead import
+	// churns the registry mid-teardown.
+	if peering != nil {
+		peering.Close()
 	}
 	for _, n := range nets {
 		n.mu.Lock()

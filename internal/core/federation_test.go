@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"homeconnect/internal/core/pcm"
+	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/scene"
 	"homeconnect/internal/core/vsg"
 	"homeconnect/internal/service"
@@ -290,5 +291,123 @@ func TestFederationScenesAfterClose(t *testing.T) {
 	}
 	if err := eng.Load(sc); err == nil {
 		t.Error("post-Close engine accepted a scene")
+	}
+}
+
+// newHomeFed builds a named home federation with one network and one
+// exported echo service answering with its home name.
+func newHomeFed(t *testing.T, home, svcID string) *Federation {
+	t.Helper()
+	fed, err := NewHomeFederation(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fed.Close)
+	n, err := fed.AddNetwork("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := service.Description{
+		ID: svcID, Name: svcID, Middleware: "test",
+		Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+			{Name: "Where", Output: service.KindString},
+		}},
+	}
+	inv := service.InvokerFunc(func(context.Context, string, []service.Value) (service.Value, error) {
+		return service.StringValue(home), nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := n.Gateway().Export(ctx, desc, inv); err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func TestFederationPeerRequiresHome(t *testing.T) {
+	fed, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if err := fed.Peer("http://127.0.0.1:1/peer"); err == nil {
+		t.Error("Peer on an unnamed home accepted")
+	}
+}
+
+// TestFederationCrossHomeCall: a service registered in home A becomes
+// callable from home B through B's own gateway, addressed by its scoped
+// ID, with the call travelling the wire to A's gateway.
+func TestFederationCrossHomeCall(t *testing.T) {
+	a := newHomeFed(t, "home-a", "test:svc")
+	b := newHomeFed(t, "home-b", "test:other")
+	if err := b.Peer(a.PeerURL()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	var got service.Value
+	var err error
+	for {
+		got, err = b.Call(ctx, "home-a/test:svc", "Where")
+		if err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("cross-home call never succeeded: %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if got.Str() != "home-a" {
+		t.Fatalf("cross-home call answered %q, want home-a", got.Str())
+	}
+	// The callee gateway counted a wire call, not a loopback dispatch.
+	_, _, loop := b.Network("net").Gateway().Stats()
+	if loop != 0 {
+		t.Errorf("cross-home call used loopback (%d)", loop)
+	}
+	st := b.PeerStatus()
+	if len(st) != 1 {
+		t.Fatalf("PeerStatus = %v, want one link", st)
+	}
+	for _, s := range st {
+		if !s.Connected || s.RemoteHome != "home-a" {
+			t.Errorf("link status = %+v, want connected to home-a", s)
+		}
+	}
+}
+
+func TestFederationExportPolicy(t *testing.T) {
+	a := newHomeFed(t, "home-a", "test:svc")
+	if err := a.SetExportPolicy(peer.Policy{Deny: []string{"test:*"}}); err != nil {
+		t.Fatal(err)
+	}
+	b := newHomeFed(t, "home-b", "test:other")
+	if err := b.Peer(a.PeerURL()); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the link to connect and sync, then confirm the denied
+	// service never arrived.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := false
+		for _, s := range b.PeerStatus() {
+			if s.Connected && !s.LastSync.IsZero() {
+				ok = true
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("peer link never synced")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := b.Call(ctx, "home-a/test:svc", "Where"); err == nil {
+		t.Error("policy-denied service callable from peer")
 	}
 }

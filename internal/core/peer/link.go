@@ -1,0 +1,283 @@
+// The import side of a Peering: one Link per remote home, consuming the
+// remote repository's change watch and mirroring admitted entries into
+// the local registry under home-scoped IDs.
+package peer
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+)
+
+// Status is one link's replication condition — the peering counterpart of
+// vsg.Health. Connected false is degraded mode: entries already imported
+// keep serving until their TTL lapses, after which the remote home's
+// services vanish locally until the link recovers and resynchronizes.
+type Status struct {
+	// URL is the remote export endpoint this link replicates from.
+	URL string
+	// RemoteHome is the peer's home name as stamped on its exports;
+	// empty until the first entry has been imported.
+	RemoteHome string
+	// Connected reports a live watch stream against the peer.
+	Connected bool
+	// LastError is the failure that broke the stream, cleared on
+	// recovery.
+	LastError string
+	// Cursor is the replication cursor: the highest remote journal
+	// sequence number applied locally.
+	Cursor uint64
+	// Imported counts remote entries currently registered locally.
+	Imported int
+	// Applied counts change deltas applied since the link started.
+	Applied uint64
+	// LastSync is the time of the last successful full reconciliation
+	// (performed on connect, on resync, and periodically as
+	// anti-entropy).
+	LastSync time.Time
+}
+
+// Link replicates one remote home's registry into the local one.
+type Link struct {
+	p      *Peering
+	url    string
+	remote *vsr.VSR
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu sync.Mutex
+	st Status
+	// imported maps the remote-local service ID to the local registry key
+	// of its scoped copy, so delete/expire deltas — which carry only the
+	// remote ID — find what to withdraw.
+	imported map[string]string
+}
+
+func newLink(p *Peering, url string) *Link {
+	return &Link{
+		p:        p,
+		url:      url,
+		remote:   vsr.New(url),
+		done:     make(chan struct{}),
+		st:       Status{URL: url},
+		imported: make(map[string]string),
+	}
+}
+
+// Status returns a snapshot of the link's condition.
+func (l *Link) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.st
+	st.Imported = len(l.imported)
+	return st
+}
+
+func (l *Link) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	l.cancel = cancel
+	go l.run(ctx)
+}
+
+// stop halts the link; withdraw additionally deletes everything it
+// imported (Unpeer wants the registry clean, Close leaves entries to
+// their TTL).
+func (l *Link) stop(withdraw bool) {
+	l.cancel()
+	<-l.done
+	if !withdraw {
+		return
+	}
+	l.mu.Lock()
+	keys := make([]string, 0, len(l.imported))
+	for _, key := range l.imported {
+		keys = append(keys, key)
+	}
+	l.imported = make(map[string]string)
+	l.mu.Unlock()
+	for _, key := range keys {
+		l.p.reg.Delete(key)
+	}
+}
+
+// run consumes the remote watch stream. vsr.Watch supplies the stream
+// lifecycle — Up on (re)connect, Down with the cause on failure, Resync
+// when the remote journal no longer covers our cursor — and this loop
+// folds those into replication: full reconciliation on Up/Resync,
+// incremental application otherwise. A periodic reconcile (anti-entropy)
+// refreshes imported TTLs even when the remote journal is quiet, and
+// repairs any divergence without waiting for a resync.
+func (l *Link) run(ctx context.Context) {
+	defer close(l.done)
+	ch, err := l.remote.Watch(ctx, 0)
+	if err != nil {
+		l.mu.Lock()
+		l.st.LastError = err.Error()
+		l.mu.Unlock()
+		return
+	}
+	refresh := time.NewTimer(l.refreshInterval())
+	defer refresh.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case d, ok := <-ch:
+			if !ok {
+				return
+			}
+			l.apply(ctx, d)
+		case <-refresh.C:
+			l.mu.Lock()
+			up := l.st.Connected
+			l.mu.Unlock()
+			if up {
+				l.reconcile(ctx)
+			}
+			// Re-arm from the current TTL so a SetImportTTL after Peer
+			// keeps refresh cadence and entry lifetime coherent.
+			refresh.Reset(l.refreshInterval())
+		}
+	}
+}
+
+// refreshInterval is the anti-entropy cadence: imported entries must be
+// re-saved well inside their TTL, mirroring the gateways' TTL/3 refresh.
+func (l *Link) refreshInterval() time.Duration {
+	interval := l.p.ImportTTL() / 3
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	return interval
+}
+
+// apply folds one watch delta into the local registry.
+func (l *Link) apply(ctx context.Context, d vsr.Delta) {
+	switch d.Op {
+	case vsr.DeltaUp:
+		l.mu.Lock()
+		l.st.Connected = true
+		l.st.LastError = ""
+		l.mu.Unlock()
+		l.reconcile(ctx)
+	case vsr.DeltaDown:
+		l.mu.Lock()
+		l.st.Connected = false
+		if d.Err != nil {
+			l.st.LastError = d.Err.Error()
+		}
+		l.mu.Unlock()
+	case vsr.DeltaResync:
+		l.reconcile(ctx)
+		l.mu.Lock()
+		if d.Seq > l.st.Cursor {
+			l.st.Cursor = d.Seq
+		}
+		l.mu.Unlock()
+	case vsr.DeltaAdd, vsr.DeltaUpdate:
+		l.upsert(d.Remote)
+		l.mu.Lock()
+		l.st.Cursor = d.Seq
+		l.st.Applied++
+		l.mu.Unlock()
+	case vsr.DeltaDelete, vsr.DeltaExpire:
+		l.drop(d.ServiceID)
+		l.mu.Lock()
+		l.st.Cursor = d.Seq
+		l.st.Applied++
+		l.mu.Unlock()
+	}
+}
+
+// upsert registers (or refreshes) the scoped copy of one remote service.
+func (l *Link) upsert(r vsr.Remote) {
+	origin := r.Desc.Context[service.CtxHome]
+	switch {
+	case origin == "":
+		// Unstamped: the endpoint is not a peering export face (or
+		// predates one). Without a scope the entry cannot be filed.
+		return
+	case origin == l.p.home:
+		// Our own name coming back at us — a peering loop or a
+		// misconfigured remote. Importing it would shadow local services.
+		return
+	case r.Desc.Context[service.CtxPeerOrigin] != "":
+		// A transit entry the remote should not have exported; the
+		// one-hop rule holds on both sides.
+		return
+	}
+	if _, _, scoped := service.SplitScopedID(r.Desc.ID); scoped {
+		return
+	}
+	localID := r.Desc.ID
+	desc := r.Desc.Clone()
+	desc.ID = service.ScopeID(origin, localID)
+	desc.Context[service.CtxPeerOrigin] = origin
+	entry, err := vsr.EntryFor(desc, r.Endpoint)
+	if err != nil {
+		return
+	}
+	l.p.reg.Save(entry, l.p.ImportTTL())
+	l.mu.Lock()
+	if l.st.RemoteHome == "" {
+		l.st.RemoteHome = origin
+	}
+	l.imported[localID] = entry.Key
+	l.mu.Unlock()
+}
+
+// drop withdraws the scoped copy of one remote service.
+func (l *Link) drop(remoteID string) {
+	l.mu.Lock()
+	key, ok := l.imported[remoteID]
+	if ok {
+		delete(l.imported, remoteID)
+	}
+	l.mu.Unlock()
+	if ok {
+		l.p.reg.Delete(key)
+	}
+}
+
+// reconcile replaces incremental state with ground truth: a full snapshot
+// of the remote export face, upserted entry by entry, followed by the
+// withdrawal of anything imported earlier that the snapshot no longer
+// contains. It runs on connect (the journal may predate us), on resync
+// (the journal skipped past us), and periodically as anti-entropy. A
+// failed snapshot changes nothing: imported entries keep serving until
+// TTL, exactly the degraded mode a broken watch causes.
+func (l *Link) reconcile(ctx context.Context) {
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	remotes, seq, err := l.remote.FindSeq(sctx, vsr.Query{})
+	cancel()
+	if err != nil {
+		l.mu.Lock()
+		l.st.LastError = err.Error()
+		l.mu.Unlock()
+		return
+	}
+	seen := make(map[string]bool, len(remotes))
+	for _, r := range remotes {
+		l.upsert(r)
+		seen[r.Desc.ID] = true
+	}
+	l.mu.Lock()
+	var stale []string
+	for remoteID, key := range l.imported {
+		if !seen[remoteID] {
+			stale = append(stale, key)
+			delete(l.imported, remoteID)
+		}
+	}
+	if seq > l.st.Cursor {
+		l.st.Cursor = seq
+	}
+	l.st.LastSync = time.Now()
+	l.mu.Unlock()
+	for _, key := range stale {
+		l.p.reg.Delete(key)
+	}
+}

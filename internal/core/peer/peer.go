@@ -1,0 +1,257 @@
+// Package peer federates homes: it connects one home's Virtual Service
+// Repository to the repositories of other homes, so services registered
+// in one residence become resolvable — and callable, through the ordinary
+// gateway wire path — from another. The paper's framework stops at a
+// single home (§6 names wide-area access as future work); this package
+// opens that scenario class without any new wire protocol: peers
+// replicate over the same UDDI operations gateways already speak.
+//
+// Each home runs one Peering next to its repository. It has two faces:
+//
+//   - Export: a read-only uddi.ViewHandler (mounted by vsr.Server at
+//     /peer) through which other homes see this home's registry filtered
+//     by an export Policy and stamped with the home's name. Entries that
+//     were themselves imported from a peer are never re-exported, keeping
+//     federation one-hop.
+//   - Import: one Link per remote peer, a vsr.Watch consumer of the
+//     remote's export face. The remote journal's sequence number is the
+//     replication cursor; every admitted change is re-registered in the
+//     local registry under a home-scoped ID ("home-a/jini:laserdisc-1")
+//     with the original gateway endpoint, so local gateways resolve and
+//     call remote services exactly like local ones — over the wire.
+//
+// Failure behaviour mirrors the in-home watch subsystem: while a link is
+// up, remote changes land within one watch round trip; when a peer goes
+// dark, imported registrations simply stop being refreshed and lapse by
+// TTL — the same degraded mode a gateway's resolve cache falls into when
+// its repository watch drops.
+package peer
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"homeconnect/internal/core/events"
+	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/service"
+	"homeconnect/internal/uddi"
+)
+
+// Policy is a home's export policy: which local services other homes may
+// see. Patterns use events.TopicMatches semantics — exact match, the
+// universal "*" (or empty), and "prefix*" wildcards — applied to the
+// federation service ID, e.g. "havi:*" or "x10:lamp-1".
+type Policy struct {
+	// Allow admits matching service IDs; empty admits everything.
+	Allow []string
+	// Deny hides matching service IDs and wins over Allow.
+	Deny []string
+}
+
+// Admits reports whether the policy exports the given service ID.
+func (p Policy) Admits(id string) bool {
+	for _, pat := range p.Deny {
+		if events.TopicMatches(pat, id) {
+			return false
+		}
+	}
+	if len(p.Allow) == 0 {
+		return true
+	}
+	for _, pat := range p.Allow {
+		if events.TopicMatches(pat, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Peering is one home's federation endpoint: the export face other homes
+// replicate from, plus the import links this home runs against its peers.
+type Peering struct {
+	home string
+	reg  *uddi.Server
+
+	mu        sync.Mutex
+	policy    Policy
+	importTTL time.Duration
+	links     map[string]*Link
+	closed    bool
+}
+
+// New builds the peering layer for a home. home names this residence in
+// every other home's ID space (imported services appear there as
+// "<home>/<id>"); registry is the home's own UDDI store, written
+// in-process by import links and served through the export face.
+func New(home string, registry *uddi.Server) (*Peering, error) {
+	if home == "" {
+		return nil, fmt.Errorf("peer: a home must be named to federate (see NewHomeFederation)")
+	}
+	if strings.Contains(home, service.ScopeSep) {
+		// A separator inside the scope would make scoped IDs ambiguous.
+		return nil, fmt.Errorf("peer: home name %q must not contain %q", home, service.ScopeSep)
+	}
+	return &Peering{
+		home:      home,
+		reg:       registry,
+		importTTL: vsr.DefaultTTL,
+		links:     make(map[string]*Link),
+	}, nil
+}
+
+// Home returns this home's federation name.
+func (p *Peering) Home() string { return p.home }
+
+// SetPolicy installs the export policy. It applies to every subsequent
+// export-face response, including watch rounds already parked.
+func (p *Peering) SetPolicy(pol Policy) {
+	p.mu.Lock()
+	p.policy = Policy{
+		Allow: append([]string(nil), pol.Allow...),
+		Deny:  append([]string(nil), pol.Deny...),
+	}
+	p.mu.Unlock()
+}
+
+// Policy returns the current export policy.
+func (p *Peering) Policy() Policy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Policy{
+		Allow: append([]string(nil), p.policy.Allow...),
+		Deny:  append([]string(nil), p.policy.Deny...),
+	}
+}
+
+// SetImportTTL overrides the registration lifetime of imported entries
+// (default vsr.DefaultTTL). It is the staleness bound of peer-outage
+// degraded mode: when a peer goes dark, its services survive locally for
+// at most this long. Set it before the first Peer call.
+func (p *Peering) SetImportTTL(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.importTTL = d
+	p.mu.Unlock()
+}
+
+// ImportTTL returns the imported-entry registration lifetime.
+func (p *Peering) ImportTTL() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.importTTL
+}
+
+// ExportHandler returns the read-only registry face served to other
+// homes: the home's registry through the export policy, each entry
+// stamped with this home's name so importers know its scope. Mount it
+// with vsr.Server.MountPeer.
+func (p *Peering) ExportHandler() http.Handler {
+	return p.reg.ViewHandler(p.exportView)
+}
+
+// exportView is the uddi.View behind ExportHandler.
+func (p *Peering) exportView(e uddi.Entry) (uddi.Entry, bool) {
+	// Never re-export an import: one-hop federation. Imported entries are
+	// recognizable by their scoped name alone, which also covers
+	// identity-only delete/expire journal records that carry no
+	// categories.
+	if _, _, scoped := service.SplitScopedID(e.Name); scoped {
+		return uddi.Entry{}, false
+	}
+	if e.Categories[service.CtxPeerOrigin] != "" {
+		return uddi.Entry{}, false
+	}
+	p.mu.Lock()
+	pol := p.policy
+	p.mu.Unlock()
+	if !pol.Admits(e.Name) {
+		return uddi.Entry{}, false
+	}
+	e = e.Clone()
+	if e.Categories == nil {
+		e.Categories = make(map[string]string)
+	}
+	// The stamp is authoritative: whatever a publisher claimed, entries
+	// served here belong to this home.
+	e.Categories[service.CtxHome] = p.home
+	return e, true
+}
+
+// Peer starts replicating from a remote home's export endpoint (its
+// vsr.Server.PeerURL). The returned Link is already running; its Status
+// reports connectivity and the replication cursor.
+func (p *Peering) Peer(url string) (*Link, error) {
+	if url == "" {
+		return nil, fmt.Errorf("peer: empty peer URL")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("peer: peering closed")
+	}
+	if _, dup := p.links[url]; dup {
+		return nil, fmt.Errorf("peer: already peered with %s", url)
+	}
+	l := newLink(p, url)
+	p.links[url] = l
+	l.start()
+	return l, nil
+}
+
+// Unpeer stops replication from a peer and withdraws every entry imported
+// from it.
+func (p *Peering) Unpeer(url string) error {
+	p.mu.Lock()
+	l, ok := p.links[url]
+	if ok {
+		delete(p.links, url)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("peer: not peered with %s", url)
+	}
+	l.stop(true)
+	return nil
+}
+
+// Status reports every link keyed by peer URL.
+func (p *Peering) Status() map[string]Status {
+	p.mu.Lock()
+	links := make([]*Link, 0, len(p.links))
+	for _, l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	out := make(map[string]Status, len(links))
+	for _, l := range links {
+		st := l.Status()
+		out[st.URL] = st
+	}
+	return out
+}
+
+// Close stops every link. Imported entries are left to expire by TTL —
+// on shutdown there is no point churning the registry a closing
+// federation is about to discard.
+func (p *Peering) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	links := make([]*Link, 0, len(p.links))
+	for _, l := range p.links {
+		links = append(links, l)
+	}
+	p.links = make(map[string]*Link)
+	p.mu.Unlock()
+	for _, l := range links {
+		l.stop(false)
+	}
+}

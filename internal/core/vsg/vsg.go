@@ -77,6 +77,12 @@ type export struct {
 // VSG is one middleware network's gateway.
 type VSG struct {
 	name string
+	// home names the residence this gateway belongs to (empty for a
+	// single-home federation). Set before Start and immutable after: it
+	// gates the loopback fast path (cross-home calls always ride the
+	// wire) and lets inbound calls addressed by this home's scoped IDs
+	// resolve to local exports.
+	home string
 	vsr  *vsr.VSR
 	hub  *events.Hub
 
@@ -155,6 +161,33 @@ func (g *VSG) Name() string { return g.name }
 
 // VSR returns the repository client (used by PCM importers).
 func (g *VSG) VSR() *vsr.VSR { return g.vsr }
+
+// SetHome names the residence this gateway belongs to; call before
+// Start. Exports gain a service.CtxHome context entry, calls addressed
+// as "<home>/<id>" resolve locally when the scope matches, and the
+// loopback fast path is confined to gateways of the same home — a
+// cross-home call always travels the wire, the boundary that separates
+// houses in a real deployment (see DESIGN.md §11).
+func (g *VSG) SetHome(home string) {
+	g.home = home
+}
+
+// Home returns the gateway's home name ("" for single-home federations).
+func (g *VSG) Home() string { return g.home }
+
+// canonicalID maps a possibly home-scoped service ID to the form local
+// exports are registered under: this home's own scope is stripped, any
+// other scope is kept (it names a service that only the repository can
+// locate).
+func (g *VSG) canonicalID(id string) string {
+	if g.home == "" {
+		return id
+	}
+	if home, local, ok := service.SplitScopedID(id); ok && home == g.home {
+		return local
+	}
+	return id
+}
 
 // Hub returns the gateway's event hub.
 func (g *VSG) Hub() *events.Hub { return g.hub }
@@ -292,6 +325,9 @@ func (g *VSG) Export(ctx context.Context, desc service.Description, invoker serv
 		desc.Context = make(map[string]string)
 	}
 	desc.Context[service.CtxNetwork] = g.name
+	if g.home != "" {
+		desc.Context[service.CtxHome] = g.home
+	}
 	key, err := g.vsr.Register(ctx, desc, g.EndpointFor(desc.ID))
 	if err != nil {
 		return fmt.Errorf("vsg %s: export %s: %w", g.name, desc.ID, err)
@@ -513,6 +549,7 @@ func (g *VSG) List(ctx context.Context, q vsr.Query) ([]vsr.Remote, error) {
 // exports are invoked directly (they live on this gateway's network);
 // remote services go out over SOAP to their owning gateway.
 func (g *VSG) Call(ctx context.Context, serviceID, op string, args []service.Value) (service.Value, error) {
+	serviceID = g.canonicalID(serviceID)
 	if e, ok := g.localExport(serviceID); ok {
 		opSpec, ok := e.desc.Interface.Operation(op)
 		if !ok {
@@ -590,6 +627,13 @@ func (g *VSG) loopbackTarget(endpoint string, args []service.Value) *VSG {
 	procMu.RLock()
 	target := procGateways[endpoint[:i]]
 	procMu.RUnlock()
+	if target != nil && target.home != g.home {
+		// Cross-home calls always ride the wire, even when both homes
+		// share a process (homesim -homes N): the home boundary is the
+		// deployment boundary, and benchmarks of federated calls must
+		// measure the path a real away-from-home call takes.
+		return nil
+	}
 	return target
 }
 
@@ -605,7 +649,7 @@ func (g *VSG) invokeLocal(ctx context.Context, id, op string, args []service.Val
 		// wrapped in ErrUnavailable; keep both sentinels on loopback.
 		return service.Value{}, fmt.Errorf("vsg: loopback: %w: %w", service.ErrUnavailable, err)
 	}
-	e, ok := g.localExport(id)
+	e, ok := g.localExport(g.canonicalID(id))
 	if !ok {
 		// The wire would reach this same gateway and fault NoSuchService;
 		// don't fall through to HTTP just to learn the same thing.
@@ -726,7 +770,9 @@ func (in inbound) ServeSOAP(ctx context.Context, call soap.Call) (service.Value,
 	if !ok {
 		return service.Value{}, fmt.Errorf("namespace %q: %w", call.Namespace, service.ErrNoSuchService)
 	}
-	e, ok := in.g.localExport(id)
+	// Peers address exports by this home's scoped IDs; strip our own
+	// scope so both spellings reach the same export.
+	e, ok := in.g.localExport(in.g.canonicalID(id))
 	if !ok {
 		return service.Value{}, fmt.Errorf("%s: %w", id, service.ErrNoSuchService)
 	}

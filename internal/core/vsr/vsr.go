@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"homeconnect/internal/service"
@@ -77,8 +78,11 @@ func (v *VSR) SetTTL(d time.Duration) {
 	}
 }
 
-// entryFor builds the UDDI entry advertising desc at endpoint.
-func entryFor(desc service.Description, endpoint string) (uddi.Entry, error) {
+// EntryFor builds the UDDI entry advertising desc at endpoint: the
+// repository representation Register publishes. It is exported for the
+// inter-home peering layer (internal/core/peer), which re-registers
+// remote descriptions under home-scoped IDs without an HTTP round trip.
+func EntryFor(desc service.Description, endpoint string) (uddi.Entry, error) {
 	if err := desc.Validate(); err != nil {
 		return uddi.Entry{}, err
 	}
@@ -110,7 +114,7 @@ func entryFor(desc service.Description, endpoint string) (uddi.Entry, error) {
 // repository key. Call it again with the same description to refresh the
 // TTL.
 func (v *VSR) Register(ctx context.Context, desc service.Description, endpoint string) (string, error) {
-	entry, err := entryFor(desc, endpoint)
+	entry, err := EntryFor(desc, endpoint)
 	if err != nil {
 		return "", err
 	}
@@ -138,7 +142,7 @@ func (v *VSR) RegisterAll(ctx context.Context, regs []Registration) ([]string, e
 	}
 	entries := make([]uddi.Entry, len(regs))
 	for i, r := range regs {
-		entry, err := entryFor(r.Desc, r.Endpoint)
+		entry, err := EntryFor(r.Desc, r.Endpoint)
 		if err != nil {
 			return nil, err
 		}
@@ -392,11 +396,17 @@ func remoteFromEntry(e uddi.Entry) (Remote, error) {
 }
 
 // Server hosts the repository itself: the UDDI registry behind an HTTP
-// listener.
+// listener. Beyond the registry mount every gateway uses, a second mount
+// (/peer, see MountPeer) can expose a policy-filtered, read-only face of
+// the same registry to other homes.
 type Server struct {
 	registry *uddi.Server
 	httpS    *http.Server
 	ln       net.Listener
+
+	// peerH is the peering face mounted at /peer, nil until MountPeer.
+	peerMu sync.RWMutex
+	peerH  http.Handler
 }
 
 // StartServer brings up a repository on addr ("127.0.0.1:0" for
@@ -407,17 +417,39 @@ func StartServer(addr string) (*Server, error) {
 		return nil, fmt.Errorf("vsr: listen: %w", err)
 	}
 	reg := uddi.NewServer()
-	s := &Server{
-		registry: reg,
-		httpS:    &http.Server{Handler: reg.Handler()},
-		ln:       ln,
-	}
+	s := &Server{registry: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.Handle("/uddi", reg.Handler())
+	mux.HandleFunc("/peer", func(w http.ResponseWriter, r *http.Request) {
+		s.peerMu.RLock()
+		h := s.peerH
+		s.peerMu.RUnlock()
+		if h == nil {
+			http.Error(w, "peering not enabled on this repository", http.StatusNotFound)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+	s.httpS = &http.Server{Handler: mux}
 	go func() { _ = s.httpS.Serve(ln) }()
 	return s, nil
 }
 
 // URL returns the repository endpoint for VSR clients.
 func (s *Server) URL() string { return "http://" + s.ln.Addr().String() + "/uddi" }
+
+// PeerURL returns the endpoint other homes replicate from (see
+// MountPeer). It serves 404 until a peering handler is mounted.
+func (s *Server) PeerURL() string { return "http://" + s.ln.Addr().String() + "/peer" }
+
+// MountPeer installs the peering face of the repository at /peer —
+// normally a policy-filtered uddi.ViewHandler built by
+// internal/core/peer. A nil handler unmounts it.
+func (s *Server) MountPeer(h http.Handler) {
+	s.peerMu.Lock()
+	s.peerH = h
+	s.peerMu.Unlock()
+}
 
 // Registry exposes the underlying UDDI store (tests, stats).
 func (s *Server) Registry() *uddi.Server { return s.registry }

@@ -1,0 +1,267 @@
+// Multi-home federation end to end: the register → resolve → call →
+// re-home → expire lifecycle across two peered homes, export-policy
+// enforcement, and peer-outage degraded mode (TTL fallback surfaced
+// through PeerStatus). These are the PR-4 counterparts of the in-home
+// figure tests.
+package integration
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core"
+	"homeconnect/internal/core/peer"
+	"homeconnect/internal/service"
+)
+
+// echoDesc builds a one-operation service answering with a fixed string.
+func echoDesc(id string) service.Description {
+	return service.Description{
+		ID: id, Name: id, Middleware: "test",
+		Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+			{Name: "Where", Output: service.KindString},
+		}},
+	}
+}
+
+func echoInvoker(answer string) service.Invoker {
+	return service.InvokerFunc(func(context.Context, string, []service.Value) (service.Value, error) {
+		return service.StringValue(answer), nil
+	})
+}
+
+// newPeeredHomes builds two home federations, each with two networks,
+// and peers B to A (one direction — enough for B to reach A's services).
+func newPeeredHomes(t *testing.T) (a, b *core.Federation) {
+	t.Helper()
+	var err error
+	a, err = core.NewHomeFederation("home-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b, err = core.NewHomeFederation("home-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	for _, name := range []string{"net1", "net2"} {
+		if _, err := a.AddNetwork(name); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.AddNetwork(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Peer(a.PeerURL()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// callUntil polls a federation call until it answers want or the
+// deadline passes, returning how long it took.
+func callUntil(t *testing.T, fed *core.Federation, id, want string, deadline time.Duration) time.Duration {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	var lastErr error
+	var last string
+	for {
+		got, err := fed.Call(ctx, id, "Where")
+		if err == nil && got.Str() == want {
+			return time.Since(start)
+		}
+		lastErr, last = err, got.Str()
+		select {
+		case <-ctx.Done():
+			t.Fatalf("call %s never answered %q (last %q, %v)", id, want, last, lastErr)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestMultiHomeLifecycle drives one service through its full federated
+// life: registered in home A, resolved and called from home B, re-homed
+// to another of A's gateways, and finally withdrawn — each transition
+// visible in B through nothing but the peering subsystem.
+func TestMultiHomeLifecycle(t *testing.T) {
+	a, b := newPeeredHomes(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Register in A → callable from B. The propagation budget is one
+	// A-side watch round trip plus the scoped re-registration; push
+	// delivery makes this milliseconds, and anything near the seconds
+	// range means replication fell back to polling.
+	if err := a.Network("net1").Gateway().Export(ctx, echoDesc("test:svc"), echoInvoker("at-net1")); err != nil {
+		t.Fatal(err)
+	}
+	took := callUntil(t, b, "home-a/test:svc", "at-net1", 10*time.Second)
+	if took > 2*time.Second {
+		t.Errorf("register→callable took %v, want within one watch round trip", took)
+	} else {
+		t.Logf("registered service callable cross-home after %v", took)
+	}
+
+	// Resolve through B's gateway shows A's endpoint, scoped ID.
+	r, err := b.Network("net1").Gateway().Resolve(ctx, "home-a/test:svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Desc.ID != "home-a/test:svc" || r.Desc.Context[service.CtxPeerOrigin] != "home-a" {
+		t.Errorf("resolved import = %+v, want scoped ID with origin stamp", r.Desc)
+	}
+
+	// Re-home within A: withdrawn from net1, exported on net2. B keeps
+	// calling; the answer flips to the new gateway.
+	if err := a.Network("net1").Gateway().Unexport(ctx, "test:svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Network("net2").Gateway().Export(ctx, echoDesc("test:svc"), echoInvoker("at-net2")); err != nil {
+		t.Fatal(err)
+	}
+	took = callUntil(t, b, "home-a/test:svc", "at-net2", 10*time.Second)
+	t.Logf("re-homed service callable cross-home after %v", took)
+
+	// Withdraw: the deletion replicates and B's resolution fails.
+	if err := a.Network("net2").Gateway().Unexport(ctx, "test:svc"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := b.Call(ctx, "home-a/test:svc", "Where"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("withdrawn service still callable from peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMultiHomeExportPolicyDeny: a denied service must not replicate,
+// while an allowed one from the same home does.
+func TestMultiHomeExportPolicyDeny(t *testing.T) {
+	a, b := newPeeredHomes(t)
+	if err := a.SetExportPolicy(peer.Policy{Deny: []string{"test:private*"}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	gw := a.Network("net1").Gateway()
+	if err := gw.Export(ctx, echoDesc("test:private-cam"), echoInvoker("private")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Export(ctx, echoDesc("test:public-door"), echoInvoker("public")); err != nil {
+		t.Fatal(err)
+	}
+	callUntil(t, b, "home-a/test:public-door", "public", 10*time.Second)
+	if _, err := b.Call(ctx, "home-a/test:private-cam", "Where"); err == nil {
+		t.Error("export-denied service callable from peer")
+	}
+	// The denied service still works inside its own home.
+	if got, err := a.Call(ctx, "test:private-cam", "Where"); err != nil || got.Str() != "private" {
+		t.Errorf("denied service broken at home: %v, %v", got, err)
+	}
+}
+
+// TestMultiHomePeerOutageDegradesToTTL: when home A goes dark, home B
+// keeps serving A's imported registrations until their TTL lapses —
+// exactly the degraded mode a broken in-home watch causes — and
+// PeerStatus surfaces the outage the whole time.
+func TestMultiHomePeerOutageDegradesToTTL(t *testing.T) {
+	a, err := core.NewHomeFederation("home-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b, err := core.NewHomeFederation("home-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	if _, err := a.AddNetwork("net1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddNetwork("net1"); err != nil {
+		t.Fatal(err)
+	}
+	// A short import TTL keeps the degraded window testable.
+	bp, err := b.Peering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.SetImportTTL(1500 * time.Millisecond)
+	if err := b.Peer(a.PeerURL()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.Network("net1").Gateway().Export(ctx, echoDesc("test:svc"), echoInvoker("alive")); err != nil {
+		t.Fatal(err)
+	}
+	callUntil(t, b, "home-a/test:svc", "alive", 10*time.Second)
+
+	// Home A's repository dies abruptly — a power cut, not a graceful
+	// Close (which would withdraw registrations and replicate those
+	// deletes to B before the link drops; that path is exercised by the
+	// lifecycle test's unexport step).
+	a.VSRServer().Close()
+
+	// The link reports the outage.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := b.PeerStatus()[a.PeerURL()]
+		if ok && !st.Connected && st.LastError != "" {
+			t.Logf("link degraded: %s", st.LastError)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("PeerStatus never surfaced the outage: %+v", b.PeerStatus())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The import survives only until its TTL: resolution (not the call —
+	// A's gateway is gone) keeps working, then expires.
+	gw := b.Network("net1").Gateway()
+	if _, err := gw.Resolve(ctx, "home-a/test:svc"); err != nil {
+		t.Errorf("import gone immediately on outage, want TTL grace: %v", err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if _, err := gw.Resolve(ctx, "home-a/test:svc"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("import never expired after peer outage")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestMultiHomeMutualVisibility: both directions at once, with every
+// home's own services untouched by the other's imports.
+func TestMultiHomeMutualVisibility(t *testing.T) {
+	a, b := newPeeredHomes(t)
+	if err := a.Peer(b.PeerURL()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, fed := range []*core.Federation{a, b} {
+		id := fmt.Sprintf("test:svc-%d", i+1)
+		if err := fed.Network("net1").Gateway().Export(ctx, echoDesc(id), echoInvoker(fed.Home())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	callUntil(t, a, "home-b/test:svc-2", "home-b", 10*time.Second)
+	callUntil(t, b, "home-a/test:svc-1", "home-a", 10*time.Second)
+	// Own services answer under their plain IDs.
+	callUntil(t, a, "test:svc-1", "home-a", 5*time.Second)
+	callUntil(t, b, "test:svc-2", "home-b", 5*time.Second)
+}

@@ -1,0 +1,34 @@
+// Home-scoped service identifiers. Within one home, federation IDs
+// follow the "<middleware>:<local name>" convention. When homes federate
+// (internal/core/peer), a service imported from another home gains a
+// scope prefix — "home-a/jini:laserdisc-1" — so the flat per-home ID
+// space becomes a two-level one without touching the paper's single-home
+// conventions: unscoped IDs keep meaning "this home".
+package service
+
+import "strings"
+
+// ScopeSep separates the home scope from the local service ID in a
+// scoped identifier. Local IDs never contain it: middleware prefixes use
+// ':' and local names are middleware identifiers.
+const ScopeSep = "/"
+
+// ScopeID prefixes a local service ID with a home scope. An empty home
+// returns the ID unchanged, so callers can apply it unconditionally.
+func ScopeID(home, id string) string {
+	if home == "" {
+		return id
+	}
+	return home + ScopeSep + id
+}
+
+// SplitScopedID splits a possibly home-scoped service ID into its home
+// scope and local ID. ok is false for unscoped IDs (no separator, or an
+// empty scope or local part), in which case local is the input unchanged.
+func SplitScopedID(id string) (home, local string, ok bool) {
+	i := strings.Index(id, ScopeSep)
+	if i <= 0 || i == len(id)-1 {
+		return "", id, false
+	}
+	return id[:i], id[i+1:], true
+}

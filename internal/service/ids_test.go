@@ -1,0 +1,48 @@
+package service
+
+import "testing"
+
+func TestScopeID(t *testing.T) {
+	cases := []struct {
+		home, id, want string
+	}{
+		{"", "jini:laserdisc-1", "jini:laserdisc-1"},
+		{"home-a", "jini:laserdisc-1", "home-a/jini:laserdisc-1"},
+		{"home-a", "havi:dvcam-cam1", "home-a/havi:dvcam-cam1"},
+	}
+	for _, c := range cases {
+		if got := ScopeID(c.home, c.id); got != c.want {
+			t.Errorf("ScopeID(%q, %q) = %q, want %q", c.home, c.id, got, c.want)
+		}
+	}
+}
+
+func TestSplitScopedID(t *testing.T) {
+	cases := []struct {
+		id, home, local string
+		ok              bool
+	}{
+		{"home-a/jini:laserdisc-1", "home-a", "jini:laserdisc-1", true},
+		{"jini:laserdisc-1", "", "jini:laserdisc-1", false},
+		{"/jini:laserdisc-1", "", "/jini:laserdisc-1", false},
+		{"home-a/", "", "home-a/", false},
+		{"", "", "", false},
+		// Only the first separator scopes; the rest is the local ID even
+		// if it happens to contain another separator.
+		{"home-a/x/y", "home-a", "x/y", true},
+	}
+	for _, c := range cases {
+		home, local, ok := SplitScopedID(c.id)
+		if home != c.home || local != c.local || ok != c.ok {
+			t.Errorf("SplitScopedID(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.id, home, local, ok, c.home, c.local, c.ok)
+		}
+	}
+}
+
+func TestScopeRoundTrip(t *testing.T) {
+	home, local, ok := SplitScopedID(ScopeID("home-b", "x10:lamp-1"))
+	if !ok || home != "home-b" || local != "x10:lamp-1" {
+		t.Fatalf("round trip = (%q, %q, %v)", home, local, ok)
+	}
+}

@@ -137,6 +137,15 @@ const (
 	// CtxNetwork records the name of the middleware network (the VSG) that
 	// exported the service.
 	CtxNetwork = "homeconnect.network"
+	// CtxHome records the name of the home whose federation exported the
+	// service. Peering endpoints stamp it so importers know which scope to
+	// file a remote service under (see ScopeID).
+	CtxHome = "homeconnect.home"
+	// CtxPeerOrigin marks a repository entry that an inter-home peering
+	// link imported from another home and names that home. Peering
+	// endpoints refuse to re-export such entries, keeping federation
+	// one-hop (no transitive replication loops).
+	CtxPeerOrigin = "homeconnect.peer.origin"
 )
 
 // Description advertises one service to the federation: identity, the

@@ -34,6 +34,10 @@ type Config struct {
 	HAVi bool
 	Mail bool
 	UPnP bool
+	// Home, when set, names this residence for inter-home federation:
+	// the federation is built with core.NewHomeFederation and can peer
+	// with other homes (see NewNeighborhood).
+	Home string
 }
 
 // All enables every middleware — the paper's Figure 3 prototype plus the
@@ -172,7 +176,7 @@ func (l *Laserdisc) Call(method string, args []any) (any, error) {
 // NewHome builds and starts the configured home. Call Close when done.
 func NewHome(ctx context.Context, cfg Config) (*Home, error) {
 	h := &Home{}
-	fed, err := core.NewFederation()
+	fed, err := core.NewHomeFederation(cfg.Home)
 	if err != nil {
 		return nil, err
 	}
@@ -351,6 +355,64 @@ func (h *Home) buildUPnP(ctx context.Context) error {
 	}
 	h.UPnPPCM = upnppcm.New(upnppcm.Config{SSDPAddrs: []string{h.Light.SSDPAddr()}})
 	return net.Attach(ctx, h.UPnPPCM)
+}
+
+// NewNeighborhood builds n copies of the configured home — named
+// "home-1" … "home-n" (cfg.Home, if set, is used as the name prefix
+// instead of "home") — and peers every pair in both directions, so each
+// home resolves every other home's services under their home scopes.
+// The returned homes are fully built but replication may still be in
+// flight; use WaitForFederation to block until every home sees the whole
+// neighborhood.
+func NewNeighborhood(ctx context.Context, n int, cfg Config) ([]*Home, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: neighborhood of %d homes", n)
+	}
+	prefix := cfg.Home
+	if prefix == "" {
+		prefix = "home"
+	}
+	homes := make([]*Home, 0, n)
+	ok := false
+	defer func() {
+		if !ok {
+			for _, h := range homes {
+				h.Close()
+			}
+		}
+	}()
+	for i := 1; i <= n; i++ {
+		hcfg := cfg
+		hcfg.Home = fmt.Sprintf("%s-%d", prefix, i)
+		h, err := NewHome(ctx, hcfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: build %s: %w", hcfg.Home, err)
+		}
+		homes = append(homes, h)
+	}
+	for i, h := range homes {
+		for j, other := range homes {
+			if i == j {
+				continue
+			}
+			if err := h.Fed.Peer(other.Fed.PeerURL()); err != nil {
+				return nil, fmt.Errorf("sim: peer %s with %s: %w", h.Fed.Home(), other.Fed.Home(), err)
+			}
+		}
+	}
+	ok = true
+	return homes, nil
+}
+
+// WaitForFederation polls each home's repository until it sees at least
+// total services (own plus imports) or the context expires.
+func WaitForFederation(ctx context.Context, homes []*Home, total int) error {
+	for _, h := range homes {
+		if err := h.WaitForServices(ctx, total); err != nil {
+			return fmt.Errorf("sim: %s: %w", h.Fed.Home(), err)
+		}
+	}
+	return nil
 }
 
 // WaitForServices polls the repository until at least n services are

@@ -344,9 +344,39 @@ func (s *Server) WatchChanges(ctx context.Context, since uint64, timeout time.Du
 	}
 }
 
+// View rewrites or suppresses registry entries served to one consumer
+// class. It receives each outbound entry (for delete/expire journal
+// records, an identity-only entry carrying just Key and Name) and returns
+// the entry to serve, or ok=false to hide it from this consumer entirely.
+// Views apply to inquiries and the change watch alike, so a consumer
+// behind a view sees one consistent, filtered registry. A view that
+// rewrites an entry must Clone it first: the argument may share storage
+// (the category map in particular) with the registry's own records.
+type View func(Entry) (Entry, bool)
+
 // Handler returns the HTTP face of the registry. All operations POST an
 // XML document to this handler.
 func (s *Server) Handler() http.Handler {
+	return s.handler(nil, false)
+}
+
+// ViewHandler returns a read-only HTTP face of the registry speaking the
+// same wire protocol as Handler, restricted to the inquiry operations
+// (find_service, get_serviceDetail, watch) with every outbound entry
+// passed through view. This is the face a repository shows to peer homes:
+// they replicate over the ordinary UDDI operations, but see only what the
+// view — the home's export policy — admits. Publication operations are
+// rejected, so a peer cannot write into this registry through it.
+func (s *Server) ViewHandler(view View) http.Handler {
+	if view == nil {
+		view = func(e Entry) (Entry, bool) { return e, true }
+	}
+	return s.handler(view, true)
+}
+
+// handler implements Handler and ViewHandler; readOnly rejects the
+// publication operations.
+func (s *Server) handler(view View, readOnly bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "E_unsupported", "POST required")
@@ -362,19 +392,31 @@ func (s *Server) Handler() http.Handler {
 			writeError(w, http.StatusBadRequest, "E_fatalError", "parse: "+err.Error())
 			return
 		}
+		deny := func() bool {
+			if readOnly {
+				writeError(w, http.StatusForbidden, "E_operatorMismatch", "read-only endpoint: "+root.Name.Local)
+			}
+			return readOnly
+		}
 		switch root.Name.Local {
 		case "save_service":
-			s.handleSave(w, root)
+			if !deny() {
+				s.handleSave(w, root)
+			}
 		case "save_services":
-			s.handleSaveAll(w, root)
+			if !deny() {
+				s.handleSaveAll(w, root)
+			}
 		case "delete_service":
-			s.handleDelete(w, root)
+			if !deny() {
+				s.handleDelete(w, root)
+			}
 		case "find_service":
-			s.handleFind(w, root)
+			s.handleFind(w, root, view)
 		case "get_serviceDetail":
-			s.handleGet(w, root)
+			s.handleGet(w, root, view)
 		case "watch":
-			s.handleWatch(r.Context(), w, root)
+			s.handleWatch(r.Context(), w, root, view)
 		default:
 			writeError(w, http.StatusBadRequest, "E_unsupported", "unknown request "+root.Name.Local)
 		}
@@ -459,7 +501,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, root *xmltree.Element) {
 	writeXML(w, xw.Bytes())
 }
 
-func (s *Server) handleFind(w http.ResponseWriter, root *xmltree.Element) {
+func (s *Server) handleFind(w http.ResponseWriter, root *xmltree.Element, view View) {
 	q := Query{
 		Name:   root.ChildText("name"),
 		TModel: root.ChildText("tModel"),
@@ -478,14 +520,24 @@ func (s *Server) handleFind(w http.ResponseWriter, root *xmltree.Element) {
 	xw := xmltree.NewWriter()
 	xw.Open("serviceList", "seq", strconv.FormatUint(seq, 10))
 	for _, e := range entries {
+		if view != nil {
+			ve, ok := view(e)
+			if !ok {
+				continue
+			}
+			e = ve
+		}
 		entryToXML(xw, e)
 	}
 	writeXML(w, xw.Bytes())
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, root *xmltree.Element) {
+func (s *Server) handleGet(w http.ResponseWriter, root *xmltree.Element, view View) {
 	key := root.ChildText("serviceKey")
 	entry, ok := s.Get(key)
+	if ok && view != nil {
+		entry, ok = view(entry)
+	}
 	xw := xmltree.NewWriter()
 	xw.Open("serviceDetail")
 	if ok {
@@ -494,7 +546,7 @@ func (s *Server) handleGet(w http.ResponseWriter, root *xmltree.Element) {
 	writeXML(w, xw.Bytes())
 }
 
-func (s *Server) handleWatch(ctx context.Context, w http.ResponseWriter, root *xmltree.Element) {
+func (s *Server) handleWatch(ctx context.Context, w http.ResponseWriter, root *xmltree.Element, view View) {
 	var since uint64
 	if t := root.ChildText("since"); t != "" {
 		v, err := strconv.ParseUint(t, 10, 64)
@@ -516,6 +568,20 @@ func (s *Server) handleWatch(ctx context.Context, w http.ResponseWriter, root *x
 	if err != nil {
 		// Client went away mid-poll; nothing useful to write.
 		return
+	}
+	if view != nil {
+		// A filtered-to-empty round reads as an empty poll: the client
+		// advances its cursor past the hidden changes and parks again.
+		kept := changes[:0]
+		for _, c := range changes {
+			ve, ok := view(c.Entry)
+			if !ok {
+				continue
+			}
+			c.Entry = ve
+			kept = append(kept, c)
+		}
+		changes = kept
 	}
 	writeXML(w, encodeChangeList(changes, next, resync))
 }
