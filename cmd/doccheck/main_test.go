@@ -1,0 +1,62 @@
+// Tests for the documentation checker: link resolution and quickstart
+// block extraction/wrapping.
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := filepath.Join(dir, "doc.md")
+	content := strings.Join([]string{
+		"[ok](exists.md)",
+		"[ok anchored](exists.md#section)",
+		"[external](https://example.com/page)",
+		"[anchor only](#local)",
+		"[broken](missing.md)",
+	}, "\n")
+	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems := checkLinks(md)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing.md") {
+		t.Errorf("checkLinks = %v, want exactly the missing.md complaint", problems)
+	}
+}
+
+func TestExtractGoBlocks(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "doc.md")
+	content := "pre\n```go\na := 1\n_ = a\n```\nmid\n```sh\nnot go\n```\n```go\nb := 2\n_ = b\n```\n"
+	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := extractGoBlocks(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || !strings.Contains(blocks[0], "a := 1") || !strings.Contains(blocks[1], "b := 2") {
+		t.Errorf("extractGoBlocks = %q, want the two go blocks", blocks)
+	}
+}
+
+func TestWrapBlockInfersImportsAndCtx(t *testing.T) {
+	src := wrapBlock(1, "fed, _ := homeconnect.New()\nfed.Call(ctx, \"x10:lamp-1\", \"On\")")
+	for _, want := range []string{`"homeconnect"`, `"context"`, "var ctx = context.Background()", "func quickstartBlock1()"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("wrapped block missing %q:\n%s", want, src)
+		}
+	}
+	// A block that declares its own ctx must not get a second one.
+	src = wrapBlock(2, "ctx := context.Background()\n_ = ctx")
+	if strings.Contains(src, "var ctx") {
+		t.Errorf("wrapper shadows the block's own ctx:\n%s", src)
+	}
+}

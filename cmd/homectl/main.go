@@ -3,9 +3,16 @@
 // and invokes operations directly over SOAP — the "control everything
 // from a PC" scenario of the paper's introduction.
 //
+// Against a home that enforces authentication (vsrd -identity), give
+// homectl the same identity file with -identity: its repository and SOAP
+// requests are then signed as that home. To call into a *different*
+// home's gateways (cross-home IDs), also -trust that home's public key
+// so its response signatures verify.
+//
 //	homectl -vsr http://127.0.0.1:8600/uddi list
 //	homectl -vsr ... describe x10:lamp-1
 //	homectl -vsr ... call x10:lamp-1 SetLevel 60
+//	homectl -vsr ... -identity cottage.id call x10:lamp-1 SetLevel 60
 package main
 
 import (
@@ -13,26 +20,56 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
+	"homeconnect/internal/cli"
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsg"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
 	"homeconnect/internal/soap"
+	"homeconnect/internal/transport"
 )
+
+// authHTTP signs every homectl request when -identity is given; nil in
+// open mode (protocol clients then fall back to the shared transport).
+var authHTTP *http.Client
 
 func main() {
 	vsrURL := flag.String("vsr", "http://127.0.0.1:8600/uddi", "Virtual Service Repository URL")
 	timeout := flag.Duration("timeout", 15*time.Second, "operation timeout")
+	idFile := flag.String("identity", "", "home identity file to sign requests with")
+	var trust cli.Multi
+	flag.Var(&trust, "trust", "trusted home, 'name=hex-public-key' (repeatable; requires -identity)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
+	if *idFile != "" {
+		id, err := identity.Load(*idFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auth := identity.NewAuth(id.Home())
+		if err := auth.SetIdentity(id); err != nil {
+			log.Fatal(err)
+		}
+		if err := identity.Configure(auth, trust, nil, nil); err != nil {
+			log.Fatal(err)
+		}
+		authHTTP = transport.NewAuthClient(auth)
+	} else if len(trust) > 0 {
+		log.Fatal("homectl: -trust requires -identity")
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	repo := vsr.New(*vsrURL)
+	if authHTTP != nil {
+		repo.SetHTTPClient(authHTTP)
+	}
 
 	switch args[0] {
 	case "list":
@@ -121,7 +158,7 @@ func call(ctx context.Context, repo *vsr.VSR, id, op string, textArgs []string) 
 	for i, p := range opSpec.Inputs {
 		callDoc.Args = append(callDoc.Args, soap.Arg{Name: p.Name, Value: args[i]})
 	}
-	client := &soap.Client{URL: r.Endpoint}
+	client := &soap.Client{URL: r.Endpoint, HTTP: authHTTP}
 	result, err := client.Call(ctx, vsg.Namespace(id)+"#"+op, callDoc)
 	if err != nil {
 		log.Fatal(err)

@@ -7,9 +7,16 @@
 // services appear in every other home's repository under home-scoped IDs
 // ("home-1/havi:dvcam-cam1").
 //
+// With -auth every home gets a generated identity and the neighborhood
+// trusts itself mutually; -untrusted N additionally leaves the last N
+// homes out of everyone's trust store, so their peer links are refused
+// and their repositories never see the neighborhood's services — the
+// secure-federation scenario docs/security.md walks through.
+//
 //	homesim            # run until interrupted, print the VSR URL
 //	homesim -demo      # run the universal remote demo and exit
 //	homesim -homes 2   # two peered homes, run until interrupted
+//	homesim -homes 3 -auth -untrusted 1   # 2 trusting homes + 1 outsider
 //
 // On SIGINT or SIGTERM every home is closed before exit — gateways
 // withdraw their registrations and long-poll watchers are released —
@@ -34,6 +41,8 @@ func main() {
 	demo := flag.Bool("demo", false, "replay the Figure 5 universal remote sequence and exit")
 	upnp := flag.Bool("upnp", true, "include the UPnP network")
 	homes := flag.Int("homes", 1, "number of peered homes to run")
+	auth := flag.Bool("auth", false, "give every home an identity; the neighborhood trusts itself mutually")
+	untrusted := flag.Int("untrusted", 0, "with -auth: leave the last N homes out of everyone's trust store")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -50,6 +59,15 @@ func main() {
 	}
 	if *demo && *homes != 1 {
 		log.Fatal("homesim: -demo runs a single home")
+	}
+	if *untrusted > 0 && !*auth {
+		log.Fatal("homesim: -untrusted requires -auth")
+	}
+	if *auth && *homes < 2 {
+		log.Fatal("homesim: -auth needs -homes 2 or more")
+	}
+	if *untrusted >= *homes {
+		log.Fatalf("homesim: -untrusted %d must leave at least one trusted home", *untrusted)
 	}
 
 	// Close on every exit path — normal return, demo completion and
@@ -73,6 +91,26 @@ func main() {
 		if err := home.WaitForServices(ctx, perHome); err != nil {
 			closeAll()
 			log.Fatal(err)
+		}
+	} else if *auth {
+		fmt.Printf("homesim: building %d peered homes (%d untrusted, authentication enforced)...\n", *homes, *untrusted)
+		var err error
+		neighborhood, err = sim.NewSecureNeighborhood(ctx, *homes, *untrusted, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Trusted homes replicate only among themselves; an untrusted home
+		// sees nothing but its own services.
+		trustedTotal := perHome * (*homes - *untrusted)
+		for i, h := range neighborhood {
+			want := trustedTotal
+			if i >= *homes-*untrusted {
+				want = perHome
+			}
+			if err := h.WaitForServices(ctx, want); err != nil {
+				closeAll()
+				log.Fatal(err)
+			}
 		}
 	} else {
 		fmt.Printf("homesim: building %d peered homes...\n", *homes)
@@ -105,6 +143,15 @@ func main() {
 		fmt.Printf("homesim: %s services:\n", name)
 		for _, id := range ids {
 			fmt.Printf("  %s\n", id)
+		}
+		if *auth {
+			if id := home.Fed.Auth().Identity(); id != nil {
+				fmt.Printf("homesim: %s public key %s\n", name, id.PublicKey())
+			}
+			for url, st := range home.Fed.PeerStatus() {
+				fmt.Printf("homesim: %s link %s connected=%v authenticated=%v imported=%d err=%q\n",
+					name, url, st.Connected, st.Authenticated, st.Imported, st.LastError)
+			}
 		}
 	}
 

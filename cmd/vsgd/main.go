@@ -16,10 +16,20 @@
 // same name via -home so peers' scoped calls ("cottage/jini:lamp-1")
 // reach this gateway's exports.
 //
+// When the home has an identity (vsrd -identity), give every gateway the
+// same identity file and trust entries: the gateway then signs its
+// repository and cross-home traffic, requires a trusted caller identity
+// on its SOAP and event faces, and enforces the home's service ACL
+// (-acl-allow/-acl-deny, 'caller-pattern=service-pattern', deny wins) on
+// calls arriving from other homes. See docs/security.md and
+// docs/operations.md.
+//
 //	vsgd -vsr http://127.0.0.1:8600/uddi -name jini-net -middleware jini -jini-lookup 127.0.0.1:4160
 //	vsgd -vsr ... -name upnp-net -middleware upnp -ssdp 127.0.0.1:1900
 //	vsgd -vsr ... -name mail-net -middleware mail -smtp 127.0.0.1:2525 -pop3 127.0.0.1:2110 -mailbox home@house.example
 //	vsgd -vsr ... -home cottage -name jini-net -middleware jini -jini-lookup ...
+//	vsgd -vsr ... -home cottage -identity cottage.id -trust 'apartment=2b7e...' \
+//	     -acl-deny '*=x10:*' -name havi-net -middleware none
 package main
 
 import (
@@ -35,9 +45,37 @@ import (
 	"homeconnect/internal/bridge/jinipcm"
 	"homeconnect/internal/bridge/mailpcm"
 	"homeconnect/internal/bridge/upnppcm"
+	"homeconnect/internal/cli"
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/pcm"
 	"homeconnect/internal/core/vsg"
 )
+
+// buildAuth assembles the gateway's authentication context from flags,
+// or returns nil when no identity file is given (open mode).
+func buildAuth(home, idFile string, trust, aclAllow, aclDeny []string) (*identity.Auth, error) {
+	if idFile == "" {
+		if len(trust) > 0 || len(aclAllow) > 0 || len(aclDeny) > 0 {
+			return nil, fmt.Errorf("vsgd: -trust/-acl-* require -identity")
+		}
+		return nil, nil
+	}
+	if home == "" {
+		return nil, fmt.Errorf("vsgd: -identity requires -home")
+	}
+	id, err := identity.Load(idFile)
+	if err != nil {
+		return nil, err
+	}
+	auth := identity.NewAuth(home)
+	if err := auth.SetIdentity(id); err != nil {
+		return nil, err
+	}
+	if err := identity.Configure(auth, trust, aclAllow, aclDeny); err != nil {
+		return nil, err
+	}
+	return auth, nil
+}
 
 func main() {
 	vsrURL := flag.String("vsr", "http://127.0.0.1:8600/uddi", "Virtual Service Repository URL")
@@ -47,6 +85,11 @@ func main() {
 	noWatch := flag.Bool("no-watch", false, "disable the VSR change watch (blind TTL caching, the paper's poll model)")
 	noLoopback := flag.Bool("no-loopback", false, "disable in-process loopback dispatch; every call goes over SOAP/HTTP")
 	home := flag.String("home", "", "home name; must match the repository's vsrd -home when federating")
+	idFile := flag.String("identity", "", "home identity file (same file as vsrd's; requires -home)")
+	var trust, aclAllow, aclDeny cli.Multi
+	flag.Var(&trust, "trust", "trusted home, 'name=hex-public-key' (repeatable; requires -identity)")
+	flag.Var(&aclAllow, "acl-allow", "service-ACL allow rule, 'caller-pattern=service-pattern' (repeatable)")
+	flag.Var(&aclDeny, "acl-deny", "service-ACL deny rule, 'caller-pattern=service-pattern' (repeatable)")
 	middleware := flag.String("middleware", "", "PCM to attach: jini, upnp, mail, none")
 	jiniLookup := flag.String("jini-lookup", "", "jini: lookup service address")
 	ssdp := flag.String("ssdp", "", "upnp: comma-separated SSDP addresses to search")
@@ -58,12 +101,20 @@ func main() {
 		log.Fatal("vsgd: -name is required")
 	}
 
+	auth, err := buildAuth(*home, *idFile, trust, aclAllow, aclDeny)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	gw := vsg.New(*name, *vsrURL)
 	// In a federated deployment (vsrd -home) peers address this gateway
 	// by the home's scoped IDs; the gateway must know its home to strip
 	// that scope on inbound calls and to keep cross-home calls off the
 	// loopback fast path.
 	gw.SetHome(*home)
+	if auth != nil {
+		gw.SetAuth(auth)
+	}
 	gw.SetCacheTTL(*cacheTTL)
 	gw.SetWatchEnabled(!*noWatch)
 	gw.SetLoopbackEnabled(!*noLoopback)
@@ -76,6 +127,9 @@ func main() {
 		mode = fmt.Sprintf("TTL resolve cache (%v)", *cacheTTL)
 	}
 	fmt.Printf("vsgd: gateway %q at %s (events at %s, %s)\n", *name, gw.BaseURL(), gw.EventsURL(), mode)
+	if auth != nil {
+		fmt.Printf("vsgd: authentication enforced as home %q; trusted homes: %v\n", *home, auth.TrustedHomes())
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -10,10 +10,22 @@
 // export policy (service-ID patterns, deny wins, "havi:*" style
 // wildcards).
 //
+// With -identity the home takes a durable cryptographic identity (the
+// file is created on first use; the public key is printed so other
+// homes can -trust it) and every face starts enforcing the home
+// boundary: /uddi is private to this home's own components, /peer and
+// gateway calls are open only to homes named by -trust, and
+// -acl-allow/-acl-deny refine per-service access per caller home
+// ("guest-*=havi:*" patterns, deny wins). See docs/security.md for the
+// trust model and a full walkthrough, docs/operations.md for the flag
+// reference.
+//
 //	vsrd -addr 127.0.0.1:8600
 //	vsrd -addr 127.0.0.1:8600 -journal 8192
 //	vsrd -addr 127.0.0.1:8600 -home cottage \
 //	     -peer http://apartment.example:8600/peer -export-deny 'x10:*'
+//	vsrd -addr 127.0.0.1:8600 -home cottage -identity cottage.id \
+//	     -trust 'apartment=2b7e...' -acl-deny '*=x10:*'
 package main
 
 import (
@@ -23,35 +35,35 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+
+	"homeconnect/internal/cli"
 )
-
-// multiFlag collects a repeatable string flag.
-type multiFlag []string
-
-func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
-
-func (m *multiFlag) Set(v string) error {
-	*m = append(*m, v)
-	return nil
-}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8600", "listen address")
 	journal := flag.Int("journal", 0, "change-journal capacity (0 = default)")
 	home := flag.String("home", "", "home name for inter-home federation (enables /peer)")
-	var peers, allow, deny multiFlag
+	idFile := flag.String("identity", "", "home identity file (created on first use; requires -home)")
+	var peers, allow, deny, trust, aclAllow, aclDeny cli.Multi
 	flag.Var(&peers, "peer", "peer endpoint to import from (repeatable; requires -home)")
 	flag.Var(&allow, "export-allow", "export-policy allow pattern (repeatable)")
 	flag.Var(&deny, "export-deny", "export-policy deny pattern (repeatable)")
+	flag.Var(&trust, "trust", "trusted home, 'name=hex-public-key' (repeatable; requires -identity)")
+	flag.Var(&aclAllow, "acl-allow", "service-ACL allow rule, 'caller-pattern=service-pattern' (repeatable)")
+	flag.Var(&aclDeny, "acl-deny", "service-ACL deny rule, 'caller-pattern=service-pattern' (repeatable)")
 	flag.Parse()
 
 	srv, err := startServer(config{
-		addr:    *addr,
-		journal: *journal,
-		home:    *home,
-		peers:   peers,
-		allow:   allow,
-		deny:    deny,
+		addr:     *addr,
+		journal:  *journal,
+		home:     *home,
+		peers:    peers,
+		allow:    allow,
+		deny:     deny,
+		idFile:   *idFile,
+		trust:    trust,
+		aclAllow: aclAllow,
+		aclDeny:  aclDeny,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -60,6 +72,14 @@ func main() {
 	fmt.Printf("vsrd: repository at %s (gateways may watch for changes here)\n", srv.URL())
 	if *home != "" {
 		fmt.Printf("vsrd: home %q peering endpoint at %s\n", *home, srv.PeerURL())
+	}
+	if srv.identity != nil {
+		state := "loaded"
+		if srv.identityGenerated {
+			state = "generated"
+		}
+		fmt.Printf("vsrd: identity %s — public key %s\n", state, srv.identity.PublicKey())
+		fmt.Printf("vsrd: authentication enforced; trusted homes: %v\n", srv.Auth().TrustedHomes())
 	}
 	for _, p := range peers {
 		fmt.Printf("vsrd: importing from peer %s\n", p)

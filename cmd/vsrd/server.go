@@ -1,29 +1,40 @@
-// Server assembly for vsrd: repository, journal sizing and the optional
-// inter-home peering layer, kept out of main so it stays flag-only and
-// testable.
+// Server assembly for vsrd: repository, journal sizing, the optional
+// inter-home peering layer and the home's authentication context, kept
+// out of main so it stays flag-only and testable.
 package main
 
 import (
 	"fmt"
 
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/vsr"
 )
 
 // config carries vsrd's flags.
 type config struct {
-	addr    string
-	journal int
-	home    string
-	peers   []string
-	allow   []string
-	deny    []string
+	addr     string
+	journal  int
+	home     string
+	peers    []string
+	allow    []string
+	deny     []string
+	idFile   string
+	trust    []string
+	aclAllow []string
+	aclDeny  []string
 }
 
 // server is the assembled repository plus its peering layer.
 type server struct {
 	*vsr.Server
 	peering *peer.Peering
+	// identity is the loaded (or freshly generated) home identity, nil
+	// when the repository runs open.
+	identity *identity.Identity
+	// identityGenerated reports that this run created the identity file,
+	// so main can print the new public key once.
+	identityGenerated bool
 }
 
 // Close stops replication links before the repository they write to.
@@ -34,26 +45,60 @@ func (s *server) Close() {
 	s.Server.Close()
 }
 
+// buildAuth assembles the authentication context from flags: the home's
+// identity file (created on first use), trust entries and ACL rules.
+func buildAuth(cfg config) (*identity.Auth, *identity.Identity, bool, error) {
+	auth := identity.NewAuth(cfg.home)
+	var id *identity.Identity
+	generated := false
+	if cfg.idFile != "" {
+		var err error
+		id, generated, err = identity.LoadOrGenerate(cfg.idFile, cfg.home)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if err := auth.SetIdentity(id); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	if err := identity.Configure(auth, cfg.trust, cfg.aclAllow, cfg.aclDeny); err != nil {
+		return nil, nil, false, err
+	}
+	return auth, id, generated, nil
+}
+
 // startServer brings up the repository per config. A positive journal
 // capacity resizes the change journal before traffic flows; a home name
-// mounts the peering endpoint and starts one import link per peer URL.
+// mounts the peering endpoint and starts one import link per peer URL;
+// an identity file arms authentication on every face.
 func startServer(cfg config) (*server, error) {
-	srv, err := vsr.StartServer(cfg.addr)
+	authFlagged := cfg.idFile != "" || len(cfg.trust) > 0 || len(cfg.aclAllow) > 0 || len(cfg.aclDeny) > 0
+	if cfg.home == "" {
+		if len(cfg.peers) > 0 || len(cfg.allow) > 0 || len(cfg.deny) > 0 || authFlagged {
+			return nil, fmt.Errorf("vsrd: -peer/-export-*/-identity/-trust/-acl-* require -home")
+		}
+		srv, err := vsr.StartServer(cfg.addr)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.journal > 0 {
+			srv.Registry().SetJournalCapacity(cfg.journal)
+		}
+		return &server{Server: srv}, nil
+	}
+	auth, id, generated, err := buildAuth(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := vsr.StartServerAuth(cfg.addr, auth)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.journal > 0 {
 		srv.Registry().SetJournalCapacity(cfg.journal)
 	}
-	s := &server{Server: srv}
-	if cfg.home == "" {
-		if len(cfg.peers) > 0 || len(cfg.allow) > 0 || len(cfg.deny) > 0 {
-			srv.Close()
-			return nil, fmt.Errorf("vsrd: -peer/-export-allow/-export-deny require -home")
-		}
-		return s, nil
-	}
-	p, err := peer.New(cfg.home, srv.Registry())
+	s := &server{Server: srv, identity: id, identityGenerated: generated}
+	p, err := peer.New(cfg.home, srv.Registry(), auth)
 	if err != nil {
 		srv.Close()
 		return nil, err

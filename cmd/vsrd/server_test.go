@@ -3,6 +3,8 @@ package main
 
 import (
 	"context"
+	"errors"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -16,6 +18,52 @@ func TestStartServerRejectsPeerFlagsWithoutHome(t *testing.T) {
 	}
 	if _, err := startServer(config{addr: "127.0.0.1:0", deny: []string{"x10:*"}}); err == nil {
 		t.Error("export policy without -home accepted")
+	}
+	if _, err := startServer(config{addr: "127.0.0.1:0", idFile: "x.id"}); err == nil {
+		t.Error("-identity without -home accepted")
+	}
+	if _, err := startServer(config{addr: "127.0.0.1:0", trust: []string{"a=bb"}}); err == nil {
+		t.Error("-trust without -home accepted")
+	}
+}
+
+func TestStartServerArmsIdentity(t *testing.T) {
+	idFile := filepath.Join(t.TempDir(), "cottage.id")
+	s, err := startServer(config{
+		addr: "127.0.0.1:0", home: "cottage", idFile: idFile,
+		aclDeny: []string{"*=x10:*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.identity == nil || !s.identityGenerated || s.identity.Home() != "cottage" {
+		t.Fatalf("identity not generated: %+v generated=%v", s.identity, s.identityGenerated)
+	}
+	if !s.Auth().Enabled() {
+		t.Error("auth not enabled with -identity")
+	}
+	// Unsigned requests are refused on every face.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := vsr.New(s.URL()).Find(ctx, vsr.Query{}); !errors.Is(err, service.ErrUnauthenticated) {
+		t.Errorf("unsigned find against armed vsrd: %v, want ErrUnauthenticated", err)
+	}
+	// A second start reloads the same identity.
+	s2, err := startServer(config{addr: "127.0.0.1:0", home: "cottage", idFile: idFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.identityGenerated || s2.identity.PublicKey() != s.identity.PublicKey() {
+		t.Errorf("identity not reloaded: generated=%v", s2.identityGenerated)
+	}
+	// Malformed trust/ACL specs are refused.
+	if _, err := startServer(config{addr: "127.0.0.1:0", home: "x", idFile: filepath.Join(t.TempDir(), "x.id"), trust: []string{"no-separator"}}); err == nil {
+		t.Error("malformed trust spec accepted")
+	}
+	if _, err := startServer(config{addr: "127.0.0.1:0", home: "x", idFile: filepath.Join(t.TempDir(), "x.id"), aclAllow: []string{"="}}); err == nil {
+		t.Error("malformed ACL spec accepted")
 	}
 }
 

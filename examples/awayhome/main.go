@@ -1,20 +1,31 @@
 // Awayhome: reaching home services from outside the home — the wide-area
-// scenario the paper motivates but leaves at one residence. Two homes run
-// here: a "cottage" with the full HAVi/X10 prototype networks, and an
-// "apartment" federation standing in for wherever the user is. The
-// apartment peers with the cottage's repository, the cottage's services
-// appear under its home scope ("cottage/havi:dvcam-cam1"), and a call
-// from the apartment starts the cottage's camera over the ordinary
-// gateway wire path. The cottage's export policy keeps its X10 devices
-// out of the apartment's repository: they never replicate, so the
-// apartment cannot resolve them (visibility control, not call
-// authorization — see DESIGN.md §11).
+// scenario the paper motivates but leaves at one residence — now with
+// the trust boundary a real deployment needs. Three parties run here:
+//
+//   - a "cottage" with the full HAVi/X10 prototype networks, holding an
+//     identity and enforcing authentication;
+//   - an "apartment" federation standing in for wherever the user is,
+//     trusted by the cottage (and trusting it back);
+//   - a "snoop" federation on the same network with its own identity —
+//     honest protocol, wrong key — that the cottage never trusted.
+//
+// The apartment peers with the cottage's repository, the cottage's
+// services appear under its home scope ("cottage/havi:dvcam-cam1"), and
+// a call from the apartment starts the cottage's camera over the
+// ordinary gateway wire path, signed by the apartment's identity. The
+// cottage's export policy keeps its X10 devices out of every peer's
+// repository, and its service ACL additionally refuses the apartment
+// the VCR — deny wins at every layer. The snoop gets nothing: its peer
+// link is refused with a typed auth error, its repository never sees a
+// cottage service, and even calling a gateway endpoint learned out of
+// band yields ErrUnauthenticated (see docs/security.md).
 //
 //	go run ./examples/awayhome
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -27,22 +38,41 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	// --- The cottage: a full simulated home, named for federation. ----
-	cottage, err := sim.NewHome(ctx, sim.Config{HAVi: true, X10: true, Home: "cottage"})
+	// --- Identities first: each party is a keypair. --------------------
+	cottageID, err := homeconnect.GenerateIdentity("cottage")
+	must(err)
+	apartmentID, err := homeconnect.GenerateIdentity("apartment")
+	must(err)
+	snoopID, err := homeconnect.GenerateIdentity("snoop")
+	must(err)
+
+	// --- The cottage: a full simulated home, named and authenticated. --
+	cottage, err := sim.NewHome(ctx, sim.Config{
+		HAVi: true, X10: true, Home: "cottage",
+		Identity: cottageID,
+		// The cottage trusts the apartment — and nobody else.
+		Trusted: map[string]string{"apartment": apartmentID.PublicKey()},
+	})
 	must(err)
 	defer cottage.Close()
 	must(cottage.WaitForServices(ctx, 5)) // 4 HAVi FCMs + X10 lamp
 	fmt.Println("cottage: home built; repository at", cottage.Fed.VSRURL())
 
-	// House rule: appliances may be reached from outside, the powerline
-	// devices may not.
+	// House rules: the powerline devices never leave the house (export
+	// policy), and even the trusted apartment may not touch the VCR
+	// (service ACL).
 	must(cottage.Fed.SetExportPolicy(homeconnect.PeerPolicy{Deny: []string{"x10:*"}}))
-	fmt.Println("cottage: export policy set — x10:* stays private")
+	cottage.Fed.SetServiceACL(homeconnect.ServiceACL{
+		Deny: []homeconnect.ACLRule{{Caller: "*", Service: "havi:vcr-*"}},
+	})
+	fmt.Println("cottage: x10:* stays private; havi:vcr-* denied to all peers")
 
 	// --- The apartment: a bare federation wherever the user is. -------
 	apartment, err := homeconnect.NewHomeFederation("apartment")
 	must(err)
 	defer apartment.Close()
+	must(apartment.SetIdentity(apartmentID))
+	must(apartment.TrustHome("cottage", cottageID.PublicKey()))
 	_, err = apartment.AddNetwork("mobile")
 	must(err)
 
@@ -50,11 +80,12 @@ func main() {
 	must(apartment.Peer(cottage.Fed.PeerURL()))
 	fmt.Println("apartment: peered with", cottage.Fed.PeerURL())
 
-	// The cottage's exports replicate within one watch round trip.
+	// The cottage's admitted exports replicate within one watch round
+	// trip: the HAVi appliances minus the ACL-denied VCR FCM.
 	for {
 		services, err := apartment.Services(ctx)
 		must(err)
-		if len(services) >= 4 {
+		if len(services) >= 3 {
 			fmt.Println("apartment: cottage services visible:")
 			for _, s := range services {
 				fmt.Printf("  %-28s middleware=%s\n", s.Desc.ID, s.Desc.Middleware)
@@ -74,17 +105,69 @@ func main() {
 	fmt.Printf("apartment → cottage/havi:dvcam-cam1 StopCapture: camera is %s\n",
 		cottage.Camera.State())
 
-	// --- The policy holds: the lamp is not reachable from outside. ----
+	// --- The export policy holds: the lamp never replicated. ----------
 	if _, err := apartment.Call(ctx, "cottage/x10:lamp-1", "Level"); err != nil {
 		fmt.Println("apartment → cottage/x10:lamp-1: denied by export policy ✔")
 	} else {
 		log.Fatal("x10:lamp-1 leaked through the export policy")
 	}
 
+	// --- The ACL holds even with the endpoint in hand: calling the VCR
+	// at its gateway directly (out-of-band endpoint knowledge, which
+	// PR 4 could not stop) now yields a typed Forbidden fault.
+	vcr, err := cottage.Find(ctx, "havi:vcr-vcr1")
+	must(err)
+	gw := apartment.Network("mobile").Gateway()
+	if _, err := gw.CallRemote(ctx, vcr, "State", nil); errors.Is(err, homeconnect.ErrForbidden) {
+		fmt.Println("apartment → cottage havi:vcr-vcr1 (endpoint known out of band): ErrForbidden ✔")
+	} else {
+		log.Fatalf("ACL-denied VCR call: got %v, want ErrForbidden", err)
+	}
+
+	// --- The snoop: honest wire protocol, untrusted identity. ---------
+	snoop, err := homeconnect.NewHomeFederation("snoop")
+	must(err)
+	defer snoop.Close()
+	must(snoop.SetIdentity(snoopID))
+	// The snoop even trusts the cottage — trust is not mutual unless
+	// both sides record it, and the cottage never recorded the snoop.
+	must(snoop.TrustHome("cottage", cottageID.PublicKey()))
+	_, err = snoop.AddNetwork("van")
+	must(err)
+	must(snoop.Peer(cottage.Fed.PeerURL()))
+
+	// The link comes up refused: connected=false with the auth error.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := snoop.PeerStatus()[cottage.Fed.PeerURL()]
+		if !st.Connected && st.LastError != "" {
+			fmt.Printf("snoop: peer link refused: %s ✔\n", st.LastError)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("snoop link never reported refusal: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if services, _ := snoop.Services(ctx); len(services) > 0 {
+		log.Fatalf("snoop sees %d cottage services, want none", len(services))
+	}
+	fmt.Println("snoop: repository empty — cottage exports never replicated ✔")
+
+	// Out-of-band endpoint knowledge does not help the snoop either.
+	cam, err := cottage.Find(ctx, "havi:dvcam-cam1")
+	must(err)
+	snoopGW := snoop.Network("van").Gateway()
+	if _, err := snoopGW.CallRemote(ctx, cam, "StartCapture", nil); errors.Is(err, homeconnect.ErrUnauthenticated) {
+		fmt.Println("snoop → cottage camera endpoint: ErrUnauthenticated ✔")
+	} else {
+		log.Fatalf("snoop direct call: got %v, want ErrUnauthenticated", err)
+	}
+
 	// --- Peer health, the away-from-home dashboard. -------------------
 	for url, st := range apartment.PeerStatus() {
-		fmt.Printf("apartment: link %s connected=%v imported=%d cursor=%d\n",
-			url, st.Connected, st.Imported, st.Cursor)
+		fmt.Printf("apartment: link %s connected=%v authenticated=%v imported=%d cursor=%d\n",
+			url, st.Connected, st.Authenticated, st.Imported, st.Cursor)
 	}
 	fmt.Println("awayhome complete")
 }

@@ -41,6 +41,7 @@ package homeconnect
 
 import (
 	"homeconnect/internal/core"
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/scene"
 	"homeconnect/internal/service"
@@ -79,6 +80,40 @@ type (
 	// PeerStatus is one replication link's condition, keyed by peer URL
 	// in Federation.PeerStatus.
 	PeerStatus = peer.Status
+)
+
+// Identity and authorization re-exports (see internal/core/identity and
+// docs/security.md). A federation without an identity runs open — the
+// paper's home-network trust model; with one installed
+// (Federation.SetIdentity), every wire operation crossing the home
+// boundary is signed and verified, only homes recorded via TrustHome may
+// peer or call, and the ServiceACL refines what each of them may reach:
+//
+//	id, _ := homeconnect.GenerateIdentity("cottage")
+//	cottage, _ := homeconnect.NewHomeFederation("cottage")
+//	_ = cottage.SetIdentity(id)
+//	_ = cottage.TrustHome("apartment", apartmentPublicKey)
+//	cottage.SetServiceACL(homeconnect.ServiceACL{
+//		Deny: []homeconnect.ACLRule{{Caller: "*", Service: "x10:*"}},
+//	})
+type (
+	// Identity is one home's durable keypair; its PublicKey is the token
+	// other homes trust.
+	Identity = identity.Identity
+	// ServiceACL is the per-service access-control list enforced against
+	// authenticated callers from other homes (deny wins; an empty allow
+	// list admits).
+	ServiceACL = identity.ACL
+	// ACLRule is one ServiceACL entry: caller-home and service-ID
+	// patterns with event-topic matching semantics.
+	ACLRule = identity.Rule
+)
+
+var (
+	// GenerateIdentity creates a fresh identity for the named home.
+	GenerateIdentity = identity.Generate
+	// LoadIdentity reads an identity file written by Identity.Save.
+	LoadIdentity = identity.Load
 )
 
 // Scene-engine re-exports: declarative cross-middleware compositions (the
@@ -170,4 +205,10 @@ var (
 	// ErrUnavailable reports a reachable-in-principle service that cannot
 	// currently be called (gateway down, lease lapsed, device detached).
 	ErrUnavailable = service.ErrUnavailable
+	// ErrUnauthenticated reports a caller without a valid, trusted
+	// identity at a home that enforces authentication.
+	ErrUnauthenticated = service.ErrUnauthenticated
+	// ErrForbidden reports an authenticated caller refused by a home's
+	// export policy or service ACL.
+	ErrForbidden = service.ErrForbidden
 )

@@ -1,0 +1,18 @@
+// Package cli holds the small flag plumbing shared by the cmd/
+// binaries, so repeatable-flag handling is written once instead of per
+// main package.
+package cli
+
+import "fmt"
+
+// Multi collects a repeatable string flag (flag.Var).
+type Multi []string
+
+// String implements flag.Value.
+func (m *Multi) String() string { return fmt.Sprint([]string(*m)) }
+
+// Set implements flag.Value.
+func (m *Multi) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

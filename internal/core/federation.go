@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/pcm"
 	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/scene"
@@ -24,6 +25,11 @@ type Federation struct {
 	// home names this residence when federating with other homes; empty
 	// for the paper's single-home deployment.
 	home string
+	// auth is the home's shared authentication context: repository
+	// faces, gateways and the peering all consult the same object, so
+	// installing an identity or editing trust/ACLs takes effect
+	// everywhere at once. Open (inert) until SetIdentity.
+	auth *identity.Auth
 
 	mu         sync.Mutex
 	networks   map[string]*Network
@@ -56,17 +62,19 @@ func NewFederation() (*Federation, error) {
 // The repository's export face (PeerURL) is live immediately, so other
 // homes can peer with this one without further setup.
 func NewHomeFederation(home string) (*Federation, error) {
-	srv, err := vsr.StartServer("127.0.0.1:0")
+	auth := identity.NewAuth(home)
+	srv, err := vsr.StartServerAuth("127.0.0.1:0", auth)
 	if err != nil {
 		return nil, fmt.Errorf("core: start vsr: %w", err)
 	}
 	f := &Federation{
 		vsrServer: srv,
 		home:      home,
+		auth:      auth,
 		networks:  make(map[string]*Network),
 	}
 	if home != "" {
-		p, err := peer.New(home, srv.Registry())
+		p, err := peer.New(home, srv.Registry(), auth)
 		if err != nil {
 			srv.Close()
 			return nil, err
@@ -98,6 +106,7 @@ func (f *Federation) AddNetwork(name string) (*Network, error) {
 	}
 	gw := vsg.New(name, f.vsrServer.URL())
 	gw.SetHome(f.home)
+	gw.SetAuth(f.auth)
 	gw.SetLoopbackEnabled(!f.noLoopback)
 	if err := gw.Start("127.0.0.1:0"); err != nil {
 		return nil, err
@@ -209,10 +218,48 @@ func (f *Federation) SetExportPolicy(pol peer.Policy) error {
 	return nil
 }
 
+// Auth returns the federation's authentication context: the one object
+// the repository faces, gateways and peering all consult. Most callers
+// want the typed wrappers (SetIdentity, TrustHome, SetServiceACL)
+// instead.
+func (f *Federation) Auth() *identity.Auth { return f.auth }
+
+// SetIdentity installs the home's identity, switching every face of
+// this federation from the paper's open trust model to enforced
+// authentication: wire operations are signed and verified, peers must
+// be trusted (TrustHome) to see or call anything, and the export policy
+// plus service ACL apply to every authenticated caller. It errors on a
+// federation without a home name — there is nothing to authenticate as.
+// Install the identity before peers or clients start talking to this
+// home; components pick it up without a restart.
+func (f *Federation) SetIdentity(id *identity.Identity) error {
+	if f.home == "" {
+		return fmt.Errorf("core: federation has no home name; use NewHomeFederation to take an identity")
+	}
+	return f.auth.SetIdentity(id)
+}
+
+// TrustHome records another home's public key (hex, from
+// Identity.PublicKey): requests and responses signed by that home verify
+// from now on, which is what lets it peer with and call into this one.
+func (f *Federation) TrustHome(home, publicKeyHex string) error {
+	return f.auth.Trust(home, publicKeyHex)
+}
+
+// SetServiceACL installs the per-service access-control list enforced —
+// together with the export policy, deny winning at every layer — against
+// every authenticated caller from another home, on both the peering
+// view (visibility) and the gateways' inbound call path (invocation).
+func (f *Federation) SetServiceACL(acl identity.ACL) {
+	f.auth.SetACL(acl)
+}
+
 // PeerStatus reports every peering link keyed by remote URL — the
 // inter-home counterpart of Health. A link with Connected false is in
 // degraded mode: services already imported from that home keep serving
 // until their TTL lapses, then vanish until the link recovers.
+// Authenticated reports mutual per-operation authentication on the live
+// stream; auth refusals from either side land in LastError.
 func (f *Federation) PeerStatus() map[string]peer.Status {
 	f.mu.Lock()
 	p := f.peering

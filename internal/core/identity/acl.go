@@ -1,0 +1,115 @@
+// Export policy and service ACLs: the declarative authorization surface
+// a home's operator writes. Both reuse events.TopicMatches pattern
+// semantics (exact, the universal "*" or empty, and "prefix*"
+// wildcards), both make deny win, and both are enforced where data or
+// calls cross the home boundary — the /peer view and the gateway's
+// inbound SOAP face — never on in-home traffic.
+package identity
+
+import (
+	"fmt"
+	"strings"
+
+	"homeconnect/internal/core/events"
+)
+
+// Policy is a home's export policy: which local services other homes may
+// see at all. Patterns apply to the federation service ID, e.g. "havi:*"
+// or "x10:lamp-1". It is caller-independent — a denied service never
+// leaves the home for anyone; the ACL refines visibility and callability
+// per caller on top of it.
+type Policy struct {
+	// Allow admits matching service IDs; empty admits everything.
+	Allow []string
+	// Deny hides matching service IDs and wins over Allow.
+	Deny []string
+}
+
+// Admits reports whether the policy exports the given service ID.
+func (p Policy) Admits(id string) bool {
+	for _, pat := range p.Deny {
+		if events.TopicMatches(pat, id) {
+			return false
+		}
+	}
+	if len(p.Allow) == 0 {
+		return true
+	}
+	for _, pat := range p.Allow {
+		if events.TopicMatches(pat, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// clonePolicy deep-copies a policy so callers cannot mutate shared state.
+func clonePolicy(p Policy) Policy {
+	return Policy{
+		Allow: append([]string(nil), p.Allow...),
+		Deny:  append([]string(nil), p.Deny...),
+	}
+}
+
+// Rule is one ACL entry: it matches when both the caller's home name and
+// the (unscoped) service ID match their patterns.
+type Rule struct {
+	// Caller is the caller-home pattern ("home-b", "guest-*", "*").
+	Caller string
+	// Service is the service-ID pattern ("havi:*", "x10:lamp-1", "*").
+	Service string
+}
+
+// matches reports whether the rule covers caller × service.
+func (r Rule) matches(caller, service string) bool {
+	return events.TopicMatches(r.Caller, caller) && events.TopicMatches(r.Service, service)
+}
+
+// ACL is a home's per-service access-control list over authenticated
+// peer homes. Evaluation is deny-first: a matching Deny rule refuses the
+// caller; otherwise an empty Allow list admits, else some Allow rule
+// must match. The exporting home's own callers bypass the ACL entirely —
+// it governs the home boundary, not in-home traffic — and
+// unauthenticated callers never reach it (the middleware rejects them
+// first when an identity is configured).
+type ACL struct {
+	Allow []Rule
+	Deny  []Rule
+}
+
+// Admits reports whether caller may see and invoke the service.
+func (a ACL) Admits(caller, service string) bool {
+	for _, r := range a.Deny {
+		if r.matches(caller, service) {
+			return false
+		}
+	}
+	if len(a.Allow) == 0 {
+		return true
+	}
+	for _, r := range a.Allow {
+		if r.matches(caller, service) {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneACL deep-copies an ACL.
+func cloneACL(a ACL) ACL {
+	return ACL{
+		Allow: append([]Rule(nil), a.Allow...),
+		Deny:  append([]Rule(nil), a.Deny...),
+	}
+}
+
+// ParseRule splits an "-acl-allow"/"-acl-deny" flag value,
+// "<caller pattern>=<service pattern>" (service IDs contain ':', so '='
+// separates; the first '=' splits, e.g. "guest-*=havi:*").
+func ParseRule(spec string) (Rule, error) {
+	caller, service, ok := strings.Cut(spec, "=")
+	if !ok || caller == "" || service == "" {
+		return Rule{}, fmt.Errorf("identity: ACL rule spec %q, want caller=service-pattern", spec)
+	}
+	return Rule{Caller: caller, Service: service}, nil
+}

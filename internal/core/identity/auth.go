@@ -1,0 +1,345 @@
+// Auth is the per-federation authentication context: one object shared
+// by the repository faces, the peering layer, and every gateway of a
+// home, so enabling an identity or editing trust/ACLs takes effect
+// everywhere at once without restarting components.
+package identity
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"homeconnect/internal/service"
+)
+
+// Wire auth headers. Requests carry all four; responses carry Home and
+// Signature (the response signature binds to the request's nonce, so a
+// recorded response cannot be replayed against a different request).
+const (
+	HeaderHome      = "X-Homeconnect-Home"
+	HeaderTime      = "X-Homeconnect-Time"
+	HeaderNonce     = "X-Homeconnect-Nonce"
+	HeaderSignature = "X-Homeconnect-Signature"
+)
+
+// maxSkew bounds how far a request timestamp may drift from the
+// receiver's clock; it is also how long seen nonces are remembered for
+// replay rejection. Home deployments sync clocks loosely, so the window
+// is generous — replay protection only needs it to be finite.
+const maxSkew = 2 * time.Minute
+
+// nonceCacheLimit caps the replay cache; beyond it, expired entries are
+// pruned on every insert (inserts are one per authenticated request, so
+// the cache is small in any realistic deployment).
+const nonceCacheLimit = 8192
+
+// Auth bundles a home's identity, trust store, export policy and
+// service ACL. The zero value is not usable; call NewAuth. An Auth
+// without an identity (Enabled false) is "open mode": nothing is signed
+// and nothing is rejected, the paper's original trust model.
+type Auth struct {
+	home string
+	id   atomic.Pointer[Identity]
+
+	mu     sync.RWMutex
+	trust  map[string]ed25519.PublicKey
+	policy Policy
+	acl    ACL
+
+	nmu  sync.Mutex
+	seen map[string]time.Time // nonce → forget-after
+
+	// nowFn is swappable for skew/replay tests.
+	nowFn func() time.Time
+}
+
+// NewAuth returns an open-mode Auth for the named home (empty for the
+// single-home deployment, which can never enable an identity).
+func NewAuth(home string) *Auth {
+	return &Auth{
+		home:  home,
+		trust: make(map[string]ed25519.PublicKey),
+		seen:  make(map[string]time.Time),
+		nowFn: time.Now,
+	}
+}
+
+// Home returns the home this Auth belongs to.
+func (a *Auth) Home() string { return a.home }
+
+// Enabled reports whether an identity is installed: the switch between
+// open mode and enforced authentication.
+func (a *Auth) Enabled() bool { return a.id.Load() != nil }
+
+// Identity returns the installed identity, nil in open mode.
+func (a *Auth) Identity() *Identity { return a.id.Load() }
+
+// Active implements transport.Credentials: signing is active exactly
+// when an identity is installed.
+func (a *Auth) Active() bool { return a.Enabled() }
+
+// SetIdentity installs the home's identity, turning enforcement on for
+// every component sharing this Auth. The identity must name this home.
+func (a *Auth) SetIdentity(id *Identity) error {
+	if id == nil {
+		return fmt.Errorf("identity: nil identity")
+	}
+	if id.Home() != a.home {
+		return fmt.Errorf("identity: identity names home %q, this federation is %q", id.Home(), a.home)
+	}
+	a.id.Store(id)
+	return nil
+}
+
+// Trust records another home's public key (hex, from
+// Identity.PublicKey). Requests signed by that home verify from then on.
+func (a *Auth) Trust(home, publicKeyHex string) error {
+	if home == "" {
+		return fmt.Errorf("identity: trust: empty home name")
+	}
+	key, err := hex.DecodeString(publicKeyHex)
+	if err != nil || len(key) != ed25519.PublicKeySize {
+		return fmt.Errorf("identity: trust %s: key must be %d hex bytes", home, ed25519.PublicKeySize)
+	}
+	a.mu.Lock()
+	a.trust[home] = ed25519.PublicKey(key)
+	a.mu.Unlock()
+	return nil
+}
+
+// TrustedHomes lists the homes with trust entries, sorted. The home's
+// own identity is implicitly trusted and not listed.
+func (a *Auth) TrustedHomes() []string {
+	a.mu.RLock()
+	out := make([]string, 0, len(a.trust))
+	for h := range a.trust {
+		out = append(out, h)
+	}
+	a.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// keyFor resolves the public key a claimed home must have signed with:
+// a trust entry, or — for this home's own name — the installed
+// identity's key, so a home always trusts itself.
+func (a *Auth) keyFor(home string) (ed25519.PublicKey, bool) {
+	a.mu.RLock()
+	key, ok := a.trust[home]
+	a.mu.RUnlock()
+	if ok {
+		return key, true
+	}
+	if id := a.id.Load(); id != nil && home == a.home {
+		return id.priv.Public().(ed25519.PublicKey), true
+	}
+	return nil, false
+}
+
+// SetExportPolicy installs the export policy (see Policy).
+func (a *Auth) SetExportPolicy(p Policy) {
+	a.mu.Lock()
+	a.policy = clonePolicy(p)
+	a.mu.Unlock()
+}
+
+// ExportPolicy returns the current export policy.
+func (a *Auth) ExportPolicy() Policy {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return clonePolicy(a.policy)
+}
+
+// ExportAdmits reports whether the export policy admits a service ID.
+func (a *Auth) ExportAdmits(id string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.policy.Admits(id)
+}
+
+// SetACL installs the service ACL (see ACL).
+func (a *Auth) SetACL(acl ACL) {
+	a.mu.Lock()
+	a.acl = cloneACL(acl)
+	a.mu.Unlock()
+}
+
+// ACL returns the current service ACL.
+func (a *Auth) ACL() ACL {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return cloneACL(a.acl)
+}
+
+// ACLAdmits reports whether the ACL admits caller × service.
+func (a *Auth) ACLAdmits(caller, service string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.acl.Admits(caller, service)
+}
+
+// Authorize is the home-boundary decision for one authenticated inbound
+// call: callers from this home bypass it; any other caller must pass
+// both the export policy and the ACL (deny wins at every layer). The
+// service ID is the unscoped local ID. In open mode it admits everything
+// — without identities there are no callers to tell apart, and per-call
+// authorization would be theater.
+func (a *Auth) Authorize(caller, serviceID string) error {
+	if !a.Enabled() || caller == a.home {
+		return nil
+	}
+	a.mu.RLock()
+	ok := a.policy.Admits(serviceID) && a.acl.Admits(caller, serviceID)
+	a.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("identity: home %s denies %s to caller %s: %w", a.home, serviceID, caller, service.ErrForbidden)
+	}
+	return nil
+}
+
+// bodyDigest is the canonical body representation inside signatures.
+func bodyDigest(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// reqMessage builds the signed request string.
+func reqMessage(home, ts, nonce string, body []byte) []byte {
+	return []byte("homeconnect.req.v1\n" + home + "\n" + ts + "\n" + nonce + "\n" + bodyDigest(body))
+}
+
+// respMessage builds the signed response string; nonce is the request's.
+func respMessage(home, nonce string, body []byte) []byte {
+	return []byte("homeconnect.resp.v1\n" + home + "\n" + nonce + "\n" + bodyDigest(body))
+}
+
+// SignRequest stamps auth headers onto an outbound request and returns
+// the exchange token (the nonce) VerifyResponse later binds to. A no-op
+// returning "" in open mode.
+func (a *Auth) SignRequest(h http.Header, body []byte) string {
+	id := a.id.Load()
+	if id == nil {
+		return ""
+	}
+	var raw [16]byte
+	_, _ = rand.Read(raw[:])
+	nonce := hex.EncodeToString(raw[:])
+	ts := strconv.FormatInt(a.nowFn().UnixMilli(), 10)
+	h.Set(HeaderHome, id.Home())
+	h.Set(HeaderTime, ts)
+	h.Set(HeaderNonce, nonce)
+	h.Set(HeaderSignature, id.sign(reqMessage(id.Home(), ts, nonce, body)))
+	return nonce
+}
+
+// VerifyRequest checks an inbound request's auth headers against the
+// trust store: the claimed home must be trusted (or be this home), the
+// timestamp must be within the skew window, the nonce must be fresh, and
+// the signature must verify over the body. It returns the verified
+// caller home and the request nonce (for response signing). All failures
+// wrap service.ErrUnauthenticated. In open mode it accepts everything
+// with caller "".
+func (a *Auth) VerifyRequest(h http.Header, body []byte) (home, nonce string, err error) {
+	if !a.Enabled() {
+		return "", "", nil
+	}
+	home = h.Get(HeaderHome)
+	nonce = h.Get(HeaderNonce)
+	ts := h.Get(HeaderTime)
+	sig := h.Get(HeaderSignature)
+	if home == "" || nonce == "" || ts == "" || sig == "" {
+		return "", nonce, fmt.Errorf("identity: request carries no credentials: %w", service.ErrUnauthenticated)
+	}
+	key, ok := a.keyFor(home)
+	if !ok {
+		return "", nonce, fmt.Errorf("identity: home %q is not trusted here: %w", home, service.ErrUnauthenticated)
+	}
+	ms, err := strconv.ParseInt(ts, 10, 64)
+	if err != nil {
+		return "", nonce, fmt.Errorf("identity: bad timestamp %q: %w", ts, service.ErrUnauthenticated)
+	}
+	now := a.nowFn()
+	stamp := time.UnixMilli(ms)
+	if d := now.Sub(stamp); d > maxSkew || d < -maxSkew {
+		return "", nonce, fmt.Errorf("identity: timestamp %s outside ±%s skew window: %w", stamp.Format(time.RFC3339), maxSkew, service.ErrUnauthenticated)
+	}
+	sigRaw, err := hex.DecodeString(sig)
+	if err != nil || !ed25519.Verify(key, reqMessage(home, ts, nonce, body), sigRaw) {
+		return "", nonce, fmt.Errorf("identity: signature from %q does not verify: %w", home, service.ErrUnauthenticated)
+	}
+	if !a.admitNonce(nonce, stamp, now) {
+		return "", nonce, fmt.Errorf("identity: nonce replayed: %w", service.ErrUnauthenticated)
+	}
+	return home, nonce, nil
+}
+
+// admitNonce records a nonce, rejecting ones already seen. An entry
+// must outlive its request's *timestamp* validity, not the receipt
+// time: a request stamped up to maxSkew in the future stays verifiable
+// until stamp+maxSkew, so forgetting its nonce any earlier would
+// reopen a replay window exactly as wide as the sender's clock lead.
+func (a *Auth) admitNonce(nonce string, stamp, now time.Time) bool {
+	until := stamp.Add(maxSkew)
+	a.nmu.Lock()
+	defer a.nmu.Unlock()
+	if seenUntil, dup := a.seen[nonce]; dup && !now.After(seenUntil) {
+		return false
+	}
+	if len(a.seen) >= nonceCacheLimit {
+		for n, u := range a.seen {
+			if now.After(u) {
+				delete(a.seen, n)
+			}
+		}
+	}
+	a.seen[nonce] = until
+	return true
+}
+
+// SignResponse stamps auth headers onto an outbound response, binding it
+// to the request's nonce. A no-op in open mode.
+func (a *Auth) SignResponse(h http.Header, nonce string, body []byte) {
+	id := a.id.Load()
+	if id == nil {
+		return
+	}
+	h.Set(HeaderHome, id.Home())
+	h.Set(HeaderSignature, id.sign(respMessage(id.Home(), nonce, body)))
+}
+
+// VerifyResponse checks a response's signature against the trust store
+// and its binding to the request's exchange token. This is the client
+// half of the mutual handshake: a peer that cannot prove a trusted
+// identity cannot feed this home data, even if it accepted our request.
+// All failures wrap service.ErrUnauthenticated. In open mode (or for a
+// request that was never signed, exchange "") it accepts everything.
+func (a *Auth) VerifyResponse(h http.Header, exchange string, body []byte) error {
+	if !a.Enabled() || exchange == "" {
+		return nil
+	}
+	home := h.Get(HeaderHome)
+	sig := h.Get(HeaderSignature)
+	if home == "" || sig == "" {
+		return fmt.Errorf("identity: response is unsigned (peer has no identity, or is not this framework): %w", service.ErrUnauthenticated)
+	}
+	key, ok := a.keyFor(home)
+	if !ok {
+		return fmt.Errorf("identity: response signed by untrusted home %q: %w", home, service.ErrUnauthenticated)
+	}
+	sigRaw, err := hex.DecodeString(sig)
+	if err != nil || !ed25519.Verify(key, respMessage(home, exchange, body), sigRaw) {
+		return fmt.Errorf("identity: response signature from %q does not verify: %w", home, service.ErrUnauthenticated)
+	}
+	return nil
+}
+
+// setClock overrides the time source (tests).
+func (a *Auth) setClock(now func() time.Time) { a.nowFn = now }

@@ -1,0 +1,207 @@
+// Package identity gives each home a durable cryptographic identity and
+// enforces it at the federation's trust boundaries. The paper's
+// framework trusts the home network outright (§3.1 assumes gateways on
+// one residential LAN); PR 4 opened the wide-area scenario — inter-home
+// peering and cross-home gateway calls — which makes every federation
+// face reachable from outside the house. This package closes that gap:
+//
+//   - an Identity is one home's ed25519 keypair, generated once and kept
+//     in a flat file (vsrd/vsgd -identity);
+//   - a home trusts its peers by name→public-key entries (-trust);
+//   - every wire operation that crosses a home boundary — peer
+//     replication (watch, snapshot), registry publication, cross-home
+//     gateway calls — is signed by the caller and the response is signed
+//     back, so both ends of a peer link authenticate each other on every
+//     round (the "mutual handshake" is per-operation, not per-session:
+//     there is no connection state to hijack);
+//   - per-service ACLs (allow/deny by caller home + service-ID pattern,
+//     events.TopicMatches semantics) decide what each authenticated peer
+//     may see and call, composing with the export Policy — deny wins,
+//     and unauthenticated peers see nothing at all.
+//
+// The design follows the policy-free-middleware argument (Dearle et
+// al.): trust decisions live at explicit, auditable boundaries — the
+// Auth object each federation component shares — rather than being baked
+// into transport. Signing covers the request/response bodies and a
+// timestamped nonce (replays are rejected within the clock-skew window),
+// but the wire itself stays plain HTTP: confidentiality is out of scope
+// here and documented as such in docs/security.md.
+//
+// Everything is opt-in: a federation without an identity behaves exactly
+// as before (the paper's single-home trust model), and the in-process
+// loopback fast path is untouched — authentication work lands only on
+// wire edges.
+package identity
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Identity is one home's keypair. The private key never leaves the
+// process; peers learn only the public key (PublicKey, the -trust
+// token).
+type Identity struct {
+	home string
+	priv ed25519.PrivateKey
+}
+
+// Generate creates a fresh identity for the named home.
+func Generate(home string) (*Identity, error) {
+	if home == "" {
+		return nil, fmt.Errorf("identity: a home must be named")
+	}
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("identity: generate key for %s: %w", home, err)
+	}
+	return &Identity{home: home, priv: priv}, nil
+}
+
+// FromSeed builds a deterministic identity from a 32-byte seed (tests).
+func FromSeed(home string, seed []byte) (*Identity, error) {
+	if home == "" {
+		return nil, fmt.Errorf("identity: a home must be named")
+	}
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("identity: seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	return &Identity{home: home, priv: ed25519.NewKeyFromSeed(seed)}, nil
+}
+
+// Home returns the home this identity names.
+func (id *Identity) Home() string { return id.home }
+
+// PublicKey returns the hex public key — the token other homes put in
+// their trust stores (vsrd -trust '<home>=<this>').
+func (id *Identity) PublicKey() string {
+	return hex.EncodeToString(id.priv.Public().(ed25519.PublicKey))
+}
+
+// sign produces the hex signature over msg.
+func (id *Identity) sign(msg []byte) string {
+	return hex.EncodeToString(ed25519.Sign(id.priv, msg))
+}
+
+// Identity file format: line-oriented, one "key value" pair per line,
+// '#' comments. The seed line is the secret; the file should be 0600.
+//
+//	# homeconnect home identity — keep this file private
+//	home cottage
+//	seed 9f8e...
+const fileHeader = "# homeconnect home identity — keep this file private\n"
+
+// Save writes the identity to path with owner-only permissions.
+func (id *Identity) Save(path string) error {
+	seed := hex.EncodeToString(id.priv.Seed())
+	data := fileHeader + "home " + id.home + "\nseed " + seed + "\n"
+	if err := os.WriteFile(path, []byte(data), 0o600); err != nil {
+		return fmt.Errorf("identity: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads an identity file written by Save.
+func Load(path string) (*Identity, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("identity: load: %w", err)
+	}
+	var home, seedHex string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, v, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("identity: %s: malformed line %q", path, line)
+		}
+		switch k {
+		case "home":
+			home = strings.TrimSpace(v)
+		case "seed":
+			seedHex = strings.TrimSpace(v)
+		}
+	}
+	if home == "" || seedHex == "" {
+		return nil, fmt.Errorf("identity: %s: missing home or seed", path)
+	}
+	seed, err := hex.DecodeString(seedHex)
+	if err != nil {
+		return nil, fmt.Errorf("identity: %s: bad seed: %w", path, err)
+	}
+	return FromSeed(home, seed)
+}
+
+// LoadOrGenerate loads the identity at path, or — when the file does not
+// exist — generates one for home and saves it there. generated reports
+// which happened, so daemons can print the new public key once.
+func LoadOrGenerate(path, home string) (id *Identity, generated bool, err error) {
+	if _, statErr := os.Stat(path); statErr == nil {
+		id, err = Load(path)
+		if err != nil {
+			return nil, false, err
+		}
+		if home != "" && id.Home() != home {
+			return nil, false, fmt.Errorf("identity: %s names home %q, want %q", path, id.Home(), home)
+		}
+		return id, false, nil
+	}
+	id, err = Generate(home)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := id.Save(path); err != nil {
+		return nil, false, err
+	}
+	return id, true, nil
+}
+
+// ParseTrust splits a "-trust" flag value, "<home>=<hex public key>".
+func ParseTrust(spec string) (home, key string, err error) {
+	home, key, ok := strings.Cut(spec, "=")
+	if !ok || home == "" || key == "" {
+		return "", "", fmt.Errorf("identity: trust spec %q, want home=hexkey", spec)
+	}
+	return home, key, nil
+}
+
+// Configure applies flag-shaped trust and ACL specs to an Auth — the
+// one assembly the daemons (vsrd, vsgd) share, so spec validation lives
+// here rather than per main package. trust entries are
+// "home=hex-public-key"; ACL rules "caller-pattern=service-pattern".
+func Configure(auth *Auth, trust, aclAllow, aclDeny []string) error {
+	for _, spec := range trust {
+		home, key, err := ParseTrust(spec)
+		if err != nil {
+			return err
+		}
+		if err := auth.Trust(home, key); err != nil {
+			return err
+		}
+	}
+	var acl ACL
+	for _, spec := range aclAllow {
+		r, err := ParseRule(spec)
+		if err != nil {
+			return err
+		}
+		acl.Allow = append(acl.Allow, r)
+	}
+	for _, spec := range aclDeny {
+		r, err := ParseRule(spec)
+		if err != nil {
+			return err
+		}
+		acl.Deny = append(acl.Deny, r)
+	}
+	if len(acl.Allow) > 0 || len(acl.Deny) > 0 {
+		auth.SetACL(acl)
+	}
+	return nil
+}

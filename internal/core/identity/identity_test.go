@@ -1,0 +1,378 @@
+// Tests for the identity layer: key handling, the signed
+// request/response exchange (including replay and skew rejection), trust
+// parsing, policy/ACL semantics and the HTTP middleware.
+package identity
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"homeconnect/internal/service"
+)
+
+func testAuth(t *testing.T, home string) (*Auth, *Identity) {
+	t.Helper()
+	id, err := Generate(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAuth(home)
+	if err := a.SetIdentity(id); err != nil {
+		t.Fatal(err)
+	}
+	return a, id
+}
+
+// trustBoth wires a ↔ b trust.
+func trustBoth(t *testing.T, a *Auth, aID *Identity, b *Auth, bID *Identity) {
+	t.Helper()
+	if err := a.Trust(bID.Home(), bID.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Trust(aID.Home(), aID.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentitySaveLoadRoundTrip(t *testing.T) {
+	id, err := Generate("cottage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cottage.id")
+	if err := id.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Home() != "cottage" || loaded.PublicKey() != id.PublicKey() {
+		t.Errorf("loaded identity %s/%s, want %s/%s", loaded.Home(), loaded.PublicKey(), "cottage", id.PublicKey())
+	}
+}
+
+func TestLoadOrGenerate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "home.id")
+	id1, generated, err := LoadOrGenerate(path, "cottage")
+	if err != nil || !generated {
+		t.Fatalf("first LoadOrGenerate: generated=%v err=%v", generated, err)
+	}
+	id2, generated, err := LoadOrGenerate(path, "cottage")
+	if err != nil || generated {
+		t.Fatalf("second LoadOrGenerate: generated=%v err=%v", generated, err)
+	}
+	if id1.PublicKey() != id2.PublicKey() {
+		t.Error("reloaded identity differs from generated one")
+	}
+	if _, _, err := LoadOrGenerate(path, "mansion"); err == nil {
+		t.Error("identity file for another home accepted")
+	}
+}
+
+func TestRequestSignVerifyRoundTrip(t *testing.T) {
+	a, aID := testAuth(t, "home-a")
+	b, bID := testAuth(t, "home-b")
+	trustBoth(t, a, aID, b, bID)
+
+	body := []byte("<find_service/>")
+	h := make(http.Header)
+	nonce := a.SignRequest(h, body)
+	if nonce == "" {
+		t.Fatal("SignRequest returned no exchange token")
+	}
+	caller, gotNonce, err := b.VerifyRequest(h, body)
+	if err != nil || caller != "home-a" || gotNonce != nonce {
+		t.Fatalf("VerifyRequest = (%q, %q, %v), want (home-a, %q, nil)", caller, gotNonce, err, nonce)
+	}
+
+	// The response exchange binds to the request nonce.
+	respBody := []byte("<serviceList/>")
+	rh := make(http.Header)
+	b.SignResponse(rh, nonce, respBody)
+	if err := a.VerifyResponse(rh, nonce, respBody); err != nil {
+		t.Fatalf("VerifyResponse: %v", err)
+	}
+	// A different exchange token must not verify.
+	if err := a.VerifyResponse(rh, "0123456789abcdef0123456789abcdef", respBody); err == nil {
+		t.Error("response verified against a foreign exchange token")
+	}
+}
+
+func TestVerifyRequestRejections(t *testing.T) {
+	a, aID := testAuth(t, "home-a")
+	b, bID := testAuth(t, "home-b")
+	trustBoth(t, a, aID, b, bID)
+	stranger, _ := testAuth(t, "stranger")
+
+	body := []byte("payload")
+	sign := func(by *Auth) http.Header {
+		h := make(http.Header)
+		by.SignRequest(h, body)
+		return h
+	}
+
+	cases := []struct {
+		name string
+		h    http.Header
+	}{
+		{"no credentials", make(http.Header)},
+		{"untrusted home", sign(stranger)},
+	}
+	for _, c := range cases {
+		if _, _, err := b.VerifyRequest(c.h, body); !errors.Is(err, service.ErrUnauthenticated) {
+			t.Errorf("%s: err = %v, want ErrUnauthenticated", c.name, err)
+		}
+	}
+
+	// A body that changed after signing.
+	if _, _, err := b.VerifyRequest(sign(a), []byte("payload!")); !errors.Is(err, service.ErrUnauthenticated) {
+		t.Errorf("tampered body: err = %v, want ErrUnauthenticated", err)
+	}
+
+	// A forged signature under a trusted name.
+	h := sign(a)
+	h.Set(HeaderSignature, strings.Repeat("ab", 64))
+	if _, _, err := b.VerifyRequest(h, body); !errors.Is(err, service.ErrUnauthenticated) {
+		t.Errorf("forged signature: err = %v, want ErrUnauthenticated", err)
+	}
+}
+
+func TestVerifyRequestReplayAndSkew(t *testing.T) {
+	a, aID := testAuth(t, "home-a")
+	b, bID := testAuth(t, "home-b")
+	trustBoth(t, a, aID, b, bID)
+
+	body := []byte("x")
+	h := make(http.Header)
+	a.SignRequest(h, body)
+	if _, _, err := b.VerifyRequest(h, body); err != nil {
+		t.Fatal(err)
+	}
+	// The identical request again is a replay.
+	if _, _, err := b.VerifyRequest(h, body); !errors.Is(err, service.ErrUnauthenticated) {
+		t.Errorf("replay: err = %v, want ErrUnauthenticated", err)
+	}
+
+	// A request stamped outside the skew window is stale even with a
+	// valid signature.
+	h2 := make(http.Header)
+	a.SignRequest(h2, body)
+	b.setClock(func() time.Time { return time.Now().Add(maxSkew + time.Minute) })
+	if _, _, err := b.VerifyRequest(h2, body); !errors.Is(err, service.ErrUnauthenticated) {
+		t.Errorf("stale timestamp: err = %v, want ErrUnauthenticated", err)
+	}
+}
+
+// TestReplayRejectedForFutureStampedRequests: the nonce cache must
+// outlive the *timestamp's* validity, not the receipt time — a request
+// stamped near the far edge of the skew window stays verifiable after
+// a receipt-relative cache entry would have been forgotten.
+func TestReplayRejectedForFutureStampedRequests(t *testing.T) {
+	a, aID := testAuth(t, "home-a")
+	b, bID := testAuth(t, "home-b")
+	trustBoth(t, a, aID, b, bID)
+
+	// home-a's clock runs 90s ahead of home-b's.
+	base := time.Now()
+	a.setClock(func() time.Time { return base.Add(90 * time.Second) })
+	b.setClock(func() time.Time { return base })
+
+	body := []byte("x")
+	h := make(http.Header)
+	a.SignRequest(h, body)
+	if _, _, err := b.VerifyRequest(h, body); err != nil {
+		t.Fatalf("future-stamped request inside the window: %v", err)
+	}
+	// 130s later the stamp (base+90) is still inside b's window
+	// (130-90=40s old); the replay must still hit the nonce cache.
+	b.setClock(func() time.Time { return base.Add(130 * time.Second) })
+	if _, _, err := b.VerifyRequest(h, body); !errors.Is(err, service.ErrUnauthenticated) {
+		t.Errorf("replay after receipt+maxSkew but inside stamp+maxSkew: err = %v, want ErrUnauthenticated", err)
+	}
+}
+
+func TestOpenModePassesEverything(t *testing.T) {
+	open := NewAuth("home-a")
+	if open.Enabled() {
+		t.Fatal("open auth reports enabled")
+	}
+	h := make(http.Header)
+	if nonce := open.SignRequest(h, nil); nonce != "" || len(h) != 0 {
+		t.Error("open SignRequest stamped headers")
+	}
+	if caller, _, err := open.VerifyRequest(make(http.Header), nil); caller != "" || err != nil {
+		t.Errorf("open VerifyRequest = (%q, %v)", caller, err)
+	}
+	if err := open.VerifyResponse(make(http.Header), "", nil); err != nil {
+		t.Errorf("open VerifyResponse: %v", err)
+	}
+	if err := open.Authorize("anyone", "x10:lamp-1"); err != nil {
+		t.Errorf("open Authorize: %v", err)
+	}
+}
+
+func TestAuthorizeComposesPolicyAndACL(t *testing.T) {
+	a, _ := testAuth(t, "home-a")
+	a.SetExportPolicy(Policy{Deny: []string{"x10:*"}})
+	a.SetACL(ACL{
+		Allow: []Rule{{Caller: "home-b", Service: "havi:*"}},
+		Deny:  []Rule{{Caller: "*", Service: "havi:vcr-*"}},
+	})
+
+	cases := []struct {
+		caller, id string
+		allowed    bool
+	}{
+		{"home-a", "x10:lamp-1", true}, // own home bypasses everything
+		{"home-b", "havi:dvcam-1", true},
+		{"home-b", "havi:vcr-vcr1", false}, // ACL deny wins over allow
+		{"home-b", "x10:lamp-1", false},    // export policy deny
+		{"home-b", "jini:tv-1", false},     // outside the allow list
+		{"home-c", "havi:dvcam-1", false},  // caller not in allow list
+	}
+	for _, c := range cases {
+		err := a.Authorize(c.caller, c.id)
+		if got := err == nil; got != c.allowed {
+			t.Errorf("Authorize(%s, %s) = %v, want allowed=%v", c.caller, c.id, err, c.allowed)
+		}
+		if err != nil && !errors.Is(err, service.ErrForbidden) {
+			t.Errorf("Authorize(%s, %s) = %v, want ErrForbidden", c.caller, c.id, err)
+		}
+	}
+}
+
+func TestACLAdmitsSemantics(t *testing.T) {
+	cases := []struct {
+		name            string
+		acl             ACL
+		caller, service string
+		want            bool
+	}{
+		{"empty admits", ACL{}, "anyone", "x10:lamp-1", true},
+		{"deny exact", ACL{Deny: []Rule{{Caller: "guest", Service: "x10:lamp-1"}}}, "guest", "x10:lamp-1", false},
+		{"deny caller wildcard", ACL{Deny: []Rule{{Caller: "guest-*", Service: "*"}}}, "guest-2", "havi:cam", false},
+		{"deny misses other caller", ACL{Deny: []Rule{{Caller: "guest", Service: "*"}}}, "family", "havi:cam", true},
+		{"allow restricts", ACL{Allow: []Rule{{Caller: "family", Service: "havi:*"}}}, "family", "x10:lamp-1", false},
+		{"allow matches", ACL{Allow: []Rule{{Caller: "family", Service: "havi:*"}}}, "family", "havi:cam", true},
+		{"deny wins", ACL{Allow: []Rule{{Caller: "*", Service: "*"}}, Deny: []Rule{{Caller: "*", Service: "x10:*"}}}, "family", "x10:lamp-1", false},
+	}
+	for _, c := range cases {
+		if got := c.acl.Admits(c.caller, c.service); got != c.want {
+			t.Errorf("%s: Admits(%q, %q) = %v, want %v", c.name, c.caller, c.service, got, c.want)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if h, k, err := ParseTrust("cottage=abcd"); err != nil || h != "cottage" || k != "abcd" {
+		t.Errorf("ParseTrust = (%q, %q, %v)", h, k, err)
+	}
+	if _, _, err := ParseTrust("no-separator"); err == nil {
+		t.Error("malformed trust spec accepted")
+	}
+	if r, err := ParseRule("guest-*=havi:*"); err != nil || r.Caller != "guest-*" || r.Service != "havi:*" {
+		t.Errorf("ParseRule = (%+v, %v)", r, err)
+	}
+	if _, err := ParseRule("="); err == nil {
+		t.Error("empty rule spec accepted")
+	}
+}
+
+// TestRequireMiddleware drives the HTTP wrapper end to end: open mode
+// passes through, enabled mode refuses strangers, injects the caller,
+// signs responses, and honors ownOnly.
+func TestRequireMiddleware(t *testing.T) {
+	a, aID := testAuth(t, "home-a")
+	b, bID := testAuth(t, "home-b")
+	trustBoth(t, a, aID, b, bID)
+
+	var sawCaller string
+	echo := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawCaller = CallerFrom(r)
+		body, _ := io.ReadAll(r.Body)
+		_, _ = w.Write(append([]byte("echo:"), body...))
+	})
+
+	// Open mode: no auth object at all.
+	srv := httptest.NewServer(Require(nil, false, HTTPDeny, echo))
+	resp, err := http.Post(srv.URL, "text/plain", bytes.NewReader([]byte("hi")))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("open mode: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	srv.Close()
+
+	// Enforced mode, server is home-b.
+	srv = httptest.NewServer(Require(b, false, HTTPDeny, echo))
+	defer srv.Close()
+
+	// Unsigned request → 401.
+	resp, err = http.Post(srv.URL, "text/plain", bytes.NewReader([]byte("hi")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unsigned request: status %d, want 401", resp.StatusCode)
+	}
+
+	// Signed request from trusted home-a → served, caller injected,
+	// response signed and verifiable.
+	body := []byte("ping")
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader(body))
+	nonce := a.SignRequest(req.Header, body)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(respBody) != "echo:ping" {
+		t.Fatalf("signed request: %d %q", resp.StatusCode, respBody)
+	}
+	if sawCaller != "home-a" {
+		t.Errorf("handler saw caller %q, want home-a", sawCaller)
+	}
+	if err := a.VerifyResponse(resp.Header, nonce, respBody); err != nil {
+		t.Errorf("response signature: %v", err)
+	}
+
+	// An unverified request's refusal must arrive UNSIGNED: signing it
+	// would bind the server's key to an attacker-chosen nonce (a forgery
+	// oracle for "authentic" refusals).
+	req, _ = http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader(body))
+	req.Header.Set(HeaderNonce, "41414141414141414141414141414141")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("nonce-only request: status %d, want 401", resp.StatusCode)
+	}
+	if resp.Header.Get(HeaderSignature) != "" {
+		t.Error("refusal of an unverified request carries a signature")
+	}
+
+	// ownOnly face refuses a trusted-but-foreign home.
+	own := httptest.NewServer(Require(b, true, HTTPDeny, echo))
+	defer own.Close()
+	req, _ = http.NewRequest(http.MethodPost, own.URL, bytes.NewReader(body))
+	a.SignRequest(req.Header, body)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("ownOnly face: status %d for foreign home, want 403", resp.StatusCode)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
+	"homeconnect/internal/transport"
 )
 
 // Status is one link's replication condition — the peering counterpart of
@@ -24,8 +25,15 @@ type Status struct {
 	RemoteHome string
 	// Connected reports a live watch stream against the peer.
 	Connected bool
+	// Authenticated reports that the live stream is mutually
+	// authenticated: this home's identity signed every request and the
+	// peer's response signatures verified against the trust store. False
+	// while Connected means the homes run in open mode (no identity).
+	Authenticated bool
 	// LastError is the failure that broke the stream, cleared on
-	// recovery.
+	// recovery. Authentication refusals land here too — a peer that does
+	// not trust this home reports uddi: E_authTokenRequired, a peer this
+	// home does not trust fails response verification.
 	LastError string
 	// Cursor is the replication cursor: the highest remote journal
 	// sequence number applied locally.
@@ -57,10 +65,17 @@ type Link struct {
 }
 
 func newLink(p *Peering, url string) *Link {
+	remote := vsr.New(url)
+	// Every wire op the link issues — watch rounds, snapshot reconciles —
+	// is signed with the home's identity and the response verified
+	// against the trust store (the per-operation mutual handshake). In
+	// open mode the credentials are inert and this is the plain shared
+	// transport.
+	remote.SetHTTPClient(transport.NewAuthClient(p.auth))
 	return &Link{
 		p:        p,
 		url:      url,
-		remote:   vsr.New(url),
+		remote:   remote,
 		done:     make(chan struct{}),
 		st:       Status{URL: url},
 		imported: make(map[string]string),
@@ -160,12 +175,14 @@ func (l *Link) apply(ctx context.Context, d vsr.Delta) {
 	case vsr.DeltaUp:
 		l.mu.Lock()
 		l.st.Connected = true
+		l.st.Authenticated = l.p.auth.Enabled()
 		l.st.LastError = ""
 		l.mu.Unlock()
 		l.reconcile(ctx)
 	case vsr.DeltaDown:
 		l.mu.Lock()
 		l.st.Connected = false
+		l.st.Authenticated = false
 		if d.Err != nil {
 			l.st.LastError = d.Err.Error()
 		}

@@ -25,6 +25,15 @@
 // dark, imported registrations simply stop being refreshed and lapse by
 // TTL — the same degraded mode a gateway's resolve cache falls into when
 // its repository watch drops.
+//
+// When the home has an identity (internal/core/identity), the peering
+// carries the trust boundary: the export face serves only authenticated,
+// trusted homes — each seeing just what the export policy and the
+// per-caller service ACL admit — and every import link signs its watch
+// and snapshot requests while verifying the remote's response
+// signatures, so an untrusted party can neither read this home's
+// registry nor feed it entries. Link status surfaces the authentication
+// state alongside connectivity.
 package peer
 
 import (
@@ -34,7 +43,7 @@ import (
 	"sync"
 	"time"
 
-	"homeconnect/internal/core/events"
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
 	"homeconnect/internal/uddi"
@@ -43,40 +52,19 @@ import (
 // Policy is a home's export policy: which local services other homes may
 // see. Patterns use events.TopicMatches semantics — exact match, the
 // universal "*" (or empty), and "prefix*" wildcards — applied to the
-// federation service ID, e.g. "havi:*" or "x10:lamp-1".
-type Policy struct {
-	// Allow admits matching service IDs; empty admits everything.
-	Allow []string
-	// Deny hides matching service IDs and wins over Allow.
-	Deny []string
-}
-
-// Admits reports whether the policy exports the given service ID.
-func (p Policy) Admits(id string) bool {
-	for _, pat := range p.Deny {
-		if events.TopicMatches(pat, id) {
-			return false
-		}
-	}
-	if len(p.Allow) == 0 {
-		return true
-	}
-	for _, pat := range p.Allow {
-		if events.TopicMatches(pat, id) {
-			return true
-		}
-	}
-	return false
-}
+// federation service ID, e.g. "havi:*" or "x10:lamp-1". It lives in the
+// identity package with the rest of the boundary-policy surface; the
+// alias keeps the peering API self-contained.
+type Policy = identity.Policy
 
 // Peering is one home's federation endpoint: the export face other homes
 // replicate from, plus the import links this home runs against its peers.
 type Peering struct {
 	home string
 	reg  *uddi.Server
+	auth *identity.Auth
 
 	mu        sync.Mutex
-	policy    Policy
 	importTTL time.Duration
 	links     map[string]*Link
 	closed    bool
@@ -85,8 +73,11 @@ type Peering struct {
 // New builds the peering layer for a home. home names this residence in
 // every other home's ID space (imported services appear there as
 // "<home>/<id>"); registry is the home's own UDDI store, written
-// in-process by import links and served through the export face.
-func New(home string, registry *uddi.Server) (*Peering, error) {
+// in-process by import links and served through the export face; auth is
+// the home's authentication context — it owns the export policy and
+// service ACL, and its identity (when installed) signs link traffic. A
+// nil auth gets a private open-mode context, the pre-identity behaviour.
+func New(home string, registry *uddi.Server, auth *identity.Auth) (*Peering, error) {
 	if home == "" {
 		return nil, fmt.Errorf("peer: a home must be named to federate (see NewHomeFederation)")
 	}
@@ -94,9 +85,15 @@ func New(home string, registry *uddi.Server) (*Peering, error) {
 		// A separator inside the scope would make scoped IDs ambiguous.
 		return nil, fmt.Errorf("peer: home name %q must not contain %q", home, service.ScopeSep)
 	}
+	if auth == nil {
+		auth = identity.NewAuth(home)
+	} else if auth.Home() != home {
+		return nil, fmt.Errorf("peer: auth context names home %q, want %q", auth.Home(), home)
+	}
 	return &Peering{
 		home:      home,
 		reg:       registry,
+		auth:      auth,
 		importTTL: vsr.DefaultTTL,
 		links:     make(map[string]*Link),
 	}, nil
@@ -107,24 +104,13 @@ func (p *Peering) Home() string { return p.home }
 
 // SetPolicy installs the export policy. It applies to every subsequent
 // export-face response, including watch rounds already parked.
-func (p *Peering) SetPolicy(pol Policy) {
-	p.mu.Lock()
-	p.policy = Policy{
-		Allow: append([]string(nil), pol.Allow...),
-		Deny:  append([]string(nil), pol.Deny...),
-	}
-	p.mu.Unlock()
-}
+func (p *Peering) SetPolicy(pol Policy) { p.auth.SetExportPolicy(pol) }
 
 // Policy returns the current export policy.
-func (p *Peering) Policy() Policy {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return Policy{
-		Allow: append([]string(nil), p.policy.Allow...),
-		Deny:  append([]string(nil), p.policy.Deny...),
-	}
-}
+func (p *Peering) Policy() Policy { return p.auth.ExportPolicy() }
+
+// Auth returns the peering's authentication context.
+func (p *Peering) Auth() *identity.Auth { return p.auth }
 
 // SetImportTTL overrides the registration lifetime of imported entries
 // (default vsr.DefaultTTL). It is the staleness bound of peer-outage
@@ -147,15 +133,24 @@ func (p *Peering) ImportTTL() time.Duration {
 }
 
 // ExportHandler returns the read-only registry face served to other
-// homes: the home's registry through the export policy, each entry
-// stamped with this home's name so importers know its scope. Mount it
-// with vsr.Server.MountPeer.
+// homes: the home's registry through the export policy — and, for each
+// authenticated caller, that caller's service-ACL slice of it — with
+// each entry stamped with this home's name so importers know its scope.
+// Mount it with vsr.Server.MountPeer (behind the server's auth
+// middleware, which is what supplies the caller).
 func (p *Peering) ExportHandler() http.Handler {
-	return p.reg.ViewHandler(p.exportView)
+	return p.reg.CallerViewHandler(identity.CallerFrom, p.viewFor)
 }
 
-// exportView is the uddi.View behind ExportHandler.
-func (p *Peering) exportView(e uddi.Entry) (uddi.Entry, bool) {
+// viewFor builds one caller's export view.
+func (p *Peering) viewFor(caller string) uddi.View {
+	return func(e uddi.Entry) (uddi.Entry, bool) { return p.exportEntry(caller, e) }
+}
+
+// exportEntry is the per-caller uddi.View behind ExportHandler. caller
+// is the authenticated peer home, or "" on an open (identity-less)
+// deployment.
+func (p *Peering) exportEntry(caller string, e uddi.Entry) (uddi.Entry, bool) {
 	// Never re-export an import: one-hop federation. Imported entries are
 	// recognizable by their scoped name alone, which also covers
 	// identity-only delete/expire journal records that carry no
@@ -166,10 +161,13 @@ func (p *Peering) exportView(e uddi.Entry) (uddi.Entry, bool) {
 	if e.Categories[service.CtxPeerOrigin] != "" {
 		return uddi.Entry{}, false
 	}
-	p.mu.Lock()
-	pol := p.policy
-	p.mu.Unlock()
-	if !pol.Admits(e.Name) {
+	if !p.auth.ExportAdmits(e.Name) {
+		return uddi.Entry{}, false
+	}
+	// The ACL refines visibility per authenticated caller; it cannot
+	// apply on an open deployment (no caller identity to match) and never
+	// applies to the home itself.
+	if p.auth.Enabled() && caller != p.home && !p.auth.ACLAdmits(caller, e.Name) {
 		return uddi.Entry{}, false
 	}
 	e = e.Clone()

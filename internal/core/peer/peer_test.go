@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
 )
@@ -35,11 +36,14 @@ func TestPolicyAdmits(t *testing.T) {
 }
 
 func TestNewRejectsBadHomes(t *testing.T) {
-	if _, err := New("", nil); err == nil {
+	if _, err := New("", nil, nil); err == nil {
 		t.Error("empty home accepted")
 	}
-	if _, err := New("a/b", nil); err == nil {
+	if _, err := New("a/b", nil, nil); err == nil {
 		t.Error("home with scope separator accepted")
+	}
+	if _, err := New("a", nil, identity.NewAuth("b")); err == nil {
+		t.Error("auth context for a different home accepted")
 	}
 }
 
@@ -59,7 +63,7 @@ func newHomeFixture(t *testing.T, name string) *home {
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Close)
-	p, err := New(name, srv.Registry())
+	p, err := New(name, srv.Registry(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

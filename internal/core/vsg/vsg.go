@@ -32,9 +32,11 @@ import (
 	"time"
 
 	"homeconnect/internal/core/events"
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
 	"homeconnect/internal/soap"
+	"homeconnect/internal/transport"
 )
 
 // namespacePrefix qualifies SOAP operation elements with the target
@@ -85,6 +87,13 @@ type VSG struct {
 	home string
 	vsr  *vsr.VSR
 	hub  *events.Hub
+
+	// auth is the home's authentication context (nil = open mode
+	// forever); set before Start. authHTTP is the credential-signing
+	// client outbound SOAP and repository traffic rides when auth is
+	// live.
+	auth     *identity.Auth
+	authHTTP *http.Client
 
 	ln    net.Listener
 	httpS *http.Server
@@ -175,6 +184,40 @@ func (g *VSG) SetHome(home string) {
 // Home returns the gateway's home name ("" for single-home federations).
 func (g *VSG) Home() string { return g.home }
 
+// SetAuth installs the home's authentication context; call before
+// Start. From then on (whenever the context has an identity — it may
+// gain one later, no restart needed) the gateway signs its outbound
+// traffic — repository registration/resolution/watch and cross-home SOAP
+// calls — verifies response signatures, requires a trusted caller
+// identity on its inbound SOAP and event faces, and enforces the export
+// policy plus service ACL on calls arriving from other homes. The
+// in-process loopback fast path is untouched: a loopback call never
+// leaves the home, and its authorization check is the same nil-fast
+// pointer test the wire path uses.
+func (g *VSG) SetAuth(a *identity.Auth) {
+	g.auth = a
+	if a != nil {
+		g.authHTTP = transport.NewAuthClient(a)
+		g.vsr.SetHTTPClient(g.authHTTP)
+	}
+}
+
+// Auth returns the gateway's authentication context (nil in open mode).
+func (g *VSG) Auth() *identity.Auth { return g.auth }
+
+// authorize applies the home-boundary decision to one inbound call:
+// callers from this home pass, callers from other homes must clear the
+// export policy and the service ACL. id is the unscoped local service
+// ID. The returned error wraps service.ErrForbidden, and surfaces to
+// wire callers as the same *service.RemoteError the loopback path
+// produces (both route through soap.FaultFromError).
+func (g *VSG) authorize(caller, id string) error {
+	if g.auth == nil {
+		return nil
+	}
+	return g.auth.Authorize(caller, id)
+}
+
 // canonicalID maps a possibly home-scoped service ID to the form local
 // exports are registered under: this home's own scope is stripped, any
 // other scope is kept (it names a service that only the repository can
@@ -233,8 +276,14 @@ func (g *VSG) Start(addr string) error {
 	}
 	g.ln = ln
 	mux := http.NewServeMux()
-	mux.Handle("/services/", soap.NewHTTPHandler(inbound{g: g}))
-	mux.Handle("/events/", http.StripPrefix("/events", events.Handler(g.hub)))
+	// Both wire faces sit behind the home-boundary middleware: with an
+	// identity installed, callers must present a trusted home's signature
+	// (refused in each face's own fault vocabulary); in open mode the
+	// wrappers pass through untouched.
+	mux.Handle("/services/", identity.Require(g.auth, false, soap.AuthFaultWriter,
+		soap.NewHTTPHandler(inbound{g: g})))
+	mux.Handle("/events/", identity.Require(g.auth, false, identity.HTTPDeny,
+		http.StripPrefix("/events", events.Handler(g.hub))))
 	g.httpS = &http.Server{Handler: mux}
 	go func() { _ = g.httpS.Serve(ln) }()
 	procMu.Lock()
@@ -588,7 +637,10 @@ func (g *VSG) CallRemote(ctx context.Context, remote vsr.Remote, op string, args
 	for i, p := range opSpec.Inputs {
 		call.Args = append(call.Args, soap.Arg{Name: p.Name, Value: args[i]})
 	}
-	client := &soap.Client{URL: remote.Endpoint}
+	// g.authHTTP (nil in open mode, letting the client fall back to the
+	// shared transport) signs the envelope headers with this home's
+	// identity, so the target home knows who is calling.
+	client := &soap.Client{URL: remote.Endpoint, HTTP: g.authHTTP}
 	return client.Call(ctx, Namespace(remote.Desc.ID)+"#"+op, call)
 }
 
@@ -649,7 +701,16 @@ func (g *VSG) invokeLocal(ctx context.Context, id, op string, args []service.Val
 		// wrapped in ErrUnavailable; keep both sentinels on loopback.
 		return service.Value{}, fmt.Errorf("vsg: loopback: %w: %w", service.ErrUnavailable, err)
 	}
-	e, ok := g.localExport(g.canonicalID(id))
+	local := g.canonicalID(id)
+	// Wire-equivalent authorization: a loopback call is by construction a
+	// same-home call (loopbackTarget requires it), whose wire twin would
+	// carry this home's own verified identity — but the check still runs,
+	// through the same authorize and the same fault mapping, so the two
+	// paths cannot diverge if the boundary semantics ever change.
+	if err := g.authorize(g.home, local); err != nil {
+		return service.Value{}, remoteErrorFrom(err)
+	}
+	e, ok := g.localExport(local)
 	if !ok {
 		// The wire would reach this same gateway and fault NoSuchService;
 		// don't fall through to HTTP just to learn the same thing.
@@ -772,7 +833,14 @@ func (in inbound) ServeSOAP(ctx context.Context, call soap.Call) (service.Value,
 	}
 	// Peers address exports by this home's scoped IDs; strip our own
 	// scope so both spellings reach the same export.
-	e, ok := in.g.localExport(in.g.canonicalID(id))
+	local := in.g.canonicalID(id)
+	// The home-boundary check comes before existence: a caller the ACL
+	// refuses learns nothing about what this home runs. The caller home
+	// was verified by the auth middleware in front of this handler.
+	if err := in.g.authorize(identity.CallerFromContext(ctx), local); err != nil {
+		return service.Value{}, err
+	}
+	e, ok := in.g.localExport(local)
 	if !ok {
 		return service.Value{}, fmt.Errorf("%s: %w", id, service.ErrNoSuchService)
 	}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/service"
 	"homeconnect/internal/uddi"
 	"homeconnect/internal/wsdl"
@@ -67,6 +68,12 @@ type VSR struct {
 func New(url string) *VSR {
 	return &VSR{client: &uddi.Client{URL: url}, ttl: DefaultTTL}
 }
+
+// SetHTTPClient replaces the underlying HTTP client — how gateways and
+// peer links route repository traffic through a credential-signing
+// client (transport.NewAuthClient) when their home has an identity. Call
+// before the first request.
+func (v *VSR) SetHTTPClient(c *http.Client) { v.client.HTTP = c }
 
 // TTL returns the registration lifetime used by Register.
 func (v *VSR) TTL() time.Duration { return v.ttl }
@@ -294,6 +301,7 @@ func (v *VSR) watchLoop(ctx context.Context, since uint64, ch chan<- Delta) {
 		}
 	}
 	up := false
+	downErr := ""
 	for ctx.Err() == nil {
 		timeout := watchPollTimeout
 		if !up {
@@ -306,8 +314,13 @@ func (v *VSR) watchLoop(ctx context.Context, since uint64, ch chan<- Delta) {
 			if ctx.Err() != nil {
 				return
 			}
-			if up {
+			// Notify on the up→down transition and whenever the failure
+			// changes — including a stream that never came up at all (a
+			// repository that refuses this watcher's credentials must
+			// surface as Down, not as silence).
+			if up || downErr != err.Error() {
 				up = false
+				downErr = err.Error()
 				if !send(Delta{Op: DeltaDown, Err: err}) {
 					return
 				}
@@ -319,6 +332,7 @@ func (v *VSR) watchLoop(ctx context.Context, since uint64, ch chan<- Delta) {
 			}
 			continue
 		}
+		downErr = ""
 		if !up {
 			up = true
 			if !send(Delta{Op: DeltaUp, Seq: next}) {
@@ -398,11 +412,14 @@ func remoteFromEntry(e uddi.Entry) (Remote, error) {
 // Server hosts the repository itself: the UDDI registry behind an HTTP
 // listener. Beyond the registry mount every gateway uses, a second mount
 // (/peer, see MountPeer) can expose a policy-filtered, read-only face of
-// the same registry to other homes.
+// the same registry to other homes. With an identity.Auth installed
+// (StartServerAuth) both faces enforce the home boundary: /uddi is
+// private to the home's own identity, /peer admits any trusted home.
 type Server struct {
 	registry *uddi.Server
 	httpS    *http.Server
 	ln       net.Listener
+	auth     *identity.Auth
 
 	// peerH is the peering face mounted at /peer, nil until MountPeer.
 	peerMu sync.RWMutex
@@ -410,17 +427,32 @@ type Server struct {
 }
 
 // StartServer brings up a repository on addr ("127.0.0.1:0" for
-// ephemeral).
+// ephemeral) with no authentication context: the paper's open,
+// home-network-trusting deployment.
 func StartServer(addr string) (*Server, error) {
+	return StartServerAuth(addr, nil)
+}
+
+// StartServerAuth is StartServer with the home's authentication context.
+// auth may be open (no identity yet): enforcement switches on the moment
+// an identity is installed, with no restart — the repository's own home
+// keeps publishing because its gateways sign with the same Auth, while
+// strangers lose every face at once. A nil auth disables authentication
+// permanently.
+func StartServerAuth(addr string, auth *identity.Auth) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("vsr: listen: %w", err)
 	}
 	reg := uddi.NewServer()
-	s := &Server{registry: reg, ln: ln}
+	s := &Server{registry: reg, ln: ln, auth: auth}
 	mux := http.NewServeMux()
-	mux.Handle("/uddi", reg.Handler())
-	mux.HandleFunc("/peer", func(w http.ResponseWriter, r *http.Request) {
+	// The read-write face is for this home only: gateways publish,
+	// resolve and watch here. Peers get the read-only /peer face.
+	mux.Handle("/uddi", identity.Require(auth, true, uddi.AuthErrorWriter, reg.Handler()))
+	// The peer face admits any trusted home; the mounted handler's
+	// per-caller view decides what each one sees.
+	peer := identity.Require(auth, false, uddi.AuthErrorWriter, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.peerMu.RLock()
 		h := s.peerH
 		s.peerMu.RUnlock()
@@ -429,11 +461,16 @@ func StartServer(addr string) (*Server, error) {
 			return
 		}
 		h.ServeHTTP(w, r)
-	})
+	}))
+	mux.Handle("/peer", peer)
 	s.httpS = &http.Server{Handler: mux}
 	go func() { _ = s.httpS.Serve(ln) }()
 	return s, nil
 }
+
+// Auth returns the server's authentication context (nil when started
+// with StartServer).
+func (s *Server) Auth() *identity.Auth { return s.auth }
 
 // URL returns the repository endpoint for VSR clients.
 func (s *Server) URL() string { return "http://" + s.ln.Addr().String() + "/uddi" }

@@ -1,0 +1,229 @@
+// Secure multi-home federation end to end: a two-home neighborhood with
+// mutual trust plus one untrusted outsider running the same protocol.
+// The neighborhood behaves exactly as the open federation (replication,
+// cross-home calls, ACL-refined access), while the outsider is isolated
+// in every direction — its peer links are refused, its direct gateway
+// calls fault with a typed auth error, and its repository never holds a
+// neighbor's entry. These are the PR-5 counterparts of the PR-4
+// multi-home lifecycle tests.
+package integration
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"homeconnect/internal/core"
+	"homeconnect/internal/core/identity"
+	"homeconnect/internal/service"
+)
+
+// secureFed is one authenticated home federation with two networks.
+type secureFed struct {
+	fed *core.Federation
+	id  *identity.Identity
+}
+
+func newSecureFed(t *testing.T, home string) *secureFed {
+	t.Helper()
+	fed, err := core.NewHomeFederation(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fed.Close)
+	id, err := identity.Generate(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.SetIdentity(id); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"net1", "net2"} {
+		if _, err := fed.AddNetwork(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &secureFed{fed: fed, id: id}
+}
+
+// trust records b in a's trust store.
+func (a *secureFed) trust(t *testing.T, b *secureFed) {
+	t.Helper()
+	if err := a.fed.TrustHome(b.fed.Home(), b.id.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSecureFederationIsolatesUntrustedHome is the acceptance scenario:
+// homes A and B trust each other, home X trusts both but is trusted by
+// neither. All pairs peer in both directions.
+func TestSecureFederationIsolatesUntrustedHome(t *testing.T) {
+	a := newSecureFed(t, "home-a")
+	b := newSecureFed(t, "home-b")
+	x := newSecureFed(t, "home-x")
+	a.trust(t, b)
+	b.trust(t, a)
+	x.trust(t, a)
+	x.trust(t, b)
+
+	all := []*secureFed{a, b, x}
+	for _, from := range all {
+		for _, to := range all {
+			if from == to {
+				continue
+			}
+			if err := from.fed.Peer(to.fed.PeerURL()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, f := range all {
+		home := f.fed.Home()
+		if err := f.fed.Network("net1").Gateway().Export(ctx, echoDesc("test:svc-"+home), echoInvoker(home)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The trusted pair federates normally, with authenticated links.
+	callUntil(t, a.fed, "home-b/test:svc-home-b", "home-b", 10*time.Second)
+	callUntil(t, b.fed, "home-a/test:svc-home-a", "home-a", 10*time.Second)
+	for _, f := range []*secureFed{a, b} {
+		peerURL := a.fed.PeerURL()
+		if f == a {
+			peerURL = b.fed.PeerURL()
+		}
+		st := f.fed.PeerStatus()[peerURL]
+		if !st.Connected || !st.Authenticated {
+			t.Errorf("%s link to trusted peer: %+v, want connected+authenticated", f.fed.Home(), st)
+		}
+	}
+
+	// X's links to A and B are refused with a typed auth error; A's and
+	// B's links to X fail response verification (they cannot trust what
+	// X signs).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stA := x.fed.PeerStatus()[a.fed.PeerURL()]
+		stB := x.fed.PeerStatus()[b.fed.PeerURL()]
+		if !stA.Connected && stA.LastError != "" && !stB.Connected && stB.LastError != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("home-x links never reported refusal: %+v", x.fed.PeerStatus())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for {
+		st := a.fed.PeerStatus()[x.fed.PeerURL()]
+		if !st.Connected && st.LastError != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("home-a link to home-x never reported refusal: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// X's repository never sees a neighbor's service — even after ample
+	// time for any incorrect replication to land.
+	time.Sleep(300 * time.Millisecond)
+	services, err := x.fed.Services(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range services {
+		if s.Desc.ID != "test:svc-home-x" {
+			t.Errorf("untrusted home sees %q", s.Desc.ID)
+		}
+	}
+	// And symmetrically, nothing of X leaked into A.
+	aServices, err := a.fed.Services(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range aServices {
+		if s.Desc.Context[service.CtxPeerOrigin] == "home-x" {
+			t.Errorf("home-a imported %q from the untrusted home", s.Desc.ID)
+		}
+	}
+
+	// A direct gateway call with an out-of-band endpoint fails typed.
+	// The refusal of an unverified request is deliberately unsigned, so
+	// for a *verifying* caller like X it surfaces as a transport-level
+	// ErrUnauthenticated (unverified peer refusal) rather than a decoded
+	// remote fault; a non-verifying caller decodes the fault itself
+	// (TestCrossHomeCallAuthenticated pins that shape).
+	remote, err := a.fed.Network("net1").Gateway().Resolve(ctx, "test:svc-home-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = x.fed.Network("net1").Gateway().CallRemote(ctx, remote, "Where", nil)
+	if !errors.Is(err, service.ErrUnauthenticated) {
+		t.Errorf("untrusted direct gateway call: %v, want ErrUnauthenticated", err)
+	}
+}
+
+// TestSecureFederationACL: the service ACL composes with the export
+// policy at both enforcement points — replication visibility and the
+// call path — per caller home.
+func TestSecureFederationACL(t *testing.T) {
+	a := newSecureFed(t, "home-a")
+	b := newSecureFed(t, "home-b")
+	a.trust(t, b)
+	b.trust(t, a)
+	if err := a.fed.SetExportPolicy(identity.Policy{Deny: []string{"test:private*"}}); err != nil {
+		t.Fatal(err)
+	}
+	a.fed.SetServiceACL(identity.ACL{
+		Deny: []identity.Rule{{Caller: "home-b", Service: "test:vcr-*"}},
+	})
+	if err := b.fed.Peer(a.fed.PeerURL()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	gw := a.fed.Network("net1").Gateway()
+	for id, answer := range map[string]string{
+		"test:public-door": "public",
+		"test:private-cam": "private",
+		"test:vcr-1":       "vcr",
+	} {
+		if err := gw.Export(ctx, echoDesc(id), echoInvoker(answer)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The plainly admitted service replicates and answers.
+	callUntil(t, b.fed, "home-a/test:public-door", "public", 10*time.Second)
+	// Neither denied service is visible to B.
+	for _, id := range []string{"home-a/test:private-cam", "home-a/test:vcr-1"} {
+		if _, err := b.fed.Call(ctx, id, "Where"); err == nil {
+			t.Errorf("denied service %s resolvable from peer", id)
+		}
+	}
+	// Out-of-band endpoints do not bypass either layer: both the
+	// export-policy-denied and the ACL-denied service refuse the call
+	// with a typed Forbidden fault.
+	for _, id := range []string{"test:private-cam", "test:vcr-1"} {
+		remote, err := gw.Resolve(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.fed.Network("net1").Gateway().CallRemote(ctx, remote, "Where", nil); !errors.Is(err, service.ErrForbidden) {
+			t.Errorf("out-of-band call to %s: %v, want ErrForbidden", id, err)
+		}
+	}
+	// Everything keeps working inside home A.
+	for id, answer := range map[string]string{
+		"test:public-door": "public", "test:private-cam": "private", "test:vcr-1": "vcr",
+	} {
+		if got, err := a.fed.Call(ctx, id, "Where"); err != nil || got.Str() != answer {
+			t.Errorf("in-home call %s = (%v, %v), want %q", id, got, err, answer)
+		}
+	}
+}

@@ -23,6 +23,13 @@ var (
 	// ErrUnavailable reports that a service exists but cannot currently be
 	// reached (gateway down, lease expired, device detached).
 	ErrUnavailable = errors.New("service unavailable")
+	// ErrUnauthenticated reports a caller that presented no credentials,
+	// bad credentials, or an identity the receiving home does not trust
+	// (see internal/core/identity).
+	ErrUnauthenticated = errors.New("caller unauthenticated")
+	// ErrForbidden reports an authenticated caller that the receiving
+	// home's export policy or service ACL refuses for this service.
+	ErrForbidden = errors.New("caller forbidden")
 )
 
 // RemoteError carries a failure raised by the remote side of a bridged
@@ -52,6 +59,10 @@ func (e *RemoteError) Unwrap() error {
 		return ErrBadArgument
 	case "Unavailable":
 		return ErrUnavailable
+	case "Unauthenticated":
+		return ErrUnauthenticated
+	case "Forbidden":
+		return ErrForbidden
 	default:
 		return nil
 	}
@@ -69,6 +80,10 @@ func RemoteCode(err error) string {
 		return "BadArgument"
 	case errors.Is(err, ErrUnavailable):
 		return "Unavailable"
+	case errors.Is(err, ErrUnauthenticated):
+		return "Unauthenticated"
+	case errors.Is(err, ErrForbidden):
+		return "Forbidden"
 	default:
 		return "Server"
 	}

@@ -3,7 +3,11 @@
 // (internal/core/peer), a service imported from another home gains a
 // scope prefix — "home-a/jini:laserdisc-1" — so the flat per-home ID
 // space becomes a two-level one without touching the paper's single-home
-// conventions: unscoped IDs keep meaning "this home".
+// conventions: unscoped IDs keep meaning "this home". Gateways strip
+// their own home's scope on inbound calls, so authorization decisions
+// (export policy and service ACLs, internal/core/identity) always see
+// the unscoped local ID — ACL patterns are written against
+// "havi:vcr-*", never against a scoped spelling.
 package service
 
 import "strings"

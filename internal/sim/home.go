@@ -18,6 +18,7 @@ import (
 	"homeconnect/internal/bridge/upnppcm"
 	"homeconnect/internal/bridge/x10pcm"
 	"homeconnect/internal/core"
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/havi"
 	"homeconnect/internal/ieee1394"
@@ -38,6 +39,13 @@ type Config struct {
 	// the federation is built with core.NewHomeFederation and can peer
 	// with other homes (see NewNeighborhood).
 	Home string
+	// Identity, when set, arms authentication before any network or
+	// device comes up: the federation signs its wire traffic and admits
+	// only Trusted homes. The identity must name Home.
+	Identity *identity.Identity
+	// Trusted maps peer home names to their hex public keys; applied
+	// with Identity.
+	Trusted map[string]string
 }
 
 // All enables every middleware — the paper's Figure 3 prototype plus the
@@ -182,6 +190,20 @@ func NewHome(ctx context.Context, cfg Config) (*Home, error) {
 	}
 	h.Fed = fed
 	h.closers = append(h.closers, fed.Close)
+	// Arm authentication before the first gateway or device exists, so
+	// no window of open traffic precedes enforcement.
+	if cfg.Identity != nil {
+		if err := fed.SetIdentity(cfg.Identity); err != nil {
+			fed.Close()
+			return nil, err
+		}
+		for home, key := range cfg.Trusted {
+			if err := fed.TrustHome(home, key); err != nil {
+				fed.Close()
+				return nil, err
+			}
+		}
+	}
 	// The simulated home models the paper's deployment: one gateway per
 	// physical middleware network, reachable only over the wire. Disable
 	// in-process loopback so every cross-network call pays the real
@@ -384,6 +406,84 @@ func NewNeighborhood(ctx context.Context, n int, cfg Config) ([]*Home, error) {
 	for i := 1; i <= n; i++ {
 		hcfg := cfg
 		hcfg.Home = fmt.Sprintf("%s-%d", prefix, i)
+		h, err := NewHome(ctx, hcfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: build %s: %w", hcfg.Home, err)
+		}
+		homes = append(homes, h)
+	}
+	for i, h := range homes {
+		for j, other := range homes {
+			if i == j {
+				continue
+			}
+			if err := h.Fed.Peer(other.Fed.PeerURL()); err != nil {
+				return nil, fmt.Errorf("sim: peer %s with %s: %w", h.Fed.Home(), other.Fed.Home(), err)
+			}
+		}
+	}
+	ok = true
+	return homes, nil
+}
+
+// NewSecureNeighborhood is NewNeighborhood with per-home identities and
+// a deliberately incomplete trust web: every home gets a generated
+// identity, the first n-untrusted homes ("the neighborhood") trust one
+// another mutually, and the last untrusted homes trust everyone but are
+// trusted by no one — outsiders running the full protocol against homes
+// that refuse them. Every pair still peers in both directions, so the
+// rejected links are observable in each home's PeerStatus: the
+// neighborhood replicates normally among itself, while an untrusted
+// home's links never authenticate and its repository never sees a
+// neighbor's services (nor, thanks to response verification, do the
+// neighbors accept anything of its).
+func NewSecureNeighborhood(ctx context.Context, n, untrusted int, cfg Config) ([]*Home, error) {
+	if n < 1 || untrusted < 0 || untrusted >= n {
+		return nil, fmt.Errorf("sim: secure neighborhood of %d homes with %d untrusted", n, untrusted)
+	}
+	prefix := cfg.Home
+	if prefix == "" {
+		prefix = "home"
+	}
+	names := make([]string, n)
+	ids := make([]*identity.Identity, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d", prefix, i+1)
+		id, err := identity.Generate(names[i])
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	trustedCount := n - untrusted
+	homes := make([]*Home, 0, n)
+	ok := false
+	defer func() {
+		if !ok {
+			for _, h := range homes {
+				h.Close()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		trust := make(map[string]string)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// Neighborhood homes trust only one another; untrusted homes
+			// trust everybody (their requests are honest — the refusals
+			// they meet are the neighborhood's decision, not a protocol
+			// failure on their side).
+			if i < trustedCount && j >= trustedCount {
+				continue
+			}
+			trust[names[j]] = ids[j].PublicKey()
+		}
+		hcfg := cfg
+		hcfg.Home = names[i]
+		hcfg.Identity = ids[i]
+		hcfg.Trusted = trust
 		h, err := NewHome(ctx, hcfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: build %s: %w", hcfg.Home, err)

@@ -141,11 +141,21 @@ func FaultFromError(err error) *Fault {
 // sideOf maps a framework error code to the SOAP 1.1 faultcode side.
 func sideOf(code string) string {
 	switch code {
-	case "NoSuchOperation", "NoSuchService", "BadArgument", "Client":
+	case "NoSuchOperation", "NoSuchService", "BadArgument", "Client",
+		"Unauthenticated", "Forbidden":
 		return "Client"
 	default:
 		return "Server"
 	}
+}
+
+// AuthFaultWriter renders an authentication refusal as a SOAP fault —
+// the identity.DenyWriter for gateway faces. code is the framework error
+// code ("Unauthenticated" or "Forbidden"); callers decode it back to the
+// matching service sentinel through Fault.RemoteError, exactly like any
+// other remote fault.
+func AuthFaultWriter(w http.ResponseWriter, code, msg string) {
+	writeFault(w, &Fault{Code: sideOf(code), String: msg, Detail: code})
 }
 
 // writeFault emits a fault envelope with the mandatory 500 status.

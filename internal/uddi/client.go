@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"homeconnect/internal/service"
 	"homeconnect/internal/transport"
 	"homeconnect/internal/xmltree"
 )
@@ -52,13 +53,35 @@ func (c *Client) roundTrip(ctx context.Context, doc []byte) (*xmltree.Element, e
 		return nil, fmt.Errorf("uddi: parse response: %w", err)
 	}
 	if root.Name.Local == "dispositionReport" && root.Attr("result") == "error" {
-		return nil, fmt.Errorf("uddi: %s: %s", root.ChildText("errCode"), root.ChildText("errInfo"))
+		code, info := root.ChildText("errCode"), root.ChildText("errInfo")
+		// Authentication refusals surface as typed sentinels so callers
+		// (and peer-link status) can tell a locked door from a broken one.
+		// The sentinel rides Unwrap rather than %w because the server's
+		// message already spells it out.
+		switch code {
+		case "E_authTokenRequired":
+			return nil, &authError{msg: fmt.Sprintf("uddi: %s: %s", code, info), kind: service.ErrUnauthenticated}
+		case "E_userMismatch":
+			return nil, &authError{msg: fmt.Sprintf("uddi: %s: %s", code, info), kind: service.ErrForbidden}
+		}
+		return nil, fmt.Errorf("uddi: %s: %s", code, info)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("uddi: http status %s", resp.Status)
 	}
 	return root, nil
 }
+
+// authError is a registry auth refusal: the server's message verbatim,
+// unwrapping to the matching service sentinel for errors.Is.
+type authError struct {
+	msg  string
+	kind error
+}
+
+func (e *authError) Error() string { return e.msg }
+
+func (e *authError) Unwrap() error { return e.kind }
 
 // Save publishes the entry with the given TTL and returns the assigned
 // service key.

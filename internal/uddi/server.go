@@ -371,16 +371,30 @@ func (s *Server) ViewHandler(view View) http.Handler {
 	if view == nil {
 		view = func(e Entry) (Entry, bool) { return e, true }
 	}
-	return s.handler(view, true)
+	return s.handler(func(*http.Request) View { return view }, true)
 }
 
-// handler implements Handler and ViewHandler; readOnly rejects the
+// CallerViewHandler is ViewHandler with the view chosen per request:
+// caller extracts the authenticated caller's home from the request
+// (identity.CallerFrom behind an auth middleware), viewFor builds that
+// caller's view. This is how a home's export face serves each peer only
+// what the export policy and the per-caller ACL admit to it.
+func (s *Server) CallerViewHandler(caller func(*http.Request) string, viewFor func(string) View) http.Handler {
+	return s.handler(func(r *http.Request) View { return viewFor(caller(r)) }, true)
+}
+
+// handler implements the Handler variants; viewFor (nil = unfiltered)
+// selects the per-request entry filter and readOnly rejects the
 // publication operations.
-func (s *Server) handler(view View, readOnly bool) http.Handler {
+func (s *Server) handler(viewFor func(*http.Request) View, readOnly bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "E_unsupported", "POST required")
 			return
+		}
+		var view View
+		if viewFor != nil {
+			view = viewFor(r)
 		}
 		data, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
 		if err != nil {
@@ -701,6 +715,20 @@ func writeXML(w http.ResponseWriter, data []byte) {
 	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)
+}
+
+// AuthErrorWriter renders an authentication refusal in the registry's
+// own dispositionReport vocabulary — the identity.DenyWriter for UDDI
+// faces. The UDDI v2 error codes are the closest the spec offers:
+// E_authTokenRequired for missing/invalid credentials, E_userMismatch
+// for an authenticated party the face refuses.
+func AuthErrorWriter(w http.ResponseWriter, code, msg string) {
+	switch code {
+	case "Forbidden":
+		writeError(w, http.StatusForbidden, "E_userMismatch", msg)
+	default:
+		writeError(w, http.StatusUnauthorized, "E_authTokenRequired", msg)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
