@@ -17,6 +17,7 @@ import (
 
 	"homeconnect/internal/bridge/jinipcm"
 	"homeconnect/internal/core"
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/events"
 	"homeconnect/internal/core/pcm"
 	"homeconnect/internal/core/scene"
@@ -275,7 +276,7 @@ func BenchmarkSOAPDecode(b *testing.B) {
 // echoRig builds two gateways on one repository with an integer echo
 // service exported on the first — the minimal inter-VSG call shape shared
 // by the wire and loopback round-trip benchmarks.
-func echoRig(b *testing.B) (caller *vsg.VSG, warmArgs []service.Value) {
+func echoRig(b *testing.B) (caller, exporter *vsg.VSG, warmArgs []service.Value) {
 	b.Helper()
 	srv, err := vsr.StartServer("127.0.0.1:0")
 	if err != nil {
@@ -309,14 +310,14 @@ func echoRig(b *testing.B) (caller *vsg.VSG, warmArgs []service.Value) {
 	if _, err := gw2.Call(ctx, "bench:echo", "Echo", arg); err != nil {
 		b.Fatal(err)
 	}
-	return gw2, arg
+	return gw2, gw1, arg
 }
 
 // BenchmarkSOAPRoundTrip measures a full SOAP/HTTP RPC between two
 // gateways — the inter-VSG wire hop. Loopback is disabled so the paper's
 // protocol stays the thing measured.
 func BenchmarkSOAPRoundTrip(b *testing.B) {
-	gw, arg := echoRig(b)
+	gw, _, arg := echoRig(b)
 	gw.SetLoopbackEnabled(false)
 	ctx := context.Background()
 	b.ReportAllocs()
@@ -334,7 +335,7 @@ func BenchmarkSOAPRoundTrip(b *testing.B) {
 // BenchmarkSOAPRoundTrip (same rig) or BenchmarkFigure1FederationCall
 // (the full prototype's wire path).
 func BenchmarkLoopbackCall(b *testing.B) {
-	gw, arg := echoRig(b)
+	gw, _, arg := echoRig(b)
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -346,6 +347,57 @@ func BenchmarkLoopbackCall(b *testing.B) {
 	b.StopTimer()
 	if _, out, loop := gw.Stats(); loop == 0 || loop != out {
 		b.Fatalf("loopback hits = %d of %d outbound calls; the fast path was not measured", loop, out)
+	}
+}
+
+// BenchmarkAuditAppend measures one audit record append on a memory-only
+// log: canonical encode, chain hash, ring insert, and — every batch-size
+// records — a Merkle seal, amortized into the mean.
+func BenchmarkAuditAppend(b *testing.B) {
+	l, err := audit.New(audit.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = l.Close() })
+	ev := audit.Event{
+		Type: audit.CallAdmit, Face: "vsg:bench", Home: "home-a",
+		Caller: "home-b", Service: "bench:echo", Op: "Echo", Detail: "wire",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Record(ev)
+	}
+	b.StopTimer()
+	if l.Seq() != uint64(b.N) {
+		b.Fatalf("recorded %d of %d appends", l.Seq(), b.N)
+	}
+}
+
+// BenchmarkCallWithAudit is BenchmarkLoopbackCall with the audit plane
+// on: the delta between the two is what auditing costs the call fast
+// path (one call.admit append per dispatch). With auditing off that cost
+// must be zero — BenchmarkLoopbackCall's 0 allocs/op stays gated.
+func BenchmarkCallWithAudit(b *testing.B) {
+	caller, exporter, arg := echoRig(b)
+	l, err := audit.New(audit.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = l.Close() })
+	exporter.SetAudit(l)
+	caller.SetAudit(l)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caller.Call(ctx, "bench:echo", "Echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if l.Seq() == 0 {
+		b.Fatal("no audit records on the call path")
 	}
 }
 

@@ -41,6 +41,7 @@ func main() {
 	vsrURL := flag.String("vsr", "http://127.0.0.1:8600/uddi", "Virtual Service Repository URL")
 	timeout := flag.Duration("timeout", 15*time.Second, "operation timeout")
 	idFile := flag.String("identity", "", "home identity file to sign requests with")
+	auditN := flag.Int("n", 20, "audit: number of tail records to show")
 	var trust cli.Multi
 	flag.Var(&trust, "trust", "trusted home, 'name=hex-public-key' (repeatable; requires -identity)")
 	flag.Parse()
@@ -86,6 +87,19 @@ func main() {
 		call(ctx, repo, args[1], args[2], args[3:])
 	case "scene":
 		sceneCmd(ctx, repo, args[1:])
+	case "health":
+		health(ctx, *vsrURL)
+	case "peers":
+		peers(ctx, *vsrURL)
+	case "audit":
+		verify := false
+		switch {
+		case len(args) == 2 && args[1] == "verify":
+			verify = true
+		case len(args) > 1:
+			usage()
+		}
+		auditCmd(ctx, *vsrURL, *auditN, verify)
 	default:
 		usage()
 	}
@@ -99,6 +113,9 @@ commands:
   describe <service-id>         show a service's interface
   call <service-id> <op> [arg]  invoke an operation (text-form args)
   scene <subcommand>            run declarative compositions (scene -h)
+  health                        repository health snapshot (/health face)
+  peers                         peering link status per remote home
+  audit [verify]                audit-log tail; verify recomputes the chain
 `)
 	os.Exit(2)
 }

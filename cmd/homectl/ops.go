@@ -1,0 +1,187 @@
+// Operability subcommands for homectl: render the home's /health and
+// /audit faces (served by vsrd, vsgd and homesim beside their existing
+// endpoints) for an operator terminal. In an authenticated home these
+// faces are private to the home's own identity, so pass the same
+// -identity file the daemons run with.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"homeconnect/internal/core/audit"
+	"homeconnect/internal/core/ops"
+	"homeconnect/internal/core/peer"
+)
+
+// opsBase derives the face root from the -vsr URL: /health and /audit
+// are mounted beside /uddi on the same listener.
+func opsBase(vsrURL string) string {
+	return strings.TrimSuffix(strings.TrimRight(vsrURL, "/"), "/uddi")
+}
+
+// opsGet fetches one face, signing the request when -identity is set.
+func opsGet(ctx context.Context, faceURL string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, faceURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	client := authHTTP
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", faceURL, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// health prints the /health snapshot as served: it is already indented
+// JSON, and each deployment shape (vsrd, homesim federation, vsgd)
+// reports its own layout.
+func health(ctx context.Context, vsrURL string) {
+	body, err := opsGet(ctx, opsBase(vsrURL)+"/health")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(body)
+}
+
+// peers renders the peering section of /health as a table, one row per
+// replication link.
+func peers(ctx context.Context, vsrURL string) {
+	body, err := opsGet(ctx, opsBase(vsrURL)+"/health")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var report struct {
+		Peers map[string]peer.Status `json:"peers"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		log.Fatal(err)
+	}
+	if len(report.Peers) == 0 {
+		fmt.Println("no peer links")
+		return
+	}
+	names := make([]string, 0, len(report.Peers))
+	for name := range report.Peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-12s %-6s %-5s %-8s %-7s %s\n", "PEER", "STATE", "AUTH", "IMPORTED", "APPLIED", "DETAIL")
+	for _, name := range names {
+		st := report.Peers[name]
+		state, auth := "down", "-"
+		if st.Connected {
+			state = "up"
+		}
+		if st.Authenticated {
+			auth = "yes"
+		}
+		detail := st.URL
+		if st.LastError != "" {
+			detail = st.LastError
+		}
+		label := st.RemoteHome
+		if label == "" {
+			label = name
+		}
+		fmt.Printf("%-12s %-6s %-5s %-8d %-7d %s\n", label, state, auth, st.Imported, st.Applied, detail)
+	}
+}
+
+// auditCmd renders the /audit face: log stats, the verification verdict
+// when asked for, and the newest records oldest-first.
+func auditCmd(ctx context.Context, vsrURL string, n int, verify bool) {
+	q := url.Values{}
+	q.Set("n", strconv.Itoa(n))
+	if verify {
+		q.Set("verify", "1")
+	}
+	body, err := opsGet(ctx, opsBase(vsrURL)+"/audit?"+q.Encode())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap ops.AuditSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		log.Fatal(err)
+	}
+	if !snap.Enabled {
+		fmt.Println("auditing is off (start the daemon with -audit or -audit-log)")
+		return
+	}
+	where := "in memory"
+	if snap.Stats.Path != "" {
+		where = snap.Stats.Path
+	}
+	fmt.Printf("audit: %d records, %d sealed batches of %d (%s)\n",
+		snap.Stats.Seq, snap.Stats.Batches, snap.Stats.BatchSize, where)
+	if snap.Stats.LastRoot != "" {
+		fmt.Printf("last root: %s\n", snap.Stats.LastRoot)
+	}
+	if snap.Stats.WriteError != "" {
+		fmt.Printf("WRITE ERROR: %s\n", snap.Stats.WriteError)
+	}
+	if verify {
+		if snap.Verify == nil {
+			log.Fatal("homectl: face did not return a verification result")
+		}
+		if !snap.Verify.OK {
+			fmt.Printf("verify: FAILED — %s\n", snap.Verify.Error)
+			os.Exit(1)
+		}
+		fmt.Printf("verify: OK — chain covers %d records, %d sealed roots recomputed, %d unsealed\n",
+			snap.Verify.Records, snap.Verify.Batches, snap.Verify.Unsealed)
+	}
+	if len(snap.Tail) == 0 {
+		return
+	}
+	fmt.Printf("%5s %-12s %-14s %-10s %-12s %-24s %s\n", "SEQ", "TIME", "TYPE", "FACE", "CALLER", "SERVICE", "DETAIL")
+	for _, rec := range snap.Tail {
+		fmt.Printf("%5d %-12s %-14s %-10s %-12s %-24s %s\n",
+			rec.Seq, rec.Time().Format("15:04:05.000"), rec.Type, rec.Face,
+			dash(rec.Caller), dash(rec.Service), auditDetail(rec))
+	}
+}
+
+func dash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// auditDetail folds the operation and matched pattern into the free-form
+// detail column so deny records show what rule fired.
+func auditDetail(rec audit.Record) string {
+	var parts []string
+	if rec.Op != "" {
+		parts = append(parts, "op "+rec.Op)
+	}
+	if rec.Pattern != "" {
+		parts = append(parts, "rule "+rec.Pattern)
+	}
+	if rec.Detail != "" {
+		parts = append(parts, rec.Detail)
+	}
+	return strings.Join(parts, "; ")
+}

@@ -30,6 +30,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -43,6 +44,7 @@ func main() {
 	homes := flag.Int("homes", 1, "number of peered homes to run")
 	auth := flag.Bool("auth", false, "give every home an identity; the neighborhood trusts itself mutually")
 	untrusted := flag.Int("untrusted", 0, "with -auth: leave the last N homes out of everyone's trust store")
+	auditOn := flag.Bool("audit", false, "enable each home's audit log and its /health and /audit faces")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -50,6 +52,7 @@ func main() {
 
 	cfg := sim.Prototype()
 	cfg.UPnP = *upnp
+	cfg.Audit = *auditOn
 	perHome := 7
 	if cfg.UPnP {
 		perHome++
@@ -132,6 +135,9 @@ func main() {
 			name = "home"
 		}
 		fmt.Printf("homesim: %s repository at %s\n", name, home.Fed.VSRURL())
+		if *auditOn {
+			fmt.Printf("homesim: %s audit plane on — homectl -vsr %s health|peers|audit\n", name, home.Fed.VSRURL())
+		}
 		if *homes > 1 {
 			fmt.Printf("homesim: %s peering endpoint at %s\n", name, home.Fed.PeerURL())
 		}
@@ -147,6 +153,16 @@ func main() {
 		if *auth {
 			if id := home.Fed.Auth().Identity(); id != nil {
 				fmt.Printf("homesim: %s public key %s\n", name, id.PublicKey())
+				// Drop the identity to disk so an operator can reach the
+				// home's private faces: homectl -identity <file> signs as
+				// the home itself, which the /uddi, /health and /audit
+				// faces require.
+				idPath := filepath.Join(os.TempDir(), "homesim-"+name+".id")
+				if err := id.Save(idPath); err != nil {
+					closeAll()
+					log.Fatal(err)
+				}
+				fmt.Printf("homesim: %s identity file at %s (pass to homectl -identity)\n", name, idPath)
 			}
 			for url, st := range home.Fed.PeerStatus() {
 				fmt.Printf("homesim: %s link %s connected=%v authenticated=%v imported=%d err=%q\n",

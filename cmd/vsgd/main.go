@@ -46,6 +46,7 @@ import (
 	"homeconnect/internal/bridge/mailpcm"
 	"homeconnect/internal/bridge/upnppcm"
 	"homeconnect/internal/cli"
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/pcm"
 	"homeconnect/internal/core/vsg"
@@ -86,6 +87,9 @@ func main() {
 	noLoopback := flag.Bool("no-loopback", false, "disable in-process loopback dispatch; every call goes over SOAP/HTTP")
 	home := flag.String("home", "", "home name; must match the repository's vsrd -home when federating")
 	idFile := flag.String("identity", "", "home identity file (same file as vsrd's; requires -home)")
+	auditOn := flag.Bool("audit", false, "enable the in-memory audit log (see -audit-log to persist)")
+	auditLog := flag.String("audit-log", "", "persist the audit log to this file (implies -audit)")
+	auditBatch := flag.Int("audit-batch", 0, "audit Merkle batch size (0 = default 64)")
 	var trust, aclAllow, aclDeny cli.Multi
 	flag.Var(&trust, "trust", "trusted home, 'name=hex-public-key' (repeatable; requires -identity)")
 	flag.Var(&aclAllow, "acl-allow", "service-ACL allow rule, 'caller-pattern=service-pattern' (repeatable)")
@@ -118,6 +122,17 @@ func main() {
 	gw.SetCacheTTL(*cacheTTL)
 	gw.SetWatchEnabled(!*noWatch)
 	gw.SetLoopbackEnabled(!*noLoopback)
+	if *auditOn || *auditLog != "" {
+		l, err := audit.New(audit.Options{Path: *auditLog, BatchSize: *auditBatch})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer l.Close()
+		gw.SetAudit(l)
+		if auth != nil {
+			auth.SetRecorder(audit.WithFace(l, "auth", *home))
+		}
+	}
 	if err := gw.Start(*addr); err != nil {
 		log.Fatal(err)
 	}
@@ -129,6 +144,13 @@ func main() {
 	fmt.Printf("vsgd: gateway %q at %s (events at %s, %s)\n", *name, gw.BaseURL(), gw.EventsURL(), mode)
 	if auth != nil {
 		fmt.Printf("vsgd: authentication enforced as home %q; trusted homes: %v\n", *home, auth.TrustedHomes())
+	}
+	if *auditOn || *auditLog != "" {
+		where := "in memory"
+		if *auditLog != "" {
+			where = *auditLog
+		}
+		fmt.Printf("vsgd: audit plane on (%s); health at %s/health, audit at %s/audit\n", where, gw.BaseURL(), gw.BaseURL())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -44,6 +44,9 @@ func main() {
 	journal := flag.Int("journal", 0, "change-journal capacity (0 = default)")
 	home := flag.String("home", "", "home name for inter-home federation (enables /peer)")
 	idFile := flag.String("identity", "", "home identity file (created on first use; requires -home)")
+	auditOn := flag.Bool("audit", false, "enable the in-memory audit log (see -audit-log to persist)")
+	auditLog := flag.String("audit-log", "", "persist the audit log to this file (implies -audit)")
+	auditBatch := flag.Int("audit-batch", 0, "audit Merkle batch size (0 = default 64)")
 	var peers, allow, deny, trust, aclAllow, aclDeny cli.Multi
 	flag.Var(&peers, "peer", "peer endpoint to import from (repeatable; requires -home)")
 	flag.Var(&allow, "export-allow", "export-policy allow pattern (repeatable)")
@@ -54,16 +57,19 @@ func main() {
 	flag.Parse()
 
 	srv, err := startServer(config{
-		addr:     *addr,
-		journal:  *journal,
-		home:     *home,
-		peers:    peers,
-		allow:    allow,
-		deny:     deny,
-		idFile:   *idFile,
-		trust:    trust,
-		aclAllow: aclAllow,
-		aclDeny:  aclDeny,
+		addr:       *addr,
+		journal:    *journal,
+		home:       *home,
+		peers:      peers,
+		allow:      allow,
+		deny:       deny,
+		idFile:     *idFile,
+		trust:      trust,
+		aclAllow:   aclAllow,
+		aclDeny:    aclDeny,
+		audit:      *auditOn,
+		auditPath:  *auditLog,
+		auditBatch: *auditBatch,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -83,6 +89,13 @@ func main() {
 	}
 	for _, p := range peers {
 		fmt.Printf("vsrd: importing from peer %s\n", p)
+	}
+	if srv.audit != nil {
+		where := "in memory"
+		if *auditLog != "" {
+			where = *auditLog
+		}
+		fmt.Printf("vsrd: audit plane on (%s); /health and /audit faces live\n", where)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -6,29 +6,36 @@ package main
 import (
 	"fmt"
 
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/identity"
+	"homeconnect/internal/core/ops"
 	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/vsr"
 )
 
 // config carries vsrd's flags.
 type config struct {
-	addr     string
-	journal  int
-	home     string
-	peers    []string
-	allow    []string
-	deny     []string
-	idFile   string
-	trust    []string
-	aclAllow []string
-	aclDeny  []string
+	addr       string
+	journal    int
+	home       string
+	peers      []string
+	allow      []string
+	deny       []string
+	idFile     string
+	trust      []string
+	aclAllow   []string
+	aclDeny    []string
+	audit      bool
+	auditPath  string
+	auditBatch int
 }
 
 // server is the assembled repository plus its peering layer.
 type server struct {
 	*vsr.Server
 	peering *peer.Peering
+	// audit is the home's audit log, nil when auditing is off.
+	audit *audit.Log
 	// identity is the loaded (or freshly generated) home identity, nil
 	// when the repository runs open.
 	identity *identity.Identity
@@ -43,6 +50,67 @@ func (s *server) Close() {
 		s.peering.Close()
 	}
 	s.Server.Close()
+	_ = s.audit.Close()
+}
+
+// healthReport is vsrd's /health face body: the standalone repository's
+// condition (no gateways here — each vsgd serves its own).
+type healthReport struct {
+	Home        string                 `json:"home,omitempty"`
+	AuthEnabled bool                   `json:"auth_enabled"`
+	Registry    registryStats          `json:"registry"`
+	Peers       map[string]peer.Status `json:"peers,omitempty"`
+	Audit       audit.Stats            `json:"audit"`
+}
+
+type registryStats struct {
+	Entries int    `json:"entries"`
+	Saves   int64  `json:"saves"`
+	Finds   int64  `json:"finds"`
+	Seq     uint64 `json:"seq"`
+}
+
+// mountOps installs the /health and /audit faces and, when the audit
+// flags ask for it, opens the audit log and wires every component's
+// recorder into it.
+func (s *server) mountOps(cfg config, auth *identity.Auth) error {
+	if cfg.audit || cfg.auditPath != "" {
+		l, err := audit.New(audit.Options{Path: cfg.auditPath, BatchSize: cfg.auditBatch})
+		if err != nil {
+			return err
+		}
+		s.audit = l
+		if auth != nil {
+			auth.SetRecorder(audit.WithFace(l, "auth", cfg.home))
+		}
+		s.Registry().SetAuditRecorder(audit.WithFace(l, "vsr", cfg.home))
+		if s.peering != nil {
+			s.peering.SetRecorder(audit.WithFace(l, "peer", cfg.home))
+		}
+	}
+	s.MountOps(
+		ops.HealthHandler(func() any {
+			saves, finds := s.Registry().Stats()
+			var peers map[string]peer.Status
+			if s.peering != nil {
+				peers = s.peering.Status()
+			}
+			return healthReport{
+				Home:        cfg.home,
+				AuthEnabled: auth != nil && auth.Enabled(),
+				Registry: registryStats{
+					Entries: s.Registry().Len(),
+					Saves:   saves,
+					Finds:   finds,
+					Seq:     s.Registry().Seq(),
+				},
+				Peers: peers,
+				Audit: s.audit.Stats(),
+			}
+		}),
+		ops.AuditHandler(func() *audit.Log { return s.audit }),
+	)
+	return nil
 }
 
 // buildAuth assembles the authentication context from flags: the home's
@@ -84,7 +152,12 @@ func startServer(cfg config) (*server, error) {
 		if cfg.journal > 0 {
 			srv.Registry().SetJournalCapacity(cfg.journal)
 		}
-		return &server{Server: srv}, nil
+		s := &server{Server: srv}
+		if err := s.mountOps(cfg, nil); err != nil {
+			s.Close()
+			return nil, err
+		}
+		return s, nil
 	}
 	auth, id, generated, err := buildAuth(cfg)
 	if err != nil {
@@ -106,6 +179,10 @@ func startServer(cfg config) (*server, error) {
 	p.SetPolicy(peer.Policy{Allow: cfg.allow, Deny: cfg.deny})
 	srv.MountPeer(p.ExportHandler())
 	s.peering = p
+	if err := s.mountOps(cfg, auth); err != nil {
+		s.Close()
+		return nil, err
+	}
 	for _, url := range cfg.peers {
 		if _, err := p.Peer(url); err != nil {
 			s.Close()

@@ -1,0 +1,239 @@
+// Verification: replay a persisted audit log (or the in-memory window)
+// and recompute both integrity layers — the per-record hash chain and
+// the per-batch Merkle roots. Any bit flip, dropped record, reordering
+// or truncation inside sealed history fails with the offending batch.
+package audit
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// VerifyError reports where verification failed.
+type VerifyError struct {
+	// Batch is the zero-based Merkle batch the failure lies in (computed
+	// from the failing record's position when no sealed root reached it).
+	Batch int
+	// Seq is the sequence number of the record at fault, 0 when the
+	// failure is structural (a bad root line, a truncated file).
+	Seq uint64
+	// Reason describes the mismatch.
+	Reason string
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	if e.Seq != 0 {
+		return fmt.Sprintf("audit: verify failed at batch %d (record seq %d): %s", e.Batch, e.Seq, e.Reason)
+	}
+	return fmt.Sprintf("audit: verify failed at batch %d: %s", e.Batch, e.Reason)
+}
+
+// Result summarizes a successful verification.
+type Result struct {
+	// Records is how many records the chain covered.
+	Records uint64 `json:"records"`
+	// Batches is how many sealed Merkle roots checked out.
+	Batches int `json:"batches"`
+	// Unsealed counts trailing records not yet covered by a root (they
+	// are chain-protected, and seal into the next batch).
+	Unsealed int `json:"unsealed"`
+}
+
+// replayState is what a verified replay leaves behind: the chain tip
+// and the unsealed tail, so a reopened log continues where the file
+// ends.
+type replayState struct {
+	seq          uint64
+	prev         [sha256.Size]byte
+	pending      [][sha256.Size]byte
+	pendingFirst uint64
+	roots        []Root
+}
+
+// replayFile walks a persisted log, verifying as it goes; each verified
+// record is handed to visit (which may be nil).
+func replayFile(path string, batch int, visit func(Record)) (replayState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return replayState{}, err
+	}
+	defer f.Close()
+
+	var st replayState
+	var scratch []byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	lineNo := 0
+	batchOf := func(seq uint64) int {
+		if seq == 0 {
+			return len(st.roots)
+		}
+		return int((seq - 1) / uint64(batch))
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ln line
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			return st, &VerifyError{Batch: batchOf(st.seq + 1), Seq: st.seq + 1,
+				Reason: fmt.Sprintf("line %d is not valid audit JSON: %v", lineNo, err)}
+		}
+		switch {
+		case ln.Record != nil:
+			r := *ln.Record
+			if r.Seq != st.seq+1 {
+				return st, &VerifyError{Batch: batchOf(st.seq + 1), Seq: r.Seq,
+					Reason: fmt.Sprintf("sequence gap: want %d, file has %d (a record was dropped or reordered)", st.seq+1, r.Seq)}
+			}
+			scratch = canonical(scratch[:0], r)
+			sum := chainHash(st.prev, scratch)
+			if hex.EncodeToString(sum[:]) != r.Hash {
+				return st, &VerifyError{Batch: batchOf(r.Seq), Seq: r.Seq,
+					Reason: "chain hash mismatch (record content or an earlier record was altered)"}
+			}
+			st.prev = sum
+			st.seq = r.Seq
+			if len(st.pending) == 0 {
+				st.pendingFirst = r.Seq
+			}
+			st.pending = append(st.pending, sum)
+			if visit != nil {
+				visit(r)
+			}
+		case ln.Root != nil:
+			root := *ln.Root
+			if root.Batch != len(st.roots) {
+				return st, &VerifyError{Batch: len(st.roots),
+					Reason: fmt.Sprintf("root for batch %d where batch %d was due (a batch was dropped)", root.Batch, len(st.roots))}
+			}
+			if len(st.pending) != batch {
+				return st, &VerifyError{Batch: root.Batch,
+					Reason: fmt.Sprintf("root sealed over %d records, batch size is %d (records were dropped, or the file was written with a different -audit-batch)", len(st.pending), batch)}
+			}
+			if root.FirstSeq != st.pendingFirst || root.LastSeq != st.seq {
+				return st, &VerifyError{Batch: root.Batch,
+					Reason: fmt.Sprintf("root covers seq %d–%d, records are %d–%d", root.FirstSeq, root.LastSeq, st.pendingFirst, st.seq)}
+			}
+			sum := merkleRoot(st.pending)
+			if hex.EncodeToString(sum[:]) != root.Root {
+				return st, &VerifyError{Batch: root.Batch,
+					Reason: "merkle root mismatch (a record in this batch was altered)"}
+			}
+			st.roots = append(st.roots, root)
+			st.pending = st.pending[:0]
+		default:
+			return st, &VerifyError{Batch: batchOf(st.seq), Seq: st.seq,
+				Reason: fmt.Sprintf("line %d is neither a record nor a root", lineNo)}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("audit: read %s: %w", path, err)
+	}
+	if len(st.pending) >= batch {
+		// Enough records for a root, but the root line never came: the
+		// file was cut mid-write or its tail was removed.
+		return st, &VerifyError{Batch: len(st.roots),
+			Reason: fmt.Sprintf("batch %d is complete but its root is missing (file truncated?)", len(st.roots))}
+	}
+	return st, nil
+}
+
+// VerifyFile replays a persisted audit log on its own — no live Log
+// required — and reports what checked out. batch must match the
+// BatchSize the file was written with (0 = DefaultBatchSize).
+func VerifyFile(path string, batch int) (Result, error) {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	st, err := replayFile(path, batch, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Records: st.seq, Batches: len(st.roots), Unsealed: len(st.pending)}, nil
+}
+
+// Verify checks the log's integrity. With persistence it replays the
+// file and additionally requires the file to reach the live chain tip —
+// a truncation that removed sealed batches (which an offline VerifyFile
+// of the shortened file cannot see) fails here, naming the first batch
+// the file no longer covers. Memory-only logs verify the in-memory
+// window against the chain.
+func (l *Log) Verify() (Result, error) {
+	if l == nil {
+		return Result{}, nil
+	}
+	l.mu.Lock()
+	path := l.path
+	batch := l.batch
+	seq := l.seq
+	roots := len(l.roots)
+	if l.w != nil {
+		_ = l.w.Flush()
+	}
+	l.mu.Unlock()
+
+	if path == "" {
+		return l.verifyMemory()
+	}
+	st, err := replayFile(path, batch, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	if st.seq != seq || len(st.roots) != roots {
+		return Result{}, &VerifyError{Batch: len(st.roots),
+			Reason: fmt.Sprintf("file ends at seq %d with %d sealed batches; the live log has seq %d with %d (file truncated or diverged)",
+				st.seq, len(st.roots), seq, roots)}
+	}
+	return Result{Records: st.seq, Batches: len(st.roots), Unsealed: len(st.pending)}, nil
+}
+
+// verifyMemory re-walks the in-memory window: the chain from the last
+// evicted record's hash through every resident record, and every sealed
+// root whose records are still fully resident.
+func (l *Log) verifyMemory() (Result, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev := l.ringPrev
+	var scratch []byte
+	hashes := make(map[uint64][sha256.Size]byte, l.count)
+	firstSeq := uint64(0)
+	for i := 0; i < l.count; i++ {
+		r := l.ring[(l.head+i)%len(l.ring)]
+		if firstSeq == 0 {
+			firstSeq = r.Seq
+		}
+		scratch = canonical(scratch[:0], r)
+		sum := chainHash(prev, scratch)
+		if hex.EncodeToString(sum[:]) != r.Hash {
+			return Result{}, &VerifyError{Batch: int((r.Seq - 1) / uint64(l.batch)), Seq: r.Seq,
+				Reason: "chain hash mismatch in the in-memory window"}
+		}
+		prev = sum
+		hashes[r.Seq] = sum
+	}
+	checked := 0
+	for _, root := range l.roots {
+		if root.FirstSeq < firstSeq {
+			continue // batch partially evicted; not re-checkable
+		}
+		leaves := make([][sha256.Size]byte, 0, l.batch)
+		for s := root.FirstSeq; s <= root.LastSeq; s++ {
+			leaves = append(leaves, hashes[s])
+		}
+		sum := merkleRoot(leaves)
+		if hex.EncodeToString(sum[:]) != root.Root {
+			return Result{}, &VerifyError{Batch: root.Batch,
+				Reason: "merkle root mismatch in the in-memory window"}
+		}
+		checked++
+	}
+	return Result{Records: l.seq, Batches: checked, Unsealed: len(l.pending)}, nil
+}

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"sync"
 
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/identity"
+	"homeconnect/internal/core/ops"
 	"homeconnect/internal/core/pcm"
 	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/scene"
@@ -38,6 +40,11 @@ type Federation struct {
 	peering    *peer.Peering
 	noLoopback bool
 	closed     bool
+
+	// auditLog is the home's tamper-evident audit plane, nil until
+	// EnableAudit. One log per federation: every instrumented component
+	// (registry, auth, peering, gateways) records into the same chain.
+	auditLog *audit.Log
 }
 
 // Network is one middleware network: a gateway plus its attached PCMs.
@@ -107,6 +114,7 @@ func (f *Federation) AddNetwork(name string) (*Network, error) {
 	gw := vsg.New(name, f.vsrServer.URL())
 	gw.SetHome(f.home)
 	gw.SetAuth(f.auth)
+	gw.SetAudit(f.auditLog)
 	gw.SetLoopbackEnabled(!f.noLoopback)
 	if err := gw.Start("127.0.0.1:0"); err != nil {
 		return nil, err
@@ -327,6 +335,98 @@ func (f *Federation) Services(ctx context.Context) ([]vsr.Remote, error) {
 	return gw.List(ctx, vsr.Query{})
 }
 
+// EnableAudit turns on the home's tamper-evident audit plane: a
+// hash-chained, Merkle-batched log (see internal/core/audit) that every
+// instrumented component of this federation records its boundary
+// decisions into — registry expiries and re-homes, peer link up/down,
+// watch state changes, call admissions, policy/ACL denials, auth
+// refusals and replay rejections. It also mounts the read-only /health
+// and /audit faces on the repository listener (private to the home's
+// own identity once one is installed). Call it once, before traffic
+// flows; it errors if already enabled or if the log cannot open.
+func (f *Federation) EnableAudit(opts audit.Options) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("core: federation closed")
+	}
+	if f.auditLog != nil {
+		return fmt.Errorf("core: audit already enabled")
+	}
+	l, err := audit.New(opts)
+	if err != nil {
+		return err
+	}
+	f.auditLog = l
+	f.auth.SetRecorder(audit.WithFace(l, "auth", f.home))
+	f.vsrServer.Registry().SetAuditRecorder(audit.WithFace(l, "vsr", f.home))
+	if f.peering != nil {
+		f.peering.SetRecorder(audit.WithFace(l, "peer", f.home))
+	}
+	for _, n := range f.networks {
+		n.gw.SetAudit(l)
+	}
+	f.vsrServer.MountOps(
+		ops.HealthHandler(func() any { return f.healthReport() }),
+		ops.AuditHandler(func() *audit.Log { return f.Audit() }),
+	)
+	return nil
+}
+
+// Audit returns the federation's audit log, nil until EnableAudit.
+func (f *Federation) Audit() *audit.Log {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.auditLog
+}
+
+// RegistryStats summarizes the repository for health reports.
+type RegistryStats struct {
+	// Entries is the number of live registrations.
+	Entries int `json:"entries"`
+	// Saves and Finds count operations since start.
+	Saves int64 `json:"saves"`
+	Finds int64 `json:"finds"`
+	// Seq is the change journal's newest sequence number.
+	Seq uint64 `json:"seq"`
+}
+
+// HealthReport is the federation's /health face body: one snapshot of
+// everything the deployment can say about its own condition.
+type HealthReport struct {
+	// Home names this residence ("" single-home).
+	Home string `json:"home,omitempty"`
+	// AuthEnabled reports enforced authentication (an installed identity).
+	AuthEnabled bool `json:"auth_enabled"`
+	// Registry summarizes the repository.
+	Registry RegistryStats `json:"registry"`
+	// Networks maps each gateway to its Health snapshot.
+	Networks map[string]vsg.Health `json:"networks,omitempty"`
+	// Peers maps each peering link to its Status.
+	Peers map[string]peer.Status `json:"peers,omitempty"`
+	// Audit summarizes the audit log.
+	Audit audit.Stats `json:"audit"`
+}
+
+// healthReport assembles the /health face body.
+func (f *Federation) healthReport() HealthReport {
+	reg := f.vsrServer.Registry()
+	saves, finds := reg.Stats()
+	return HealthReport{
+		Home:        f.home,
+		AuthEnabled: f.auth.Enabled(),
+		Registry: RegistryStats{
+			Entries: reg.Len(),
+			Saves:   saves,
+			Finds:   finds,
+			Seq:     reg.Seq(),
+		},
+		Networks: f.Health(),
+		Peers:    f.PeerStatus(),
+		Audit:    f.Audit().Stats(),
+	}
+}
+
 // Health reports every gateway's repository liaison, keyed by network
 // name. A gateway with WatchActive false is running degraded: its
 // resolutions fall back to blind TTL caching until the repository watch
@@ -380,4 +480,8 @@ func (f *Federation) Close() {
 		n.gw.Close()
 	}
 	f.vsrServer.Close()
+	f.mu.Lock()
+	l := f.auditLog
+	f.mu.Unlock()
+	_ = l.Close()
 }

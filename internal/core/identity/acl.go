@@ -27,20 +27,30 @@ type Policy struct {
 
 // Admits reports whether the policy exports the given service ID.
 func (p Policy) Admits(id string) bool {
+	ok, _ := p.Decide(id)
+	return ok
+}
+
+// Decide reports whether the policy exports the given service ID and,
+// on denial, which deny pattern fired — "" when the refusal was an
+// allow list that nothing matched. The pattern is what faults and audit
+// records carry so an operator can see *which* line of policy refused a
+// caller, not just that something did.
+func (p Policy) Decide(id string) (admit bool, pattern string) {
 	for _, pat := range p.Deny {
 		if events.TopicMatches(pat, id) {
-			return false
+			return false, pat
 		}
 	}
 	if len(p.Allow) == 0 {
-		return true
+		return true, ""
 	}
 	for _, pat := range p.Allow {
 		if events.TopicMatches(pat, id) {
-			return true
+			return true, ""
 		}
 	}
-	return false
+	return false, ""
 }
 
 // clonePolicy deep-copies a policy so callers cannot mutate shared state.
@@ -65,6 +75,10 @@ func (r Rule) matches(caller, service string) bool {
 	return events.TopicMatches(r.Caller, caller) && events.TopicMatches(r.Service, service)
 }
 
+// String renders the rule in ParseRule's flag syntax,
+// "caller-pattern=service-pattern".
+func (r Rule) String() string { return r.Caller + "=" + r.Service }
+
 // ACL is a home's per-service access-control list over authenticated
 // peer homes. Evaluation is deny-first: a matching Deny rule refuses the
 // caller; otherwise an empty Allow list admits, else some Allow rule
@@ -79,20 +93,28 @@ type ACL struct {
 
 // Admits reports whether caller may see and invoke the service.
 func (a ACL) Admits(caller, service string) bool {
+	ok, _ := a.Decide(caller, service)
+	return ok
+}
+
+// Decide reports whether caller may see and invoke the service and, on
+// denial, the rule that fired (in ParseRule syntax) — "" when the
+// refusal was an allow list that nothing matched.
+func (a ACL) Decide(caller, service string) (admit bool, rule string) {
 	for _, r := range a.Deny {
 		if r.matches(caller, service) {
-			return false
+			return false, r.String()
 		}
 	}
 	if len(a.Allow) == 0 {
-		return true
+		return true, ""
 	}
 	for _, r := range a.Allow {
 		if r.matches(caller, service) {
-			return true
+			return true, ""
 		}
 	}
-	return false
+	return false, ""
 }
 
 // cloneACL deep-copies an ACL.

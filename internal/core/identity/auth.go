@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/service"
 )
 
@@ -57,6 +58,12 @@ type Auth struct {
 	nmu  sync.Mutex
 	seen map[string]time.Time // nonce → forget-after
 
+	// recorder, when set, receives an audit event for every enforcement
+	// decision this Auth makes (denials, refusals, replays). Admissions on
+	// the data plane are recorded by the faces, not here, so the common
+	// case stays one atomic load.
+	recorder atomic.Pointer[audit.Recorder]
+
 	// nowFn is swappable for skew/replay tests.
 	nowFn func() time.Time
 }
@@ -74,6 +81,29 @@ func NewAuth(home string) *Auth {
 
 // Home returns the home this Auth belongs to.
 func (a *Auth) Home() string { return a.home }
+
+// SetRecorder installs the audit recorder enforcement decisions are
+// reported to; nil turns recording off. Safe to call at any time.
+func (a *Auth) SetRecorder(r audit.Recorder) {
+	if r == nil {
+		a.recorder.Store(nil)
+		return
+	}
+	a.recorder.Store(&r)
+}
+
+// record emits an audit event if a recorder is installed, stamping the
+// deciding home.
+func (a *Auth) record(ev audit.Event) {
+	p := a.recorder.Load()
+	if p == nil {
+		return
+	}
+	if ev.Home == "" {
+		ev.Home = a.home
+	}
+	(*p).Record(ev)
+}
 
 // Enabled reports whether an identity is installed: the switch between
 // open mode and enforced authentication.
@@ -165,6 +195,14 @@ func (a *Auth) ExportAdmits(id string) bool {
 	return a.policy.Admits(id)
 }
 
+// ExportDecide is ExportAdmits plus the deny pattern that fired (see
+// Policy.Decide).
+func (a *Auth) ExportDecide(id string) (admit bool, pattern string) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.policy.Decide(id)
+}
+
 // SetACL installs the service ACL (see ACL).
 func (a *Auth) SetACL(acl ACL) {
 	a.mu.Lock()
@@ -186,6 +224,14 @@ func (a *Auth) ACLAdmits(caller, service string) bool {
 	return a.acl.Admits(caller, service)
 }
 
+// ACLDecide is ACLAdmits plus the deny rule that fired (see
+// ACL.Decide).
+func (a *Auth) ACLDecide(caller, service string) (admit bool, rule string) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.acl.Decide(caller, service)
+}
+
 // Authorize is the home-boundary decision for one authenticated inbound
 // call: callers from this home bypass it; any other caller must pass
 // both the export policy and the ACL (deny wins at every layer). The
@@ -197,12 +243,27 @@ func (a *Auth) Authorize(caller, serviceID string) error {
 		return nil
 	}
 	a.mu.RLock()
-	ok := a.policy.Admits(serviceID) && a.acl.Admits(caller, serviceID)
-	a.mu.RUnlock()
-	if !ok {
-		return fmt.Errorf("identity: home %s denies %s to caller %s: %w", a.home, serviceID, caller, service.ErrForbidden)
+	admit, pattern := a.policy.Decide(serviceID)
+	layer := "export policy"
+	if admit {
+		admit, pattern = a.acl.Decide(caller, serviceID)
+		layer = "service ACL"
 	}
-	return nil
+	a.mu.RUnlock()
+	if admit {
+		return nil
+	}
+	why := layer + ": "
+	if pattern != "" {
+		why += fmt.Sprintf("deny pattern %q", pattern)
+	} else {
+		why += "no allow rule matches"
+	}
+	a.record(audit.Event{
+		Type: audit.PolicyDeny, Caller: caller, Service: serviceID,
+		Pattern: pattern, Detail: why,
+	})
+	return fmt.Errorf("identity: home %s denies %s to caller %s (%s): %w", a.home, serviceID, caller, why, service.ErrForbidden)
 }
 
 // bodyDigest is the canonical body representation inside signatures.
@@ -256,26 +317,33 @@ func (a *Auth) VerifyRequest(h http.Header, body []byte) (home, nonce string, er
 	ts := h.Get(HeaderTime)
 	sig := h.Get(HeaderSignature)
 	if home == "" || nonce == "" || ts == "" || sig == "" {
+		a.record(audit.Event{Type: audit.AuthRefused, Detail: "request carries no credentials"})
 		return "", nonce, fmt.Errorf("identity: request carries no credentials: %w", service.ErrUnauthenticated)
 	}
 	key, ok := a.keyFor(home)
 	if !ok {
+		a.record(audit.Event{Type: audit.AuthRefused, Caller: home, Detail: "claimed home is not trusted here"})
 		return "", nonce, fmt.Errorf("identity: home %q is not trusted here: %w", home, service.ErrUnauthenticated)
 	}
 	ms, err := strconv.ParseInt(ts, 10, 64)
 	if err != nil {
+		a.record(audit.Event{Type: audit.AuthRefused, Caller: home, Detail: "unparseable timestamp " + ts})
 		return "", nonce, fmt.Errorf("identity: bad timestamp %q: %w", ts, service.ErrUnauthenticated)
 	}
 	now := a.nowFn()
 	stamp := time.UnixMilli(ms)
 	if d := now.Sub(stamp); d > maxSkew || d < -maxSkew {
+		a.record(audit.Event{Type: audit.ReplayRejected, Caller: home,
+			Detail: fmt.Sprintf("timestamp %s outside ±%s skew window", stamp.Format(time.RFC3339), maxSkew)})
 		return "", nonce, fmt.Errorf("identity: timestamp %s outside ±%s skew window: %w", stamp.Format(time.RFC3339), maxSkew, service.ErrUnauthenticated)
 	}
 	sigRaw, err := hex.DecodeString(sig)
 	if err != nil || !ed25519.Verify(key, reqMessage(home, ts, nonce, body), sigRaw) {
+		a.record(audit.Event{Type: audit.AuthRefused, Caller: home, Detail: "request signature does not verify"})
 		return "", nonce, fmt.Errorf("identity: signature from %q does not verify: %w", home, service.ErrUnauthenticated)
 	}
 	if !a.admitNonce(nonce, stamp, now) {
+		a.record(audit.Event{Type: audit.ReplayRejected, Caller: home, Detail: "nonce replayed"})
 		return "", nonce, fmt.Errorf("identity: nonce replayed: %w", service.ErrUnauthenticated)
 	}
 	return home, nonce, nil

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/service"
 )
 
@@ -79,6 +80,8 @@ func Require(auth *Auth, ownOnly bool, deny DenyWriter, next http.Handler) http.
 		case verr != nil:
 			deny(buf, remoteCodeOf(verr), verr.Error())
 		case ownOnly && caller != auth.Home():
+			auth.record(audit.Event{Type: audit.PolicyDeny, Caller: caller,
+				Detail: "face " + r.URL.Path + " is private to this home"})
 			deny(buf, "Forbidden", "identity: this face is private to home "+auth.Home()+": "+service.ErrForbidden.Error())
 		default:
 			next.ServeHTTP(buf, r.WithContext(WithCaller(r.Context(), caller)))

@@ -1,0 +1,114 @@
+// Package ops is the wire-level operability surface: read-only HTTP
+// faces serving JSON snapshots of a deployment's health and its audit
+// log, mounted on vsrd and vsgd behind the identity middleware (private
+// to the home's own identity once one is installed). The faces carry no
+// mutations — an operator, or homectl, can ask a running home "am I
+// degraded, and who was refused?" without any way to change it.
+package ops
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"homeconnect/internal/core/audit"
+)
+
+// defaultTail bounds an /audit response when the client names no n.
+const defaultTail = 64
+
+// maxTail caps how many records one /audit response returns.
+const maxTail = 1024
+
+// HealthHandler serves snapshot() as indented JSON on GET. The snapshot
+// function is supplied by the assembler (federation, vsrd, vsgd), each
+// of which composes a different report from the structs it holds.
+func HealthHandler(snapshot func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "ops: GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, snapshot())
+	})
+}
+
+// AuditSnapshot is the /audit response body.
+type AuditSnapshot struct {
+	// Enabled is false when the deployment runs without an audit log;
+	// every other field is zero then.
+	Enabled bool `json:"enabled"`
+	// Stats summarizes the log (sequence, window, sealed batches, last
+	// root, persistence state).
+	Stats audit.Stats `json:"stats"`
+	// Tail is the most recent records, oldest first (?n= bounds it,
+	// ?type= filters it).
+	Tail []audit.Record `json:"tail,omitempty"`
+	// Roots is every sealed Merkle batch root.
+	Roots []audit.Root `json:"roots,omitempty"`
+	// Verify reports an integrity check when the client asked for one
+	// (?verify=1).
+	Verify *VerifyOutcome `json:"verify,omitempty"`
+}
+
+// VerifyOutcome is the result of an on-demand chain verification.
+type VerifyOutcome struct {
+	// OK reports that the chain and every sealed root checked out.
+	OK bool `json:"ok"`
+	// Result carries the coverage counts when OK.
+	audit.Result
+	// Error is the verification failure, naming the offending batch.
+	Error string `json:"error,omitempty"`
+}
+
+// AuditHandler serves the audit log on GET: its stats, a bounded tail
+// (?n=, ?type=), the sealed roots, and — with ?verify=1 — a full chain
+// verification. log() is consulted per request so auditing can be
+// enabled after the face is mounted; nil means auditing is off.
+func AuditHandler(log func() *audit.Log) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "ops: GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		l := log()
+		if l == nil {
+			writeJSON(w, AuditSnapshot{Enabled: false})
+			return
+		}
+		n := defaultTail
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = min(v, maxTail)
+			}
+		}
+		snap := AuditSnapshot{
+			Enabled: true,
+			Stats:   l.Stats(),
+			Tail:    l.Tail(n, audit.Type(r.URL.Query().Get("type"))),
+			Roots:   l.Roots(),
+		}
+		if r.URL.Query().Get("verify") == "1" {
+			res, err := l.Verify()
+			out := &VerifyOutcome{OK: err == nil, Result: res}
+			if err != nil {
+				out.Error = err.Error()
+			}
+			snap.Verify = out
+		}
+		writeJSON(w, snap)
+	})
+}
+
+// writeJSON renders one response body; ops faces are low-rate
+// diagnostic surfaces, so indented output for human eyes is worth the
+// bytes.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, "ops: encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(data, '\n'))
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
 	"homeconnect/internal/transport"
@@ -19,33 +20,33 @@ import (
 // services vanish locally until the link recovers and resynchronizes.
 type Status struct {
 	// URL is the remote export endpoint this link replicates from.
-	URL string
+	URL string `json:"url"`
 	// RemoteHome is the peer's home name as stamped on its exports;
 	// empty until the first entry has been imported.
-	RemoteHome string
+	RemoteHome string `json:"remote_home,omitempty"`
 	// Connected reports a live watch stream against the peer.
-	Connected bool
+	Connected bool `json:"connected"`
 	// Authenticated reports that the live stream is mutually
 	// authenticated: this home's identity signed every request and the
 	// peer's response signatures verified against the trust store. False
 	// while Connected means the homes run in open mode (no identity).
-	Authenticated bool
+	Authenticated bool `json:"authenticated"`
 	// LastError is the failure that broke the stream, cleared on
 	// recovery. Authentication refusals land here too — a peer that does
 	// not trust this home reports uddi: E_authTokenRequired, a peer this
 	// home does not trust fails response verification.
-	LastError string
+	LastError string `json:"last_error,omitempty"`
 	// Cursor is the replication cursor: the highest remote journal
 	// sequence number applied locally.
-	Cursor uint64
+	Cursor uint64 `json:"cursor"`
 	// Imported counts remote entries currently registered locally.
-	Imported int
+	Imported int `json:"imported"`
 	// Applied counts change deltas applied since the link started.
-	Applied uint64
+	Applied uint64 `json:"applied"`
 	// LastSync is the time of the last successful full reconciliation
 	// (performed on connect, on resync, and periodically as
 	// anti-entropy).
-	LastSync time.Time
+	LastSync time.Time `json:"last_sync"`
 }
 
 // Link replicates one remote home's registry into the local one.
@@ -174,19 +175,38 @@ func (l *Link) apply(ctx context.Context, d vsr.Delta) {
 	switch d.Op {
 	case vsr.DeltaUp:
 		l.mu.Lock()
+		wasUp := l.st.Connected
+		remote := l.st.RemoteHome
 		l.st.Connected = true
 		l.st.Authenticated = l.p.auth.Enabled()
 		l.st.LastError = ""
 		l.mu.Unlock()
+		if !wasUp {
+			detail := "open mode"
+			if l.p.auth.Enabled() {
+				detail = "mutually authenticated"
+			}
+			l.p.record(audit.Event{Type: audit.PeerConnect, Caller: remote,
+				Detail: l.url + ": " + detail})
+		}
 		l.reconcile(ctx)
 	case vsr.DeltaDown:
 		l.mu.Lock()
+		wasUp := l.st.Connected
+		remote := l.st.RemoteHome
 		l.st.Connected = false
 		l.st.Authenticated = false
 		if d.Err != nil {
 			l.st.LastError = d.Err.Error()
 		}
 		l.mu.Unlock()
+		if wasUp {
+			detail := l.url
+			if d.Err != nil {
+				detail += ": " + d.Err.Error()
+			}
+			l.p.record(audit.Event{Type: audit.PeerDisconnect, Caller: remote, Detail: detail})
+		}
 	case vsr.DeltaResync:
 		l.reconcile(ctx)
 		l.mu.Lock()

@@ -41,8 +41,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
@@ -68,7 +70,22 @@ type Peering struct {
 	importTTL time.Duration
 	links     map[string]*Link
 	closed    bool
+
+	// recorder, when set, receives link up/down events and per-caller
+	// export denials.
+	recorder atomic.Pointer[audit.Recorder]
+
+	// denySeen dedups view-denial audit events: the export face is
+	// re-filtered on every watch round, so an unchanged refusal would
+	// otherwise flood the log once per poll. Keyed caller/service/pattern;
+	// bounded, cleared wholesale when full (re-recording a stale denial is
+	// harmless, missing a new one is not).
+	denyMu   sync.Mutex
+	denySeen map[string]struct{}
 }
+
+// denySeenLimit bounds the view-denial dedup cache.
+const denySeenLimit = 4096
 
 // New builds the peering layer for a home. home names this residence in
 // every other home's ID space (imported services appear there as
@@ -96,7 +113,65 @@ func New(home string, registry *uddi.Server, auth *identity.Auth) (*Peering, err
 		auth:      auth,
 		importTTL: vsr.DefaultTTL,
 		links:     make(map[string]*Link),
+		denySeen:  make(map[string]struct{}),
 	}, nil
+}
+
+// SetRecorder installs the audit recorder peering decisions are reported
+// to; nil turns recording off.
+func (p *Peering) SetRecorder(r audit.Recorder) {
+	if r == nil {
+		p.recorder.Store(nil)
+		return
+	}
+	p.recorder.Store(&r)
+}
+
+// record emits an audit event if a recorder is installed, stamping this
+// home as the decider.
+func (p *Peering) record(ev audit.Event) {
+	rp := p.recorder.Load()
+	if rp == nil {
+		return
+	}
+	if ev.Home == "" {
+		ev.Home = p.home
+	}
+	(*rp).Record(ev)
+}
+
+// recordViewDeny audits one caller being refused one service at the
+// export face — once per distinct caller/service/pattern, not once per
+// watch round. Open-mode filtering and the home's own view are not
+// denials and are not recorded.
+func (p *Peering) recordViewDeny(caller, serviceID, pattern, layer string) {
+	if !p.auth.Enabled() || caller == "" || caller == p.home {
+		return
+	}
+	if p.recorder.Load() == nil {
+		return
+	}
+	key := caller + "\x00" + serviceID + "\x00" + pattern + "\x00" + layer
+	p.denyMu.Lock()
+	if _, dup := p.denySeen[key]; dup {
+		p.denyMu.Unlock()
+		return
+	}
+	if len(p.denySeen) >= denySeenLimit {
+		p.denySeen = make(map[string]struct{})
+	}
+	p.denySeen[key] = struct{}{}
+	p.denyMu.Unlock()
+	why := layer + ": "
+	if pattern != "" {
+		why += fmt.Sprintf("deny pattern %q", pattern)
+	} else {
+		why += "no allow rule matches"
+	}
+	p.record(audit.Event{
+		Type: audit.PolicyDeny, Caller: caller, Service: serviceID,
+		Pattern: pattern, Detail: "export view: " + why,
+	})
 }
 
 // Home returns this home's federation name.
@@ -161,14 +236,18 @@ func (p *Peering) exportEntry(caller string, e uddi.Entry) (uddi.Entry, bool) {
 	if e.Categories[service.CtxPeerOrigin] != "" {
 		return uddi.Entry{}, false
 	}
-	if !p.auth.ExportAdmits(e.Name) {
+	if admit, pattern := p.auth.ExportDecide(e.Name); !admit {
+		p.recordViewDeny(caller, e.Name, pattern, "export policy")
 		return uddi.Entry{}, false
 	}
 	// The ACL refines visibility per authenticated caller; it cannot
 	// apply on an open deployment (no caller identity to match) and never
 	// applies to the home itself.
-	if p.auth.Enabled() && caller != p.home && !p.auth.ACLAdmits(caller, e.Name) {
-		return uddi.Entry{}, false
+	if p.auth.Enabled() && caller != p.home {
+		if admit, rule := p.auth.ACLDecide(caller, e.Name); !admit {
+			p.recordViewDeny(caller, e.Name, rule, "service ACL")
+			return uddi.Entry{}, false
+		}
 	}
 	e = e.Clone()
 	if e.Categories == nil {

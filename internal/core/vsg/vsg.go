@@ -31,8 +31,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/events"
 	"homeconnect/internal/core/identity"
+	"homeconnect/internal/core/ops"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
 	"homeconnect/internal/soap"
@@ -140,10 +142,18 @@ type VSG struct {
 	inboundCalls  atomic.Uint64
 	outboundCalls atomic.Uint64
 	loopbackCalls atomic.Uint64
+	deniedCalls   atomic.Uint64
 	// watch accounting: deltas applied and cache entries invalidated or
 	// rewritten by push notifications.
 	watchDeltas   atomic.Uint64
 	invalidations atomic.Uint64
+
+	// auditLog, when set (SetAudit), backs the gateway's /audit face and
+	// receives this gateway's boundary events — watch state changes, call
+	// admissions and denials. One atomic load gates every hot-path
+	// record, so auditing off costs nothing measurable.
+	auditLog atomic.Pointer[audit.Log]
+	auditRec atomic.Pointer[audit.Recorder]
 }
 
 type cachedRemote struct {
@@ -205,6 +215,31 @@ func (g *VSG) SetAuth(a *identity.Auth) {
 // Auth returns the gateway's authentication context (nil in open mode).
 func (g *VSG) Auth() *identity.Auth { return g.auth }
 
+// SetAudit installs the home's audit log: it backs the gateway's /audit
+// face and receives this gateway's boundary events (watch up/down/
+// resync, call admissions) stamped with the gateway's face name. nil
+// turns auditing off. Safe to call at any time; typically wired by the
+// federation assembler alongside SetAuth.
+func (g *VSG) SetAudit(l *audit.Log) {
+	if l == nil {
+		g.auditLog.Store(nil)
+		g.auditRec.Store(nil)
+		return
+	}
+	g.auditLog.Store(l)
+	rec := audit.WithFace(l, "vsg:"+g.name, g.home)
+	g.auditRec.Store(&rec)
+}
+
+// auditEvent emits an audit event if auditing is on: one atomic load on
+// the off path.
+func (g *VSG) auditEvent(ev audit.Event) {
+	p := g.auditRec.Load()
+	if p != nil {
+		(*p).Record(ev)
+	}
+}
+
 // authorize applies the home-boundary decision to one inbound call:
 // callers from this home pass, callers from other homes must clear the
 // export policy and the service ACL. id is the unscoped local service
@@ -215,7 +250,11 @@ func (g *VSG) authorize(caller, id string) error {
 	if g.auth == nil {
 		return nil
 	}
-	return g.auth.Authorize(caller, id)
+	if err := g.auth.Authorize(caller, id); err != nil {
+		g.deniedCalls.Add(1)
+		return err
+	}
+	return nil
 }
 
 // canonicalID maps a possibly home-scoped service ID to the form local
@@ -284,6 +323,12 @@ func (g *VSG) Start(addr string) error {
 		soap.NewHTTPHandler(inbound{g: g})))
 	mux.Handle("/events/", identity.Require(g.auth, false, identity.HTTPDeny,
 		http.StripPrefix("/events", events.Handler(g.hub))))
+	// Read-only operability faces, private to the home's own identity
+	// once one is installed (Require passes through in open mode).
+	mux.Handle("/health", identity.Require(g.auth, true, identity.HTTPDeny,
+		ops.HealthHandler(func() any { return g.healthReport() })))
+	mux.Handle("/audit", identity.Require(g.auth, true, identity.HTTPDeny,
+		ops.AuditHandler(func() *audit.Log { return g.auditLog.Load() })))
 	g.httpS = &http.Server{Handler: mux}
 	go func() { _ = g.httpS.Serve(ln) }()
 	procMu.Lock()
@@ -487,16 +532,28 @@ func (g *VSG) applyDelta(d vsr.Delta) {
 	defer g.mu.Unlock()
 	switch d.Op {
 	case vsr.DeltaUp:
+		if !g.watchUp {
+			g.auditEvent(audit.Event{Type: audit.WatchUp, Detail: "repository change stream connected"})
+		}
 		g.watchUp = true
 		g.lastWatchErr = ""
 	case vsr.DeltaDown:
 		// Degraded mode: cached entries keep serving, but only within
 		// their TTL — the blind staleness bound the watch normally lifts.
+		if g.watchUp {
+			detail := "repository change stream lost; resolve cache degraded to TTL bound"
+			if d.Err != nil {
+				detail += ": " + d.Err.Error()
+			}
+			g.auditEvent(audit.Event{Type: audit.WatchDown, Detail: detail})
+		}
 		g.watchUp = false
 		if d.Err != nil {
 			g.lastWatchErr = d.Err.Error()
 		}
 	case vsr.DeltaResync:
+		g.auditEvent(audit.Event{Type: audit.WatchResync,
+			Detail: fmt.Sprintf("journal skipped past cursor; %d cached resolutions flushed", len(g.resolveCache))})
 		// The journal skipped past us; anything cached may be stale, and
 		// recorded fence sequence numbers may come from a previous
 		// registry incarnation (a restarted registry counts from zero
@@ -724,6 +781,8 @@ func (g *VSG) invokeLocal(ctx context.Context, id, op string, args []service.Val
 		return service.Value{}, remoteErrorFrom(err)
 	}
 	g.inboundCalls.Add(1)
+	g.auditEvent(audit.Event{Type: audit.CallAdmit, Caller: g.home,
+		Service: local, Op: op, Detail: "loopback"})
 	v, err := e.invoker.Invoke(ctx, op, args)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
@@ -763,12 +822,40 @@ func remoteErrorFrom(err error) error {
 	return soap.FaultFromError(err).RemoteError()
 }
 
+// CallStats is the gateway's call accounting, the named form the
+// /health face and homectl report.
+type CallStats struct {
+	// Inbound counts calls served for remote peers (wire and loopback
+	// receive sides).
+	Inbound uint64 `json:"inbound"`
+	// Outbound counts calls issued to federation services.
+	Outbound uint64 `json:"outbound"`
+	// Loopback counts outbound calls that took the in-process fast path
+	// instead of the wire.
+	Loopback uint64 `json:"loopback"`
+	// Denied counts inbound calls the home boundary refused (export
+	// policy or service ACL).
+	Denied uint64 `json:"denied"`
+}
+
+// CallStats returns a snapshot of the gateway's call counters.
+func (g *VSG) CallStats() CallStats {
+	return CallStats{
+		Inbound:  g.inboundCalls.Load(),
+		Outbound: g.outboundCalls.Load(),
+		Loopback: g.loopbackCalls.Load(),
+		Denied:   g.deniedCalls.Load(),
+	}
+}
+
 // Stats returns the gateway's call counters: calls served for remote
 // peers (inbound), calls issued to federation services (outbound), and
 // how many of those outbound calls took the in-process loopback fast
-// path instead of the wire.
+// path instead of the wire. Thin wrapper over CallStats, kept for the
+// benchmark harness and older callers.
 func (g *VSG) Stats() (inbound, outbound, loopback uint64) {
-	return g.inboundCalls.Load(), g.outboundCalls.Load(), g.loopbackCalls.Load()
+	s := g.CallStats()
+	return s.Inbound, s.Outbound, s.Loopback
 }
 
 // Health describes the gateway's repository liaison: the registration-
@@ -781,25 +868,44 @@ func (g *VSG) Stats() (inbound, outbound, loopback uint64) {
 type Health struct {
 	// ConsecutiveRefreshFailures counts refresh rounds since the last
 	// fully successful one.
-	ConsecutiveRefreshFailures int
+	ConsecutiveRefreshFailures int `json:"consecutive_refresh_failures"`
 	// LastRefreshError is the most recent re-registration error.
-	LastRefreshError string
+	LastRefreshError string `json:"last_refresh_error,omitempty"`
 	// LastRefreshOK is when a round last re-registered every export.
-	LastRefreshOK time.Time
+	LastRefreshOK time.Time `json:"last_refresh_ok"`
 	// WatchActive reports a live repository change stream: cached
 	// resolutions are push-invalidated and cannot go stale.
-	WatchActive bool
+	WatchActive bool `json:"watch_active"`
 	// LastWatchError is the failure that broke the watch stream, cleared
 	// on recovery.
-	LastWatchError string
+	LastWatchError string `json:"last_watch_error,omitempty"`
 	// WatchDeltas counts change notifications applied since start.
-	WatchDeltas uint64
+	WatchDeltas uint64 `json:"watch_deltas"`
 	// CacheInvalidations counts cached resolutions evicted or rewritten
 	// by push notifications since start.
-	CacheInvalidations uint64
+	CacheInvalidations uint64 `json:"cache_invalidations"`
 	// LoopbackCalls counts outbound calls dispatched in-process instead
 	// of over the wire (see SetLoopbackEnabled).
-	LoopbackCalls uint64
+	LoopbackCalls uint64 `json:"loopback_calls"`
+	// Calls is the gateway's call accounting, so one Health snapshot
+	// carries everything the /health face reports.
+	Calls CallStats `json:"calls"`
+}
+
+// healthReport is the gateway's /health face body: who this gateway is
+// plus its Health snapshot and the audit log's summary.
+func (g *VSG) healthReport() any {
+	return struct {
+		Network string      `json:"network"`
+		Home    string      `json:"home,omitempty"`
+		Health  Health      `json:"health"`
+		Audit   audit.Stats `json:"audit"`
+	}{
+		Network: g.name,
+		Home:    g.home,
+		Health:  g.Health(),
+		Audit:   g.auditLog.Load().Stats(),
+	}
 }
 
 // Health reports the repository liaison's condition.
@@ -815,6 +921,7 @@ func (g *VSG) Health() Health {
 		WatchDeltas:                g.watchDeltas.Load(),
 		CacheInvalidations:         g.invalidations.Load(),
 		LoopbackCalls:              g.loopbackCalls.Load(),
+		Calls:                      g.CallStats(),
 	}
 }
 
@@ -837,7 +944,8 @@ func (in inbound) ServeSOAP(ctx context.Context, call soap.Call) (service.Value,
 	// The home-boundary check comes before existence: a caller the ACL
 	// refuses learns nothing about what this home runs. The caller home
 	// was verified by the auth middleware in front of this handler.
-	if err := in.g.authorize(identity.CallerFromContext(ctx), local); err != nil {
+	caller := identity.CallerFromContext(ctx)
+	if err := in.g.authorize(caller, local); err != nil {
 		return service.Value{}, err
 	}
 	e, ok := in.g.localExport(local)
@@ -856,5 +964,7 @@ func (in inbound) ServeSOAP(ctx context.Context, call soap.Call) (service.Value,
 		return service.Value{}, err
 	}
 	in.g.inboundCalls.Add(1)
+	in.g.auditEvent(audit.Event{Type: audit.CallAdmit, Caller: caller,
+		Service: local, Op: call.Operation, Detail: "wire"})
 	return e.invoker.Invoke(ctx, call.Operation, args)
 }

@@ -424,6 +424,14 @@ type Server struct {
 	// peerH is the peering face mounted at /peer, nil until MountPeer.
 	peerMu sync.RWMutex
 	peerH  http.Handler
+
+	// healthH and auditH are the read-only operability faces mounted at
+	// /health and /audit, nil until MountOps. Like /uddi they are private
+	// to the home's own identity once one is installed: a home's health
+	// and audit trail are its own business.
+	opsMu   sync.RWMutex
+	healthH http.Handler
+	auditH  http.Handler
 }
 
 // StartServer brings up a repository on addr ("127.0.0.1:0" for
@@ -463,6 +471,30 @@ func StartServerAuth(addr string, auth *identity.Auth) (*Server, error) {
 		h.ServeHTTP(w, r)
 	}))
 	mux.Handle("/peer", peer)
+	// The operability faces are read-only and, like /uddi, private to the
+	// home's own identity; they serve 404 until MountOps supplies
+	// handlers.
+	mount := func(get func() http.Handler) http.Handler {
+		return identity.Require(auth, true, identity.HTTPDeny,
+			http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				h := get()
+				if h == nil {
+					http.Error(w, "operability faces not enabled on this repository", http.StatusNotFound)
+					return
+				}
+				h.ServeHTTP(w, r)
+			}))
+	}
+	mux.Handle("/health", mount(func() http.Handler {
+		s.opsMu.RLock()
+		defer s.opsMu.RUnlock()
+		return s.healthH
+	}))
+	mux.Handle("/audit", mount(func() http.Handler {
+		s.opsMu.RLock()
+		defer s.opsMu.RUnlock()
+		return s.auditH
+	}))
 	s.httpS = &http.Server{Handler: mux}
 	go func() { _ = s.httpS.Serve(ln) }()
 	return s, nil
@@ -486,6 +518,16 @@ func (s *Server) MountPeer(h http.Handler) {
 	s.peerMu.Lock()
 	s.peerH = h
 	s.peerMu.Unlock()
+}
+
+// MountOps installs the read-only operability faces at /health and
+// /audit (normally ops.HealthHandler and ops.AuditHandler, wired by the
+// federation assembler or the vsrd daemon). Nil handlers unmount.
+func (s *Server) MountOps(health, auditH http.Handler) {
+	s.opsMu.Lock()
+	s.healthH = health
+	s.auditH = auditH
+	s.opsMu.Unlock()
 }
 
 // Registry exposes the underlying UDDI store (tests, stats).

@@ -18,6 +18,7 @@ import (
 	"homeconnect/internal/bridge/upnppcm"
 	"homeconnect/internal/bridge/x10pcm"
 	"homeconnect/internal/core"
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/havi"
@@ -46,6 +47,10 @@ type Config struct {
 	// Trusted maps peer home names to their hex public keys; applied
 	// with Identity.
 	Trusted map[string]string
+	// Audit enables the home's in-memory audit log and its /health and
+	// /audit faces before any network or device comes up, so the log
+	// captures the whole lifetime.
+	Audit bool
 }
 
 // All enables every middleware — the paper's Figure 3 prototype plus the
@@ -202,6 +207,12 @@ func NewHome(ctx context.Context, cfg Config) (*Home, error) {
 				fed.Close()
 				return nil, err
 			}
+		}
+	}
+	if cfg.Audit {
+		if err := fed.EnableAudit(audit.Options{}); err != nil {
+			fed.Close()
+			return nil, err
 		}
 	}
 	// The simulated home models the paper's deployment: one gateway per

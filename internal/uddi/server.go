@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"homeconnect/internal/core/audit"
 	"homeconnect/internal/xmltree"
 )
 
@@ -58,6 +59,10 @@ type Server struct {
 	saves atomic.Int64
 	finds atomic.Int64
 
+	// auditRec, when set, receives registry lifecycle events: TTL
+	// expiries and endpoint re-homes.
+	auditRec atomic.Pointer[audit.Recorder]
+
 	stopOnce sync.Once
 	stop     chan struct{}
 }
@@ -101,6 +106,24 @@ func (s *Server) Close() {
 
 // SetClock overrides the time source (tests only).
 func (s *Server) SetClock(now func() time.Time) { s.nowFn.Store(now) }
+
+// SetAuditRecorder installs the audit recorder registry lifecycle events
+// (expiries, re-homes) are reported to; nil turns recording off.
+func (s *Server) SetAuditRecorder(r audit.Recorder) {
+	if r == nil {
+		s.auditRec.Store(nil)
+		return
+	}
+	s.auditRec.Store(&r)
+}
+
+// auditEvent emits an audit event if a recorder is installed.
+func (s *Server) auditEvent(ev audit.Event) {
+	p := s.auditRec.Load()
+	if p != nil {
+		(*p).Record(ev)
+	}
+}
 
 func (s *Server) now() time.Time { return s.nowFn.Load().(func() time.Time)() }
 
@@ -166,6 +189,8 @@ func (s *Server) expireSweep() {
 			if now.After(rec.expires) {
 				delete(sh.entries, key)
 				s.appendChange(OpExpire, rec.entry)
+				s.auditEvent(audit.Event{Type: audit.Expire, Service: rec.entry.Name,
+					Detail: "registration TTL lapsed (gateway went silent)"})
 			}
 		}
 		sh.mu.Unlock()
@@ -185,12 +210,20 @@ func (s *Server) Save(e Entry, ttl time.Duration) string {
 	sh.mu.Lock()
 	s.saves.Add(1)
 	op := OpAdd
+	rehomedFrom := ""
 	if old, ok := sh.entries[e.Key]; ok && !s.now().After(old.expires) {
 		op = OpUpdate
+		if old.entry.AccessPoint != e.AccessPoint {
+			rehomedFrom = old.entry.AccessPoint
+		}
 	}
 	sh.entries[e.Key] = &record{entry: e.Clone(), expires: s.now().Add(ttl)}
 	s.appendChange(op, e)
 	sh.mu.Unlock()
+	if rehomedFrom != "" {
+		s.auditEvent(audit.Event{Type: audit.ReHome, Service: e.Name,
+			Detail: rehomedFrom + " → " + e.AccessPoint})
+	}
 	return e.Key
 }
 
