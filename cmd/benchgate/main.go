@@ -97,13 +97,21 @@ func parseBench(r io.Reader) (map[string]benchNumbers, string, error) {
 		n := benchNumbers{NsOp: -1, BytesOp: -1, AllocsOp: -1}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val := fields[i]
+			var err error
 			switch fields[i+1] {
 			case "ns/op":
-				n.NsOp, _ = strconv.ParseFloat(val, 64)
+				n.NsOp, err = strconv.ParseFloat(val, 64)
 			case "B/op":
-				n.BytesOp, _ = strconv.ParseInt(val, 10, 64)
+				n.BytesOp, err = strconv.ParseInt(val, 10, 64)
 			case "allocs/op":
-				n.AllocsOp, _ = strconv.ParseInt(val, 10, 64)
+				n.AllocsOp, err = strconv.ParseInt(val, 10, 64)
+			}
+			if err != nil {
+				// A recognized unit with a garbled value means the bench
+				// output is corrupted (truncated pipe, interleaved writes).
+				// Swallowing it would read as 0 allocs/op and silently
+				// pass the gate, so fail the whole parse instead.
+				return nil, cpu, fmt.Errorf("malformed %s value %q in line %q", fields[i+1], val, line)
 			}
 		}
 		if n.NsOp < 0 {

@@ -39,6 +39,103 @@ func TestParseBenchTakesMinimaAcrossCounts(t *testing.T) {
 	}
 }
 
+// TestParseBenchMalformedInput covers the ways a CI pipe goes wrong:
+// truncated result lines, a missing allocs column, and garbled values.
+// None of these may parse into numbers that would slip under the gate.
+func TestParseBenchMalformedInput(t *testing.T) {
+	t.Run("empty input fails every guarded benchmark", func(t *testing.T) {
+		got, _, err := parseBench(strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("parsed %d benchmarks from empty input", len(got))
+		}
+		baseline := map[string]benchNumbers{"BenchmarkSOAPEncode": {AllocsOp: 1}}
+		for _, r := range gate(baseline, got) {
+			if !r.failed || !r.missing {
+				t.Errorf("empty run passed the gate for %s: %+v", r.name, r)
+			}
+		}
+	})
+	t.Run("count=1 single line parses as its own minimum", func(t *testing.T) {
+		got, _, err := parseBench(strings.NewReader(
+			"BenchmarkSOAPEncode-8 \t 1 \t 700 ns/op \t 480 B/op \t 1 allocs/op\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := got["BenchmarkSOAPEncode"]
+		if n.NsOp != 700 || n.BytesOp != 480 || n.AllocsOp != 1 {
+			t.Errorf("single-count line = %+v", n)
+		}
+	})
+	t.Run("truncated line drops the benchmark, not the error", func(t *testing.T) {
+		// Cut after the iteration count: no value/unit pairs survive, so
+		// the line must be ignored and the benchmark stays missing.
+		got, _, err := parseBench(strings.NewReader("BenchmarkSOAPDecode-8 \t 1 \t 4200\nPASS\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := got["BenchmarkSOAPDecode"]; ok {
+			t.Errorf("truncated line parsed as a result: %+v", got["BenchmarkSOAPDecode"])
+		}
+		baseline := map[string]benchNumbers{"BenchmarkSOAPDecode": {AllocsOp: 15}}
+		if rs := gate(baseline, got); !rs[0].failed {
+			t.Error("truncated run passed the gate")
+		}
+	})
+	t.Run("missing allocs column reads as not-reported and fails the gate", func(t *testing.T) {
+		got, _, err := parseBench(strings.NewReader(
+			"BenchmarkSOAPDecode-8 \t 1 \t 4200 ns/op \t 1512 B/op\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := got["BenchmarkSOAPDecode"]; n.AllocsOp != -1 {
+			t.Fatalf("missing allocs column parsed as %d allocs/op", n.AllocsOp)
+		}
+		baseline := map[string]benchNumbers{"BenchmarkSOAPDecode": {AllocsOp: 15}}
+		if rs := gate(baseline, got); !rs[0].failed {
+			t.Error("run without alloc counts passed the gate")
+		}
+	})
+	t.Run("garbled allocs value is a parse error, not zero allocs", func(t *testing.T) {
+		// "1x" would ParseInt to 0 if errors were swallowed — 0 allocs/op
+		// sails under every limit, so this must hard-fail instead.
+		_, _, err := parseBench(strings.NewReader(
+			"BenchmarkSOAPEncode-8 \t 1 \t 700 ns/op \t 480 B/op \t 1x allocs/op\n"))
+		if err == nil || !strings.Contains(err.Error(), "malformed allocs/op") {
+			t.Fatalf("garbled allocs value not rejected: %v", err)
+		}
+	})
+	t.Run("garbled ns value is a parse error", func(t *testing.T) {
+		_, _, err := parseBench(strings.NewReader(
+			"BenchmarkSOAPEncode-8 \t 1 \t 7e0e0 ns/op\n"))
+		if err == nil || !strings.Contains(err.Error(), "malformed ns/op") {
+			t.Fatalf("garbled ns value not rejected: %v", err)
+		}
+	})
+	t.Run("garbled run does not downgrade a good run's minima", func(t *testing.T) {
+		// count=2 where the second repetition's line is corrupted: the
+		// parse must fail rather than fold a fake 0 into the minimum.
+		_, _, err := parseBench(strings.NewReader(
+			"BenchmarkSOAPEncode-8 \t 1 \t 700 ns/op \t 480 B/op \t 1 allocs/op\n" +
+				"BenchmarkSOAPEncode-8 \t 1 \t 650 ns/op \t 480 B/op \t , allocs/op\n"))
+		if err == nil {
+			t.Fatal("corrupted second repetition not rejected")
+		}
+	})
+	t.Run("non-result Benchmark lines are skipped", func(t *testing.T) {
+		got, _, err := parseBench(strings.NewReader(
+			"BenchmarkSOAPEncode \t --- FAIL: BenchmarkSOAPEncode\nPASS\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Errorf("FAIL line parsed as a result: %+v", got)
+		}
+	})
+}
+
 func TestAllocLimit(t *testing.T) {
 	cases := []struct{ base, want int64 }{
 		{0, 2},   // zero-alloc paths may not grow past pool-warm-up noise

@@ -1,0 +1,335 @@
+// Command nbsim drives the neighborhood-scale deterministic simulation
+// and its hypothesis harness. Every run is a pure function of
+// (scenario, seed): same inputs, byte-identical findings — which is what
+// lets CI diff two runs to prove determinism and diff a fresh knee
+// against a committed baseline to catch capacity regressions.
+//
+//	nbsim list
+//	nbsim run -scenario churn -homes 256 -seeds 3 [-out FILE] [-csv FILE]
+//	nbsim hypothesis -id propagation-knee -seeds 1,2,3 [-scales 4,8,16] [-out FILE] [-csv FILE]
+//	nbsim compare A.json B.json            # determinism: equal modulo generated_at
+//	nbsim compare -knee-floor 32 A.json    # capacity: knee must not move below the floor
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"homeconnect/internal/neighborhood"
+	"homeconnect/internal/neighborhood/hypothesis"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "run":
+		err = run(os.Args[2:])
+	case "hypothesis":
+		err = runHypothesis(os.Args[2:])
+	case "compare":
+		err = compare(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  nbsim list
+  nbsim run -scenario NAME -homes N -seeds K [-seed-base B] [-out FILE] [-csv FILE]
+  nbsim hypothesis -id ID [-seeds 1,2,3] [-scales 4,8,16] [-out FILE] [-csv FILE]
+  nbsim compare [-knee-floor N] A.json [B.json]`)
+}
+
+func list() error {
+	names := make([]string, 0)
+	for name := range neighborhood.Presets() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("scenarios:")
+	for _, n := range names {
+		s := neighborhood.Presets()[n]
+		fmt.Printf("  %-12s %s topology, %d homes default, %v duration\n", n, s.Topology, s.Homes, s.Duration)
+	}
+	fmt.Println("hypotheses:")
+	for _, h := range hypothesis.Registry() {
+		fmt.Printf("  %-18s scales %v  %s\n", h.ID, h.DefaultScales, h.Title)
+	}
+	return nil
+}
+
+// seedList expands -seeds: either a count ("3", meaning base..base+2) or
+// an explicit comma list ("7,11,13").
+func seedList(spec string, base int64) ([]int64, error) {
+	if strings.Contains(spec, ",") {
+		parts := strings.Split(spec, ",")
+		seeds := make([]int64, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad seed %q: %w", p, err)
+			}
+			seeds = append(seeds, v)
+		}
+		return seeds, nil
+	}
+	n, err := strconv.Atoi(spec)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("bad seed count %q", spec)
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds, nil
+}
+
+func scaleList(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	scales := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %w", p, err)
+		}
+		scales = append(scales, v)
+	}
+	return scales, nil
+}
+
+// runDoc is the `nbsim run` output: the scenario, the seeds, and one
+// deterministic Result per seed. GeneratedAt is the only wall-clock
+// field; compare ignores it.
+type runDoc struct {
+	Schema      string                `json:"schema"`
+	Scenario    neighborhood.Scenario `json:"scenario"`
+	Seeds       []int64               `json:"seeds"`
+	Results     []neighborhood.Result `json:"results"`
+	GeneratedAt string                `json:"generated_at,omitempty"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	scenario := fs.String("scenario", "churn", "preset scenario name (see nbsim list)")
+	homes := fs.Int("homes", 0, "override the preset's home count")
+	seeds := fs.String("seeds", "3", "seed count, or comma-separated explicit seeds")
+	seedBase := fs.Int64("seed-base", 1, "first seed when -seeds is a count")
+	out := fs.String("out", "", "write findings JSON here (default stdout)")
+	csvOut := fs.String("csv", "", "also write a per-seed CSV table here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	preset, ok := neighborhood.Presets()[*scenario]
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try: nbsim list)", *scenario)
+	}
+	if *homes > 0 {
+		switch *scenario {
+		case "churn":
+			preset = neighborhood.Churn(*homes)
+		case "propagation":
+			preset = neighborhood.Propagation(*homes)
+		case "secure":
+			preset = neighborhood.Secure(*homes)
+		}
+	}
+	seedv, err := seedList(*seeds, *seedBase)
+	if err != nil {
+		return err
+	}
+	results, err := neighborhood.RunSeeds(preset, seedv)
+	if err != nil {
+		return err
+	}
+	doc := runDoc{Schema: hypothesis.SchemaVersion, Scenario: preset, Seeds: seedv, Results: results}
+	if *out != "" {
+		doc.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	if err := writeJSON(*out, doc); err != nil {
+		return err
+	}
+	if *csvOut != "" {
+		if err := writeRunCSV(*csvOut, doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runHypothesis(args []string) error {
+	fs := flag.NewFlagSet("hypothesis", flag.ContinueOnError)
+	id := fs.String("id", "", "hypothesis ID (see nbsim list)")
+	seeds := fs.String("seeds", "3", "seed count, or comma-separated explicit seeds")
+	seedBase := fs.Int64("seed-base", 1, "first seed when -seeds is a count")
+	scales := fs.String("scales", "", "comma-separated home counts to sweep (default per hypothesis)")
+	out := fs.String("out", "", "write findings JSON here (default stdout)")
+	csvOut := fs.String("csv", "", "also write the scale table as CSV here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, ok := hypothesis.Lookup(*id)
+	if !ok {
+		return fmt.Errorf("unknown hypothesis %q (try: nbsim list)", *id)
+	}
+	seedv, err := seedList(*seeds, *seedBase)
+	if err != nil {
+		return err
+	}
+	scalev, err := scaleList(*scales)
+	if err != nil {
+		return err
+	}
+	if len(scalev) == 0 {
+		scalev = spec.DefaultScales
+	}
+	f, err := spec.Run(seedv, scalev)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f.Stamp(time.Now())
+	}
+	if err := writeJSON(*out, f); err != nil {
+		return err
+	}
+	if *csvOut != "" {
+		cf, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := hypothesis.WriteCSV(cf, f); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nbsim: %s: %s — %s\n", f.Hypothesis, f.Verdict, f.Detail)
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func writeRunCSV(path string, doc runDoc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "scenario,seed,homes,prop_p50_ms,prop_p99_ms,call_p50_ms,call_p99_ms,pulls,pull_errors,deltas,registers,expires,shard_cv_max")
+	for _, r := range doc.Results {
+		fmt.Fprintf(f, "%s,%d,%d,%g,%g,%g,%g,%d,%d,%d,%d,%d,%g\n",
+			r.Scenario, r.Seed, r.Homes,
+			r.Propagation.P50, r.Propagation.P99,
+			r.Call.P50, r.Call.P99,
+			r.Pulls, r.PullErrors, r.DeltasApplied, r.Registers, r.Expires,
+			r.ShardCVMax)
+	}
+	return nil
+}
+
+// compare checks two findings documents for byte equality modulo the
+// generated_at stamp (determinism), and optionally enforces a knee
+// floor: the first document's knee (if any) must not sit below
+// -knee-floor homes (capacity regression).
+func compare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	kneeFloor := fs.Int("knee-floor", 0, "fail if the knee lands below this many homes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 || (len(paths) < 2 && *kneeFloor == 0) {
+		return fmt.Errorf("compare needs two files, or one file with -knee-floor")
+	}
+
+	if *kneeFloor > 0 {
+		var f hypothesis.Finding
+		if err := readJSON(paths[0], &f); err != nil {
+			return err
+		}
+		if f.Knee != nil && f.Knee.Homes < *kneeFloor {
+			return fmt.Errorf("capacity regression: knee at %d homes, floor is %d", f.Knee.Homes, *kneeFloor)
+		}
+		fmt.Printf("knee ok: %s\n", kneeString(f.Knee, *kneeFloor))
+	}
+
+	if len(paths) >= 2 {
+		a, err := canonical(paths[0])
+		if err != nil {
+			return err
+		}
+		b, err := canonical(paths[1])
+		if err != nil {
+			return err
+		}
+		if a != b {
+			return fmt.Errorf("determinism violation: %s and %s differ beyond generated_at", paths[0], paths[1])
+		}
+		fmt.Printf("determinism ok: %s == %s (modulo generated_at)\n", paths[0], paths[1])
+	}
+	return nil
+}
+
+func kneeString(k *hypothesis.Knee, floor int) string {
+	if k == nil {
+		return fmt.Sprintf("no knee at or above the %d-home floor", floor)
+	}
+	return fmt.Sprintf("knee at %d homes (floor %d)", k.Homes, floor)
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// canonical loads a findings document, clears generated_at, and
+// re-marshals with sorted keys so the comparison sees content only.
+func canonical(path string) (string, error) {
+	var doc map[string]any
+	if err := readJSON(path, &doc); err != nil {
+		return "", err
+	}
+	delete(doc, "generated_at")
+	b, err := json.Marshal(doc) // map keys marshal sorted
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

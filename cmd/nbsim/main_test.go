@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSeedList(t *testing.T) {
+	cases := []struct {
+		spec    string
+		base    int64
+		want    []int64
+		wantErr bool
+	}{
+		{spec: "3", base: 1, want: []int64{1, 2, 3}},
+		{spec: "2", base: 10, want: []int64{10, 11}},
+		{spec: "7,11,13", base: 1, want: []int64{7, 11, 13}},
+		{spec: "0", base: 1, wantErr: true},
+		{spec: "x", base: 1, wantErr: true},
+		{spec: "1,b", base: 1, wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := seedList(c.spec, c.base)
+		if c.wantErr != (err != nil) {
+			t.Fatalf("seedList(%q): err = %v, wantErr %v", c.spec, err, c.wantErr)
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("seedList(%q) = %v, want %v", c.spec, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("seedList(%q) = %v, want %v", c.spec, got, c.want)
+			}
+		}
+	}
+}
+
+// TestRunDeterminismEndToEnd drives the exact workflow the CI smoke job
+// uses: run the same (scenario, seeds) twice into files, then compare —
+// the two documents must match modulo generated_at even though the
+// stamps differ.
+func TestRunDeterminismEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	for _, out := range []string{a, b} {
+		if err := run([]string{"-scenario", "churn", "-homes", "8", "-seeds", "2", "-out", out}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	ab, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if len(ab) == 0 || len(bb) == 0 {
+		t.Fatal("run wrote empty findings")
+	}
+	if err := compare([]string{a, b}); err != nil {
+		t.Fatalf("determinism compare failed: %v", err)
+	}
+}
+
+func TestCompareDetectsDivergence(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(a, []byte(`{"schema":"s","verdict":"supported","generated_at":"2026-01-01T00:00:00Z"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Same content, different stamp: equal.
+	if err := os.WriteFile(b, []byte(`{"schema":"s","verdict":"supported","generated_at":"2026-02-02T00:00:00Z"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compare([]string{a, b}); err != nil {
+		t.Fatalf("stamp-only difference flagged: %v", err)
+	}
+	// Different content: must fail.
+	if err := os.WriteFile(b, []byte(`{"schema":"s","verdict":"refuted"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := compare([]string{a, b})
+	if err == nil || !strings.Contains(err.Error(), "determinism violation") {
+		t.Fatalf("divergent findings not flagged: %v", err)
+	}
+}
+
+func TestCompareKneeFloor(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "f.json")
+	write := func(doc string) {
+		if err := os.WriteFile(f, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(`{"schema":"s","knee":{"homes":32,"p99_ms":5000}}`)
+	if err := compare([]string{"-knee-floor", "32", f}); err != nil {
+		t.Fatalf("knee at the floor rejected: %v", err)
+	}
+	write(`{"schema":"s","knee":{"homes":16,"p99_ms":5000}}`)
+	err := compare([]string{"-knee-floor", "32", f})
+	if err == nil || !strings.Contains(err.Error(), "capacity regression") {
+		t.Fatalf("knee below floor not flagged: %v", err)
+	}
+	// No knee at all means capacity is at least the floor.
+	write(`{"schema":"s"}`)
+	if err := compare([]string{"-knee-floor", "32", f}); err != nil {
+		t.Fatalf("absent knee rejected: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownScenarioAndHypothesis(t *testing.T) {
+	if err := run([]string{"-scenario", "nope", "-seeds", "1"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := runHypothesis([]string{"-id", "nope"}); err == nil {
+		t.Fatal("unknown hypothesis accepted")
+	}
+}

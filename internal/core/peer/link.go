@@ -56,9 +56,17 @@ type Link struct {
 	remote *vsr.VSR
 	cancel context.CancelFunc
 	done   chan struct{}
+	// manual links (PeerManual) have no run goroutine; the owner drives
+	// them with Pull and Reconcile.
+	manual bool
 
 	mu sync.Mutex
 	st Status
+	// stopped marks a link the peering has detached. Replication calls
+	// arriving afterwards — an anti-entropy refresh racing an Unpeer, a
+	// simulation event scheduled before the unpeer landed — must not
+	// write into the registry the withdrawal just cleaned.
+	stopped bool
 	// imported maps the remote-local service ID to the local registry key
 	// of its scoped copy, so delete/expire deltas — which carry only the
 	// remote ID — find what to withdraw.
@@ -70,9 +78,9 @@ func newLink(p *Peering, url string) *Link {
 	// Every wire op the link issues — watch rounds, snapshot reconciles —
 	// is signed with the home's identity and the response verified
 	// against the trust store (the per-operation mutual handshake). In
-	// open mode the credentials are inert and this is the plain shared
-	// transport.
-	remote.SetHTTPClient(transport.NewAuthClient(p.auth))
+	// open mode the credentials are inert and this is the plain
+	// underlying transport (shared TCP, or an injected MemNet).
+	remote.SetHTTPClient(transport.NewAuthClientOver(p.auth, p.rt))
 	return &Link{
 		p:        p,
 		url:      url,
@@ -102,12 +110,16 @@ func (l *Link) start() {
 // imported (Unpeer wants the registry clean, Close leaves entries to
 // their TTL).
 func (l *Link) stop(withdraw bool) {
-	l.cancel()
+	if l.cancel != nil {
+		l.cancel()
+	}
 	<-l.done
+	l.mu.Lock()
+	l.stopped = true
 	if !withdraw {
+		l.mu.Unlock()
 		return
 	}
-	l.mu.Lock()
 	keys := make([]string, 0, len(l.imported))
 	for _, key := range l.imported {
 		keys = append(keys, key)
@@ -135,7 +147,7 @@ func (l *Link) run(ctx context.Context) {
 		l.mu.Unlock()
 		return
 	}
-	refresh := time.NewTimer(l.refreshInterval())
+	refresh := l.p.clock.NewTimer(l.refreshInterval())
 	defer refresh.Stop()
 	for {
 		select {
@@ -146,7 +158,7 @@ func (l *Link) run(ctx context.Context) {
 				return
 			}
 			l.apply(ctx, d)
-		case <-refresh.C:
+		case <-refresh.C():
 			l.mu.Lock()
 			up := l.st.Connected
 			l.mu.Unlock()
@@ -215,12 +227,18 @@ func (l *Link) apply(ctx context.Context, d vsr.Delta) {
 		}
 		l.mu.Unlock()
 	case vsr.DeltaAdd, vsr.DeltaUpdate:
+		if l.staleDelta(d.Seq) {
+			return
+		}
 		l.upsert(d.Remote)
 		l.mu.Lock()
 		l.st.Cursor = d.Seq
 		l.st.Applied++
 		l.mu.Unlock()
 	case vsr.DeltaDelete, vsr.DeltaExpire:
+		if l.staleDelta(d.Seq) {
+			return
+		}
 		l.drop(d.ServiceID)
 		l.mu.Lock()
 		l.st.Cursor = d.Seq
@@ -229,8 +247,25 @@ func (l *Link) apply(ctx context.Context, d vsr.Delta) {
 	}
 }
 
+// staleDelta reports whether a change delta is already covered by the
+// cursor. Watch deltas queued before a reconcile can arrive after it:
+// the snapshot at sequence S subsumes every change ≤ S, so replaying one
+// would both regress the cursor and corrupt state — a stale delete
+// dropping an entry the snapshot just re-imported.
+func (l *Link) staleDelta(seq uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return seq <= l.st.Cursor
+}
+
 // upsert registers (or refreshes) the scoped copy of one remote service.
 func (l *Link) upsert(r vsr.Remote) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
 	origin := r.Desc.Context[service.CtxHome]
 	switch {
 	case origin == "":
@@ -287,6 +322,12 @@ func (l *Link) drop(remoteID string) {
 // failed snapshot changes nothing: imported entries keep serving until
 // TTL, exactly the degraded mode a broken watch causes.
 func (l *Link) reconcile(ctx context.Context) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
 	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	remotes, seq, err := l.remote.FindSeq(sctx, vsr.Query{})
 	cancel()
@@ -312,9 +353,53 @@ func (l *Link) reconcile(ctx context.Context) {
 	if seq > l.st.Cursor {
 		l.st.Cursor = seq
 	}
-	l.st.LastSync = time.Now()
+	l.st.LastSync = l.p.clock.Now()
 	l.mu.Unlock()
 	for _, key := range stale {
 		l.p.reg.Delete(key)
 	}
+}
+
+// Reconcile runs one snapshot reconciliation on a manual link (see
+// reconcile); the background link schedules its own.
+func (l *Link) Reconcile(ctx context.Context) { l.reconcile(ctx) }
+
+// Pull drives one synchronous replication round on a manual link: a
+// single immediate watch probe against the remote export face, folded
+// through the same delta state machine the background link runs — Up on
+// first contact (with a full reconcile), Down on failure, Resync when
+// the remote journal has skipped past the cursor, then each pending
+// change in order. The returned error is the transport failure, if any;
+// link status degrades the same way a broken watch stream would.
+func (l *Link) Pull(ctx context.Context) error {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return nil
+	}
+	since := l.st.Cursor
+	up := l.st.Connected
+	l.mu.Unlock()
+	deltas, next, resync, err := l.remote.WatchOnce(ctx, since, 0)
+	if err != nil {
+		l.apply(ctx, vsr.Delta{Op: vsr.DeltaDown, Err: err})
+		return err
+	}
+	if !up {
+		l.apply(ctx, vsr.Delta{Op: vsr.DeltaUp, Seq: next})
+	}
+	if resync {
+		l.apply(ctx, vsr.Delta{Op: vsr.DeltaResync, Seq: next})
+	}
+	for _, d := range deltas {
+		l.apply(ctx, d)
+	}
+	// An empty or fully filtered round still advances the cursor, exactly
+	// as the background watch loop advances `since`.
+	l.mu.Lock()
+	if next > l.st.Cursor {
+		l.st.Cursor = next
+	}
+	l.mu.Unlock()
+	return nil
 }

@@ -49,6 +49,7 @@ import (
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
 	"homeconnect/internal/uddi"
+	"homeconnect/internal/vclock"
 )
 
 // Policy is a home's export policy: which local services other homes may
@@ -62,9 +63,13 @@ type Policy = identity.Policy
 // Peering is one home's federation endpoint: the export face other homes
 // replicate from, plus the import links this home runs against its peers.
 type Peering struct {
-	home string
-	reg  *uddi.Server
-	auth *identity.Auth
+	home  string
+	reg   *uddi.Server
+	auth  *identity.Auth
+	clock vclock.Clock
+	// rt, when set, carries link traffic instead of the shared TCP
+	// transport — the dialer seam a transport.MemNet plugs into.
+	rt http.RoundTripper
 
 	mu        sync.Mutex
 	importTTL time.Duration
@@ -111,11 +116,27 @@ func New(home string, registry *uddi.Server, auth *identity.Auth) (*Peering, err
 		home:      home,
 		reg:       registry,
 		auth:      auth,
+		clock:     vclock.System,
 		importTTL: vsr.DefaultTTL,
 		links:     make(map[string]*Link),
 		denySeen:  make(map[string]struct{}),
 	}, nil
 }
+
+// SetClock overrides the peering's time source — the anti-entropy
+// refresh timer and link sync timestamps. Call before the first Peer;
+// tests and the deterministic simulation install a vclock.Virtual.
+func (p *Peering) SetClock(c vclock.Clock) {
+	if c != nil {
+		p.clock = c
+	}
+}
+
+// SetTransport routes subsequent links' wire traffic through rt instead
+// of the shared TCP transport; signing and verification still apply on
+// top. The simulation passes its transport.MemNet here. Call before
+// Peer; existing links keep their transport.
+func (p *Peering) SetTransport(rt http.RoundTripper) { p.rt = rt }
 
 // SetRecorder installs the audit recorder peering decisions are reported
 // to; nil turns recording off.
@@ -277,6 +298,31 @@ func (p *Peering) Peer(url string) (*Link, error) {
 	l := newLink(p, url)
 	p.links[url] = l
 	l.start()
+	return l, nil
+}
+
+// PeerManual attaches a link with no background goroutine: nothing
+// replicates until the caller drives it with Link.Pull (one synchronous
+// watch round) and Link.Reconcile (one snapshot reconciliation). The
+// deterministic simulation uses this so every replication round happens
+// exactly when its event loop schedules one; the state machine is the
+// same one the background link runs.
+func (p *Peering) PeerManual(url string) (*Link, error) {
+	if url == "" {
+		return nil, fmt.Errorf("peer: empty peer URL")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("peer: peering closed")
+	}
+	if _, dup := p.links[url]; dup {
+		return nil, fmt.Errorf("peer: already peered with %s", url)
+	}
+	l := newLink(p, url)
+	l.manual = true
+	close(l.done) // no run loop for stop to wait on
+	p.links[url] = l
 	return l, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
+	"homeconnect/internal/vclock"
 )
 
 func TestPolicyAdmits(t *testing.T) {
@@ -177,8 +178,12 @@ func TestNoTransitReplication(t *testing.T) {
 	}
 	b.waitLookup(t, "home-a/jini:laserdisc-1", false)
 	c.waitLookup(t, "home-b/mail:outbox", false)
-	// Give replication ample time to (incorrectly) forward A's entry.
-	time.Sleep(300 * time.Millisecond)
+	// Event-driven barrier instead of a timed wait: B journals its
+	// import of A's entry before this sentinel, so once the sentinel has
+	// replicated to C in journal order, any (incorrect) transit
+	// forwarding of A's entry would already have landed at C too.
+	b.register(t, "mail:sentinel", "http://gw-b/2")
+	c.waitLookup(t, "home-b/mail:sentinel", false)
 	ctx := context.Background()
 	if _, err := c.v.Lookup(ctx, "home-b/home-a/jini:laserdisc-1"); err == nil {
 		t.Error("transit entry replicated two hops")
@@ -202,7 +207,14 @@ func TestMutualPeeringNoLoop(t *testing.T) {
 	}
 	a.waitLookup(t, "home-b/mail:outbox", false)
 	b.waitLookup(t, "home-a/jini:laserdisc-1", false)
-	time.Sleep(300 * time.Millisecond)
+	// Sentinel barrier: each side's import of the other's entry is
+	// journaled before the sentinel registered after it, so seeing the
+	// sentinel across the link proves the cursor moved past the point
+	// where any loop re-export would have been journaled.
+	a.register(t, "jini:sentinel-a", "http://gw-a/2")
+	b.register(t, "mail:sentinel-b", "http://gw-b/2")
+	a.waitLookup(t, "home-b/mail:sentinel-b", false)
+	b.waitLookup(t, "home-a/jini:sentinel-a", false)
 	ctx := context.Background()
 	for _, id := range []string{"home-b/home-a/jini:laserdisc-1", "home-a/home-b/mail:outbox"} {
 		if _, err := a.v.Lookup(ctx, id); err == nil {
@@ -275,9 +287,14 @@ func TestPeerRejectsDuplicates(t *testing.T) {
 
 func TestReconcileRefreshesQuietRegistries(t *testing.T) {
 	// With a short import TTL and a remote whose journal stays quiet, the
-	// anti-entropy reconcile must keep imported entries alive.
+	// anti-entropy reconcile must keep imported entries alive. Home B's
+	// peering and registry run on a virtual clock: import leases age and
+	// refresh timers fire on clock advances, not on wall time.
 	a := newHomeFixture(t, "home-a")
 	b := newHomeFixture(t, "home-b")
+	vc := vclock.NewVirtual(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC))
+	b.srv.Registry().SetClock(vc.Now)
+	b.p.SetClock(vc)
 	b.p.SetImportTTL(600 * time.Millisecond)
 	ctx := context.Background()
 	// Register with a long TTL so home A never journals a refresh.
@@ -289,9 +306,29 @@ func TestReconcileRefreshesQuietRegistries(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.waitLookup(t, "home-a/jini:laserdisc-1", false)
-	// Wait past several import TTLs; only reconcile refreshes can keep
-	// the entry present.
-	time.Sleep(1500 * time.Millisecond)
+
+	// Step virtual time through seven anti-entropy intervals (200ms each
+	// at ImportTTL/3) — 1.4 virtual seconds, past two full import TTLs.
+	// After each advance, wait for the link's reconcile to land (its
+	// LastSync reaches the step) and for the refresh timer to be rearmed
+	// (the clock holds a future deadline), so no step fires into a
+	// disarmed timer.
+	for i := 0; i < 7; i++ {
+		target := vc.Now().Add(200 * time.Millisecond)
+		vc.AdvanceTo(target)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := b.p.Status()[a.srv.PeerURL()]
+			next, armed := vc.NextDeadline()
+			if !st.LastSync.Before(target) && armed && next.After(target) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("step %d: reconcile never landed: %+v", i, st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
 	if _, err := b.v.Lookup(ctx, "home-a/jini:laserdisc-1"); err != nil {
 		t.Errorf("quiet remote's import expired despite anti-entropy: %v", err)
 	}

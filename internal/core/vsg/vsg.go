@@ -39,6 +39,7 @@ import (
 	"homeconnect/internal/service"
 	"homeconnect/internal/soap"
 	"homeconnect/internal/transport"
+	"homeconnect/internal/vclock"
 )
 
 // namespacePrefix qualifies SOAP operation elements with the target
@@ -96,9 +97,22 @@ type VSG struct {
 	// live.
 	auth     *identity.Auth
 	authHTTP *http.Client
+	// rt, when set (SetTransport), carries all outbound wire traffic
+	// instead of the shared TCP transport — the dialer seam a
+	// transport.MemNet plugs into.
+	rt http.RoundTripper
+	// clock is the gateway's time source (SetClock); refresh cadence and
+	// cache-expiry stamps follow it.
+	clock vclock.Clock
 
 	ln    net.Listener
 	httpS *http.Server
+	// base is the URL authority for a detached gateway (StartDetached) —
+	// a virtual hostname on an in-memory network, no listener.
+	base string
+	// watchSince is the manual watch cursor (PumpWatch); unused while the
+	// background watch loop runs.
+	watchSince uint64
 
 	mu      sync.Mutex
 	exports map[string]*export
@@ -167,12 +181,32 @@ func New(name, vsrURL string) *VSG {
 		name:         name,
 		vsr:          vsr.New(vsrURL),
 		hub:          events.NewHub(),
+		clock:        vclock.System,
 		exports:      make(map[string]*export),
 		resolveCache: make(map[string]cachedRemote),
 		changedSeq:   make(map[string]uint64),
 		cacheTTL:     2 * time.Second,
 		watchEnabled: true,
 	}
+}
+
+// SetClock overrides the gateway's time source — the registration-
+// refresh cadence and resolve-cache expiry stamps. Call before Start;
+// tests and the deterministic simulation install a vclock.Virtual.
+func (g *VSG) SetClock(c vclock.Clock) {
+	if c != nil {
+		g.clock = c
+	}
+}
+
+// SetTransport routes the gateway's outbound wire traffic — repository
+// operations and cross-home SOAP — through rt instead of the shared TCP
+// transport; credential signing still applies on top. The simulation
+// passes its transport.MemNet here. Call before Start and before
+// SetAuth takes effect on traffic.
+func (g *VSG) SetTransport(rt http.RoundTripper) {
+	g.rt = rt
+	g.rebuildHTTP()
 }
 
 // Name returns the gateway's network name.
@@ -206,8 +240,23 @@ func (g *VSG) Home() string { return g.home }
 // pointer test the wire path uses.
 func (g *VSG) SetAuth(a *identity.Auth) {
 	g.auth = a
-	if a != nil {
-		g.authHTTP = transport.NewAuthClient(a)
+	g.rebuildHTTP()
+}
+
+// rebuildHTTP derives the outbound client from the auth context and the
+// injected transport. With neither set it stays nil: the SOAP client
+// and the repository client fall back to their own shared-transport
+// defaults, the original behaviour.
+func (g *VSG) rebuildHTTP() {
+	switch {
+	case g.auth != nil:
+		g.authHTTP = transport.NewAuthClientOver(g.auth, g.rt)
+	case g.rt != nil:
+		g.authHTTP = &http.Client{Transport: g.rt}
+	default:
+		g.authHTTP = nil
+	}
+	if g.authHTTP != nil {
 		g.vsr.SetHTTPClient(g.authHTTP)
 	}
 }
@@ -314,22 +363,7 @@ func (g *VSG) Start(addr string) error {
 		return fmt.Errorf("vsg %s: listen: %w", g.name, err)
 	}
 	g.ln = ln
-	mux := http.NewServeMux()
-	// Both wire faces sit behind the home-boundary middleware: with an
-	// identity installed, callers must present a trusted home's signature
-	// (refused in each face's own fault vocabulary); in open mode the
-	// wrappers pass through untouched.
-	mux.Handle("/services/", identity.Require(g.auth, false, soap.AuthFaultWriter,
-		soap.NewHTTPHandler(inbound{g: g})))
-	mux.Handle("/events/", identity.Require(g.auth, false, identity.HTTPDeny,
-		http.StripPrefix("/events", events.Handler(g.hub))))
-	// Read-only operability faces, private to the home's own identity
-	// once one is installed (Require passes through in open mode).
-	mux.Handle("/health", identity.Require(g.auth, true, identity.HTTPDeny,
-		ops.HealthHandler(func() any { return g.healthReport() })))
-	mux.Handle("/audit", identity.Require(g.auth, true, identity.HTTPDeny,
-		ops.AuditHandler(func() *audit.Log { return g.auditLog.Load() })))
-	g.httpS = &http.Server{Handler: mux}
+	g.httpS = &http.Server{Handler: g.buildMux()}
 	go func() { _ = g.httpS.Serve(ln) }()
 	procMu.Lock()
 	procGateways[g.BaseURL()] = g
@@ -347,6 +381,44 @@ func (g *VSG) Start(addr string) error {
 		go g.watchLoop(ctx)
 	}
 	return nil
+}
+
+// StartDetached brings the gateway up with no TCP listener and no
+// background loops: its wire faces are the returned handler (registered
+// on an in-memory network under base, e.g. "home-17-jini"), exports
+// refresh only when the owner calls RefreshExports, and the repository
+// watch advances only through PumpWatch. The deterministic simulation
+// drives both from its event loop, so nothing here ticks on its own.
+// The gateway still joins the in-process loopback registry: same-home
+// loopback dispatch is one of the paths under measurement.
+func (g *VSG) StartDetached(base string) http.Handler {
+	g.base = base
+	h := g.buildMux()
+	procMu.Lock()
+	procGateways[g.BaseURL()] = g
+	procMu.Unlock()
+	return h
+}
+
+// buildMux assembles the gateway's wire faces, shared by the listening
+// and detached constructions.
+func (g *VSG) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	// Both wire faces sit behind the home-boundary middleware: with an
+	// identity installed, callers must present a trusted home's signature
+	// (refused in each face's own fault vocabulary); in open mode the
+	// wrappers pass through untouched.
+	mux.Handle("/services/", identity.Require(g.auth, false, soap.AuthFaultWriter,
+		soap.NewHTTPHandler(inbound{g: g})))
+	mux.Handle("/events/", identity.Require(g.auth, false, identity.HTTPDeny,
+		http.StripPrefix("/events", events.Handler(g.hub))))
+	// Read-only operability faces, private to the home's own identity
+	// once one is installed (Require passes through in open mode).
+	mux.Handle("/health", identity.Require(g.auth, true, identity.HTTPDeny,
+		ops.HealthHandler(func() any { return g.healthReport() })))
+	mux.Handle("/audit", identity.Require(g.auth, true, identity.HTTPDeny,
+		ops.AuditHandler(func() *audit.Log { return g.auditLog.Load() })))
+	return mux
 }
 
 // Close stops the gateway: exports are withdrawn from the VSR on a best-
@@ -391,12 +463,16 @@ func (g *VSG) Close() {
 	g.hub.Close()
 }
 
-// BaseURL returns the gateway's HTTP root.
+// BaseURL returns the gateway's HTTP root: its TCP address when
+// listening, its virtual hostname when detached.
 func (g *VSG) BaseURL() string {
-	if g.ln == nil {
-		return ""
+	if g.ln != nil {
+		return "http://" + g.ln.Addr().String()
 	}
-	return "http://" + g.ln.Addr().String()
+	if g.base != "" {
+		return "http://" + g.base
+	}
+	return ""
 }
 
 // EndpointFor returns the SOAP endpoint URL serving a local service.
@@ -475,39 +551,75 @@ func (g *VSG) refreshLoop(ctx context.Context) {
 	if interval < 100*time.Millisecond {
 		interval = 100 * time.Millisecond
 	}
-	ticker := time.NewTicker(interval)
+	ticker := g.clock.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
-			g.mu.Lock()
-			regs := make([]vsr.Registration, 0, len(g.exports))
-			for _, e := range g.exports {
-				regs = append(regs, vsr.Registration{Desc: e.desc, Endpoint: g.EndpointFor(e.desc.ID)})
-			}
-			g.mu.Unlock()
-			var roundErr error
-			if len(regs) > 0 {
-				rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-				_, err := g.vsr.RegisterAll(rctx, regs)
-				cancel()
-				if err != nil {
-					roundErr = fmt.Errorf("vsg %s: refresh %d exports: %w", g.name, len(regs), err)
-				}
-			}
-			g.mu.Lock()
-			if roundErr != nil {
-				g.refreshFailures++
-				g.lastRefreshErr = roundErr.Error()
-			} else {
-				g.refreshFailures = 0
-				g.lastRefreshOK = time.Now()
-			}
-			g.mu.Unlock()
+		case <-ticker.C():
+			_ = g.RefreshExports(ctx)
 		}
 	}
+}
+
+// RefreshExports renews every export's repository registration in one
+// batched round trip: the body of one background refresh round, exposed
+// so a detached gateway's owner can schedule renewal itself. Failures
+// land in Health exactly as a background round's would.
+func (g *VSG) RefreshExports(ctx context.Context) error {
+	g.mu.Lock()
+	regs := make([]vsr.Registration, 0, len(g.exports))
+	for _, e := range g.exports {
+		regs = append(regs, vsr.Registration{Desc: e.desc, Endpoint: g.EndpointFor(e.desc.ID)})
+	}
+	g.mu.Unlock()
+	var roundErr error
+	if len(regs) > 0 {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_, err := g.vsr.RegisterAll(rctx, regs)
+		cancel()
+		if err != nil {
+			roundErr = fmt.Errorf("vsg %s: refresh %d exports: %w", g.name, len(regs), err)
+		}
+	}
+	g.mu.Lock()
+	if roundErr != nil {
+		g.refreshFailures++
+		g.lastRefreshErr = roundErr.Error()
+	} else {
+		g.refreshFailures = 0
+		g.lastRefreshOK = g.clock.Now()
+	}
+	g.mu.Unlock()
+	return roundErr
+}
+
+// PumpWatch performs one synchronous watch round against the repository
+// — an immediate probe, no parked poll — and folds any pending deltas
+// into the resolve cache through the same state machine the background
+// watch loop runs. The manual counterpart of watchLoop, for detached
+// gateways on a simulation event loop.
+func (g *VSG) PumpWatch(ctx context.Context) error {
+	deltas, next, resync, err := g.vsr.WatchOnce(ctx, g.watchSince, 0)
+	if err != nil {
+		g.applyDelta(vsr.Delta{Op: vsr.DeltaDown, Err: err})
+		return err
+	}
+	g.mu.Lock()
+	up := g.watchUp
+	g.mu.Unlock()
+	if !up {
+		g.applyDelta(vsr.Delta{Op: vsr.DeltaUp, Seq: next})
+	}
+	if resync {
+		g.applyDelta(vsr.Delta{Op: vsr.DeltaResync, Seq: next})
+	}
+	for _, d := range deltas {
+		g.applyDelta(d)
+	}
+	g.watchSince = next
+	return nil
 }
 
 // watchLoop consumes the repository's change stream and keeps the resolve
@@ -573,7 +685,7 @@ func (g *VSG) applyDelta(d vsr.Delta) {
 		if _, ok := g.resolveCache[d.ServiceID]; ok {
 			g.resolveCache[d.ServiceID] = cachedRemote{
 				remote:  d.Remote,
-				expires: time.Now().Add(g.cacheTTL),
+				expires: g.clock.Now().Add(g.cacheTTL),
 			}
 			g.invalidations.Add(1)
 		}
@@ -620,7 +732,7 @@ func (g *VSG) stampChange(d vsr.Delta) {
 // again, as in the paper's poll model.
 func (g *VSG) Resolve(ctx context.Context, serviceID string) (vsr.Remote, error) {
 	g.mu.Lock()
-	if c, ok := g.resolveCache[serviceID]; ok && (g.watchUp || time.Now().Before(c.expires)) {
+	if c, ok := g.resolveCache[serviceID]; ok && (g.watchUp || g.clock.Now().Before(c.expires)) {
 		g.mu.Unlock()
 		return c.remote, nil
 	}
@@ -639,7 +751,7 @@ func (g *VSG) Resolve(ctx context.Context, serviceID string) (vsr.Remote, error)
 		// invalidation — believing it already delivered that change —
 		// would never evict it. Same for a resync/outage generation bump.
 		if g.changedSeq[serviceID] <= seq && g.cacheGen == seenGen {
-			g.resolveCache[serviceID] = cachedRemote{remote: remote, expires: time.Now().Add(ttl)}
+			g.resolveCache[serviceID] = cachedRemote{remote: remote, expires: g.clock.Now().Add(ttl)}
 		}
 		g.mu.Unlock()
 	}

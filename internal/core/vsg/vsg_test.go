@@ -9,6 +9,9 @@ import (
 
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
+	"homeconnect/internal/transport"
+	"homeconnect/internal/uddi"
+	"homeconnect/internal/vclock"
 )
 
 func lampInterface() service.Interface {
@@ -215,26 +218,60 @@ func TestResolveCaching(t *testing.T) {
 	}
 }
 
-func TestRefreshKeepsRegistrationAlive(t *testing.T) {
-	srv, err := vsr.StartServer("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
+// detachedRig is a repository and gateway with no sockets, no background
+// loops and no wall clock: the registry expires by the virtual clock and
+// refresh happens only when the test calls RefreshExports. Lease tests
+// advance virtual time instead of sleeping through it.
+type detachedRig struct {
+	vc  *vclock.Virtual
+	net *transport.MemNet
+	reg *uddi.Server
+	gw  *VSG
+}
+
+func newDetachedRig(t *testing.T) *detachedRig {
+	t.Helper()
+	vc := vclock.NewVirtual(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC))
+	mnet := transport.NewMemNet()
+	reg := uddi.NewManualServer()
+	reg.SetClock(vc.Now)
+	srv := vsr.NewDetachedServer("repo", reg, nil)
+	t.Cleanup(srv.Close)
+	mnet.Handle("repo", srv.Handler())
+
 	gw := New("net1", srv.URL())
-	gw.VSR().SetTTL(500 * time.Millisecond)
-	if err := gw.Start("127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	defer gw.Close()
+	gw.SetClock(vc)
+	gw.SetTransport(mnet)
+	gw.StartDetached("gw-net1")
+	t.Cleanup(gw.Close)
+	return &detachedRig{vc: vc, net: mnet, reg: reg, gw: gw}
+}
+
+func TestRefreshKeepsRegistrationAlive(t *testing.T) {
+	r := newDetachedRig(t)
+	r.gw.VSR().SetTTL(500 * time.Millisecond)
 	ctx := context.Background()
-	if err := gw.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+	if err := r.gw.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
 		t.Fatal(err)
 	}
-	// Without refresh the 500ms TTL would lapse well within a second.
-	time.Sleep(1200 * time.Millisecond)
-	if _, err := gw.VSR().Lookup(ctx, "jini:lamp-1"); err != nil {
+	// Three 400ms steps, each inside the 500ms lease, each followed by a
+	// refresh: the registration must ride through 1.2 virtual seconds.
+	for i := 0; i < 3; i++ {
+		r.vc.Advance(400 * time.Millisecond)
+		r.reg.Sweep()
+		if err := r.gw.RefreshExports(ctx); err != nil {
+			t.Fatalf("refresh %d: %v", i, err)
+		}
+	}
+	if _, err := r.gw.VSR().Lookup(ctx, "jini:lamp-1"); err != nil {
 		t.Errorf("registration lapsed despite refresh: %v", err)
+	}
+	// Control: with refresh stopped, one full TTL later the lease lapses
+	// — proving the survival above was the refreshes, not slack.
+	r.vc.Advance(600 * time.Millisecond)
+	r.reg.Sweep()
+	if _, err := r.gw.VSR().Lookup(ctx, "jini:lamp-1"); err == nil {
+		t.Error("registration survived a full TTL with refresh stopped")
 	}
 }
 
@@ -393,53 +430,62 @@ func TestWatchInvalidatesCacheOnChange(t *testing.T) {
 // The same gateway with the watch disabled re-queries every TTL: the
 // paper's poll model, now the degraded fallback.
 func TestWatchServesCacheBeyondTTL(t *testing.T) {
-	r := newRig(t)
+	// The gateway under test runs on a virtual clock: cache entries are
+	// stamped and aged against it, so "well past the TTL" is a clock
+	// advance, not a sleep. The repository and watch stream stay real.
+	srv, err := vsr.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
 	ctx := context.Background()
-	if err := r.gw1.Export(ctx, lampDesc("jini:lamp-1"), &fakeLamp{}); err != nil {
+	v := vsr.New(srv.URL())
+	if _, err := v.Register(ctx, lampDesc("jini:lamp-1"), "http://h/1"); err != nil {
 		t.Fatal(err)
 	}
-	r.gw2.SetCacheTTL(100 * time.Millisecond)
-	waitWatchActive(t, r.gw2)
-	if _, err := r.gw2.Resolve(ctx, "jini:lamp-1"); err != nil {
+
+	vc := vclock.NewVirtual(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC))
+	gw2 := New("net2", srv.URL())
+	gw2.SetClock(vc)
+	gw2.SetCacheTTL(100 * time.Millisecond)
+	if err := gw2.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
-	_, before := r.srv.Registry().Stats()
-	time.Sleep(300 * time.Millisecond) // well past the TTL
+	defer gw2.Close()
+	waitWatchActive(t, gw2)
+	if _, err := gw2.Resolve(ctx, "jini:lamp-1"); err != nil {
+		t.Fatal(err)
+	}
+	_, before := srv.Registry().Stats()
+	vc.Advance(300 * time.Millisecond) // well past the TTL
 	for i := 0; i < 5; i++ {
-		if _, err := r.gw2.Resolve(ctx, "jini:lamp-1"); err != nil {
+		if _, err := gw2.Resolve(ctx, "jini:lamp-1"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, after := r.srv.Registry().Stats(); after != before {
+	if _, after := srv.Registry().Stats(); after != before {
 		t.Errorf("watch-backed cache re-queried the registry %d times past TTL", after-before)
 	}
 
 	// Watch disabled: the TTL is the only staleness bound again.
-	srv2, err := vsr.StartServer("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv2.Close()
-	gw3 := New("net3", srv2.URL())
+	vc3 := vclock.NewVirtual(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC))
+	gw3 := New("net3", srv.URL())
+	gw3.SetClock(vc3)
 	gw3.SetWatchEnabled(false)
 	gw3.SetCacheTTL(100 * time.Millisecond)
 	if err := gw3.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
 	defer gw3.Close()
-	v := vsr.New(srv2.URL())
-	if _, err := v.Register(ctx, lampDesc("jini:lamp-9"), "http://h/1"); err != nil {
+	if _, err := gw3.Resolve(ctx, "jini:lamp-1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := gw3.Resolve(ctx, "jini:lamp-9"); err != nil {
+	_, before = srv.Registry().Stats()
+	vc3.Advance(300 * time.Millisecond)
+	if _, err := gw3.Resolve(ctx, "jini:lamp-1"); err != nil {
 		t.Fatal(err)
 	}
-	_, before = srv2.Registry().Stats()
-	time.Sleep(300 * time.Millisecond)
-	if _, err := gw3.Resolve(ctx, "jini:lamp-9"); err != nil {
-		t.Fatal(err)
-	}
-	if _, after := srv2.Registry().Stats(); after-before != 1 {
+	if _, after := srv.Registry().Stats(); after-before != 1 {
 		t.Errorf("TTL-mode resolve past expiry hit the registry %d times, want 1", after-before)
 	}
 	if gw3.Health().WatchActive {
@@ -482,28 +528,26 @@ func TestHealthSurfacesWatchOutage(t *testing.T) {
 // TestBatchedRefreshKeepsManyExportsAlive: a gateway with several exports
 // renews them all (in one round trip per interval) — none lapse.
 func TestBatchedRefreshKeepsManyExportsAlive(t *testing.T) {
-	srv, err := vsr.StartServer("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	gw := New("net1", srv.URL())
-	gw.VSR().SetTTL(500 * time.Millisecond)
-	if err := gw.Start("127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	defer gw.Close()
+	r := newDetachedRig(t)
+	r.gw.VSR().SetTTL(500 * time.Millisecond)
 	ctx := context.Background()
 	ids := []string{"jini:lamp-1", "jini:lamp-2", "jini:lamp-3", "jini:lamp-4"}
 	for _, id := range ids {
-		if err := gw.Export(ctx, lampDesc(id), &fakeLamp{}); err != nil {
+		if err := r.gw.Export(ctx, lampDesc(id), &fakeLamp{}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(1200 * time.Millisecond)
+	// Each refresh renews all four leases in one RegisterAll batch.
+	for i := 0; i < 3; i++ {
+		r.vc.Advance(400 * time.Millisecond)
+		r.reg.Sweep()
+		if err := r.gw.RefreshExports(ctx); err != nil {
+			t.Fatalf("refresh %d: %v", i, err)
+		}
+	}
 	for _, id := range ids {
-		if _, err := gw.VSR().Lookup(ctx, id); err != nil {
-			t.Errorf("%s lapsed despite batched refresh: %v", id, err)
+		if _, err := r.gw.VSR().Lookup(ctx, id); err != nil {
+			t.Errorf("%s lapsed despite batched refresh after 1.2 virtual seconds: %v", id, err)
 		}
 	}
 }

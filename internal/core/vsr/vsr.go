@@ -357,6 +357,26 @@ func (v *VSR) watchLoop(ctx context.Context, since uint64, ch chan<- Delta) {
 	}
 }
 
+// WatchOnce performs a single watch round trip: change deltas after
+// since, parking server-side up to timeout (zero probes and returns
+// immediately). next is the cursor to resume from; resync means the
+// journal no longer covers since and the caller must reconcile. This is
+// the synchronous primitive under Watch's streaming loop — and what the
+// deterministic simulation drives directly, one round per scheduled
+// event, with no goroutine or parked poll in the path.
+func (v *VSR) WatchOnce(ctx context.Context, since uint64, timeout time.Duration) (deltas []Delta, next uint64, resync bool, err error) {
+	changes, next, resync, err := v.client.Watch(ctx, since, timeout)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for _, c := range changes {
+		if d, ok := deltaFromChange(c); ok {
+			deltas = append(deltas, d)
+		}
+	}
+	return deltas, next, resync, nil
+}
+
 // deltaFromChange maps a registry journal record to a federation delta.
 // Malformed entries are skipped, mirroring Find's tolerance of other
 // publishers' bugs.
@@ -419,7 +439,11 @@ type Server struct {
 	registry *uddi.Server
 	httpS    *http.Server
 	ln       net.Listener
-	auth     *identity.Auth
+	mux      *http.ServeMux
+	// base is the URL authority for a detached server (no listener) — a
+	// virtual hostname on an in-memory network rather than a TCP address.
+	base string
+	auth *identity.Auth
 
 	// peerH is the peering face mounted at /peer, nil until MountPeer.
 	peerMu sync.RWMutex
@@ -452,8 +476,35 @@ func StartServerAuth(addr string, auth *identity.Auth) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vsr: listen: %w", err)
 	}
-	reg := uddi.NewServer()
-	s := &Server{registry: reg, ln: ln, auth: auth}
+	s := newServer(uddi.NewServer(), auth)
+	s.ln = ln
+	s.httpS = &http.Server{Handler: s.mux}
+	go func() { _ = s.httpS.Serve(ln) }()
+	return s, nil
+}
+
+// NewDetachedServer builds a repository with no TCP listener: the same
+// faces StartServerAuth mounts (/uddi, /peer, /health, /audit), served
+// through Handler instead of a socket. base is the URL authority the
+// server advertises — a virtual hostname on a transport.MemNet. reg is
+// the backing registry; the neighborhood simulation passes a
+// uddi.NewManualServer so expiry runs on its event loop, not a
+// wall-clock janitor. Close shuts the registry down but detached servers
+// own no listener.
+func NewDetachedServer(base string, reg *uddi.Server, auth *identity.Auth) *Server {
+	s := newServer(reg, auth)
+	s.base = base
+	return s
+}
+
+// Handler returns the repository's full HTTP face — what a detached
+// server registers on an in-memory network.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// newServer assembles the registry mux shared by the listening and
+// detached constructions.
+func newServer(reg *uddi.Server, auth *identity.Auth) *Server {
+	s := &Server{registry: reg, auth: auth}
 	mux := http.NewServeMux()
 	// The read-write face is for this home only: gateways publish,
 	// resolve and watch here. Peers get the read-only /peer face.
@@ -495,21 +546,29 @@ func StartServerAuth(addr string, auth *identity.Auth) (*Server, error) {
 		defer s.opsMu.RUnlock()
 		return s.auditH
 	}))
-	s.httpS = &http.Server{Handler: mux}
-	go func() { _ = s.httpS.Serve(ln) }()
-	return s, nil
+	s.mux = mux
+	return s
 }
 
 // Auth returns the server's authentication context (nil when started
 // with StartServer).
 func (s *Server) Auth() *identity.Auth { return s.auth }
 
+// authority is the host part of the server's advertised URLs: the TCP
+// address when listening, the virtual hostname when detached.
+func (s *Server) authority() string {
+	if s.ln != nil {
+		return s.ln.Addr().String()
+	}
+	return s.base
+}
+
 // URL returns the repository endpoint for VSR clients.
-func (s *Server) URL() string { return "http://" + s.ln.Addr().String() + "/uddi" }
+func (s *Server) URL() string { return "http://" + s.authority() + "/uddi" }
 
 // PeerURL returns the endpoint other homes replicate from (see
 // MountPeer). It serves 404 until a peering handler is mounted.
-func (s *Server) PeerURL() string { return "http://" + s.ln.Addr().String() + "/peer" }
+func (s *Server) PeerURL() string { return "http://" + s.authority() + "/peer" }
 
 // MountPeer installs the peering face of the repository at /peer —
 // normally a policy-filtered uddi.ViewHandler built by
@@ -533,9 +592,11 @@ func (s *Server) MountOps(health, auditH http.Handler) {
 // Registry exposes the underlying UDDI store (tests, stats).
 func (s *Server) Registry() *uddi.Server { return s.registry }
 
-// Close stops the repository: the HTTP listener and the registry's
-// expiry janitor, waking any parked watchers.
+// Close stops the repository: the HTTP listener (when one exists) and
+// the registry's expiry janitor, waking any parked watchers.
 func (s *Server) Close() {
-	_ = s.httpS.Close()
+	if s.httpS != nil {
+		_ = s.httpS.Close()
+	}
 	s.registry.Close()
 }

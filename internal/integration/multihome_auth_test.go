@@ -128,9 +128,10 @@ func TestSecureFederationIsolatesUntrustedHome(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	// X's repository never sees a neighbor's service — even after ample
-	// time for any incorrect replication to land.
-	time.Sleep(300 * time.Millisecond)
+	// X's repository never sees a neighbor's service. The refusal loops
+	// above already observed each link complete a sync attempt and fail —
+	// the same pass that would have applied deltas — so any incorrect
+	// replication would have landed before this point.
 	services, err := x.fed.Services(ctx)
 	if err != nil {
 		t.Fatal(err)

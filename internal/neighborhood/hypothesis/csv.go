@@ -1,0 +1,53 @@
+package hypothesis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV emits the finding's scale points as a flat table, one row
+// per scale, auxiliary scalars appended as extra columns in name order.
+// The CSV carries the same numbers as the JSON — it exists so the
+// artifact drops straight into a plotting pipeline.
+func WriteCSV(w io.Writer, f Finding) error {
+	cw := csv.NewWriter(w)
+
+	// Collect the union of aux keys so every row has the same shape.
+	auxKeys := map[string]bool{}
+	for _, p := range f.Scales {
+		for k := range p.Aux {
+			auxKeys[k] = true
+		}
+	}
+	aux := make([]string, 0, len(auxKeys))
+	for k := range auxKeys {
+		aux = append(aux, k)
+	}
+	sort.Strings(aux)
+
+	header := []string{"hypothesis", "homes", "p50_mean_ms", "p99_mean_ms", "p99_std_ms", "mean_ms"}
+	header = append(header, aux...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range f.Scales {
+		row := []string{
+			f.Hypothesis,
+			fmt.Sprintf("%d", p.Homes),
+			fmt.Sprintf("%g", p.P50MeanMS),
+			fmt.Sprintf("%g", p.P99MeanMS),
+			fmt.Sprintf("%g", p.P99StdMS),
+			fmt.Sprintf("%g", p.MeanMS),
+		}
+		for _, k := range aux {
+			row = append(row, fmt.Sprintf("%g", p.Aux[k]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

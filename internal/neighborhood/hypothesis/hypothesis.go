@@ -1,0 +1,415 @@
+// Package hypothesis is the experiment layer over the neighborhood
+// simulator: it encodes the paper-motivated performance questions as
+// runnable hypotheses, executes each across multiple seeds and scale
+// points, and reduces the runs to machine-readable findings with effect
+// sizes — so a claim like "propagation latency knees at N homes" is a
+// reproducible artifact, not a observation.
+package hypothesis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"homeconnect/internal/neighborhood"
+)
+
+// SchemaVersion stamps every findings document.
+const SchemaVersion = "nbsim/findings/v1"
+
+// ScalePoint aggregates one scale's runs across seeds.
+type ScalePoint struct {
+	Homes int `json:"homes"`
+	// P99MeanMS is the across-seed mean of the per-seed p99 of the
+	// hypothesis metric; P99StdMS its across-seed standard deviation.
+	P99MeanMS float64 `json:"p99_mean_ms"`
+	P99StdMS  float64 `json:"p99_std_ms"`
+	P50MeanMS float64 `json:"p50_mean_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+	// PerSeed keeps the raw per-seed p99 series for reanalysis.
+	PerSeedP99 []float64 `json:"per_seed_p99_ms"`
+	// Aux carries hypothesis-specific scalars (shard CVs, overhead
+	// ratios), averaged across seeds.
+	Aux map[string]float64 `json:"aux,omitempty"`
+}
+
+// EffectSize is Cohen's d between two adjacent scale points.
+type EffectSize struct {
+	FromHomes int     `json:"from_homes"`
+	ToHomes   int     `json:"to_homes"`
+	CohensD   float64 `json:"cohens_d"`
+	// Ratio is the mean-p99 ratio to/from — the practical magnitude the
+	// effect size qualifies.
+	Ratio float64 `json:"ratio"`
+}
+
+// Knee marks the first scale point where the metric departs its
+// baseline by both a large standardized effect and a material ratio.
+type Knee struct {
+	Homes         int     `json:"homes"`
+	P99MS         float64 `json:"p99_ms"`
+	RatioVsBase   float64 `json:"ratio_vs_base"`
+	CohensDAtKnee float64 `json:"cohens_d_at_knee"`
+}
+
+// Finding is one hypothesis's complete, deterministic outcome.
+// GeneratedAt is the only wall-clock field; determinism checks compare
+// findings with it cleared.
+type Finding struct {
+	Schema     string                `json:"schema"`
+	Hypothesis string                `json:"hypothesis"`
+	Title      string                `json:"title"`
+	Seeds      []int64               `json:"seeds"`
+	Scenario   neighborhood.Scenario `json:"scenario"`
+	Scales     []ScalePoint          `json:"scale_points"`
+	Effects    []EffectSize          `json:"effect_sizes,omitempty"`
+	Knee       *Knee                 `json:"knee,omitempty"`
+	Verdict    string                `json:"verdict"`
+	Detail     string                `json:"detail"`
+	// GeneratedAt is RFC3339; empty in deterministic comparisons.
+	GeneratedAt string `json:"generated_at,omitempty"`
+}
+
+// Thresholds for calling a knee: Cohen's d >= 0.8 is the conventional
+// "large" standardized effect; the ratio floor keeps statistically loud
+// but practically tiny shifts from counting.
+const (
+	kneeEffect = 0.8
+	kneeRatio  = 2.0
+)
+
+// Spec describes one registered hypothesis.
+type Spec struct {
+	ID    string
+	Title string
+	// Run executes the hypothesis over the given seeds. Scales applies
+	// to scale-sweeping hypotheses; fixed-scale hypotheses use Homes.
+	Run func(seeds []int64, scales []int) (Finding, error)
+	// DefaultScales is the scale sweep used when the caller passes none.
+	DefaultScales []int
+}
+
+// Registry lists the runnable hypotheses in a fixed order.
+func Registry() []Spec {
+	return []Spec{
+		{
+			ID:            "propagation-knee",
+			Title:         "Cross-home propagation p99 knees once mesh pull work exceeds the pull interval",
+			Run:           PropagationKnee,
+			DefaultScales: []int{4, 8, 16, 24, 32, 48},
+		},
+		{
+			ID:            "shard-uniformity",
+			Title:         "Registry shard load stays uniform under churn (CV below 0.35)",
+			Run:           ShardUniformity,
+			DefaultScales: []int{64},
+		},
+		{
+			ID:            "auth-overhead",
+			Title:         "Auth+audit planes cost a bounded constant factor, not a scale-dependent one",
+			Run:           AuthOverhead,
+			DefaultScales: []int{6, 12, 16},
+		},
+	}
+}
+
+// Lookup finds a registered hypothesis by ID.
+func Lookup(id string) (Spec, bool) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	var sq float64
+	for _, x := range xs {
+		sq += (x - m) * (x - m)
+	}
+	return math.Sqrt(sq / float64(len(xs)-1))
+}
+
+// cohensD is the standardized mean difference with pooled variance.
+// A zero pooled spread with distinct means reports +Inf replaced by a
+// large sentinel so JSON stays finite.
+func cohensD(a, b []float64) float64 {
+	ma, mb := mean(a), mean(b)
+	sa, sb := std(a), std(b)
+	pooled := math.Sqrt((sa*sa + sb*sb) / 2)
+	if pooled == 0 {
+		if ma == mb {
+			return 0
+		}
+		return 1000
+	}
+	return round3(math.Abs(mb-ma) / pooled)
+}
+
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
+
+// sweep runs scenario(homes) across seeds for every scale, digesting
+// the chosen metric's summary per seed.
+func sweep(scales []int, seeds []int64, scenario func(homes int) neighborhood.Scenario,
+	metric func(neighborhood.Result) neighborhood.Summary,
+	aux func([]neighborhood.Result) map[string]float64) ([]ScalePoint, error) {
+
+	points := make([]ScalePoint, 0, len(scales))
+	for _, n := range scales {
+		results, err := neighborhood.RunSeeds(scenario(n), seeds)
+		if err != nil {
+			return nil, fmt.Errorf("scale %d: %w", n, err)
+		}
+		var p99s, p50s, means []float64
+		for _, r := range results {
+			m := metric(r)
+			p99s = append(p99s, m.P99)
+			p50s = append(p50s, m.P50)
+			means = append(means, m.Mean)
+		}
+		pt := ScalePoint{
+			Homes:      n,
+			P99MeanMS:  round3(mean(p99s)),
+			P99StdMS:   round3(std(p99s)),
+			P50MeanMS:  round3(mean(p50s)),
+			MeanMS:     round3(mean(means)),
+			PerSeedP99: p99s,
+		}
+		if aux != nil {
+			pt.Aux = aux(results)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// effects computes adjacent-scale effect sizes, and locateKnee finds the
+// first point that satisfies both knee thresholds against the smallest
+// scale's baseline.
+func effects(points []ScalePoint) []EffectSize {
+	var es []EffectSize
+	for i := 1; i < len(points); i++ {
+		prev, cur := points[i-1], points[i]
+		ratio := 0.0
+		if prev.P99MeanMS > 0 {
+			ratio = round3(cur.P99MeanMS / prev.P99MeanMS)
+		}
+		es = append(es, EffectSize{
+			FromHomes: prev.Homes,
+			ToHomes:   cur.Homes,
+			CohensD:   cohensD(prev.PerSeedP99, cur.PerSeedP99),
+			Ratio:     ratio,
+		})
+	}
+	return es
+}
+
+func locateKnee(points []ScalePoint) *Knee {
+	if len(points) < 2 {
+		return nil
+	}
+	base := points[0]
+	for i := 1; i < len(points); i++ {
+		cur := points[i]
+		if base.P99MeanMS <= 0 {
+			continue
+		}
+		ratio := cur.P99MeanMS / base.P99MeanMS
+		d := cohensD(base.PerSeedP99, cur.PerSeedP99)
+		if ratio >= kneeRatio && d >= kneeEffect {
+			return &Knee{
+				Homes:         cur.Homes,
+				P99MS:         round3(cur.P99MeanMS),
+				RatioVsBase:   round3(ratio),
+				CohensDAtKnee: d,
+			}
+		}
+	}
+	return nil
+}
+
+// PropagationKnee sweeps mesh scale and locates where cross-home
+// propagation p99 departs its small-neighborhood baseline.
+func PropagationKnee(seeds []int64, scales []int) (Finding, error) {
+	if len(scales) == 0 {
+		scales = []int{4, 8, 16, 24, 32, 48}
+	}
+	sort.Ints(scales)
+	points, err := sweep(scales, seeds, neighborhood.Propagation,
+		func(r neighborhood.Result) neighborhood.Summary { return r.Propagation }, nil)
+	if err != nil {
+		return Finding{}, err
+	}
+	f := Finding{
+		Schema:     SchemaVersion,
+		Hypothesis: "propagation-knee",
+		Title:      "Cross-home propagation latency knee under mesh fan-out",
+		Seeds:      seeds,
+		Scenario:   neighborhood.Propagation(scales[0]),
+		Scales:     points,
+		Effects:    effects(points),
+		Knee:       locateKnee(points),
+	}
+	if f.Knee != nil {
+		f.Verdict = "supported"
+		f.Detail = fmt.Sprintf(
+			"p99 departs baseline at %d homes (%.1fx base, Cohen's d %.2f): mesh pull work per home grows with fan-out and overruns the %s pull interval",
+			f.Knee.Homes, f.Knee.RatioVsBase, f.Knee.CohensDAtKnee, f.Scenario.PullInterval)
+	} else {
+		f.Verdict = "not-observed"
+		f.Detail = fmt.Sprintf("no scale in %v moved p99 by >=%.1fx with d>=%.1f", scales, kneeRatio, kneeEffect)
+	}
+	return f, nil
+}
+
+// ShardUniformity runs the churn preset and tests that per-registry
+// shard write load stays uniform (CV under the threshold) despite
+// skew-prone service naming.
+func ShardUniformity(seeds []int64, scales []int) (Finding, error) {
+	const cvThreshold = 0.35
+	if len(scales) == 0 {
+		scales = []int{64}
+	}
+	sort.Ints(scales)
+	points, err := sweep(scales, seeds, neighborhood.Churn,
+		func(r neighborhood.Result) neighborhood.Summary { return r.Propagation },
+		func(rs []neighborhood.Result) map[string]float64 {
+			var cvM, cvX []float64
+			for _, r := range rs {
+				cvM = append(cvM, r.ShardCVMean)
+				cvX = append(cvX, r.ShardCVMax)
+			}
+			return map[string]float64{
+				"shard_cv_mean": round3(mean(cvM)),
+				"shard_cv_max":  round3(mean(cvX)),
+			}
+		})
+	if err != nil {
+		return Finding{}, err
+	}
+	worst := 0.0
+	for _, p := range points {
+		if v := p.Aux["shard_cv_max"]; v > worst {
+			worst = v
+		}
+	}
+	f := Finding{
+		Schema:     SchemaVersion,
+		Hypothesis: "shard-uniformity",
+		Title:      "Registry shard-load uniformity under churn",
+		Seeds:      seeds,
+		Scenario:   neighborhood.Churn(scales[len(scales)-1]),
+		Scales:     points,
+	}
+	if worst <= cvThreshold {
+		f.Verdict = "supported"
+		f.Detail = fmt.Sprintf("worst per-home shard-load CV %.3f stays under %.2f across %d scale point(s) and %d seed(s)",
+			worst, cvThreshold, len(points), len(seeds))
+	} else {
+		f.Verdict = "refuted"
+		f.Detail = fmt.Sprintf("shard-load CV reached %.3f (threshold %.2f): FNV sharding skews under this workload", worst, cvThreshold)
+	}
+	return f, nil
+}
+
+// AuthOverhead runs the open and secure presets at each scale and
+// compares call p99: the hypothesis is that arming identities and audit
+// costs a bounded constant factor that does not grow with neighborhood
+// size.
+func AuthOverhead(seeds []int64, scales []int) (Finding, error) {
+	const maxRatio = 2.5   // bounded overhead at any single scale
+	const maxGrowth = 1.25 // overhead ratio may grow at most this much across scales
+	if len(scales) == 0 {
+		scales = []int{6, 12, 16}
+	}
+	sort.Ints(scales)
+
+	type pair struct {
+		open, secure []neighborhood.Result
+	}
+	points := make([]ScalePoint, 0, len(scales))
+	ratios := make([]float64, 0, len(scales))
+	for _, n := range scales {
+		var p pair
+		var err error
+		if p.open, err = neighborhood.RunSeeds(neighborhood.Propagation(n), seeds); err != nil {
+			return Finding{}, err
+		}
+		if p.secure, err = neighborhood.RunSeeds(neighborhood.Secure(n), seeds); err != nil {
+			return Finding{}, err
+		}
+		var openP99, secP99, perSeedRatio []float64
+		for i := range p.open {
+			o, s := p.open[i].Call.P99, p.secure[i].Call.P99
+			openP99 = append(openP99, o)
+			secP99 = append(secP99, s)
+			if o > 0 {
+				perSeedRatio = append(perSeedRatio, s/o)
+			}
+		}
+		ratio := round3(mean(perSeedRatio))
+		ratios = append(ratios, ratio)
+		points = append(points, ScalePoint{
+			Homes:      n,
+			P99MeanMS:  round3(mean(secP99)),
+			P99StdMS:   round3(std(secP99)),
+			PerSeedP99: secP99,
+			Aux: map[string]float64{
+				"open_call_p99_ms":        round3(mean(openP99)),
+				"secure_call_p99_ms":      round3(mean(secP99)),
+				"overhead_ratio":          ratio,
+				"cohens_d_open_vs_secure": cohensD(openP99, secP99),
+			},
+		})
+	}
+	f := Finding{
+		Schema:     SchemaVersion,
+		Hypothesis: "auth-overhead",
+		Title:      "Auth+audit overhead on cross-home call latency",
+		Seeds:      seeds,
+		Scenario:   neighborhood.Secure(scales[len(scales)-1]),
+		Scales:     points,
+	}
+	worst := 0.0
+	for _, r := range ratios {
+		if r > worst {
+			worst = r
+		}
+	}
+	growth := 0.0
+	if len(ratios) > 1 && ratios[0] > 0 {
+		growth = round3(ratios[len(ratios)-1] / ratios[0])
+	}
+	if worst <= maxRatio && (len(ratios) < 2 || growth <= maxGrowth) {
+		f.Verdict = "supported"
+		f.Detail = fmt.Sprintf("secure/open call p99 ratio peaks at %.2fx (bound %.1fx) and grows %.2fx across scales %v (bound %.2fx): overhead is a constant factor",
+			worst, maxRatio, growth, scales, maxGrowth)
+	} else {
+		f.Verdict = "refuted"
+		f.Detail = fmt.Sprintf("secure/open call p99 ratio %.2fx or growth %.2fx exceeds bounds (%.1fx, %.2fx)", worst, growth, maxRatio, maxGrowth)
+	}
+	return f, nil
+}
+
+// Stamp sets GeneratedAt; kept out of Run paths so determinism tests
+// compare unstamped findings.
+func (f *Finding) Stamp(t time.Time) {
+	f.GeneratedAt = t.UTC().Format(time.RFC3339)
+}

@@ -1,0 +1,144 @@
+package hypothesis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// quickSeeds keeps hypothesis tests inside unit-test budgets while
+// still exercising the multi-seed statistics path.
+var quickSeeds = []int64{1, 2, 3}
+
+// TestFindingsDeterministic: an unstamped finding must be byte-identical
+// across runs — the contract the CI smoke job enforces end to end.
+func TestFindingsDeterministic(t *testing.T) {
+	var runs [2][]byte
+	for i := range runs {
+		f, err := PropagationKnee(quickSeeds, []int{4, 8, 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.GeneratedAt != "" {
+			t.Fatal("Run stamped GeneratedAt; determinism compare would never match")
+		}
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = b
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatalf("findings diverged across identical runs:\n%s\n%s", runs[0], runs[1])
+	}
+}
+
+// TestPropagationKneeLocatesKnee: across the default scales the mesh
+// must saturate, and the knee report must carry a large effect size over
+// at least the configured seed count.
+func TestPropagationKneeLocatesKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scale sweep")
+	}
+	f, err := PropagationKnee(quickSeeds, []int{4, 8, 16, 24, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Seeds) < 3 {
+		t.Fatalf("knee finding must span >=3 seeds, got %v", f.Seeds)
+	}
+	if f.Knee == nil {
+		t.Fatalf("no knee located; scale points: %+v", f.Scales)
+	}
+	if f.Knee.CohensDAtKnee < 0.8 || f.Knee.RatioVsBase < 2.0 {
+		t.Fatalf("knee does not meet effect thresholds: %+v", f.Knee)
+	}
+	if f.Verdict != "supported" {
+		t.Fatalf("verdict %q, want supported", f.Verdict)
+	}
+	// p99 must be monotone-ish: the largest scale strictly above the smallest.
+	first, last := f.Scales[0], f.Scales[len(f.Scales)-1]
+	if last.P99MeanMS <= first.P99MeanMS {
+		t.Fatalf("p99 did not grow with scale: %v -> %v", first.P99MeanMS, last.P99MeanMS)
+	}
+}
+
+func TestShardUniformity(t *testing.T) {
+	f, err := ShardUniformity(quickSeeds, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != "supported" {
+		t.Fatalf("shard uniformity refuted: %s", f.Detail)
+	}
+	if f.Scales[0].Aux["shard_cv_max"] <= 0 {
+		t.Fatalf("no shard load observed: %+v", f.Scales[0].Aux)
+	}
+}
+
+func TestAuthOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs open and secure sweeps")
+	}
+	f, err := AuthOverhead(quickSeeds, []int{6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != "supported" {
+		t.Fatalf("auth overhead out of bounds: %s", f.Detail)
+	}
+	for _, p := range f.Scales {
+		if p.Aux["overhead_ratio"] <= 1.0 {
+			t.Fatalf("secure run not measurably costlier at %d homes: %+v", p.Homes, p.Aux)
+		}
+	}
+}
+
+func TestRegistryAndCSV(t *testing.T) {
+	if len(Registry()) < 3 {
+		t.Fatal("expected at least 3 registered hypotheses")
+	}
+	if _, ok := Lookup("propagation-knee"); !ok {
+		t.Fatal("propagation-knee not registered")
+	}
+	if _, ok := Lookup("no-such"); ok {
+		t.Fatal("lookup invented a hypothesis")
+	}
+	f, err := ShardUniformity([]int64{1}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "shard_cv_max") {
+		t.Fatalf("aux column missing from header: %s", lines[0])
+	}
+}
+
+func TestCohensD(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		min  float64
+		max  float64
+	}{
+		{"identical", []float64{5, 5, 5}, []float64{5, 5, 5}, 0, 0},
+		{"huge shift", []float64{1, 1.1, 0.9}, []float64{10, 10.2, 9.8}, 0.8, 2000},
+		{"zero spread distinct", []float64{1, 1}, []float64{2, 2}, 999, 1001},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := cohensD(c.a, c.b)
+			if d < c.min || d > c.max {
+				t.Fatalf("cohensD = %v, want in [%v,%v]", d, c.min, c.max)
+			}
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package neighborhood
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary is the distribution digest of one latency series, in virtual
+// milliseconds. Values are rounded to microsecond precision so findings
+// marshal to stable, readable JSON.
+type Summary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Mean  float64 `json:"mean_ms"`
+	Std   float64 `json:"std_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// Result is the deterministic outcome of one (scenario, seed) run.
+type Result struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Homes    int    `json:"homes"`
+
+	// Propagation is the register→remote-visibility latency across all
+	// (service, importer) pairs; Call is cross-home invocation latency.
+	Propagation Summary `json:"propagation"`
+	Call        Summary `json:"call"`
+
+	Pulls         int64 `json:"pulls"`
+	PullErrors    int64 `json:"pull_errors"`
+	DeltasApplied int64 `json:"deltas_applied"`
+	Registers     int64 `json:"registers"`
+	Expires       int64 `json:"expires"`
+	Calls         int64 `json:"calls"`
+	CallMisses    int64 `json:"call_misses"`
+	// DroppedSamples counts registrations withdrawn before any peer saw
+	// them — churn outrunning the pull cadence.
+	DroppedSamples int64 `json:"dropped_samples"`
+	SignedOps      int64 `json:"signed_ops,omitempty"`
+	AuditRecords   int64 `json:"audit_records,omitempty"`
+
+	// ShardCVMean/Max summarize per-registry shard-load imbalance: the
+	// coefficient of variation of the 16 shard write counters, averaged
+	// (and maxed) across homes. 0 is perfectly uniform.
+	ShardCVMean float64 `json:"shard_cv_mean"`
+	ShardCVMax  float64 `json:"shard_cv_max"`
+}
+
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
+
+// summarize digests a latency series. The input is not mutated.
+func summarize(ms []float64) Summary {
+	if len(ms) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(ms))
+	copy(s, ms)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	for _, v := range s {
+		sq += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(sq / float64(len(s)))
+	return Summary{
+		Count: len(s),
+		P50:   round3(percentile(s, 0.50)),
+		P90:   round3(percentile(s, 0.90)),
+		P99:   round3(percentile(s, 0.99)),
+		Mean:  round3(mean),
+		Std:   round3(std),
+		Max:   round3(s[len(s)-1]),
+	}
+}
+
+// percentile reads the nearest-rank percentile from a sorted series.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// cv is the coefficient of variation of a counter vector.
+func cv(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range loads {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(loads))
+	if mean == 0 {
+		return 0
+	}
+	var sq float64
+	for _, v := range loads {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	return math.Sqrt(sq/float64(len(loads))) / mean
+}
+
+func (s *Sim) result() Result {
+	r := Result{
+		Scenario:       s.scn.Name,
+		Seed:           s.seed,
+		Homes:          s.scn.Homes,
+		Propagation:    summarize(s.m.propagationMS),
+		Call:           summarize(s.m.callMS),
+		Pulls:          s.m.pulls,
+		PullErrors:     s.m.pullErrors,
+		DeltasApplied:  s.m.deltasApplied,
+		Registers:      s.m.registers,
+		Expires:        s.m.expires,
+		Calls:          s.m.calls,
+		CallMisses:     s.m.callMisses,
+		DroppedSamples: s.m.dropped,
+		SignedOps:      s.m.signedOps,
+	}
+	var cvSum, cvMax float64
+	for _, h := range s.homes {
+		c := cv(h.reg.ShardLoads())
+		cvSum += c
+		if c > cvMax {
+			cvMax = c
+		}
+		if h.log != nil {
+			r.AuditRecords += int64(h.log.Seq())
+		}
+	}
+	r.ShardCVMean = round3(cvSum / float64(len(s.homes)))
+	r.ShardCVMax = round3(cvMax)
+	return r
+}
+
+// RunSeeds runs the scenario once per seed and returns the results in
+// seed order.
+func RunSeeds(scn Scenario, seeds []int64) ([]Result, error) {
+	results := make([]Result, 0, len(seeds))
+	for _, seed := range seeds {
+		sim, err := NewSim(scn, seed)
+		if err != nil {
+			return nil, err
+		}
+		r := sim.Run()
+		sim.Close()
+		results = append(results, r)
+	}
+	return results, nil
+}

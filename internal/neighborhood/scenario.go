@@ -1,0 +1,208 @@
+// Package neighborhood is the neighborhood-scale deterministic
+// simulation harness: hundreds of virtual homes, each a real federation
+// slice (UDDI registry + VSR faces + peer links) riding the in-memory
+// wire under a virtual clock. No sockets, no goroutines, no wall time —
+// a run is a pure function of (Scenario, seed), so two runs with the
+// same inputs produce byte-identical findings.
+//
+// The real stack supplies correctness: every replication step is an
+// actual XML round trip through the peer export face, every import goes
+// through the same delta/cursor state machine the production links use.
+// A per-home queueing model supplies timing: each home is a serial
+// server with a busy-until horizon, and operation costs come from the
+// scenario's CostModel, which is what makes saturation knees appear at
+// realistic fan-outs instead of at the speed of a function call.
+package neighborhood
+
+import (
+	"fmt"
+	"time"
+)
+
+// Topology names how homes are peered.
+type Topology string
+
+const (
+	// Mesh peers every home with every other home — the paper's
+	// neighborhood federation taken to its worst-case fan-out. Pull work
+	// per home grows linearly with scale, which is what the propagation
+	// knee hypothesis probes.
+	Mesh Topology = "mesh"
+	// Ring peers each home with its Degree successors — the bounded-
+	// degree wide-area layout. Per-home work is constant in scale.
+	Ring Topology = "ring"
+)
+
+// CostModel assigns virtual service times to operations. All latency in
+// a run is queueing against these costs; wall-clock time never enters.
+type CostModel struct {
+	// PullImporter is the importer-side cost of one anti-entropy pull
+	// before per-delta work.
+	PullImporter time.Duration `json:"pull_importer"`
+	// PullExporter is the exporter-side cost of serving one watch poll.
+	PullExporter time.Duration `json:"pull_exporter"`
+	// PerDelta is the added importer cost per applied delta.
+	PerDelta time.Duration `json:"per_delta"`
+	// Register is the cost of publishing or withdrawing one service.
+	Register time.Duration `json:"register"`
+	// Call is the per-side cost of one cross-home invocation.
+	Call time.Duration `json:"call"`
+	// AuthSign is added to every signed operation side when the
+	// scenario runs with identities armed.
+	AuthSign time.Duration `json:"auth_sign"`
+	// AuditAppend is added per audited operation when the audit plane
+	// is on.
+	AuditAppend time.Duration `json:"audit_append"`
+}
+
+// PartitionWindow takes a fraction of homes off the network for a span
+// of virtual time; their links degrade and heal through the same wire
+// errors a real outage produces.
+type PartitionWindow struct {
+	Start    time.Duration `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Fraction float64       `json:"fraction"`
+}
+
+// Scenario is the complete, serializable description of one simulation.
+// Together with a seed it determines every event in the run.
+type Scenario struct {
+	Name     string   `json:"name"`
+	Homes    int      `json:"homes"`
+	Topology Topology `json:"topology"`
+	// Degree is the per-home peer fan-out for Ring; ignored for Mesh.
+	Degree int `json:"degree,omitempty"`
+
+	// Duration is the virtual span simulated.
+	Duration time.Duration `json:"duration"`
+	// PullInterval is the anti-entropy cadence of every import link.
+	PullInterval time.Duration `json:"pull_interval"`
+	// SweepInterval is the registry expiry-sweep cadence.
+	SweepInterval time.Duration `json:"sweep_interval"`
+
+	// ServicesPerHome seeds each registry before the clock starts.
+	ServicesPerHome int `json:"services_per_home"`
+	// RegisterRate/ExpireRate/CallRate are per-home events per virtual
+	// second (exponential interarrival).
+	RegisterRate float64 `json:"register_rate"`
+	ExpireRate   float64 `json:"expire_rate"`
+	CallRate     float64 `json:"call_rate"`
+	// ServiceTTL is the registration lease granted to local exports.
+	ServiceTTL time.Duration `json:"service_ttl"`
+
+	// FlapInterval bounces one random home off the network this often
+	// (down for half a pull interval). Zero disables flapping.
+	FlapInterval time.Duration `json:"flap_interval,omitempty"`
+	// Partitions schedules wider outages.
+	Partitions []PartitionWindow `json:"partitions,omitempty"`
+
+	// Auth arms per-home identities and mutual signing on every link;
+	// Audit arms the hash-chained audit log on every home.
+	Auth  bool `json:"auth"`
+	Audit bool `json:"audit"`
+
+	Costs CostModel `json:"costs"`
+}
+
+// DefaultCosts models a small embedded residential gateway: double-digit
+// millisecond wire operations, sub-millisecond bookkeeping.
+func DefaultCosts() CostModel {
+	return CostModel{
+		PullImporter: 25 * time.Millisecond,
+		PullExporter: 10 * time.Millisecond,
+		PerDelta:     2 * time.Millisecond,
+		Register:     5 * time.Millisecond,
+		Call:         8 * time.Millisecond,
+		AuthSign:     3 * time.Millisecond,
+		AuditAppend:  500 * time.Microsecond,
+	}
+}
+
+// Validate rejects scenarios the simulator cannot honor.
+func (s Scenario) Validate() error {
+	if s.Homes < 2 {
+		return fmt.Errorf("scenario %q: need at least 2 homes, have %d", s.Name, s.Homes)
+	}
+	if s.Topology != Mesh && s.Topology != Ring {
+		return fmt.Errorf("scenario %q: unknown topology %q", s.Name, s.Topology)
+	}
+	if s.Topology == Ring && s.Degree < 1 {
+		return fmt.Errorf("scenario %q: ring topology needs degree >= 1", s.Name)
+	}
+	if s.Duration <= 0 || s.PullInterval <= 0 {
+		return fmt.Errorf("scenario %q: duration and pull interval must be positive", s.Name)
+	}
+	for _, p := range s.Partitions {
+		if p.Fraction < 0 || p.Fraction > 1 {
+			return fmt.Errorf("scenario %q: partition fraction %v out of [0,1]", s.Name, p.Fraction)
+		}
+	}
+	return nil
+}
+
+// Presets returns the named scenario library. Each preset fixes every
+// parameter except Homes, which callers scale.
+func Presets() map[string]Scenario {
+	return map[string]Scenario{
+		"churn":       Churn(64),
+		"propagation": Propagation(32),
+		"secure":      Secure(32),
+	}
+}
+
+// Churn is the registry-stress preset: bounded-degree ring, heavy
+// register/expire traffic, periodic home flaps and one partition wave.
+// It feeds the shard-uniformity hypothesis.
+func Churn(homes int) Scenario {
+	return Scenario{
+		Name:            "churn",
+		Homes:           homes,
+		Topology:        Ring,
+		Degree:          4,
+		Duration:        60 * time.Second,
+		PullInterval:    2 * time.Second,
+		SweepInterval:   5 * time.Second,
+		ServicesPerHome: 4,
+		RegisterRate:    0.5,
+		ExpireRate:      0.4,
+		CallRate:        0.2,
+		ServiceTTL:      10 * time.Minute,
+		FlapInterval:    10 * time.Second,
+		Partitions: []PartitionWindow{
+			{Start: 25 * time.Second, Duration: 10 * time.Second, Fraction: 0.25},
+		},
+		Costs: DefaultCosts(),
+	}
+}
+
+// Propagation is the fan-out stress preset: full mesh, moderate
+// registration traffic, no failures — the clean signal for locating the
+// cross-home propagation knee as Homes scales.
+func Propagation(homes int) Scenario {
+	return Scenario{
+		Name:            "propagation",
+		Homes:           homes,
+		Topology:        Mesh,
+		Duration:        30 * time.Second,
+		PullInterval:    1 * time.Second,
+		SweepInterval:   10 * time.Second,
+		ServicesPerHome: 2,
+		RegisterRate:    0.2,
+		ExpireRate:      0.05,
+		CallRate:        0.1,
+		ServiceTTL:      10 * time.Minute,
+		Costs:           DefaultCosts(),
+	}
+}
+
+// Secure is Propagation with the security and audit planes armed:
+// per-home identities, mutual signing on every pull, hash-chained audit
+// appends on every registry operation. Paired with Propagation it
+// isolates the auth+audit overhead at scale.
+func Secure(homes int) Scenario {
+	s := Propagation(homes)
+	s.Name = "secure"
+	s.Auth = true
+	s.Audit = true
+	return s
+}

@@ -1,0 +1,168 @@
+package neighborhood
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// short returns a scenario small enough for unit tests while keeping
+// every mechanism live: churn, flaps, a partition wave, sweeps.
+func short(homes int) Scenario {
+	s := Churn(homes)
+	s.Duration = 20 * time.Second
+	s.Partitions = []PartitionWindow{
+		{Start: 8 * time.Second, Duration: 4 * time.Second, Fraction: 0.25},
+	}
+	return s
+}
+
+// TestDeterminism is the simulation's foundational contract: the same
+// (scenario, seed) must produce byte-identical results, run to run —
+// this is what makes a finding reproducible from its header alone.
+func TestDeterminism(t *testing.T) {
+	scn := short(12)
+	var runs [2][]byte
+	for i := range runs {
+		sim, err := NewSim(scn, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sim.Run()
+		sim.Close()
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = b
+	}
+	if string(runs[0]) != string(runs[1]) {
+		t.Fatalf("same seed diverged:\n run1: %s\n run2: %s", runs[0], runs[1])
+	}
+}
+
+// TestSeedsDiffer guards the other side: distinct seeds must explore
+// distinct schedules, or the multi-seed statistics are a sham.
+func TestSeedsDiffer(t *testing.T) {
+	scn := short(8)
+	results, err := RunSeeds(scn, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Propagation == results[1].Propagation &&
+		results[0].Registers == results[1].Registers {
+		t.Fatalf("seeds 1 and 2 produced identical runs: %+v", results[0])
+	}
+}
+
+func TestSimReplicatesAndMeasures(t *testing.T) {
+	scn := short(8)
+	sim, err := NewSim(scn, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	r := sim.Run()
+
+	if r.Registers == 0 || r.Expires == 0 {
+		t.Fatalf("no churn generated: %+v", r)
+	}
+	if r.Propagation.Count == 0 {
+		t.Fatal("no propagation samples recorded")
+	}
+	if r.Propagation.P50 <= 0 || r.Propagation.P99 < r.Propagation.P50 {
+		t.Fatalf("implausible propagation summary: %+v", r.Propagation)
+	}
+	// Flaps plus a 25% partition wave must surface as pull errors.
+	if r.PullErrors == 0 {
+		t.Fatalf("partition schedule produced no pull errors: %+v", r)
+	}
+	if r.DeltasApplied == 0 {
+		t.Fatal("no deltas replicated")
+	}
+	// Replication really happened over the wire: spot-check one import.
+	h := sim.homes[0]
+	if st := h.links[0].link.Status(); st.Cursor == 0 {
+		t.Fatalf("link never advanced: %+v", st)
+	}
+}
+
+// TestSecureRunCountsSecurityPlanes: the secure preset must exercise
+// signing and audit on every home, and still be deterministic.
+func TestSecureRunCountsSecurityPlanes(t *testing.T) {
+	scn := Secure(6)
+	scn.Duration = 10 * time.Second
+	results, err := RunSeeds(scn, []int64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != results[1] {
+		t.Fatalf("secure run not deterministic:\n %+v\n %+v", results[0], results[1])
+	}
+	r := results[0]
+	if r.SignedOps == 0 {
+		t.Fatal("auth scenario recorded no signed operations")
+	}
+	if r.AuditRecords == 0 {
+		t.Fatal("audit scenario recorded no audit records")
+	}
+	// Signed pulls really authenticated on the wire.
+	h := results[0]
+	_ = h
+	sim, err := NewSim(scn, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	sim.Run()
+	if st := sim.homes[0].links[0].link.Status(); !st.Authenticated {
+		t.Fatalf("secure link not authenticated: %+v", st)
+	}
+}
+
+// TestMeshSaturationRaisesLatency is the knee mechanism in miniature: a
+// mesh wide enough that per-home pull work exceeds the pull interval
+// must show markedly worse propagation latency than a small mesh.
+func TestMeshSaturationRaisesLatency(t *testing.T) {
+	small := Propagation(4)
+	small.Duration = 15 * time.Second
+	big := Propagation(24)
+	big.Duration = 15 * time.Second
+
+	rs, err := RunSeeds(small, []int64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunSeeds(big, []int64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb[0].Propagation.P99 <= rs[0].Propagation.P99 {
+		t.Fatalf("24-home mesh p99 (%v ms) not above 4-home mesh p99 (%v ms)",
+			rb[0].Propagation.P99, rs[0].Propagation.P99)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"too few homes", func(s *Scenario) { s.Homes = 1 }},
+		{"bad topology", func(s *Scenario) { s.Topology = "star" }},
+		{"ring without degree", func(s *Scenario) { s.Topology = Ring; s.Degree = 0 }},
+		{"zero duration", func(s *Scenario) { s.Duration = 0 }},
+		{"bad partition fraction", func(s *Scenario) {
+			s.Partitions = []PartitionWindow{{Fraction: 1.5}}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := Churn(8)
+			c.mut(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+		})
+	}
+}

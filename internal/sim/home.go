@@ -18,7 +18,6 @@ import (
 	"homeconnect/internal/bridge/upnppcm"
 	"homeconnect/internal/bridge/x10pcm"
 	"homeconnect/internal/core"
-	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/havi"
@@ -187,39 +186,19 @@ func (l *Laserdisc) Call(method string, args []any) (any, error) {
 }
 
 // NewHome builds and starts the configured home. Call Close when done.
+// The federation prologue — identity before anything else, then audit,
+// then the loopback gate (off: the paper's deployment has one gateway
+// per physical middleware network, so every cross-network call pays the
+// real SOAP/HTTP hop the Figure 1–5 experiments measure) — is
+// HomeSpec.Build, shared with the neighborhood harness.
 func NewHome(ctx context.Context, cfg Config) (*Home, error) {
 	h := &Home{}
-	fed, err := core.NewHomeFederation(cfg.Home)
+	fed, err := cfg.spec().Build()
 	if err != nil {
 		return nil, err
 	}
 	h.Fed = fed
 	h.closers = append(h.closers, fed.Close)
-	// Arm authentication before the first gateway or device exists, so
-	// no window of open traffic precedes enforcement.
-	if cfg.Identity != nil {
-		if err := fed.SetIdentity(cfg.Identity); err != nil {
-			fed.Close()
-			return nil, err
-		}
-		for home, key := range cfg.Trusted {
-			if err := fed.TrustHome(home, key); err != nil {
-				fed.Close()
-				return nil, err
-			}
-		}
-	}
-	if cfg.Audit {
-		if err := fed.EnableAudit(audit.Options{}); err != nil {
-			fed.Close()
-			return nil, err
-		}
-	}
-	// The simulated home models the paper's deployment: one gateway per
-	// physical middleware network, reachable only over the wire. Disable
-	// in-process loopback so every cross-network call pays the real
-	// SOAP/HTTP hop the Figure 1–5 experiments measure.
-	fed.SetLoopback(false)
 
 	ok := false
 	defer func() {

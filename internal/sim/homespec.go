@@ -1,0 +1,80 @@
+// HomeSpec: the federation-level description of one home, shared by
+// every construction path. NewHome's middleware-laden homes and the
+// neighborhood harness's virtual homes both arm their federations
+// through Build, so the prologue — naming, identity, trust, audit,
+// loopback gating — cannot drift between them (homespec_test.go holds
+// the equivalence by comparing Health and PeerStatus of both paths).
+package sim
+
+import (
+	"homeconnect/internal/core"
+	"homeconnect/internal/core/audit"
+	"homeconnect/internal/core/identity"
+)
+
+// HomeSpec describes one home independent of which middleware networks
+// ride on it.
+type HomeSpec struct {
+	// Name names this residence for inter-home federation ("" for the
+	// paper's single-home deployment).
+	Name string
+	// Identity, when set, arms authentication before anything else comes
+	// up; it must name Name.
+	Identity *identity.Identity
+	// Trusted maps peer home names to their hex public keys; applied
+	// with Identity.
+	Trusted map[string]string
+	// Audit enables the home's audit log and operability faces before
+	// any traffic flows.
+	Audit bool
+	// Loopback keeps the in-process fast path on. NewHome turns it off —
+	// the paper's one-gateway-per-physical-network deployment — while the
+	// neighborhood harness keeps it on for same-home calls.
+	Loopback bool
+}
+
+// spec is the HomeSpec equivalent of a Config's federation prologue.
+func (c Config) spec() HomeSpec {
+	return HomeSpec{
+		Name:     c.Home,
+		Identity: c.Identity,
+		Trusted:  c.Trusted,
+		Audit:    c.Audit,
+		Loopback: false,
+	}
+}
+
+// Build constructs and arms the home's federation: name, then identity
+// and trust (before the first gateway or device exists, so no window of
+// open traffic precedes enforcement), then audit, then the loopback
+// gate. The caller owns the federation and must Close it.
+func (s HomeSpec) Build() (*core.Federation, error) {
+	fed, err := core.NewHomeFederation(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			fed.Close()
+		}
+	}()
+	if s.Identity != nil {
+		if err := fed.SetIdentity(s.Identity); err != nil {
+			return nil, err
+		}
+		for home, key := range s.Trusted {
+			if err := fed.TrustHome(home, key); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.Audit {
+		if err := fed.EnableAudit(audit.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	fed.SetLoopback(s.Loopback)
+	ok = true
+	return fed, nil
+}

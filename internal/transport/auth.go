@@ -57,16 +57,33 @@ func NewAuthClient(creds Credentials) *http.Client {
 	return &http.Client{Transport: &authRoundTripper{creds: creds}}
 }
 
-// authRoundTripper signs requests and verifies responses around the
-// shared transport.
+// NewAuthClientOver is NewAuthClient with the underlying round trips
+// routed through rt instead of the shared TCP transport — how simulated
+// homes sign traffic that never leaves the process. A nil rt falls back
+// to the shared transport.
+func NewAuthClientOver(creds Credentials, rt http.RoundTripper) *http.Client {
+	return &http.Client{Transport: &authRoundTripper{creds: creds, next: rt}}
+}
+
+// authRoundTripper signs requests and verifies responses around an
+// underlying transport — the shared keep-alive transport by default, or
+// an injected one (a MemNet for socketless simulation).
 type authRoundTripper struct {
 	creds Credentials
+	next  http.RoundTripper
+}
+
+func (rt *authRoundTripper) transport() http.RoundTripper {
+	if rt.next != nil {
+		return rt.next
+	}
+	return shared
 }
 
 // RoundTrip implements http.RoundTripper.
 func (rt *authRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 	if !rt.creds.Active() {
-		return shared.RoundTrip(req)
+		return rt.transport().RoundTrip(req)
 	}
 	var body []byte
 	if req.Body != nil {
@@ -79,7 +96,7 @@ func (rt *authRoundTripper) RoundTrip(req *http.Request) (*http.Response, error)
 		req.Body = io.NopCloser(bytes.NewReader(body))
 	}
 	exchange := rt.creds.SignRequest(req.Header, body)
-	resp, err := shared.RoundTrip(req)
+	resp, err := rt.transport().RoundTrip(req)
 	if err != nil {
 		return nil, err
 	}

@@ -59,6 +59,10 @@ type Server struct {
 	saves atomic.Int64
 	finds atomic.Int64
 
+	// shardOps counts mutations per shard — the simulation harness reads
+	// the distribution to test shard-load uniformity under churn.
+	shardOps [numShards]atomic.Int64
+
 	// auditRec, when set, receives registry lifecycle events: TTL
 	// expiries and endpoint re-homes.
 	auditRec atomic.Pointer[audit.Recorder]
@@ -80,6 +84,16 @@ type record struct {
 // NewServer returns an empty registry and starts its expiry janitor;
 // call Close to stop it.
 func NewServer() *Server {
+	s := NewManualServer()
+	go s.janitor()
+	return s
+}
+
+// NewManualServer returns an empty registry with no background janitor:
+// the owner drives expiry by calling Sweep. This is the construction the
+// deterministic simulation uses — expiry happens exactly when the event
+// loop schedules it, never on a wall-clock tick.
+func NewManualServer() *Server {
 	s := &Server{
 		jcap: defaultJournalCapacity,
 		wake: make(chan struct{}),
@@ -89,9 +103,14 @@ func NewServer() *Server {
 	for i := range s.shards {
 		s.shards[i].entries = make(map[string]*record)
 	}
-	go s.janitor()
 	return s
 }
+
+// Sweep runs one expiry pass at the registry's current clock reading,
+// deleting lapsed registrations and journaling each expiry. The
+// background janitor calls this every sweepInterval; a manual registry's
+// owner calls it on its own schedule.
+func (s *Server) Sweep() { s.expireSweep() }
 
 // Close stops the expiry janitor and wakes parked watchers.
 func (s *Server) Close() {
@@ -141,10 +160,33 @@ func (s *Server) SetJournalCapacity(n int) {
 	}
 }
 
-func (s *Server) shardFor(key string) *shard {
+func shardIndex(key string) int {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(key))
-	return &s.shards[h.Sum32()&(numShards-1)]
+	return int(h.Sum32() & (numShards - 1))
+}
+
+func (s *Server) shardFor(key string) *shard {
+	return &s.shards[shardIndex(key)]
+}
+
+// ShardLoads returns cumulative mutations (saves and deletes) per index
+// shard. The simulation harness tests this distribution for uniformity
+// under churn — a hot shard here is a hot mutex under load.
+func (s *Server) ShardLoads() []int64 {
+	out := make([]int64, numShards)
+	for i := range s.shardOps {
+		out[i] = s.shardOps[i].Load()
+	}
+	return out
+}
+
+// JournalStats reports the journal's current length, capacity and head
+// sequence number — how close watchers are to being forced into resync.
+func (s *Server) JournalStats() (length, capacity int, seq uint64) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return len(s.journal), s.jcap, s.seq
 }
 
 // appendChange journals one mutation. Callers hold the shard lock for the
@@ -209,6 +251,7 @@ func (s *Server) Save(e Entry, ttl time.Duration) string {
 	sh := s.shardFor(e.Key)
 	sh.mu.Lock()
 	s.saves.Add(1)
+	s.shardOps[shardIndex(e.Key)].Add(1)
 	op := OpAdd
 	rehomedFrom := ""
 	if old, ok := sh.entries[e.Key]; ok && !s.now().After(old.expires) {
@@ -245,6 +288,7 @@ func (s *Server) Delete(key string) {
 	sh.mu.Lock()
 	if rec, ok := sh.entries[key]; ok {
 		delete(sh.entries, key)
+		s.shardOps[shardIndex(key)].Add(1)
 		s.appendChange(OpDelete, rec.entry)
 	}
 	sh.mu.Unlock()

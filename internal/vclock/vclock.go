@@ -1,0 +1,270 @@
+// Package vclock abstracts the passage of time behind a Clock so the
+// framework's periodic machinery — gateway registration refresh, peer
+// anti-entropy, registry TTL expiry — can run against either the real
+// wall clock or a virtual one advanced by hand. The virtual clock is
+// what makes the neighborhood-scale simulation (internal/neighborhood)
+// and the timing-sensitive unit tests deterministic: every timer fires
+// at an exact, reproducible instant instead of whenever the scheduler
+// gets around to it.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source periodic components take as a seam. The
+// package-level System clock is the production implementation; Virtual
+// is the deterministic one.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// NewTimer returns a timer that fires once, d after Now.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Timer is the clock-agnostic face of time.Timer.
+type Timer interface {
+	// C returns the channel the firing time is delivered on.
+	C() <-chan time.Time
+	// Stop prevents an unfired timer from firing.
+	Stop() bool
+	// Reset re-arms the timer to fire d after the clock's current time.
+	Reset(d time.Duration) bool
+}
+
+// Ticker is the clock-agnostic face of time.Ticker.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// System is the real wall clock.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) NewTimer(d time.Duration) Timer { return systemTimer{time.NewTimer(d)} }
+
+func (systemClock) NewTicker(d time.Duration) Ticker { return systemTicker{time.NewTicker(d)} }
+
+type systemTimer struct{ t *time.Timer }
+
+func (t systemTimer) C() <-chan time.Time        { return t.t.C }
+func (t systemTimer) Stop() bool                 { return t.t.Stop() }
+func (t systemTimer) Reset(d time.Duration) bool { return t.t.Reset(d) }
+
+type systemTicker struct{ t *time.Ticker }
+
+func (t systemTicker) C() <-chan time.Time { return t.t.C }
+func (t systemTicker) Stop()               { t.t.Stop() }
+
+// Virtual is a manually advanced clock. Time stands still until Advance
+// (or AdvanceTo) moves it; due timers fire synchronously, in deadline
+// order, before Advance returns — ties broken by arming order, so two
+// runs that arm the same timers advance identically.
+type Virtual struct {
+	mu   sync.Mutex
+	now  time.Time
+	heap entryHeap
+	seq  uint64 // arming order, the deterministic tiebreak
+}
+
+// NewVirtual returns a virtual clock reading start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline falls within the window, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.advanceToLocked(v.now.Add(d))
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is in the past).
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	v.advanceToLocked(t)
+}
+
+// advanceToLocked is the shared advance loop; called with mu held, and
+// releases it before returning. Each firing is delivered outside the
+// lock so a consumer goroutine may Stop or Reset from a timer-driven
+// code path without deadlocking against the advance.
+func (v *Virtual) advanceToLocked(target time.Time) {
+	for {
+		e := v.nextDueLocked(target)
+		if e == nil {
+			if target.After(v.now) {
+				v.now = target
+			}
+			v.mu.Unlock()
+			return
+		}
+		t := e.timer
+		t.armed = false
+		if e.deadline.After(v.now) {
+			v.now = e.deadline
+		}
+		fireAt := v.now
+		if t.period > 0 {
+			// Re-arm the ticker before delivering, like time.Ticker.
+			v.armLocked(t, e.deadline.Add(t.period))
+		}
+		v.mu.Unlock()
+		// Non-blocking send on a 1-buffered channel, matching time.Timer:
+		// an unconsumed previous tick is dropped, never deadlocked on.
+		select {
+		case t.ch <- fireAt:
+		default:
+		}
+		v.mu.Lock()
+	}
+}
+
+// nextDueLocked pops the earliest live heap entry due by target, or nil.
+// Stale entries — superseded by a Stop or Reset — are discarded on the
+// way.
+func (v *Virtual) nextDueLocked(target time.Time) *entry {
+	for len(v.heap) > 0 {
+		e := v.heap[0]
+		if e.deadline.After(target) {
+			return nil
+		}
+		heap.Pop(&v.heap)
+		if e.timer.armed && e.gen == e.timer.gen {
+			return e
+		}
+	}
+	return nil
+}
+
+// NextDeadline returns the earliest armed deadline and true, or false
+// when no timer is pending — how an event loop discovers the next
+// instant worth advancing to.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.heap) > 0 {
+		e := v.heap[0]
+		if e.timer.armed && e.gen == e.timer.gen {
+			return e.deadline, true
+		}
+		heap.Pop(&v.heap)
+	}
+	return time.Time{}, false
+}
+
+// NewTimer implements Clock.
+func (v *Virtual) NewTimer(d time.Duration) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &virtualTimer{clock: v, ch: make(chan time.Time, 1)}
+	v.armLocked(t, v.now.Add(d))
+	return t
+}
+
+// NewTicker implements Clock.
+func (v *Virtual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker period")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &virtualTimer{clock: v, ch: make(chan time.Time, 1), period: d}
+	v.armLocked(t, v.now.Add(d))
+	return virtualTicker{t}
+}
+
+// virtualTicker adapts virtualTimer to the Ticker face (Stop returns
+// nothing, matching time.Ticker).
+type virtualTicker struct{ t *virtualTimer }
+
+func (t virtualTicker) C() <-chan time.Time { return t.t.ch }
+func (t virtualTicker) Stop()               { t.t.Stop() }
+
+// armLocked (re)arms t at deadline, superseding any previous arming via
+// the generation stamp; mu held.
+func (v *Virtual) armLocked(t *virtualTimer, deadline time.Time) {
+	t.gen++
+	t.armed = true
+	v.seq++
+	heap.Push(&v.heap, &entry{deadline: deadline, order: v.seq, gen: t.gen, timer: t})
+}
+
+// virtualTimer is one timer or ticker (period > 0) on a Virtual clock.
+type virtualTimer struct {
+	clock  *Virtual
+	ch     chan time.Time
+	period time.Duration
+	// armed and gen are guarded by clock.mu: a heap entry is live only
+	// while its timer is armed and its generation is current.
+	armed bool
+	gen   uint64
+}
+
+func (t *virtualTimer) C() <-chan time.Time { return t.ch }
+
+func (t *virtualTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	wasActive := t.armed
+	t.armed = false
+	return wasActive
+}
+
+func (t *virtualTimer) Reset(d time.Duration) bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	wasActive := t.armed
+	t.clock.armLocked(t, t.clock.now.Add(d))
+	return wasActive
+}
+
+// entry is one armed deadline in the heap. Stop and Reset do not search
+// the heap; they invalidate entries by flag or generation, and the pop
+// path discards stale ones.
+type entry struct {
+	deadline time.Time
+	order    uint64
+	gen      uint64
+	timer    *virtualTimer
+}
+
+// entryHeap orders entries by (deadline, arming order).
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+
+func (h entryHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].order < h[j].order
+}
+
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *entryHeap) Push(x any) { *h = append(*h, x.(*entry)) }
+
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,142 @@
+// Tests for the virtual clock: firing order, tickers, Stop/Reset
+// semantics, and the determinism the simulation harness depends on.
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func drain(t Timer) (time.Time, bool) {
+	select {
+	case ts := <-t.C():
+		return ts, true
+	default:
+		return time.Time{}, false
+	}
+}
+
+func TestVirtualAdvanceFiresInDeadlineOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []string
+	t1 := v.NewTimer(30 * time.Millisecond)
+	t2 := v.NewTimer(10 * time.Millisecond)
+	t3 := v.NewTimer(20 * time.Millisecond)
+	v.Advance(50 * time.Millisecond)
+	for name, tm := range map[string]Timer{"t1": t1, "t2": t2, "t3": t3} {
+		if ts, ok := drain(tm); !ok {
+			t.Errorf("%s never fired", name)
+		} else if !ts.Equal(epoch.Add(map[string]time.Duration{"t1": 30, "t2": 10, "t3": 20}[name] * time.Millisecond)) {
+			t.Errorf("%s fired at %v", name, ts)
+		}
+	}
+	_ = order
+	if got := v.Now(); !got.Equal(epoch.Add(50 * time.Millisecond)) {
+		t.Errorf("Now = %v after advance", got)
+	}
+}
+
+func TestVirtualTimerStopAndReset(t *testing.T) {
+	v := NewVirtual(epoch)
+	tm := v.NewTimer(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Error("Stop on armed timer reported inactive")
+	}
+	v.Advance(20 * time.Millisecond)
+	if _, fired := drain(tm); fired {
+		t.Error("stopped timer fired")
+	}
+	// Reset re-arms relative to current virtual time.
+	tm.Reset(15 * time.Millisecond)
+	v.Advance(10 * time.Millisecond)
+	if _, fired := drain(tm); fired {
+		t.Error("reset timer fired early")
+	}
+	v.Advance(10 * time.Millisecond)
+	if ts, fired := drain(tm); !fired {
+		t.Error("reset timer never fired")
+	} else if want := epoch.Add(35 * time.Millisecond); !ts.Equal(want) {
+		t.Errorf("reset timer fired at %v, want %v", ts, want)
+	}
+}
+
+func TestVirtualResetSupersedesOldDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	tm := v.NewTimer(10 * time.Millisecond)
+	// Push the deadline out while the original entry is still in the
+	// heap: the stale entry must not fire at the old deadline.
+	tm.Reset(100 * time.Millisecond)
+	v.Advance(50 * time.Millisecond)
+	if _, fired := drain(tm); fired {
+		t.Error("superseded deadline fired")
+	}
+	v.Advance(60 * time.Millisecond)
+	if _, fired := drain(tm); !fired {
+		t.Error("rescheduled timer never fired")
+	}
+}
+
+func TestVirtualTickerRepeats(t *testing.T) {
+	v := NewVirtual(epoch)
+	tk := v.NewTicker(10 * time.Millisecond)
+	fired := 0
+	for i := 0; i < 3; i++ {
+		v.Advance(10 * time.Millisecond)
+		select {
+		case <-tk.C():
+			fired++
+		default:
+		}
+	}
+	if fired != 3 {
+		t.Errorf("ticker fired %d times over 3 periods", fired)
+	}
+	tk.Stop()
+	v.Advance(50 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Error("stopped ticker fired")
+	default:
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	if _, ok := v.NextDeadline(); ok {
+		t.Error("empty clock reports a deadline")
+	}
+	a := v.NewTimer(30 * time.Millisecond)
+	v.NewTimer(10 * time.Millisecond)
+	if d, ok := v.NextDeadline(); !ok || !d.Equal(epoch.Add(10*time.Millisecond)) {
+		t.Errorf("NextDeadline = %v, %v", d, ok)
+	}
+	v.Advance(15 * time.Millisecond)
+	if d, ok := v.NextDeadline(); !ok || !d.Equal(epoch.Add(30*time.Millisecond)) {
+		t.Errorf("NextDeadline after firing = %v, %v", d, ok)
+	}
+	a.Stop()
+	if _, ok := v.NextDeadline(); ok {
+		t.Error("deadline survives Stop")
+	}
+}
+
+func TestSystemClockBasics(t *testing.T) {
+	tm := System.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("system timer never fired")
+	}
+	tk := System.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("system ticker never fired")
+	}
+	if System.Now().IsZero() {
+		t.Error("system Now is zero")
+	}
+}
