@@ -56,13 +56,21 @@ func opsGet(ctx context.Context, faceURL string) ([]byte, error) {
 
 // health prints the /health snapshot as served: it is already indented
 // JSON, and each deployment shape (vsrd, homesim federation, vsgd)
-// reports its own layout.
+// reports its own layout. An audit persistence failure is surfaced as a
+// loud warning on stderr so it cannot hide inside the JSON.
 func health(ctx context.Context, vsrURL string) {
 	body, err := opsGet(ctx, opsBase(vsrURL)+"/health")
 	if err != nil {
 		log.Fatal(err)
 	}
 	os.Stdout.Write(body)
+	var report struct {
+		Audit audit.Stats `json:"audit"`
+	}
+	if json.Unmarshal(body, &report) == nil && report.Audit.WriteError != "" {
+		fmt.Fprintf(os.Stderr, "\nhomectl: AUDIT WRITE ERROR — the log keeps recording in memory but %s is incomplete: %s\n",
+			dash(report.Audit.Path), report.Audit.WriteError)
+	}
 }
 
 // peers renders the peering section of /health as a table, one row per
@@ -87,7 +95,7 @@ func peers(ctx context.Context, vsrURL string) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("%-12s %-6s %-5s %-8s %-7s %s\n", "PEER", "STATE", "AUTH", "IMPORTED", "APPLIED", "DETAIL")
+	fmt.Printf("%-12s %-6s %-5s %-8s %-7s %-7s %-7s %s\n", "PEER", "STATE", "AUTH", "IMPORTED", "APPLIED", "CURSOR", "RESYNCS", "DETAIL")
 	for _, name := range names {
 		st := report.Peers[name]
 		state, auth := "down", "-"
@@ -105,7 +113,7 @@ func peers(ctx context.Context, vsrURL string) {
 		if label == "" {
 			label = name
 		}
-		fmt.Printf("%-12s %-6s %-5s %-8d %-7d %s\n", label, state, auth, st.Imported, st.Applied, detail)
+		fmt.Printf("%-12s %-6s %-5s %-8d %-7d %-7d %-7d %s\n", label, state, auth, st.Imported, st.Applied, st.Cursor, st.Resyncs, detail)
 	}
 }
 

@@ -152,6 +152,8 @@ func run(args []string) error {
 			preset = neighborhood.Propagation(*homes)
 		case "secure":
 			preset = neighborhood.Secure(*homes)
+		case "crash-recovery":
+			preset = neighborhood.CrashRecovery(*homes)
 		}
 	}
 	seedv, err := seedList(*seeds, *seedBase)

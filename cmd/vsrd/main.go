@@ -47,6 +47,9 @@ func main() {
 	auditOn := flag.Bool("audit", false, "enable the in-memory audit log (see -audit-log to persist)")
 	auditLog := flag.String("audit-log", "", "persist the audit log to this file (implies -audit)")
 	auditBatch := flag.Int("audit-batch", 0, "audit Merkle batch size (0 = default 64)")
+	dataDir := flag.String("data-dir", "", "durable registry directory (WAL + snapshots; recovered on restart)")
+	fsync := flag.String("fsync", "", "WAL fsync policy: always, interval or off (default interval; requires -data-dir)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot after this many WAL records (0 = default 1024, negative disables; requires -data-dir)")
 	var peers, allow, deny, trust, aclAllow, aclDeny cli.Multi
 	flag.Var(&peers, "peer", "peer endpoint to import from (repeatable; requires -home)")
 	flag.Var(&allow, "export-allow", "export-policy allow pattern (repeatable)")
@@ -57,25 +60,42 @@ func main() {
 	flag.Parse()
 
 	srv, err := startServer(config{
-		addr:       *addr,
-		journal:    *journal,
-		home:       *home,
-		peers:      peers,
-		allow:      allow,
-		deny:       deny,
-		idFile:     *idFile,
-		trust:      trust,
-		aclAllow:   aclAllow,
-		aclDeny:    aclDeny,
-		audit:      *auditOn,
-		auditPath:  *auditLog,
-		auditBatch: *auditBatch,
+		addr:          *addr,
+		journal:       *journal,
+		home:          *home,
+		peers:         peers,
+		allow:         allow,
+		deny:          deny,
+		idFile:        *idFile,
+		trust:         trust,
+		aclAllow:      aclAllow,
+		aclDeny:       aclDeny,
+		audit:         *auditOn,
+		auditPath:     *auditLog,
+		auditBatch:    *auditBatch,
+		dataDir:       *dataDir,
+		fsync:         *fsync,
+		snapshotEvery: *snapshotEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	fmt.Printf("vsrd: repository at %s (gateways may watch for changes here)\n", srv.URL())
+	if d := srv.Registry().Durability(); d.Enabled {
+		rec := d.Recovery
+		state := "recovered after unclean shutdown"
+		switch {
+		case rec.CleanShutdown:
+			state = "clean shutdown"
+		case rec.Seq == 0 && rec.Replayed == 0 && rec.SnapshotSeq == 0:
+			// Nothing on disk to recover: a brand-new data directory, not
+			// a crash.
+			state = "fresh data directory"
+		}
+		fmt.Printf("vsrd: durable registry in %s (%s): %d entries, seq %d, %d WAL records replayed; fsync %s\n",
+			d.Dir, state, rec.Entries, rec.Seq, rec.Replayed, d.Fsync)
+	}
 	if *home != "" {
 		fmt.Printf("vsrd: home %q peering endpoint at %s\n", *home, srv.PeerURL())
 	}
@@ -102,4 +122,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("vsrd: shutting down")
+	// Graceful stop: the registry writes its clean-shutdown WAL marker and
+	// journals registry.shutdown, so the next boot skips tail recovery.
+	// The deferred Close is then a no-op.
+	srv.Shutdown()
 }

@@ -11,6 +11,7 @@ import (
 	"homeconnect/internal/core/ops"
 	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/uddi"
 )
 
 // config carries vsrd's flags.
@@ -28,6 +29,11 @@ type config struct {
 	audit      bool
 	auditPath  string
 	auditBatch int
+	// dataDir, fsync, snapshotEvery arm the durable registry (WAL +
+	// snapshots under dataDir, recovered on restart).
+	dataDir       string
+	fsync         string
+	snapshotEvery int
 }
 
 // server is the assembled repository plus its peering layer.
@@ -53,6 +59,20 @@ func (s *server) Close() {
 	_ = s.audit.Close()
 }
 
+// Shutdown is the graceful (SIGTERM) stop: replication halts first, then
+// the registry writes its clean-shutdown WAL marker and journals a
+// registry.shutdown audit event, so the next boot from the same -data-dir
+// skips tail-scan recovery. Safe (and equivalent to Close) without
+// -data-dir.
+func (s *server) Shutdown() {
+	if s.peering != nil {
+		s.peering.Close()
+	}
+	_ = s.Registry().Shutdown()
+	s.Server.Close()
+	_ = s.audit.Close()
+}
+
 // healthReport is vsrd's /health face body: the standalone repository's
 // condition (no gateways here — each vsgd serves its own).
 type healthReport struct {
@@ -61,6 +81,7 @@ type healthReport struct {
 	Registry    registryStats          `json:"registry"`
 	Peers       map[string]peer.Status `json:"peers,omitempty"`
 	Audit       audit.Stats            `json:"audit"`
+	Durability  *uddi.DurabilityStats  `json:"durability,omitempty"`
 }
 
 type registryStats struct {
@@ -95,6 +116,10 @@ func (s *server) mountOps(cfg config, auth *identity.Auth) error {
 			if s.peering != nil {
 				peers = s.peering.Status()
 			}
+			var durability *uddi.DurabilityStats
+			if d := s.Registry().Durability(); d.Enabled {
+				durability = &d
+			}
 			return healthReport{
 				Home:        cfg.home,
 				AuthEnabled: auth != nil && auth.Enabled(),
@@ -104,8 +129,9 @@ func (s *server) mountOps(cfg config, auth *identity.Auth) error {
 					Finds:   finds,
 					Seq:     s.Registry().Seq(),
 				},
-				Peers: peers,
-				Audit: s.audit.Stats(),
+				Peers:      peers,
+				Audit:      s.audit.Stats(),
+				Durability: durability,
 			}
 		}),
 		ops.AuditHandler(func() *audit.Log { return s.audit }),
@@ -135,17 +161,39 @@ func buildAuth(cfg config) (*identity.Auth, *identity.Identity, bool, error) {
 	return auth, id, generated, nil
 }
 
+// buildRegistry constructs the backing store: durable (WAL + snapshots
+// under -data-dir, recovered on boot) when dataDir is set, plain
+// in-memory otherwise.
+func buildRegistry(cfg config) (*uddi.Server, error) {
+	if cfg.dataDir == "" {
+		if cfg.fsync != "" || cfg.snapshotEvery != 0 {
+			return nil, fmt.Errorf("vsrd: -fsync/-snapshot-every require -data-dir")
+		}
+		return uddi.NewServer(), nil
+	}
+	return uddi.NewDurableServer(uddi.DurabilityOptions{
+		Dir:           cfg.dataDir,
+		Fsync:         uddi.FsyncPolicy(cfg.fsync),
+		SnapshotEvery: cfg.snapshotEvery,
+	})
+}
+
 // startServer brings up the repository per config. A positive journal
-// capacity resizes the change journal before traffic flows; a home name
-// mounts the peering endpoint and starts one import link per peer URL;
-// an identity file arms authentication on every face.
+// capacity resizes the change journal before traffic flows; a data
+// directory makes the registry durable; a home name mounts the peering
+// endpoint and starts one import link per peer URL; an identity file
+// arms authentication on every face.
 func startServer(cfg config) (*server, error) {
 	authFlagged := cfg.idFile != "" || len(cfg.trust) > 0 || len(cfg.aclAllow) > 0 || len(cfg.aclDeny) > 0
 	if cfg.home == "" {
 		if len(cfg.peers) > 0 || len(cfg.allow) > 0 || len(cfg.deny) > 0 || authFlagged {
 			return nil, fmt.Errorf("vsrd: -peer/-export-*/-identity/-trust/-acl-* require -home")
 		}
-		srv, err := vsr.StartServer(cfg.addr)
+		reg, err := buildRegistry(cfg)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := vsr.StartServerWith(cfg.addr, reg, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +211,11 @@ func startServer(cfg config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, err := vsr.StartServerAuth(cfg.addr, auth)
+	reg, err := buildRegistry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := vsr.StartServerWith(cfg.addr, reg, auth)
 	if err != nil {
 		return nil, err
 	}

@@ -67,6 +67,101 @@ func TestStartServerArmsIdentity(t *testing.T) {
 	}
 }
 
+func TestStartServerRejectsDurabilityFlagsWithoutDataDir(t *testing.T) {
+	if _, err := startServer(config{addr: "127.0.0.1:0", fsync: "off"}); err == nil {
+		t.Error("-fsync without -data-dir accepted")
+	}
+	if _, err := startServer(config{addr: "127.0.0.1:0", snapshotEvery: 16}); err == nil {
+		t.Error("-snapshot-every without -data-dir accepted")
+	}
+	if _, err := startServer(config{addr: "127.0.0.1:0", dataDir: t.TempDir(), fsync: "sometimes"}); err == nil {
+		t.Error("unknown fsync policy accepted")
+	}
+}
+
+// TestKillRestartServesPreCrashState is the daemon-level acceptance
+// scenario: a durable vsrd killed without ceremony and restarted over
+// the same -data-dir serves every acknowledged registration, and its
+// sequence numbers continue where they left off.
+func TestKillRestartServesPreCrashState(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{addr: "127.0.0.1:0", dataDir: dir, fsync: "off"}
+	s, err := startServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c := vsr.New(s.URL())
+	for _, id := range []string{"jini:laserdisc-1", "havi:dvcam-1", "upnp:tv-1"} {
+		desc := service.Description{
+			ID: id, Name: id, Middleware: "jini",
+			Interface: service.Interface{Name: "Svc", Operations: []service.Operation{
+				{Name: "Ping", Output: service.KindVoid},
+			}},
+		}
+		if _, err := c.Register(ctx, desc, "http://gw/services/"+id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preSeq := s.Registry().Seq()
+	if d := s.Registry().Durability(); !d.Enabled || d.Appends == 0 {
+		t.Fatalf("durability not armed: %+v", d)
+	}
+
+	// Kill: close the WAL fd with no sync, no marker, no shutdown event.
+	s.Registry().CrashClose()
+	s.Close()
+
+	// Restart over the same directory.
+	s2, err := startServer(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer s2.Shutdown()
+	rec := s2.Registry().Recovery()
+	if rec.CleanShutdown {
+		t.Fatalf("kill -9 recorded as clean shutdown: %+v", rec)
+	}
+	if s2.Registry().Seq() < preSeq {
+		t.Fatalf("seq regressed across restart: %d < %d", s2.Registry().Seq(), preSeq)
+	}
+	c2 := vsr.New(s2.URL())
+	for _, id := range []string{"jini:laserdisc-1", "havi:dvcam-1", "upnp:tv-1"} {
+		if _, err := c2.Lookup(ctx, id); err != nil {
+			t.Errorf("pre-crash registration %s lost: %v", id, err)
+		}
+	}
+	// New registrations keep the sequence monotone.
+	desc := service.Description{
+		ID: "x10:lamp-1", Name: "lamp", Middleware: "x10",
+		Interface: service.Interface{Name: "Lamp", Operations: []service.Operation{
+			{Name: "On", Output: service.KindVoid},
+		}},
+	}
+	if _, err := c2.Register(ctx, desc, "http://gw/services/x10:lamp-1"); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Registry().Seq() <= preSeq {
+		t.Fatalf("post-restart registration did not advance seq past %d", preSeq)
+	}
+
+	// A graceful stop marks the WAL; the third boot skips recovery.
+	s2.Shutdown()
+	s3, err := startServer(cfg)
+	if err != nil {
+		t.Fatalf("boot after graceful stop: %v", err)
+	}
+	defer s3.Shutdown()
+	rec = s3.Registry().Recovery()
+	if !rec.CleanShutdown || rec.TornTail {
+		t.Fatalf("graceful stop not detected on next boot: %+v", rec)
+	}
+	if _, err := vsr.New(s3.URL()).Lookup(ctx, "x10:lamp-1"); err != nil {
+		t.Errorf("registration lost across graceful restart: %v", err)
+	}
+}
+
 func TestStartServerPeersTwoRepositories(t *testing.T) {
 	a, err := startServer(config{addr: "127.0.0.1:0", home: "home-a", deny: []string{"x10:*"}})
 	if err != nil {

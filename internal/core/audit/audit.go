@@ -71,6 +71,13 @@ const (
 	ReHome Type = "service.rehome"
 	// Expire: a registration's TTL lapsed (its gateway went silent).
 	Expire Type = "service.expire"
+	// RegistryRecovered: the repository restarted from an unclean
+	// shutdown and rebuilt its state from snapshot + WAL replay; Detail
+	// carries the recovered entry/record counts and any torn-tail repair.
+	RegistryRecovered Type = "registry.recovered"
+	// RegistryShutdown: the repository closed cleanly — WAL flushed and
+	// marked, so the next boot skips tail-scan recovery.
+	RegistryShutdown Type = "registry.shutdown"
 )
 
 // Event is one audited decision, as emitted by an instrumented

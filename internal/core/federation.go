@@ -19,6 +19,7 @@ import (
 	"homeconnect/internal/core/vsg"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
+	"homeconnect/internal/uddi"
 )
 
 // Federation is a running instance of the framework.
@@ -74,6 +75,29 @@ func NewHomeFederation(home string) (*Federation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: start vsr: %w", err)
 	}
+	return assembleFederation(srv, home, auth)
+}
+
+// NewDurableHomeFederation is NewHomeFederation over a durable
+// repository: the registry persists its change journal (WAL + periodic
+// snapshots) under opts.Dir and recovers it — sequence numbers, entries,
+// and remaining TTL lifetimes — on the next start. Use Shutdown (not just
+// Close) for a marked clean stop.
+func NewDurableHomeFederation(home string, opts uddi.DurabilityOptions) (*Federation, error) {
+	reg, err := uddi.NewDurableServer(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: open durable registry: %w", err)
+	}
+	auth := identity.NewAuth(home)
+	srv, err := vsr.StartServerWith("127.0.0.1:0", reg, auth)
+	if err != nil {
+		return nil, fmt.Errorf("core: start vsr: %w", err)
+	}
+	return assembleFederation(srv, home, auth)
+}
+
+// assembleFederation finishes construction over a started repository.
+func assembleFederation(srv *vsr.Server, home string, auth *identity.Auth) (*Federation, error) {
 	f := &Federation{
 		vsrServer: srv,
 		home:      home,
@@ -406,12 +430,19 @@ type HealthReport struct {
 	Peers map[string]peer.Status `json:"peers,omitempty"`
 	// Audit summarizes the audit log.
 	Audit audit.Stats `json:"audit"`
+	// Durability reports the repository's persistence state (WAL,
+	// snapshots, last boot's recovery); absent for in-memory registries.
+	Durability *uddi.DurabilityStats `json:"durability,omitempty"`
 }
 
 // healthReport assembles the /health face body.
 func (f *Federation) healthReport() HealthReport {
 	reg := f.vsrServer.Registry()
 	saves, finds := reg.Stats()
+	var durability *uddi.DurabilityStats
+	if d := reg.Durability(); d.Enabled {
+		durability = &d
+	}
 	return HealthReport{
 		Home:        f.home,
 		AuthEnabled: f.auth.Enabled(),
@@ -421,9 +452,10 @@ func (f *Federation) healthReport() HealthReport {
 			Finds:   finds,
 			Seq:     reg.Seq(),
 		},
-		Networks: f.Health(),
-		Peers:    f.PeerStatus(),
-		Audit:    f.Audit().Stats(),
+		Networks:   f.Health(),
+		Peers:      f.PeerStatus(),
+		Audit:      f.Audit().Stats(),
+		Durability: durability,
 	}
 }
 
@@ -443,8 +475,18 @@ func (f *Federation) Health() map[string]vsg.Health {
 
 // Close stops the scene engine, PCMs, gateways and the repository, in
 // that order: scenes first so no composition fires while the services it
-// calls are being torn down.
-func (f *Federation) Close() {
+// calls are being torn down. A durable repository's WAL is flushed but
+// left unmarked; use Shutdown for the marked clean stop.
+func (f *Federation) Close() { f.closeWith(false) }
+
+// Shutdown is Close plus a durable clean stop: once every mutator has
+// stopped, the repository writes its clean-shutdown WAL marker (and
+// journals a registry.shutdown audit event), so the next boot from the
+// same data directory skips tail-scan recovery. Equivalent to Close for
+// an in-memory repository.
+func (f *Federation) Shutdown() { f.closeWith(true) }
+
+func (f *Federation) closeWith(clean bool) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -478,6 +520,10 @@ func (f *Federation) Close() {
 	}
 	for _, n := range nets {
 		n.gw.Close()
+	}
+	if clean {
+		// Every mutator is quiet: the marker is genuinely the last record.
+		_ = f.vsrServer.Registry().Shutdown()
 	}
 	f.vsrServer.Close()
 	f.mu.Lock()

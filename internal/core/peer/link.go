@@ -44,9 +44,15 @@ type Status struct {
 	// Applied counts change deltas applied since the link started.
 	Applied uint64 `json:"applied"`
 	// LastSync is the time of the last successful full reconciliation
-	// (performed on connect, on resync, and periodically as
+	// (performed on first contact, on resync, and periodically as
 	// anti-entropy).
 	LastSync time.Time `json:"last_sync"`
+	// Resyncs counts the times the remote declared our cursor
+	// unserviceable (journal overrun, or a non-durable peer restarting
+	// from sequence zero) and forced a full-snapshot resync. A durable
+	// peer restarting with its WAL intact does not bump this: the cursor
+	// resumes where it left off.
+	Resyncs uint64 `json:"resyncs"`
 }
 
 // Link replicates one remote home's registry into the local one.
@@ -189,6 +195,7 @@ func (l *Link) apply(ctx context.Context, d vsr.Delta) {
 		l.mu.Lock()
 		wasUp := l.st.Connected
 		remote := l.st.RemoteHome
+		first := l.st.LastSync.IsZero()
 		l.st.Connected = true
 		l.st.Authenticated = l.p.auth.Enabled()
 		l.st.LastError = ""
@@ -201,7 +208,14 @@ func (l *Link) apply(ctx context.Context, d vsr.Delta) {
 			l.p.record(audit.Event{Type: audit.PeerConnect, Caller: remote,
 				Detail: l.url + ": " + detail})
 		}
-		l.reconcile(ctx)
+		// Full reconciliation only on first contact. A *re*connect resumes
+		// incrementally from the cursor: the watch stream replays the
+		// missed span, and a remote that can no longer serve it says so
+		// with DeltaResync. That is what makes a durable peer's restart
+		// invisible here — no snapshot storm, just the journal tail.
+		if first {
+			l.reconcile(ctx)
+		}
 	case vsr.DeltaDown:
 		l.mu.Lock()
 		wasUp := l.st.Connected
@@ -220,6 +234,9 @@ func (l *Link) apply(ctx context.Context, d vsr.Delta) {
 			l.p.record(audit.Event{Type: audit.PeerDisconnect, Caller: remote, Detail: detail})
 		}
 	case vsr.DeltaResync:
+		l.mu.Lock()
+		l.st.Resyncs++
+		l.mu.Unlock()
 		l.reconcile(ctx)
 		l.mu.Lock()
 		if d.Seq > l.st.Cursor {

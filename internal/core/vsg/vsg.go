@@ -161,6 +161,7 @@ type VSG struct {
 	// rewritten by push notifications.
 	watchDeltas   atomic.Uint64
 	invalidations atomic.Uint64
+	watchResyncs  atomic.Uint64
 
 	// auditLog, when set (SetAudit), backs the gateway's /audit face and
 	// receives this gateway's boundary events — watch state changes, call
@@ -664,6 +665,7 @@ func (g *VSG) applyDelta(d vsr.Delta) {
 			g.lastWatchErr = d.Err.Error()
 		}
 	case vsr.DeltaResync:
+		g.watchResyncs.Add(1)
 		g.auditEvent(audit.Event{Type: audit.WatchResync,
 			Detail: fmt.Sprintf("journal skipped past cursor; %d cached resolutions flushed", len(g.resolveCache))})
 		// The journal skipped past us; anything cached may be stale, and
@@ -996,6 +998,11 @@ type Health struct {
 	// CacheInvalidations counts cached resolutions evicted or rewritten
 	// by push notifications since start.
 	CacheInvalidations uint64 `json:"cache_invalidations"`
+	// WatchResyncs counts full cache flushes forced because the
+	// repository journal skipped past this gateway's cursor (overrun, or
+	// a registry that restarted without durable state). A durable
+	// repository restart resumes the cursor and does not bump this.
+	WatchResyncs uint64 `json:"watch_resyncs"`
 	// LoopbackCalls counts outbound calls dispatched in-process instead
 	// of over the wire (see SetLoopbackEnabled).
 	LoopbackCalls uint64 `json:"loopback_calls"`
@@ -1032,6 +1039,7 @@ func (g *VSG) Health() Health {
 		LastWatchError:             g.lastWatchErr,
 		WatchDeltas:                g.watchDeltas.Load(),
 		CacheInvalidations:         g.invalidations.Load(),
+		WatchResyncs:               g.watchResyncs.Load(),
 		LoopbackCalls:              g.loopbackCalls.Load(),
 		Calls:                      g.CallStats(),
 	}

@@ -472,11 +472,19 @@ func StartServer(addr string) (*Server, error) {
 // strangers lose every face at once. A nil auth disables authentication
 // permanently.
 func StartServerAuth(addr string, auth *identity.Auth) (*Server, error) {
+	return StartServerWith(addr, uddi.NewServer(), auth)
+}
+
+// StartServerWith is StartServerAuth with a caller-supplied backing
+// registry — how a daemon injects a durable (WAL + snapshot) store built
+// with uddi.NewDurableServer while keeping every mounted face identical.
+func StartServerWith(addr string, reg *uddi.Server, auth *identity.Auth) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		reg.Close()
 		return nil, fmt.Errorf("vsr: listen: %w", err)
 	}
-	s := newServer(uddi.NewServer(), auth)
+	s := newServer(reg, auth)
 	s.ln = ln
 	s.httpS = &http.Server{Handler: s.mux}
 	go func() { _ = s.httpS.Serve(ln) }()

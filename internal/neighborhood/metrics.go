@@ -42,6 +42,23 @@ type Result struct {
 	SignedOps      int64 `json:"signed_ops,omitempty"`
 	AuditRecords   int64 `json:"audit_records,omitempty"`
 
+	// Crash-recovery observations (Durable scenarios with a CrashWindow).
+	// Recovery is the virtual latency from a crashed home's restart to
+	// each importer's next completed pull — how long the neighborhood
+	// took to catch back up.
+	Crashes int64 `json:"crashes,omitempty"`
+	// RecoveredEntries/ReplayedRecords come from the restarted registry's
+	// boot recovery stats.
+	RecoveredEntries int64 `json:"recovered_entries,omitempty"`
+	ReplayedRecords  int64 `json:"replayed_records,omitempty"`
+	// MissingAfterRestart counts acknowledged registrations the restarted
+	// home could no longer resolve — durable recovery demands zero.
+	MissingAfterRestart int64 `json:"missing_after_restart,omitempty"`
+	// ImporterResyncs sums full-snapshot resyncs across every import link
+	// at the end of the run; cursor-transparent recovery demands zero.
+	ImporterResyncs int64    `json:"importer_resyncs,omitempty"`
+	Recovery        *Summary `json:"recovery,omitempty"`
+
 	// ShardCVMean/Max summarize per-registry shard-load imbalance: the
 	// coefficient of variation of the 16 shard write counters, averaged
 	// (and maxed) across homes. 0 is perfectly uniform.
@@ -131,6 +148,15 @@ func (s *Sim) result() Result {
 		CallMisses:     s.m.callMisses,
 		DroppedSamples: s.m.dropped,
 		SignedOps:      s.m.signedOps,
+
+		Crashes:             s.m.crashes,
+		RecoveredEntries:    s.m.recoveredEntries,
+		ReplayedRecords:     s.m.replayedRecords,
+		MissingAfterRestart: s.m.missingAfterRestart,
+	}
+	if s.m.crashes > 0 {
+		rs := summarize(s.m.recoveryMS)
+		r.Recovery = &rs
 	}
 	var cvSum, cvMax float64
 	for _, h := range s.homes {
@@ -138,6 +164,9 @@ func (s *Sim) result() Result {
 		cvSum += c
 		if c > cvMax {
 			cvMax = c
+		}
+		for _, il := range h.links {
+			r.ImporterResyncs += int64(il.link.Status().Resyncs)
 		}
 		if h.log != nil {
 			r.AuditRecords += int64(h.log.Seq())

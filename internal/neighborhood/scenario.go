@@ -64,6 +64,19 @@ type PartitionWindow struct {
 	Fraction float64       `json:"fraction"`
 }
 
+// CrashWindow kills one home outright at At — WAL fd closed with no
+// sync and no marker, exactly a kill -9 — and restarts it from its data
+// directory after Down. Unlike a partition, the process state is gone:
+// only what the durable registry recovered survives. Requires Durable.
+type CrashWindow struct {
+	// Home is the index of the home to kill.
+	Home int `json:"home"`
+	// At is when (virtual time from the epoch) the home dies.
+	At time.Duration `json:"at"`
+	// Down is how long it stays dead before restarting.
+	Down time.Duration `json:"down"`
+}
+
 // Scenario is the complete, serializable description of one simulation.
 // Together with a seed it determines every event in the run.
 type Scenario struct {
@@ -95,6 +108,15 @@ type Scenario struct {
 	FlapInterval time.Duration `json:"flap_interval,omitempty"`
 	// Partitions schedules wider outages.
 	Partitions []PartitionWindow `json:"partitions,omitempty"`
+
+	// Durable gives every home a WAL+snapshot registry in a run-private
+	// temp directory, so a CrashWindow can kill and recover real state.
+	Durable bool `json:"durable,omitempty"`
+	// SnapshotEvery tunes the durable registries' snapshot cadence
+	// (records between snapshots; 0 takes the uddi default).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// Crash schedules one kill-restart. Requires Durable.
+	Crash *CrashWindow `json:"crash,omitempty"`
 
 	// Auth arms per-home identities and mutual signing on every link;
 	// Audit arms the hash-chained audit log on every home.
@@ -137,6 +159,17 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("scenario %q: partition fraction %v out of [0,1]", s.Name, p.Fraction)
 		}
 	}
+	if s.Crash != nil {
+		if !s.Durable {
+			return fmt.Errorf("scenario %q: a crash window requires durable registries", s.Name)
+		}
+		if s.Crash.Home < 0 || s.Crash.Home >= s.Homes {
+			return fmt.Errorf("scenario %q: crash home %d out of range [0,%d)", s.Name, s.Crash.Home, s.Homes)
+		}
+		if s.Crash.At <= 0 || s.Crash.Down <= 0 || s.Crash.At+s.Crash.Down >= s.Duration {
+			return fmt.Errorf("scenario %q: crash window [%v,+%v) must fall inside the run", s.Name, s.Crash.At, s.Crash.Down)
+		}
+	}
 	return nil
 }
 
@@ -144,9 +177,10 @@ func (s Scenario) Validate() error {
 // parameter except Homes, which callers scale.
 func Presets() map[string]Scenario {
 	return map[string]Scenario{
-		"churn":       Churn(64),
-		"propagation": Propagation(32),
-		"secure":      Secure(32),
+		"churn":          Churn(64),
+		"propagation":    Propagation(32),
+		"secure":         Secure(32),
+		"crash-recovery": CrashRecovery(16),
 	}
 }
 
@@ -193,6 +227,24 @@ func Propagation(homes int) Scenario {
 		ServiceTTL:      10 * time.Minute,
 		Costs:           DefaultCosts(),
 	}
+}
+
+// CrashRecovery is the durability-stress preset: churn-grade register
+// and expiry traffic over durable registries, with one home killed
+// without ceremony mid-run and restarted from its data directory. It
+// feeds the crash-recovery hypothesis: acknowledged registrations
+// survive, sequence numbers stay monotone, and the home's importers
+// resume from their cursors without a single full-snapshot resync.
+// Flaps and partitions are off so the only outage is the kill.
+func CrashRecovery(homes int) Scenario {
+	s := Churn(homes)
+	s.Name = "crash-recovery"
+	s.Durable = true
+	s.SnapshotEvery = 64
+	s.FlapInterval = 0
+	s.Partitions = nil
+	s.Crash = &CrashWindow{Home: 0, At: 20 * time.Second, Down: 5 * time.Second}
+	return s
 }
 
 // Secure is Propagation with the security and audit planes armed:

@@ -5,6 +5,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"homeconnect/internal/core/audit"
@@ -84,6 +86,12 @@ type home struct {
 	live []liveService
 
 	partitioned bool
+	// down marks a crashed home: unlike a partition the process is gone,
+	// so no workload runs until the restart rebuilds it from dataDir.
+	down bool
+	// dataDir is this home's durable registry directory ("" when the
+	// scenario runs in memory).
+	dataDir string
 }
 
 type liveService struct {
@@ -98,6 +106,10 @@ type importLink struct {
 	// pending are propagation samples exported by from that to has not
 	// observed yet, in export order.
 	pending []sample
+	// awaitRecovery, when set, is the virtual instant the exporter came
+	// back from a crash; the next successful pull closes the recovery
+	// latency sample.
+	awaitRecovery time.Time
 }
 
 type sample struct {
@@ -126,6 +138,9 @@ type Sim struct {
 	net   *transport.MemNet
 	rng   *rand.Rand // scenario-level draws: flaps, partitions
 	homes []*home
+	// dataRoot holds the per-home durable registry directories for a
+	// Durable scenario; removed on Close.
+	dataRoot string
 
 	events eventHeap
 	seq    uint64
@@ -138,6 +153,7 @@ type Sim struct {
 type counters struct {
 	propagationMS []float64
 	callMS        []float64
+	recoveryMS    []float64
 
 	pulls         int64
 	pullErrors    int64
@@ -148,6 +164,11 @@ type counters struct {
 	callMisses    int64
 	signedOps     int64
 	dropped       int64
+
+	crashes             int64
+	recoveredEntries    int64
+	replayedRecords     int64
+	missingAfterRestart int64
 }
 
 // NewSim builds the neighborhood but does not start the clock. Homes
@@ -166,6 +187,14 @@ func NewSim(scn Scenario, seed int64) (*Sim, error) {
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 	s.end = simEpoch.Add(scn.Duration)
+
+	if scn.Durable {
+		root, err := os.MkdirTemp("", "nbsim-durable-*")
+		if err != nil {
+			return nil, fmt.Errorf("durable data root: %w", err)
+		}
+		s.dataRoot = root
+	}
 
 	// Identities first, so every home can trust its peers before any
 	// face comes up.
@@ -232,32 +261,62 @@ func (s *Sim) buildHome(idx int, ids []*identity.Identity) (*home, error) {
 	}
 	h.auth = a
 
-	h.reg = uddi.NewManualServer()
-	h.reg.SetClock(s.clock.Now)
+	if s.scn.Durable {
+		h.dataDir = filepath.Join(s.dataRoot, name)
+	}
 	if s.scn.Audit {
 		lg, err := audit.New(audit.Options{})
 		if err != nil {
 			return nil, err
 		}
 		h.log = lg
-		h.reg.SetAuditRecorder(audit.WithFace(lg, "uddi", name))
+	}
+	if err := s.bootHome(h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// bootHome builds (or, after a crash, rebuilds) one home's process
+// state: registry — recovered from dataDir when durable — detached VSR
+// faces and the peering, and puts it on the network. Import links are
+// wired separately: NewSim creates them once, restartHome re-creates
+// them on the fresh peering.
+func (s *Sim) bootHome(h *home) error {
+	if h.dataDir != "" {
+		reg, err := uddi.NewManualDurableServer(uddi.DurabilityOptions{
+			Dir:           h.dataDir,
+			Fsync:         uddi.FsyncOff,
+			SnapshotEvery: s.scn.SnapshotEvery,
+			Clock:         s.clock.Now,
+		})
+		if err != nil {
+			return fmt.Errorf("durable registry for %s: %w", h.name, err)
+		}
+		h.reg = reg
+	} else {
+		h.reg = uddi.NewManualServer()
+		h.reg.SetClock(s.clock.Now)
+	}
+	if h.log != nil {
+		h.reg.SetAuditRecorder(audit.WithFace(h.log, "uddi", h.name))
 	}
 
-	h.srv = vsr.NewDetachedServer(name, h.reg, a)
-	p, err := peer.New(name, h.reg, a)
+	h.srv = vsr.NewDetachedServer(h.name, h.reg, h.auth)
+	p, err := peer.New(h.name, h.reg, h.auth)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	p.SetClock(s.clock)
 	p.SetTransport(s.net)
 	p.SetImportTTL(s.scn.Duration + time.Hour)
 	if h.log != nil {
-		p.SetRecorder(audit.WithFace(h.log, "peer", name))
+		p.SetRecorder(audit.WithFace(h.log, "peer", h.name))
 	}
 	h.peering = p
 	h.srv.MountPeer(p.ExportHandler())
-	s.net.Handle(name, h.srv.Handler())
-	return h, nil
+	s.net.Handle(h.name, h.srv.Handler())
+	return nil
 }
 
 // topologyPairs lists (importer, exporter) index pairs for the
@@ -356,6 +415,12 @@ func (s *Sim) Run() Result {
 		w := w
 		s.schedule(simEpoch.Add(w.Start), func() { s.partition(w) })
 	}
+	// Kill-restart.
+	if c := s.scn.Crash; c != nil {
+		h := s.homes[c.Home]
+		s.schedule(simEpoch.Add(c.At), func() { s.crashHome(h) })
+		s.schedule(simEpoch.Add(c.At+c.Down), func() { s.restartHome(h) })
+	}
 
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(*event)
@@ -410,12 +475,14 @@ func (s *Sim) opCost(base time.Duration) time.Duration {
 }
 
 func (s *Sim) registerEvent(h *home) {
-	s.exportService(h, s.clock.Now())
+	if !h.down {
+		s.exportService(h, s.clock.Now())
+	}
 	s.after(h.rng, s.scn.RegisterRate, func() { s.registerEvent(h) })
 }
 
 func (s *Sim) expireEvent(h *home) {
-	if len(h.live) > 0 {
+	if !h.down && len(h.live) > 0 {
 		i := h.rng.Intn(len(h.live))
 		svc := h.live[i]
 		h.live[i] = h.live[len(h.live)-1]
@@ -431,6 +498,9 @@ func (s *Sim) expireEvent(h *home) {
 // local registry replica, then pay the call cost on both sides.
 func (s *Sim) callEvent(h *home) {
 	defer s.after(h.rng, s.scn.CallRate, func() { s.callEvent(h) })
+	if h.down {
+		return
+	}
 	s.m.calls++
 	if len(h.links) == 0 {
 		s.m.callMisses++
@@ -438,7 +508,7 @@ func (s *Sim) callEvent(h *home) {
 	}
 	il := h.links[h.rng.Intn(len(h.links))]
 	target := il.from
-	if len(target.live) == 0 {
+	if target.down || len(target.live) == 0 {
 		s.m.callMisses++
 		return
 	}
@@ -463,8 +533,8 @@ func (s *Sim) pullTick(il *importLink) {
 // pullOnce drives one anti-entropy pull over the wire and charges both
 // sides of it in the queueing model.
 func (s *Sim) pullOnce(il *importLink, now time.Time) {
-	if il.to.partitioned {
-		return // importer is off the network; its puller is down too
+	if il.to.partitioned || il.to.down {
+		return // importer is off the network (or dead); its puller is too
 	}
 	s.m.pulls++
 	before := il.link.Status().Applied
@@ -480,6 +550,14 @@ func (s *Sim) pullOnce(il *importLink, now time.Time) {
 	il.from.serve(now, s.opCost(s.scn.Costs.PullExporter))
 	cost := s.opCost(s.scn.Costs.PullImporter) + time.Duration(applied)*s.scn.Costs.PerDelta
 	done := il.to.serve(now, cost)
+
+	// First successful pull after the exporter's restart: the importer is
+	// caught up again — close the crash-recovery latency sample.
+	if !il.awaitRecovery.IsZero() {
+		s.m.recoveryMS = append(s.m.recoveryMS,
+			float64(done.Sub(il.awaitRecovery))/float64(time.Millisecond))
+		il.awaitRecovery = time.Time{}
+	}
 
 	// Settle propagation samples this pull made visible.
 	kept := il.pending[:0]
@@ -503,6 +581,9 @@ func (s *Sim) pullOnce(il *importLink, now time.Time) {
 
 func (s *Sim) sweepTick() {
 	for _, h := range s.homes {
+		if h.down {
+			continue // no janitor runs in a dead process
+		}
 		h.reg.Sweep()
 	}
 	s.schedule(s.clock.Now().Add(s.scn.SweepInterval), s.sweepTick)
@@ -529,6 +610,65 @@ func (s *Sim) partition(w PartitionWindow) {
 	}
 }
 
+// crashHome is the kill -9: the home vanishes from the network and its
+// registry's WAL fd closes with no sync, no marker, no shutdown event.
+// The in-memory state — journal ring, link cursors, queue horizon — is
+// gone with the process; only the data directory survives.
+func (s *Sim) crashHome(h *home) {
+	h.down = true
+	s.net.Handle(h.name, nil)
+	h.peering.Close()
+	h.reg.CrashClose()
+	h.srv.Close()
+	s.m.crashes++
+}
+
+// restartHome rebuilds the home from its data directory: the registry
+// recovers snapshot + WAL tail, fresh faces and peering come up, and
+// the home's own import links restart from scratch (their cursors were
+// process state). Its importers' links are untouched — whether they
+// resume from their cursors without a resync is exactly what the run
+// measures.
+func (s *Sim) restartHome(h *home) {
+	now := s.clock.Now()
+	if err := s.bootHome(h); err != nil {
+		panic(fmt.Sprintf("sim: restart %s: %v", h.name, err))
+	}
+	rec := h.reg.Recovery()
+	s.m.recoveredEntries += int64(rec.Entries)
+	s.m.replayedRecords += int64(rec.Replayed)
+
+	// Every registration the home had acknowledged must still resolve.
+	kept := h.live[:0]
+	for _, svc := range h.live {
+		if _, ok := h.reg.Get(svc.key); ok {
+			kept = append(kept, svc)
+		} else {
+			s.m.missingAfterRestart++
+		}
+	}
+	h.live = kept
+
+	// The home's own import links are rebuilt on the new peering; first
+	// contact reconciles against state the recovery already restored.
+	for _, il := range h.links {
+		l, err := h.peering.PeerManual("http://" + il.from.name + "/peer")
+		if err != nil {
+			panic(fmt.Sprintf("sim: re-peer %s -> %s: %v", h.name, il.from.name, err))
+		}
+		il.link = l
+	}
+	// Importers' next successful pull closes the recovery-latency sample.
+	for _, il := range h.importers {
+		il.awaitRecovery = now
+	}
+	h.down = false
+	// The model pays the replay on the home's serial server before it
+	// takes new work: one per-delta cost per replayed WAL record.
+	h.busyUntil = now
+	h.serve(now, time.Duration(rec.Replayed)*s.scn.Costs.PerDelta)
+}
+
 func (s *Sim) setPartitioned(h *home, down bool) {
 	h.partitioned = down
 	if down {
@@ -539,7 +679,7 @@ func (s *Sim) setPartitioned(h *home, down bool) {
 }
 
 // Close releases every home (peerings stop their links; detached
-// servers hold no listeners).
+// servers hold no listeners) and removes the durable data root.
 func (s *Sim) Close() {
 	for _, h := range s.homes {
 		if h.peering != nil {
@@ -551,5 +691,8 @@ func (s *Sim) Close() {
 		if h.reg != nil {
 			h.reg.Close()
 		}
+	}
+	if s.dataRoot != "" {
+		os.RemoveAll(s.dataRoot)
 	}
 }

@@ -9,6 +9,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -50,6 +51,10 @@ type Config struct {
 	// /audit faces before any network or device comes up, so the log
 	// captures the whole lifetime.
 	Audit bool
+	// DataDir, when set, makes the home's repository durable (WAL +
+	// snapshots under this directory, recovered on restart). Multi-home
+	// constructions (NewNeighborhood) give each home a subdirectory.
+	DataDir string
 }
 
 // All enables every middleware — the paper's Figure 3 prototype plus the
@@ -396,6 +401,9 @@ func NewNeighborhood(ctx context.Context, n int, cfg Config) ([]*Home, error) {
 	for i := 1; i <= n; i++ {
 		hcfg := cfg
 		hcfg.Home = fmt.Sprintf("%s-%d", prefix, i)
+		if cfg.DataDir != "" {
+			hcfg.DataDir = filepath.Join(cfg.DataDir, hcfg.Home)
+		}
 		h, err := NewHome(ctx, hcfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: build %s: %w", hcfg.Home, err)

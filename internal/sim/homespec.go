@@ -10,6 +10,7 @@ import (
 	"homeconnect/internal/core"
 	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/identity"
+	"homeconnect/internal/uddi"
 )
 
 // HomeSpec describes one home independent of which middleware networks
@@ -31,6 +32,16 @@ type HomeSpec struct {
 	// the paper's one-gateway-per-physical-network deployment — while the
 	// neighborhood harness keeps it on for same-home calls.
 	Loopback bool
+	// DataDir, when set, makes the home's repository durable: the change
+	// journal is write-ahead logged and snapshotted under this directory
+	// and recovered on the next Build from it, so registrations, sequence
+	// numbers and remaining TTLs survive a restart.
+	DataDir string
+	// Fsync and SnapshotEvery tune the durable repository (see
+	// uddi.DurabilityOptions); zero values take the uddi defaults.
+	// Ignored without DataDir.
+	Fsync         uddi.FsyncPolicy
+	SnapshotEvery int
 }
 
 // spec is the HomeSpec equivalent of a Config's federation prologue.
@@ -41,6 +52,7 @@ func (c Config) spec() HomeSpec {
 		Trusted:  c.Trusted,
 		Audit:    c.Audit,
 		Loopback: false,
+		DataDir:  c.DataDir,
 	}
 }
 
@@ -49,7 +61,15 @@ func (c Config) spec() HomeSpec {
 // open traffic precedes enforcement), then audit, then the loopback
 // gate. The caller owns the federation and must Close it.
 func (s HomeSpec) Build() (*core.Federation, error) {
-	fed, err := core.NewHomeFederation(s.Name)
+	var fed *core.Federation
+	var err error
+	if s.DataDir != "" {
+		fed, err = core.NewDurableHomeFederation(s.Name, uddi.DurabilityOptions{
+			Dir: s.DataDir, Fsync: s.Fsync, SnapshotEvery: s.SnapshotEvery,
+		})
+	} else {
+		fed, err = core.NewHomeFederation(s.Name)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -67,6 +67,13 @@ type Server struct {
 	// expiries and endpoint re-homes.
 	auditRec atomic.Pointer[audit.Recorder]
 
+	// wal, when non-nil, persists the journal to disk (see wal.go). Its
+	// fields are guarded by jmu. recoveredPending defers the boot-time
+	// registry.recovered audit event until a recorder is installed.
+	wal              *wal
+	recoveredMsg     string
+	recoveredPending atomic.Bool
+
 	stopOnce sync.Once
 	stop     chan struct{}
 }
@@ -107,16 +114,27 @@ func NewManualServer() *Server {
 }
 
 // Sweep runs one expiry pass at the registry's current clock reading,
-// deleting lapsed registrations and journaling each expiry. The
-// background janitor calls this every sweepInterval; a manual registry's
-// owner calls it on its own schedule.
-func (s *Server) Sweep() { s.expireSweep() }
+// deleting lapsed registrations and journaling each expiry, then any due
+// durability work (interval fsync, snapshot). The background janitor
+// calls this every sweepInterval; a manual registry's owner calls it on
+// its own schedule.
+func (s *Server) Sweep() {
+	s.expireSweep()
+	s.walMaintain()
+}
 
-// Close stops the expiry janitor and wakes parked watchers.
+// Close stops the expiry janitor, wakes parked watchers, and closes the
+// WAL (flushed, but without the clean-shutdown marker — use Shutdown for
+// a marked close that lets the next boot skip tail recovery).
 func (s *Server) Close() {
 	s.stopOnce.Do(func() {
 		close(s.stop)
 		s.jmu.Lock()
+		if s.wal != nil && s.wal.f != nil {
+			s.wal.f.Sync()
+			s.wal.f.Close()
+			s.wal.f = nil
+		}
 		close(s.wake)
 		s.wake = make(chan struct{})
 		s.jmu.Unlock()
@@ -127,13 +145,18 @@ func (s *Server) Close() {
 func (s *Server) SetClock(now func() time.Time) { s.nowFn.Store(now) }
 
 // SetAuditRecorder installs the audit recorder registry lifecycle events
-// (expiries, re-homes) are reported to; nil turns recording off.
+// (expiries, re-homes, recovery) are reported to; nil turns recording
+// off. If the registry recovered from an unclean shutdown before a
+// recorder existed, the deferred registry.recovered event is emitted now.
 func (s *Server) SetAuditRecorder(r audit.Recorder) {
 	if r == nil {
 		s.auditRec.Store(nil)
 		return
 	}
 	s.auditRec.Store(&r)
+	if s.recoveredPending.CompareAndSwap(true, false) {
+		s.auditEvent(audit.Event{Type: audit.RegistryRecovered, Detail: s.recoveredMsg})
+	}
 }
 
 // auditEvent emits an audit event if a recorder is installed.
@@ -189,9 +212,13 @@ func (s *Server) JournalStats() (length, capacity int, seq uint64) {
 	return len(s.journal), s.jcap, s.seq
 }
 
-// appendChange journals one mutation. Callers hold the shard lock for the
-// change's key, which serializes per-key journal order with map order.
-func (s *Server) appendChange(op ChangeOp, e Entry) {
+// appendChange journals one mutation, writing it through to the WAL (when
+// durable) before the caller's save/delete returns. expires carries the
+// registration deadline for adds/updates so recovery can re-arm leases
+// with their remaining lifetime; zero for deletes and expiries. Callers
+// hold the shard lock for the change's key, which serializes per-key
+// journal order with map order.
+func (s *Server) appendChange(op ChangeOp, e Entry, expires time.Time) {
 	if op == OpDelete || op == OpExpire {
 		// Invalidation needs identity, not payload; drop the heavy fields.
 		e = Entry{Key: e.Key, Name: e.Name}
@@ -202,6 +229,7 @@ func (s *Server) appendChange(op ChangeOp, e Entry) {
 	if len(s.journal) > s.jcap {
 		s.journal = s.journal[len(s.journal)-s.jcap:]
 	}
+	s.walAppend(op, e, expires)
 	close(s.wake)
 	s.wake = make(chan struct{})
 	s.jmu.Unlock()
@@ -217,7 +245,7 @@ func (s *Server) janitor() {
 		case <-s.stop:
 			return
 		case <-t.C:
-			s.expireSweep()
+			s.Sweep()
 		}
 	}
 }
@@ -230,7 +258,7 @@ func (s *Server) expireSweep() {
 		for key, rec := range sh.entries {
 			if now.After(rec.expires) {
 				delete(sh.entries, key)
-				s.appendChange(OpExpire, rec.entry)
+				s.appendChange(OpExpire, rec.entry, time.Time{})
 				s.auditEvent(audit.Event{Type: audit.Expire, Service: rec.entry.Name,
 					Detail: "registration TTL lapsed (gateway went silent)"})
 			}
@@ -260,8 +288,9 @@ func (s *Server) Save(e Entry, ttl time.Duration) string {
 			rehomedFrom = old.entry.AccessPoint
 		}
 	}
-	sh.entries[e.Key] = &record{entry: e.Clone(), expires: s.now().Add(ttl)}
-	s.appendChange(op, e)
+	deadline := s.now().Add(ttl)
+	sh.entries[e.Key] = &record{entry: e.Clone(), expires: deadline}
+	s.appendChange(op, e, deadline)
 	sh.mu.Unlock()
 	if rehomedFrom != "" {
 		s.auditEvent(audit.Event{Type: audit.ReHome, Service: e.Name,
@@ -289,7 +318,7 @@ func (s *Server) Delete(key string) {
 	if rec, ok := sh.entries[key]; ok {
 		delete(sh.entries, key)
 		s.shardOps[shardIndex(key)].Add(1)
-		s.appendChange(OpDelete, rec.entry)
+		s.appendChange(OpDelete, rec.entry, time.Time{})
 	}
 	sh.mu.Unlock()
 }
