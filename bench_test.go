@@ -22,6 +22,7 @@ import (
 	"homeconnect/internal/core"
 	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/events"
+	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/pcm"
 	"homeconnect/internal/core/scene"
 	"homeconnect/internal/core/vsg"
@@ -30,6 +31,7 @@ import (
 	"homeconnect/internal/service"
 	"homeconnect/internal/sim"
 	"homeconnect/internal/soap"
+	"homeconnect/internal/transport"
 	"homeconnect/internal/uddi"
 	"homeconnect/internal/x10"
 )
@@ -1265,5 +1267,226 @@ func BenchmarkFederationHomesScale(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- E14: binary fast-path wire (PR 9) ----------------------------------
+
+// benchSecureFleet is benchFleet with authentication enforced: every
+// home gets a generated identity and the fleet trusts itself mutually,
+// so framework links negotiate the session-keyed binary fast path.
+func benchSecureFleet(b *testing.B, n int) []*core.Federation {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	homes := make([]*core.Federation, n)
+	ids := make([]*identity.Identity, n)
+	for i := range homes {
+		name := fmt.Sprintf("home-%d", i+1)
+		id, err := identity.Generate(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fed, err := core.NewHomeFederation(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(fed.Close)
+		if err := fed.SetIdentity(id); err != nil {
+			b.Fatal(err)
+		}
+		homes[i], ids[i] = fed, id
+		net, err := fed.AddNetwork("net")
+		if err != nil {
+			b.Fatal(err)
+		}
+		svcID := fmt.Sprintf("bench:svc-%d", i+1)
+		desc := service.Description{
+			ID: svcID, Name: svcID, Middleware: "bench",
+			Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+				{Name: "Ping", Output: service.KindInt},
+			}},
+		}
+		inv := service.InvokerFunc(func(context.Context, string, []service.Value) (service.Value, error) {
+			return service.IntValue(int64(42)), nil
+		})
+		if err := net.Gateway().Export(ctx, desc, inv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, fed := range homes {
+		for j := range homes {
+			if i == j {
+				continue
+			}
+			if err := fed.TrustHome(ids[j].Home(), ids[j].PublicKey()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for i, fed := range homes {
+		for j, other := range homes {
+			if i == j {
+				continue
+			}
+			if err := fed.Peer(other.PeerURL()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for i, fed := range homes {
+		gw := fed.Network("net").Gateway()
+		for j := range homes {
+			if i == j {
+				continue
+			}
+			id := fmt.Sprintf("home-%d/bench:svc-%d", j+1, j+1)
+			for {
+				if _, err := gw.Resolve(ctx, id); err == nil {
+					break
+				}
+				select {
+				case <-ctx.Done():
+					b.Fatalf("home-%d never saw %s: %v", i+1, id, ctx.Err())
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+		}
+	}
+	return homes
+}
+
+// BenchmarkBinaryCrossHomeCall is BenchmarkCrossHomeCall with the
+// session-keyed binary fast path negotiated: the per-call cost is one
+// MAC'd length-prefixed frame each way instead of a signed SOAP/HTTP
+// exchange. Target: < 10µs/op (the gate in BENCH_pr9.json).
+func BenchmarkBinaryCrossHomeCall(b *testing.B) {
+	homes := benchSecureFleet(b, 2)
+	gw := homes[1].Network("net").Gateway()
+	ctx := context.Background()
+	// Warm one call so the session handshake happens outside the
+	// measured region, then insist the fast path actually negotiated —
+	// a silent SOAP fallback would invalidate the number.
+	if _, err := gw.Call(ctx, "home-1/bench:svc-1", "Ping", nil); err != nil {
+		b.Fatal(err)
+	}
+	if !wireHasBinary(homes[1].WireStats()) {
+		b.Fatalf("binary fast path not negotiated: %v", homes[1].WireStats())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gw.Call(ctx, "home-1/bench:svc-1", "Ping", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// wireHasBinary reports whether any link in ws negotiated the fast path.
+func wireHasBinary(ws transport.WireStats) bool {
+	for _, ls := range ws {
+		if ls.Protocol == "binary" {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchmarkBinaryPeerPropagate is BenchmarkPeerPropagate over the
+// authenticated fleet: registration update in home 1 → watch round over
+// the binary wire → delta on a home-2-side watcher. Target: < 100µs/op.
+func BenchmarkBinaryPeerPropagate(b *testing.B) {
+	homes := benchSecureFleet(b, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// With authentication on, each repository's /uddi face is private to
+	// its own home: both the watcher and the registering client must
+	// carry their home's credentials.
+	watchD := transport.NewDialer(homes[1].Auth())
+	defer watchD.Close()
+	v := vsr.New(homes[1].VSRURL())
+	v.SetDialer(watchD)
+	ch, err := v.Watch(ctx, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	regD := transport.NewDialer(homes[0].Auth())
+	defer regD.Close()
+	a := vsr.New(homes[0].VSRURL())
+	a.SetDialer(regD)
+	desc := service.Description{
+		ID: "bench:svc-1", Name: "bench:svc-1", Middleware: "bench",
+		Interface: service.Interface{Name: "Echo", Operations: []service.Operation{
+			{Name: "Ping", Output: service.KindInt},
+		}},
+	}
+	for drained := false; !drained; {
+		select {
+		case <-ch:
+		case <-time.After(200 * time.Millisecond):
+			drained = true
+		}
+	}
+	endpoint := homes[0].Network("net").Gateway().EndpointFor("bench:svc-1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Register(ctx, desc, endpoint); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			d, ok := <-ch
+			if !ok {
+				b.Fatal("watch closed")
+			}
+			if (d.Op == vsr.DeltaAdd || d.Op == vsr.DeltaUpdate) && d.ServiceID == "home-1/bench:svc-1" {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkSessionHandshake prices the signed mutual handshake that
+// replaces per-operation signatures: one full dialer↔listener exchange
+// (two signatures, two verifications, one ECDH agreement, key
+// derivation). Paid once per peer pair per session lifetime instead of
+// twice per call.
+func BenchmarkSessionHandshake(b *testing.B) {
+	aID, err := identity.Generate("cottage")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bID, err := identity.Generate("apartment")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := identity.NewAuth("cottage")
+	if err := a.SetIdentity(aID); err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Trust(bID.Home(), bID.PublicKey()); err != nil {
+		b.Fatal(err)
+	}
+	bb := identity.NewAuth("apartment")
+	if err := bb.SetIdentity(bID); err != nil {
+		b.Fatal(err)
+	}
+	if err := bb.Trust(aID.Home(), aID.PublicKey()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hc, err := a.NewSessionClient()
+		if err != nil {
+			b.Fatal(err)
+		}
+		accept, _, err := bb.AcceptSession(hc.Hello())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hc.Finish(accept); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

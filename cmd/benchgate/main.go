@@ -17,6 +17,12 @@
 // de-pooling: removing the SOAP encoder's buffer pool, for instance,
 // moves 1 alloc/op to 8 and trips the gate.
 //
+// Baseline entries may additionally (or instead) declare "ns_ceiling":
+// an absolute ns/op bound for latency-target benchmarks — the binary
+// fast path's cross-home-call and peer-propagate budgets. Entries gated
+// only on a ceiling set "allocs_op": -1, and the run feeding them must
+// use a real -benchtime so ns/op is a steady-state average.
+//
 // -snapshot FILE additionally writes the parsed run in the BENCH_prN.json
 // format, for committing a PR's numbers.
 package main
@@ -65,6 +71,14 @@ type benchNumbers struct {
 	NsOp     float64 `json:"ns_op"`
 	BytesOp  int64   `json:"bytes_op"`
 	AllocsOp int64   `json:"allocs_op"`
+	// NsCeiling, when set in a baseline, gates the benchmark's measured
+	// ns/op against an absolute latency target (a paper- or design-level
+	// bound like "cross-home call under 10µs") instead of a relative
+	// regression margin. Wire-path benchmarks use it with allocs_op: -1,
+	// since their alloc counts at -benchtime 1x are not deterministic;
+	// runs feeding a ceiling-gated baseline must use a real -benchtime so
+	// ns/op is a steady-state average, not one cold iteration.
+	NsCeiling float64 `json:"ns_ceiling,omitempty"`
 }
 
 // trailingProcs strips the -GOMAXPROCS suffix from a benchmark name.
@@ -140,11 +154,15 @@ func allocLimit(base int64) int64 { return base + base/4 + 2 }
 type gateResult struct {
 	name           string
 	base, got, lim int64
+	ceil, ns       float64
 	missing        bool
 	failed         bool
+	nsFailed       bool
 }
 
-// gate compares measured minima against the baseline's guarded set.
+// gate compares measured minima against the baseline's guarded set: the
+// relative allocs/op margin for entries with a non-negative baseline
+// count, plus the absolute ns/op ceiling for entries that declare one.
 func gate(baseline map[string]benchNumbers, got map[string]benchNumbers) []gateResult {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
@@ -153,17 +171,22 @@ func gate(baseline map[string]benchNumbers, got map[string]benchNumbers) []gateR
 	sort.Strings(names)
 	results := make([]gateResult, 0, len(names))
 	for _, name := range names {
-		base := baseline[name].AllocsOp
-		r := gateResult{name: name, base: base, lim: allocLimit(base)}
+		b := baseline[name]
+		r := gateResult{name: name, base: b.AllocsOp, lim: allocLimit(b.AllocsOp), ceil: b.NsCeiling}
 		n, ok := got[name]
 		switch {
-		case !ok || n.AllocsOp < 0:
+		case !ok || (b.AllocsOp >= 0 && n.AllocsOp < 0):
 			// A guarded benchmark that vanished (or stopped reporting
 			// allocations) is a rotted gate, which is itself a failure.
 			r.missing, r.failed = true, true
 		default:
-			r.got = n.AllocsOp
-			r.failed = n.AllocsOp > r.lim
+			r.got, r.ns = n.AllocsOp, n.NsOp
+			if b.AllocsOp >= 0 && n.AllocsOp > r.lim {
+				r.failed = true
+			}
+			if r.ceil > 0 && n.NsOp > r.ceil {
+				r.nsFailed, r.failed = true, true
+			}
 		}
 		results = append(results, r)
 	}
@@ -233,25 +256,36 @@ func main() {
 	}
 
 	failed := false
-	fmt.Printf("benchgate: gating %d benchmarks against %s (limit = base + base/4 + 2 allocs/op)\n",
+	fmt.Printf("benchgate: gating %d benchmarks against %s (limit = base + base/4 + 2 allocs/op; ns_ceiling absolute)\n",
 		len(guarded), *baselinePath)
 	for _, r := range gate(guarded, got) {
-		switch {
-		case r.missing:
+		if r.missing {
 			failed = true
 			fmt.Printf("  FAIL %-44s guarded benchmark missing from run\n", r.name)
-		case r.failed:
-			failed = true
-			fmt.Printf("  FAIL %-44s allocs/op %d > limit %d (baseline %d)\n", r.name, r.got, r.lim, r.base)
-		default:
-			fmt.Printf("  ok   %-44s allocs/op %d <= limit %d (baseline %d)\n", r.name, r.got, r.lim, r.base)
+			continue
+		}
+		if r.base >= 0 {
+			if r.got > r.lim {
+				failed = true
+				fmt.Printf("  FAIL %-44s allocs/op %d > limit %d (baseline %d)\n", r.name, r.got, r.lim, r.base)
+			} else {
+				fmt.Printf("  ok   %-44s allocs/op %d <= limit %d (baseline %d)\n", r.name, r.got, r.lim, r.base)
+			}
+		}
+		if r.ceil > 0 {
+			if r.nsFailed {
+				failed = true
+				fmt.Printf("  FAIL %-44s ns/op %.0f > ceiling %.0f\n", r.name, r.ns, r.ceil)
+			} else {
+				fmt.Printf("  ok   %-44s ns/op %.0f <= ceiling %.0f\n", r.name, r.ns, r.ceil)
+			}
 		}
 	}
 	if failed {
-		fmt.Println("benchgate: allocation regression detected")
+		fmt.Println("benchgate: regression detected")
 		os.Exit(1)
 	}
-	fmt.Println("benchgate: no allocation regressions")
+	fmt.Println("benchgate: no regressions")
 }
 
 // writeSnapshot renders the parsed run in the committed-snapshot layout.

@@ -178,6 +178,38 @@ func TestGate(t *testing.T) {
 	}
 }
 
+// TestGateNsCeiling covers the absolute-latency gate: ceiling-only
+// entries (allocs_op -1) ignore allocation counts entirely, combined
+// entries enforce both bounds, and a missing benchmark still fails.
+func TestGateNsCeiling(t *testing.T) {
+	baseline := map[string]benchNumbers{
+		"BenchmarkBinaryCrossHomeCall": {AllocsOp: -1, NsCeiling: 10000},
+		"BenchmarkBinaryPeerPropagate": {AllocsOp: -1, NsCeiling: 100000},
+		"BenchmarkBoth":                {AllocsOp: 1, NsCeiling: 5000},
+		"BenchmarkCeilingGone":         {AllocsOp: -1, NsCeiling: 1000},
+	}
+	got := map[string]benchNumbers{
+		// Under ceiling; alloc count irrelevant (and unreported).
+		"BenchmarkBinaryCrossHomeCall": {NsOp: 6200, AllocsOp: -1},
+		// Over ceiling: must fail even with fine allocs.
+		"BenchmarkBinaryPeerPropagate": {NsOp: 140000, AllocsOp: 10},
+		// Allocs fine, latency blown.
+		"BenchmarkBoth": {NsOp: 9000, AllocsOp: 1},
+	}
+	want := map[string]struct{ failed, nsFailed bool }{
+		"BenchmarkBinaryCrossHomeCall": {false, false},
+		"BenchmarkBinaryPeerPropagate": {true, true},
+		"BenchmarkBoth":                {true, true},
+		"BenchmarkCeilingGone":         {true, false},
+	}
+	for _, r := range gate(baseline, got) {
+		w := want[r.name]
+		if r.failed != w.failed || r.nsFailed != w.nsFailed {
+			t.Errorf("gate(%s): failed=%v nsFailed=%v, want %+v", r.name, r.failed, r.nsFailed, w)
+		}
+	}
+}
+
 func TestPattern(t *testing.T) {
 	baseline := map[string]benchNumbers{
 		"BenchmarkSOAPEncode":              {},

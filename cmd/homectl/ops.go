@@ -95,7 +95,9 @@ func peers(ctx context.Context, vsrURL string) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("%-12s %-6s %-5s %-8s %-7s %-7s %-7s %s\n", "PEER", "STATE", "AUTH", "IMPORTED", "APPLIED", "CURSOR", "RESYNCS", "DETAIL")
+	// PROTO sits after RESYNCS: scripts address the earlier columns by
+	// position (the soak job's awk does), so new columns append.
+	fmt.Printf("%-12s %-6s %-5s %-8s %-7s %-7s %-7s %-6s %s\n", "PEER", "STATE", "AUTH", "IMPORTED", "APPLIED", "CURSOR", "RESYNCS", "PROTO", "DETAIL")
 	for _, name := range names {
 		st := report.Peers[name]
 		state, auth := "down", "-"
@@ -113,7 +115,7 @@ func peers(ctx context.Context, vsrURL string) {
 		if label == "" {
 			label = name
 		}
-		fmt.Printf("%-12s %-6s %-5s %-8d %-7d %-7d %-7d %s\n", label, state, auth, st.Imported, st.Applied, st.Cursor, st.Resyncs, detail)
+		fmt.Printf("%-12s %-6s %-5s %-8d %-7d %-7d %-7d %-6s %s\n", label, state, auth, st.Imported, st.Applied, st.Cursor, st.Resyncs, dash(st.Proto), detail)
 	}
 }
 

@@ -11,7 +11,10 @@
 // trusts itself mutually; -untrusted N additionally leaves the last N
 // homes out of everyone's trust store, so their peer links are refused
 // and their repositories never see the neighborhood's services — the
-// secure-federation scenario docs/security.md walks through.
+// secure-federation scenario docs/security.md walks through. With -auth
+// the homes also negotiate the session-keyed binary fast path among
+// themselves; -soap-only N keeps the last N homes off it, so links
+// toward them demonstrably fall back to SOAP (proto= in the link lines).
 //
 //	homesim            # run until interrupted, print the VSR URL
 //	homesim -demo      # run the universal remote demo and exit
@@ -44,6 +47,7 @@ func main() {
 	homes := flag.Int("homes", 1, "number of peered homes to run")
 	auth := flag.Bool("auth", false, "give every home an identity; the neighborhood trusts itself mutually")
 	untrusted := flag.Int("untrusted", 0, "with -auth: leave the last N homes out of everyone's trust store")
+	soapOnly := flag.Int("soap-only", 0, "run the last N homes without the binary fast path; their links fall back to SOAP (mixed-mode interop)")
 	auditOn := flag.Bool("audit", false, "enable each home's audit log and its /health and /audit faces")
 	flag.Parse()
 
@@ -72,6 +76,10 @@ func main() {
 	if *untrusted >= *homes {
 		log.Fatalf("homesim: -untrusted %d must leave at least one trusted home", *untrusted)
 	}
+	if *soapOnly < 0 || *soapOnly > *homes {
+		log.Fatalf("homesim: -soap-only %d must name between 0 and %d homes", *soapOnly, *homes)
+	}
+	cfg.SOAPOnlyLast = *soapOnly
 
 	// Close on every exit path — normal return, demo completion and
 	// log.Fatal cannot be relied on together, so closing is also wired to
@@ -165,8 +173,12 @@ func main() {
 				fmt.Printf("homesim: %s identity file at %s (pass to homectl -identity)\n", name, idPath)
 			}
 			for url, st := range home.Fed.PeerStatus() {
-				fmt.Printf("homesim: %s link %s connected=%v authenticated=%v imported=%d err=%q\n",
-					name, url, st.Connected, st.Authenticated, st.Imported, st.LastError)
+				proto := st.Proto
+				if proto == "" {
+					proto = "-"
+				}
+				fmt.Printf("homesim: %s link %s connected=%v authenticated=%v proto=%s imported=%d err=%q\n",
+					name, url, st.Connected, st.Authenticated, proto, st.Imported, st.LastError)
 			}
 		}
 	}

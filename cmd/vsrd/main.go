@@ -50,6 +50,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable registry directory (WAL + snapshots; recovered on restart)")
 	fsync := flag.String("fsync", "", "WAL fsync policy: always, interval or off (default interval; requires -data-dir)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot after this many WAL records (0 = default 1024, negative disables; requires -data-dir)")
+	binary := flag.Bool("binary", true, "offer the session-keyed binary fast path to peers (effective with -identity; SOAP/HTTP stays available)")
 	var peers, allow, deny, trust, aclAllow, aclDeny cli.Multi
 	flag.Var(&peers, "peer", "peer endpoint to import from (repeatable; requires -home)")
 	flag.Var(&allow, "export-allow", "export-policy allow pattern (repeatable)")
@@ -73,6 +74,7 @@ func main() {
 		audit:         *auditOn,
 		auditPath:     *auditLog,
 		auditBatch:    *auditBatch,
+		binary:        *binary,
 		dataDir:       *dataDir,
 		fsync:         *fsync,
 		snapshotEvery: *snapshotEvery,

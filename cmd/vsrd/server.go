@@ -11,6 +11,7 @@ import (
 	"homeconnect/internal/core/ops"
 	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/vsr"
+	"homeconnect/internal/transport"
 	"homeconnect/internal/uddi"
 )
 
@@ -29,6 +30,9 @@ type config struct {
 	audit      bool
 	auditPath  string
 	auditBatch int
+	// binary gates the session-keyed binary fast path (effective only
+	// with an identity; SOAP/HTTP always remains available).
+	binary bool
 	// dataDir, fsync, snapshotEvery arm the durable registry (WAL +
 	// snapshots under dataDir, recovered on restart).
 	dataDir       string
@@ -80,6 +84,7 @@ type healthReport struct {
 	AuthEnabled bool                   `json:"auth_enabled"`
 	Registry    registryStats          `json:"registry"`
 	Peers       map[string]peer.Status `json:"peers,omitempty"`
+	Wire        transport.WireStats    `json:"wire,omitempty"`
 	Audit       audit.Stats            `json:"audit"`
 	Durability  *uddi.DurabilityStats  `json:"durability,omitempty"`
 }
@@ -113,8 +118,10 @@ func (s *server) mountOps(cfg config, auth *identity.Auth) error {
 		ops.HealthHandler(func() any {
 			saves, finds := s.Registry().Stats()
 			var peers map[string]peer.Status
+			var wire transport.WireStats
 			if s.peering != nil {
 				peers = s.peering.Status()
+				wire = s.peering.WireStats()
 			}
 			var durability *uddi.DurabilityStats
 			if d := s.Registry().Durability(); d.Enabled {
@@ -130,6 +137,7 @@ func (s *server) mountOps(cfg config, auth *identity.Auth) error {
 					Seq:     s.Registry().Seq(),
 				},
 				Peers:      peers,
+				Wire:       wire,
 				Audit:      s.audit.Stats(),
 				Durability: durability,
 			}
@@ -230,7 +238,12 @@ func startServer(cfg config) (*server, error) {
 	}
 	p.SetPolicy(peer.Policy{Allow: cfg.allow, Deny: cfg.deny})
 	srv.MountPeer(p.ExportHandler())
+	srv.MountPeerView(p.ExportView)
 	s.peering = p
+	if !cfg.binary {
+		srv.SetBinaryEnabled(false)
+		p.SetBinaryEnabled(false)
+	}
 	if err := s.mountOps(cfg, auth); err != nil {
 		s.Close()
 		return nil, err

@@ -45,6 +45,7 @@ import (
 	"homeconnect/internal/core/peer"
 	"homeconnect/internal/core/scene"
 	"homeconnect/internal/service"
+	"homeconnect/internal/transport"
 )
 
 // Federation is a running instance of the framework: one Virtual Service
@@ -78,8 +79,23 @@ type (
 	// wins; an empty allow list admits everything.
 	PeerPolicy = peer.Policy
 	// PeerStatus is one replication link's condition, keyed by peer URL
-	// in Federation.PeerStatus.
+	// in Federation.PeerStatus. Its Proto field names the wire protocol
+	// the link rides: "binary" once the session-keyed fast path has been
+	// negotiated, "soap" otherwise.
 	PeerStatus = peer.Status
+)
+
+// Wire-mode re-exports (see internal/transport and DESIGN.md §16).
+// Framework-owned endpoints of identity-bearing homes negotiate a
+// compact binary framing under HMAC session keys; SOAP/HTTP remains the
+// ingress and interop wire, byte-identical to earlier releases.
+type (
+	// WireStats maps each dialed authority to its link's wire-protocol
+	// state; reachable via Federation.WireStats and the /health face.
+	WireStats = transport.WireStats
+	// LinkStats is one authority's entry in WireStats: negotiated
+	// protocol, session age, and handshake/rekey/downgrade counts.
+	LinkStats = transport.LinkStats
 )
 
 // Identity and authorization re-exports (see internal/core/identity and

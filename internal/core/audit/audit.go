@@ -78,6 +78,16 @@ const (
 	// RegistryShutdown: the repository closed cleanly — WAL flushed and
 	// marked, so the next boot skips tail-scan recovery.
 	RegistryShutdown Type = "registry.shutdown"
+	// SessionEstablish: a signed handshake established (or renewed) a
+	// binary fast-path HMAC session with a peer home; Detail carries the
+	// session ID and lifetime.
+	SessionEstablish Type = "session.establish"
+	// SessionExpire: a session ended without renewal — its connection
+	// closed or its lifetime lapsed unused.
+	SessionExpire Type = "session.expire"
+	// SessionRekey: a session reached its lifetime bound and was
+	// replaced in place by a fresh handshake on the same link.
+	SessionRekey Type = "session.rekey"
 )
 
 // Event is one audited decision, as emitted by an instrumented

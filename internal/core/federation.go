@@ -19,6 +19,7 @@ import (
 	"homeconnect/internal/core/vsg"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
+	"homeconnect/internal/transport"
 	"homeconnect/internal/uddi"
 )
 
@@ -40,6 +41,7 @@ type Federation struct {
 	scenes     *scene.Engine
 	peering    *peer.Peering
 	noLoopback bool
+	noBinary   bool
 	closed     bool
 
 	// auditLog is the home's tamper-evident audit plane, nil until
@@ -112,6 +114,7 @@ func assembleFederation(srv *vsr.Server, home string, auth *identity.Auth) (*Fed
 		}
 		f.peering = p
 		srv.MountPeer(p.ExportHandler())
+		srv.MountPeerView(p.ExportView)
 	}
 	return f, nil
 }
@@ -140,6 +143,7 @@ func (f *Federation) AddNetwork(name string) (*Network, error) {
 	gw.SetAuth(f.auth)
 	gw.SetAudit(f.auditLog)
 	gw.SetLoopbackEnabled(!f.noLoopback)
+	gw.SetBinaryEnabled(!f.noBinary)
 	if err := gw.Start("127.0.0.1:0"); err != nil {
 		return nil, err
 	}
@@ -191,6 +195,73 @@ func (f *Federation) SetLoopback(on bool) {
 	for _, n := range f.networks {
 		n.gw.SetLoopbackEnabled(on)
 	}
+}
+
+// SetBinaryWire gates the session-keyed binary fast path on every
+// endpoint this federation owns: the repository's binary face, each
+// gateway's inbound face and outbound dialer, and the peering's import
+// links. On — the default whenever the home has an identity — framework
+// traffic to peers that negotiate it rides compact MAC'd frames; off,
+// every hello is refused and all traffic stays on signed SOAP/HTTP, the
+// byte-identical interop wire (a SOAP-only home in a mixed federation).
+// Open-mode federations are unaffected: without an identity no session
+// can be keyed and the wire is SOAP regardless.
+func (f *Federation) SetBinaryWire(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.noBinary = !on
+	f.vsrServer.SetBinaryEnabled(on)
+	for _, n := range f.networks {
+		n.gw.SetBinaryEnabled(on)
+	}
+	if f.peering != nil {
+		f.peering.SetBinaryEnabled(on)
+	}
+}
+
+// WireStats aggregates per-authority wire-protocol state — negotiated
+// protocol, session age, handshake/rekey/downgrade counts — across every
+// dialer this federation owns: each gateway's outbound dialer plus the
+// peering's link dialer. Authorities dialed by more than one component
+// merge (counters sum; "binary" wins the protocol tag).
+func (f *Federation) WireStats() transport.WireStats {
+	f.mu.Lock()
+	gws := make([]*vsg.VSG, 0, len(f.networks))
+	for _, n := range f.networks {
+		gws = append(gws, n.gw)
+	}
+	p := f.peering
+	f.mu.Unlock()
+
+	out := make(transport.WireStats)
+	merge := func(ws transport.WireStats) {
+		for authority, ls := range ws {
+			prev, ok := out[authority]
+			if !ok {
+				out[authority] = ls
+				continue
+			}
+			prev.Handshakes += ls.Handshakes
+			prev.Rekeys += ls.Rekeys
+			prev.Downgrades += ls.Downgrades
+			if ls.Protocol == "binary" {
+				prev.Protocol = ls.Protocol
+			}
+			if ls.SessionAgeMS > prev.SessionAgeMS {
+				prev.SessionAgeMS = ls.SessionAgeMS
+			}
+			out[authority] = prev
+		}
+	}
+	for _, gw := range gws {
+		if d := gw.Dialer(); d != nil {
+			merge(d.WireStatsSnapshot())
+		}
+	}
+	if p != nil {
+		merge(p.WireStats())
+	}
+	return out
 }
 
 // Peering returns the federation's inter-home peering layer. It errors
@@ -428,6 +499,10 @@ type HealthReport struct {
 	Networks map[string]vsg.Health `json:"networks,omitempty"`
 	// Peers maps each peering link to its Status.
 	Peers map[string]peer.Status `json:"peers,omitempty"`
+	// Wire maps each dialed authority to its wire-protocol state: which
+	// protocol the link negotiated, session age, and handshake, rekey and
+	// downgrade counts.
+	Wire transport.WireStats `json:"wire,omitempty"`
 	// Audit summarizes the audit log.
 	Audit audit.Stats `json:"audit"`
 	// Durability reports the repository's persistence state (WAL,
@@ -454,6 +529,7 @@ func (f *Federation) healthReport() HealthReport {
 		},
 		Networks:   f.Health(),
 		Peers:      f.PeerStatus(),
+		Wire:       f.WireStats(),
 		Audit:      f.Audit().Stats(),
 		Durability: durability,
 	}

@@ -66,6 +66,10 @@ type Auth struct {
 
 	// nowFn is swappable for skew/replay tests.
 	nowFn func() time.Time
+
+	// sessTTL overrides the binary fast-path session lifetime
+	// (nanoseconds; 0 means defaultSessionTTL). See session.go.
+	sessTTL atomic.Int64
 }
 
 // NewAuth returns an open-mode Auth for the named home (empty for the

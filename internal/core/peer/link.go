@@ -11,7 +11,6 @@ import (
 	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
-	"homeconnect/internal/transport"
 )
 
 // Status is one link's replication condition — the peering counterpart of
@@ -53,6 +52,10 @@ type Status struct {
 	// peer restarting with its WAL intact does not bump this: the cursor
 	// resumes where it left off.
 	Resyncs uint64 `json:"resyncs"`
+	// Proto is the wire protocol the link's traffic currently rides:
+	// "binary" once the peer has negotiated the session-keyed fast path,
+	// "soap" otherwise (never negotiated, refused, or downgraded).
+	Proto string `json:"proto,omitempty"`
 }
 
 // Link replicates one remote home's registry into the local one.
@@ -82,11 +85,11 @@ type Link struct {
 func newLink(p *Peering, url string) *Link {
 	remote := vsr.New(url)
 	// Every wire op the link issues — watch rounds, snapshot reconciles —
-	// is signed with the home's identity and the response verified
-	// against the trust store (the per-operation mutual handshake). In
-	// open mode the credentials are inert and this is the plain
-	// underlying transport (shared TCP, or an injected MemNet).
-	remote.SetHTTPClient(transport.NewAuthClientOver(p.auth, p.rt))
+	// rides the peering's dialer: the binary fast path once the peer has
+	// negotiated a session, signed SOAP/HTTP otherwise. In open mode the
+	// credentials are inert and this degrades to the plain underlying
+	// transport (shared TCP, or an injected MemNet).
+	remote.SetDialer(p.dialerFor())
 	return &Link{
 		p:        p,
 		url:      url,
@@ -99,10 +102,19 @@ func newLink(p *Peering, url string) *Link {
 
 // Status returns a snapshot of the link's condition.
 func (l *Link) Status() Status {
+	l.p.mu.Lock()
+	d := l.p.dialer
+	l.p.mu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	st := l.st
 	st.Imported = len(l.imported)
+	if d != nil {
+		st.Proto = d.ProtocolFor(l.url)
+	}
+	if st.Proto == "" && st.Connected {
+		st.Proto = "soap"
+	}
 	return st
 }
 

@@ -48,6 +48,7 @@ import (
 	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/service"
+	"homeconnect/internal/transport"
 	"homeconnect/internal/uddi"
 	"homeconnect/internal/vclock"
 )
@@ -70,6 +71,13 @@ type Peering struct {
 	// rt, when set, carries link traffic instead of the shared TCP
 	// transport — the dialer seam a transport.MemNet plugs into.
 	rt http.RoundTripper
+	// dialer owns link credentials and per-peer protocol negotiation:
+	// watch rounds and reconciles ride the binary fast path to peers
+	// that negotiate it and signed HTTP to the rest. Built lazily on the
+	// first link so it sees the final rt; binaryOff records a
+	// SetBinaryEnabled(false) made before then.
+	dialer    *transport.Dialer
+	binaryOff bool
 
 	mu        sync.Mutex
 	importTTL time.Duration
@@ -137,6 +145,43 @@ func (p *Peering) SetClock(c vclock.Clock) {
 // top. The simulation passes its transport.MemNet here. Call before
 // Peer; existing links keep their transport.
 func (p *Peering) SetTransport(rt http.RoundTripper) { p.rt = rt }
+
+// dialerFor returns the peering's shared link dialer, building it on
+// first use. Callers hold p.mu.
+func (p *Peering) dialerFor() *transport.Dialer {
+	if p.dialer == nil {
+		p.dialer = transport.NewDialer(p.auth)
+		p.dialer.Transport = p.rt
+		if p.binaryOff {
+			p.dialer.Binary = false
+		}
+	}
+	return p.dialer
+}
+
+// SetBinaryEnabled turns the binary fast path off (or back on) for this
+// home's import links; disabled, every round rides signed SOAP/HTTP.
+// Call alongside SetTransport, before Peer.
+func (p *Peering) SetBinaryEnabled(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.binaryOff = !on
+	if p.dialer != nil {
+		p.dialer.Binary = on
+	}
+}
+
+// WireStats reports per-peer link protocol state (see
+// transport.WireStats); empty before the first link.
+func (p *Peering) WireStats() transport.WireStats {
+	p.mu.Lock()
+	d := p.dialer
+	p.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	return d.WireStatsSnapshot()
+}
 
 // SetRecorder installs the audit recorder peering decisions are reported
 // to; nil turns recording off.
@@ -236,6 +281,15 @@ func (p *Peering) ImportTTL() time.Duration {
 // middleware, which is what supplies the caller).
 func (p *Peering) ExportHandler() http.Handler {
 	return p.reg.CallerViewHandler(identity.CallerFrom, p.viewFor)
+}
+
+// ExportView returns one caller's export view directly — the policy
+// behind ExportHandler with no HTTP in front, for the binary-native
+// registry face (vsr.Server.MountPeerView). The two faces share
+// exportEntry, so a peer sees the same slice of the registry on either
+// wire.
+func (p *Peering) ExportView(caller string) uddi.View {
+	return p.viewFor(caller)
 }
 
 // viewFor builds one caller's export view.
@@ -373,8 +427,13 @@ func (p *Peering) Close() {
 		links = append(links, l)
 	}
 	p.links = make(map[string]*Link)
+	d := p.dialer
+	p.dialer = nil
 	p.mu.Unlock()
 	for _, l := range links {
 		l.stop(false)
+	}
+	if d != nil {
+		d.Close()
 	}
 }

@@ -97,6 +97,16 @@ type VSG struct {
 	// live.
 	auth     *identity.Auth
 	authHTTP *http.Client
+	// dialer owns outbound protocol negotiation when auth is live:
+	// repository traffic and cross-home calls try the binary fast path
+	// and degrade to signed SOAP/HTTP per authority. Rebuilt alongside
+	// authHTTP; nil in open mode.
+	dialer *transport.Dialer
+	// bin is the inbound binary face sharing the listener with HTTP
+	// (nil in open mode; inert on detached gateways). binaryOff records
+	// SetBinaryEnabled(false) calls made before Start builds bin.
+	bin       *transport.BinServer
+	binaryOff bool
 	// rt, when set (SetTransport), carries all outbound wire traffic
 	// instead of the shared TCP transport — the dialer seam a
 	// transport.MemNet plugs into.
@@ -249,21 +259,39 @@ func (g *VSG) SetAuth(a *identity.Auth) {
 // and the repository client fall back to their own shared-transport
 // defaults, the original behaviour.
 func (g *VSG) rebuildHTTP() {
+	if g.dialer != nil {
+		g.dialer.Close()
+		g.dialer = nil
+	}
 	switch {
 	case g.auth != nil:
-		g.authHTTP = transport.NewAuthClientOver(g.auth, g.rt)
+		// The Dialer owns credentials and per-authority protocol
+		// negotiation; its HTTP side is the same credential-signing
+		// client NewAuthClientOver built before.
+		g.dialer = transport.NewDialer(g.auth)
+		g.dialer.Transport = g.rt
+		if g.binaryOff {
+			g.dialer.Binary = false
+		}
+		g.authHTTP = g.dialer.HTTPClient()
 	case g.rt != nil:
 		g.authHTTP = &http.Client{Transport: g.rt}
 	default:
 		g.authHTTP = nil
 	}
-	if g.authHTTP != nil {
+	if g.dialer != nil {
+		g.vsr.SetDialer(g.dialer)
+	} else if g.authHTTP != nil {
 		g.vsr.SetHTTPClient(g.authHTTP)
 	}
 }
 
 // Auth returns the gateway's authentication context (nil in open mode).
 func (g *VSG) Auth() *identity.Auth { return g.auth }
+
+// Dialer returns the gateway's outbound dialer (nil in open mode) — the
+// federation assembler reads per-link wire protocol stats from it.
+func (g *VSG) Dialer() *transport.Dialer { return g.dialer }
 
 // SetAudit installs the home's audit log: it backs the gateway's /audit
 // face and receives this gateway's boundary events (watch up/down/
@@ -346,6 +374,21 @@ func (g *VSG) SetLoopbackEnabled(on bool) {
 	g.loopbackOff.Store(!on)
 }
 
+// SetBinaryEnabled turns the binary fast path off (or back on) for this
+// gateway, both directions: outbound calls stop offering the handshake
+// and inbound hellos are refused, so every exchange rides signed
+// SOAP/HTTP — the vsgd -binary=false flag and the SOAP-only home of a
+// mixed-mode federation. Default on whenever auth is live.
+func (g *VSG) SetBinaryEnabled(on bool) {
+	g.binaryOff = !on
+	if g.dialer != nil {
+		g.dialer.Binary = on && g.auth != nil
+	}
+	if g.bin != nil {
+		g.bin.SetEnabled(on)
+	}
+}
+
 // SetWatchEnabled gates the repository watch; call before Start. With the
 // watch off the gateway degrades to the paper's poll model: blind
 // TTL-bounded caching and no push invalidation (the middle point of the
@@ -365,7 +408,15 @@ func (g *VSG) Start(addr string) error {
 	}
 	g.ln = ln
 	g.httpS = &http.Server{Handler: g.buildMux()}
-	go func() { _ = g.httpS.Serve(ln) }()
+	serveLn := ln
+	if g.bin != nil {
+		// Share the port: the demultiplexer sniffs the binary preamble and
+		// routes those connections to the session-keyed face; in-process
+		// peers dial through the local registry without a socket.
+		serveLn = transport.Demux(ln, g.bin)
+		transport.RegisterLocal(ln.Addr().String(), g.bin)
+	}
+	go func() { _ = g.httpS.Serve(serveLn) }()
 	procMu.Lock()
 	procGateways[g.BaseURL()] = g
 	procMu.Unlock()
@@ -419,7 +470,56 @@ func (g *VSG) buildMux() *http.ServeMux {
 		ops.HealthHandler(func() any { return g.healthReport() })))
 	mux.Handle("/audit", identity.Require(g.auth, true, identity.HTTPDeny,
 		ops.AuditHandler(func() *audit.Log { return g.auditLog.Load() })))
+	if g.auth != nil {
+		// The binary fast-path face: session-authenticated callers reach
+		// the same inbound dispatch as the SOAP face. Binary-encoded calls
+		// skip the XML codec entirely; anything else (tunneled XML) replays
+		// through the ordinary HTTP handler with the caller injected.
+		g.bin = transport.NewBinServer(g.auth)
+		if g.binaryOff {
+			g.bin.SetEnabled(false)
+		}
+		xmlFace := identity.BinFace(g.auth, false, soap.AuthFaultWriter,
+			soap.NewHTTPHandler(inbound{g: g}))
+		g.bin.Handle(servicesPath, transport.BinHandlerFunc(
+			func(ctx context.Context, caller string, req *transport.BinRequest) *transport.BinResponse {
+				if req.ContentType == soap.BinCallContentType {
+					return g.serveBinCall(ctx, caller, req)
+				}
+				return xmlFace.ServeBin(ctx, caller, req)
+			}))
+	}
 	return mux
+}
+
+// serveBinCall dispatches one binary-encoded call: DecodeBinCall,
+// inbound dispatch under the session-verified caller, EncodeBinResponse
+// — the exact semantics of the SOAP face with the XML codec replaced by
+// the compact framing. Faults ride status 500, as SOAP 1.1 requires,
+// so both paths classify outcomes identically.
+func (g *VSG) serveBinCall(ctx context.Context, caller string, req *transport.BinRequest) *transport.BinResponse {
+	call, err := soap.DecodeBinCall(req.Body)
+	if err != nil {
+		return binFaultResponse(&soap.Fault{Code: "Client", String: err.Error()})
+	}
+	result, err := (inbound{g: g}).ServeSOAP(identity.WithCaller(ctx, caller), call)
+	if err != nil {
+		return binFaultResponse(soap.FaultFromError(err))
+	}
+	body, err := soap.EncodeBinResponse(result)
+	if err != nil {
+		return binFaultResponse(&soap.Fault{Code: "Server", String: err.Error()})
+	}
+	return &transport.BinResponse{Status: http.StatusOK, ContentType: soap.BinCallContentType, Body: body}
+}
+
+// binFaultResponse renders a fault on the binary face.
+func binFaultResponse(f *soap.Fault) *transport.BinResponse {
+	return &transport.BinResponse{
+		Status:      http.StatusInternalServerError,
+		ContentType: soap.BinCallContentType,
+		Body:        soap.EncodeBinFault(f),
+	}
 }
 
 // Close stops the gateway: exports are withdrawn from the VSR on a best-
@@ -457,6 +557,15 @@ func (g *VSG) Close() {
 	defer cancel()
 	for _, key := range keys {
 		_ = g.vsr.Unregister(ctx, key)
+	}
+	if g.bin != nil && g.ln != nil {
+		transport.UnregisterLocal(g.ln.Addr().String())
+	}
+	if g.bin != nil {
+		g.bin.Close()
+	}
+	if g.dialer != nil {
+		g.dialer.Close()
 	}
 	if g.httpS != nil {
 		_ = g.httpS.Close()
@@ -810,8 +919,9 @@ func (g *VSG) CallRemote(ctx context.Context, remote vsr.Remote, op string, args
 	}
 	// g.authHTTP (nil in open mode, letting the client fall back to the
 	// shared transport) signs the envelope headers with this home's
-	// identity, so the target home knows who is calling.
-	client := &soap.Client{URL: remote.Endpoint, HTTP: g.authHTTP}
+	// identity, so the target home knows who is calling. The dialer, when
+	// live, first offers the binary fast path to the target's authority.
+	client := &soap.Client{URL: remote.Endpoint, HTTP: g.authHTTP, Dialer: g.dialer}
 	return client.Call(ctx, Namespace(remote.Desc.ID)+"#"+op, call)
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"homeconnect/internal/core/identity"
 	"homeconnect/internal/service"
+	"homeconnect/internal/transport"
 	"homeconnect/internal/uddi"
 	"homeconnect/internal/wsdl"
 )
@@ -74,6 +75,16 @@ func New(url string) *VSR {
 // client (transport.NewAuthClient) when their home has an identity. Call
 // before the first request.
 func (v *VSR) SetHTTPClient(c *http.Client) { v.client.HTTP = c }
+
+// SetDialer routes repository traffic through a transport.Dialer, which
+// owns credentials and protocol negotiation: requests ride the binary
+// fast path once the registry's authority has negotiated it and fall
+// back to signed HTTP otherwise. Call before the first request;
+// supersedes SetHTTPClient.
+func (v *VSR) SetDialer(d *transport.Dialer) {
+	v.client.Dialer = d
+	v.client.HTTP = nil
+}
 
 // TTL returns the registration lifetime used by Register.
 func (v *VSR) TTL() time.Duration { return v.ttl }
@@ -400,9 +411,44 @@ func deltaFromChange(c uddi.Change) (Delta, bool) {
 	return d, true
 }
 
+// wsdlParseCache memoizes parsed WSDL documents keyed by the exact
+// document text. Every registration refresh re-journals an identical
+// document, and every watcher of that journal — gateways, peer links,
+// subscribers — parses it again; the cache turns the steady state into
+// a map hit. Cached Documents share their parsed Interface, which all
+// consumers treat as read-only. Bounded by reset rather than eviction:
+// a federation holds few distinct interfaces, so blowing the cap means
+// churn, not a working set worth preserving.
+var (
+	wsdlCacheMu sync.Mutex
+	wsdlCache   = map[string]wsdl.Document{}
+)
+
+const maxWSDLCache = 512
+
+func parseWSDLCached(text string) (wsdl.Document, error) {
+	wsdlCacheMu.Lock()
+	doc, ok := wsdlCache[text]
+	wsdlCacheMu.Unlock()
+	if ok {
+		return doc, nil
+	}
+	doc, err := wsdl.Parse([]byte(text))
+	if err != nil {
+		return wsdl.Document{}, err
+	}
+	wsdlCacheMu.Lock()
+	if len(wsdlCache) >= maxWSDLCache {
+		wsdlCache = make(map[string]wsdl.Document, maxWSDLCache)
+	}
+	wsdlCache[text] = doc
+	wsdlCacheMu.Unlock()
+	return doc, nil
+}
+
 // remoteFromEntry rebuilds the service description from a UDDI entry.
 func remoteFromEntry(e uddi.Entry) (Remote, error) {
-	doc, err := wsdl.Parse([]byte(e.WSDL))
+	doc, err := parseWSDLCached(e.WSDL)
 	if err != nil {
 		return Remote{}, fmt.Errorf("vsr: entry %s: %w", e.Name, err)
 	}
@@ -444,10 +490,18 @@ type Server struct {
 	// virtual hostname on an in-memory network rather than a TCP address.
 	base string
 	auth *identity.Auth
+	// bin is the binary fast-path face (nil when auth is nil). Listening
+	// servers share their port with it through a demultiplexer and
+	// register it for in-process dialing; detached servers leave it
+	// unreachable, keeping the simulation deterministic and SOAP-only.
+	bin *transport.BinServer
 
 	// peerH is the peering face mounted at /peer, nil until MountPeer.
-	peerMu sync.RWMutex
-	peerH  http.Handler
+	// peerView is its binary-native twin (see MountPeerView): the
+	// per-caller export view the native registry face filters through.
+	peerMu   sync.RWMutex
+	peerH    http.Handler
+	peerView func(caller string) uddi.View
 
 	// healthH and auditH are the read-only operability faces mounted at
 	// /health and /audit, nil until MountOps. Like /uddi they are private
@@ -487,7 +541,16 @@ func StartServerWith(addr string, reg *uddi.Server, auth *identity.Auth) (*Serve
 	s := newServer(reg, auth)
 	s.ln = ln
 	s.httpS = &http.Server{Handler: s.mux}
-	go func() { _ = s.httpS.Serve(ln) }()
+	serveLn := ln
+	if s.bin != nil {
+		// One port, two protocols: the demultiplexer sniffs the preamble
+		// and routes binary connections to the session-keyed face, leaving
+		// everything else to HTTP. In-process federations skip the socket
+		// entirely through the local registry.
+		serveLn = transport.Demux(ln, s.bin)
+		transport.RegisterLocal(ln.Addr().String(), s.bin)
+	}
+	go func() { _ = s.httpS.Serve(serveLn) }()
 	return s, nil
 }
 
@@ -518,8 +581,10 @@ func newServer(reg *uddi.Server, auth *identity.Auth) *Server {
 	// resolve and watch here. Peers get the read-only /peer face.
 	mux.Handle("/uddi", identity.Require(auth, true, uddi.AuthErrorWriter, reg.Handler()))
 	// The peer face admits any trusted home; the mounted handler's
-	// per-caller view decides what each one sees.
-	peer := identity.Require(auth, false, uddi.AuthErrorWriter, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	// per-caller view decides what each one sees. peerInner is shared
+	// with the binary face, which authenticates at the session handshake
+	// instead of per request.
+	peerInner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.peerMu.RLock()
 		h := s.peerH
 		s.peerMu.RUnlock()
@@ -528,8 +593,33 @@ func newServer(reg *uddi.Server, auth *identity.Auth) *Server {
 			return
 		}
 		h.ServeHTTP(w, r)
-	}))
-	mux.Handle("/peer", peer)
+	})
+	mux.Handle("/peer", identity.Require(auth, false, uddi.AuthErrorWriter, peerInner))
+	if auth != nil {
+		// The binary fast path mirrors the signed faces with the same
+		// home-boundary policy: /uddi stays private to this home, /peer
+		// admits any session-authenticated peer. Registry operations in
+		// the native binary encoding dispatch straight onto the store;
+		// tunneled XML falls back to the HTTP handlers unchanged.
+		s.bin = transport.NewBinServer(auth)
+		s.bin.Handle("/uddi", reg.BinHandler(uddi.BinOptions{
+			OwnHome:  auth.Home(),
+			Fallback: identity.BinFace(auth, true, uddi.AuthErrorWriter, reg.Handler()),
+		}))
+		s.bin.Handle("/peer", reg.BinHandler(uddi.BinOptions{
+			ReadOnly: true,
+			ViewFor: func(caller string) (uddi.View, bool) {
+				s.peerMu.RLock()
+				vf := s.peerView
+				s.peerMu.RUnlock()
+				if vf == nil {
+					return nil, false
+				}
+				return vf(caller), true
+			},
+			Fallback: identity.BinFace(auth, false, uddi.AuthErrorWriter, peerInner),
+		}))
+	}
 	// The operability faces are read-only and, like /uddi, private to the
 	// home's own identity; they serve 404 until MountOps supplies
 	// handlers.
@@ -587,6 +677,19 @@ func (s *Server) MountPeer(h http.Handler) {
 	s.peerMu.Unlock()
 }
 
+// MountPeerView installs the binary-native twin of the peering face:
+// the per-caller export view the native registry encoding filters
+// through. Mount it alongside MountPeer — the XML face serves HTTP and
+// tunneled documents, the view serves native binary records; both must
+// apply the same policy. A nil view unmounts (native peer requests are
+// then refused, and tunneled XML still answers through the mounted
+// handler).
+func (s *Server) MountPeerView(viewFor func(caller string) uddi.View) {
+	s.peerMu.Lock()
+	s.peerView = viewFor
+	s.peerMu.Unlock()
+}
+
 // MountOps installs the read-only operability faces at /health and
 // /audit (normally ops.HealthHandler and ops.AuditHandler, wired by the
 // federation assembler or the vsrd daemon). Nil handlers unmount.
@@ -600,9 +703,25 @@ func (s *Server) MountOps(health, auditH http.Handler) {
 // Registry exposes the underlying UDDI store (tests, stats).
 func (s *Server) Registry() *uddi.Server { return s.registry }
 
+// SetBinaryEnabled turns the binary fast-path face on or off (default
+// on when the server has an authentication context). Disabled, every
+// handshake is refused and peers degrade to signed SOAP/HTTP — the
+// SOAP-only home of a mixed-mode federation.
+func (s *Server) SetBinaryEnabled(on bool) {
+	if s.bin != nil {
+		s.bin.SetEnabled(on)
+	}
+}
+
 // Close stops the repository: the HTTP listener (when one exists) and
 // the registry's expiry janitor, waking any parked watchers.
 func (s *Server) Close() {
+	if s.bin != nil && s.ln != nil {
+		transport.UnregisterLocal(s.ln.Addr().String())
+	}
+	if s.bin != nil {
+		s.bin.Close()
+	}
 	if s.httpS != nil {
 		_ = s.httpS.Close()
 	}

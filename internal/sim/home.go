@@ -55,6 +55,17 @@ type Config struct {
 	// snapshots under this directory, recovered on restart). Multi-home
 	// constructions (NewNeighborhood) give each home a subdirectory.
 	DataDir string
+	// SOAPOnly keeps this home off the session-keyed binary fast path:
+	// it neither offers nor accepts the handshake, so every framework
+	// link it takes part in rides signed SOAP/HTTP. The disable lands
+	// before any peering traffic, making the home a genuine mixed-mode
+	// interop partner rather than one that downgraded mid-session.
+	SOAPOnly bool
+	// SOAPOnlyLast, in neighborhood constructions, marks the last N homes
+	// SOAPOnly — the mixed-mode fleet: binary-capable homes must fall
+	// back to SOAP on links toward these homes while still negotiating
+	// binary among themselves. Ignored by NewHome.
+	SOAPOnlyLast int
 }
 
 // All enables every middleware — the paper's Figure 3 prototype plus the
@@ -404,6 +415,9 @@ func NewNeighborhood(ctx context.Context, n int, cfg Config) ([]*Home, error) {
 		if cfg.DataDir != "" {
 			hcfg.DataDir = filepath.Join(cfg.DataDir, hcfg.Home)
 		}
+		if cfg.SOAPOnlyLast > 0 && i > n-cfg.SOAPOnlyLast {
+			hcfg.SOAPOnly = true
+		}
 		h, err := NewHome(ctx, hcfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: build %s: %w", hcfg.Home, err)
@@ -482,6 +496,9 @@ func NewSecureNeighborhood(ctx context.Context, n, untrusted int, cfg Config) ([
 		hcfg.Home = names[i]
 		hcfg.Identity = ids[i]
 		hcfg.Trusted = trust
+		if cfg.SOAPOnlyLast > 0 && i >= n-cfg.SOAPOnlyLast {
+			hcfg.SOAPOnly = true
+		}
 		h, err := NewHome(ctx, hcfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: build %s: %w", hcfg.Home, err)

@@ -32,6 +32,10 @@ type HomeSpec struct {
 	// the paper's one-gateway-per-physical-network deployment — while the
 	// neighborhood harness keeps it on for same-home calls.
 	Loopback bool
+	// SOAPOnly disables the session-keyed binary wire on every endpoint
+	// of this home before any traffic flows: hellos are refused and
+	// dialers never offer the handshake, so peers fall back to SOAP.
+	SOAPOnly bool
 	// DataDir, when set, makes the home's repository durable: the change
 	// journal is write-ahead logged and snapshotted under this directory
 	// and recovered on the next Build from it, so registrations, sequence
@@ -52,6 +56,7 @@ func (c Config) spec() HomeSpec {
 		Trusted:  c.Trusted,
 		Audit:    c.Audit,
 		Loopback: false,
+		SOAPOnly: c.SOAPOnly,
 		DataDir:  c.DataDir,
 	}
 }
@@ -95,6 +100,9 @@ func (s HomeSpec) Build() (*core.Federation, error) {
 		}
 	}
 	fed.SetLoopback(s.Loopback)
+	if s.SOAPOnly {
+		fed.SetBinaryWire(false)
+	}
 	ok = true
 	return fed, nil
 }

@@ -1,0 +1,133 @@
+// Tests for the binary call codec: round trips over every value kind
+// (including strings XML cannot carry untouched), fault equivalence with
+// the XML envelope, and rejection of malformed records. The codec is a
+// strict re-framing of the SOAP envelope's data, so each round trip is
+// also checked against the XML path's decode of the same call.
+package soap
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"homeconnect/internal/service"
+)
+
+// codecCalls is the shared table: every kind plus the XML-hostile
+// strings the binary framing must carry byte-exactly.
+var codecCalls = []Call{
+	{Namespace: "urn:homeconnect:test:svc", Operation: "Noop"},
+	{Namespace: "urn:homeconnect:test:svc", Operation: "Set", Args: []Arg{
+		{Name: "s", Value: service.StringValue("plain")},
+		{Name: "i", Value: service.IntValue(-42)},
+		{Name: "f", Value: service.FloatValue(math.Pi)},
+		{Name: "b", Value: service.BoolValue(true)},
+		{Name: "raw", Value: service.BytesValue([]byte{0, 1, 2, 0xFF})},
+		{Name: "v", Value: service.Void()},
+	}},
+	{Namespace: "urn:x", Operation: "Hostile", Args: []Arg{
+		{Name: "xml", Value: service.StringValue(`<a b="c">&amp;]]></a>`)},
+		{Name: "ctl", Value: service.StringValue("line1\nline2\ttab\x00nul")},
+		{Name: "utf", Value: service.StringValue("héllo — 家 ☃")},
+	}},
+}
+
+func TestBinCallRoundTrip(t *testing.T) {
+	for _, want := range codecCalls {
+		enc, err := EncodeBinCall(want)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Operation, err)
+		}
+		got, err := DecodeBinCall(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Operation, err)
+		}
+		if got.Namespace != want.Namespace || got.Operation != want.Operation || len(got.Args) != len(want.Args) {
+			t.Fatalf("%s: decoded %+v", want.Operation, got)
+		}
+		for i, a := range want.Args {
+			g := got.Args[i]
+			if g.Name != a.Name || !g.Value.Equal(a.Value) {
+				t.Errorf("%s arg %d: got %s=%v, want %s=%v", want.Operation, i, g.Name, g.Value, a.Name, a.Value)
+			}
+		}
+	}
+}
+
+func TestBinResponseRoundTrip(t *testing.T) {
+	values := []service.Value{
+		service.Void(),
+		service.StringValue(`<xml>&"unsafe"</xml>`),
+		service.IntValue(math.MinInt64),
+		service.FloatValue(-0.0),
+		service.BoolValue(false),
+		service.BytesValue(nil),
+	}
+	for _, want := range values {
+		enc, err := EncodeBinResponse(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, fault, err := DecodeBinResponse(enc)
+		if err != nil || fault != nil {
+			t.Fatalf("%v: err=%v fault=%v", want, err, fault)
+		}
+		if !got.Equal(want) {
+			t.Errorf("round trip %v → %v", want, got)
+		}
+	}
+}
+
+// TestBinFaultMatchesXMLFault holds the two framings to the same
+// RemoteError mapping: a fault encoded binary-side must classify exactly
+// as its XML twin does.
+func TestBinFaultMatchesXMLFault(t *testing.T) {
+	f := &Fault{Code: "Client", String: "no such operation Frob", Detail: service.RemoteCode(service.ErrNoSuchOperation)}
+	_, gotFault, err := DecodeBinResponse(EncodeBinFault(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFault == nil {
+		t.Fatal("fault record decoded as success")
+	}
+	if *gotFault != *f {
+		t.Fatalf("fault round trip %+v → %+v", f, gotFault)
+	}
+	binErr := gotFault.RemoteError()
+	xmlErr := f.RemoteError()
+	if binErr.Code != xmlErr.Code || binErr.Msg != xmlErr.Msg {
+		t.Fatalf("RemoteError diverged: binary %+v, xml %+v", binErr, xmlErr)
+	}
+}
+
+func TestBinCodecRejectsMalformed(t *testing.T) {
+	badCalls := map[string][]byte{
+		"empty":          nil,
+		"bad version":    {99, binRecCall},
+		"not a call":     {binCodecVersion, binRecResponse},
+		"truncated name": {binCodecVersion, binRecCall, 5, 'a'},
+		"absurd arg count": append([]byte{binCodecVersion, binRecCall, 0, 4, 'N', 'o', 'o', 'p'},
+			0xFF, 0xFF, 0xFF, 0xFF, 0x0F),
+	}
+	for name, data := range badCalls {
+		if _, err := DecodeBinCall(data); err == nil {
+			t.Errorf("DecodeBinCall(%s) accepted", name)
+		}
+	}
+	badResponses := map[string][]byte{
+		"empty":          nil,
+		"bad version":    {99, binRecResponse},
+		"not a response": {binCodecVersion, binRecCall},
+		"unknown kind":   {binCodecVersion, binRecResponse, 0x7F},
+		"truncated":      {binCodecVersion, binRecResponse, byte(service.KindString), 9, 'x'},
+	}
+	for name, data := range badResponses {
+		if _, _, err := DecodeBinResponse(data); err == nil {
+			t.Errorf("DecodeBinResponse(%s) accepted", name)
+		}
+	}
+	// An empty operation cannot encode.
+	if _, err := EncodeBinCall(Call{Namespace: "urn:x"}); err == nil || !strings.Contains(err.Error(), "empty operation") {
+		t.Errorf("empty operation encoded: %v", err)
+	}
+}

@@ -19,11 +19,17 @@ import (
 const MaxEnvelopeBytes = 1 << 20
 
 // Client issues SOAP calls over HTTP, the binding used between Virtual
-// Service Gateways.
+// Service Gateways. With a Dialer set, calls first try the binary fast
+// path to the endpoint's authority and fall back to SOAP/HTTP when the
+// authority has not negotiated it.
 type Client struct {
-	// HTTP is the underlying client; the shared keep-alive transport
-	// (internal/transport) if nil.
+	// HTTP is the underlying client; the Dialer's HTTP side when a
+	// Dialer is set, else the shared keep-alive transport.
 	HTTP *http.Client
+	// Dialer, when set, owns protocol negotiation: Call attempts the
+	// binary framing first and degrades to the SOAP/HTTP path on
+	// ErrBinaryUnavailable.
+	Dialer *transport.Dialer
 	// URL is the endpoint the envelope is POSTed to.
 	URL string
 }
@@ -33,6 +39,9 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
+	if c.Dialer != nil {
+		return c.Dialer.HTTPClient()
+	}
 	return transport.Client()
 }
 
@@ -40,6 +49,14 @@ func (c *Client) httpClient() *http.Client {
 // result. A remote fault is surfaced as a *service.RemoteError so that
 // sentinel errors survive the protocol boundary.
 func (c *Client) Call(ctx context.Context, soapAction string, call Call) (service.Value, error) {
+	if c.Dialer != nil {
+		v, err := c.callBinary(ctx, soapAction, call)
+		if !errors.Is(err, transport.ErrBinaryUnavailable) {
+			return v, err
+		}
+		// Never negotiated, or downgraded mid-session: the identical
+		// call re-encodes onto the SOAP path below.
+	}
 	body, err := EncodeCall(call)
 	if err != nil {
 		return service.Value{}, err
@@ -65,6 +82,37 @@ func (c *Client) Call(ctx context.Context, soapAction string, call Call) (servic
 		return service.Value{}, fmt.Errorf("soap: %w: http status %s", service.ErrUnavailable, resp.Status)
 	}
 	v, fault, err := DecodeResponse(data)
+	if err != nil {
+		return service.Value{}, err
+	}
+	if fault != nil {
+		return service.Value{}, fault.RemoteError()
+	}
+	return v, nil
+}
+
+// callBinary runs one call over the binary fast path. An
+// ErrBinaryUnavailable return means "not negotiated — use SOAP"; every
+// other outcome (result, remote fault, context cancellation) is final
+// and classified exactly as the HTTP path would classify it.
+func (c *Client) callBinary(ctx context.Context, soapAction string, call Call) (service.Value, error) {
+	body, err := EncodeBinCall(call)
+	if err != nil {
+		return service.Value{}, err
+	}
+	res, err := c.Dialer.Exchange(ctx, c.URL, BinCallContentType, soapAction, body)
+	if err != nil {
+		if errors.Is(err, transport.ErrBinaryUnavailable) {
+			return service.Value{}, err
+		}
+		return service.Value{}, fmt.Errorf("soap: %w: %w", service.ErrUnavailable, err)
+	}
+	if res.Status != http.StatusOK && res.Status != http.StatusInternalServerError {
+		// Same classification as the HTTP binding: faults ride 500,
+		// anything else is transport failure.
+		return service.Value{}, fmt.Errorf("soap: %w: binary status %d", service.ErrUnavailable, res.Status)
+	}
+	v, fault, err := DecodeBinResponse(res.Body)
 	if err != nil {
 		return service.Value{}, err
 	}

@@ -53,6 +53,9 @@ type Credentials interface {
 // transport that signs every request and verifies every response with
 // creds. Like Client, it sets no overall timeout — deadlines come from
 // request contexts.
+//
+// Deprecated: use NewDialer(creds).HTTPClient(), which adds binary
+// fast-path negotiation on top of the same signing round tripper.
 func NewAuthClient(creds Credentials) *http.Client {
 	return &http.Client{Transport: &authRoundTripper{creds: creds}}
 }

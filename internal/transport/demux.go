@@ -1,0 +1,115 @@
+// Protocol demultiplexing: binary fast-path connections and ordinary
+// HTTP share one listening port. The dialer announces itself with the
+// 4-byte BinMagic preamble; the demultiplexer sniffs those bytes off
+// each accepted connection and routes — binary connections to the
+// BinServer's frame loop, everything else (with the sniffed bytes
+// replayed) to the http.Server. A SOAP-only peer therefore never sees
+// anything but the HTTP it always spoke.
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// sniffTimeout bounds how long an accepted connection may sit silent
+// before the demultiplexer gives up waiting for its first bytes and
+// hands it to HTTP (whose own read deadlines then apply).
+const sniffTimeout = 10 * time.Second
+
+// Demux wraps ln so binary connections are served by bin while the
+// returned listener yields only HTTP connections — pass it to
+// http.Server.Serve in place of ln. Closing the returned listener closes
+// ln and stops the accept loop; bin retains its own connections until
+// bin.Close.
+func Demux(ln net.Listener, bin *BinServer) net.Listener {
+	d := &demuxListener{
+		inner:  ln,
+		bin:    bin,
+		httpCh: make(chan net.Conn),
+		closed: make(chan struct{}),
+	}
+	go d.acceptLoop()
+	return d
+}
+
+type demuxListener struct {
+	inner     net.Listener
+	bin       *BinServer
+	httpCh    chan net.Conn
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (d *demuxListener) acceptLoop() {
+	for {
+		conn, err := d.inner.Accept()
+		if err != nil {
+			d.Close()
+			return
+		}
+		go d.sniff(conn)
+	}
+}
+
+// sniff reads the first 4 bytes and routes the connection.
+func (d *demuxListener) sniff(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(sniffTimeout))
+	var magic [len(BinMagic)]byte
+	n, err := io.ReadFull(conn, magic[:])
+	conn.SetReadDeadline(time.Time{})
+	if err != nil && n == 0 {
+		conn.Close()
+		return
+	}
+	if err == nil && string(magic[:]) == BinMagic {
+		d.bin.ServeConn(conn)
+		return
+	}
+	select {
+	case d.httpCh <- &prefixedConn{Conn: conn, prefix: magic[:n]}:
+	case <-d.closed:
+		conn.Close()
+	}
+}
+
+// Accept implements net.Listener for the HTTP side.
+func (d *demuxListener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-d.httpCh:
+		return conn, nil
+	case <-d.closed:
+		return nil, errors.New("transport: demux listener closed")
+	}
+}
+
+// Close stops the accept loop and closes the underlying listener.
+func (d *demuxListener) Close() error {
+	var err error
+	d.closeOnce.Do(func() {
+		close(d.closed)
+		err = d.inner.Close()
+	})
+	return err
+}
+
+// Addr reports the underlying listener address.
+func (d *demuxListener) Addr() net.Addr { return d.inner.Addr() }
+
+// prefixedConn replays sniffed bytes before the rest of the stream.
+type prefixedConn struct {
+	net.Conn
+	prefix []byte
+}
+
+func (c *prefixedConn) Read(p []byte) (int, error) {
+	if len(c.prefix) > 0 {
+		n := copy(p, c.prefix)
+		c.prefix = c.prefix[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
+}

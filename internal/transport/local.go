@@ -1,0 +1,166 @@
+// Process-local binary links: when the dialed authority belongs to a
+// BinServer living in this same process (the common case for tests,
+// benchmarks, and single-process multi-home deployments — the same
+// situation the gateway's procGateways loopback already exploits), the
+// dialer exchanges real frames — CRC, session MAC, replay counters, the
+// works — through a direct function call instead of a socket. The bytes
+// on the "wire" are identical to the TCP path; only the kernel is
+// skipped.
+package transport
+
+import (
+	"context"
+	"sync"
+)
+
+// localBin maps listening authorities ("127.0.0.1:41230") to their
+// in-process binary servers.
+var (
+	localMu  sync.RWMutex
+	localBin = map[string]*BinServer{}
+)
+
+// RegisterLocal publishes a BinServer under its listening authority so
+// dialers in the same process short-circuit the socket. Servers call it
+// from Start and undo it with UnregisterLocal on Close.
+func RegisterLocal(authority string, s *BinServer) {
+	if authority == "" || s == nil {
+		return
+	}
+	localMu.Lock()
+	localBin[authority] = s
+	localMu.Unlock()
+}
+
+// UnregisterLocal withdraws an authority from the local registry.
+func UnregisterLocal(authority string) {
+	localMu.Lock()
+	delete(localBin, authority)
+	localMu.Unlock()
+}
+
+// lookupLocal finds the in-process server for an authority, if any.
+func lookupLocal(authority string) *BinServer {
+	localMu.RLock()
+	s := localBin[authority]
+	localMu.RUnlock()
+	return s
+}
+
+// localLane is one serial request/response lane against an in-process
+// BinServer: a session pair (dialer side + listener side) established by
+// a real handshake. Lanes are pooled per authority exactly like TCP
+// connections.
+type localLane struct {
+	srv    *BinServer
+	client *Session // dialer-side session (MACs requests)
+	server *Session // listener-side session handleRequest verifies with
+
+	// Scratch buffers reused across exchanges — the pooled half of the
+	// pooled framing. A lane is exclusive to one exchange at a time, and
+	// the dialer copies the response body out before releasing it, so
+	// nothing returned to callers aliases these.
+	enc   []byte // encoded request payload, then response payload dst
+	frame []byte // framed bytes "on the wire"
+	read  []byte // readFrame's verified-payload buffer
+}
+
+// newLocalLane runs one in-process handshake.
+func newLocalLane(auth SessionAuth, srv *BinServer) (*localLane, error) {
+	hc, err := auth.NewSessionClient()
+	if err != nil {
+		return nil, err
+	}
+	accept, ssess, err := srv.acceptLocal(hc.Hello())
+	if err != nil {
+		return nil, err
+	}
+	csess, err := hc.Finish(accept)
+	if err != nil {
+		return nil, err
+	}
+	return &localLane{srv: srv, client: csess, server: ssess}, nil
+}
+
+// exchange runs one request through the lane. The frame bytes produced
+// and parsed are the same the TCP path would carry.
+func (l *localLane) exchange(ctx context.Context, path, contentType, action string, body []byte) (binResponse, error) {
+	l.srv.mu.Lock()
+	closed := l.srv.closed
+	l.srv.mu.Unlock()
+	if closed {
+		return binResponse{}, errLaneClosed
+	}
+	ctr := l.client.peekSendCtr()
+	l.enc = encodeRequest(l.enc[:0], l.client, path, contentType, action, body)
+	l.frame = appendFrame(l.frame[:0], l.enc)
+	// Parse the frame back exactly as a listener would, CRC included.
+	payload, nbuf, err := readFrameBytes(l.frame, l.read)
+	l.read = nbuf
+	if err != nil {
+		return binResponse{}, err
+	}
+	// payload aliases l.read, so l.enc is free to hold the response.
+	out, err := l.srv.handleRequest(ctx, l.server, payload, l.enc[:0])
+	if err != nil {
+		return binResponse{}, err
+	}
+	l.enc = out
+	l.frame = appendFrame(l.frame[:0], out)
+	payload, nbuf, err = readFrameBytes(l.frame, l.read)
+	l.read = nbuf
+	if err != nil {
+		return binResponse{}, err
+	}
+	return decodeResponse(l.client, payload, ctr)
+}
+
+// rekey replaces the lane's session pair with a fresh handshake, ending
+// the old sessions as a rekey on both sides.
+func (l *localLane) rekey(auth SessionAuth) error {
+	hc, err := auth.NewSessionClient()
+	if err != nil {
+		return err
+	}
+	accept, ssess, err := l.srv.acceptLocal(hc.Hello())
+	if err != nil {
+		return err
+	}
+	csess, err := hc.Finish(accept)
+	if err != nil {
+		return err
+	}
+	l.srv.auth.NoteSessionEnd(l.server, true)
+	auth.NoteSessionEnd(l.client, true)
+	l.client, l.server = csess, ssess
+	return nil
+}
+
+// close ends the lane's sessions (connection-going-away semantics).
+func (l *localLane) close(auth SessionAuth) {
+	l.srv.auth.NoteSessionEnd(l.server, false)
+	auth.NoteSessionEnd(l.client, false)
+}
+
+// readFrameBytes parses one complete frame held in memory, reading the
+// payload into buf (grown as needed, returned as nbuf for reuse).
+func readFrameBytes(frame, buf []byte) (payload, nbuf []byte, err error) {
+	r := byteReader{b: frame}
+	return readFrame(&r, buf)
+}
+
+// byteReader is an allocation-free io.Reader over a byte slice (the
+// local path's stand-in for the socket).
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, errLaneClosed
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,227 @@
+// Tests for the binary-native registry protocol: entry/record round
+// trips over XML-hostile strings, the server face's dispatch and policy
+// (private face, read-only face, per-caller views), error-code parity
+// with the dispositionReport mapping, and rejection of malformed
+// records.
+package uddi
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"homeconnect/internal/service"
+	"homeconnect/internal/transport"
+)
+
+var hostileEntry = Entry{
+	Key:         "uuid:svc-hostile",
+	Name:        `<name attr="x">&amp;]]></name>`,
+	Description: "line\nbreak\ttab é☃\x00nul",
+	AccessPoint: "http://h/soap?q=a&b=<c>",
+	TModel:      "IFace",
+	WSDL:        `<definitions name="IFace"/>`,
+	Categories:  map[string]string{"k<1>": "v&1", "k2": ""},
+}
+
+func entriesEqual(a, b Entry) bool {
+	if a.Key != b.Key || a.Name != b.Name || a.Description != b.Description ||
+		a.AccessPoint != b.AccessPoint || a.TModel != b.TModel || a.WSDL != b.WSDL ||
+		len(a.Categories) != len(b.Categories) {
+		return false
+	}
+	for k, v := range a.Categories {
+		if b.Categories[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinEntryRoundTrip(t *testing.T) {
+	for _, want := range []Entry{{}, {Key: "k", Name: "n"}, hostileEntry} {
+		b := appendBinEntry(nil, &want)
+		r := &walReader{b: b}
+		got := decodeBinEntry(r)
+		if r.err != nil {
+			t.Fatalf("%s: %v", want.Key, r.err)
+		}
+		if len(want.Categories) == 0 {
+			want.Categories = nil
+		}
+		if !entriesEqual(got, want) {
+			t.Errorf("round trip %+v → %+v", want, got)
+		}
+	}
+}
+
+// binServe runs one native record through a registry's binary face.
+func binServe(s *Server, opts BinOptions, caller string, req []byte) *transport.BinResponse {
+	return s.BinHandler(opts).ServeBin(context.Background(), caller,
+		&transport.BinRequest{Path: "/uddi", ContentType: BinContentType, Body: req})
+}
+
+func TestBinHandlerSaveFindGetDeleteWatch(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	var opts BinOptions
+
+	resp := binServe(s, opts, "home-a", encodeBinSaveAll([]Entry{hostileEntry}, time.Hour))
+	keys, err := decodeBinKeys(resp.Body)
+	if err != nil || len(keys) != 1 || keys[0] != hostileEntry.Key {
+		t.Fatalf("save: keys=%v err=%v", keys, err)
+	}
+
+	resp = binServe(s, opts, "home-a", encodeBinFind(Query{Name: "%"}))
+	entries, seq, err := decodeBinEntries(resp.Body)
+	if err != nil || len(entries) != 1 || seq == 0 {
+		t.Fatalf("find: entries=%d seq=%d err=%v", len(entries), seq, err)
+	}
+	if !entriesEqual(entries[0], hostileEntry) {
+		t.Fatalf("find returned %+v, want the hostile entry intact", entries[0])
+	}
+
+	resp = binServe(s, opts, "home-a", encodeBinGet(hostileEntry.Key))
+	entries, _, err = decodeBinEntries(resp.Body)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("get: entries=%d err=%v", len(entries), err)
+	}
+
+	resp = binServe(s, opts, "home-a", encodeBinWatch(0, 0))
+	changes, next, resync, err := decodeBinChanges(resp.Body)
+	if err != nil || resync || len(changes) != 1 || next != seq {
+		t.Fatalf("watch: changes=%d next=%d resync=%v err=%v", len(changes), next, resync, err)
+	}
+	if changes[0].Op != OpAdd || !entriesEqual(changes[0].Entry, hostileEntry) {
+		t.Fatalf("watch change = %+v", changes[0])
+	}
+
+	resp = binServe(s, opts, "home-a", encodeBinDelete(hostileEntry.Key))
+	if _, err := decodeBinKeys(resp.Body); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	resp = binServe(s, opts, "home-a", encodeBinGet(hostileEntry.Key))
+	if entries, _, _ := decodeBinEntries(resp.Body); len(entries) != 0 {
+		t.Fatal("entry survived delete")
+	}
+}
+
+// TestBinHandlerErrorParity holds the binary face to the XML face's
+// refusal mapping: the same typed sentinels out of the same conditions.
+func TestBinHandlerErrorParity(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+
+	// Private face, foreign caller → E_userMismatch → ErrForbidden.
+	resp := binServe(s, BinOptions{OwnHome: "home-a"}, "home-b", encodeBinFind(Query{}))
+	if _, err := decodeBinKeys(resp.Body); !errors.Is(err, service.ErrForbidden) {
+		t.Fatalf("foreign caller on private face = %v, want ErrForbidden", err)
+	}
+
+	// Read-only face refuses publication.
+	resp = binServe(s, BinOptions{ReadOnly: true}, "home-b", encodeBinSaveAll([]Entry{{Name: "x"}}, 0))
+	if _, err := decodeBinKeys(resp.Body); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("save on read-only face = %v, want refusal", err)
+	}
+
+	// Unmounted peering view refuses service.
+	opts := BinOptions{ViewFor: func(string) (View, bool) { return nil, false }}
+	resp = binServe(s, opts, "home-b", encodeBinFind(Query{}))
+	if _, err := decodeBinKeys(resp.Body); err == nil || !strings.Contains(err.Error(), "peering not enabled") {
+		t.Fatalf("unmounted view = %v, want refusal", err)
+	}
+
+	// The authentication code the session layer would emit maps to
+	// ErrUnauthenticated, mirroring roundTrip's dispositionReport switch.
+	if err := binErrorOf("E_authTokenRequired", "x"); !errors.Is(err, service.ErrUnauthenticated) {
+		t.Fatalf("E_authTokenRequired = %v, want ErrUnauthenticated", err)
+	}
+}
+
+func TestBinHandlerViewFilters(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	s.Save(Entry{Key: "uuid:public", Name: "public"}, time.Hour)
+	s.Save(Entry{Key: "uuid:secret", Name: "secret"}, time.Hour)
+	opts := BinOptions{ViewFor: func(caller string) (View, bool) {
+		return func(e Entry) (Entry, bool) {
+			if e.Name == "secret" {
+				return Entry{}, false
+			}
+			e.Name = caller + "/" + e.Name
+			return e, true
+		}, true
+	}}
+
+	resp := binServe(s, opts, "home-b", encodeBinFind(Query{Name: "%"}))
+	entries, _, err := decodeBinEntries(resp.Body)
+	if err != nil || len(entries) != 1 || entries[0].Name != "home-b/public" {
+		t.Fatalf("filtered find = %+v, err=%v", entries, err)
+	}
+
+	resp = binServe(s, opts, "home-b", encodeBinWatch(0, 0))
+	changes, next, _, err := decodeBinChanges(resp.Body)
+	if err != nil || len(changes) != 1 || changes[0].Entry.Name != "home-b/public" {
+		t.Fatalf("filtered watch = %+v, err=%v", changes, err)
+	}
+	// The cursor still advances past the hidden change.
+	if next != s.Seq() {
+		t.Fatalf("cursor %d, want %d", next, s.Seq())
+	}
+
+	resp = binServe(s, opts, "home-b", encodeBinGet("uuid:secret"))
+	if entries, _, _ := decodeBinEntries(resp.Body); len(entries) != 0 {
+		t.Fatal("hidden entry served through get")
+	}
+}
+
+func TestBinHandlerFallsBackOnOtherContent(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	called := false
+	fallback := transport.BinHandlerFunc(func(ctx context.Context, caller string, req *transport.BinRequest) *transport.BinResponse {
+		called = true
+		return &transport.BinResponse{Status: 200, ContentType: "text/xml", Body: []byte("<ok/>")}
+	})
+	h := s.BinHandler(BinOptions{Fallback: fallback})
+	resp := h.ServeBin(context.Background(), "home-a",
+		&transport.BinRequest{Path: "/uddi", ContentType: `text/xml; charset="utf-8"`, Body: []byte("<find_service/>")})
+	if !called || resp.Status != 200 {
+		t.Fatalf("tunneled XML did not reach the fallback (called=%v status=%d)", called, resp.Status)
+	}
+}
+
+func TestBinCodecRejectsMalformed(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	bad := map[string][]byte{
+		"empty":       nil,
+		"bad version": {99, binUDDIFind},
+		"unknown op":  {binUDDIVersion, 'Z'},
+		"truncated save": append([]byte{binUDDIVersion, binUDDISaveAll},
+			0x80, 0x01, 0x05),
+		"absurd count": append([]byte{binUDDIVersion, binUDDISaveAll, 0},
+			0xFF, 0xFF, 0xFF, 0xFF, 0x7F),
+	}
+	for name, req := range bad {
+		resp := binServe(s, BinOptions{}, "home-a", req)
+		if resp.Status == 200 {
+			t.Errorf("%s accepted", name)
+		}
+		if _, err := decodeBinKeys(resp.Body); err == nil {
+			t.Errorf("%s: error response decoded as success", name)
+		}
+	}
+	// Malformed responses must not decode.
+	if _, err := decodeBinKeys([]byte{binUDDIVersion, binUDDIEntries}); err == nil {
+		t.Error("wrong record kind decoded as keys")
+	}
+	if _, _, err := decodeBinEntries([]byte{binUDDIVersion, binUDDIEntries, 0, 0x90}); err == nil {
+		t.Error("truncated entry list decoded")
+	}
+	if _, _, _, err := decodeBinChanges([]byte{binUDDIVersion, binUDDIChanges, 0}); err == nil {
+		t.Error("truncated change list decoded")
+	}
+}

@@ -3,6 +3,7 @@ package uddi
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,11 +17,16 @@ import (
 	"homeconnect/internal/xmltree"
 )
 
-// Client talks to a registry server over HTTP.
+// Client talks to a registry server over HTTP — or, when a Dialer is
+// set and the server's authority has negotiated it, over the binary
+// fast path, with the identical UDDI document tunneled in a binary
+// frame instead of an HTTP POST.
 type Client struct {
-	// HTTP is the underlying client; the shared keep-alive transport
-	// (internal/transport) if nil.
+	// HTTP is the underlying client; the Dialer's HTTP side when a
+	// Dialer is set, else the shared keep-alive transport.
 	HTTP *http.Client
+	// Dialer, when set, owns protocol negotiation for this registry.
+	Dialer *transport.Dialer
 	// URL is the registry endpoint.
 	URL string
 }
@@ -29,24 +35,51 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
+	if c.Dialer != nil {
+		return c.Dialer.HTTPClient()
+	}
 	return transport.Client()
 }
 
-// roundTrip POSTs doc and returns the parsed response root.
+// roundTrip POSTs doc and returns the parsed response root. With a
+// Dialer, the binary fast path is tried first; because the whole
+// request — watch cursors included — is the document body, a downgrade
+// to SOAP/HTTP simply re-sends the same bytes and loses nothing.
 func (c *Client) roundTrip(ctx context.Context, doc []byte) (*xmltree.Element, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(doc))
-	if err != nil {
-		return nil, fmt.Errorf("uddi: build request: %w", err)
+	var data []byte
+	var status int
+	var statusText string
+	if c.Dialer != nil {
+		res, err := c.Dialer.Exchange(ctx, c.URL, `text/xml; charset="utf-8"`, "", doc)
+		switch {
+		case err == nil:
+			data, status = res.Body, res.Status
+			statusText = fmt.Sprintf("%d %s", status, http.StatusText(status))
+			if len(data) > maxRequestBytes {
+				data = data[:maxRequestBytes]
+			}
+		case errors.Is(err, transport.ErrBinaryUnavailable):
+			// fall through to HTTP
+		default:
+			return nil, fmt.Errorf("uddi: %w", err)
+		}
 	}
-	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("uddi: %w", err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
-	if err != nil {
-		return nil, fmt.Errorf("uddi: read response: %w", err)
+	if data == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(doc))
+		if err != nil {
+			return nil, fmt.Errorf("uddi: build request: %w", err)
+		}
+		req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("uddi: %w", err)
+		}
+		defer resp.Body.Close()
+		data, err = io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+		if err != nil {
+			return nil, fmt.Errorf("uddi: read response: %w", err)
+		}
+		status, statusText = resp.StatusCode, resp.Status
 	}
 	root, err := xmltree.Parse(data)
 	if err != nil {
@@ -66,10 +99,36 @@ func (c *Client) roundTrip(ctx context.Context, doc []byte) (*xmltree.Element, e
 		}
 		return nil, fmt.Errorf("uddi: %s: %s", code, info)
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("uddi: http status %s", resp.Status)
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("uddi: http status %s", statusText)
 	}
 	return root, nil
+}
+
+// binExchange sends a binary-native registry record over the fast path.
+// ok=false means the fast path is not available (no dialer, negotiation
+// refused, or a server that only speaks XML answered) and the caller
+// must re-send the operation as an XML document; err is a hard failure
+// — including a decoded registry refusal, which must NOT downgrade:
+// a locked door answers the same on every wire.
+func (c *Client) binExchange(ctx context.Context, req []byte) (body []byte, ok bool, err error) {
+	if c.Dialer == nil {
+		return nil, false, nil
+	}
+	res, err := c.Dialer.Exchange(ctx, c.URL, BinContentType, "", req)
+	if err != nil {
+		if errors.Is(err, transport.ErrBinaryUnavailable) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("uddi: %w", err)
+	}
+	if len(res.Body) > 0 && res.Body[0] == binUDDIVersion {
+		return res.Body, true, nil
+	}
+	// The frame went through but the answer is not a binary record: a
+	// registry that predates the native encoding tunneled it to its XML
+	// handler, which could not parse it. Re-send as XML.
+	return nil, false, nil
 }
 
 // authError is a registry auth refusal: the server's message verbatim,
@@ -86,6 +145,18 @@ func (e *authError) Unwrap() error { return e.kind }
 // Save publishes the entry with the given TTL and returns the assigned
 // service key.
 func (c *Client) Save(ctx context.Context, e Entry, ttl time.Duration) (string, error) {
+	if body, ok, err := c.binExchange(ctx, encodeBinSaveAll([]Entry{e}, ttl)); err != nil {
+		return "", err
+	} else if ok {
+		keys, err := decodeBinKeys(body)
+		if err != nil {
+			return "", err
+		}
+		if len(keys) != 1 {
+			return "", fmt.Errorf("uddi: save_service returned %d keys", len(keys))
+		}
+		return keys[0], nil
+	}
 	w := xmltree.NewWriter()
 	w.Open("save_service")
 	entryToXML(w, e)
@@ -109,6 +180,18 @@ func (c *Client) Save(ctx context.Context, e Entry, ttl time.Duration) (string, 
 func (c *Client) SaveAll(ctx context.Context, entries []Entry, ttl time.Duration) ([]string, error) {
 	if len(entries) == 0 {
 		return nil, nil
+	}
+	if body, ok, err := c.binExchange(ctx, encodeBinSaveAll(entries, ttl)); err != nil {
+		return nil, err
+	} else if ok {
+		keys, err := decodeBinKeys(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(keys) != len(entries) {
+			return nil, fmt.Errorf("uddi: save_services returned %d keys for %d entries", len(keys), len(entries))
+		}
+		return keys, nil
 	}
 	w := xmltree.NewWriter()
 	w.Open("save_services")
@@ -139,6 +222,11 @@ func (c *Client) SaveAll(ctx context.Context, entries []Entry, ttl time.Duration
 // the caller must drop everything it cached and resume from next. A zero
 // timeout returns immediately, which doubles as a liveness probe.
 func (c *Client) Watch(ctx context.Context, since uint64, timeout time.Duration) (changes []Change, next uint64, resync bool, err error) {
+	if body, ok, err := c.binExchange(ctx, encodeBinWatch(since, timeout)); err != nil {
+		return nil, 0, false, err
+	} else if ok {
+		return decodeBinChanges(body)
+	}
 	w := xmltree.NewWriter()
 	w.Open("watch")
 	w.Leaf("since", strconv.FormatUint(since, 10))
@@ -154,6 +242,12 @@ func (c *Client) Watch(ctx context.Context, since uint64, timeout time.Duration)
 
 // Delete removes the registration with the given key.
 func (c *Client) Delete(ctx context.Context, key string) error {
+	if body, ok, err := c.binExchange(ctx, encodeBinDelete(key)); err != nil {
+		return err
+	} else if ok {
+		_, err := decodeBinKeys(body)
+		return err
+	}
 	w := xmltree.NewWriter()
 	w.Open("delete_service")
 	w.Leaf("serviceKey", key)
@@ -173,6 +267,12 @@ func (c *Client) Find(ctx context.Context, q Query) ([]Entry, error) {
 // entry, the cached copy is stale; a concurrent change with a lower or
 // equal number was already reflected in the inquiry.
 func (c *Client) FindSeq(ctx context.Context, q Query) ([]Entry, uint64, error) {
+	if body, ok, err := c.binExchange(ctx, encodeBinFind(q)); err != nil {
+		return nil, 0, err
+	} else if ok {
+		entries, seq, err := decodeBinEntries(body)
+		return entries, seq, err
+	}
 	w := xmltree.NewWriter()
 	w.Open("find_service")
 	if q.Name != "" {
@@ -209,6 +309,15 @@ func (c *Client) FindSeq(ctx context.Context, q Query) ([]Entry, uint64, error) 
 // Get fetches one entry by key; found is false for unknown or expired
 // keys.
 func (c *Client) Get(ctx context.Context, key string) (Entry, bool, error) {
+	if body, ok, err := c.binExchange(ctx, encodeBinGet(key)); err != nil {
+		return Entry{}, false, err
+	} else if ok {
+		entries, _, err := decodeBinEntries(body)
+		if err != nil || len(entries) == 0 {
+			return Entry{}, false, err
+		}
+		return entries[0], true, nil
+	}
 	w := xmltree.NewWriter()
 	w.Open("get_serviceDetail")
 	w.Leaf("serviceKey", key)

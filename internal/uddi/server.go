@@ -405,10 +405,11 @@ func (s *Server) Changes(since uint64) (changes []Change, next uint64, resync bo
 	if since > s.seq || since < oldest {
 		return nil, s.seq, true
 	}
-	for _, c := range s.journal {
-		if c.Seq > since {
-			changes = append(changes, c)
-		}
+	// Sequence numbers are contiguous, so the requested tail is a single
+	// slice — no per-record scan of a journal that is mostly history.
+	tail := s.journal[len(s.journal)-int(s.seq-since):]
+	if len(tail) > 0 {
+		changes = append(make([]Change, 0, len(tail)), tail...)
 	}
 	return changes, s.seq, false
 }
