@@ -22,6 +22,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"homeconnect/internal/cli"
@@ -38,7 +39,7 @@ import (
 var authHTTP *http.Client
 
 func main() {
-	vsrURL := flag.String("vsr", "http://127.0.0.1:8600/uddi", "Virtual Service Repository URL")
+	vsrURL := flag.String("vsr", "http://127.0.0.1:8600/uddi", "Virtual Service Repository URL (comma-separate replica-set members for failover)")
 	timeout := flag.Duration("timeout", 15*time.Second, "operation timeout")
 	idFile := flag.String("identity", "", "home identity file to sign requests with")
 	auditN := flag.Int("n", 20, "audit: number of tail records to show")
@@ -67,7 +68,17 @@ func main() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	repo := vsr.New(*vsrURL)
+	// A comma-separated -vsr is a replica set: repository traffic walks
+	// the members with error-driven failover, so the same flag value
+	// keeps working while the set changes leaders underneath it. The
+	// operability faces (/health, /audit) are per-member by design and
+	// read the first endpoint.
+	endpoints := strings.Split(*vsrURL, ",")
+	for i := range endpoints {
+		endpoints[i] = strings.TrimSpace(endpoints[i])
+	}
+	opsURL := endpoints[0]
+	repo := vsr.NewSet(endpoints...)
 	if authHTTP != nil {
 		repo.SetHTTPClient(authHTTP)
 	}
@@ -88,9 +99,9 @@ func main() {
 	case "scene":
 		sceneCmd(ctx, repo, args[1:])
 	case "health":
-		health(ctx, *vsrURL)
+		health(ctx, opsURL)
 	case "peers":
-		peers(ctx, *vsrURL)
+		peers(ctx, opsURL)
 	case "audit":
 		verify := false
 		switch {
@@ -99,7 +110,7 @@ func main() {
 		case len(args) > 1:
 			usage()
 		}
-		auditCmd(ctx, *vsrURL, *auditN, verify)
+		auditCmd(ctx, opsURL, *auditN, verify)
 	default:
 		usage()
 	}

@@ -71,6 +71,43 @@ func health(ctx context.Context, vsrURL string) {
 		fmt.Fprintf(os.Stderr, "\nhomectl: AUDIT WRITE ERROR — the log keeps recording in memory but %s is incomplete: %s\n",
 			dash(report.Audit.Path), report.Audit.WriteError)
 	}
+	warnReplicationLag(body)
+}
+
+// replicationReport is the slice of /health the replication widgets
+// read: the node's role block plus the durable registry's snapshot
+// interval (the lag-warning yardstick).
+type replicationReport struct {
+	Replication *struct {
+		Role      string `json:"role"`
+		Epoch     uint64 `json:"epoch"`
+		Leader    string `json:"leader"`
+		Seq       uint64 `json:"seq"`
+		Lag       uint64 `json:"lag"`
+		Attached  bool   `json:"attached"`
+		LastError string `json:"last_error"`
+	} `json:"replication"`
+	Durability *struct {
+		SnapshotEvery int `json:"snapshot_every"`
+	} `json:"durability"`
+}
+
+// warnReplicationLag shouts on stderr when a replica has fallen further
+// behind its leader than one snapshot interval: past that point a feed
+// interruption risks a full resync instead of a journal catch-up.
+func warnReplicationLag(body []byte) {
+	var r replicationReport
+	if json.Unmarshal(body, &r) != nil || r.Replication == nil || r.Replication.Role != "replica" {
+		return
+	}
+	interval := uint64(1024) // registry default snapshot interval
+	if r.Durability != nil && r.Durability.SnapshotEvery > 0 {
+		interval = uint64(r.Durability.SnapshotEvery)
+	}
+	if r.Replication.Lag > interval {
+		fmt.Fprintf(os.Stderr, "\nhomectl: REPLICATION LAG — replica is %d changes behind %s (snapshot interval %d); a feed interruption now forces a full resync\n",
+			r.Replication.Lag, dash(r.Replication.Leader), interval)
+	}
 }
 
 // peers renders the peering section of /health as a table, one row per
@@ -86,6 +123,7 @@ func peers(ctx context.Context, vsrURL string) {
 	if err := json.Unmarshal(body, &report); err != nil {
 		log.Fatal(err)
 	}
+	printReplication(body)
 	if len(report.Peers) == 0 {
 		fmt.Println("no peer links")
 		return
@@ -171,6 +209,27 @@ func auditCmd(ctx context.Context, vsrURL string, n int, verify bool) {
 			rec.Seq, rec.Time().Format("15:04:05.000"), rec.Type, rec.Face,
 			dash(rec.Caller), dash(rec.Service), auditDetail(rec))
 	}
+}
+
+// printReplication renders the repository's replica-set role above the
+// peer table when /health carries a replication block: the peer links
+// below all ride whichever member this is, so the role frames the table.
+func printReplication(body []byte) {
+	var r replicationReport
+	if json.Unmarshal(body, &r) != nil || r.Replication == nil {
+		return
+	}
+	st := r.Replication
+	fmt.Printf("%-8s %-6s %-5s %s\n", "ROLE", "EPOCH", "LAG", "LEADER")
+	detail := st.Leader
+	if st.Role == "replica" && !st.Attached {
+		detail += " (attaching)"
+	}
+	if st.LastError != "" {
+		detail += " — " + st.LastError
+	}
+	fmt.Printf("%-8s %-6d %-5d %s\n\n", st.Role, st.Epoch, st.Lag, dash(detail))
+	warnReplicationLag(body)
 }
 
 func dash(s string) string {

@@ -154,6 +154,8 @@ func run(args []string) error {
 			preset = neighborhood.Secure(*homes)
 		case "crash-recovery":
 			preset = neighborhood.CrashRecovery(*homes)
+		case "replica-failover":
+			preset = neighborhood.ReplicaFailover(*homes)
 		}
 	}
 	seedv, err := seedList(*seeds, *seedBase)

@@ -10,6 +10,13 @@
 // export policy (service-ID patterns, deny wins, "havi:*" style
 // wildcards).
 //
+// With -replica-set (same ordered list on every member) the repository
+// joins a leader/replica set: one member serves writes, the others feed
+// from its watch stream and serve reads, and when the leader dies the
+// survivors elect the most-caught-up member deterministically. -replica-of
+// forces the initial role; see docs/operations.md "Replication &
+// failover".
+//
 // With -identity the home takes a durable cryptographic identity (the
 // file is created on first use; the public key is printed so other
 // homes can -trust it) and every face starts enforcing the home
@@ -51,7 +58,9 @@ func main() {
 	fsync := flag.String("fsync", "", "WAL fsync policy: always, interval or off (default interval; requires -data-dir)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot after this many WAL records (0 = default 1024, negative disables; requires -data-dir)")
 	binary := flag.Bool("binary", true, "offer the session-keyed binary fast path to peers (effective with -identity; SOAP/HTTP stays available)")
-	var peers, allow, deny, trust, aclAllow, aclDeny cli.Multi
+	replicaOf := flag.String("replica-of", "", "boot as a replica feeding from this leader repository (host:port or URL)")
+	var peers, allow, deny, trust, aclAllow, aclDeny, replicaSet cli.Multi
+	flag.Var(&replicaSet, "replica-set", "replica-set member (repeatable, ordered — give every member the same list; enables failover elections)")
 	flag.Var(&peers, "peer", "peer endpoint to import from (repeatable; requires -home)")
 	flag.Var(&allow, "export-allow", "export-policy allow pattern (repeatable)")
 	flag.Var(&deny, "export-deny", "export-policy deny pattern (repeatable)")
@@ -78,6 +87,8 @@ func main() {
 		dataDir:       *dataDir,
 		fsync:         *fsync,
 		snapshotEvery: *snapshotEvery,
+		replicaOf:     *replicaOf,
+		replicaSet:    replicaSet,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -97,6 +108,18 @@ func main() {
 		}
 		fmt.Printf("vsrd: durable registry in %s (%s): %d entries, seq %d, %d WAL records replayed; fsync %s\n",
 			d.Dir, state, rec.Entries, rec.Seq, rec.Replayed, d.Fsync)
+	}
+	if srv.node != nil {
+		st := srv.node.Status()
+		if st.Role == "leader" {
+			fmt.Printf("vsrd: replication: leader of epoch %d at seq %d\n", st.Epoch, st.Seq)
+		} else {
+			fmt.Printf("vsrd: replication: replica of %s (epoch %d, seq %d, attached %v)\n",
+				st.Leader, st.Epoch, st.Seq, st.Attached)
+		}
+		if srv.replicationWarn != nil {
+			fmt.Printf("vsrd: replication: first attach failed (%v); retrying in the background\n", srv.replicationWarn)
+		}
 	}
 	if *home != "" {
 		fmt.Printf("vsrd: home %q peering endpoint at %s\n", *home, srv.PeerURL())

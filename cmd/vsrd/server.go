@@ -4,12 +4,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"homeconnect/internal/core/audit"
 	"homeconnect/internal/core/identity"
 	"homeconnect/internal/core/ops"
 	"homeconnect/internal/core/peer"
+	"homeconnect/internal/core/replica"
 	"homeconnect/internal/core/vsr"
 	"homeconnect/internal/transport"
 	"homeconnect/internal/uddi"
@@ -38,6 +41,11 @@ type config struct {
 	dataDir       string
 	fsync         string
 	snapshotEvery int
+	// replicaOf boots this repository as a replica feeding from that
+	// leader; replicaSet is the ordered replica-set endpoint list (the
+	// election tie-break order — give every member the same list).
+	replicaOf  string
+	replicaSet []string
 }
 
 // server is the assembled repository plus its peering layer.
@@ -52,10 +60,20 @@ type server struct {
 	// identityGenerated reports that this run created the identity file,
 	// so main can print the new public key once.
 	identityGenerated bool
+	// node is the replica-set coordination loop, nil outside a set.
+	node     *replica.Node
+	nodeStop context.CancelFunc
+	// replicationWarn is a non-fatal bootstrap failure (e.g. the
+	// configured leader was not up yet); the loop keeps retrying, main
+	// just reports it.
+	replicationWarn error
 }
 
 // Close stops replication links before the repository they write to.
 func (s *server) Close() {
+	if s.nodeStop != nil {
+		s.nodeStop()
+	}
 	if s.peering != nil {
 		s.peering.Close()
 	}
@@ -69,6 +87,9 @@ func (s *server) Close() {
 // skips tail-scan recovery. Safe (and equivalent to Close) without
 // -data-dir.
 func (s *server) Shutdown() {
+	if s.nodeStop != nil {
+		s.nodeStop()
+	}
 	if s.peering != nil {
 		s.peering.Close()
 	}
@@ -83,6 +104,7 @@ type healthReport struct {
 	Home        string                 `json:"home,omitempty"`
 	AuthEnabled bool                   `json:"auth_enabled"`
 	Registry    registryStats          `json:"registry"`
+	Replication *replica.Status        `json:"replication,omitempty"`
 	Peers       map[string]peer.Status `json:"peers,omitempty"`
 	Wire        transport.WireStats    `json:"wire,omitempty"`
 	Audit       audit.Stats            `json:"audit"`
@@ -113,6 +135,9 @@ func (s *server) mountOps(cfg config, auth *identity.Auth) error {
 		if s.peering != nil {
 			s.peering.SetRecorder(audit.WithFace(l, "peer", cfg.home))
 		}
+		if s.node != nil {
+			s.node.SetRecorder(audit.WithFace(l, "replica", cfg.home))
+		}
 	}
 	s.MountOps(
 		ops.HealthHandler(func() any {
@@ -127,6 +152,11 @@ func (s *server) mountOps(cfg config, auth *identity.Auth) error {
 			if d := s.Registry().Durability(); d.Enabled {
 				durability = &d
 			}
+			var repl *replica.Status
+			if s.node != nil {
+				st := s.node.Status()
+				repl = &st
+			}
 			return healthReport{
 				Home:        cfg.home,
 				AuthEnabled: auth != nil && auth.Enabled(),
@@ -136,15 +166,66 @@ func (s *server) mountOps(cfg config, auth *identity.Auth) error {
 					Finds:   finds,
 					Seq:     s.Registry().Seq(),
 				},
-				Peers:      peers,
-				Wire:       wire,
-				Audit:      s.audit.Stats(),
-				Durability: durability,
+				Replication: repl,
+				Peers:       peers,
+				Wire:        wire,
+				Audit:       s.audit.Stats(),
+				Durability:  durability,
 			}
 		}),
 		ops.AuditHandler(func() *audit.Log { return s.audit }),
 	)
 	return nil
+}
+
+// normalizeEndpoint turns a replica-set member name into the registry
+// URL form the set compares by: bare "host:port" gains the scheme and
+// the /uddi path, so flags can name members the same way -addr does.
+func normalizeEndpoint(ep string) string {
+	if ep == "" {
+		return ""
+	}
+	if !strings.Contains(ep, "://") {
+		ep = "http://" + ep
+	}
+	if !strings.HasSuffix(ep, "/uddi") {
+		ep = strings.TrimRight(ep, "/") + "/uddi"
+	}
+	return ep
+}
+
+// buildNode assembles the replica-set coordination node (nil config →
+// nil node). It only constructs; bootReplication later decides the role
+// and starts the loop, after the operability faces are mounted.
+func buildNode(cfg config, srv *vsr.Server) (*replica.Node, error) {
+	if cfg.replicaOf == "" && len(cfg.replicaSet) == 0 {
+		return nil, nil
+	}
+	set := make([]string, 0, len(cfg.replicaSet))
+	for _, ep := range cfg.replicaSet {
+		set = append(set, normalizeEndpoint(ep))
+	}
+	return replica.New(replica.Config{
+		Self:      srv.URL(),
+		Set:       set,
+		ReplicaOf: normalizeEndpoint(cfg.replicaOf),
+		Registry:  srv.Registry(),
+	})
+}
+
+// bootReplication decides the node's initial role and starts the
+// coordination loop. A failed first attach is not fatal — the loop keeps
+// retrying (and elects, if the configured leader stays dead) — but it is
+// returned so main can report it.
+func (s *server) bootReplication() error {
+	if s.node == nil {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.nodeStop = cancel
+	err := s.node.Bootstrap(ctx)
+	go s.node.Run(ctx)
+	return err
 }
 
 // buildAuth assembles the authentication context from flags: the home's
@@ -209,10 +290,15 @@ func startServer(cfg config) (*server, error) {
 			srv.Registry().SetJournalCapacity(cfg.journal)
 		}
 		s := &server{Server: srv}
+		if s.node, err = buildNode(cfg, srv); err != nil {
+			srv.Close()
+			return nil, err
+		}
 		if err := s.mountOps(cfg, nil); err != nil {
 			s.Close()
 			return nil, err
 		}
+		s.replicationWarn = s.bootReplication()
 		return s, nil
 	}
 	auth, id, generated, err := buildAuth(cfg)
@@ -231,6 +317,10 @@ func startServer(cfg config) (*server, error) {
 		srv.Registry().SetJournalCapacity(cfg.journal)
 	}
 	s := &server{Server: srv, identity: id, identityGenerated: generated}
+	if s.node, err = buildNode(cfg, srv); err != nil {
+		srv.Close()
+		return nil, err
+	}
 	p, err := peer.New(cfg.home, srv.Registry(), auth)
 	if err != nil {
 		srv.Close()
@@ -254,5 +344,6 @@ func startServer(cfg config) (*server, error) {
 			return nil, err
 		}
 	}
+	s.replicationWarn = s.bootReplication()
 	return s, nil
 }

@@ -88,6 +88,13 @@ const (
 	// SessionRekey: a session reached its lifetime bound and was
 	// replaced in place by a fresh handshake on the same link.
 	SessionRekey Type = "session.rekey"
+	// ReplicaAttach: this node attached (or re-attached) to a leader's
+	// replication feed; Detail carries the leader, the sequence number
+	// the state transfer grounded at, and the epoch.
+	ReplicaAttach Type = "replica.attach"
+	// ReplicaPromote: this node took over as replication leader; Detail
+	// carries the new epoch and the sequence number it was elected at.
+	ReplicaPromote Type = "replica.promote"
 )
 
 // Event is one audited decision, as emitted by an instrumented

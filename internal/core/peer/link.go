@@ -38,6 +38,11 @@ type Status struct {
 	// Cursor is the replication cursor: the highest remote journal
 	// sequence number applied locally.
 	Cursor uint64 `json:"cursor"`
+	// CursorEpoch is the replication epoch the cursor was handed out
+	// under (0 until the remote states one). Across a remote leader
+	// failover, presenting it lets the promoted replica replay shared
+	// history for this cursor instead of demanding a full resync.
+	CursorEpoch uint64 `json:"cursor_epoch,omitempty"`
 	// Imported counts remote entries currently registered locally.
 	Imported int `json:"imported"`
 	// Applied counts change deltas applied since the link started.
@@ -82,8 +87,9 @@ type Link struct {
 	imported map[string]string
 }
 
-func newLink(p *Peering, url string) *Link {
-	remote := vsr.New(url)
+func newLink(p *Peering, urls []string) *Link {
+	url := urls[0]
+	remote := vsr.NewSet(urls...)
 	// Every wire op the link issues — watch rounds, snapshot reconciles —
 	// rides the peering's dialer: the binary fast path once the peer has
 	// negotiated a session, signed SOAP/HTTP otherwise. In open mode the
@@ -406,10 +412,10 @@ func (l *Link) Pull(ctx context.Context) error {
 		l.mu.Unlock()
 		return nil
 	}
-	since := l.st.Cursor
+	since, sinceEpoch := l.st.Cursor, l.st.CursorEpoch
 	up := l.st.Connected
 	l.mu.Unlock()
-	deltas, next, resync, err := l.remote.WatchOnce(ctx, since, 0)
+	deltas, next, nextEpoch, resync, err := l.remote.WatchOnceEpoch(ctx, since, sinceEpoch, 0)
 	if err != nil {
 		l.apply(ctx, vsr.Delta{Op: vsr.DeltaDown, Err: err})
 		return err
@@ -424,9 +430,14 @@ func (l *Link) Pull(ctx context.Context) error {
 		l.apply(ctx, d)
 	}
 	// An empty or fully filtered round still advances the cursor, exactly
-	// as the background watch loop advances `since`.
+	// as the background watch loop advances `since`. A round that crossed
+	// into a newer epoch adopts next even when it sits below the old
+	// cursor: the remote failed over, and next is the promoted replica's
+	// shared-history replay point, not a stale answer.
 	l.mu.Lock()
-	if next > l.st.Cursor {
+	if nextEpoch > l.st.CursorEpoch {
+		l.st.Cursor, l.st.CursorEpoch = next, nextEpoch
+	} else if next > l.st.Cursor {
 		l.st.Cursor = next
 	}
 	l.mu.Unlock()

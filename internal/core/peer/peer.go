@@ -338,21 +338,16 @@ func (p *Peering) exportEntry(caller string, e uddi.Entry) (uddi.Entry, bool) {
 // vsr.Server.PeerURL). The returned Link is already running; its Status
 // reports connectivity and the replication cursor.
 func (p *Peering) Peer(url string) (*Link, error) {
-	if url == "" {
-		return nil, fmt.Errorf("peer: empty peer URL")
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return nil, fmt.Errorf("peer: peering closed")
-	}
-	if _, dup := p.links[url]; dup {
-		return nil, fmt.Errorf("peer: already peered with %s", url)
-	}
-	l := newLink(p, url)
-	p.links[url] = l
-	l.start()
-	return l, nil
+	return p.addLink([]string{url}, false)
+}
+
+// PeerSet is Peer against a replicated repository: the link walks the
+// ordered endpoint list with error-driven failover, so when the pinned
+// endpoint dies it resumes its watch — cursor intact, because leader
+// sequence numbers survive promotion — against a surviving replica. The
+// link is keyed by the first URL.
+func (p *Peering) PeerSet(urls ...string) (*Link, error) {
+	return p.addLink(urls, false)
 }
 
 // PeerManual attaches a link with no background goroutine: nothing
@@ -362,9 +357,21 @@ func (p *Peering) Peer(url string) (*Link, error) {
 // exactly when its event loop schedules one; the state machine is the
 // same one the background link runs.
 func (p *Peering) PeerManual(url string) (*Link, error) {
-	if url == "" {
+	return p.addLink([]string{url}, true)
+}
+
+// PeerManualSet is PeerManual over a replica-set endpoint list — the
+// manually driven twin of PeerSet, for the deterministic simulation's
+// failover scenarios.
+func (p *Peering) PeerManualSet(urls ...string) (*Link, error) {
+	return p.addLink(urls, true)
+}
+
+func (p *Peering) addLink(urls []string, manual bool) (*Link, error) {
+	if len(urls) == 0 || urls[0] == "" {
 		return nil, fmt.Errorf("peer: empty peer URL")
 	}
+	url := urls[0]
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -373,10 +380,15 @@ func (p *Peering) PeerManual(url string) (*Link, error) {
 	if _, dup := p.links[url]; dup {
 		return nil, fmt.Errorf("peer: already peered with %s", url)
 	}
-	l := newLink(p, url)
-	l.manual = true
-	close(l.done) // no run loop for stop to wait on
+	l := newLink(p, urls)
+	if manual {
+		l.manual = true
+		close(l.done) // no run loop for stop to wait on
+		p.links[url] = l
+		return l, nil
+	}
 	p.links[url] = l
+	l.start()
 	return l, nil
 }
 

@@ -70,6 +70,21 @@ func New(url string) *VSR {
 	return &VSR{client: &uddi.Client{URL: url}, ttl: DefaultTTL}
 }
 
+// NewSet returns a VSR client against a replicated registry: an ordered
+// endpoint list walked by error-driven failover. Writes follow the
+// E_notLeader redirect to wherever the leader currently is; reads are
+// answered by whichever endpoint is pinned. With one URL it behaves
+// exactly like New.
+func NewSet(urls ...string) *VSR {
+	if len(urls) == 1 {
+		return New(urls[0])
+	}
+	return &VSR{
+		client: &uddi.Client{Resolver: transport.NewResolver(urls...)},
+		ttl:    DefaultTTL,
+	}
+}
+
 // SetHTTPClient replaces the underlying HTTP client — how gateways and
 // peer links route repository traffic through a credential-signing
 // client (transport.NewAuthClient) when their home has an identity. Call
@@ -313,6 +328,10 @@ func (v *VSR) watchLoop(ctx context.Context, since uint64, ch chan<- Delta) {
 	}
 	up := false
 	downErr := ""
+	// sinceEpoch tracks which leader regime handed out the cursor; across
+	// a repository failover the promoted replica uses it to replay shared
+	// history instead of demanding a resync.
+	var sinceEpoch uint64
 	for ctx.Err() == nil {
 		timeout := watchPollTimeout
 		if !up {
@@ -320,7 +339,7 @@ func (v *VSR) watchLoop(ctx context.Context, since uint64, ch chan<- Delta) {
 			// fast; only steady-state rounds park at the repository.
 			timeout = 0
 		}
-		changes, next, resync, err := v.client.Watch(ctx, since, timeout)
+		changes, next, nextEpoch, resync, err := v.client.WatchEpoch(ctx, since, sinceEpoch, timeout)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -364,7 +383,7 @@ func (v *VSR) watchLoop(ctx context.Context, since uint64, ch chan<- Delta) {
 				return
 			}
 		}
-		since = next
+		since, sinceEpoch = next, nextEpoch
 	}
 }
 
@@ -376,16 +395,27 @@ func (v *VSR) watchLoop(ctx context.Context, since uint64, ch chan<- Delta) {
 // deterministic simulation drives directly, one round per scheduled
 // event, with no goroutine or parked poll in the path.
 func (v *VSR) WatchOnce(ctx context.Context, since uint64, timeout time.Duration) (deltas []Delta, next uint64, resync bool, err error) {
-	changes, next, resync, err := v.client.Watch(ctx, since, timeout)
+	deltas, next, _, resync, err = v.WatchOnceEpoch(ctx, since, 0, timeout)
+	return deltas, next, resync, err
+}
+
+// WatchOnceEpoch is WatchOnce carrying the replication epoch the cursor
+// came from and returning the repository's current one (see
+// uddi.Client.WatchEpoch). Callers that persist their cursor across
+// repository failovers — the peer import link above all — resume with the
+// returned epoch, and must adopt next even when it sits below the old
+// cursor: under a newer epoch it is the shared-history replay point.
+func (v *VSR) WatchOnceEpoch(ctx context.Context, since, sinceEpoch uint64, timeout time.Duration) (deltas []Delta, next, nextEpoch uint64, resync bool, err error) {
+	changes, next, nextEpoch, resync, err := v.client.WatchEpoch(ctx, since, sinceEpoch, timeout)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	for _, c := range changes {
 		if d, ok := deltaFromChange(c); ok {
 			deltas = append(deltas, d)
 		}
 	}
-	return deltas, next, resync, nil
+	return deltas, next, nextEpoch, resync, nil
 }
 
 // deltaFromChange maps a registry journal record to a federation delta.

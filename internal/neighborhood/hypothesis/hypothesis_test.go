@@ -95,6 +95,36 @@ func TestAuthOverheadBounded(t *testing.T) {
 	}
 }
 
+// TestReplicaFailoverSupported runs the leader-kill hypothesis at a
+// reduced scale: every seed must produce exactly one kill and one
+// promotion, lose nothing acknowledged, keep importer cursors intact,
+// and hold failover reads inside the 2x steady-state bound.
+func TestReplicaFailoverSupported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full failover sweep")
+	}
+	f, err := ReplicaFailover(quickSeeds, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Verdict != "supported" {
+		t.Fatalf("replica failover verdict %q: %s", f.Verdict, f.Detail)
+	}
+	aux := f.Scales[0].Aux
+	if aux["promotions"] != float64(len(quickSeeds)) {
+		t.Fatalf("promotions = %v, want one per seed (%d)", aux["promotions"], len(quickSeeds))
+	}
+	if aux["acked_lost"] != 0 || aux["importer_resyncs"] != 0 || aux["missing_after_rejoin"] != 0 {
+		t.Fatalf("failover lost work: %+v", aux)
+	}
+	if aux["handed_back"] == 0 {
+		t.Fatalf("no handback observed — the kill produced no unreplicated acknowledged tail: %+v", aux)
+	}
+	if r := aux["read_failover_ratio"]; r <= 0 || r > 2 {
+		t.Fatalf("read failover/steady p99 ratio %v outside (0, 2]", r)
+	}
+}
+
 func TestRegistryAndCSV(t *testing.T) {
 	if len(Registry()) < 3 {
 		t.Fatal("expected at least 3 registered hypotheses")

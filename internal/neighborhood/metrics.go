@@ -59,6 +59,20 @@ type Result struct {
 	ImporterResyncs int64    `json:"importer_resyncs,omitempty"`
 	Recovery        *Summary `json:"recovery,omitempty"`
 
+	// Replica-set failover observations (scenarios with Replicas > 0).
+	// ReadSteady/ReadFailover split the read stream's latency at the
+	// crash window; Promotions counts election wins; HandedBack counts
+	// acknowledged writes the deposed leader re-registered on rejoin;
+	// AckedLost counts acknowledged registrations the acting leader
+	// could not resolve at the end of the run — the zero-loss contract.
+	ReadSteady    *Summary `json:"read_steady,omitempty"`
+	ReadFailover  *Summary `json:"read_failover,omitempty"`
+	Promotions    int64    `json:"promotions,omitempty"`
+	HandedBack    int64    `json:"handed_back,omitempty"`
+	WriteFailures int64    `json:"write_failures,omitempty"`
+	ReadErrors    int64    `json:"read_errors,omitempty"`
+	AckedLost     int64    `json:"acked_lost,omitempty"`
+
 	// ShardCVMean/Max summarize per-registry shard-load imbalance: the
 	// coefficient of variation of the 16 shard write counters, averaged
 	// (and maxed) across homes. 0 is perfectly uniform.
@@ -157,6 +171,15 @@ func (s *Sim) result() Result {
 	if s.m.crashes > 0 {
 		rs := summarize(s.m.recoveryMS)
 		r.Recovery = &rs
+	}
+	if s.repl != nil {
+		steady, failover := summarize(s.m.readSteadyMS), summarize(s.m.readFailoverMS)
+		r.ReadSteady, r.ReadFailover = &steady, &failover
+		r.Promotions = s.m.promotions
+		r.HandedBack = s.m.handedBack
+		r.WriteFailures = s.m.writeFailures
+		r.ReadErrors = s.m.readErrors
+		r.AckedLost = s.m.ackedLost
 	}
 	var cvSum, cvMax float64
 	for _, h := range s.homes {

@@ -53,6 +53,13 @@ type CostModel struct {
 	// AuditAppend is added per audited operation when the audit plane
 	// is on.
 	AuditAppend time.Duration `json:"audit_append"`
+	// Read is the cost of serving one direct registry lookup against a
+	// replica-set member (replica scenarios only).
+	Read time.Duration `json:"read,omitempty"`
+	// Redial is the client-side cost of discovering one dead endpoint
+	// before a resolver moves to the next replica-set member — a LAN
+	// connection refusal, not a timeout.
+	Redial time.Duration `json:"redial,omitempty"`
 }
 
 // PartitionWindow takes a fraction of homes off the network for a span
@@ -118,6 +125,17 @@ type Scenario struct {
 	// Crash schedules one kill-restart. Requires Durable.
 	Crash *CrashWindow `json:"crash,omitempty"`
 
+	// Replicas puts home 0's registry behind a replica set: N standby
+	// members feed from its journal over the repl watch protocol, writes
+	// route through a leader-following resolver, and a CrashWindow on
+	// home 0 becomes a leader kill with deterministic promotion instead
+	// of a plain outage. Requires Durable (replicas keep their own WAL).
+	Replicas int `json:"replicas,omitempty"`
+	// ReadRate is lookups per virtual second issued against the replica
+	// set through its resolver — the read-availability probe a failover
+	// scenario measures. Ignored when Replicas is zero.
+	ReadRate float64 `json:"read_rate,omitempty"`
+
 	// Auth arms per-home identities and mutual signing on every link;
 	// Audit arms the hash-chained audit log on every home.
 	Auth  bool `json:"auth"`
@@ -170,6 +188,20 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("scenario %q: crash window [%v,+%v) must fall inside the run", s.Name, s.Crash.At, s.Crash.Down)
 		}
 	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("scenario %q: negative replica count %d", s.Name, s.Replicas)
+	}
+	if s.Replicas > 0 {
+		if !s.Durable {
+			return fmt.Errorf("scenario %q: a replica set requires durable registries", s.Name)
+		}
+		if s.Auth {
+			return fmt.Errorf("scenario %q: replica sets run open in the simulation (the set members share home 0's identity)", s.Name)
+		}
+		if s.Crash != nil && s.Crash.Home != 0 {
+			return fmt.Errorf("scenario %q: the replica set fronts home 0; a crash must kill home 0, not %d", s.Name, s.Crash.Home)
+		}
+	}
 	return nil
 }
 
@@ -177,10 +209,11 @@ func (s Scenario) Validate() error {
 // parameter except Homes, which callers scale.
 func Presets() map[string]Scenario {
 	return map[string]Scenario{
-		"churn":          Churn(64),
-		"propagation":    Propagation(32),
-		"secure":         Secure(32),
-		"crash-recovery": CrashRecovery(16),
+		"churn":            Churn(64),
+		"propagation":      Propagation(32),
+		"secure":           Secure(32),
+		"crash-recovery":   CrashRecovery(16),
+		"replica-failover": ReplicaFailover(16),
 	}
 }
 
@@ -244,6 +277,29 @@ func CrashRecovery(homes int) Scenario {
 	s.FlapInterval = 0
 	s.Partitions = nil
 	s.Crash = &CrashWindow{Home: 0, At: 20 * time.Second, Down: 5 * time.Second}
+	return s
+}
+
+// ReplicaFailover is the leader-kill preset: churn-grade traffic with
+// home 0's registry behind a two-replica set, a steady lookup stream
+// riding the set's resolver, and the leader killed without ceremony
+// mid-run. It feeds the replica-failover hypothesis: a replica promotes
+// deterministically, no acknowledged registration is lost (the deposed
+// leader hands unreplicated writes back on rejoin), importers re-pin to
+// the survivor without a resync, and read latency through the failover
+// window stays within 2x of steady state.
+func ReplicaFailover(homes int) Scenario {
+	s := Churn(homes)
+	s.Name = "replica-failover"
+	s.Durable = true
+	s.SnapshotEvery = 64
+	s.FlapInterval = 0
+	s.Partitions = nil
+	s.Replicas = 2
+	s.ReadRate = 5
+	s.Crash = &CrashWindow{Home: 0, At: 20 * time.Second, Down: 10 * time.Second}
+	s.Costs.Read = 4 * time.Millisecond
+	s.Costs.Redial = 2 * time.Millisecond
 	return s
 }
 

@@ -138,6 +138,8 @@ type Sim struct {
 	net   *transport.MemNet
 	rng   *rand.Rand // scenario-level draws: flaps, partitions
 	homes []*home
+	// repl is the replica set fronting home 0 when the scenario arms one.
+	repl *replicaSet
 	// dataRoot holds the per-home durable registry directories for a
 	// Durable scenario; removed on Close.
 	dataRoot string
@@ -169,6 +171,14 @@ type counters struct {
 	recoveredEntries    int64
 	replayedRecords     int64
 	missingAfterRestart int64
+
+	readSteadyMS   []float64
+	readFailoverMS []float64
+	promotions     int64
+	handedBack     int64
+	writeFailures  int64
+	readErrors     int64
+	ackedLost      int64
 }
 
 // NewSim builds the neighborhood but does not start the clock. Homes
@@ -218,10 +228,19 @@ func NewSim(scn Scenario, seed int64) (*Sim, error) {
 		s.homes = append(s.homes, h)
 	}
 
+	// The replica set fronts home 0 before links form, so importer links
+	// to it carry the whole endpoint list.
+	if scn.Replicas > 0 {
+		if err := s.buildReplicas(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+
 	// Peer links in deterministic (importer, exporter) order.
 	for _, pair := range s.topologyPairs() {
 		imp, exp := s.homes[pair[0]], s.homes[pair[1]]
-		l, err := imp.peering.PeerManual("http://" + exp.name + "/peer")
+		l, err := imp.peering.PeerManualSet(s.peerURLs(exp)...)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("peer %s -> %s: %w", imp.name, exp.name, err)
@@ -370,6 +389,12 @@ func (s *Sim) after(rng *rand.Rand, rate float64, fn func()) {
 func (s *Sim) Run() Result {
 	heap.Init(&s.events)
 
+	// Role decisions before any write: home 0 takes epoch 1, the
+	// standbys attach to it.
+	if s.repl != nil {
+		s.bootstrapReplicas()
+	}
+
 	// Seed registries before the clock moves, then take one pull round
 	// so every home starts with a converged view.
 	for _, h := range s.homes {
@@ -381,6 +406,9 @@ func (s *Sim) Run() Result {
 		for _, il := range h.links {
 			s.pullOnce(il, simEpoch)
 		}
+	}
+	if s.repl != nil {
+		s.warmupReplicas()
 	}
 	// The warm-up converged replicas, not metrics: samples observed at
 	// the epoch measure setup, not steady state.
@@ -400,6 +428,20 @@ func (s *Sim) Run() Result {
 			il := il
 			offset := time.Duration(h.rng.Int63n(int64(s.scn.PullInterval)))
 			s.schedule(simEpoch.Add(offset), func() { s.pullTick(il) })
+		}
+	}
+	// Replica-set cadences: the members' feed ticks staggered inside the
+	// first interval, home 0's own node (a no-op while it leads), and
+	// the read stream against the set.
+	if s.repl != nil {
+		for i, m := range s.repl.members {
+			m := m
+			offset := s.scn.PullInterval * time.Duration(i+1) / time.Duration(len(s.repl.members)+1)
+			s.schedule(simEpoch.Add(offset), func() { s.replicaTick(m) })
+		}
+		s.schedule(simEpoch.Add(s.scn.PullInterval), s.leadTick)
+		if s.scn.ReadRate > 0 {
+			s.after(s.repl.rng, s.scn.ReadRate, s.readEvent)
 		}
 	}
 	// Sweeps.
@@ -431,6 +473,9 @@ func (s *Sim) Run() Result {
 		ev.fn()
 	}
 	s.clock.AdvanceTo(s.end)
+	if s.repl != nil {
+		s.settleAcked()
+	}
 	return s.result()
 }
 
@@ -449,10 +494,23 @@ func (s *Sim) exportService(h *home, now time.Time) {
 	if err != nil {
 		panic(fmt.Sprintf("sim: EntryFor(%s): %v", id, err))
 	}
-	key := h.reg.Save(entry, s.scn.ServiceTTL)
+	var key string
+	var done time.Time
+	if s.replicated(h) {
+		// The replicated home writes over the wire through the leader-
+		// following resolver — the only path that stays correct once the
+		// leadership has moved.
+		key, err = s.repl.writes.Save(context.Background(), entry, s.scn.ServiceTTL)
+		if err != nil {
+			s.m.writeFailures++
+			return
+		}
+		done = s.stationFor(s.repl.writes.Resolver.Current()).serve(now, s.opCost(s.scn.Costs.Register))
+	} else {
+		key = h.reg.Save(entry, s.scn.ServiceTTL)
+		done = h.serve(now, s.opCost(s.scn.Costs.Register))
+	}
 	h.live = append(h.live, liveService{key: key, id: id})
-
-	done := h.serve(now, s.opCost(s.scn.Costs.Register))
 	scoped := "uuid:svc-" + h.name + "/" + id
 	for _, il := range h.importers {
 		il.pending = append(il.pending, sample{scoped: scoped, src: key, readyAt: done})
@@ -482,16 +540,27 @@ func (s *Sim) registerEvent(h *home) {
 }
 
 func (s *Sim) expireEvent(h *home) {
-	if !h.down && len(h.live) > 0 {
-		i := h.rng.Intn(len(h.live))
-		svc := h.live[i]
-		h.live[i] = h.live[len(h.live)-1]
-		h.live = h.live[:len(h.live)-1]
-		h.reg.Delete(svc.key)
-		h.serve(s.clock.Now(), s.opCost(s.scn.Costs.Register))
-		s.m.expires++
+	defer s.after(h.rng, s.scn.ExpireRate, func() { s.expireEvent(h) })
+	if h.down || len(h.live) == 0 {
+		return
 	}
-	s.after(h.rng, s.scn.ExpireRate, func() { s.expireEvent(h) })
+	i := h.rng.Intn(len(h.live))
+	svc := h.live[i]
+	var st station = h
+	if s.replicated(h) {
+		if err := s.repl.writes.Delete(context.Background(), svc.key); err != nil {
+			// The lease stands: the withdrawal never happened.
+			s.m.writeFailures++
+			return
+		}
+		st = s.stationFor(s.repl.writes.Resolver.Current())
+	} else {
+		h.reg.Delete(svc.key)
+	}
+	h.live[i] = h.live[len(h.live)-1]
+	h.live = h.live[:len(h.live)-1]
+	st.serve(s.clock.Now(), s.opCost(s.scn.Costs.Register))
+	s.m.expires++
 }
 
 // callEvent invokes a random imported service: resolve against the
@@ -547,7 +616,15 @@ func (s *Sim) pullOnce(il *importLink, now time.Time) {
 		il.to.serve(now, s.scn.Costs.PullImporter)
 		return
 	}
-	il.from.serve(now, s.opCost(s.scn.Costs.PullExporter))
+	// A pull from the replicated home may have been served by whichever
+	// member currently leads; charge the exporter side there.
+	var exp station = il.from
+	if s.replicated(il.from) {
+		if ls := s.leaderStation(); ls != nil {
+			exp = ls
+		}
+	}
+	exp.serve(now, s.opCost(s.scn.Costs.PullExporter))
 	cost := s.opCost(s.scn.Costs.PullImporter) + time.Duration(applied)*s.scn.Costs.PerDelta
 	done := il.to.serve(now, cost)
 
@@ -569,7 +646,7 @@ func (s *Sim) pullOnce(il *importLink, now time.Time) {
 		if _, ok := il.to.reg.Get(sm.scoped); ok {
 			s.m.propagationMS = append(s.m.propagationMS,
 				float64(done.Sub(sm.readyAt))/float64(time.Millisecond))
-		} else if _, live := il.from.reg.Get(sm.src); !live {
+		} else if _, live := s.sourceRegistry(il.from).Get(sm.src); !live {
 			// Withdrawn at the source before it ever replicated.
 			s.m.dropped++
 		} else {
@@ -579,12 +656,29 @@ func (s *Sim) pullOnce(il *importLink, now time.Time) {
 	il.pending = kept
 }
 
+// sourceRegistry is where an exporter's truth lives: its own registry,
+// or — for the replicated home — the acting leader's, which stays
+// queryable while the home itself is dead.
+func (s *Sim) sourceRegistry(h *home) *uddi.Server {
+	if s.replicated(h) {
+		return s.leaderRegistry()
+	}
+	return h.reg
+}
+
 func (s *Sim) sweepTick() {
 	for _, h := range s.homes {
 		if h.down {
 			continue // no janitor runs in a dead process
 		}
 		h.reg.Sweep()
+	}
+	if s.repl != nil {
+		// A member's sweep is a no-op while it follows (expiry replicates
+		// from the leader); it matters the moment one promotes.
+		for _, m := range s.repl.members {
+			m.reg.Sweep()
+		}
 	}
 	s.schedule(s.clock.Now().Add(s.scn.SweepInterval), s.sweepTick)
 }
@@ -638,6 +732,13 @@ func (s *Sim) restartHome(h *home) {
 	s.m.recoveredEntries += int64(rec.Entries)
 	s.m.replayedRecords += int64(rec.Replayed)
 
+	// A replicated home does not resume leadership: it rejoins the set
+	// as a replica of whoever promoted, handing back acknowledged writes
+	// only its recovered WAL knew about.
+	if s.replicated(h) {
+		s.rejoinLeader(h)
+	}
+
 	// Every registration the home had acknowledged must still resolve.
 	kept := h.live[:0]
 	for _, svc := range h.live {
@@ -652,7 +753,7 @@ func (s *Sim) restartHome(h *home) {
 	// The home's own import links are rebuilt on the new peering; first
 	// contact reconciles against state the recovery already restored.
 	for _, il := range h.links {
-		l, err := h.peering.PeerManual("http://" + il.from.name + "/peer")
+		l, err := h.peering.PeerManualSet(s.peerURLs(il.from)...)
 		if err != nil {
 			panic(fmt.Sprintf("sim: re-peer %s -> %s: %v", h.name, il.from.name, err))
 		}
@@ -681,6 +782,7 @@ func (s *Sim) setPartitioned(h *home, down bool) {
 // Close releases every home (peerings stop their links; detached
 // servers hold no listeners) and removes the durable data root.
 func (s *Sim) Close() {
+	s.closeReplicas()
 	for _, h := range s.homes {
 		if h.peering != nil {
 			h.peering.Close()

@@ -199,6 +199,54 @@ func TestCrashRecoveryRun(t *testing.T) {
 	}
 }
 
+// TestReplicaFailoverRun: the replica-failover preset kills the leader of
+// home 0's replica set mid-churn. Exactly one survivor promotes, every
+// acknowledged registration survives (handback covers the unreplicated
+// tail), importers ride their cursors across the promotion with zero
+// resyncs, and reads keep flowing through the survivors.
+func TestReplicaFailoverRun(t *testing.T) {
+	scn := ReplicaFailover(8)
+	scn.Duration = 45 * time.Second
+	results, err := RunSeeds(scn, []int64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(results[0])
+	b, _ := json.Marshal(results[1])
+	if string(a) != string(b) {
+		t.Fatalf("replica-failover run not deterministic:\n %s\n %s", a, b)
+	}
+	r := results[0]
+	if r.Crashes != 1 {
+		t.Fatalf("scenario scheduled 1 leader kill, observed %d crashes", r.Crashes)
+	}
+	if r.Promotions != 1 {
+		t.Fatalf("want exactly 1 promotion (deterministic election), got %d", r.Promotions)
+	}
+	if r.AckedLost != 0 {
+		t.Fatalf("%d acknowledged registrations unresolvable on the acting leader", r.AckedLost)
+	}
+	if r.MissingAfterRestart != 0 {
+		t.Fatalf("%d acknowledged registrations missing after the old leader rejoined", r.MissingAfterRestart)
+	}
+	if r.ImporterResyncs != 0 {
+		t.Fatalf("failover forced %d importer resyncs, want cursor-transparent promotion", r.ImporterResyncs)
+	}
+	if r.WriteFailures != 0 {
+		t.Fatalf("%d writes failed outside the outage window", r.WriteFailures)
+	}
+	if r.ReadSteady == nil || r.ReadSteady.Count == 0 || r.ReadFailover == nil || r.ReadFailover.Count == 0 {
+		t.Fatalf("read stream not split around the crash window: steady=%+v failover=%+v", r.ReadSteady, r.ReadFailover)
+	}
+	if r.ReadFailover.P99 > 2*r.ReadSteady.P99 {
+		t.Fatalf("failover read p99 %.3fms exceeds 2x steady %.3fms", r.ReadFailover.P99, r.ReadSteady.P99)
+	}
+	// The unreplicated acknowledged tail came back via rejoin handback.
+	if r.HandedBack == 0 {
+		t.Fatal("no handback observed — the kill window produced no unreplicated acknowledged writes")
+	}
+}
+
 // TestNonDurableScenarioUnchanged: without Durable no data root is
 // created and the existing presets run exactly as before.
 func TestNonDurableScenarioUnchanged(t *testing.T) {
@@ -238,6 +286,18 @@ func TestScenarioValidate(t *testing.T) {
 		{"crash window past the end", func(s *Scenario) {
 			s.Durable = true
 			s.Crash = &CrashWindow{Home: 0, At: s.Duration, Down: time.Second}
+		}},
+		{"negative replicas", func(s *Scenario) { s.Replicas = -1 }},
+		{"replicas without durable", func(s *Scenario) { s.Replicas = 2 }},
+		{"replicas with auth", func(s *Scenario) {
+			s.Durable = true
+			s.Replicas = 2
+			s.Auth = true
+		}},
+		{"replica crash off the gateway", func(s *Scenario) {
+			s.Durable = true
+			s.Replicas = 2
+			s.Crash = &CrashWindow{Home: 1, At: time.Second, Down: time.Second}
 		}},
 	}
 	for _, c := range cases {

@@ -1,0 +1,92 @@
+// resolver.go is the replica-set-aware endpoint resolver: an ordered
+// list of equivalent registry endpoints with error-driven re-pinning.
+// The resolver holds no health state and runs no probes — it simply
+// remembers which endpoint the last successful exchange used, and a
+// caller that hits a dead (or demoted) endpoint reports it with Fail to
+// rotate to the next. This keeps failover policy in the client that
+// observed the error, and mechanism — the ordered list, the pin — here,
+// where every protocol (SOAP, binary fast path, replication) can share
+// one view of where the registry currently lives.
+package transport
+
+import "sync"
+
+// Resolver is an ordered endpoint list for one logical service (a
+// replicated registry). Safe for concurrent use; all methods are cheap
+// enough for per-request calls.
+type Resolver struct {
+	mu        sync.Mutex
+	endpoints []string
+	cur       int
+}
+
+// NewResolver returns a resolver pinned to the first of the given
+// endpoints. Order matters: it is the preference order failover walks,
+// and (by convention) the deterministic tie-break order for elections.
+func NewResolver(endpoints ...string) *Resolver {
+	eps := make([]string, 0, len(endpoints))
+	for _, e := range endpoints {
+		if e != "" {
+			eps = append(eps, e)
+		}
+	}
+	return &Resolver{endpoints: eps}
+}
+
+// Current returns the endpoint requests should use now ("" for an empty
+// resolver).
+func (r *Resolver) Current() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.endpoints) == 0 {
+		return ""
+	}
+	return r.endpoints[r.cur]
+}
+
+// Fail reports that failed answered with an endpoint-level error and
+// returns the endpoint to try next. The rotation only advances when
+// failed is still the pinned endpoint — if another caller already moved
+// on, its choice stands and this report consumes nothing, so N
+// concurrent callers hitting one dead endpoint advance the pin once, not
+// N times.
+func (r *Resolver) Fail(failed string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.endpoints) == 0 {
+		return ""
+	}
+	if r.endpoints[r.cur] == failed {
+		r.cur = (r.cur + 1) % len(r.endpoints)
+	}
+	return r.endpoints[r.cur]
+}
+
+// Pin moves the resolver to the given endpoint, if it is in the set:
+// the redirect path, used when a replica names the leader in its
+// refusal. Returns false (and changes nothing) for an unknown endpoint.
+func (r *Resolver) Pin(endpoint string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, e := range r.endpoints {
+		if e == endpoint {
+			r.cur = i
+			return true
+		}
+	}
+	return false
+}
+
+// Endpoints returns a copy of the ordered endpoint list.
+func (r *Resolver) Endpoints() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.endpoints...)
+}
+
+// Len reports the set size — the natural retry budget for one operation.
+func (r *Resolver) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.endpoints)
+}

@@ -1,0 +1,67 @@
+package transport
+
+import "testing"
+
+func TestResolverFiltersEmptyEndpoints(t *testing.T) {
+	r := NewResolver("", "http://a/uddi", "", "http://b/uddi")
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if got := r.Current(); got != "http://a/uddi" {
+		t.Fatalf("Current = %q, want first endpoint", got)
+	}
+}
+
+func TestResolverFailAdvancesAndWraps(t *testing.T) {
+	r := NewResolver("a", "b", "c")
+	r.Fail("a")
+	if r.Current() != "b" {
+		t.Fatalf("after Fail(a): Current = %q, want b", r.Current())
+	}
+	r.Fail("b")
+	r.Fail("c")
+	if r.Current() != "a" {
+		t.Fatalf("after wrapping: Current = %q, want a", r.Current())
+	}
+}
+
+// A failure report for an endpoint the resolver has already moved off
+// must not advance again: concurrent callers all failing the same dead
+// endpoint advance the set exactly once.
+func TestResolverFailOnlyAdvancesCurrent(t *testing.T) {
+	r := NewResolver("a", "b", "c")
+	r.Fail("a")
+	r.Fail("a") // stale report: a is no longer current
+	if r.Current() != "b" {
+		t.Fatalf("stale Fail moved the cursor: Current = %q, want b", r.Current())
+	}
+	r.Fail("c") // never current at all
+	if r.Current() != "b" {
+		t.Fatalf("Fail of non-current endpoint moved the cursor: Current = %q, want b", r.Current())
+	}
+}
+
+func TestResolverPin(t *testing.T) {
+	r := NewResolver("a", "b", "c")
+	if !r.Pin("c") {
+		t.Fatal("Pin(c) = false, want true")
+	}
+	if r.Current() != "c" {
+		t.Fatalf("after Pin(c): Current = %q", r.Current())
+	}
+	if r.Pin("unknown") {
+		t.Fatal("Pin of an endpoint outside the set must report false")
+	}
+	if r.Current() != "c" {
+		t.Fatalf("failed Pin moved the cursor: Current = %q, want c", r.Current())
+	}
+}
+
+func TestResolverEndpointsIsACopy(t *testing.T) {
+	r := NewResolver("a", "b")
+	eps := r.Endpoints()
+	eps[0] = "mutated"
+	if r.Current() != "a" {
+		t.Fatalf("Endpoints leaked internal state: Current = %q", r.Current())
+	}
+}

@@ -40,15 +40,23 @@ const (
 	binUDDIDelete  = 'D' // key
 	binUDDIFind    = 'F' // name, tModel, uvarint n, n × (key, value)
 	binUDDIGet     = 'G' // key
-	binUDDIWatch   = 'W' // uvarint since, uvarint timeoutMS
+	binUDDIWatch   = 'W' // uvarint since, uvarint timeoutMS, uvarint sinceEpoch
+	// Replication requests (private repository face only; see replica.go).
+	binUDDIReplSync   = 'Y' // (empty)
+	binUDDIReplWatch  = 'V' // uvarint since, uvarint timeoutMS, uvarint epoch
+	binUDDIReplStatus = 'Q' // (empty)
 )
 
 // Response records.
 const (
 	binUDDIKeys    = 'K' // uvarint n, n × key
 	binUDDIEntries = 'L' // uvarint seq, uvarint n, n × entry
-	binUDDIChanges = 'C' // uvarint next, bool resync, uvarint n, n × (uvarint seq, op byte, entry)
+	binUDDIChanges = 'C' // uvarint next, bool resync, uvarint epoch, uvarint n, n × (uvarint seq, op byte, entry)
 	binUDDIError   = 'E' // code, info — the dispositionReport twin
+	// Replication responses.
+	binUDDIReplState   = 'R' // uvarint seq, uvarint epoch, leader, uvarint n, n × (uvarint expMS, entry)
+	binUDDIReplChange  = 'H' // uvarint next, bool resync, uvarint epoch, leader, uvarint n, n × (uvarint seq, op byte, uvarint expMS, entry)
+	binUDDIReplStatusR = 'T' // uvarint seq, uvarint epoch, leader, role, replicaOf
 )
 
 // appendBinEntry appends one entry in WAL field order (minus the
@@ -150,10 +158,27 @@ func encodeBinGet(key string) []byte {
 	return appendWALString([]byte{binUDDIVersion, binUDDIGet}, key)
 }
 
-func encodeBinWatch(since uint64, timeout time.Duration) []byte {
+func encodeBinWatch(since, sinceEpoch uint64, timeout time.Duration) []byte {
 	b := []byte{binUDDIVersion, binUDDIWatch}
 	b = binary.AppendUvarint(b, since)
 	b = binary.AppendUvarint(b, uint64(timeout/time.Millisecond))
+	b = binary.AppendUvarint(b, sinceEpoch)
+	return b
+}
+
+func encodeBinReplSyncReq() []byte {
+	return []byte{binUDDIVersion, binUDDIReplSync}
+}
+
+func encodeBinReplStatusReq() []byte {
+	return []byte{binUDDIVersion, binUDDIReplStatus}
+}
+
+func encodeBinReplWatchReq(since, epoch uint64, timeout time.Duration) []byte {
+	b := []byte{binUDDIVersion, binUDDIReplWatch}
+	b = binary.AppendUvarint(b, since)
+	b = binary.AppendUvarint(b, uint64(timeout/time.Millisecond))
+	b = binary.AppendUvarint(b, epoch)
 	return b
 }
 
@@ -178,7 +203,7 @@ func encodeBinEntries(seq uint64, entries []Entry) []byte {
 	return b
 }
 
-func encodeBinChanges(changes []Change, next uint64, resync bool) []byte {
+func encodeBinChanges(changes []Change, next, epoch uint64, resync bool) []byte {
 	b := []byte{binUDDIVersion, binUDDIChanges}
 	b = binary.AppendUvarint(b, next)
 	if resync {
@@ -186,6 +211,7 @@ func encodeBinChanges(changes []Change, next uint64, resync bool) []byte {
 	} else {
 		b = append(b, 0)
 	}
+	b = binary.AppendUvarint(b, epoch)
 	b = binary.AppendUvarint(b, uint64(len(changes)))
 	for i := range changes {
 		c := &changes[i]
@@ -202,16 +228,73 @@ func encodeBinError(code, info string) []byte {
 	return appendWALString(b, info)
 }
 
+func encodeBinReplState(st ReplState) []byte {
+	b := []byte{binUDDIVersion, binUDDIReplState}
+	b = binary.AppendUvarint(b, st.Seq)
+	b = binary.AppendUvarint(b, st.Epoch)
+	b = appendWALString(b, st.Leader)
+	b = binary.AppendUvarint(b, uint64(len(st.Entries)))
+	for i := range st.Entries {
+		var expMS uint64
+		if !st.Deadlines[i].IsZero() {
+			expMS = uint64(st.Deadlines[i].UnixMilli())
+		}
+		b = binary.AppendUvarint(b, expMS)
+		b = appendBinEntry(b, &st.Entries[i])
+	}
+	return b
+}
+
+func encodeBinReplChanges(rc ReplChanges) []byte {
+	b := []byte{binUDDIVersion, binUDDIReplChange}
+	b = binary.AppendUvarint(b, rc.Next)
+	if rc.Resync {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, rc.Epoch)
+	b = appendWALString(b, rc.Leader)
+	b = binary.AppendUvarint(b, uint64(len(rc.Changes)))
+	for i := range rc.Changes {
+		c := &rc.Changes[i]
+		b = binary.AppendUvarint(b, c.Seq)
+		b = append(b, changeOpWAL(c.Op))
+		var expMS uint64
+		if !c.Expires.IsZero() {
+			expMS = uint64(c.Expires.UnixMilli())
+		}
+		b = binary.AppendUvarint(b, expMS)
+		b = appendBinEntry(b, &c.Entry)
+	}
+	return b
+}
+
+func encodeBinReplStatus(st ReplStatus) []byte {
+	b := []byte{binUDDIVersion, binUDDIReplStatusR}
+	b = binary.AppendUvarint(b, st.Seq)
+	b = binary.AppendUvarint(b, st.Epoch)
+	b = appendWALString(b, st.Leader)
+	b = appendWALString(b, st.Role)
+	b = appendWALString(b, st.ReplicaOf)
+	return b
+}
+
 // --- response decoding (client side) ------------------------------------
 
-// binErrorOf maps a decoded error record exactly as roundTrip maps a
-// dispositionReport, typed sentinels included.
+// binErrorOf maps a decoded registry refusal to a typed error. It is the
+// single mapping both wires use: roundTrip feeds it dispositionReport
+// code/info, the binary path feeds it a decoded error record.
 func binErrorOf(code, info string) error {
 	switch code {
 	case "E_authTokenRequired":
 		return &authError{msg: fmt.Sprintf("uddi: %s: %s", code, info), kind: service.ErrUnauthenticated}
 	case "E_userMismatch":
 		return &authError{msg: fmt.Sprintf("uddi: %s: %s", code, info), kind: service.ErrForbidden}
+	case "E_notLeader":
+		return &notLeaderError{msg: fmt.Sprintf("uddi: %s: %s", code, info), leader: leaderHintIn(info)}
+	case "E_staleEpoch":
+		return fmt.Errorf("uddi: %s: %s: %w", code, info, ErrStaleEpoch)
 	}
 	return fmt.Errorf("uddi: %s: %s", code, info)
 }
@@ -276,10 +359,97 @@ func decodeBinEntries(data []byte) ([]Entry, uint64, error) {
 	return entries, seq, r.err
 }
 
-func decodeBinChanges(data []byte) (changes []Change, next uint64, resync bool, err error) {
+func decodeBinReplStatus(data []byte) (ReplStatus, error) {
+	r, err := decodeBinReply(data, binUDDIReplStatusR)
+	if err != nil {
+		return ReplStatus{}, err
+	}
+	var st ReplStatus
+	st.Seq = r.uvarint()
+	st.Epoch = r.uvarint()
+	st.Leader = r.str()
+	st.Role = r.str()
+	st.ReplicaOf = r.str()
+	return st, r.err
+}
+
+func decodeBinReplState(data []byte) (ReplState, error) {
+	r, err := decodeBinReply(data, binUDDIReplState)
+	if err != nil {
+		return ReplState{}, err
+	}
+	var st ReplState
+	st.Seq = r.uvarint()
+	st.Epoch = r.uvarint()
+	st.Leader = r.str()
+	n := int(r.uvarint())
+	if r.err != nil {
+		return ReplState{}, r.err
+	}
+	if n > maxWALFrame {
+		return ReplState{}, fmt.Errorf("uddi: state entry count out of range")
+	}
+	for i := 0; i < n; i++ {
+		expMS := r.uvarint()
+		e := decodeBinEntry(r)
+		if r.err != nil {
+			return ReplState{}, r.err
+		}
+		st.Entries = append(st.Entries, e)
+		st.Deadlines = append(st.Deadlines, time.UnixMilli(int64(expMS)))
+	}
+	return st, nil
+}
+
+func decodeBinReplChanges(data []byte) (ReplChanges, error) {
+	r, err := decodeBinReply(data, binUDDIReplChange)
+	if err != nil {
+		return ReplChanges{}, err
+	}
+	var rc ReplChanges
+	rc.Next = r.uvarint()
+	if r.err == nil {
+		if r.off >= len(r.b) {
+			r.err = fmt.Errorf("uddi: truncated repl change list")
+		} else {
+			rc.Resync = r.b[r.off] != 0
+			r.off++
+		}
+	}
+	rc.Epoch = r.uvarint()
+	rc.Leader = r.str()
+	n := int(r.uvarint())
+	if r.err != nil {
+		return ReplChanges{}, r.err
+	}
+	if n > maxWALFrame {
+		return ReplChanges{}, fmt.Errorf("uddi: repl change count out of range")
+	}
+	for i := 0; i < n; i++ {
+		seq := r.uvarint()
+		if r.err != nil || r.off >= len(r.b) {
+			return ReplChanges{}, fmt.Errorf("uddi: truncated repl change record")
+		}
+		op := walOpChange(r.b[r.off])
+		r.off++
+		expMS := r.uvarint()
+		e := decodeBinEntry(r)
+		if r.err != nil {
+			return ReplChanges{}, r.err
+		}
+		c := Change{Seq: seq, Op: op, Entry: e}
+		if expMS != 0 {
+			c.Expires = time.UnixMilli(int64(expMS))
+		}
+		rc.Changes = append(rc.Changes, c)
+	}
+	return rc, nil
+}
+
+func decodeBinChanges(data []byte) (changes []Change, next, epoch uint64, resync bool, err error) {
 	r, err := decodeBinReply(data, binUDDIChanges)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	next = r.uvarint()
 	if r.err == nil {
@@ -290,27 +460,28 @@ func decodeBinChanges(data []byte) (changes []Change, next uint64, resync bool, 
 			r.off++
 		}
 	}
+	epoch = r.uvarint()
 	n := int(r.uvarint())
 	if r.err != nil {
-		return nil, 0, false, r.err
+		return nil, 0, 0, false, r.err
 	}
 	if n > maxWALFrame {
-		return nil, 0, false, fmt.Errorf("uddi: change count out of range")
+		return nil, 0, 0, false, fmt.Errorf("uddi: change count out of range")
 	}
 	for i := 0; i < n; i++ {
 		seq := r.uvarint()
 		if r.err != nil || r.off >= len(r.b) {
-			return nil, 0, false, fmt.Errorf("uddi: truncated change record")
+			return nil, 0, 0, false, fmt.Errorf("uddi: truncated change record")
 		}
 		op := walOpChange(r.b[r.off])
 		r.off++
 		e := decodeBinEntry(r)
 		if r.err != nil {
-			return nil, 0, false, r.err
+			return nil, 0, 0, false, r.err
 		}
 		changes = append(changes, Change{Seq: seq, Op: op, Entry: e})
 	}
-	return changes, next, resync, nil
+	return changes, next, epoch, resync, nil
 }
 
 // --- server face ---------------------------------------------------------
@@ -370,8 +541,22 @@ func (s *Server) BinHandler(opts BinOptions) transport.BinHandler {
 		if err != nil {
 			return binError(http.StatusBadRequest, "E_fatalError", err.Error())
 		}
-		if opts.ReadOnly && (op == binUDDISaveAll || op == binUDDIDelete) {
-			return binError(http.StatusForbidden, "E_operatorMismatch", "read-only endpoint")
+		if op == binUDDISaveAll || op == binUDDIDelete {
+			if opts.ReadOnly {
+				return binError(http.StatusForbidden, "E_operatorMismatch", "read-only endpoint")
+			}
+			if rs := s.replica.Load(); rs != nil {
+				return binError(http.StatusMisdirectedRequest, "E_notLeader", notLeaderInfo(rs.leader))
+			}
+		}
+		if op == binUDDIReplSync || op == binUDDIReplWatch || op == binUDDIReplStatus {
+			// The replication records serve full entries with their lease
+			// deadlines; they belong to the private face only, never behind
+			// a peer view or a read-only mount.
+			if opts.ReadOnly || opts.ViewFor != nil {
+				return binError(http.StatusForbidden, "E_unsupported",
+					"replication is private to the repository face")
+			}
 		}
 		switch op {
 		case binUDDISaveAll:
@@ -447,13 +632,14 @@ func (s *Server) BinHandler(opts BinOptions) transport.BinHandler {
 		case binUDDIWatch:
 			since := r.uvarint()
 			timeout := time.Duration(r.uvarint()) * time.Millisecond
+			sinceEpoch := r.uvarint()
 			if r.err != nil {
 				return binError(http.StatusBadRequest, "E_fatalError", r.err.Error())
 			}
 			if timeout > maxWatchTimeout {
 				timeout = maxWatchTimeout
 			}
-			changes, next, resync, err := s.WatchChanges(ctx, since, timeout)
+			changes, next, nextEpoch, resync, err := s.WatchChangesEpoch(ctx, since, sinceEpoch, timeout, false)
 			if err != nil {
 				// Client went away mid-poll; nothing useful to write.
 				return binError(http.StatusRequestTimeout, "E_fatalError", err.Error())
@@ -473,7 +659,36 @@ func (s *Server) BinHandler(opts BinOptions) transport.BinHandler {
 				changes = kept
 			}
 			return &transport.BinResponse{Status: http.StatusOK, ContentType: BinContentType,
-				Body: encodeBinChanges(changes, next, resync)}
+				Body: encodeBinChanges(changes, next, nextEpoch, resync)}
+		case binUDDIReplStatus:
+			return &transport.BinResponse{Status: http.StatusOK, ContentType: BinContentType,
+				Body: encodeBinReplStatus(s.replStatusNow())}
+		case binUDDIReplSync:
+			entries, deadlines, seq, epoch, leader := s.ReplState()
+			return &transport.BinResponse{Status: http.StatusOK, ContentType: BinContentType,
+				Body: encodeBinReplState(ReplState{Seq: seq, Epoch: epoch, Leader: leader,
+					Entries: entries, Deadlines: deadlines})}
+		case binUDDIReplWatch:
+			since := r.uvarint()
+			timeout := time.Duration(r.uvarint()) * time.Millisecond
+			reqEpoch := r.uvarint()
+			if r.err != nil {
+				return binError(http.StatusBadRequest, "E_fatalError", r.err.Error())
+			}
+			if info, ok := s.replWatchFence(reqEpoch); !ok {
+				return binError(http.StatusConflict, "E_staleEpoch", info)
+			}
+			if timeout > maxWatchTimeout {
+				timeout = maxWatchTimeout
+			}
+			changes, next, _, resync, err := s.WatchChangesEpoch(ctx, since, reqEpoch, timeout, true)
+			if err != nil {
+				return binError(http.StatusRequestTimeout, "E_fatalError", err.Error())
+			}
+			epoch, leader := s.Epoch()
+			return &transport.BinResponse{Status: http.StatusOK, ContentType: BinContentType,
+				Body: encodeBinReplChanges(ReplChanges{Changes: changes, Next: next,
+					Resync: resync, Epoch: epoch, Leader: leader})}
 		}
 		return binError(http.StatusBadRequest, "E_unsupported", fmt.Sprintf("unknown binary request %q", op))
 	})

@@ -89,8 +89,8 @@ func TestBinHandlerSaveFindGetDeleteWatch(t *testing.T) {
 		t.Fatalf("get: entries=%d err=%v", len(entries), err)
 	}
 
-	resp = binServe(s, opts, "home-a", encodeBinWatch(0, 0))
-	changes, next, resync, err := decodeBinChanges(resp.Body)
+	resp = binServe(s, opts, "home-a", encodeBinWatch(0, 0, 0))
+	changes, next, _, resync, err := decodeBinChanges(resp.Body)
 	if err != nil || resync || len(changes) != 1 || next != seq {
 		t.Fatalf("watch: changes=%d next=%d resync=%v err=%v", len(changes), next, resync, err)
 	}
@@ -161,8 +161,8 @@ func TestBinHandlerViewFilters(t *testing.T) {
 		t.Fatalf("filtered find = %+v, err=%v", entries, err)
 	}
 
-	resp = binServe(s, opts, "home-b", encodeBinWatch(0, 0))
-	changes, next, _, err := decodeBinChanges(resp.Body)
+	resp = binServe(s, opts, "home-b", encodeBinWatch(0, 0, 0))
+	changes, next, _, _, err := decodeBinChanges(resp.Body)
 	if err != nil || len(changes) != 1 || changes[0].Entry.Name != "home-b/public" {
 		t.Fatalf("filtered watch = %+v, err=%v", changes, err)
 	}
@@ -221,7 +221,7 @@ func TestBinCodecRejectsMalformed(t *testing.T) {
 	if _, _, err := decodeBinEntries([]byte{binUDDIVersion, binUDDIEntries, 0, 0x90}); err == nil {
 		t.Error("truncated entry list decoded")
 	}
-	if _, _, _, err := decodeBinChanges([]byte{binUDDIVersion, binUDDIChanges, 0}); err == nil {
+	if _, _, _, _, err := decodeBinChanges([]byte{binUDDIVersion, binUDDIChanges, 0}); err == nil {
 		t.Error("truncated change list decoded")
 	}
 }

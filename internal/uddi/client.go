@@ -12,7 +12,6 @@ import (
 	"strings"
 	"time"
 
-	"homeconnect/internal/service"
 	"homeconnect/internal/transport"
 	"homeconnect/internal/xmltree"
 )
@@ -27,8 +26,21 @@ type Client struct {
 	HTTP *http.Client
 	// Dialer, when set, owns protocol negotiation for this registry.
 	Dialer *transport.Dialer
-	// URL is the registry endpoint.
+	// URL is the registry endpoint; ignored when Resolver is set.
 	URL string
+	// Resolver, when set, replaces URL with a replica-set endpoint list:
+	// every operation goes to Resolver.Current(), and an endpoint that is
+	// down or answers ErrNotLeader moves the client to the next one (or
+	// straight to the leader the replica named) before the error surfaces.
+	Resolver *transport.Resolver
+}
+
+// endpoint is the registry URL the next attempt should use.
+func (c *Client) endpoint() string {
+	if c.Resolver != nil {
+		return c.Resolver.Current()
+	}
+	return c.URL
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -44,13 +56,39 @@ func (c *Client) httpClient() *http.Client {
 // roundTrip POSTs doc and returns the parsed response root. With a
 // Dialer, the binary fast path is tried first; because the whole
 // request — watch cursors included — is the document body, a downgrade
-// to SOAP/HTTP simply re-sends the same bytes and loses nothing.
+// to SOAP/HTTP simply re-sends the same bytes and loses nothing. With a
+// Resolver, failover-worthy errors (endpoint down, ErrNotLeader) move
+// to the next endpoint before surfacing.
 func (c *Client) roundTrip(ctx context.Context, doc []byte) (*xmltree.Element, error) {
+	attempts := 1
+	if c.Resolver != nil {
+		// One extra attempt over the set size, so a not-leader redirect to
+		// a pinned leader still has a try left after a full rotation.
+		attempts = c.Resolver.Len() + 1
+	}
+	var root *xmltree.Element
+	var err error
+	for i := 0; i < attempts; i++ {
+		url := c.endpoint()
+		root, err = c.roundTripAt(ctx, url, doc)
+		if err == nil || c.Resolver == nil || ctx.Err() != nil || !FailoverWorthy(err) {
+			return root, err
+		}
+		if h := LeaderHint(err); h != "" && c.Resolver.Pin(h) {
+			continue
+		}
+		c.Resolver.Fail(url)
+	}
+	return root, err
+}
+
+// roundTripAt is one roundTrip attempt against one endpoint.
+func (c *Client) roundTripAt(ctx context.Context, url string, doc []byte) (*xmltree.Element, error) {
 	var data []byte
 	var status int
 	var statusText string
 	if c.Dialer != nil {
-		res, err := c.Dialer.Exchange(ctx, c.URL, `text/xml; charset="utf-8"`, "", doc)
+		res, err := c.Dialer.Exchange(ctx, url, `text/xml; charset="utf-8"`, "", doc)
 		switch {
 		case err == nil:
 			data, status = res.Body, res.Status
@@ -61,18 +99,18 @@ func (c *Client) roundTrip(ctx context.Context, doc []byte) (*xmltree.Element, e
 		case errors.Is(err, transport.ErrBinaryUnavailable):
 			// fall through to HTTP
 		default:
-			return nil, fmt.Errorf("uddi: %w", err)
+			return nil, fmt.Errorf("uddi: %w", &endpointDownError{err})
 		}
 	}
 	if data == nil {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(doc))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(doc))
 		if err != nil {
 			return nil, fmt.Errorf("uddi: build request: %w", err)
 		}
 		req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
-			return nil, fmt.Errorf("uddi: %w", err)
+			return nil, fmt.Errorf("uddi: %w", &endpointDownError{err})
 		}
 		defer resp.Body.Close()
 		data, err = io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
@@ -86,18 +124,11 @@ func (c *Client) roundTrip(ctx context.Context, doc []byte) (*xmltree.Element, e
 		return nil, fmt.Errorf("uddi: parse response: %w", err)
 	}
 	if root.Name.Local == "dispositionReport" && root.Attr("result") == "error" {
-		code, info := root.ChildText("errCode"), root.ChildText("errInfo")
-		// Authentication refusals surface as typed sentinels so callers
-		// (and peer-link status) can tell a locked door from a broken one.
-		// The sentinel rides Unwrap rather than %w because the server's
-		// message already spells it out.
-		switch code {
-		case "E_authTokenRequired":
-			return nil, &authError{msg: fmt.Sprintf("uddi: %s: %s", code, info), kind: service.ErrUnauthenticated}
-		case "E_userMismatch":
-			return nil, &authError{msg: fmt.Sprintf("uddi: %s: %s", code, info), kind: service.ErrForbidden}
-		}
-		return nil, fmt.Errorf("uddi: %s: %s", code, info)
+		// Refusals surface as typed sentinels — auth errors so callers can
+		// tell a locked door from a broken one, replication errors so the
+		// failover loop can tell a replica from a dead endpoint. The same
+		// mapping serves the binary path (binErrorOf).
+		return nil, binErrorOf(root.ChildText("errCode"), root.ChildText("errInfo"))
 	}
 	if status != http.StatusOK {
 		return nil, fmt.Errorf("uddi: http status %s", statusText)
@@ -110,19 +141,50 @@ func (c *Client) roundTrip(ctx context.Context, doc []byte) (*xmltree.Element, e
 // refused, or a server that only speaks XML answered) and the caller
 // must re-send the operation as an XML document; err is a hard failure
 // — including a decoded registry refusal, which must NOT downgrade:
-// a locked door answers the same on every wire.
+// a locked door answers the same on every wire. Failover-worthy errors
+// rotate through the Resolver exactly as on the XML path.
 func (c *Client) binExchange(ctx context.Context, req []byte) (body []byte, ok bool, err error) {
 	if c.Dialer == nil {
 		return nil, false, nil
 	}
-	res, err := c.Dialer.Exchange(ctx, c.URL, BinContentType, "", req)
+	attempts := 1
+	if c.Resolver != nil {
+		attempts = c.Resolver.Len() + 1
+	}
+	for i := 0; i < attempts; i++ {
+		url := c.endpoint()
+		body, ok, err = c.binExchangeAt(ctx, url, req)
+		if err == nil || c.Resolver == nil || ctx.Err() != nil || !FailoverWorthy(err) {
+			return body, ok, err
+		}
+		if h := LeaderHint(err); h != "" && c.Resolver.Pin(h) {
+			continue
+		}
+		c.Resolver.Fail(url)
+	}
+	return body, ok, err
+}
+
+// binExchangeAt is one binExchange attempt against one endpoint.
+func (c *Client) binExchangeAt(ctx context.Context, url string, req []byte) (body []byte, ok bool, err error) {
+	res, err := c.Dialer.Exchange(ctx, url, BinContentType, "", req)
 	if err != nil {
 		if errors.Is(err, transport.ErrBinaryUnavailable) {
 			return nil, false, nil
 		}
-		return nil, false, fmt.Errorf("uddi: %w", err)
+		return nil, false, fmt.Errorf("uddi: %w", &endpointDownError{err})
 	}
 	if len(res.Body) > 0 && res.Body[0] == binUDDIVersion {
+		// Pre-decode redirect refusals here: by the time the caller decodes
+		// the record the endpoint choice is already spent, so a replica's
+		// E_notLeader must become an error now for the failover loop to act.
+		if len(res.Body) >= 2 && res.Body[1] == binUDDIError {
+			r := &walReader{b: res.Body, off: 2}
+			code, info := r.str(), r.str()
+			if r.err == nil && (code == "E_notLeader" || code == "E_staleEpoch") {
+				return nil, false, binErrorOf(code, info)
+			}
+		}
 		return res.Body, true, nil
 	}
 	// The frame went through but the answer is not a binary record: a
@@ -222,8 +284,21 @@ func (c *Client) SaveAll(ctx context.Context, entries []Entry, ttl time.Duration
 // the caller must drop everything it cached and resume from next. A zero
 // timeout returns immediately, which doubles as a liveness probe.
 func (c *Client) Watch(ctx context.Context, since uint64, timeout time.Duration) (changes []Change, next uint64, resync bool, err error) {
-	if body, ok, err := c.binExchange(ctx, encodeBinWatch(since, timeout)); err != nil {
-		return nil, 0, false, err
+	changes, next, _, resync, err = c.WatchEpoch(ctx, since, 0, timeout)
+	return changes, next, resync, err
+}
+
+// WatchEpoch is Watch carrying the replication epoch the cursor was
+// handed out under (0 = unknown), and returning the server's current
+// epoch alongside the next cursor. Across a leader failover the promoted
+// server uses the stated epoch to replay shared history for an old-regime
+// cursor instead of forcing a resync; a watcher that wants that behavior
+// must resume with the returned epoch — adopting next even when it is
+// below its old cursor, because a lower next under a newer epoch is the
+// replay point, not a stale answer.
+func (c *Client) WatchEpoch(ctx context.Context, since, sinceEpoch uint64, timeout time.Duration) (changes []Change, next, nextEpoch uint64, resync bool, err error) {
+	if body, ok, err := c.binExchange(ctx, encodeBinWatch(since, sinceEpoch, timeout)); err != nil {
+		return nil, 0, 0, false, err
 	} else if ok {
 		return decodeBinChanges(body)
 	}
@@ -233,9 +308,12 @@ func (c *Client) Watch(ctx context.Context, since uint64, timeout time.Duration)
 	if timeout > 0 {
 		w.Leaf("timeoutms", strconv.Itoa(int(timeout/time.Millisecond)))
 	}
+	if sinceEpoch > 0 {
+		w.Leaf("epoch", strconv.FormatUint(sinceEpoch, 10))
+	}
 	root, err := c.roundTrip(ctx, w.Bytes())
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	return decodeChangeList(root)
 }

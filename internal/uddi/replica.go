@@ -1,0 +1,719 @@
+// replica.go is the registry's replication face: the protocol a replica
+// uses to mirror a leader registry change-for-change, and the mode switch
+// that makes this process one of the mirrors.
+//
+// Replication rides the machinery PR 2 built for watchers: every mutation
+// already has a global sequence number and a journal record, so a replica
+// is "just" a watcher that (a) receives lease deadlines along with
+// entries, (b) applies changes under the leader's sequence numbers
+// instead of assigning its own, and (c) persists through its own WAL. The
+// payoff of keeping the leader's numbering is failover transparency:
+// when a replica is promoted, every importer and watcher cursor pointed
+// at the old leader is still valid against the new one — clients re-pin
+// to a surviving endpoint and resume from `since` with zero resyncs.
+//
+// Promotions are fenced by an epoch: a monotone counter recorded in the
+// WAL (opWALEpoch frames) and in snapshots, bumped exactly once per
+// leadership change. A node refuses to regress its epoch, and the
+// replication operations carry the requester's epoch so a deposed leader
+// that comes back is told E_staleEpoch instead of being allowed to serve
+// a dead regime. Election itself is deterministic — highest replicated
+// sequence number wins, ties broken by replica-set order — and lives in
+// internal/core/replica; this file provides the mechanism (epoch
+// storage, fenced apply, state transfer), after the policy-free-middleware
+// argument that infrastructure should expose journals and cursors and let
+// the deployment choose failover policy.
+package uddi
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"homeconnect/internal/xmltree"
+)
+
+// ErrNotLeader is the typed refusal a replica answers writes with. It is
+// what makes failover error-driven: a resolver-backed client that sees it
+// re-pins to the leader the replica named (or the next endpoint) instead
+// of reporting failure.
+var ErrNotLeader = errors.New("uddi: not the leader")
+
+// ErrStaleEpoch reports a replication operation from (or against) a
+// deposed leadership regime: the other side's epoch is behind ours, or
+// ours is behind theirs. The loser must stop serving its regime and
+// re-attach as a replica.
+var ErrStaleEpoch = errors.New("uddi: stale epoch")
+
+// notLeaderError carries the leader address a replica named in its
+// refusal; unwraps to ErrNotLeader.
+type notLeaderError struct {
+	msg    string
+	leader string
+}
+
+func (e *notLeaderError) Error() string { return e.msg }
+func (e *notLeaderError) Unwrap() error { return ErrNotLeader }
+
+// LeaderHint extracts the leader address from an ErrNotLeader refusal,
+// or "" when the error carries none.
+func LeaderHint(err error) string {
+	var nl *notLeaderError
+	if errors.As(err, &nl) {
+		return nl.leader
+	}
+	return ""
+}
+
+// notLeaderInfo is the E_notLeader errInfo text; leaderHintIn parses the
+// address back out on the client side.
+func notLeaderInfo(leader string) string {
+	return "replica: writes go to the leader at " + leader
+}
+
+func leaderHintIn(info string) string {
+	if i := strings.LastIndex(info, " at "); i >= 0 {
+		return strings.TrimSpace(info[i+len(" at "):])
+	}
+	return ""
+}
+
+// endpointDownError marks a transport-level failure (connect refused,
+// reset, dial timeout) as distinct from a protocol-level refusal, so the
+// failover loop knows the endpoint itself is gone.
+type endpointDownError struct{ err error }
+
+func (e *endpointDownError) Error() string { return e.err.Error() }
+func (e *endpointDownError) Unwrap() error { return e.err }
+
+// FailoverWorthy reports whether err should move a resolver-backed client
+// to the next endpoint: the endpoint is down, or it answered as a replica
+// (ErrNotLeader). Everything else — auth refusals, malformed documents,
+// context cancellation — is the same answer on every endpoint and must
+// surface, not retry.
+func FailoverWorthy(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrNotLeader) {
+		return true
+	}
+	var down *endpointDownError
+	return errors.As(err, &down)
+}
+
+// replicaState is the registry's replica-mode flag: non-nil on the
+// Server.replica atomic means wire writes are refused with E_notLeader
+// naming this leader. One pointer load on the write path keeps the
+// leader's gated benchmarks untouched.
+type replicaState struct {
+	leader string
+}
+
+// SetReplicaOf flips the registry into replica mode (leader names the
+// endpoint writes should be redirected to) or, with "", back into leader
+// mode. Mode changes are the coordination layer's job
+// (internal/core/replica); the registry only enforces the current mode.
+func (s *Server) SetReplicaOf(leader string) {
+	if leader == "" {
+		s.replica.Store(nil)
+		return
+	}
+	s.replica.Store(&replicaState{leader: leader})
+}
+
+// ReplicaOf returns the leader endpoint this registry mirrors, or "" when
+// it is itself a leader.
+func (s *Server) ReplicaOf() string {
+	if rs := s.replica.Load(); rs != nil {
+		return rs.leader
+	}
+	return ""
+}
+
+// Epoch returns the current replication epoch and the leader name it was
+// stamped with.
+func (s *Server) Epoch() (uint64, string) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.epoch, s.epochLeader
+}
+
+// epochMark remembers where one regime ended: seq is the journal position
+// this node was at when it adopted epoch. Cursors from any older epoch
+// that point beyond seq crossed into history the regimes do not share.
+type epochMark struct {
+	epoch uint64
+	seq   uint64
+}
+
+// maxEpochMarks bounds the boundary memory; older boundaries force a
+// resync, which is the pre-epoch behavior.
+const maxEpochMarks = 16
+
+// epochBoundaryLocked returns the journal position shared between
+// sinceEpoch and every later regime this node adopted in place — the seq
+// of the earliest mark newer than sinceEpoch. ok is false when that bump
+// predates this node's memory. Caller holds jmu.
+func (s *Server) epochBoundaryLocked(sinceEpoch uint64) (seq uint64, ok bool) {
+	for _, m := range s.epochMarks {
+		if m.epoch > sinceEpoch {
+			return m.seq, true
+		}
+	}
+	return 0, false
+}
+
+// SetEpoch advances the replication epoch, persisting an epoch frame to
+// the WAL so a restart remembers which regime it last acknowledged. An
+// attempt to regress the epoch fails with ErrStaleEpoch — the fencing
+// rule that stops a deposed leader's state from overwriting a newer
+// regime. Re-asserting the current epoch (same number) is allowed so a
+// node can adopt the regime's leader name it learned late.
+func (s *Server) SetEpoch(epoch uint64, leader string) error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if epoch < s.epoch {
+		return fmt.Errorf("uddi: epoch %d behind current %d (leader %s): %w",
+			epoch, s.epoch, s.epochLeader, ErrStaleEpoch)
+	}
+	if epoch == s.epoch && leader == s.epochLeader {
+		return nil
+	}
+	if epoch > s.epoch {
+		s.appendEpochMarkLocked(epoch)
+	}
+	s.epoch, s.epochLeader = epoch, leader
+	s.walAppendEpochLocked(epoch, leader)
+	return nil
+}
+
+// appendEpochMarkLocked records the current journal position as the end
+// of the outgoing regime. The position is this node's own — for a lagging
+// replica adopting a promotion that is below the true boundary, which is
+// safe: a conservative boundary only replays more shared history, never
+// skips divergent records. Caller holds jmu.
+func (s *Server) appendEpochMarkLocked(epoch uint64) {
+	s.epochMarks = append(s.epochMarks, epochMark{epoch: epoch, seq: s.seq})
+	if len(s.epochMarks) > maxEpochMarks {
+		s.epochMarks = s.epochMarks[len(s.epochMarks)-maxEpochMarks:]
+	}
+}
+
+// walAppendEpochLocked frames an opWALEpoch record at the current journal
+// position. Epoch changes are rare and are fencing state, so they are
+// synced immediately under every policy except FsyncOff. Caller holds jmu.
+func (s *Server) walAppendEpochLocked(epoch uint64, leader string) {
+	w := s.wal
+	if w == nil || w.f == nil {
+		return
+	}
+	b := append(w.scratch[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	b = append(b, recVersion, opWALEpoch)
+	b = binary.AppendUvarint(b, s.seq)
+	b = binary.AppendUvarint(b, epoch)
+	b = appendWALString(b, leader)
+	w.scratch = b[:0]
+	payload := b[8:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
+	n, err := w.f.Write(b)
+	w.off += int64(n)
+	if err != nil {
+		w.lastErr = "append: " + err.Error()
+		return
+	}
+	w.appends++
+	w.dirty = true
+	if w.policy != FsyncOff {
+		if err := w.f.Sync(); err != nil {
+			w.lastErr = "fsync: " + err.Error()
+		} else {
+			w.fsyncs++
+			w.dirty = false
+		}
+	}
+}
+
+// ApplyReplicated applies one change from the leader's feed, preserving
+// the leader's sequence number — the invariant that keeps every watcher
+// and importer cursor valid across failover. Duplicate redelivery (a
+// sequence number at or below the local position) is a no-op; a gap in
+// the numbering clears the in-memory journal ring, since Changes() relies
+// on the ring being contiguous, and watchers behind the gap resync.
+func (s *Server) ApplyReplicated(c Change) error {
+	if c.Seq == 0 {
+		return fmt.Errorf("uddi: replicated change without sequence number")
+	}
+	if c.Entry.Key == "" {
+		return fmt.Errorf("uddi: replicated change %d without service key", c.Seq)
+	}
+	// The feed is applied by a single goroutine per replica, so reading
+	// the position outside the shard lock is race-free here.
+	if c.Seq <= s.Seq() {
+		return nil
+	}
+	sh := s.shardFor(c.Entry.Key)
+	sh.mu.Lock()
+	switch c.Op {
+	case OpAdd, OpUpdate:
+		sh.entries[c.Entry.Key] = &record{entry: c.Entry.Clone(), expires: c.Expires}
+	case OpDelete, OpExpire:
+		delete(sh.entries, c.Entry.Key)
+	default:
+		sh.mu.Unlock()
+		return fmt.Errorf("uddi: unknown replicated op %q", c.Op)
+	}
+	s.shardOps[shardIndex(c.Entry.Key)].Add(1)
+	s.appendReplicated(c)
+	sh.mu.Unlock()
+	return nil
+}
+
+// appendReplicated is appendChange under an externally assigned sequence
+// number. Caller holds the shard lock for the change's key.
+func (s *Server) appendReplicated(c Change) {
+	e := c.Entry
+	if c.Op == OpDelete || c.Op == OpExpire {
+		e = Entry{Key: e.Key, Name: e.Name}
+	}
+	s.jmu.Lock()
+	if c.Seq != s.seq+1 {
+		// Non-contiguous feed (the leader's journal outran us and we were
+		// re-grounded mid-stream): the ring's slice math assumes contiguous
+		// numbering, so it must restart at the new position.
+		s.journal = s.journal[:0]
+	}
+	s.seq = c.Seq
+	s.journal = append(s.journal, Change{Seq: c.Seq, Op: c.Op, Entry: e.Clone(), Expires: c.Expires})
+	if len(s.journal) > s.jcap {
+		s.journal = s.journal[len(s.journal)-s.jcap:]
+	}
+	s.walAppend(c.Op, e, c.Expires)
+	close(s.wake)
+	s.wake = make(chan struct{})
+	s.jmu.Unlock()
+}
+
+// ApplyReplicatedState re-grounds the registry wholesale from a leader's
+// state dump: the attach (and re-attach) path, used when a replica joins
+// or when the leader's journal no longer covers the replica's cursor.
+// Everything local is discarded — entries, journal ring, and the entire
+// WAL history, which is reset to a fresh snapshot at the dump's sequence
+// number so a later recovery cannot resurrect records from the regime
+// this node just left. Fails with ErrStaleEpoch if the dump's epoch is
+// behind this node's: a newer regime's state never yields to an older.
+func (s *Server) ApplyReplicatedState(entries []Entry, deadlines []time.Time, seq, epoch uint64, leader string) error {
+	if len(entries) != len(deadlines) {
+		return fmt.Errorf("uddi: state dump with %d entries but %d deadlines", len(entries), len(deadlines))
+	}
+	if cur, curLeader := s.Epoch(); epoch < cur {
+		return fmt.Errorf("uddi: state dump epoch %d behind current %d (leader %s): %w",
+			epoch, cur, curLeader, ErrStaleEpoch)
+	}
+	// Wholesale swap: every shard locked in index order, then the journal
+	// lock — the same shard → jmu order every mutator uses.
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	for i := range s.shards {
+		m := s.shards[i].entries
+		for k := range m {
+			delete(m, k)
+		}
+	}
+	for i, e := range entries {
+		sh := s.shardFor(e.Key)
+		sh.entries[e.Key] = &record{entry: e.Clone(), expires: deadlines[i]}
+	}
+	s.jmu.Lock()
+	s.seq = seq
+	s.journal = s.journal[:0]
+	// The re-ground breaks journal continuity with everything this node
+	// served before, so its remembered epoch boundaries no longer describe
+	// positions in a history it can replay — old-epoch cursors must resync.
+	s.epochMarks = s.epochMarks[:0]
+	if epoch >= s.epoch {
+		s.epoch, s.epochLeader = epoch, leader
+	}
+	err := s.walResetLocked(entries, deadlines, seq, s.epoch, s.epochLeader)
+	close(s.wake)
+	s.wake = make(chan struct{})
+	s.jmu.Unlock()
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+	return err
+}
+
+// walResetLocked discards the entire on-disk history and restarts it at
+// seq: every segment and snapshot is removed, a fresh snapshot of the
+// given state is written at seq, and a new segment opens at seq+1.
+// Called under jmu (and, from ApplyReplicatedState, all shard locks).
+func (s *Server) walResetLocked(entries []Entry, deadlines []time.Time, seq, epoch uint64, leader string) error {
+	w := s.wal
+	if w == nil {
+		return nil
+	}
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	for _, sg := range w.segs {
+		os.Remove(sg.path)
+	}
+	w.segs = w.segs[:0]
+	for _, sp := range w.snaps {
+		os.Remove(sp.path)
+	}
+	w.snaps = w.snaps[:0]
+
+	es := append([]Entry(nil), entries...)
+	ds := append([]time.Time(nil), deadlines...)
+	sort.Sort(&snapOrder{es, ds})
+	path := filepath.Join(w.dir, fmt.Sprintf("snap-%016x.snap", seq))
+	if err := writeSnapshot(path, seq, es, ds, epoch, leader); err != nil {
+		w.lastErr = "reset: " + err.Error()
+		return err
+	}
+	w.snaps = append(w.snaps, walFile{seq: seq, path: path})
+	w.snapSeq, w.haveSnap = seq, true
+	w.sinceSnap = 0
+	w.snapshots++
+	if err := w.newSegment(seq + 1); err != nil {
+		w.lastErr = "reset: " + err.Error()
+		return err
+	}
+	return nil
+}
+
+// ReplState dumps the live registry for replica attach: entries with
+// their lease deadlines (sorted by key for stable wire bytes), plus the
+// journal position, epoch and leader. The position is read before the
+// scan, so the dump may already contain later changes — replaying the
+// feed from that position over it is idempotent, the same fuzziness
+// contract snapshots have.
+func (s *Server) ReplState() (entries []Entry, deadlines []time.Time, seq, epoch uint64, leader string) {
+	s.jmu.Lock()
+	seq, epoch, leader = s.seq, s.epoch, s.epochLeader
+	s.jmu.Unlock()
+	now := s.now()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.entries {
+			if now.After(rec.expires) {
+				// Lapsed but unswept: the expire record is still coming on
+				// the feed, where it deletes an absent key — a no-op.
+				continue
+			}
+			entries = append(entries, rec.entry.Clone())
+			deadlines = append(deadlines, rec.expires)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Sort(&snapOrder{entries, deadlines})
+	return entries, deadlines, seq, epoch, leader
+}
+
+// --- wire types ----------------------------------------------------------
+
+// ReplStatus is a node's replication face: where it is in the journal and
+// which regime it belongs to.
+type ReplStatus struct {
+	Seq    uint64
+	Epoch  uint64
+	Leader string // the epoch's leader name (endpoint URL)
+	Role   string // "leader" or "replica"
+	// ReplicaOf is the leader endpoint a replica currently follows;
+	// empty on a leader.
+	ReplicaOf string
+}
+
+// ReplState is a full registry dump for replica attach.
+type ReplState struct {
+	Seq       uint64
+	Epoch     uint64
+	Leader    string
+	Entries   []Entry
+	Deadlines []time.Time
+}
+
+// ReplChanges is one replication feed round: ordinary watch output plus
+// lease deadlines and the feed's epoch for fencing.
+type ReplChanges struct {
+	Changes []Change
+	Next    uint64
+	Resync  bool
+	Epoch   uint64
+	Leader  string
+}
+
+func (s *Server) replStatusNow() ReplStatus {
+	s.jmu.Lock()
+	st := ReplStatus{Seq: s.seq, Epoch: s.epoch, Leader: s.epochLeader, Role: "leader"}
+	s.jmu.Unlock()
+	if of := s.ReplicaOf(); of != "" {
+		st.Role, st.ReplicaOf = "replica", of
+	}
+	return st
+}
+
+// replWatchFence rejects a feed request from a node that has seen a newer
+// epoch than this server: this server is the deposed leader, and must not
+// feed anyone its dead regime.
+func (s *Server) replWatchFence(reqEpoch uint64) (string, bool) {
+	epoch, leader := s.Epoch()
+	if reqEpoch > epoch {
+		return fmt.Sprintf("feed is epoch %d (leader %s), requester has seen %d",
+			epoch, leader, reqEpoch), false
+	}
+	return "", true
+}
+
+// --- XML wire face -------------------------------------------------------
+
+func (s *Server) handleReplStatus(w http.ResponseWriter) {
+	st := s.replStatusNow()
+	xw := xmltree.NewWriter()
+	xw.SelfClose("replStatus",
+		"seq", strconv.FormatUint(st.Seq, 10),
+		"epoch", strconv.FormatUint(st.Epoch, 10),
+		"leader", st.Leader,
+		"role", st.Role,
+		"replicaOf", st.ReplicaOf,
+	)
+	writeXML(w, xw.Bytes())
+}
+
+func (s *Server) handleReplSync(w http.ResponseWriter) {
+	entries, deadlines, seq, epoch, leader := s.ReplState()
+	xw := xmltree.NewWriter()
+	xw.Open("replState",
+		"seq", strconv.FormatUint(seq, 10),
+		"epoch", strconv.FormatUint(epoch, 10),
+		"leader", leader,
+	)
+	for i, e := range entries {
+		xw.Open("replEntry", "expiresms", strconv.FormatInt(deadlines[i].UnixMilli(), 10))
+		entryToXML(xw, e)
+		xw.Close()
+	}
+	writeXML(w, xw.Bytes())
+}
+
+func (s *Server) handleReplWatch(ctx context.Context, w http.ResponseWriter, root *xmltree.Element) {
+	var since, reqEpoch uint64
+	if t := root.ChildText("since"); t != "" {
+		v, err := strconv.ParseUint(t, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "E_fatalError", "bad since "+t)
+			return
+		}
+		since = v
+	}
+	if t := root.ChildText("epoch"); t != "" {
+		v, err := strconv.ParseUint(t, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "E_fatalError", "bad epoch "+t)
+			return
+		}
+		reqEpoch = v
+	}
+	if info, ok := s.replWatchFence(reqEpoch); !ok {
+		writeError(w, http.StatusConflict, "E_staleEpoch", info)
+		return
+	}
+	timeout, err := parseMillis(root, "timeoutms")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "E_fatalError", err.Error())
+		return
+	}
+	if timeout > maxWatchTimeout {
+		timeout = maxWatchTimeout
+	}
+	changes, next, _, resync, err := s.WatchChangesEpoch(ctx, since, reqEpoch, timeout, true)
+	if err != nil {
+		// Client went away mid-poll; nothing useful to write.
+		return
+	}
+	epoch, leader := s.Epoch()
+	xw := xmltree.NewWriter()
+	xw.Open("replChangeList",
+		"next", strconv.FormatUint(next, 10),
+		"resync", strconv.FormatBool(resync),
+		"epoch", strconv.FormatUint(epoch, 10),
+		"leader", leader,
+	)
+	for _, c := range changes {
+		switch c.Op {
+		case OpAdd, OpUpdate:
+			var expMS int64
+			if !c.Expires.IsZero() {
+				expMS = c.Expires.UnixMilli()
+			}
+			xw.Open("replChange",
+				"seq", strconv.FormatUint(c.Seq, 10),
+				"op", string(c.Op),
+				"expiresms", strconv.FormatInt(expMS, 10),
+			)
+			entryToXML(xw, c.Entry)
+			xw.Close()
+		default:
+			xw.SelfClose("replChange",
+				"seq", strconv.FormatUint(c.Seq, 10),
+				"op", string(c.Op),
+				"serviceKey", c.Entry.Key,
+				"name", c.Entry.Name,
+			)
+		}
+	}
+	writeXML(w, xw.Bytes())
+}
+
+// --- client side ---------------------------------------------------------
+
+// ReplStatus asks an endpoint where it stands: journal position, epoch,
+// role. The election probe.
+func (c *Client) ReplStatus(ctx context.Context) (ReplStatus, error) {
+	if body, ok, err := c.binExchange(ctx, encodeBinReplStatusReq()); err != nil {
+		return ReplStatus{}, err
+	} else if ok {
+		return decodeBinReplStatus(body)
+	}
+	w := xmltree.NewWriter()
+	w.Open("repl_status")
+	root, err := c.roundTrip(ctx, w.Bytes())
+	if err != nil {
+		return ReplStatus{}, err
+	}
+	if root.Name.Local != "replStatus" {
+		return ReplStatus{}, fmt.Errorf("uddi: repl_status response root %s", root.Name.Local)
+	}
+	var st ReplStatus
+	if st.Seq, err = strconv.ParseUint(root.Attr("seq"), 10, 64); err != nil {
+		return ReplStatus{}, fmt.Errorf("uddi: bad replStatus seq: %w", err)
+	}
+	if st.Epoch, err = strconv.ParseUint(root.Attr("epoch"), 10, 64); err != nil {
+		return ReplStatus{}, fmt.Errorf("uddi: bad replStatus epoch: %w", err)
+	}
+	st.Leader = root.Attr("leader")
+	st.Role = root.Attr("role")
+	st.ReplicaOf = root.Attr("replicaOf")
+	return st, nil
+}
+
+// ReplSync fetches the leader's full state dump — the attach path.
+func (c *Client) ReplSync(ctx context.Context) (ReplState, error) {
+	if body, ok, err := c.binExchange(ctx, encodeBinReplSyncReq()); err != nil {
+		return ReplState{}, err
+	} else if ok {
+		return decodeBinReplState(body)
+	}
+	w := xmltree.NewWriter()
+	w.Open("repl_sync")
+	root, err := c.roundTrip(ctx, w.Bytes())
+	if err != nil {
+		return ReplState{}, err
+	}
+	if root.Name.Local != "replState" {
+		return ReplState{}, fmt.Errorf("uddi: repl_sync response root %s", root.Name.Local)
+	}
+	var st ReplState
+	if st.Seq, err = strconv.ParseUint(root.Attr("seq"), 10, 64); err != nil {
+		return ReplState{}, fmt.Errorf("uddi: bad replState seq: %w", err)
+	}
+	if st.Epoch, err = strconv.ParseUint(root.Attr("epoch"), 10, 64); err != nil {
+		return ReplState{}, fmt.Errorf("uddi: bad replState epoch: %w", err)
+	}
+	st.Leader = root.Attr("leader")
+	for _, el := range root.All("replEntry") {
+		expMS, err := strconv.ParseInt(el.Attr("expiresms"), 10, 64)
+		if err != nil {
+			return ReplState{}, fmt.Errorf("uddi: bad replEntry expiresms: %w", err)
+		}
+		svc := el.Child("service")
+		if svc == nil {
+			return ReplState{}, fmt.Errorf("uddi: replEntry without service")
+		}
+		e, err := entryFromXML(svc)
+		if err != nil {
+			return ReplState{}, err
+		}
+		st.Entries = append(st.Entries, e)
+		st.Deadlines = append(st.Deadlines, time.UnixMilli(expMS))
+	}
+	return st, nil
+}
+
+// ReplWatch long-polls the leader's feed from since, announcing the
+// highest epoch this replica has seen so a deposed leader fences itself.
+func (c *Client) ReplWatch(ctx context.Context, since, epoch uint64, timeout time.Duration) (ReplChanges, error) {
+	if body, ok, err := c.binExchange(ctx, encodeBinReplWatchReq(since, epoch, timeout)); err != nil {
+		return ReplChanges{}, err
+	} else if ok {
+		return decodeBinReplChanges(body)
+	}
+	w := xmltree.NewWriter()
+	w.Open("repl_watch")
+	w.Leaf("since", strconv.FormatUint(since, 10))
+	w.Leaf("epoch", strconv.FormatUint(epoch, 10))
+	if timeout > 0 {
+		w.Leaf("timeoutms", strconv.Itoa(int(timeout/time.Millisecond)))
+	}
+	root, err := c.roundTrip(ctx, w.Bytes())
+	if err != nil {
+		return ReplChanges{}, err
+	}
+	if root.Name.Local != "replChangeList" {
+		return ReplChanges{}, fmt.Errorf("uddi: repl_watch response root %s", root.Name.Local)
+	}
+	var rc ReplChanges
+	if rc.Next, err = strconv.ParseUint(root.Attr("next"), 10, 64); err != nil {
+		return ReplChanges{}, fmt.Errorf("uddi: bad replChangeList next: %w", err)
+	}
+	rc.Resync = root.Attr("resync") == "true"
+	if rc.Epoch, err = strconv.ParseUint(root.Attr("epoch"), 10, 64); err != nil {
+		return ReplChanges{}, fmt.Errorf("uddi: bad replChangeList epoch: %w", err)
+	}
+	rc.Leader = root.Attr("leader")
+	for _, el := range root.All("replChange") {
+		seq, err := strconv.ParseUint(el.Attr("seq"), 10, 64)
+		if err != nil {
+			return ReplChanges{}, fmt.Errorf("uddi: bad replChange seq: %w", err)
+		}
+		ch := Change{Seq: seq, Op: ChangeOp(el.Attr("op"))}
+		switch ch.Op {
+		case OpAdd, OpUpdate:
+			expMS, err := strconv.ParseInt(el.Attr("expiresms"), 10, 64)
+			if err != nil {
+				return ReplChanges{}, fmt.Errorf("uddi: bad replChange expiresms: %w", err)
+			}
+			if expMS != 0 {
+				ch.Expires = time.UnixMilli(expMS)
+			}
+			svc := el.Child("service")
+			if svc == nil {
+				return ReplChanges{}, fmt.Errorf("uddi: %s replChange without service", ch.Op)
+			}
+			if ch.Entry, err = entryFromXML(svc); err != nil {
+				return ReplChanges{}, err
+			}
+		case OpDelete, OpExpire:
+			ch.Entry = Entry{Key: el.Attr("serviceKey"), Name: el.Attr("name")}
+		default:
+			return ReplChanges{}, fmt.Errorf("uddi: unknown replChange op %q", el.Attr("op"))
+		}
+		rc.Changes = append(rc.Changes, ch)
+	}
+	return rc, nil
+}

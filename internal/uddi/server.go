@@ -55,6 +55,26 @@ type Server struct {
 	seq     uint64
 	wake    chan struct{} // closed and replaced on every append
 
+	// epoch and epochLeader are the replication epoch: which leader
+	// regime the journal's recent history belongs to (see replica.go).
+	// Guarded by jmu; persisted as WAL epoch frames and in snapshots.
+	epoch       uint64
+	epochLeader string
+	// epochMarks remembers, per epoch bump this node witnessed in place,
+	// the journal position the previous regime ended at. Watchers holding
+	// cursors from an older epoch are replayed from that boundary instead
+	// of being forced into a full resync (see ChangesEpoch). Cleared on a
+	// state-transfer re-ground, whose journal discontinuity makes old
+	// cursors unservable anyway. Guarded by jmu.
+	epochMarks []epochMark
+
+	// replica, when non-nil, puts the registry in replica mode: the wire
+	// faces refuse publication (E_notLeader, naming the leader), and the
+	// expiry sweep stops journaling — lapsed entries go invisible to reads
+	// immediately but their expire records arrive from the leader's feed,
+	// keeping sequence numbers identical across the replica set.
+	replica atomic.Pointer[replicaState]
+
 	// saves and finds count operations for the benchmark harness.
 	saves atomic.Int64
 	finds atomic.Int64
@@ -225,7 +245,7 @@ func (s *Server) appendChange(op ChangeOp, e Entry, expires time.Time) {
 	}
 	s.jmu.Lock()
 	s.seq++
-	s.journal = append(s.journal, Change{Seq: s.seq, Op: op, Entry: e.Clone()})
+	s.journal = append(s.journal, Change{Seq: s.seq, Op: op, Entry: e.Clone(), Expires: expires})
 	if len(s.journal) > s.jcap {
 		s.journal = s.journal[len(s.journal)-s.jcap:]
 	}
@@ -251,6 +271,13 @@ func (s *Server) janitor() {
 }
 
 func (s *Server) expireSweep() {
+	if s.replica.Load() != nil {
+		// Replicas never journal their own expiries: reads already skip
+		// lapsed entries, and the authoritative expire record arrives from
+		// the leader's feed under the leader's sequence number. A local
+		// sweep here would assign divergent sequence numbers.
+		return
+	}
 	now := s.now()
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -399,11 +426,63 @@ func (s *Server) Seq() uint64 {
 // against a restarted registry): the watcher must discard everything it
 // cached and continue from next.
 func (s *Server) Changes(since uint64) (changes []Change, next uint64, resync bool) {
+	changes, next, _, resync = s.ChangesEpoch(since, 0, false)
+	return changes, next, resync
+}
+
+// ChangesEpoch is Changes for a watcher that also states which replication
+// epoch its cursor came from (0 means unknown — legacy behavior). The
+// epoch lets the registry serve cursors across a failover:
+//
+//   - A cursor from an older epoch pointing past that regime's end is
+//     replayed from the epoch boundary — the last journal position the
+//     regimes share — instead of resyncing. Journal ops are idempotent
+//     per key, so redelivering shared history is safe; records the dead
+//     regime acknowledged but never replicated return via the deposed
+//     leader's rejoin handback, and any the watcher applied that the new
+//     regime never saw age out by TTL.
+//   - A replica holds a same-regime cursor that is ahead of its feed
+//     (nothing lost — the watcher just raced the replication lag) and
+//     answers it once the feed catches up.
+//
+// strict disables the boundary replay — a diverged cursor resyncs. The
+// replication feed itself uses strict mode: a replica must mirror its
+// leader exactly, so records it applied beyond the boundary have to be
+// discarded by a state transfer, not papered over by replay (replayed
+// records at or below its own position would be skipped as duplicates).
+func (s *Server) ChangesEpoch(since, sinceEpoch uint64, strict bool) (changes []Change, next, nextEpoch uint64, resync bool) {
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
+	nextEpoch = s.epoch
 	oldest := s.seq - uint64(len(s.journal)) // journal covers (oldest, seq]
-	if since > s.seq || since < oldest {
-		return nil, s.seq, true
+	if sinceEpoch > 0 && sinceEpoch < s.epoch {
+		b, ok := s.epochBoundaryLocked(sinceEpoch)
+		if !ok {
+			// The boundary is unknown (bumped before this node's memory):
+			// no way to tell shared history from divergence.
+			return nil, s.seq, nextEpoch, true
+		}
+		if since > b {
+			if strict {
+				return nil, s.seq, nextEpoch, true
+			}
+			since = b
+		}
+	}
+	if since > s.seq {
+		// A replica shares its leader's sequence space, so a watcher that
+		// failed over here can present a cursor the replication feed has
+		// not reached yet. The watcher lost nothing — hold its cursor and
+		// let it retry once the feed catches up, instead of forcing a full
+		// resync. A leader seeing a future same-regime cursor still
+		// resyncs: that cursor came from history this node never had.
+		if s.ReplicaOf() != "" {
+			return nil, since, nextEpoch, false
+		}
+		return nil, s.seq, nextEpoch, true
+	}
+	if since < oldest {
+		return nil, s.seq, nextEpoch, true
 	}
 	// Sequence numbers are contiguous, so the requested tail is a single
 	// slice — no per-record scan of a journal that is mostly history.
@@ -411,7 +490,7 @@ func (s *Server) Changes(since uint64) (changes []Change, next uint64, resync bo
 	if len(tail) > 0 {
 		changes = append(make([]Change, 0, len(tail)), tail...)
 	}
-	return changes, s.seq, false
+	return changes, s.seq, nextEpoch, false
 }
 
 // WatchChanges long-polls the journal: it returns as soon as there are
@@ -419,34 +498,44 @@ func (s *Server) Changes(since uint64) (changes []Change, next uint64, resync bo
 // zero timeout returns immediately — an empty result with the current
 // cursor, which watchers use as a cheap liveness probe.
 func (s *Server) WatchChanges(ctx context.Context, since uint64, timeout time.Duration) (changes []Change, next uint64, resync bool, err error) {
+	changes, next, _, resync, err = s.WatchChangesEpoch(ctx, since, 0, timeout, false)
+	return changes, next, resync, err
+}
+
+// WatchChangesEpoch is WatchChanges with the watcher's cursor epoch (see
+// ChangesEpoch). A round that crosses an epoch — the watcher's cursor is
+// from an older regime — returns immediately even when empty, so the
+// watcher re-grounds its cursor and epoch rather than parking on a
+// boundary it cannot see.
+func (s *Server) WatchChangesEpoch(ctx context.Context, since, sinceEpoch uint64, timeout time.Duration, strict bool) (changes []Change, next, nextEpoch uint64, resync bool, err error) {
 	// Wall-clock deadline: the swappable clock governs TTLs, not polls.
 	deadline := time.Now().Add(timeout)
 	for {
 		s.jmu.Lock()
 		waitCh := s.wake
 		s.jmu.Unlock()
-		changes, next, resync = s.Changes(since)
-		if len(changes) > 0 || resync {
-			return changes, next, resync, nil
+		changes, next, nextEpoch, resync = s.ChangesEpoch(since, sinceEpoch, strict)
+		if len(changes) > 0 || resync || (sinceEpoch > 0 && nextEpoch != sinceEpoch) {
+			return changes, next, nextEpoch, resync, nil
 		}
 		select {
 		case <-s.stop:
-			return nil, next, false, nil
+			return nil, next, nextEpoch, false, nil
 		default:
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, next, false, nil
+			return nil, next, nextEpoch, false, nil
 		}
 		timer := time.NewTimer(remaining)
 		select {
 		case <-waitCh:
 			timer.Stop()
 		case <-timer.C:
-			return nil, next, false, nil
+			return nil, next, nextEpoch, false, nil
 		case <-ctx.Done():
 			timer.Stop()
-			return nil, next, false, ctx.Err()
+			return nil, next, nextEpoch, false, ctx.Err()
 		}
 	}
 }
@@ -513,11 +602,29 @@ func (s *Server) handler(viewFor func(*http.Request) View, readOnly bool) http.H
 			writeError(w, http.StatusBadRequest, "E_fatalError", "parse: "+err.Error())
 			return
 		}
+		// deny refuses publication on read-only faces and — with the
+		// leader's address, so resolver-aware clients re-pin — on replicas.
 		deny := func() bool {
 			if readOnly {
 				writeError(w, http.StatusForbidden, "E_operatorMismatch", "read-only endpoint: "+root.Name.Local)
+				return true
 			}
-			return readOnly
+			if rs := s.replica.Load(); rs != nil {
+				writeError(w, http.StatusMisdirectedRequest, "E_notLeader", notLeaderInfo(rs.leader))
+				return true
+			}
+			return false
+		}
+		// The replication operations serve full entries with their lease
+		// deadlines; they belong to the private face only, never behind a
+		// peer view or a read-only mount.
+		repl := func() bool {
+			if readOnly || viewFor != nil {
+				writeError(w, http.StatusForbidden, "E_unsupported",
+					"replication is private to the repository face: "+root.Name.Local)
+				return false
+			}
+			return true
 		}
 		switch root.Name.Local {
 		case "save_service":
@@ -538,6 +645,18 @@ func (s *Server) handler(viewFor func(*http.Request) View, readOnly bool) http.H
 			s.handleGet(w, root, view)
 		case "watch":
 			s.handleWatch(r.Context(), w, root, view)
+		case "repl_status":
+			if repl() {
+				s.handleReplStatus(w)
+			}
+		case "repl_sync":
+			if repl() {
+				s.handleReplSync(w)
+			}
+		case "repl_watch":
+			if repl() {
+				s.handleReplWatch(r.Context(), w, root)
+			}
 		default:
 			writeError(w, http.StatusBadRequest, "E_unsupported", "unknown request "+root.Name.Local)
 		}
@@ -668,7 +787,7 @@ func (s *Server) handleGet(w http.ResponseWriter, root *xmltree.Element, view Vi
 }
 
 func (s *Server) handleWatch(ctx context.Context, w http.ResponseWriter, root *xmltree.Element, view View) {
-	var since uint64
+	var since, sinceEpoch uint64
 	if t := root.ChildText("since"); t != "" {
 		v, err := strconv.ParseUint(t, 10, 64)
 		if err != nil {
@@ -676,6 +795,14 @@ func (s *Server) handleWatch(ctx context.Context, w http.ResponseWriter, root *x
 			return
 		}
 		since = v
+	}
+	if t := root.ChildText("epoch"); t != "" {
+		v, err := strconv.ParseUint(t, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "E_fatalError", "bad epoch "+t)
+			return
+		}
+		sinceEpoch = v
 	}
 	timeout, err := parseMillis(root, "timeoutms")
 	if err != nil {
@@ -685,7 +812,7 @@ func (s *Server) handleWatch(ctx context.Context, w http.ResponseWriter, root *x
 	if timeout > maxWatchTimeout {
 		timeout = maxWatchTimeout
 	}
-	changes, next, resync, err := s.WatchChanges(ctx, since, timeout)
+	changes, next, nextEpoch, resync, err := s.WatchChangesEpoch(ctx, since, sinceEpoch, timeout, false)
 	if err != nil {
 		// Client went away mid-poll; nothing useful to write.
 		return
@@ -704,15 +831,16 @@ func (s *Server) handleWatch(ctx context.Context, w http.ResponseWriter, root *x
 		}
 		changes = kept
 	}
-	writeXML(w, encodeChangeList(changes, next, resync))
+	writeXML(w, encodeChangeList(changes, next, nextEpoch, resync))
 }
 
 // encodeChangeList renders a watch response.
-func encodeChangeList(changes []Change, next uint64, resync bool) []byte {
+func encodeChangeList(changes []Change, next, epoch uint64, resync bool) []byte {
 	xw := xmltree.NewWriter()
 	xw.Open("changeList",
 		"next", strconv.FormatUint(next, 10),
 		"resync", strconv.FormatBool(resync),
+		"epoch", strconv.FormatUint(epoch, 10),
 	)
 	for _, c := range changes {
 		switch c.Op {
@@ -732,40 +860,47 @@ func encodeChangeList(changes []Change, next uint64, resync bool) []byte {
 	return xw.Bytes()
 }
 
-// decodeChangeList parses a watch response.
-func decodeChangeList(root *xmltree.Element) (changes []Change, next uint64, resync bool, err error) {
+// decodeChangeList parses a watch response. A response without an epoch
+// attribute (an older server) reads as epoch 0 — unknown.
+func decodeChangeList(root *xmltree.Element) (changes []Change, next, epoch uint64, resync bool, err error) {
 	if root.Name.Local != "changeList" {
-		return nil, 0, false, fmt.Errorf("uddi: watch response root %s", root.Name.Local)
+		return nil, 0, 0, false, fmt.Errorf("uddi: watch response root %s", root.Name.Local)
 	}
 	next, err = strconv.ParseUint(root.Attr("next"), 10, 64)
 	if err != nil {
-		return nil, 0, false, fmt.Errorf("uddi: bad changeList next: %w", err)
+		return nil, 0, 0, false, fmt.Errorf("uddi: bad changeList next: %w", err)
+	}
+	if t := root.Attr("epoch"); t != "" {
+		epoch, err = strconv.ParseUint(t, 10, 64)
+		if err != nil {
+			return nil, 0, 0, false, fmt.Errorf("uddi: bad changeList epoch: %w", err)
+		}
 	}
 	resync = root.Attr("resync") == "true"
 	for _, el := range root.All("change") {
 		seq, err := strconv.ParseUint(el.Attr("seq"), 10, 64)
 		if err != nil {
-			return nil, 0, false, fmt.Errorf("uddi: bad change seq: %w", err)
+			return nil, 0, 0, false, fmt.Errorf("uddi: bad change seq: %w", err)
 		}
 		c := Change{Seq: seq, Op: ChangeOp(el.Attr("op"))}
 		switch c.Op {
 		case OpAdd, OpUpdate:
 			svc := el.Child("service")
 			if svc == nil {
-				return nil, 0, false, fmt.Errorf("uddi: %s change without service", c.Op)
+				return nil, 0, 0, false, fmt.Errorf("uddi: %s change without service", c.Op)
 			}
 			c.Entry, err = entryFromXML(svc)
 			if err != nil {
-				return nil, 0, false, err
+				return nil, 0, 0, false, err
 			}
 		case OpDelete, OpExpire:
 			c.Entry = Entry{Key: el.Attr("serviceKey"), Name: el.Attr("name")}
 		default:
-			return nil, 0, false, fmt.Errorf("uddi: unknown change op %q", el.Attr("op"))
+			return nil, 0, 0, false, fmt.Errorf("uddi: unknown change op %q", el.Attr("op"))
 		}
 		changes = append(changes, c)
 	}
-	return changes, next, resync, nil
+	return changes, next, epoch, resync, nil
 }
 
 // entryToXML appends a <service> element for e to the writer.

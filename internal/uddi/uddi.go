@@ -145,4 +145,9 @@ type Change struct {
 	Seq   uint64
 	Op    ChangeOp
 	Entry Entry
+	// Expires is the registration deadline for adds and updates — what the
+	// replication feed (repl_watch) ships so a replica re-arms each lease
+	// with the leader's remaining lifetime instead of a fresh TTL. Zero for
+	// deletes and expiries, and omitted from the ordinary watch encodings.
+	Expires time.Time
 }

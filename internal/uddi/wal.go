@@ -58,6 +58,12 @@ const (
 	// final frame, recovery truncates it back off. A crash never writes
 	// one, so its absence is what distinguishes a dirty boot.
 	opWALMarker = 'S'
+	// opWALEpoch records a replication epoch change (promotion, or a
+	// replica adopting a new leader): uvarint epoch and the leader name
+	// follow the journal position. Recovery replays it so a restarted node
+	// remembers which leader regime it last acknowledged — the fencing
+	// state that stops a stale leader from feeding anyone (see replica.go).
+	opWALEpoch = 'E'
 
 	// defaultSnapshotEvery is how many WAL records accumulate between
 	// snapshots when the owner doesn't say.
@@ -272,7 +278,7 @@ func (s *Server) recover(w *wal) error {
 
 	// Newest snapshot first; a corrupt one falls back to its predecessor.
 	for i := len(w.snaps) - 1; i >= 0; i-- {
-		entries, deadlines, seq, lerr := loadSnapshot(w.snaps[i].path)
+		entries, deadlines, seq, epoch, leader, lerr := loadSnapshot(w.snaps[i].path)
 		if lerr != nil {
 			log.Printf("uddi: snapshot %s unreadable (%v); falling back", filepath.Base(w.snaps[i].path), lerr)
 			w.recovery.SnapshotFallback = true
@@ -282,6 +288,7 @@ func (s *Server) recover(w *wal) error {
 			sh := s.shardFor(e.Key)
 			sh.entries[e.Key] = &record{entry: e, expires: deadlines[j]}
 		}
+		s.epoch, s.epochLeader = epoch, leader
 		w.snapSeq, w.haveSnap = seq, true
 		break
 	}
@@ -320,6 +327,25 @@ func (s *Server) recover(w *wal) error {
 			if rec.op == opWALMarker {
 				if next == len(data) && i == len(w.segs)-1 {
 					cleanAt = int64(off)
+				}
+				off = next
+				continue
+			}
+			if rec.op == opWALEpoch {
+				// Epoch frames replay regardless of the snapshot floor: the
+				// last one wins, carrying the leader regime forward. A frame
+				// that bumps the epoch also restores the regime boundary —
+				// the journal position the frame was written at — so watch
+				// cursors from the older regime survive this node's restart
+				// (see ChangesEpoch).
+				if rec.epoch > s.epoch {
+					s.epochMarks = append(s.epochMarks, epochMark{epoch: rec.epoch, seq: rec.seq})
+					if len(s.epochMarks) > maxEpochMarks {
+						s.epochMarks = s.epochMarks[len(s.epochMarks)-maxEpochMarks:]
+					}
+				}
+				if rec.epoch >= s.epoch {
+					s.epoch, s.epochLeader = rec.epoch, rec.leader
 				}
 				off = next
 				continue
@@ -510,6 +536,7 @@ func (s *Server) snapshotNow() error {
 	s.jmu.Lock()
 	seq := s.seq
 	dir := s.wal.dir
+	epoch, leader := s.epoch, s.epochLeader
 	s.jmu.Unlock()
 
 	var entries []Entry
@@ -526,7 +553,7 @@ func (s *Server) snapshotNow() error {
 	sort.Sort(&snapOrder{entries, deadlines})
 
 	path := filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", seq))
-	err := writeSnapshot(path, seq, entries, deadlines)
+	err := writeSnapshot(path, seq, entries, deadlines, epoch, leader)
 
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
@@ -535,6 +562,13 @@ func (s *Server) snapshotNow() error {
 	if err != nil {
 		w.lastErr = "snapshot: " + err.Error()
 		return err
+	}
+	if w.haveSnap && seq < w.snapSeq {
+		// The registry was re-grounded (ApplyReplicatedState reset the WAL)
+		// while this snapshot was being written: it describes a history
+		// that no longer exists here. Discard it.
+		os.Remove(path)
+		return nil
 	}
 	w.snapshots++
 	prevSnap, hadPrev := w.snapSeq, w.haveSnap
@@ -688,6 +722,9 @@ type walRecord struct {
 	seq     uint64
 	expires time.Time
 	entry   Entry
+	// epoch and leader are set only for opWALEpoch records.
+	epoch  uint64
+	leader string
 }
 
 func changeOpWAL(op ChangeOp) byte {
@@ -844,6 +881,11 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 	if rec.op == opWALMarker {
 		return rec, r.err
 	}
+	if rec.op == opWALEpoch {
+		rec.epoch = r.uvarint()
+		rec.leader = r.str()
+		return rec, r.err
+	}
 	switch rec.op {
 	case opWALAdd, opWALUpdate, opWALDelete, opWALExpire:
 	default:
@@ -854,8 +896,11 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 }
 
 // writeSnapshot writes an atomic snapshot: tmp file, fsync, rename, and
-// a best-effort directory sync so the rename itself is durable.
-func writeSnapshot(path string, seq uint64, entries []Entry, deadlines []time.Time) error {
+// a best-effort directory sync so the rename itself is durable. The
+// replication epoch and leader name ride at the payload tail, after the
+// entry groups, so pre-replication snapshots (which simply end at the
+// last entry) still load.
+func writeSnapshot(path string, seq uint64, entries []Entry, deadlines []time.Time, epoch uint64, leader string) error {
 	b := make([]byte, 8, 1024)
 	b = append(b, recVersion)
 	b = binary.AppendUvarint(b, seq)
@@ -883,6 +928,8 @@ func writeSnapshot(path string, seq uint64, entries []Entry, deadlines []time.Ti
 			b = appendWALString(b, e.Categories[k])
 		}
 	}
+	b = binary.AppendUvarint(b, epoch)
+	b = appendWALString(b, leader)
 	payload := b[8:]
 	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
@@ -916,45 +963,54 @@ func writeSnapshot(path string, seq uint64, entries []Entry, deadlines []time.Ti
 	return nil
 }
 
-// loadSnapshot reads and validates one snapshot file.
-func loadSnapshot(path string) (entries []Entry, deadlines []time.Time, seq uint64, err error) {
+// loadSnapshot reads and validates one snapshot file. The epoch/leader
+// tail is optional: snapshots written before replication end at the last
+// entry group and load with epoch 0.
+func loadSnapshot(path string) (entries []Entry, deadlines []time.Time, seq, epoch uint64, leader string, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, "", err
 	}
 	if !strings.HasPrefix(string(data[:min(len(data), len(snapMagic))]), snapMagic) {
-		return nil, nil, 0, fmt.Errorf("uddi: bad snapshot magic")
+		return nil, nil, 0, 0, "", fmt.Errorf("uddi: bad snapshot magic")
 	}
 	payload, next, err := readWALFrame(data, len(snapMagic))
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, "", err
 	}
 	if next != len(data) {
-		return nil, nil, 0, fmt.Errorf("uddi: trailing bytes after snapshot frame")
+		return nil, nil, 0, 0, "", fmt.Errorf("uddi: trailing bytes after snapshot frame")
 	}
 	if payload[0] != recVersion {
-		return nil, nil, 0, fmt.Errorf("uddi: unknown snapshot version %d", payload[0])
+		return nil, nil, 0, 0, "", fmt.Errorf("uddi: unknown snapshot version %d", payload[0])
 	}
 	r := &walReader{b: payload, off: 1}
 	seq = r.uvarint()
 	count := int(r.uvarint())
 	if r.err != nil {
-		return nil, nil, 0, r.err
+		return nil, nil, 0, 0, "", r.err
 	}
 	if count < 0 || count > maxWALFrame {
-		return nil, nil, 0, fmt.Errorf("uddi: snapshot count out of range")
+		return nil, nil, 0, 0, "", fmt.Errorf("uddi: snapshot count out of range")
 	}
 	entries = make([]Entry, 0, count)
 	deadlines = make([]time.Time, 0, count)
 	for i := 0; i < count; i++ {
 		e, exp := decodeWALEntry(r)
 		if r.err != nil {
-			return nil, nil, 0, r.err
+			return nil, nil, 0, 0, "", r.err
 		}
 		entries = append(entries, e)
 		deadlines = append(deadlines, exp)
 	}
-	return entries, deadlines, seq, nil
+	if r.off < len(payload) {
+		epoch = r.uvarint()
+		leader = r.str()
+		if r.err != nil {
+			return nil, nil, 0, 0, "", r.err
+		}
+	}
+	return entries, deadlines, seq, epoch, leader, nil
 }
 
 // scanWALDir lists snapshots and WAL segments by their sequence-number
